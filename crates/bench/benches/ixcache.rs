@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the IX-cache hot paths: probe (range
+//! match + level priority) and insert (packing + CLOCK eviction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metal_core::ixcache::{IxCache, IxConfig};
+use metal_core::range::KeyRange;
+
+fn filled_cache() -> IxCache {
+    let mut c = IxCache::new(IxConfig::kb64());
+    // A mix of narrow leaves and wide interior entries.
+    for i in 0..512u64 {
+        c.insert(0, i as u32, KeyRange::new(i * 8, i * 8 + 7), 0, 64, 0);
+    }
+    for i in 0..128u64 {
+        c.insert(
+            0,
+            10_000 + i as u32,
+            KeyRange::new(i * 512, i * 512 + 511),
+            3,
+            64,
+            0,
+        );
+    }
+    c
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut cache = filled_cache();
+    let mut key = 0u64;
+    c.bench_function("ixcache_probe_hit", |b| {
+        b.iter(|| {
+            key = (key + 37) % 4096;
+            black_box(cache.probe(0, black_box(key)))
+        })
+    });
+    c.bench_function("ixcache_probe_miss", |b| {
+        b.iter(|| black_box(cache.probe(0, black_box(1 << 40))))
+    });
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("ixcache_insert_evict", |b| {
+        let mut cache = filled_cache();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(
+                0,
+                (20_000 + i) as u32,
+                KeyRange::new(i * 16, i * 16 + 15),
+                1,
+                64,
+                0,
+            );
+        })
+    });
+}
+
+criterion_group!(benches, bench_probe, bench_insert);
+criterion_main!(benches);

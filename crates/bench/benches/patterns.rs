@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for pattern-controller hot paths: descriptor
+//! admission and tuner observation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metal_core::descriptor::{
+    AdmitCtx, BranchDescriptor, Descriptor, LevelDescriptor, NodeDescriptor,
+};
+use metal_core::tuner::Tuner;
+use metal_index::walk::NodeInfo;
+use metal_sim::types::Addr;
+
+fn node(level: u8, lo: u64, hi: u64) -> NodeInfo {
+    NodeInfo {
+        addr: Addr::new(0),
+        bytes: 64,
+        level,
+        lo,
+        hi,
+        keys: 8,
+    }
+}
+
+fn bench_admit(c: &mut Criterion) {
+    let ctx = AdmitCtx { life_hint: 4 };
+    let level = Descriptor::Level(LevelDescriptor::band(2, 4));
+    let composite = Descriptor::or(
+        Descriptor::Node(NodeDescriptor::leaves()),
+        Descriptor::Branch(BranchDescriptor {
+            pivot: 1000,
+            halfwidth: 200,
+            depth: 3,
+        }),
+    );
+    let mut l = 0u8;
+    c.bench_function("descriptor_admit_level", |b| {
+        b.iter(|| {
+            l = (l + 1) % 8;
+            black_box(level.admit(&node(l, 10, 20), &ctx))
+        })
+    });
+    c.bench_function("descriptor_admit_composite", |b| {
+        b.iter(|| {
+            l = (l + 1) % 8;
+            black_box(composite.admit(&node(l, 900, 1100), &ctx))
+        })
+    });
+}
+
+fn bench_tuner(c: &mut Criterion) {
+    c.bench_function("tuner_observe_and_batch", |b| {
+        let mut tuner = Tuner::new(10, 1000, 1024);
+        let mut desc = Descriptor::Level(LevelDescriptor::band(2, 4));
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            tuner.observe_node((i % 10) as u8, i % 5000, 64);
+            tuner.observe_probe(i.is_multiple_of(3));
+            black_box(tuner.walk_done(&mut desc))
+        })
+    });
+}
+
+criterion_group!(benches, bench_admit, bench_tuner);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for index walks: B+tree descent, skip-list
+//! search, and a full simulated run of a small experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metal_core::models::{DesignSpec, Experiment};
+use metal_core::runner::{run_design, RunConfig};
+use metal_core::{IxConfig, WalkRequest};
+use metal_index::bptree::BPlusTree;
+use metal_index::skiplist::SkipList;
+use metal_index::walk::WalkIndex;
+use metal_sim::types::{Addr, Key};
+
+fn bench_bptree_walk(c: &mut Criterion) {
+    let keys: Vec<Key> = (0..100_000).collect();
+    let tree = BPlusTree::bulk_load(&keys, 8, Addr::new(0), 16);
+    let mut k = 0u64;
+    c.bench_function("bptree_walk_100k", |b| {
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            black_box(tree.walk(black_box(k), |_, _| {}))
+        })
+    });
+}
+
+fn bench_skiplist_walk(c: &mut Criterion) {
+    let keys: Vec<Key> = (1..=50_000).map(|i| i * 3).collect();
+    let sl = SkipList::build(&keys, 4, Addr::new(0));
+    let mut k = 1u64;
+    c.bench_function("skiplist_walk_50k", |b| {
+        b.iter(|| {
+            k = (k + 7919) % 150_000;
+            black_box(sl.walk(black_box(k), |_, _| {}))
+        })
+    });
+}
+
+fn bench_simulated_run(c: &mut Criterion) {
+    let keys: Vec<Key> = (0..20_000).collect();
+    let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+    let requests: Vec<WalkRequest> = (0..2_000)
+        .map(|i| WalkRequest::lookup((i * 37) % 20_000))
+        .collect();
+    c.bench_function("metal_run_2k_walks", |b| {
+        b.iter(|| {
+            let exp = Experiment::single(&tree, &requests);
+            let report = run_design(
+                &DesignSpec::MetalIx {
+                    ix: IxConfig::kb64(),
+                },
+                &exp,
+                &RunConfig::default(),
+            );
+            black_box(report.stats.exec_cycles)
+        })
+    });
+}
+
+criterion_group!(benches, bench_bptree_walk, bench_skiplist_walk, bench_simulated_run);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation — IX-cache geometry sweep (Table 3 supplemental).
+//!
+//! Sweeps associativity and key-block bits for the IX-cache's narrow
+//! partition. Paper supplemental: "Best geometry: 16-way. 16 banked."
+//! Larger key blocks exacerbate set conflicts (Fig. 8's discussion).
+//!
+//! Run: `cargo run --release -p metal-bench --bin abl_geometry`
+
+use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_core::models::DesignSpec;
+use metal_core::IxConfig;
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Ablation: IX-cache geometry (ways x key-block bits), Where workload");
+    println!("# paper supplemental: 16-way is the sweet spot; oversized key");
+    println!("#   blocks increase set conflicts");
+    csv_row(["ways", "key_block_bits", "miss_rate", "avg_walk_latency"]);
+    let built = Workload::Where.build(args.scale);
+    for ways in [1usize, 4, 16, 64] {
+        for bits in [2u32, 4, 8, 12] {
+            let ix = IxConfig {
+                entries: (args.cache_bytes / 64).max(16),
+                ways,
+                key_block_bits: bits,
+                wide_fraction: 0.5,
+            };
+            let report = run_one(
+                Workload::Where,
+                args.scale,
+                &DesignSpec::Metal {
+                    ix,
+                    descriptors: built.descriptors.clone(),
+                    tune: false,
+                    batch_walks: built.batch_walks,
+                },
+                None,
+            );
+            csv_row([
+                ways.to_string(),
+                bits.to_string(),
+                f3(report.stats.miss_rate()),
+                f3(report.stats.avg_walk_latency()),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Ablation — shared vs per-tile private IX-caches (Table 3 supplemental).
+//!
+//! The same total capacity either shared by all tiles or sliced into
+//! per-tile private caches. Paper supplemental: "Shared vs Private:
+//! Shared is best since access every 70-180 cycles" — probes are sparse
+//! enough that port contention is negligible, while sharing multiplies
+//! the reach of every cached node.
+//!
+//! Run: `cargo run --release -p metal-bench --bin abl_shared_private`
+
+use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_core::models::DesignSpec;
+use metal_core::IxConfig;
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let ix = IxConfig::with_capacity_bytes(args.cache_bytes);
+    println!("# Ablation: shared vs per-tile private IX-caches, equal total capacity");
+    println!("# paper supplemental expectation: shared wins");
+    csv_row([
+        "workload",
+        "shared_exec",
+        "private_exec",
+        "shared_missrate",
+        "private_missrate",
+        "shared_advantage",
+    ]);
+    for w in [
+        Workload::Where,
+        Workload::Scan,
+        Workload::SpMM,
+        Workload::Join,
+    ] {
+        let built = w.build(args.scale);
+        let shared = run_one(
+            w,
+            args.scale,
+            &DesignSpec::Metal {
+                ix,
+                descriptors: built.descriptors.clone(),
+                tune: false,
+                batch_walks: built.batch_walks,
+            },
+            None,
+        );
+        let private = run_one(
+            w,
+            args.scale,
+            &DesignSpec::MetalPrivate {
+                ix,
+                descriptors: built.descriptors.clone(),
+            },
+            None,
+        );
+        csv_row([
+            w.name().to_string(),
+            shared.stats.exec_cycles.get().to_string(),
+            private.stats.exec_cycles.get().to_string(),
+            f3(shared.stats.miss_rate()),
+            f3(private.stats.miss_rate()),
+            f3(private.stats.exec_cycles.get() as f64
+                / shared.stats.exec_cycles.get().max(1) as f64),
+        ]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Fig. 15 — Miss rate: METAL vs X-Cache vs FA-OPT.
+//!
+//! §5.1's first metric. Paper expectation: X-Cache misses 0.6–0.95 on
+//! deep indexes (leaves have minimal reuse); FA-OPT is lower but
+//! misleading (its hits only save one access each); METAL's probe miss
+//! rate is the lowest because cached bands cover the key space.
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig15_miss_rate`
+
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Fig 15: miss rate (lower is better; note §5.1 obs. 2 — miss");
+    println!("#   rates are not comparable across organizations: hit/miss paths differ)");
+    println!("# paper expectation: x-cache 0.6-0.95; metal lowest");
+    csv_row(["workload", "fa-opt", "x-cache", "metal-ix", "metal"]);
+    for w in Workload::all() {
+        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let mr = |i: usize| f3(reports[i].1.stats.miss_rate());
+        csv_row([w.name().to_string(), mr(2), mr(3), mr(4), mr(5)]);
+    }
+}

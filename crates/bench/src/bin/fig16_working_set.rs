@@ -1,0 +1,36 @@
+//! Fig. 16 — Working-set size: the fraction of the index touched in DRAM.
+//!
+//! Measured as the *walking-region* fraction: DRAM index-node reads
+//! relative to the full root-to-leaf touches the streaming DSA performs
+//! for the same requests (the paper's Fig. 3 "Work Region" divided by the
+//! whole index walk). A secondary column reports the per-window
+//! distinct-block footprint. Paper expectation: address/FA-OPT ≈ 0.85,
+//! X-Cache ≈ 0.72, METAL ≈ 0.2.
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig16_working_set`
+
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Fig 16: walking-region fraction = DRAM node reads / streaming node reads");
+    println!("# paper expectation: address/fa-opt ~0.85, x-cache ~0.72, metal ~0.2");
+    csv_row([
+        "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal", "metal_window_distinct",
+    ]);
+    for w in Workload::all() {
+        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let full = reports[0].1.stats.dram_node_reads.max(1) as f64;
+        let frac = |i: usize| f3(reports[i].1.stats.dram_node_reads as f64 / full);
+        csv_row([
+            w.name().to_string(),
+            frac(1),
+            frac(2),
+            frac(3),
+            frac(4),
+            frac(5),
+            f3(reports[5].1.stats.working_set_fraction()),
+        ]);
+    }
+}

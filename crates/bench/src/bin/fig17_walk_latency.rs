@@ -1,0 +1,49 @@
+//! Fig. 17 — Average walk latency in cycles.
+//!
+//! METAL / X-Cache / FA-OPT at 64 kB, plus a 16×-larger 1 MB
+//! fully-associative address cache. Paper expectation: METAL reduces walk
+//! latency ~1.5× vs X-Cache and ~1.8× vs FA-OPT; even the 1 MB FA cache
+//! is ~20% slower than 64 kB METAL (§5.1 obs. 5–6).
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig17_walk_latency`
+
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_core::models::{DesignSpec, Experiment};
+use metal_core::runner::{run_design, RunConfig};
+use metal_sim::types::Cycles;
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Fig 17: average walk latency in cycles (lower is better)");
+    println!("# paper expectation: metal < x-cache < fa-opt; fa-1MB still above metal");
+    csv_row([
+        "workload", "fa-opt-64k", "x-cache-64k", "metal-ix-64k", "metal-64k", "fa-1mb",
+    ]);
+    for w in Workload::all() {
+        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let lat = |i: usize| f3(reports[i].1.stats.avg_walk_latency());
+        // The 16×-larger fully-associative address cache. A 1 MB SRAM is
+        // physically slower to traverse than a 64 kB one (~sqrt-of-size
+        // wire delay): its hierarchy latency scales from 20 to 35 cycles.
+        let built = w.build(args.scale);
+        let exp: Experiment<'_> = built.experiment();
+        let mut cfg = RunConfig::default().with_lanes(built.tiles);
+        cfg.sim.hierarchy_hit_latency = Cycles::new(35);
+        let big = run_design(
+            &DesignSpec::FaOpt {
+                entries: 1024 * 1024 / 64,
+            },
+            &exp,
+            &cfg,
+        );
+        csv_row([
+            w.name().to_string(),
+            lat(2),
+            lat(3),
+            lat(4),
+            lat(5),
+            f3(big.stats.avg_walk_latency()),
+        ]);
+    }
+}

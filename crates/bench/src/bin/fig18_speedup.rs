@@ -1,0 +1,34 @@
+//! Fig. 18 — Speedup: METAL vs X-Cache vs Address vs Stream.
+//!
+//! The paper reports, per workload, end-to-end speedup normalized to the
+//! streaming DSA (higher is better), with the shallow -S variants showing
+//! METAL ≈ X-Cache. Headline ratios: 7.8× vs streaming, 4.1× vs address,
+//! 2.4× vs X-Cache on average.
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig18_speedup -- --scale bench`
+
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Fig 18: speedup over the streaming DSA (higher is better)");
+    println!("# paper expectation: metal > metal-ix > x-cache/address > stream;");
+    println!("#   -S (shallow) variants: metal within ~15% of x-cache");
+    csv_row([
+        "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal",
+    ]);
+    for w in Workload::all() {
+        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let stream = &reports[0].1;
+        let speedup = |i: usize| f3(reports[i].1.speedup_vs(stream));
+        csv_row([
+            w.name().to_string(),
+            speedup(1),
+            speedup(2),
+            speedup(3),
+            speedup(4),
+            speedup(5),
+        ]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 20 — Breakdown of METAL's speedup factors.
+//!
+//! Three configurations over the streaming baseline:
+//!
+//! - **IX** — the IX-cache alone with the hardwired greedy/utility policy,
+//! - **Patterns** — descriptors with static Table 2 parameters,
+//! - **Params** — descriptors with per-batch dynamic tuning.
+//!
+//! Paper expectation: IX alone gives 3–8× vs streaming; patterns add
+//! 1.5–4×; dynamic parameters add a further 10–30%.
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig20_breakdown`
+
+use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_core::models::DesignSpec;
+use metal_core::IxConfig;
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let ix = IxConfig::with_capacity_bytes(args.cache_bytes);
+    println!("# Fig 20: speedup breakdown vs streaming: IX-only, +patterns, +params");
+    println!("# paper expectation: patterns > IX on pattern-friendly workloads;");
+    println!("#   params add ~10-30% on drifting workloads");
+    csv_row(["workload", "ix", "patterns", "params"]);
+    for w in Workload::all() {
+        let built = w.build(args.scale);
+        let stream = run_one(w, args.scale, &DesignSpec::Stream, None);
+        let ix_only = run_one(w, args.scale, &DesignSpec::MetalIx { ix }, None);
+        let patterns = run_one(
+            w,
+            args.scale,
+            &DesignSpec::Metal {
+                ix,
+                descriptors: built.descriptors.clone(),
+                tune: false,
+                batch_walks: built.batch_walks,
+            },
+            None,
+        );
+        let params = run_one(
+            w,
+            args.scale,
+            &DesignSpec::Metal {
+                ix,
+                descriptors: built.descriptors.clone(),
+                tune: true,
+                batch_walks: built.batch_walks,
+            },
+            None,
+        );
+        csv_row([
+            w.name().to_string(),
+            f3(ix_only.speedup_vs(&stream)),
+            f3(patterns.speedup_vs(&stream)),
+            f3(params.speedup_vs(&stream)),
+        ]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 21 — IX-cache occupancy by index level, METAL-IX vs METAL.
+//!
+//! What the cache actually holds at the end of a run. Paper expectation:
+//! METAL-IX spreads capacity across many levels; METAL concentrates it on
+//! the pattern's target levels (mid-band for scans, leaves for SpMM;
+//! SpMM-S occupies only levels 1–3 because fibers are 3 levels deep).
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig21_occupancy`
+
+use metal_bench::{csv_row, run_workload, HarnessArgs};
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Fig 21: final IX-cache occupancy per index level (entry counts)");
+    println!("# paper expectation: metal concentrates on target levels, metal-ix spreads");
+    csv_row(["workload", "design", "level", "entries"]);
+    for w in Workload::all() {
+        let reports = run_workload(w, args.scale, args.cache_bytes);
+        for (name, report) in &reports {
+            if report.occupancy_by_level.is_empty() {
+                continue;
+            }
+            for (level, &count) in report.occupancy_by_level.iter().enumerate() {
+                if count > 0 {
+                    csv_row([
+                        w.name().to_string(),
+                        name.clone(),
+                        level.to_string(),
+                        count.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 22 — Level-pattern adaptivity with parameter tuning.
+//!
+//! The run is split into tuning batches; the plot shows which level band
+//! the tuner selected in each window. Paper expectation: the tuned band
+//! follows the walks as the query mix drifts, while the static pattern
+//! cannot adapt. We use the WHERE workload, whose predicate windows drift
+//! (Scan is Table 2's "Random Search", so its optimal band is static —
+//! and the tuner correctly holds it still).
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig22_adaptivity`
+
+use metal_bench::{csv_row, run_one, HarnessArgs};
+use metal_core::models::DesignSpec;
+use metal_core::IxConfig;
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let built = Workload::Where.build(args.scale);
+    let ix = IxConfig::with_capacity_bytes(args.cache_bytes);
+    // Ten windows, as in the paper's 10 M walks / 1 M batches.
+    let batch = (args.scale.walks / 10).max(1);
+    let report = run_one(
+        Workload::Where,
+        args.scale,
+        &DesignSpec::Metal {
+            ix,
+            descriptors: built.descriptors.clone(),
+            tune: true,
+            batch_walks: batch,
+        },
+        None,
+    );
+    println!("# Fig 22: level band chosen by the tuner per batch window (Where)");
+    println!("# paper expectation: the band tracks the walks across windows");
+    csv_row(["window", "band_lower", "band_upper"]);
+    if let Some(history) = report.band_history.first() {
+        for (i, (lower, upper)) in history.iter().enumerate() {
+            csv_row([i.to_string(), lower.to_string(), upper.to_string()]);
+        }
+    }
+}

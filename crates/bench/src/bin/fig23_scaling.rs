@@ -1,0 +1,89 @@
+//! Fig. 23 — Cache size vs index size (JOIN).
+//!
+//! Two sweeps over the JOIN workload:
+//!
+//! - **23a** (default): record count grows 10× while the IX-cache is swept
+//!   32–256 kB. Paper expectation: METAL adapts to larger databases with
+//!   only ~15% walk-latency penalty, while METAL-IX degrades faster.
+//! - **23b** (`--depth-sweep`): index depth grows 10→18 levels. Paper
+//!   expectation: METAL's walk latency grows ~2×, METAL-IX's ~3×; a 32 kB
+//!   METAL beats a 256 kB METAL-IX (8× cache-size saving).
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig23_scaling`
+//!      `... --bin fig23_scaling -- --depth-sweep`
+
+use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_core::models::DesignSpec;
+use metal_core::IxConfig;
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let depth_sweep = std::env::args().any(|a| a == "--depth-sweep");
+
+    let cache_kbs = [32usize, 64, 128, 256];
+    if depth_sweep {
+        println!("# Fig 23b: walk latency vs index depth (JOIN); 10->18 levels");
+        println!("# paper expectation: metal degrades ~2x, metal-ix ~3x over the sweep");
+        csv_row(["depth", "design", "cache_kb", "avg_walk_latency"]);
+        for depth in [10u8, 12, 14, 16, 18] {
+            let scale = args.scale.with_depth(depth);
+            for kb in [32usize, 256] {
+                let (ixr, mr) = run_pair(scale, kb);
+                csv_row([
+                    depth.to_string(),
+                    "metal-ix".into(),
+                    kb.to_string(),
+                    f3(ixr),
+                ]);
+                csv_row([depth.to_string(), "metal".into(), kb.to_string(), f3(mr)]);
+            }
+        }
+    } else {
+        println!("# Fig 23a: walk latency vs record count (JOIN), IX-cache 32-256 kB");
+        println!("# paper expectation: metal flat-ish with records; metal-ix degrades");
+        csv_row(["keys", "design", "cache_kb", "avg_walk_latency"]);
+        let base = args.scale.keys;
+        for mult in [1u64, 2, 5, 10] {
+            let scale = args.scale.with_keys(base * mult);
+            for &kb in &cache_kbs {
+                let (ixr, mr) = run_pair(scale, kb);
+                csv_row([
+                    scale.keys.to_string(),
+                    "metal-ix".into(),
+                    kb.to_string(),
+                    f3(ixr),
+                ]);
+                csv_row([
+                    scale.keys.to_string(),
+                    "metal".into(),
+                    kb.to_string(),
+                    f3(mr),
+                ]);
+            }
+        }
+    }
+}
+
+/// Runs METAL-IX and METAL on JOIN at the given scale and cache size,
+/// returning their average walk latencies.
+fn run_pair(scale: metal_workloads::Scale, cache_kb: usize) -> (f64, f64) {
+    let built = Workload::Join.build(scale);
+    let ix = IxConfig::with_capacity_bytes(cache_kb * 1024);
+    let ix_report = run_one(Workload::Join, scale, &DesignSpec::MetalIx { ix }, None);
+    let metal_report = run_one(
+        Workload::Join,
+        scale,
+        &DesignSpec::Metal {
+            ix,
+            descriptors: built.descriptors.clone(),
+            tune: true,
+            batch_walks: built.batch_walks,
+        },
+        None,
+    );
+    (
+        ix_report.stats.avg_walk_latency(),
+        metal_report.stats.avg_walk_latency(),
+    )
+}

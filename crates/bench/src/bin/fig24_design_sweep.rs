@@ -1,0 +1,74 @@
+//! Fig. 24 — Design sweep: tiles × IX-cache size, with region
+//! classification.
+//!
+//! JOIN, SpMM and RTree swept over 16–128 tiles and 8 kB–256 kB IX-caches,
+//! normalized to an 8-tile streaming DSA. Each point is classified:
+//!
+//! - **band-lim** — ≥50% of peak HBM bandwidth consumed,
+//! - **cache-lim** — miss rate above 25% (size/policy still matters),
+//! - **par-lim** — performance limited by tile count.
+//!
+//! Paper expectation: SpMM saturates at ~16 kB (immediate reuse); JOIN
+//! keeps scaling with cache size; RTree is bandwidth-limited with large
+//! working sets.
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig24_design_sweep`
+
+use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_core::models::DesignSpec;
+use metal_core::IxConfig;
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Fig 24: normalized speedup vs 8-tile streaming across tiles x cache size");
+    println!("# regions: band-lim (>=50% HBM), cache-lim (missrate>25%), par-lim");
+    csv_row([
+        "workload", "tiles", "cache_kb", "speedup", "region", "bw_frac", "miss_rate",
+    ]);
+    for w in [Workload::Join, Workload::SpMM, Workload::RTree] {
+        // The 8-tile streaming baseline.
+        let base = run_one(w, args.scale, &DesignSpec::Stream, Some(8));
+        let base_cycles = base.stats.exec_cycles.get().max(1) as f64;
+        for tiles in [16usize, 32, 64, 128] {
+            for cache_kb in [8usize, 16, 64, 256] {
+                let built = w.build(args.scale);
+                let ix = IxConfig::with_capacity_bytes(cache_kb * 1024);
+                let report = run_one(
+                    w,
+                    args.scale,
+                    &DesignSpec::Metal {
+                        ix,
+                        descriptors: built.descriptors.clone(),
+                        tune: true,
+                        batch_walks: built.batch_walks,
+                    },
+                    Some(tiles),
+                );
+                let speedup = base_cycles / report.stats.exec_cycles.get().max(1) as f64;
+                // Bandwidth fraction: bytes moved / (cycles × peak B/cy).
+                let dram = metal_sim::SimConfig::default().dram;
+                let peak = (dram.channels as u64 * dram.bytes_per_cycle) as f64;
+                let bw = report.stats.dram_bytes as f64
+                    / (report.stats.exec_cycles.get().max(1) as f64 * peak);
+                let mr = report.stats.miss_rate();
+                let region = if bw >= 0.5 {
+                    "band-lim"
+                } else if mr > 0.25 {
+                    "cache-lim"
+                } else {
+                    "par-lim"
+                };
+                csv_row([
+                    w.name().to_string(),
+                    tiles.to_string(),
+                    cache_kb.to_string(),
+                    f3(speedup),
+                    region.to_string(),
+                    f3(bw),
+                    f3(mr),
+                ]);
+            }
+        }
+    }
+}

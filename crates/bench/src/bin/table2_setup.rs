@@ -1,0 +1,42 @@
+//! Table 2 — Workload setup, as actually built at the chosen scale.
+//!
+//! Prints each workload's index type, size, depth, request count and
+//! pattern so the scaled-down setups can be compared against the paper's
+//! table.
+//!
+//! Run: `cargo run --release -p metal-bench --bin table2_setup`
+
+use metal_bench::{csv_row, HarnessArgs};
+use metal_workloads::Workload;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Table 2: workload setup at the chosen scale");
+    csv_row([
+        "workload",
+        "indexes",
+        "depth",
+        "index_blocks",
+        "walks",
+        "pattern",
+        "tiles",
+    ]);
+    for w in Workload::all() {
+        let built = w.build(args.scale);
+        let exp = built.experiment();
+        let pattern = format!("{:?}", built.descriptors[0])
+            .split('(')
+            .next()
+            .unwrap_or("?")
+            .to_string();
+        csv_row([
+            w.name().to_string(),
+            built.indexes.len().to_string(),
+            exp.max_depth().to_string(),
+            exp.total_index_blocks().to_string(),
+            built.requests.len().to_string(),
+            pattern,
+            built.tiles.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Table 3 — Evaluation summary: the paper's headline ratios.
+//!
+//! Geometric means across the workload suite of METAL's speedup and DRAM
+//! energy savings against each baseline, plus the IX-cache-only and
+//! pattern contributions. Paper numbers for comparison:
+//!
+//! | question                     | paper                          |
+//! |------------------------------|--------------------------------|
+//! | speedup                      | 7.8× stream, 4.1× addr, 2.4× X |
+//! | DRAM energy                  | 1.9× stream, 1.7× addr, 1.6× X |
+//! | IX-cache alone               | 5.3× stream, 2.8× addr, 1.6× X |
+//! | patterns over METAL-IX       | 1.6–3.7×                       |
+//!
+//! Run: `cargo run --release -p metal-bench --bin table3_summary`
+
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_workloads::Workload;
+
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-9).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut speed_stream = Vec::new();
+    let mut speed_addr = Vec::new();
+    let mut speed_x = Vec::new();
+    let mut ix_stream = Vec::new();
+    let mut pat_over_ix = Vec::new();
+    let mut dram_stream = Vec::new();
+    let mut dram_addr = Vec::new();
+    let mut dram_x = Vec::new();
+
+    for w in Workload::all() {
+        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let cyc = |i: usize| reports[i].1.stats.exec_cycles.get().max(1) as f64;
+        let dram = |i: usize| reports[i].1.stats.dram_energy_fj.max(1) as f64;
+        // Order: stream, address, fa-opt, x-cache, metal-ix, metal.
+        speed_stream.push(cyc(0) / cyc(5));
+        speed_addr.push(cyc(1) / cyc(5));
+        speed_x.push(cyc(3) / cyc(5));
+        ix_stream.push(cyc(0) / cyc(4));
+        pat_over_ix.push(cyc(4) / cyc(5));
+        dram_stream.push(dram(0) / dram(5));
+        dram_addr.push(dram(1) / dram(5));
+        dram_x.push(dram(3) / dram(5));
+    }
+
+    println!("# Table 3: headline ratios (geometric means over the suite)");
+    csv_row(["metric", "measured", "paper"]);
+    csv_row(["speedup_vs_stream", &f3(geomean(&speed_stream)), "7.8"]);
+    csv_row(["speedup_vs_address", &f3(geomean(&speed_addr)), "4.1"]);
+    csv_row(["speedup_vs_xcache", &f3(geomean(&speed_x)), "2.4"]);
+    csv_row(["ixcache_only_vs_stream", &f3(geomean(&ix_stream)), "5.3"]);
+    csv_row(["patterns_over_metal_ix", &f3(geomean(&pat_over_ix)), "1.6-3.7"]);
+    csv_row(["dram_energy_vs_stream", &f3(geomean(&dram_stream)), "1.9"]);
+    csv_row(["dram_energy_vs_address", &f3(geomean(&dram_addr)), "1.7"]);
+    csv_row(["dram_energy_vs_xcache", &f3(geomean(&dram_x)), "1.6"]);
+}

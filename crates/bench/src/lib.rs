@@ -1,0 +1,204 @@
+//! # metal-bench — harness utilities for regenerating the paper's figures
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's experiment index); this library
+//! holds what they share: command-line scale selection, the
+//! workload × design sweep, and CSV output.
+//!
+//! Output convention: every binary prints a CSV with a header row to
+//! stdout, prefixed by `#`-comment lines describing the experiment and
+//! the paper's expectation, so the harness output is both human-checkable
+//! and machine-parsable.
+
+use metal_core::models::DesignSpec;
+use metal_core::runner::{run_design, RunConfig, RunReport};
+use metal_core::IxConfig;
+use metal_workloads::{BuiltWorkload, Scale, Workload};
+
+/// Command-line arguments shared by all harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Dataset/run scale.
+    pub scale: Scale,
+    /// Cache capacity in bytes for every design (paper default: 64 kB).
+    pub cache_bytes: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: Scale::bench(),
+            cache_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`:
+    ///
+    /// - `--scale ci|bench|paper`
+    /// - `--keys N`, `--walks N`, `--depth N`, `--seed N`
+    /// - `--cache-kb N`
+    ///
+    /// Unknown flags are ignored so figure-specific binaries can add
+    /// their own.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().unwrap_or_default();
+                    out.scale = match v.as_str() {
+                        "ci" => Scale::ci(),
+                        "bench" => Scale::bench(),
+                        "paper" => Scale::paper(),
+                        other => panic!("unknown scale '{other}' (ci|bench|paper)"),
+                    };
+                }
+                "--keys" => out.scale.keys = next_u64(&mut it, "--keys"),
+                "--walks" => out.scale.walks = next_u64(&mut it, "--walks"),
+                "--depth" => out.scale.depth = next_u64(&mut it, "--depth") as u8,
+                "--seed" => out.scale.seed = next_u64(&mut it, "--seed"),
+                "--cache-kb" => {
+                    out.cache_bytes = next_u64(&mut it, "--cache-kb") as usize * 1024
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+fn next_u64(it: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
+}
+
+/// The set of designs most figures compare, sized to `cache_bytes` and
+/// configured with the workload's Table 2 descriptors.
+pub fn figure_designs(built: &BuiltWorkload, cache_bytes: usize) -> Vec<(String, DesignSpec)> {
+    let entries = (cache_bytes / 64).max(16);
+    let ix = IxConfig::with_capacity_bytes(cache_bytes);
+    vec![
+        ("stream".into(), DesignSpec::Stream),
+        (
+            "address".into(),
+            DesignSpec::Address { entries, ways: 16 },
+        ),
+        ("fa-opt".into(), DesignSpec::FaOpt { entries }),
+        (
+            "x-cache".into(),
+            DesignSpec::XCache { entries, ways: 16 },
+        ),
+        ("metal-ix".into(), DesignSpec::MetalIx { ix }),
+        (
+            "metal".into(),
+            DesignSpec::Metal {
+                ix,
+                descriptors: built.descriptors.clone(),
+                tune: true,
+                batch_walks: built.batch_walks,
+            },
+        ),
+    ]
+}
+
+/// Runs one workload under all figure designs.
+pub fn run_workload(
+    workload: Workload,
+    scale: Scale,
+    cache_bytes: usize,
+) -> Vec<(String, RunReport)> {
+    let built = workload.build(scale);
+    let exp = built.experiment();
+    let cfg = RunConfig::default().with_lanes(built.tiles);
+    figure_designs(&built, cache_bytes)
+        .into_iter()
+        .map(|(name, spec)| {
+            let report = run_design(&spec, &exp, &cfg);
+            (name, report)
+        })
+        .collect()
+}
+
+/// Runs one workload under one design.
+pub fn run_one(
+    workload: Workload,
+    scale: Scale,
+    spec: &DesignSpec,
+    lanes_override: Option<usize>,
+) -> RunReport {
+    let built = workload.build(scale);
+    let exp = built.experiment();
+    let cfg = RunConfig::default().with_lanes(lanes_override.unwrap_or(built.tiles));
+    run_design(spec, &exp, &cfg)
+}
+
+/// Prints a CSV row, comma-separated, no trailing comma.
+pub fn csv_row<S: AsRef<str>>(cells: impl IntoIterator<Item = S>) {
+    let row: Vec<String> = cells.into_iter().map(|s| s.as_ref().to_string()).collect();
+    println!("{}", row.join(","));
+}
+
+/// Formats a float to three significant decimals for CSV cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> HarnessArgs {
+        HarnessArgs::parse_from(s.split_whitespace().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args("");
+        assert_eq!(a.scale, Scale::bench());
+        assert_eq!(a.cache_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn scale_presets() {
+        assert_eq!(args("--scale ci").scale, Scale::ci());
+        assert_eq!(args("--scale paper").scale, Scale::paper());
+    }
+
+    #[test]
+    fn numeric_overrides() {
+        let a = args("--scale ci --keys 1000 --walks 500 --depth 6 --seed 3 --cache-kb 32");
+        assert_eq!(a.scale.keys, 1000);
+        assert_eq!(a.scale.walks, 500);
+        assert_eq!(a.scale.depth, 6);
+        assert_eq!(a.scale.seed, 3);
+        assert_eq!(a.cache_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn unknown_flags_ignored() {
+        let a = args("--frobnicate 7 --keys 10");
+        assert_eq!(a.scale.keys, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn bad_scale_rejected() {
+        let _ = args("--scale huge");
+    }
+
+    #[test]
+    fn run_one_smoke() {
+        let scale = Scale::ci().with_keys(2000).with_walks(300);
+        let r = run_one(Workload::Where, scale, &DesignSpec::Stream, None);
+        assert_eq!(r.stats.walks, 300);
+    }
+}

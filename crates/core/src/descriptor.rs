@@ -1,0 +1,301 @@
+//! Cache descriptors: the explicit insert/bypass interface (§4).
+//!
+//! A descriptor is "a pragma or hint that METAL uses to express reuse
+//! patterns to the IX-cache": for every node a walker touches, the pattern
+//! controller asks the active descriptor whether to insert it or bypass
+//! the cache entirely. Descriptors express policy on *affine* index
+//! features (levels, ranges) rather than the non-affine addresses walks
+//! actually chase.
+//!
+//! The three generalized patterns from the paper, plus composition:
+//!
+//! - [`NodeDescriptor`] (§4.1, SpMM; §4.4, sorted sets) — target one node
+//!   class (typically leaves) and pin entries for a workload-supplied
+//!   *lifetime* (SpMM pins a column for its non-zero count).
+//! - [`LevelDescriptor`] (§4.2, database scans) — cache a band of tree
+//!   levels `[upper, lower]`; everything above is redundant, everything
+//!   below uncommon.
+//! - [`BranchDescriptor`] (§4.3, spatial) — cache sub-branches around a
+//!   pivot key out to a depth, following clustered key windows.
+//! - [`Descriptor::Or`] — union of two patterns (Table 2's "Node+Branch").
+
+use metal_index::walk::NodeInfo;
+
+/// Pattern-controller verdict for one walked node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Insert into the IX-cache, pinned for `life` hits (0 = unpinned).
+    Insert {
+        /// Number of hits the entry is pinned for.
+        life: u32,
+    },
+    /// Do not cache this node.
+    Bypass,
+}
+
+/// Per-walk context available to admission decisions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitCtx {
+    /// Workload-supplied reuse estimate for this walk's target (e.g. the
+    /// non-zero count of the SpMM column being fetched).
+    pub life_hint: u32,
+}
+
+/// Node pattern: target exactly one level (usually the leaves), pinning
+/// entries for the workload's lifetime hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDescriptor {
+    /// The level to cache (0 = leaves).
+    pub level: u8,
+    /// Whether to pin inserted entries for the walk's life hint.
+    pub use_life_hint: bool,
+}
+
+impl NodeDescriptor {
+    /// Leaf-targeting node descriptor with lifetime pinning — the SpMM
+    /// configuration from §4.1.
+    pub fn leaves() -> Self {
+        NodeDescriptor {
+            level: 0,
+            use_life_hint: true,
+        }
+    }
+}
+
+/// Level pattern: cache the band of levels `[lower, upper]` (inclusive,
+/// leaf = 0). Levels above `upper` are redundant once the band hits;
+/// levels below `lower` are uncommon across walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelDescriptor {
+    /// Deepest cached level (closer to leaves).
+    pub lower: u8,
+    /// Shallowest cached level (closer to root).
+    pub upper: u8,
+}
+
+impl LevelDescriptor {
+    /// Creates a band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`.
+    pub fn band(lower: u8, upper: u8) -> Self {
+        assert!(lower <= upper, "band lower ({lower}) must be ≤ upper ({upper})");
+        LevelDescriptor { lower, upper }
+    }
+
+    /// Number of levels in the band.
+    pub fn width(&self) -> u8 {
+        self.upper - self.lower + 1
+    }
+}
+
+/// Branch pattern: cache nodes of level ≤ `depth` whose range overlaps the
+/// window `[pivot − halfwidth, pivot + halfwidth]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchDescriptor {
+    /// Centre of the hot key window (the cluster median, §4.3).
+    pub pivot: u64,
+    /// Half-width of the window to the left and right of the pivot.
+    pub halfwidth: u64,
+    /// Deepest level band cached below the pivot's sub-branch root.
+    pub depth: u8,
+}
+
+impl BranchDescriptor {
+    /// The key window currently targeted.
+    pub fn window(&self) -> (u64, u64) {
+        (
+            self.pivot.saturating_sub(self.halfwidth),
+            self.pivot.saturating_add(self.halfwidth),
+        )
+    }
+}
+
+/// A reuse-pattern descriptor, possibly composed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Descriptor {
+    /// Greedy: insert every walked node (METAL-IX's hardwired behaviour).
+    All,
+    /// Insert nothing (pure bypass; useful as an ablation).
+    None,
+    /// Node pattern.
+    Node(NodeDescriptor),
+    /// Level-band pattern.
+    Level(LevelDescriptor),
+    /// Branch pattern.
+    Branch(BranchDescriptor),
+    /// Union: insert if either side admits (life = max of the two).
+    Or(Box<Descriptor>, Box<Descriptor>),
+}
+
+impl Descriptor {
+    /// Convenience constructor for `Or`.
+    pub fn or(a: Descriptor, b: Descriptor) -> Descriptor {
+        Descriptor::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Decides whether `info` should be inserted into the IX-cache.
+    pub fn admit(&self, info: &NodeInfo, ctx: &AdmitCtx) -> Admit {
+        match self {
+            Descriptor::All => Admit::Insert { life: 0 },
+            Descriptor::None => Admit::Bypass,
+            Descriptor::Node(d) => {
+                if info.level == d.level {
+                    Admit::Insert {
+                        life: if d.use_life_hint { ctx.life_hint } else { 0 },
+                    }
+                } else {
+                    Admit::Bypass
+                }
+            }
+            Descriptor::Level(d) => {
+                if d.lower <= info.level && info.level <= d.upper {
+                    Admit::Insert { life: 0 }
+                } else {
+                    Admit::Bypass
+                }
+            }
+            Descriptor::Branch(d) => {
+                let (lo, hi) = d.window();
+                if info.level <= d.depth && info.lo <= hi && lo <= info.hi {
+                    Admit::Insert { life: 0 }
+                } else {
+                    Admit::Bypass
+                }
+            }
+            Descriptor::Or(a, b) => match (a.admit(info, ctx), b.admit(info, ctx)) {
+                (Admit::Insert { life: l1 }, Admit::Insert { life: l2 }) => {
+                    Admit::Insert { life: l1.max(l2) }
+                }
+                (ins @ Admit::Insert { .. }, _) | (_, ins @ Admit::Insert { .. }) => ins,
+                _ => Admit::Bypass,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_sim::types::Addr;
+
+    fn node(level: u8, lo: u64, hi: u64) -> NodeInfo {
+        NodeInfo {
+            addr: Addr::new(0),
+            bytes: 64,
+            level,
+            lo,
+            hi,
+            keys: 4,
+        }
+    }
+
+    #[test]
+    fn all_admits_everything() {
+        let d = Descriptor::All;
+        for l in 0..10 {
+            assert_eq!(
+                d.admit(&node(l, 0, 100), &AdmitCtx::default()),
+                Admit::Insert { life: 0 }
+            );
+        }
+    }
+
+    #[test]
+    fn none_bypasses_everything() {
+        let d = Descriptor::None;
+        assert_eq!(d.admit(&node(0, 0, 1), &AdmitCtx::default()), Admit::Bypass);
+    }
+
+    #[test]
+    fn node_descriptor_targets_one_level_with_life() {
+        let d = Descriptor::Node(NodeDescriptor::leaves());
+        let ctx = AdmitCtx { life_hint: 12 };
+        assert_eq!(d.admit(&node(0, 5, 9), &ctx), Admit::Insert { life: 12 });
+        assert_eq!(d.admit(&node(1, 5, 9), &ctx), Admit::Bypass);
+        assert_eq!(d.admit(&node(5, 5, 9), &ctx), Admit::Bypass);
+    }
+
+    #[test]
+    fn node_descriptor_without_life_hint() {
+        let d = Descriptor::Node(NodeDescriptor {
+            level: 2,
+            use_life_hint: false,
+        });
+        let ctx = AdmitCtx { life_hint: 99 };
+        assert_eq!(d.admit(&node(2, 0, 1), &ctx), Admit::Insert { life: 0 });
+    }
+
+    #[test]
+    fn level_band_admits_interval() {
+        let d = Descriptor::Level(LevelDescriptor::band(2, 4));
+        let ctx = AdmitCtx::default();
+        assert_eq!(d.admit(&node(1, 0, 9), &ctx), Admit::Bypass, "below band");
+        assert_eq!(d.admit(&node(2, 0, 9), &ctx), Admit::Insert { life: 0 });
+        assert_eq!(d.admit(&node(3, 0, 9), &ctx), Admit::Insert { life: 0 });
+        assert_eq!(d.admit(&node(4, 0, 9), &ctx), Admit::Insert { life: 0 });
+        assert_eq!(d.admit(&node(5, 0, 9), &ctx), Admit::Bypass, "above band");
+    }
+
+    #[test]
+    fn branch_descriptor_windows_keys_and_depth() {
+        let d = Descriptor::Branch(BranchDescriptor {
+            pivot: 100,
+            halfwidth: 20,
+            depth: 2,
+        });
+        let ctx = AdmitCtx::default();
+        // Overlapping range at admissible depth.
+        assert_eq!(d.admit(&node(1, 90, 95), &ctx), Admit::Insert { life: 0 });
+        // Too deep in the tree (level above the depth bound).
+        assert_eq!(d.admit(&node(3, 90, 95), &ctx), Admit::Bypass);
+        // Range outside the window.
+        assert_eq!(d.admit(&node(1, 200, 300), &ctx), Admit::Bypass);
+        // Range straddling the window edge still overlaps.
+        assert_eq!(d.admit(&node(0, 115, 140), &ctx), Admit::Insert { life: 0 });
+    }
+
+    #[test]
+    fn branch_window_saturates_at_zero() {
+        let d = BranchDescriptor {
+            pivot: 5,
+            halfwidth: 20,
+            depth: 1,
+        };
+        assert_eq!(d.window(), (0, 25));
+    }
+
+    #[test]
+    fn or_combines_with_max_life() {
+        let d = Descriptor::or(
+            Descriptor::Node(NodeDescriptor::leaves()),
+            Descriptor::Branch(BranchDescriptor {
+                pivot: 50,
+                halfwidth: 10,
+                depth: 3,
+            }),
+        );
+        let ctx = AdmitCtx { life_hint: 7 };
+        // Leaf inside the branch window: both admit, life = max(7, 0).
+        assert_eq!(d.admit(&node(0, 45, 55), &ctx), Admit::Insert { life: 7 });
+        // Leaf outside the window: node side admits.
+        assert_eq!(d.admit(&node(0, 500, 600), &ctx), Admit::Insert { life: 7 });
+        // Level-2 node inside the window: branch side admits.
+        assert_eq!(d.admit(&node(2, 45, 55), &ctx), Admit::Insert { life: 0 });
+        // Level-5 node outside: bypass.
+        assert_eq!(d.admit(&node(5, 500, 600), &ctx), Admit::Bypass);
+    }
+
+    #[test]
+    fn band_width() {
+        assert_eq!(LevelDescriptor::band(2, 4).width(), 3);
+        assert_eq!(LevelDescriptor::band(3, 3).width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≤")]
+    fn inverted_band_rejected() {
+        let _ = LevelDescriptor::band(5, 2);
+    }
+}

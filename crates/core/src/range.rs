@@ -1,0 +1,192 @@
+//! Key-range algebra for IX-cache tags.
+//!
+//! The IX-cache "inverts the organization of an address-cache, and the
+//! `[Lo, Hi]` range in the index node constitutes the tag" (§1). This
+//! module provides the inclusive range type used everywhere a tag is
+//! matched, split (Fig. 5 case 2) or coalesced (case 3).
+
+use metal_sim::types::Key;
+use std::fmt;
+
+/// An inclusive key range `[lo, hi]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyRange {
+    /// Smallest key covered.
+    pub lo: Key,
+    /// Largest key covered (inclusive).
+    pub hi: Key,
+}
+
+impl KeyRange {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: Key, hi: Key) -> Self {
+        assert!(lo <= hi, "range lo ({lo}) must not exceed hi ({hi})");
+        KeyRange { lo, hi }
+    }
+
+    /// The range covering a single key.
+    pub fn point(key: Key) -> Self {
+        KeyRange { lo: key, hi: key }
+    }
+
+    /// Whether `key` falls inside the range (`lo ≤ key ≤ hi`).
+    pub fn covers(&self, key: Key) -> bool {
+        self.lo <= key && key <= self.hi
+    }
+
+    /// Whether the two ranges share any key.
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains(&self, other: &KeyRange) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Number of keys covered (saturating).
+    pub fn width(&self) -> u64 {
+        (self.hi - self.lo).saturating_add(1)
+    }
+
+    /// Smallest range covering both inputs (used when coalescing sibling
+    /// nodes into one super-range block, Fig. 5 case 3).
+    pub fn union(&self, other: &KeyRange) -> KeyRange {
+        KeyRange {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Splits the range into `n` near-equal contiguous sub-ranges (used
+    /// when a node is wider than a cache block, Fig. 5 case 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn split(&self, n: usize) -> Vec<KeyRange> {
+        assert!(n > 0, "cannot split into zero pieces");
+        let w = self.width();
+        if n as u64 >= w {
+            // Degenerate: at most one key per piece.
+            return (self.lo..=self.hi).map(KeyRange::point).collect();
+        }
+        let step = w / n as u64;
+        let mut out = Vec::with_capacity(n);
+        let mut lo = self.lo;
+        for i in 0..n {
+            let hi = if i == n - 1 {
+                self.hi
+            } else {
+                lo + step - 1
+            };
+            out.push(KeyRange::new(lo, hi));
+            lo = hi + 1;
+        }
+        out
+    }
+
+    /// The middle key of the range.
+    pub fn midpoint(&self) -> Key {
+        self.lo + (self.hi - self.lo) / 2
+    }
+}
+
+impl fmt::Debug for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}-{}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_boundaries() {
+        let r = KeyRange::new(10, 20);
+        assert!(r.covers(10));
+        assert!(r.covers(20));
+        assert!(!r.covers(9));
+        assert!(!r.covers(21));
+        assert_eq!(r.width(), 11);
+    }
+
+    #[test]
+    fn point_range() {
+        let r = KeyRange::point(5);
+        assert!(r.covers(5));
+        assert_eq!(r.width(), 1);
+        assert_eq!(r.midpoint(), 5);
+    }
+
+    #[test]
+    fn overlap_and_containment() {
+        let a = KeyRange::new(0, 10);
+        let b = KeyRange::new(5, 15);
+        let c = KeyRange::new(11, 20);
+        let d = KeyRange::new(2, 8);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(a.contains(&d));
+        assert!(!d.contains(&a));
+        assert!(a.contains(&a));
+    }
+
+    #[test]
+    fn union_spans() {
+        let a = KeyRange::new(7, 8);
+        let b = KeyRange::new(9, 12);
+        assert_eq!(a.union(&b), KeyRange::new(7, 12));
+        // Non-adjacent union still spans the gap (super-range semantics).
+        let c = KeyRange::new(20, 25);
+        assert_eq!(a.union(&c), KeyRange::new(7, 25));
+    }
+
+    #[test]
+    fn split_partitions_exactly() {
+        let r = KeyRange::new(0, 99);
+        let parts = r.split(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].lo, 0);
+        assert_eq!(parts.last().unwrap().hi, 99);
+        // Contiguous, non-overlapping.
+        for w in parts.windows(2) {
+            assert_eq!(w[0].hi + 1, w[1].lo);
+        }
+        // Every key covered by exactly one part.
+        let total: u64 = parts.iter().map(|p| p.width()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn split_degenerate_small_range() {
+        let r = KeyRange::new(5, 7);
+        let parts = r.split(10);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.width() == 1));
+    }
+
+    #[test]
+    fn midpoint_centered() {
+        assert_eq!(KeyRange::new(10, 20).midpoint(), 15);
+        assert_eq!(KeyRange::new(0, 1).midpoint(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_range_rejected() {
+        let _ = KeyRange::new(5, 4);
+    }
+}

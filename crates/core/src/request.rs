@@ -1,0 +1,93 @@
+//! Walk requests: the unit of work a DSA issues against an index.
+//!
+//! DSA front-ends (`metal-dsa`) lower their kernels into streams of
+//! [`WalkRequest`]s — "the compute tiles interface with the data-structure
+//! using keys" (§3). A request names the index to walk (JOIN and the
+//! R-tree walk two), the key, how much compute the walk feeds, and
+//! range-scan / lifetime metadata the patterns consume.
+
+use metal_sim::types::Key;
+
+/// One index walk plus its attached work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkRequest {
+    /// Which of the experiment's indexes to walk.
+    pub index: u8,
+    /// The probe key.
+    pub key: Key,
+    /// Reuse estimate for the walked node (pins node-pattern entries;
+    /// e.g. SpMM's non-zeros per column).
+    pub life_hint: u32,
+    /// Compute operations this walk feeds (Table 2's Ops/Compute share).
+    pub compute_ops: u64,
+    /// Whether to fetch the leaf's data payload after the walk.
+    pub fetch_value: bool,
+    /// Additional leaf-chain hops after the walk (range scans).
+    pub scan_leaves: u32,
+}
+
+impl WalkRequest {
+    /// A bare point lookup on index 0.
+    pub fn lookup(key: Key) -> Self {
+        WalkRequest {
+            index: 0,
+            key,
+            life_hint: 0,
+            compute_ops: 0,
+            fetch_value: true,
+            scan_leaves: 0,
+        }
+    }
+
+    /// Builder-style index selection.
+    pub fn on_index(mut self, index: u8) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Builder-style compute attachment.
+    pub fn with_compute(mut self, ops: u64) -> Self {
+        self.compute_ops = ops;
+        self
+    }
+
+    /// Builder-style lifetime hint.
+    pub fn with_life(mut self, life: u32) -> Self {
+        self.life_hint = life;
+        self
+    }
+
+    /// Builder-style range-scan extension.
+    pub fn with_scan(mut self, leaves: u32) -> Self {
+        self.scan_leaves = leaves;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let r = WalkRequest::lookup(42)
+            .on_index(1)
+            .with_compute(100)
+            .with_life(7)
+            .with_scan(3);
+        assert_eq!(r.index, 1);
+        assert_eq!(r.key, 42);
+        assert_eq!(r.compute_ops, 100);
+        assert_eq!(r.life_hint, 7);
+        assert_eq!(r.scan_leaves, 3);
+        assert!(r.fetch_value);
+    }
+
+    #[test]
+    fn default_lookup_shape() {
+        let r = WalkRequest::lookup(5);
+        assert_eq!(r.index, 0);
+        assert_eq!(r.scan_leaves, 0);
+        assert_eq!(r.compute_ops, 0);
+    }
+}

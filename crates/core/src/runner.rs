@@ -1,0 +1,365 @@
+//! Experiment runner: executes one request stream under each cache design
+//! and produces comparable reports.
+//!
+//! This is the software analogue of the paper's evaluation harness: the
+//! same walks run through Stream / Address / FA-OPT / X-Cache / METAL-IX /
+//! METAL with identical DRAM and tile models, so every difference in the
+//! report is attributable to the cache organization and policy.
+
+use crate::descriptor::Descriptor;
+use crate::ixcache::IxConfig;
+use crate::models::{DesignModel, DesignSpec, Experiment};
+use metal_sim::engine::Engine;
+use metal_sim::stats::RunStats;
+use metal_sim::SimConfig;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Simulator parameters (DRAM, latencies, lanes, energy).
+    pub sim: SimConfig,
+    /// Walks per working-set measurement window (Fig. 16).
+    pub ws_window: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            sim: SimConfig::default(),
+            ws_window: 1024,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Overrides the lane (tile) count.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.sim = self.sim.with_lanes(lanes);
+        self
+    }
+}
+
+/// The outcome of running one design over one experiment.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The design's label ("stream", "address", …).
+    pub design: String,
+    /// Merged statistics (timing, energy, hit rates, working set).
+    pub stats: RunStats,
+    /// Final IX-cache occupancy per index level (Fig. 21); empty for
+    /// designs without an IX-cache.
+    pub occupancy_by_level: Vec<usize>,
+    /// Tuned band history per index (Fig. 22); empty unless tuning ran.
+    pub band_history: Vec<Vec<(u8, u8)>>,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to `baseline` (ratio of exec times).
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        let own = self.stats.exec_cycles.get().max(1) as f64;
+        baseline.stats.exec_cycles.get() as f64 / own
+    }
+
+    /// DRAM energy relative to `baseline` (lower is better).
+    pub fn dram_energy_vs(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.stats.dram_energy_fj.max(1) as f64;
+        self.stats.dram_energy_fj as f64 / base
+    }
+}
+
+/// Runs one design over the experiment.
+pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
+    let mut model = DesignModel::new(spec, exp, cfg.sim, cfg.ws_window);
+    let mut engine = Engine::new(cfg.sim);
+    let engine_report = engine.run(&mut model);
+    model.finalize();
+
+    let mut stats = model.stats.clone();
+    stats.exec_cycles = engine_report.exec_cycles;
+    stats.walk_latency = engine_report.walk_latency;
+    stats.dram_energy_fj = engine.dram().energy_fj();
+    stats.dram_bytes = engine.dram().bytes();
+    stats.distinct_blocks = engine.dram().working_set().distinct_blocks();
+
+    let max_depth = exp.max_depth();
+    let occupancy_by_level = model.occupancy_by_level(max_depth).unwrap_or_default();
+    let band_history = model
+        .tuners()
+        .map(|ts| ts.iter().map(|t| t.history().to_vec()).collect())
+        .unwrap_or_default();
+
+    RunReport {
+        design: spec.label().to_string(),
+        stats,
+        occupancy_by_level,
+        band_history,
+    }
+}
+
+/// The standard comparison set the paper's figures iterate over.
+///
+/// `cache_bytes` sizes every design's cache identically (64 kB default in
+/// the paper); `descriptors` configures METAL's per-index patterns;
+/// `batch_walks` sets the tuning batch.
+pub fn standard_designs(
+    cache_bytes: usize,
+    descriptors: Vec<Descriptor>,
+    batch_walks: u64,
+) -> Vec<DesignSpec> {
+    let entries = (cache_bytes / 64).max(16);
+    let ix = IxConfig::with_capacity_bytes(cache_bytes);
+    vec![
+        DesignSpec::Stream,
+        DesignSpec::Address { entries, ways: 16 },
+        DesignSpec::FaOpt { entries },
+        DesignSpec::XCache { entries, ways: 16 },
+        DesignSpec::MetalIx { ix },
+        DesignSpec::Metal {
+            ix,
+            descriptors: descriptors.clone(),
+            tune: false,
+            batch_walks,
+        },
+        DesignSpec::Metal {
+            ix,
+            descriptors,
+            tune: true,
+            batch_walks,
+        },
+    ]
+}
+
+/// Runs the full standard comparison, returning one report per design
+/// (the tuned METAL run is labelled `metal+tune`).
+pub fn run_comparison(
+    exp: &Experiment<'_>,
+    cfg: &RunConfig,
+    cache_bytes: usize,
+    descriptors: Vec<Descriptor>,
+    batch_walks: u64,
+) -> Vec<RunReport> {
+    let designs = standard_designs(cache_bytes, descriptors, batch_walks);
+    let mut out = Vec::with_capacity(designs.len());
+    let mut metal_seen = false;
+    for spec in &designs {
+        let mut report = run_design(spec, exp, cfg);
+        if matches!(spec, DesignSpec::Metal { tune: true, .. }) && metal_seen {
+            report.design = "metal+tune".to_string();
+        }
+        if matches!(spec, DesignSpec::Metal { tune: false, .. }) {
+            metal_seen = true;
+        }
+        out.push(report);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::NodeDescriptor;
+    use crate::request::WalkRequest;
+    use metal_index::bptree::BPlusTree;
+    use metal_sim::types::{Addr, Key};
+
+    fn tree() -> BPlusTree {
+        let keys: Vec<Key> = (0..5000).collect();
+        BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16)
+    }
+
+    fn zipfish_requests(n: usize) -> Vec<WalkRequest> {
+        // Deterministic skewed stream: 70% of walks over 5% of keys.
+        (0..n)
+            .map(|i| {
+                let key = if i % 10 < 7 {
+                    ((i * 37) % 250) as Key
+                } else {
+                    ((i * 1009) % 5000) as Key
+                };
+                WalkRequest::lookup(key).with_compute(8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_is_the_slowest_design() {
+        let t = tree();
+        let requests = zipfish_requests(2000);
+        let exp = Experiment::single(&t, &requests);
+        let cfg = RunConfig::default();
+        let stream = run_design(&DesignSpec::Stream, &exp, &cfg);
+        let metal = run_design(
+            &DesignSpec::MetalIx {
+                ix: IxConfig::kb64(),
+            },
+            &exp,
+            &cfg,
+        );
+        assert!(
+            metal.speedup_vs(&stream) > 1.2,
+            "METAL-IX should beat streaming, got {:.2}x",
+            metal.speedup_vs(&stream)
+        );
+    }
+
+    #[test]
+    fn metal_beats_address_cache_on_skewed_walks() {
+        // The paper's regime: index far larger than the cache (50 k keys →
+        // ~16 k nodes vs 1024 cache entries), bursty short-term key reuse
+        // (SpMM-style), and 64 B records so data fetches pollute the
+        // unified address cache without spatial sharing.
+        let keys: Vec<Key> = (0..50_000).collect();
+        let t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 64);
+        let requests: Vec<WalkRequest> = (0..6000)
+            .map(|i| {
+                // Bursts of 64 walks to the same key (one per row of an
+                // SpMM row-block); the column key drifts between bursts.
+                let burst = i / 64;
+                let key = ((burst * 4093) % 50_000) as Key;
+                WalkRequest::lookup(key).with_compute(8).with_life(64)
+            })
+            .collect();
+        let exp = Experiment::single(&t, &requests);
+        let cfg = RunConfig::default();
+        let addr = run_design(
+            &DesignSpec::Address {
+                entries: 1024,
+                ways: 16,
+            },
+            &exp,
+            &cfg,
+        );
+        let metal = run_design(
+            &DesignSpec::Metal {
+                ix: IxConfig::kb64(),
+                descriptors: vec![Descriptor::Node(NodeDescriptor::leaves())],
+                tune: false,
+                batch_walks: 1000,
+            },
+            &exp,
+            &cfg,
+        );
+        assert!(
+            metal.speedup_vs(&addr) > 1.0,
+            "METAL should beat the address cache, got {:.2}x",
+            metal.speedup_vs(&addr)
+        );
+        assert!(
+            metal.stats.cache_energy_fj < addr.stats.cache_energy_fj,
+            "one probe per walk must beat a probe per level: {} vs {}",
+            metal.stats.cache_energy_fj,
+            addr.stats.cache_energy_fj
+        );
+        assert!(
+            metal.stats.probes < addr.stats.probes / 4,
+            "probe-count reduction is the §5.7 claim"
+        );
+    }
+
+    #[test]
+    fn run_comparison_produces_all_designs() {
+        let t = tree();
+        let requests = zipfish_requests(500);
+        let exp = Experiment::single(&t, &requests);
+        let reports = run_comparison(
+            &exp,
+            &RunConfig::default(),
+            64 * 1024,
+            vec![Descriptor::Node(NodeDescriptor::leaves())],
+            250,
+        );
+        let labels: Vec<&str> = reports.iter().map(|r| r.design.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "stream", "address", "fa-opt", "x-cache", "metal-ix", "metal", "metal+tune"
+            ]
+        );
+        for r in &reports {
+            assert_eq!(r.stats.walks, 500, "{} completed all walks", r.design);
+            assert!(r.stats.exec_cycles.get() > 0);
+        }
+    }
+
+    #[test]
+    fn tuned_metal_reports_band_history() {
+        let t = tree();
+        let requests = zipfish_requests(1000);
+        let exp = Experiment::single(&t, &requests);
+        let report = run_design(
+            &DesignSpec::Metal {
+                ix: IxConfig::kb64(),
+                descriptors: vec![Descriptor::Level(
+                    crate::descriptor::LevelDescriptor::band(2, 4),
+                )],
+                tune: true,
+                batch_walks: 100,
+            },
+            &exp,
+            &RunConfig::default(),
+        );
+        assert_eq!(report.band_history.len(), 1, "one index, one history");
+        assert_eq!(report.band_history[0].len(), 10, "1000 walks / 100 batch");
+    }
+
+    #[test]
+    fn private_slices_run_and_lose_to_shared() {
+        // All lanes walk the same hot region: a shared cache warms once
+        // and serves everyone; private slices each warm separately and
+        // have 1/lanes the reach (the paper's supplemental conclusion).
+        let t = tree();
+        let requests = zipfish_requests(3000);
+        let exp = Experiment::single(&t, &requests);
+        let cfg = RunConfig::default().with_lanes(16);
+        let shared = run_design(
+            &DesignSpec::Metal {
+                ix: IxConfig::kb64(),
+                descriptors: vec![Descriptor::All],
+                tune: false,
+                batch_walks: 1000,
+            },
+            &exp,
+            &cfg,
+        );
+        let private = run_design(
+            &DesignSpec::MetalPrivate {
+                ix: IxConfig::kb64(),
+                descriptors: vec![Descriptor::All],
+            },
+            &exp,
+            &cfg,
+        );
+        assert_eq!(private.design, "metal-private");
+        assert_eq!(private.stats.walks, 3000);
+        assert!(
+            shared.stats.exec_cycles <= private.stats.exec_cycles,
+            "shared {} should not lose to private {}",
+            shared.stats.exec_cycles,
+            private.stats.exec_cycles
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let t = tree();
+        let requests = zipfish_requests(600);
+        let exp = Experiment::single(&t, &requests);
+        let cfg = RunConfig::default();
+        let run = || {
+            let r = run_design(
+                &DesignSpec::MetalIx {
+                    ix: IxConfig::kb64(),
+                },
+                &exp,
+                &cfg,
+            );
+            (
+                r.stats.exec_cycles,
+                r.stats.misses,
+                r.stats.dram_energy_fj,
+                r.stats.levels_skipped,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

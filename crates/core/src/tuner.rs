@@ -1,0 +1,409 @@
+//! Dynamic parameter tuning for descriptors (Fig. 20's "Params" factor).
+//!
+//! The pattern stays fixed for a run, "but parameters are updated after a
+//! batch of 1 million walks" (§5). The tuner tracks per-level utility —
+//! defined by the paper as `#total-accesses / #nodes-touched` (§4.2) — and
+//! per-batch key statistics, and redraws:
+//!
+//! - the level band `[start, end]`: toward reach (`start − δ`) when utility
+//!   is low, toward short-circuiting (`end + δ`) when it is high;
+//! - the branch pivot/half-width/depth from a moving window of recent keys
+//!   (median pivot, spread-scaled half-width; §4.3);
+//! - the node target level, nudged up for reach when the hit rate decays.
+//!
+//! [`Tuner::history`] records the band chosen for every batch, which is
+//! exactly the series Fig. 22 plots.
+
+use crate::descriptor::{BranchDescriptor, Descriptor, LevelDescriptor};
+use metal_sim::types::Key;
+use std::collections::HashSet;
+
+/// Per-batch observation and retuning of one descriptor's parameters.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    /// Walks per tuning batch (the paper uses 1 M; scaled runs use less).
+    batch_walks: u64,
+    walks_seen: u64,
+    /// Per-level node-touch counters within the current batch.
+    accesses: Vec<u64>,
+    nodes_touched: Vec<HashSet<u32>>,
+    /// Cache entries the distinct nodes of each level would consume
+    /// (multi-block nodes split across several IX-cache entries).
+    entry_cost: Vec<u64>,
+    /// Probe outcomes within the batch.
+    probes: u64,
+    hits: u64,
+    /// Recent keys (ring) for branch pivot/median estimation.
+    key_window: Vec<Key>,
+    key_cursor: usize,
+    /// IX-cache entry budget, to size bands/branches.
+    capacity_entries: usize,
+    /// Band history, one element per completed batch (Fig. 22 series).
+    history: Vec<(u8, u8)>,
+    /// Number of completed batches.
+    batches: u64,
+}
+
+impl Tuner {
+    /// Creates a tuner for an index of `depth` levels, retuning every
+    /// `batch_walks` walks against a cache of `capacity_entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_walks` is 0.
+    pub fn new(depth: u8, batch_walks: u64, capacity_entries: usize) -> Self {
+        assert!(batch_walks > 0, "batch must contain at least one walk");
+        Tuner {
+            batch_walks,
+            walks_seen: 0,
+            accesses: vec![0; depth as usize + 1],
+            nodes_touched: vec![HashSet::new(); depth as usize + 1],
+            entry_cost: vec![0; depth as usize + 1],
+            probes: 0,
+            hits: 0,
+            key_window: Vec::with_capacity(256),
+            key_cursor: 0,
+            capacity_entries,
+            history: Vec::new(),
+            batches: 0,
+        }
+    }
+
+    /// Records one touched node (level + id + byte size) during a walk.
+    pub fn observe_node(&mut self, level: u8, node: u32, bytes: u64) {
+        let l = (level as usize).min(self.accesses.len() - 1);
+        self.accesses[l] += 1;
+        if self.nodes_touched[l].insert(node) {
+            self.entry_cost[l] += bytes.max(1).div_ceil(64);
+        }
+    }
+
+    /// Records one probe outcome.
+    pub fn observe_probe(&mut self, hit: bool) {
+        self.probes += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Records a walked key (for branch pivot estimation).
+    pub fn observe_key(&mut self, key: Key) {
+        if self.key_window.len() < 256 {
+            self.key_window.push(key);
+        } else {
+            self.key_window[self.key_cursor] = key;
+            self.key_cursor = (self.key_cursor + 1) % 256;
+        }
+    }
+
+    /// Marks one walk complete; retunes `desc` at batch boundaries.
+    /// Returns `true` if a retune happened.
+    pub fn walk_done(&mut self, desc: &mut Descriptor) -> bool {
+        self.walks_seen += 1;
+        if !self.walks_seen.is_multiple_of(self.batch_walks) {
+            return false;
+        }
+        self.retune(desc);
+        true
+    }
+
+    /// Per-level utility = accesses / distinct-nodes (0 when untouched).
+    pub fn level_utility(&self, level: u8) -> f64 {
+        let l = level as usize;
+        let n = self.nodes_touched[l].len();
+        if n == 0 {
+            0.0
+        } else {
+            self.accesses[l] as f64 / n as f64
+        }
+    }
+
+    /// Batch hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+
+    /// Band chosen at the end of each completed batch.
+    pub fn history(&self) -> &[(u8, u8)] {
+        &self.history
+    }
+
+    /// Number of completed tuning batches.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    fn retune(&mut self, desc: &mut Descriptor) {
+        self.batches += 1;
+        match desc {
+            Descriptor::Level(band) => {
+                let new = self.retune_level(*band);
+                self.history.push((new.lower, new.upper));
+                *band = new;
+            }
+            Descriptor::Branch(br) => {
+                let new = self.retune_branch(*br);
+                *br = new;
+                self.history.push((br.depth, br.depth));
+            }
+            Descriptor::Node(nd) => {
+                // Move the target one step toward the deepest level whose
+                // entry footprint fits the cache with slack; fall back to
+                // the reach heuristic when the batch saw no nodes.
+                let budget = (self.capacity_entries as u64 * 6) / 10;
+                let depth = self.accesses.len() - 1;
+                let observed: u64 = self.entry_cost.iter().sum();
+                if observed > 0 {
+                    let mut target = nd.level as usize;
+                    for l in 0..=depth {
+                        if self.entry_cost[l] > 0 && self.entry_cost[l] <= budget {
+                            target = l;
+                            break;
+                        }
+                    }
+                    match (nd.level as usize).cmp(&target) {
+                        std::cmp::Ordering::Less => nd.level += 1,
+                        std::cmp::Ordering::Greater => nd.level -= 1,
+                        std::cmp::Ordering::Equal => {}
+                    }
+                } else if self.hit_rate() < 0.2 && (nd.level as usize) < depth {
+                    nd.level += 1;
+                }
+                self.history.push((nd.level, nd.level));
+            }
+            Descriptor::Or(a, b) => {
+                // Tune both sides with the same observations.
+                self.batches -= 1; // retune() below re-increments
+                self.retune(a);
+                self.batches -= 1;
+                self.retune(b);
+            }
+            Descriptor::All | Descriptor::None => {
+                self.history.push((0, 0));
+            }
+        }
+        // Reset batch counters.
+        for a in &mut self.accesses {
+            *a = 0;
+        }
+        for s in &mut self.nodes_touched {
+            s.clear();
+        }
+        for c in &mut self.entry_cost {
+            *c = 0;
+        }
+        self.probes = 0;
+        self.hits = 0;
+    }
+
+    /// Chooses the deepest contiguous band whose *entry* footprint
+    /// (distinct nodes × blocks per node) fits the cache with churn slack,
+    /// then moves the current band one step toward it (±δ adjustment).
+    fn retune_level(&self, cur: LevelDescriptor) -> LevelDescriptor {
+        let depth = self.accesses.len() - 1;
+        // Leave 40% slack: split entries and refill churn both eat into
+        // the nominal capacity.
+        let budget = (self.capacity_entries as u64 * 6) / 10;
+        // Deepest admissible lower edge: the deepest level whose entry
+        // footprint alone fits the budget.
+        let mut target_lower = depth.saturating_sub(1);
+        for l in 0..depth {
+            if self.entry_cost[l] <= budget {
+                target_lower = l;
+                break;
+            }
+        }
+        // Extend the band upward while the cumulative footprint fits.
+        let mut target_upper = target_lower;
+        let mut footprint = self.entry_cost[target_lower];
+        while target_upper + 1 < depth {
+            let next = self.entry_cost[target_upper + 1];
+            if footprint + next > budget {
+                break;
+            }
+            footprint += next;
+            target_upper += 1;
+        }
+        // Move one step toward the target on each edge (±δ with δ = 1).
+        let step = |cur: u8, target: u8| -> u8 {
+            match cur.cmp(&target) {
+                std::cmp::Ordering::Less => cur + 1,
+                std::cmp::Ordering::Greater => cur - 1,
+                std::cmp::Ordering::Equal => cur,
+            }
+        };
+        let lower = step(cur.lower, target_lower as u8);
+        let mut upper = step(cur.upper, target_upper as u8);
+        if upper < lower {
+            upper = lower;
+        }
+        LevelDescriptor { lower, upper }
+    }
+
+    /// Pivot = median of the key window; half-width from the window's
+    /// central spread; depth widened while the hit rate holds.
+    fn retune_branch(&self, cur: BranchDescriptor) -> BranchDescriptor {
+        if self.key_window.is_empty() {
+            return cur;
+        }
+        let mut keys = self.key_window.clone();
+        keys.sort_unstable();
+        let pivot = keys[keys.len() / 2];
+        let q1 = keys[keys.len() / 4];
+        let q3 = keys[(keys.len() * 3) / 4];
+        let spread = (q3 - q1).max(1);
+        let halfwidth = spread.saturating_mul(2);
+        let depth = if self.hit_rate() > 0.5 {
+            cur.depth.saturating_add(1)
+        } else if self.hit_rate() < 0.1 && cur.depth > 1 {
+            cur.depth - 1
+        } else {
+            cur.depth
+        };
+        BranchDescriptor {
+            pivot,
+            halfwidth,
+            depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_band_converges_to_fitting_levels() {
+        // Depth-6 index; pretend level 2 has few distinct nodes (fits) and
+        // levels 0–1 have many (do not fit a 100-entry cache).
+        let mut t = Tuner::new(6, 10, 100);
+        let mut desc = Descriptor::Level(LevelDescriptor::band(4, 5));
+        for batch in 0..8 {
+            for w in 0..10 {
+                for node in 0..50u32 {
+                    t.observe_node(0, batch * 1000 + w * 60 + node, 64); // ~unique leaves
+                }
+                t.observe_node(1, (batch * 507 + w * 31) % 400, 64); // 400 distinct
+                t.observe_node(2, w % 20, 64); // 20 distinct: fits
+                t.observe_node(3, w % 5, 64);
+                t.walk_done(&mut desc);
+            }
+        }
+        if let Descriptor::Level(band) = desc {
+            assert!(
+                band.lower >= 1 && band.lower <= 3,
+                "band should settle near the fitting levels, got {band:?}"
+            );
+        } else {
+            unreachable!()
+        }
+        assert_eq!(t.history().len(), 8, "one history point per batch");
+    }
+
+    #[test]
+    fn band_moves_one_step_per_batch() {
+        let mut t = Tuner::new(8, 5, 10);
+        let mut desc = Descriptor::Level(LevelDescriptor::band(6, 7));
+        // All observations at level 3 with 2 distinct nodes.
+        for _ in 0..5 {
+            t.observe_node(3, 0, 64);
+            t.observe_node(3, 1, 64);
+            t.walk_done(&mut desc);
+        }
+        if let Descriptor::Level(band) = desc {
+            // One batch elapsed: each edge moved by exactly one.
+            assert_eq!(band.lower, 5);
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn branch_pivot_tracks_median() {
+        let mut t = Tuner::new(4, 5, 100);
+        let mut desc = Descriptor::Branch(BranchDescriptor {
+            pivot: 0,
+            halfwidth: 1,
+            depth: 2,
+        });
+        for k in [100u64, 110, 120, 130, 140] {
+            t.observe_key(k);
+            t.walk_done(&mut desc);
+        }
+        if let Descriptor::Branch(br) = desc {
+            assert!(br.pivot >= 100 && br.pivot <= 140, "pivot near cluster");
+            assert!(br.halfwidth >= 1);
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn branch_depth_grows_with_hits() {
+        let mut t = Tuner::new(4, 4, 100);
+        let mut desc = Descriptor::Branch(BranchDescriptor {
+            pivot: 50,
+            halfwidth: 10,
+            depth: 1,
+        });
+        for _ in 0..4 {
+            t.observe_key(50);
+            t.observe_probe(true);
+            t.walk_done(&mut desc);
+        }
+        if let Descriptor::Branch(br) = desc {
+            assert_eq!(br.depth, 2, "high hit rate deepens the branch");
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn node_level_rises_on_poor_hit_rate() {
+        let mut t = Tuner::new(6, 4, 100);
+        let mut desc = Descriptor::Node(crate::descriptor::NodeDescriptor::leaves());
+        for _ in 0..4 {
+            t.observe_probe(false);
+            t.walk_done(&mut desc);
+        }
+        if let Descriptor::Node(nd) = desc {
+            assert_eq!(nd.level, 1, "missing leaf target moves up for reach");
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn utility_definition_matches_paper() {
+        let mut t = Tuner::new(4, 1000, 100);
+        // 10 accesses over 2 distinct nodes → utility 5.
+        for i in 0..10 {
+            t.observe_node(2, (i % 2) as u32, 64);
+        }
+        assert!((t.level_utility(2) - 5.0).abs() < 1e-12);
+        assert_eq!(t.level_utility(1), 0.0);
+    }
+
+    #[test]
+    fn batch_counters_reset() {
+        let mut t = Tuner::new(4, 2, 100);
+        let mut desc = Descriptor::Level(LevelDescriptor::band(1, 2));
+        t.observe_node(2, 1, 64);
+        t.observe_probe(true);
+        t.walk_done(&mut desc);
+        assert!(!t.walk_done(&mut desc) || true); // second walk closes batch
+        // After the batch boundary, counters are cleared.
+        assert_eq!(t.hit_rate(), 0.0);
+        assert_eq!(t.level_utility(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn zero_batch_rejected() {
+        let _ = Tuner::new(4, 0, 100);
+    }
+}

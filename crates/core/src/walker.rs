@@ -1,0 +1,273 @@
+//! The microcoded walk FSM (paper Fig. 9).
+//!
+//! METAL's miss path "repurposes the prior microcode engines that the DSAs
+//! already include": the walker is compiled to a small instruction table
+//! and multiplexes walks across its yield points — *Wait* (the node refill
+//! from DRAM) and *Search* (scanning the fetched node's sorted keys).
+//!
+//! This module implements that artifact literally: [`WalkOp`] is the
+//! microcode ISA, [`compile_walk`] produces the paper's four-state program
+//! (fetch → search → branch → emit), and [`Microwalker`] interprets it
+//! against any [`WalkIndex`], yielding the same timed steps the planner in
+//! [`crate::models`] emits. The equivalence between the interpreter and
+//! the planner's direct loop is tested here and keeps both honest.
+
+use metal_index::arena::NodeId;
+use metal_index::walk::{Descend, WalkIndex};
+use metal_sim::engine::WalkStep;
+use metal_sim::types::{Cycles, Key};
+
+/// One microcode operation of the walk engine (Fig. 9's table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkOp {
+    /// Issue the DRAM refill for the current cursor and *yield* until it
+    /// arrives (the `Wait` state).
+    FetchNode,
+    /// Search the fetched node's sorted keys for the walk key (the
+    /// `Search` state; parallel `≤` comparators + find-first-set).
+    SearchNode,
+    /// If the search selected a child, update the cursor and jump back to
+    /// `FetchNode`; otherwise fall through (the key resolved at a leaf).
+    BranchChild {
+        /// Program-counter target of the fetch state.
+        fetch_pc: usize,
+    },
+    /// Emit the leaf outcome and terminate the walk.
+    EmitLeaf,
+}
+
+/// The compiled walk program: Fig. 9's microcode table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkProgramCode {
+    ops: Vec<WalkOp>,
+}
+
+/// Compiles the canonical root-to-leaf walk loop.
+pub fn compile_walk() -> WalkProgramCode {
+    WalkProgramCode {
+        ops: vec![
+            WalkOp::FetchNode,
+            WalkOp::SearchNode,
+            WalkOp::BranchChild { fetch_pc: 0 },
+            WalkOp::EmitLeaf,
+        ],
+    }
+}
+
+impl WalkProgramCode {
+    /// The instruction at `pc`.
+    pub fn op(&self, pc: usize) -> WalkOp {
+        self.ops[pc]
+    }
+
+    /// Number of microcode slots.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the table is empty (never, post-compile).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Interpreter state for one in-flight walk.
+#[derive(Clone)]
+pub struct Microwalker<'a> {
+    index: &'a dyn WalkIndex,
+    code: WalkProgramCode,
+    key: Key,
+    cursor: NodeId,
+    pc: usize,
+    pending: Option<Descend>,
+    outcome: Option<Descend>,
+    node_search_latency: Cycles,
+}
+
+impl std::fmt::Debug for Microwalker<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Microwalker")
+            .field("key", &self.key)
+            .field("cursor", &self.cursor)
+            .field("pc", &self.pc)
+            .field("outcome", &self.outcome)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Microwalker<'a> {
+    /// Starts a walk for `key` from `start` (the root, or an IX-cache
+    /// hit's child for a short-circuited walk).
+    pub fn new(
+        index: &'a dyn WalkIndex,
+        key: Key,
+        start: NodeId,
+        node_search_latency: Cycles,
+    ) -> Self {
+        Microwalker {
+            index,
+            code: compile_walk(),
+            key,
+            cursor: start,
+            pc: 0,
+            pending: None,
+            outcome: None,
+            node_search_latency,
+        }
+    }
+
+    /// Executes microcode until the next *timed* step (a yield point) or
+    /// termination. Returns `None` once the walk has emitted its leaf.
+    pub fn next_step(&mut self) -> Option<WalkStep> {
+        loop {
+            if self.outcome.is_some() {
+                return None;
+            }
+            match self.code.op(self.pc) {
+                WalkOp::FetchNode => {
+                    let (addr, bytes) = self.index.access_for(self.cursor, self.key);
+                    self.pc += 1;
+                    return Some(WalkStep::Dram { addr, bytes });
+                }
+                WalkOp::SearchNode => {
+                    self.pending = Some(self.index.descend(self.cursor, self.key));
+                    self.pc += 1;
+                    return Some(WalkStep::Busy {
+                        cycles: self.node_search_latency,
+                    });
+                }
+                WalkOp::BranchChild { fetch_pc } => {
+                    match self.pending.take().expect("search precedes branch") {
+                        Descend::Child(c) => {
+                            self.cursor = c;
+                            self.pc = fetch_pc;
+                        }
+                        leaf @ Descend::Leaf { .. } => {
+                            self.pending = Some(leaf);
+                            self.pc += 1;
+                        }
+                    }
+                }
+                WalkOp::EmitLeaf => {
+                    self.outcome = self.pending.take();
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// The terminal leaf outcome (available after `next_step` returns
+    /// `None`).
+    pub fn outcome(&self) -> Option<&Descend> {
+        self.outcome.as_ref()
+    }
+
+    /// The node currently under the cursor.
+    pub fn cursor(&self) -> NodeId {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_index::bptree::BPlusTree;
+    use metal_sim::types::Addr;
+
+    fn tree() -> BPlusTree {
+        let keys: Vec<Key> = (0..1000).map(|i| i * 2).collect();
+        BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16)
+    }
+
+    /// The interpreter's step stream matches the direct walk loop: one
+    /// Dram + one Busy per visited node, same addresses, same outcome.
+    #[test]
+    fn microwalker_equivalent_to_direct_walk() {
+        let t = tree();
+        for key in [0u64, 2, 500, 999, 1998, 1999] {
+            // Direct loop (what the planner does).
+            let mut direct_addrs = Vec::new();
+            let mut id = t.root();
+            let direct_outcome = loop {
+                let (a, _) = t.access_for(id, key);
+                direct_addrs.push(a);
+                match t.descend(id, key) {
+                    Descend::Child(c) => id = c,
+                    leaf @ Descend::Leaf { .. } => break leaf,
+                }
+            };
+
+            // Microcode interpreter.
+            let mut w = Microwalker::new(&t, key, t.root(), Cycles::new(2));
+            let mut micro_addrs = Vec::new();
+            let mut busies = 0;
+            while let Some(step) = w.next_step() {
+                match step {
+                    WalkStep::Dram { addr, .. } => micro_addrs.push(addr),
+                    WalkStep::Busy { .. } => busies += 1,
+                    other => panic!("unexpected step {other:?}"),
+                }
+            }
+            assert_eq!(micro_addrs, direct_addrs, "key {key}: same fetch stream");
+            assert_eq!(busies, micro_addrs.len(), "one search per fetch");
+            assert_eq!(w.outcome(), Some(&direct_outcome), "same leaf outcome");
+        }
+    }
+
+    #[test]
+    fn short_circuited_walk_starts_below_the_root() {
+        let t = tree();
+        let key = 500u64;
+        // Find the level-1 ancestor via a partial walk.
+        let mut id = t.root();
+        let l1 = loop {
+            let info = t.node(id);
+            if info.level == 1 {
+                break id;
+            }
+            match t.descend(id, key) {
+                Descend::Child(c) => id = c,
+                Descend::Leaf { .. } => unreachable!("level 1 exists"),
+            }
+        };
+        // Restarting at the IX-hit child walks exactly two nodes (L1, L0).
+        let mut w = Microwalker::new(&t, key, l1, Cycles::new(2));
+        let mut fetches = 0;
+        while let Some(step) = w.next_step() {
+            if matches!(step, WalkStep::Dram { .. }) {
+                fetches += 1;
+            }
+        }
+        assert_eq!(fetches, 2);
+        assert!(matches!(
+            w.outcome(),
+            Some(Descend::Leaf { found: true, .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_program_is_the_four_state_table() {
+        let p = compile_walk();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.op(0), WalkOp::FetchNode);
+        assert_eq!(p.op(1), WalkOp::SearchNode);
+        assert_eq!(p.op(2), WalkOp::BranchChild { fetch_pc: 0 });
+        assert_eq!(p.op(3), WalkOp::EmitLeaf);
+    }
+
+    #[test]
+    fn walk_terminates_on_missing_keys() {
+        let t = tree();
+        let mut w = Microwalker::new(&t, 1001, t.root(), Cycles::new(2));
+        let mut steps = 0;
+        while w.next_step().is_some() {
+            steps += 1;
+            assert!(steps < 100, "walk must terminate");
+        }
+        assert!(matches!(
+            w.outcome(),
+            Some(Descend::Leaf { found: false, .. })
+        ));
+    }
+}

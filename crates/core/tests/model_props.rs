@@ -1,0 +1,126 @@
+//! Property tests over the design models: randomized workloads must
+//! preserve walk semantics under every cache organization.
+
+use metal_core::descriptor::{Descriptor, LevelDescriptor, NodeDescriptor};
+use metal_core::ixcache::IxConfig;
+use metal_core::models::{DesignSpec, Experiment};
+use metal_core::request::WalkRequest;
+use metal_core::runner::{run_design, RunConfig};
+use metal_index::bptree::BPlusTree;
+use metal_sim::types::{Addr, Key};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn sorted_keys(max_len: usize) -> impl Strategy<Value = Vec<Key>> {
+    proptest::collection::btree_set(1u64..200_000, 2..max_len)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+fn designs(desc: Descriptor) -> Vec<DesignSpec> {
+    vec![
+        DesignSpec::Stream,
+        DesignSpec::Address {
+            entries: 64,
+            ways: 4,
+        },
+        DesignSpec::FaOpt { entries: 64 },
+        DesignSpec::XCache {
+            entries: 64,
+            ways: 4,
+        },
+        DesignSpec::MetalIx {
+            ix: IxConfig {
+                entries: 64,
+                ways: 4,
+                key_block_bits: 4,
+                wide_fraction: 0.5,
+            },
+        },
+        DesignSpec::Metal {
+            ix: IxConfig {
+                entries: 64,
+                ways: 4,
+                key_block_bits: 4,
+                wide_fraction: 0.5,
+            },
+            descriptors: vec![desc],
+            tune: true,
+            batch_walks: 50,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With a deliberately tiny cache and arbitrary descriptors, every
+    /// design still (a) completes every walk, (b) finds exactly the keys
+    /// the oracle contains, and (c) never exceeds streaming's DRAM node
+    /// traffic.
+    #[test]
+    fn designs_preserve_semantics(
+        keys in sorted_keys(120),
+        probe_seeds in proptest::collection::vec(0u64..250_000, 5..60),
+        band_lo in 0u8..3,
+        desc_kind in 0u8..4,
+    ) {
+        let oracle: BTreeSet<Key> = keys.iter().copied().collect();
+        let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let requests: Vec<WalkRequest> =
+            probe_seeds.iter().map(|&p| WalkRequest::lookup(p)).collect();
+        let expected_found = probe_seeds
+            .iter()
+            .filter(|p| oracle.contains(p))
+            .count() as u64;
+
+        let desc = match desc_kind {
+            0 => Descriptor::All,
+            1 => Descriptor::None,
+            2 => Descriptor::Node(NodeDescriptor::leaves()),
+            _ => Descriptor::Level(LevelDescriptor::band(band_lo, band_lo + 2)),
+        };
+
+        let exp = Experiment::single(&tree, &requests);
+        let cfg = RunConfig::default().with_lanes(4);
+        let stream_nodes = run_design(&DesignSpec::Stream, &exp, &cfg)
+            .stats
+            .dram_node_reads;
+        for spec in designs(desc.clone()) {
+            let r = run_design(&spec, &exp, &cfg);
+            prop_assert_eq!(r.stats.walks, requests.len() as u64);
+            prop_assert_eq!(
+                r.stats.found_walks,
+                expected_found,
+                "design {} changed walk outcomes",
+                r.design
+            );
+            prop_assert!(r.stats.dram_node_reads <= stream_nodes);
+            prop_assert!(r.stats.misses <= r.stats.probes);
+        }
+    }
+
+    /// The tuner may move descriptor parameters anywhere; runs stay
+    /// deterministic and bounded.
+    #[test]
+    fn tuned_runs_deterministic(
+        keys in sorted_keys(100),
+        n_probes in 10usize..80,
+    ) {
+        let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let requests: Vec<WalkRequest> = (0..n_probes)
+            .map(|i| WalkRequest::lookup(keys[i % keys.len()]))
+            .collect();
+        let exp = Experiment::single(&tree, &requests);
+        let cfg = RunConfig::default().with_lanes(4);
+        let spec = DesignSpec::Metal {
+            ix: IxConfig::kb64(),
+            descriptors: vec![Descriptor::Level(LevelDescriptor::band(1, 3))],
+            tune: true,
+            batch_walks: 16,
+        };
+        let a = run_design(&spec, &exp, &cfg);
+        let b = run_design(&spec, &exp, &cfg);
+        prop_assert_eq!(a.stats.exec_cycles, b.stats.exec_cycles);
+        prop_assert_eq!(a.band_history, b.band_history);
+    }
+}

@@ -1,0 +1,111 @@
+//! Aurochs: an architecture for dataflow threads (Vilim et al., ISCA'21).
+//!
+//! Aurochs "scans through the records in an unordered manner" (§2.1); the
+//! paper runs two kernels on it:
+//!
+//! - **Spatial analysis** (§4.3): quadrilateral embedding over the 2-D
+//!   R-tree — walk the x-tree for a query coordinate, then walk the y-tree
+//!   for each correlated y key. Clustered x queries re-scan the same y
+//!   sub-branches, the behaviour the *branch* descriptor captures.
+//! - **PageRank-push**: every vertex pushes rank along its out-edges, so
+//!   each neighbor's adjacency entry is walked once per incoming edge —
+//!   power-law graphs give high-degree vertices heavy leaf reuse.
+
+use crate::tile::DsaSpec;
+use metal_core::request::WalkRequest;
+use metal_index::rtree::RTree2D;
+use metal_sim::types::Key;
+
+/// Lowers R-tree quadrilateral queries: per x query, one walk of the
+/// x-tree (experiment index 0) and one walk of the y-tree (index 1) per
+/// correlated y key.
+pub fn rtree_requests(rt: &RTree2D, x_queries: &[Key], spec: &DsaSpec) -> Vec<WalkRequest> {
+    let mut out = Vec::with_capacity(x_queries.len() * (1 + rt.y_keys_per_x()));
+    for &x in x_queries {
+        out.push(
+            WalkRequest::lookup(x)
+                .on_index(0)
+                .with_compute(spec.ops_per_compute / 2),
+        );
+        for y in rt.correlated_y_keys(x) {
+            out.push(
+                WalkRequest::lookup(y)
+                    .on_index(1)
+                    .with_compute(spec.ops_per_compute / 2),
+            );
+        }
+    }
+    out
+}
+
+/// Lowers PageRank-push over an adjacency index (experiment index 0).
+///
+/// `edges[i] = (u, neighbors)`: vertex `u`'s adjacency list is fetched
+/// once (with a lifetime pin covering the push burst), then every
+/// neighbor `v`'s entry is walked to accumulate the pushed rank.
+pub fn pagerank_requests(edges: &[(Key, Vec<Key>)], spec: &DsaSpec) -> Vec<WalkRequest> {
+    let mut out = Vec::new();
+    for (u, neighbors) in edges {
+        out.push(
+            WalkRequest::lookup(*u)
+                .with_life(neighbors.len() as u32)
+                .with_compute(spec.ops_per_compute),
+        );
+        for &v in neighbors {
+            out.push(
+                WalkRequest::lookup(v).with_compute(spec.ops_per_compute),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_sim::types::Addr;
+
+    fn rtree() -> RTree2D {
+        let x: Vec<Key> = (0..1000).collect();
+        let y: Vec<Key> = (0..100).map(|i| i * 3).collect();
+        RTree2D::build(&x, &y, 4, 4, 4, Addr::new(0))
+    }
+
+    #[test]
+    fn each_x_query_fans_out_y_walks() {
+        let rt = rtree();
+        let reqs = rtree_requests(&rt, &[10, 500], &DsaSpec::aurochs_rtree());
+        assert_eq!(reqs.len(), 2 * (1 + 4));
+        assert_eq!(reqs[0].index, 0);
+        assert!(reqs[1..5].iter().all(|r| r.index == 1));
+    }
+
+    #[test]
+    fn y_walk_keys_exist() {
+        let rt = rtree();
+        let reqs = rtree_requests(&rt, &[250], &DsaSpec::aurochs_rtree());
+        use metal_index::walk::WalkIndex;
+        for r in reqs.iter().filter(|r| r.index == 1) {
+            assert!(rt.y_tree().contains(r.key));
+        }
+    }
+
+    #[test]
+    fn pagerank_pushes_along_edges() {
+        let edges = vec![(0u64, vec![1, 2, 3]), (1, vec![0])];
+        let reqs = pagerank_requests(&edges, &DsaSpec::aurochs_pagerank());
+        assert_eq!(reqs.len(), 2 + 3 + 1);
+        assert_eq!(reqs[0].key, 0);
+        assert_eq!(reqs[0].life_hint, 3, "source pinned for its out-degree");
+        assert_eq!(reqs[1].key, 1);
+        assert_eq!(reqs[4].key, 1);
+    }
+
+    #[test]
+    fn pagerank_isolated_vertex() {
+        let edges = vec![(5u64, vec![])];
+        let reqs = pagerank_requests(&edges, &DsaSpec::aurochs_pagerank());
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].life_hint, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Capstan: vector RDA for sparse tensor algebra (Rucker et al., MICRO'21).
+//!
+//! The paper's SpMM kernel (§4.1) computes `C = A × B` as an inner product:
+//! for each output row block, the tiles stream the non-zero columns of `B`
+//! that match `A`'s coordinates. The reuse pattern is *node reuse at the
+//! leaves of B's column index*: while a row block is in flight, the same
+//! column leaf is fetched once per row — which is exactly what the node
+//! descriptor's lifetime pin captures ("in SpMM, life is set to the number
+//! of non-zeros in each column").
+
+use crate::tile::DsaSpec;
+use metal_core::request::WalkRequest;
+use metal_sim::types::Key;
+
+/// Lowers an SpMM inner-product schedule over the column index of `B`
+/// (experiment index 0).
+///
+/// `a_rows[i]` is the sorted list of non-zero column ids of row `i` of A —
+/// the columns of B that row's dot products touch. Rows are processed in
+/// blocks of `row_block` (one row per tile), so each touched column is
+/// walked once per row in the block, back-to-back.
+pub fn spmm_requests(a_rows: &[Vec<Key>], row_block: usize, spec: &DsaSpec) -> Vec<WalkRequest> {
+    assert!(row_block > 0, "row block must be non-empty");
+    let mut out = Vec::new();
+    for block in a_rows.chunks(row_block) {
+        // Union of columns touched by this block, in column order: the
+        // dataflow schedule iterates columns in the inner loop.
+        let mut cols: Vec<Key> = block.iter().flatten().copied().collect();
+        cols.sort_unstable();
+        // Per-column multiplicity within the block = its short-term reuse.
+        let mut i = 0;
+        while i < cols.len() {
+            let col = cols[i];
+            let mut reps = 0u32;
+            while i < cols.len() && cols[i] == col {
+                reps += 1;
+                i += 1;
+            }
+            for _ in 0..reps {
+                out.push(
+                    WalkRequest::lookup(col)
+                        .with_life(reps)
+                        .with_compute(spec.ops_per_compute),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_walked_once_per_row_in_block() {
+        // Two rows in one block, both touching column 5.
+        let a = vec![vec![1, 5], vec![5, 9]];
+        let reqs = spmm_requests(&a, 2, &DsaSpec::capstan_spmm());
+        let col5: Vec<_> = reqs.iter().filter(|r| r.key == 5).collect();
+        assert_eq!(col5.len(), 2);
+        // Life hint equals the block multiplicity.
+        assert!(col5.iter().all(|r| r.life_hint == 2));
+        let col1: Vec<_> = reqs.iter().filter(|r| r.key == 1).collect();
+        assert_eq!(col1[0].life_hint, 1);
+    }
+
+    #[test]
+    fn block_bursts_are_back_to_back() {
+        let a = vec![vec![3], vec![3], vec![3], vec![3]];
+        let reqs = spmm_requests(&a, 4, &DsaSpec::capstan_spmm());
+        assert_eq!(reqs.len(), 4);
+        assert!(reqs.iter().all(|r| r.key == 3 && r.life_hint == 4));
+    }
+
+    #[test]
+    fn blocks_partition_rows() {
+        let a = vec![vec![1], vec![2], vec![3], vec![4]];
+        let reqs = spmm_requests(&a, 2, &DsaSpec::capstan_spmm());
+        // Block 1 = cols {1,2}, block 2 = cols {3,4}; order preserved.
+        let keys: Vec<Key> = reqs.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn compute_ops_from_table2() {
+        let a = vec![vec![1]];
+        let reqs = spmm_requests(&a, 1, &DsaSpec::capstan_spmm());
+        assert_eq!(reqs[0].compute_ops, 111);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_block_rejected() {
+        let _ = spmm_requests(&[vec![1]], 0, &DsaSpec::capstan_spmm());
+    }
+}

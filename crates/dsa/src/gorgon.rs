@@ -1,0 +1,195 @@
+//! Gorgon: declarative relational patterns (Vilim et al., ISCA'20).
+//!
+//! Gorgon accelerates map/filter/join over relational data; its index is
+//! "a table of records, and the primary reuse is the mid-level roots"
+//! (§2.1). This module lowers the three relational kernels the paper
+//! evaluates on Gorgon into walk-request streams:
+//!
+//! - **Range scans** (§4.2): `SELECT * WHERE X BETWEEN R1 AND R2` — one
+//!   root-to-leaf walk per query plus a leaf-chain scan across the range.
+//! - **SELECT/WHERE analytics** — point predicates with heavy per-record
+//!   compute (232 ops/compute in Table 2).
+//! - **JOIN** — the outer table streams through its leaf chain while each
+//!   outer record probes the inner table's B+tree.
+
+use crate::tile::DsaSpec;
+use metal_core::request::WalkRequest;
+use metal_index::bptree::BPlusTree;
+use metal_index::walk::WalkIndex;
+use metal_sim::types::Key;
+
+/// Lowers range-scan queries over `tree` (experiment index 0).
+///
+/// Each query `[lo, hi]` becomes one walk request that scans however many
+/// leaves the range spans.
+pub fn scan_requests(
+    tree: &BPlusTree,
+    queries: &[(Key, Key)],
+    spec: &DsaSpec,
+) -> Vec<WalkRequest> {
+    queries
+        .iter()
+        .map(|&(lo, hi)| {
+            let hops = leaves_spanned(tree, lo, hi).saturating_sub(1);
+            WalkRequest::lookup(lo)
+                .with_scan(hops)
+                .with_compute(spec.ops_per_compute * (hops as u64 + 1))
+        })
+        .collect()
+}
+
+/// Number of leaves a `[lo, hi]` range touches.
+pub fn leaves_spanned(tree: &BPlusTree, lo: Key, hi: Key) -> u32 {
+    let mut leaf = Some(tree.leaf_for(lo));
+    let mut n = 0u32;
+    while let Some(l) = leaf {
+        n += 1;
+        let info = tree.node(l);
+        if info.hi >= hi {
+            break;
+        }
+        leaf = tree.next_leaf(l);
+    }
+    n
+}
+
+/// Lowers point-predicate analytics (SELECT/WHERE) over index 0.
+pub fn select_requests(keys: &[Key], spec: &DsaSpec) -> Vec<WalkRequest> {
+    keys.iter()
+        .map(|&k| WalkRequest::lookup(k).with_compute(spec.ops_per_compute))
+        .collect()
+}
+
+/// Lowers a nested SELECT: each outer key triggers a dependent inner
+/// lookup whose key is derived from the outer one (both on index 0).
+pub fn nested_select_requests(
+    keys: &[Key],
+    inner_key_of: impl Fn(Key) -> Key,
+    spec: &DsaSpec,
+) -> Vec<WalkRequest> {
+    let mut out = Vec::with_capacity(keys.len() * 2);
+    for &k in keys {
+        out.push(WalkRequest::lookup(k).with_compute(spec.ops_per_compute / 2));
+        out.push(WalkRequest::lookup(inner_key_of(k)).with_compute(spec.ops_per_compute / 2));
+    }
+    out
+}
+
+/// Lowers a JOIN: the outer table (index 0) streams leaf-by-leaf; every
+/// outer record probes the inner table (index 1) with its join key.
+///
+/// `probe_key_of` maps an outer record key to the inner key it joins on.
+/// `max_outer` bounds the number of outer records lowered.
+pub fn join_requests(
+    outer: &BPlusTree,
+    probe_key_of: impl Fn(Key) -> Key,
+    max_outer: usize,
+    spec: &DsaSpec,
+) -> Vec<WalkRequest> {
+    let mut out = Vec::new();
+    let mut leaf = Some(outer.leaf_for(outer.node(outer.root()).lo));
+    let mut emitted = 0usize;
+    let mut first = true;
+    while let Some(l) = leaf {
+        let keys = outer.leaf_keys(l).to_vec();
+        if first {
+            // Entering the outer stream: one walk reaches the first leaf.
+            out.push(
+                WalkRequest::lookup(keys[0])
+                    .on_index(0)
+                    .with_compute(spec.ops_per_compute),
+            );
+            first = false;
+        } else {
+            // Subsequent leaves arrive via the leaf chain of the previous
+            // request; model each as a fresh shallow touch of index 0.
+            out.push(
+                WalkRequest::lookup(keys[0])
+                    .on_index(0)
+                    .with_compute(spec.ops_per_compute),
+            );
+        }
+        for &k in &keys {
+            out.push(
+                WalkRequest::lookup(probe_key_of(k))
+                    .on_index(1)
+                    .with_compute(spec.ops_per_compute),
+            );
+            emitted += 1;
+            if emitted >= max_outer {
+                return out;
+            }
+        }
+        leaf = outer.next_leaf(l);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_sim::types::Addr;
+
+    fn tree() -> BPlusTree {
+        let keys: Vec<Key> = (0..1000).map(|i| i * 2).collect();
+        BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16)
+    }
+
+    #[test]
+    fn scan_spans_expected_leaves() {
+        let t = tree();
+        // Keys 0..1998 step 2, 4 per leaf → range [0, 30] covers keys
+        // 0..=30 (16 keys) = 4 leaves.
+        assert_eq!(leaves_spanned(&t, 0, 30), 4);
+        let reqs = scan_requests(&t, &[(0, 30)], &DsaSpec::gorgon_scan());
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].scan_leaves, 3);
+        assert!(reqs[0].compute_ops > 0);
+    }
+
+    #[test]
+    fn single_leaf_scan_has_no_hops() {
+        let t = tree();
+        let reqs = scan_requests(&t, &[(0, 4)], &DsaSpec::gorgon_scan());
+        assert_eq!(reqs[0].scan_leaves, 0);
+    }
+
+    #[test]
+    fn select_attaches_analytics_compute() {
+        let reqs = select_requests(&[2, 4, 6], &DsaSpec::gorgon_analytics());
+        assert_eq!(reqs.len(), 3);
+        assert!(reqs.iter().all(|r| r.compute_ops == 232));
+    }
+
+    #[test]
+    fn nested_select_doubles_walks() {
+        let reqs =
+            nested_select_requests(&[10, 20], |k| k + 1000, &DsaSpec::gorgon_analytics());
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[1].key, 1010);
+        assert_eq!(reqs[3].key, 1020);
+    }
+
+    #[test]
+    fn join_probes_every_outer_record() {
+        let t = tree();
+        let reqs = join_requests(&t, |k| k / 2, 100, &DsaSpec::gorgon_analytics());
+        let probes = reqs.iter().filter(|r| r.index == 1).count();
+        assert_eq!(probes, 100);
+        // Outer touches interleave (one per leaf of 4 keys).
+        let outer = reqs.iter().filter(|r| r.index == 0).count();
+        assert_eq!(outer, 25);
+    }
+
+    #[test]
+    fn join_probe_keys_derived() {
+        let t = tree();
+        let reqs = join_requests(&t, |k| k + 7, 8, &DsaSpec::gorgon_analytics());
+        for pair in reqs.windows(2) {
+            if pair[1].index == 1 && pair[0].index == 1 {
+                assert_eq!(pair[1].key, pair[0].key + 2, "outer keys step by 2");
+            }
+        }
+        assert!(reqs.iter().any(|r| r.index == 1 && r.key == 7));
+    }
+}

@@ -1,0 +1,30 @@
+//! # metal-dsa — tile-grid models of the target DSAs
+//!
+//! The paper incorporates METAL into four DSAs (§2.1): **Gorgon**
+//! (declarative relational patterns), **Capstan** (sparse tensor algebra),
+//! **Aurochs** (dataflow threads over unordered scans) and **Widx**
+//! (in-memory database index walkers). What distinguishes the DSAs, from
+//! the memory system's perspective, is *how their kernels lower to walk
+//! streams*: which keys are walked in which order, how much compute each
+//! walk feeds (Table 2's Ops/Walk and Ops/Compute), and how much
+//! parallelism the tile grid exposes.
+//!
+//! Each module lowers its DSA's kernels into
+//! [`metal_core::request::WalkRequest`] streams:
+//!
+//! - [`gorgon`] — range scans, SELECT/WHERE analytics, hash JOINs.
+//! - [`capstan`] — SpMM inner product over sparse tensors / fibers.
+//! - [`aurochs`] — R-tree quadrilateral queries and PageRank-push.
+//! - [`widx`] — hash-table probe streams.
+//! - [`tile`] — the tile-grid description shared by all of them.
+//!
+//! The request lowering is deterministic given its inputs; dataset
+//! randomness lives in `metal-workloads`.
+
+pub mod aurochs;
+pub mod capstan;
+pub mod gorgon;
+pub mod tile;
+pub mod widx;
+
+pub use tile::DsaSpec;

@@ -1,0 +1,177 @@
+//! Tile-grid descriptions of the four target DSAs.
+//!
+//! All four systems are "organized similarly: the computation is laid out
+//! in a grid of compute tiles" (§2.1); they differ in the parallelism each
+//! tile exploits and in the per-kernel operation counts (Table 2). One
+//! walk lane is provisioned per tile, matching the paper's walker-per-tile
+//! mapping.
+
+use metal_sim::SimConfig;
+
+/// Which DSA a workload runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DsaKind {
+    /// Gorgon: declarative map/filter patterns over relational data.
+    Gorgon,
+    /// Capstan: vector RDA for sparse tensor algebra.
+    Capstan,
+    /// Aurochs: dataflow threads, unordered scans.
+    Aurochs,
+    /// Widx: in-memory database index walkers (predates DSAs).
+    Widx,
+}
+
+impl DsaKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DsaKind::Gorgon => "gorgon",
+            DsaKind::Capstan => "capstan",
+            DsaKind::Aurochs => "aurochs",
+            DsaKind::Widx => "widx",
+        }
+    }
+}
+
+/// A DSA instance: kind, tile count, and per-kernel operation counts.
+#[derive(Debug, Clone, Copy)]
+pub struct DsaSpec {
+    /// Which architecture.
+    pub kind: DsaKind,
+    /// Number of compute tiles in the grid (default 64; 16–128 in the
+    /// design sweep — Table 3: a 64 kB IX-cache supports up to 64 tiles).
+    pub tiles: usize,
+    /// Walker operations per walk (Table 2 "Ops/Walk").
+    pub ops_per_walk: u64,
+    /// Compute operations fed by each walk (Table 2 "Ops/Compute").
+    pub ops_per_compute: u64,
+}
+
+impl DsaSpec {
+    /// Table 2's Scan row: Gorgon, 56 ops/walk, 6 ops/compute.
+    pub fn gorgon_scan() -> Self {
+        DsaSpec {
+            kind: DsaKind::Gorgon,
+            tiles: 64,
+            ops_per_walk: 56,
+            ops_per_compute: 6,
+        }
+    }
+
+    /// Table 2's Sets row: Gorgon, 128 ops/walk, 48 ops/compute.
+    pub fn gorgon_sets() -> Self {
+        DsaSpec {
+            kind: DsaKind::Gorgon,
+            tiles: 64,
+            ops_per_walk: 128,
+            ops_per_compute: 48,
+        }
+    }
+
+    /// Table 2's Analytics row: Gorgon, 74 ops/walk, 232 ops/compute.
+    pub fn gorgon_analytics() -> Self {
+        DsaSpec {
+            kind: DsaKind::Gorgon,
+            tiles: 64,
+            ops_per_walk: 74,
+            ops_per_compute: 232,
+        }
+    }
+
+    /// Table 2's SpMM row: Capstan, 116 ops/walk, 111 ops/compute.
+    pub fn capstan_spmm() -> Self {
+        DsaSpec {
+            kind: DsaKind::Capstan,
+            tiles: 64,
+            ops_per_walk: 116,
+            ops_per_compute: 111,
+        }
+    }
+
+    /// Table 2's RTree row: Aurochs, 130 ops/walk, 206 ops/compute.
+    pub fn aurochs_rtree() -> Self {
+        DsaSpec {
+            kind: DsaKind::Aurochs,
+            tiles: 64,
+            ops_per_walk: 130,
+            ops_per_compute: 206,
+        }
+    }
+
+    /// Table 2's PageRank row: Aurochs, 142 ops/walk, 141 ops/compute.
+    pub fn aurochs_pagerank() -> Self {
+        DsaSpec {
+            kind: DsaKind::Aurochs,
+            tiles: 64,
+            ops_per_walk: 142,
+            ops_per_compute: 141,
+        }
+    }
+
+    /// A Widx-style probe engine (lookup/join on hash indexes).
+    pub fn widx_probe() -> Self {
+        DsaSpec {
+            kind: DsaKind::Widx,
+            tiles: 64,
+            ops_per_walk: 64,
+            ops_per_compute: 16,
+        }
+    }
+
+    /// Overrides the tile count (design sweep, Fig. 24).
+    pub fn with_tiles(mut self, tiles: usize) -> Self {
+        assert!(tiles > 0, "need at least one tile");
+        self.tiles = tiles;
+        self
+    }
+
+    /// Simulator configuration for this grid: one walk lane per tile.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::default().with_lanes(self.tiles)
+    }
+
+    /// Arithmetic intensity: compute ops per walker op. High intensity
+    /// (Analytics) limits the achievable memory-side speedup.
+    pub fn intensity(&self) -> f64 {
+        self.ops_per_compute as f64 / self.ops_per_walk.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        assert_eq!(DsaSpec::gorgon_scan().ops_per_walk, 56);
+        assert_eq!(DsaSpec::gorgon_scan().ops_per_compute, 6);
+        assert_eq!(DsaSpec::capstan_spmm().ops_per_walk, 116);
+        assert_eq!(DsaSpec::aurochs_rtree().ops_per_compute, 206);
+        assert_eq!(DsaSpec::aurochs_pagerank().ops_per_walk, 142);
+        assert_eq!(DsaSpec::gorgon_analytics().ops_per_compute, 232);
+    }
+
+    #[test]
+    fn tiles_map_to_lanes() {
+        let spec = DsaSpec::gorgon_scan().with_tiles(64);
+        assert_eq!(spec.sim_config().lanes, 64);
+    }
+
+    #[test]
+    fn analytics_has_high_intensity() {
+        assert!(DsaSpec::gorgon_analytics().intensity() > 3.0);
+        assert!(DsaSpec::gorgon_scan().intensity() < 0.2);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DsaKind::Gorgon.name(), "gorgon");
+        assert_eq!(DsaKind::Widx.name(), "widx");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_tiles_rejected() {
+        let _ = DsaSpec::gorgon_scan().with_tiles(0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Widx: accelerating index traversals for in-memory databases
+//! (Kocberber et al., MICRO'13).
+//!
+//! Widx predates spatial DSAs and "continues to rely on address-caches"
+//! (§2.1); its workload is nearest-neighbor lookups and joins over hash
+//! indexes with chaining. The lowering here produces the probe streams;
+//! the runner can then execute them under either the address-cache design
+//! (faithful Widx) or METAL (the paper's retrofit).
+
+use crate::tile::DsaSpec;
+use metal_core::request::WalkRequest;
+use metal_sim::types::Key;
+
+/// Lowers a batch of hash-index probes (experiment index 0).
+pub fn probe_requests(keys: &[Key], spec: &DsaSpec) -> Vec<WalkRequest> {
+    keys.iter()
+        .map(|&k| WalkRequest::lookup(k).with_compute(spec.ops_per_compute))
+        .collect()
+}
+
+/// Lowers a hash join: each outer key probes the hash index with its
+/// derived join key (both sides on index 0, as in Widx's shared walker
+/// pool).
+pub fn hash_join_requests(
+    outer_keys: &[Key],
+    join_key_of: impl Fn(Key) -> Key,
+    spec: &DsaSpec,
+) -> Vec<WalkRequest> {
+    outer_keys
+        .iter()
+        .map(|&k| WalkRequest::lookup(join_key_of(k)).with_compute(spec.ops_per_compute))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_carry_compute() {
+        let reqs = probe_requests(&[1, 2, 3], &DsaSpec::widx_probe());
+        assert_eq!(reqs.len(), 3);
+        assert!(reqs.iter().all(|r| r.compute_ops == 16));
+    }
+
+    #[test]
+    fn join_keys_derived() {
+        let reqs = hash_join_requests(&[10, 20], |k| k * 2 + 1, &DsaSpec::widx_probe());
+        assert_eq!(reqs[0].key, 21);
+        assert_eq!(reqs[1].key, 41);
+    }
+}

@@ -1,0 +1,546 @@
+//! B+tree index.
+//!
+//! The textbook index of the paper's Fig. 1: interior nodes hold sorted
+//! separator keys and child pointers, leaves hold the keys plus pointers to
+//! data records in a separate DRAM region. The tree is bulk-loaded from a
+//! sorted key set — the paper's workloads build the index once and then
+//! issue millions of walks against it.
+//!
+//! Two knobs matter for reproduction:
+//!
+//! - **fanout** (`max_keys` per node; Table 2's "Degree 5 (9 keys)") —
+//!   together with the key count it determines **depth**, the paper's
+//!   primary scaling axis (10-level default, up to 18 in Fig. 23b).
+//! - [`BPlusTree::bulk_load_with_depth`] picks the fanout that produces an
+//!   exact target depth for a given key count, so scaled-down datasets keep
+//!   the paper's depth.
+//!
+//! Leaves are linked left-to-right so range scans can stream without
+//! re-walking (used by the Scan workload's in-leaf phase).
+
+use crate::arena::{Arena, NodeId};
+use crate::walk::{Descend, NodeInfo, WalkIndex};
+use metal_sim::types::{Addr, Key};
+
+/// Per-node byte-size model: header + keys + pointers (8 B each).
+const NODE_HEADER_BYTES: u64 = 16;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Interior {
+        /// `seps[i]` is the smallest key of `children[i + 1]`.
+        seps: Vec<Key>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        keys: Vec<Key>,
+        /// Rank of `keys[0]` in the whole key set (locates the record).
+        start_rank: u64,
+        /// Next leaf to the right, for range scans.
+        next: Option<NodeId>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    level: u8,
+    lo: Key,
+    hi: Key,
+    slot: usize,
+}
+
+/// A bulk-loaded B+tree with simulated physical placement.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    depth: u8,
+    arena: Arena,
+    data_base: Addr,
+    record_bytes: u64,
+    n_keys: u64,
+}
+
+impl BPlusTree {
+    /// Bulk-loads a B+tree over `keys` (must be sorted, deduplicated,
+    /// non-empty) with at most `max_keys` keys per node, placing nodes at
+    /// simulated addresses starting at `base`. Each key owns a data record
+    /// of `record_bytes` in a region placed immediately after the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty, unsorted, or contains duplicates, or if
+    /// `max_keys < 2`.
+    pub fn bulk_load(keys: &[Key], max_keys: usize, base: Addr, record_bytes: u64) -> Self {
+        assert!(max_keys >= 2, "need at least 2 keys per node");
+        Self::bulk_load_geometry(keys, max_keys, max_keys + 1, base, record_bytes)
+    }
+
+    /// Bulk-loads with decoupled geometry: `leaf_keys` keys per leaf and
+    /// `fanout` children per interior node. Exposing both knobs lets
+    /// [`BPlusTree::bulk_load_with_depth`] hit exact target depths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty/unsorted, `leaf_keys == 0`, or
+    /// `fanout < 2`.
+    pub fn bulk_load_geometry(
+        keys: &[Key],
+        leaf_keys: usize,
+        fanout: usize,
+        base: Addr,
+        record_bytes: u64,
+    ) -> Self {
+        assert!(!keys.is_empty(), "cannot build an empty B+tree");
+        assert!(leaf_keys >= 1, "leaves must hold at least one key");
+        assert!(fanout >= 2, "interior fanout must be at least 2");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly sorted"
+        );
+
+        let mut arena = Arena::new(base);
+        let mut nodes: Vec<Node> = Vec::new();
+
+        // Build leaves.
+        let mut level_ids: Vec<NodeId> = Vec::new();
+        let mut rank = 0u64;
+        for chunk in keys.chunks(leaf_keys) {
+            let bytes = NODE_HEADER_BYTES + chunk.len() as u64 * 16;
+            let slot = arena.alloc(bytes);
+            let id = nodes.len() as NodeId;
+            nodes.push(Node {
+                kind: NodeKind::Leaf {
+                    keys: chunk.to_vec(),
+                    start_rank: rank,
+                    next: None,
+                },
+                level: 0,
+                lo: chunk[0],
+                hi: *chunk.last().expect("chunks are non-empty"),
+                slot,
+            });
+            rank += chunk.len() as u64;
+            level_ids.push(id);
+        }
+        // Link leaves.
+        for w in 0..level_ids.len().saturating_sub(1) {
+            let next = level_ids[w + 1];
+            if let NodeKind::Leaf { next: n, .. } = &mut nodes[level_ids[w] as usize].kind {
+                *n = Some(next);
+            }
+        }
+
+        // Build interior levels bottom-up: `fanout` children per node.
+        let mut level = 0u8;
+        while level_ids.len() > 1 {
+            level += 1;
+            let mut upper: Vec<NodeId> = Vec::new();
+            for group in level_ids.chunks(fanout) {
+                let seps: Vec<Key> = group[1..]
+                    .iter()
+                    .map(|&c| nodes[c as usize].lo)
+                    .collect();
+                let bytes =
+                    NODE_HEADER_BYTES + seps.len() as u64 * 8 + group.len() as u64 * 8;
+                let slot = arena.alloc(bytes);
+                let id = nodes.len() as NodeId;
+                let lo = nodes[group[0] as usize].lo;
+                let hi = nodes[*group.last().expect("groups are non-empty") as usize].hi;
+                nodes.push(Node {
+                    kind: NodeKind::Interior {
+                        seps,
+                        children: group.to_vec(),
+                    },
+                    level,
+                    lo,
+                    hi,
+                    slot,
+                });
+                upper.push(id);
+            }
+            level_ids = upper;
+        }
+
+        let root = level_ids[0];
+        let depth = level + 1;
+        let data_base = arena.end();
+        BPlusTree {
+            nodes,
+            root,
+            depth,
+            arena,
+            data_base,
+            record_bytes,
+            n_keys: keys.len() as u64,
+        }
+    }
+
+    /// Bulk-loads with a geometry that yields exactly `target_depth`
+    /// levels for this key count, so scaled-down datasets keep the paper's
+    /// depths (10-level default, up to 18 in Fig. 23b).
+    ///
+    /// The search fixes the interior fanout at the smallest value that can
+    /// still reach the depth and sizes the leaves to land exactly on it;
+    /// if the exact depth is unreachable (e.g. depth 10 for 4 keys), the
+    /// closest achievable depth is used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_depth` is 0 or `keys` is empty/unsorted.
+    pub fn bulk_load_with_depth(
+        keys: &[Key],
+        target_depth: u8,
+        base: Addr,
+        record_bytes: u64,
+    ) -> Self {
+        assert!(target_depth >= 1, "depth must be at least 1");
+        let n = keys.len() as u64;
+        let d = target_depth as u32;
+        if d == 1 {
+            return Self::bulk_load_geometry(keys, keys.len(), 2, base, record_bytes);
+        }
+
+        let depth_of = |leaf_keys: u64, fanout: u64| -> u32 {
+            let mut width = n.div_ceil(leaf_keys); // leaves
+            let mut levels = 1u32;
+            while width > 1 {
+                width = width.div_ceil(fanout);
+                levels += 1;
+            }
+            levels
+        };
+
+        // For each fanout, the leaf budget for exactly d levels is
+        // fanout^(d-1) leaves, i.e. leaf_keys ≥ ceil(n / fanout^(d-1)).
+        // Among fanouts that hit the depth exactly, prefer node-sized
+        // leaves (close to the paper's 9-key nodes) — a large fanout with
+        // one-key leaves and a tiny fanout with kilobyte leaves are both
+        // geometrically wrong.
+        let mut exact: Option<(u64, u64, u64)> = None; // (cost, leaf, fanout)
+        let mut closest: Option<(u32, u64, u64)> = None; // (dist, leaf, fanout)
+        for fanout in 2u64..=256 {
+            let cap = fanout.checked_pow(d - 1).unwrap_or(u64::MAX);
+            let leaf_keys = n.div_ceil(cap).max(1);
+            let got = depth_of(leaf_keys, fanout);
+            if got == d {
+                let cost = leaf_keys.abs_diff(8);
+                if exact.is_none_or(|(c, _, _)| cost < c) {
+                    exact = Some((cost, leaf_keys, fanout));
+                }
+            } else {
+                let dist = got.abs_diff(d);
+                if closest.is_none_or(|(dc, _, _)| dist < dc) {
+                    closest = Some((dist, leaf_keys, fanout));
+                }
+            }
+        }
+        let (leaf_keys, fanout) = match (exact, closest) {
+            (Some((_, l, f)), _) => (l, f),
+            (None, Some((_, l, f))) => (l, f),
+            (None, None) => unreachable!("fanout search covers 2..=256"),
+        };
+        Self::bulk_load_geometry(keys, leaf_keys as usize, fanout as usize, base, record_bytes)
+    }
+
+    /// The fanout-independent number of keys indexed.
+    pub fn len(&self) -> u64 {
+        self.n_keys
+    }
+
+    /// Whether the tree indexes no keys (never true: empty trees panic at
+    /// construction, but the method completes the collection interface).
+    pub fn is_empty(&self) -> bool {
+        self.n_keys == 0
+    }
+
+    /// Base address of the data-record region.
+    pub fn data_base(&self) -> Addr {
+        self.data_base
+    }
+
+    /// Bytes per data record.
+    pub fn record_bytes(&self) -> u64 {
+        self.record_bytes
+    }
+
+    /// The leaf that would contain `key`.
+    pub fn leaf_for(&self, key: Key) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match self.descend(id, key) {
+                Descend::Child(c) => id = c,
+                Descend::Leaf { .. } => return id,
+            }
+        }
+    }
+
+    /// The next leaf to the right of `leaf`, if any.
+    pub fn next_leaf(&self, leaf: NodeId) -> Option<NodeId> {
+        match &self.nodes[leaf as usize].kind {
+            NodeKind::Leaf { next, .. } => *next,
+            NodeKind::Interior { .. } => None,
+        }
+    }
+
+    /// Keys stored in `leaf` (empty for interior nodes).
+    pub fn leaf_keys(&self, leaf: NodeId) -> &[Key] {
+        match &self.nodes[leaf as usize].kind {
+            NodeKind::Leaf { keys, .. } => keys,
+            NodeKind::Interior { .. } => &[],
+        }
+    }
+
+    /// All keys in `[lo, hi]`, via one walk plus leaf-link traversal.
+    pub fn range(&self, lo: Key, hi: Key) -> Vec<Key> {
+        let mut out = Vec::new();
+        let mut leaf = Some(self.leaf_for(lo));
+        while let Some(l) = leaf {
+            let node = &self.nodes[l as usize];
+            if node.lo > hi {
+                break;
+            }
+            for &k in self.leaf_keys(l) {
+                if k >= lo && k <= hi {
+                    out.push(k);
+                }
+            }
+            if node.hi >= hi {
+                break;
+            }
+            leaf = self.next_leaf(l);
+        }
+        out
+    }
+
+    /// Ids of all nodes at `level` (diagnostics / occupancy plots).
+    pub fn nodes_at_level(&self, level: u8) -> Vec<NodeId> {
+        (0..self.nodes.len() as NodeId)
+            .filter(|&id| self.nodes[id as usize].level == level)
+            .collect()
+    }
+}
+
+impl WalkIndex for BPlusTree {
+    fn root(&self) -> NodeId {
+        self.root
+    }
+
+    fn node(&self, id: NodeId) -> NodeInfo {
+        let n = &self.nodes[id as usize];
+        let keys = match &n.kind {
+            NodeKind::Interior { seps, .. } => seps.len() as u16,
+            NodeKind::Leaf { keys, .. } => keys.len() as u16,
+        };
+        NodeInfo {
+            addr: self.arena.addr(n.slot),
+            bytes: self.arena.bytes(n.slot),
+            level: n.level,
+            lo: n.lo,
+            hi: n.hi,
+            keys,
+        }
+    }
+
+    fn descend(&self, id: NodeId, key: Key) -> Descend {
+        match &self.nodes[id as usize].kind {
+            NodeKind::Interior { seps, children } => {
+                let idx = seps.partition_point(|&s| s <= key);
+                Descend::Child(children[idx])
+            }
+            NodeKind::Leaf {
+                keys, start_rank, ..
+            } => match keys.binary_search(&key) {
+                Ok(pos) => Descend::Leaf {
+                    found: true,
+                    value_addr: Addr::new(
+                        self.data_base.get() + (start_rank + pos as u64) * self.record_bytes,
+                    ),
+                    value_bytes: self.record_bytes,
+                },
+                Err(_) => Descend::Leaf {
+                    found: false,
+                    value_addr: self.data_base,
+                    value_bytes: 0,
+                },
+            },
+        }
+    }
+
+    fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.arena.total_blocks()
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn next_leaf(&self, leaf: NodeId) -> Option<NodeId> {
+        BPlusTree::next_leaf(self, leaf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: u64) -> Vec<Key> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn lookup_every_key() {
+        let keys: Vec<Key> = (0..500).map(|i| i * 3).collect();
+        let t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        for &k in &keys {
+            assert!(t.contains(k), "key {k} must be found");
+        }
+        for k in [1u64, 2, 4, 1499, 100_000] {
+            assert!(!t.contains(k), "key {k} must be absent");
+        }
+    }
+
+    #[test]
+    fn depth_grows_with_keys() {
+        let t1 = BPlusTree::bulk_load(&seq(4), 4, Addr::new(0), 16);
+        assert_eq!(t1.depth(), 1, "all keys in one leaf");
+        let t2 = BPlusTree::bulk_load(&seq(20), 4, Addr::new(0), 16);
+        assert_eq!(t2.depth(), 2);
+        let t3 = BPlusTree::bulk_load(&seq(500), 4, Addr::new(0), 16);
+        assert!(t3.depth() >= 3);
+    }
+
+    #[test]
+    fn bulk_load_with_depth_hits_target() {
+        for depth in 2..=8u8 {
+            let t = BPlusTree::bulk_load_with_depth(&seq(10_000), depth, Addr::new(0), 16);
+            assert_eq!(
+                t.depth(),
+                depth,
+                "10k keys should be shapeable to depth {depth}"
+            );
+            // Structure still correct.
+            assert!(t.contains(1234));
+            assert!(!t.contains(10_000));
+        }
+    }
+
+    #[test]
+    fn walk_visits_descending_levels() {
+        let t = BPlusTree::bulk_load(&seq(1000), 4, Addr::new(0), 16);
+        let mut levels = Vec::new();
+        t.walk(567, |_, info| levels.push(info.level));
+        assert_eq!(levels.len(), t.depth() as usize);
+        for w in levels.windows(2) {
+            assert_eq!(w[0], w[1] + 1, "each step descends exactly one level");
+        }
+        assert_eq!(*levels.last().expect("non-empty walk"), 0);
+    }
+
+    #[test]
+    fn node_ranges_nest() {
+        let t = BPlusTree::bulk_load(&seq(1000), 4, Addr::new(0), 16);
+        let key = 789;
+        let mut prev: Option<NodeInfo> = None;
+        t.walk(key, |_, info| {
+            assert!(info.covers(key));
+            if let Some(p) = prev {
+                assert!(p.lo <= info.lo && info.hi <= p.hi, "child range nests");
+            }
+            prev = Some(*info);
+        });
+    }
+
+    #[test]
+    fn root_covers_whole_key_space() {
+        let keys: Vec<Key> = (10..5000).step_by(7).collect();
+        let t = BPlusTree::bulk_load(&keys, 8, Addr::new(0), 16);
+        let root = t.node(t.root());
+        assert_eq!(root.lo, 10);
+        assert_eq!(root.hi, *keys.last().unwrap());
+        assert_eq!(root.level, t.depth() - 1);
+    }
+
+    #[test]
+    fn range_scan_returns_exact_window() {
+        let keys: Vec<Key> = (0..300).map(|i| i * 2).collect();
+        let t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let got = t.range(100, 140);
+        let want: Vec<Key> = (50..=70).map(|i| i * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_scan_single_leaf() {
+        let t = BPlusTree::bulk_load(&seq(100), 10, Addr::new(0), 16);
+        assert_eq!(t.range(5, 7), vec![5, 6, 7]);
+        assert_eq!(t.range(98, 200), vec![98, 99]);
+        assert!(t.range(200, 300).is_empty());
+    }
+
+    #[test]
+    fn leaf_links_cover_all_leaves_in_order() {
+        let t = BPlusTree::bulk_load(&seq(1000), 4, Addr::new(0), 16);
+        let mut leaf = Some(t.leaf_for(0));
+        let mut seen = Vec::new();
+        while let Some(l) = leaf {
+            seen.extend_from_slice(t.leaf_keys(l));
+            leaf = t.next_leaf(l);
+        }
+        assert_eq!(seen, seq(1000), "leaf chain yields all keys in order");
+    }
+
+    #[test]
+    fn value_addresses_are_distinct_and_in_data_region() {
+        let t = BPlusTree::bulk_load(&seq(100), 4, Addr::new(0), 32);
+        let mut addrs = Vec::new();
+        for k in 0..100 {
+            if let Descend::Leaf {
+                found, value_addr, value_bytes,
+            } = t.walk(k, |_, _| {})
+            {
+                assert!(found);
+                assert!(value_addr.get() >= t.data_base().get());
+                assert_eq!(value_bytes, 32);
+                addrs.push(value_addr);
+            } else {
+                panic!("walk must end at a leaf");
+            }
+        }
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 100, "each record has a distinct address");
+    }
+
+    #[test]
+    fn total_blocks_matches_node_count_lower_bound() {
+        let t = BPlusTree::bulk_load(&seq(1000), 4, Addr::new(0), 16);
+        assert!(t.total_blocks() >= t.node_count() as u64);
+    }
+
+    #[test]
+    fn level_census_is_consistent() {
+        let t = BPlusTree::bulk_load(&seq(1000), 4, Addr::new(0), 16);
+        let total: usize = (0..t.depth()).map(|l| t.nodes_at_level(l).len()).sum();
+        assert_eq!(total, t.node_count());
+        assert_eq!(t.nodes_at_level(t.depth() - 1).len(), 1, "one root");
+        assert_eq!(t.nodes_at_level(0).len(), 250, "1000 keys / 4 per leaf");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn rejects_unsorted_keys() {
+        let _ = BPlusTree::bulk_load(&[3, 1, 2], 4, Addr::new(0), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_keys() {
+        let _ = BPlusTree::bulk_load(&[], 4, Addr::new(0), 16);
+    }
+}

@@ -1,0 +1,305 @@
+//! Shallow compressed-fiber matrix (SpMM-S).
+//!
+//! The paper's shallow counterpart to the deep dynamic tensor: a CSR5-style
+//! fiber representation with exactly three levels (Fig. 21 caption:
+//! "SpMM-S: Fibers are 3 levels"):
+//!
+//! - level 2 — root: directory of segment descriptors,
+//! - level 1 — segments: each covers a contiguous range of column ids,
+//! - level 0 — fiber leaves: per-column headers pointing at the non-zero
+//!   list.
+//!
+//! With so few levels there is little *reach* for METAL to exploit, which
+//! is exactly why the paper's -S variants show METAL ≈ X-Cache (±15 %).
+
+use crate::arena::{Arena, NodeId};
+use crate::walk::{Descend, NodeInfo, WalkIndex};
+use metal_sim::types::{Addr, Key};
+
+const NNZ_BYTES: u64 = 12;
+
+#[derive(Debug, Clone)]
+struct Segment {
+    /// Column ids covered by this segment (sorted).
+    first_col: Key,
+    last_col: Key,
+    /// Index of the first leaf in this segment.
+    first_leaf: usize,
+    n_leaves: usize,
+    slot: usize,
+}
+
+#[derive(Debug, Clone)]
+struct FiberLeaf {
+    col: Key,
+    data: (Addr, u64),
+    slot: usize,
+}
+
+/// A sparse matrix in shallow (3-level) fiber form.
+#[derive(Debug, Clone)]
+pub struct FiberMatrix {
+    root_slot: usize,
+    segments: Vec<Segment>,
+    leaves: Vec<FiberLeaf>,
+    arena: Arena,
+    rows: u64,
+    cols: u64,
+    total_nnz: u64,
+}
+
+impl FiberMatrix {
+    /// Builds a fiber matrix from `(col_id, nnz)` pairs (sorted, nnz ≥ 1),
+    /// with `cols_per_segment` fibers per segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty/unsorted or `cols_per_segment == 0`.
+    pub fn build(
+        rows: u64,
+        cols: u64,
+        columns: &[(Key, u32)],
+        cols_per_segment: usize,
+        base: Addr,
+    ) -> Self {
+        assert!(!columns.is_empty(), "fiber matrix needs at least one column");
+        assert!(cols_per_segment > 0, "segments must cover at least one column");
+        assert!(
+            columns.windows(2).all(|w| w[0].0 < w[1].0),
+            "column ids must be strictly sorted"
+        );
+        assert!(columns.iter().all(|&(_, n)| n > 0), "columns need non-zeros");
+
+        let mut arena = Arena::new(base);
+        let n_segments = columns.len().div_ceil(cols_per_segment);
+        let root_slot = arena.alloc(16 + n_segments as u64 * 16);
+
+        let mut segments = Vec::with_capacity(n_segments);
+        let mut leaves: Vec<FiberLeaf> = Vec::with_capacity(columns.len());
+
+        for (si, chunk) in columns.chunks(cols_per_segment).enumerate() {
+            let slot = arena.alloc(16 + chunk.len() as u64 * 16);
+            segments.push(Segment {
+                first_col: chunk[0].0,
+                last_col: chunk.last().expect("non-empty").0,
+                first_leaf: si * cols_per_segment,
+                n_leaves: chunk.len(),
+                slot,
+            });
+            for &(c, _) in chunk {
+                let slot = arena.alloc(24);
+                leaves.push(FiberLeaf {
+                    col: c,
+                    data: (Addr::new(0), 0), // patched below
+                    slot,
+                });
+            }
+        }
+
+        // Non-zero lists after the index.
+        let mut cursor = arena.end().get();
+        let mut total_nnz = 0u64;
+        for (leaf, &(_, n)) in leaves.iter_mut().zip(columns) {
+            let bytes = n as u64 * NNZ_BYTES;
+            leaf.data = (Addr::new(cursor), bytes);
+            cursor += bytes.div_ceil(64) * 64;
+            total_nnz += n as u64;
+        }
+
+        FiberMatrix {
+            root_slot,
+            segments,
+            leaves,
+            arena,
+            rows,
+            cols,
+            total_nnz,
+        }
+    }
+
+    /// Matrix row count.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Matrix column count.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Total stored non-zeros.
+    pub fn total_nnz(&self) -> u64 {
+        self.total_nnz
+    }
+
+    /// Number of segments at level 1.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    // Node id layout: 0 = root, 1..=S = segments, S+1.. = leaves.
+    fn seg_id(&self, si: usize) -> NodeId {
+        1 + si as NodeId
+    }
+
+    fn leaf_id(&self, li: usize) -> NodeId {
+        1 + self.segments.len() as NodeId + li as NodeId
+    }
+}
+
+impl WalkIndex for FiberMatrix {
+    fn root(&self) -> NodeId {
+        0
+    }
+
+    fn node(&self, id: NodeId) -> NodeInfo {
+        let s_count = self.segments.len() as NodeId;
+        if id == 0 {
+            return NodeInfo {
+                addr: self.arena.addr(self.root_slot),
+                bytes: self.arena.bytes(self.root_slot),
+                level: 2,
+                lo: self.segments[0].first_col,
+                hi: self.segments.last().expect("non-empty").last_col,
+                keys: self.segments.len() as u16,
+            };
+        }
+        if id <= s_count {
+            let s = &self.segments[(id - 1) as usize];
+            return NodeInfo {
+                addr: self.arena.addr(s.slot),
+                bytes: self.arena.bytes(s.slot),
+                level: 1,
+                lo: s.first_col,
+                hi: s.last_col,
+                keys: s.n_leaves as u16,
+            };
+        }
+        let l = &self.leaves[(id - 1 - s_count) as usize];
+        NodeInfo {
+            addr: self.arena.addr(l.slot),
+            bytes: self.arena.bytes(l.slot),
+            level: 0,
+            lo: l.col,
+            hi: l.col,
+            keys: 1,
+        }
+    }
+
+    fn descend(&self, id: NodeId, key: Key) -> Descend {
+        let s_count = self.segments.len() as NodeId;
+        let miss = Descend::Leaf {
+            found: false,
+            value_addr: self.arena.addr(self.root_slot),
+            value_bytes: 0,
+        };
+        if id == 0 {
+            let si = self
+                .segments
+                .partition_point(|s| s.last_col < key);
+            if si == self.segments.len() {
+                return miss;
+            }
+            return Descend::Child(self.seg_id(si));
+        }
+        if id <= s_count {
+            let s = &self.segments[(id - 1) as usize];
+            let local = self.leaves[s.first_leaf..s.first_leaf + s.n_leaves]
+                .binary_search_by_key(&key, |l| l.col);
+            return match local {
+                Ok(off) => Descend::Child(self.leaf_id(s.first_leaf + off)),
+                Err(_) => miss,
+            };
+        }
+        let l = &self.leaves[(id - 1 - s_count) as usize];
+        Descend::Leaf {
+            found: l.col == key,
+            value_addr: l.data.0,
+            value_bytes: l.data.1,
+        }
+    }
+
+    fn depth(&self) -> u8 {
+        3
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.arena.total_blocks()
+    }
+
+    fn node_count(&self) -> usize {
+        1 + self.segments.len() + self.leaves.len()
+    }
+
+    fn access_for(&self, id: NodeId, key: Key) -> (Addr, u64) {
+        if id == 0 {
+            // The root is an offset array: fetch only the block holding
+            // the segment descriptor the key selects.
+            let si = self.segments.partition_point(|s| s.last_col < key);
+            let si = si.min(self.segments.len() - 1);
+            let slot = self.arena.addr(self.root_slot).get() + 16 + si as u64 * 16;
+            return (Addr::new(slot / 64 * 64), 64);
+        }
+        let info = self.node(id);
+        (info.addr, info.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns(n: u64) -> Vec<(Key, u32)> {
+        (0..n).map(|c| (c * 3, (c % 5 + 1) as u32)).collect()
+    }
+
+    #[test]
+    fn three_levels_always() {
+        let f = FiberMatrix::build(100, 3000, &columns(1000), 32, Addr::new(0));
+        assert_eq!(f.depth(), 3);
+        let mut levels = Vec::new();
+        f.walk(300, |_, info| levels.push(info.level));
+        assert_eq!(levels, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn finds_all_columns() {
+        let f = FiberMatrix::build(100, 3000, &columns(500), 16, Addr::new(0));
+        for &(c, n) in &columns(500) {
+            match f.walk(c, |_, _| {}) {
+                Descend::Leaf {
+                    found: true,
+                    value_bytes,
+                    ..
+                } => assert_eq!(value_bytes, n as u64 * NNZ_BYTES),
+                other => panic!("column {c} missing: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absent_column_misses() {
+        let f = FiberMatrix::build(100, 3000, &columns(500), 16, Addr::new(0));
+        assert!(!f.contains(1));
+        assert!(!f.contains(2));
+        assert!(!f.contains(100_000));
+    }
+
+    #[test]
+    fn segments_partition_columns() {
+        let f = FiberMatrix::build(100, 3000, &columns(100), 16, Addr::new(0));
+        assert_eq!(f.segment_count(), 7); // ceil(100/16)
+        for w in f.segments.windows(2) {
+            assert!(w[0].last_col < w[1].first_col);
+        }
+    }
+
+    #[test]
+    fn far_fewer_levels_than_deep_tensor() {
+        use crate::tensor::SparseTensor;
+        let cols = columns(5000);
+        let deep = SparseTensor::build(100, 20_000, &cols, 4, Addr::new(0));
+        let shallow = FiberMatrix::build(100, 20_000, &cols, 64, Addr::new(0));
+        assert!(deep.depth() > shallow.depth() + 1);
+    }
+}

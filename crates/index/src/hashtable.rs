@@ -1,0 +1,328 @@
+//! Chained hash table (Widx-style).
+//!
+//! The hash index of Kocberber et al.'s Widx: a bucket directory followed
+//! by a chain of nodes, each holding a handful of sorted keys plus a next
+//! pointer. The paper classifies this as a *horizontally hierarchical*
+//! index (§2.2, footnote: "hash tables with chaining that exhibit
+//! hierarchical accesses"): walking a chain skips nothing, so caching a
+//! chain node short-circuits the prefix before it.
+//!
+//! Bucketing is order-preserving (`key >> shift`) so chain-node key ranges
+//! are valid IX-cache range tags: a chain node's tag is
+//! `[first-key-in-node, bucket-max]`, and deeper (later) nodes — which
+//! carry lower levels — win ties, steering probes to the closest restart
+//! point.
+
+use crate::arena::{Arena, NodeId};
+use crate::walk::{Descend, NodeInfo, WalkIndex};
+use metal_sim::types::{Addr, Key};
+
+const CHAIN_HEADER_BYTES: u64 = 16;
+
+#[derive(Debug, Clone)]
+struct ChainNode {
+    keys: Vec<Key>,
+    next: Option<NodeId>,
+    /// Levels from the chain end (last node = 0).
+    level: u8,
+    /// Range tag: [keys[0], bucket hi].
+    lo: Key,
+    hi: Key,
+    slot: usize,
+}
+
+/// A chained hash table over keys ≥ 1 with order-preserving bucketing.
+#[derive(Debug, Clone)]
+pub struct ChainedHashTable {
+    arena: Arena,
+    nodes: Vec<ChainNode>,
+    /// First chain node of each bucket (None if empty).
+    bucket_heads: Vec<Option<NodeId>>,
+    dir_addr: Addr,
+    dir_bytes: u64,
+    shift: u32,
+    n_buckets: usize,
+    keys_per_node: usize,
+    n_keys: u64,
+    depth: u8,
+    total_blocks: u64,
+    lo: Key,
+    hi: Key,
+}
+
+impl ChainedHashTable {
+    /// Builds a table over sorted, strictly increasing keys (≥ 1, below
+    /// `key_space`), with `n_buckets` buckets (power of two) and
+    /// `keys_per_node` keys per chain node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/unsorted keys, non-power-of-two buckets, or
+    /// `keys_per_node == 0`.
+    pub fn build(
+        keys: &[Key],
+        n_buckets: usize,
+        keys_per_node: usize,
+        key_space: Key,
+        base: Addr,
+    ) -> Self {
+        assert!(!keys.is_empty(), "cannot build an empty hash table");
+        assert!(n_buckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(keys_per_node > 0, "chain nodes must hold at least one key");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly sorted");
+        assert!(keys[0] >= 1, "key 0 is reserved");
+        assert!(*keys.last().expect("non-empty") < key_space);
+
+        let space_bits = 64 - (key_space - 1).leading_zeros();
+        let bucket_bits = n_buckets.trailing_zeros();
+        let shift = space_bits.saturating_sub(bucket_bits);
+
+        let mut arena = Arena::new(base);
+        let dir_slot = arena.alloc(n_buckets as u64 * 8);
+        let dir_addr = arena.addr(dir_slot);
+        let dir_bytes = arena.bytes(dir_slot);
+
+        let mut nodes: Vec<ChainNode> = Vec::new();
+        let mut bucket_heads: Vec<Option<NodeId>> = vec![None; n_buckets];
+        let mut max_chain = 0usize;
+
+        let mut i = 0usize;
+        for b in 0..n_buckets as u64 {
+            let hi_bound = (b + 1) << shift;
+            let start = i;
+            while i < keys.len() && keys[i] < hi_bound {
+                i += 1;
+            }
+            if start == i {
+                continue;
+            }
+            let bucket_keys = &keys[start..i];
+            let bucket_hi = *bucket_keys.last().expect("non-empty");
+            let chunks: Vec<&[Key]> = bucket_keys.chunks(keys_per_node).collect();
+            max_chain = max_chain.max(chunks.len());
+            let first_id = nodes.len() as NodeId;
+            for (ci, chunk) in chunks.iter().enumerate() {
+                let bytes = CHAIN_HEADER_BYTES + chunk.len() as u64 * 16 + 8;
+                let slot = arena.alloc(bytes);
+                nodes.push(ChainNode {
+                    keys: chunk.to_vec(),
+                    next: if ci + 1 < chunks.len() {
+                        Some(first_id + ci as NodeId + 1)
+                    } else {
+                        None
+                    },
+                    level: (chunks.len() - 1 - ci) as u8,
+                    lo: chunk[0],
+                    hi: bucket_hi,
+                    slot,
+                });
+            }
+            bucket_heads[b as usize] = Some(first_id);
+        }
+
+        ChainedHashTable {
+            bucket_heads,
+            dir_addr,
+            dir_bytes,
+            shift,
+            n_buckets,
+            keys_per_node,
+            n_keys: keys.len() as u64,
+            depth: max_chain as u8 + 1,
+            total_blocks: arena.total_blocks(),
+            lo: keys[0],
+            hi: *keys.last().expect("non-empty"),
+            nodes,
+            arena,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.n_keys
+    }
+
+    /// Whether the table stores no keys (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.n_keys == 0
+    }
+
+    /// The bucket a key maps to.
+    pub fn bucket_of(&self, key: Key) -> usize {
+        ((key >> self.shift) as usize).min(self.n_buckets - 1)
+    }
+
+    /// Longest chain length in nodes.
+    pub fn max_chain(&self) -> usize {
+        self.depth as usize - 1
+    }
+
+    /// Keys per chain node (the table's "degree").
+    pub fn keys_per_node(&self) -> usize {
+        self.keys_per_node
+    }
+
+    /// The directory id used as the walk root.
+    const DIR: NodeId = NodeId::MAX;
+}
+
+impl WalkIndex for ChainedHashTable {
+    fn root(&self) -> NodeId {
+        Self::DIR
+    }
+
+    fn node(&self, id: NodeId) -> NodeInfo {
+        if id == Self::DIR {
+            return NodeInfo {
+                addr: self.dir_addr,
+                bytes: self.dir_bytes,
+                level: self.depth - 1,
+                lo: self.lo,
+                hi: self.hi,
+                keys: self.n_buckets as u16,
+            };
+        }
+        let n = &self.nodes[id as usize];
+        NodeInfo {
+            addr: self.arena.addr(n.slot),
+            bytes: self.arena.bytes(n.slot),
+            level: n.level,
+            lo: n.lo,
+            hi: n.hi,
+            keys: n.keys.len() as u16,
+        }
+    }
+
+    fn descend(&self, id: NodeId, key: Key) -> Descend {
+        if id == Self::DIR {
+            let b = self.bucket_of(key);
+            return match self.bucket_heads[b] {
+                Some(head) => Descend::Child(head),
+                None => Descend::Leaf {
+                    found: false,
+                    value_addr: self.dir_addr,
+                    value_bytes: 0,
+                },
+            };
+        }
+        let n = &self.nodes[id as usize];
+        if n.keys.binary_search(&key).is_ok() {
+            return Descend::Leaf {
+                found: true,
+                value_addr: self.dir_addr.offset(8 + id as u64),
+                value_bytes: 8,
+            };
+        }
+        match n.next {
+            // Only continue if the key could be further down the chain.
+            Some(next) if key > *n.keys.last().expect("non-empty chain node") => {
+                Descend::Child(next)
+            }
+            _ => Descend::Leaf {
+                found: false,
+                value_addr: self.dir_addr,
+                value_bytes: 0,
+            },
+        }
+    }
+
+    fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len() + 1
+    }
+
+    fn access_for(&self, id: NodeId, key: Key) -> (Addr, u64) {
+        if id == Self::DIR {
+            // Directory lookup: fetch only the bucket slot's block.
+            let slot = self.dir_addr.get() + self.bucket_of(key) as u64 * 8;
+            return (Addr::new(slot / 64 * 64), 64.min(self.dir_bytes));
+        }
+        let info = self.node(id);
+        (info.addr, info.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<Key> {
+        (1..=n).map(|i| i * 3).collect()
+    }
+
+    #[test]
+    fn finds_all_keys() {
+        let t = ChainedHashTable::build(&keys(1000), 64, 8, 1 << 12, Addr::new(0));
+        for &k in &keys(1000) {
+            assert!(t.contains(k), "key {k} must be found");
+        }
+        for k in [1u64, 2, 4, 3001, 4000] {
+            assert!(!t.contains(k), "key {k} must be absent");
+        }
+    }
+
+    #[test]
+    fn chain_levels_decrease_toward_end() {
+        let t = ChainedHashTable::build(&keys(1000), 4, 4, 1 << 12, Addr::new(0));
+        // Few buckets → long chains; walk a key deep in a chain.
+        let deep_key = 2999; // near the end of the last bucket's range
+        let mut levels = Vec::new();
+        t.walk(deep_key, |_, info| levels.push(info.level));
+        assert!(levels.len() > 3, "expected a multi-node chain walk");
+        for w in levels[1..].windows(2) {
+            assert_eq!(w[0], w[1] + 1, "chain levels descend by one");
+        }
+        assert_eq!(*levels.last().unwrap(), 0, "walk ends at the chain tail region");
+    }
+
+    #[test]
+    fn absent_key_stops_early() {
+        let t = ChainedHashTable::build(&[10, 20, 30, 40], 1, 2, 64, Addr::new(0));
+        // Key 15 sorts inside the first chain node's span: walk must not
+        // traverse the rest of the chain.
+        let mut visited = 0;
+        let r = t.walk(15, |_, _| visited += 1);
+        assert!(matches!(r, Descend::Leaf { found: false, .. }));
+        assert_eq!(visited, 2, "directory + first chain node only");
+    }
+
+    #[test]
+    fn empty_bucket_resolves_at_directory() {
+        let t = ChainedHashTable::build(&[1, 2, 3], 16, 4, 1 << 16, Addr::new(0));
+        let mut visited = 0;
+        let r = t.walk(60_000, |_, _| visited += 1);
+        assert!(matches!(r, Descend::Leaf { found: false, .. }));
+        assert_eq!(visited, 1);
+    }
+
+    #[test]
+    fn degree_controls_chain_length() {
+        let shallow = ChainedHashTable::build(&keys(1000), 256, 8, 1 << 12, Addr::new(0));
+        let deep = ChainedHashTable::build(&keys(1000), 4, 8, 1 << 12, Addr::new(0));
+        assert!(deep.max_chain() > shallow.max_chain());
+    }
+
+    #[test]
+    fn range_tags_extend_to_bucket_end() {
+        let t = ChainedHashTable::build(&keys(100), 4, 4, 512, Addr::new(0));
+        // Every chain node's hi equals its bucket's max key.
+        for id in 0..(t.node_count() - 1) as NodeId {
+            let info = t.node(id);
+            let b = t.bucket_of(info.lo);
+            assert_eq!(b, t.bucket_of(info.hi), "tag stays within one bucket");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_bucket_count() {
+        let _ = ChainedHashTable::build(&[1, 2], 3, 4, 16, Addr::new(0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Two-dimensional R-tree as two coordinate B+trees (§4.3).
+//!
+//! The paper implements its spatial index exactly this way: "each of the
+//! coordinates are indexed in a BTree with the leaf values in the x-tree
+//! serving as keys to the y-tree". A quadrilateral query walks the x-tree
+//! for an x coordinate, reads the correlated y keys from the leaf record,
+//! then walks the y-tree for each of them.
+//!
+//! The x→y correlation is what produces the *branch* reuse pattern: queries
+//! whose x coordinates cluster also cluster their y walks, so sub-branches
+//! of the y-tree around the cluster median see heavy reuse.
+
+use crate::bptree::BPlusTree;
+use crate::walk::WalkIndex;
+use metal_sim::types::{Addr, Key};
+
+/// A 2-D spatial index: an x-B+tree whose leaves key a y-B+tree.
+#[derive(Debug, Clone)]
+pub struct RTree2D {
+    x_tree: BPlusTree,
+    y_tree: BPlusTree,
+    /// Number of correlated y keys per x hit (quadrilateral corners).
+    y_keys_per_x: usize,
+    y_count: u64,
+}
+
+impl RTree2D {
+    /// Builds the spatial index over sorted `x_keys` and `y_keys`.
+    /// Each x key correlates with `y_keys_per_x` nearby y keys (the
+    /// quadrilateral's candidate corners). Table 2 uses a 10 M-key x-tree
+    /// (degree 5, depth 10) and a 300 K-key y-tree (degree 3, depth 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either key set is empty/unsorted or `y_keys_per_x == 0`.
+    pub fn build(
+        x_keys: &[Key],
+        y_keys: &[Key],
+        x_max_keys: usize,
+        y_max_keys: usize,
+        y_keys_per_x: usize,
+        base: Addr,
+    ) -> Self {
+        assert!(y_keys_per_x > 0, "need at least one correlated y key");
+        let x_tree = BPlusTree::bulk_load(x_keys, x_max_keys, base, 8 * y_keys_per_x as u64);
+        let y_base = Addr::new(
+            x_tree.data_base().get() + x_keys.len() as u64 * x_tree.record_bytes() + 64,
+        );
+        let y_tree = BPlusTree::bulk_load(y_keys, y_max_keys, y_base, 16);
+        RTree2D {
+            x_tree,
+            y_tree,
+            y_keys_per_x,
+            y_count: y_keys.len() as u64,
+        }
+    }
+
+    /// The x-coordinate tree.
+    pub fn x_tree(&self) -> &BPlusTree {
+        &self.x_tree
+    }
+
+    /// The y-coordinate tree.
+    pub fn y_tree(&self) -> &BPlusTree {
+        &self.y_tree
+    }
+
+    /// Number of correlated y keys per x leaf record.
+    pub fn y_keys_per_x(&self) -> usize {
+        self.y_keys_per_x
+    }
+
+    /// The y keys correlated with `x` (deterministic spatial correlation:
+    /// a cluster of y ranks around a hash-spread position of `x`).
+    ///
+    /// The correlation is stable so repeated queries for nearby x values
+    /// produce overlapping y clusters — the behaviour the branch pattern
+    /// exploits.
+    pub fn correlated_y_keys(&self, x: Key) -> Vec<Key> {
+        // Nearby x values land in nearby y neighborhoods: scale the x key
+        // into y-rank space, then take a small window.
+        let x_root = self.x_tree.node(self.x_tree.root());
+        let span = (x_root.hi - x_root.lo).max(1);
+        let pos = ((x.saturating_sub(x_root.lo)) as u128 * self.y_count as u128 / span as u128)
+            as u64;
+        let start = pos.min(self.y_count.saturating_sub(self.y_keys_per_x as u64));
+        (0..self.y_keys_per_x as u64)
+            .map(|i| self.y_rank_to_key((start + i).min(self.y_count - 1)))
+            .collect()
+    }
+
+    /// Total footprint (both trees) in 64 B blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.x_tree.total_blocks() + self.y_tree.total_blocks()
+    }
+
+    fn y_rank_to_key(&self, rank: u64) -> Key {
+        // Walk the y-tree leaves is overkill here; y keys are whatever the
+        // builder supplied, so reconstruct by leaf-chain indexing.
+        // For efficiency, keys are recovered arithmetically when the y key
+        // set is an affine sequence; otherwise fall back to leaf traversal.
+        let root = self.y_tree.node(self.y_tree.root());
+        let lo = root.lo;
+        let hi = root.hi;
+        if self.y_count <= 1 {
+            return lo;
+        }
+        // Approximate rank → key assuming near-uniform spacing; then snap
+        // to the closest real key with a tree probe of the leaf.
+        let approx = lo + (hi - lo) * rank / (self.y_count - 1);
+        let leaf = self.y_tree.leaf_for(approx);
+        let keys = self.y_tree.leaf_keys(leaf);
+        *keys
+            .iter()
+            .min_by_key(|&&k| k.abs_diff(approx))
+            .expect("leaves are non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_small() -> RTree2D {
+        let x: Vec<Key> = (0..10_000).collect();
+        let y: Vec<Key> = (0..300).map(|i| i * 5).collect();
+        RTree2D::build(&x, &y, 4, 8, 4, Addr::new(0))
+    }
+
+    #[test]
+    fn both_trees_walkable() {
+        let rt = build_small();
+        assert!(rt.x_tree().contains(5000));
+        assert!(rt.y_tree().contains(500));
+        assert!(!rt.y_tree().contains(501));
+    }
+
+    #[test]
+    fn correlated_y_keys_exist_in_y_tree() {
+        let rt = build_small();
+        for x in [0u64, 17, 999, 5000, 9999] {
+            for y in rt.correlated_y_keys(x) {
+                assert!(rt.y_tree().contains(y), "correlated key {y} must exist");
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_x_share_y_clusters() {
+        let rt = build_small();
+        let a = rt.correlated_y_keys(5000);
+        let b = rt.correlated_y_keys(5001);
+        let overlap = a.iter().filter(|k| b.contains(k)).count();
+        assert!(
+            overlap >= a.len() / 2,
+            "adjacent x queries should reuse most y keys ({overlap}/{})",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn distant_x_use_different_clusters() {
+        let rt = build_small();
+        let a = rt.correlated_y_keys(100);
+        let b = rt.correlated_y_keys(9000);
+        let overlap = a.iter().filter(|k| b.contains(k)).count();
+        assert_eq!(overlap, 0, "far-apart x queries should not share y keys");
+    }
+
+    #[test]
+    fn depth_asymmetry_like_paper() {
+        // Table 2: x-tree deeper than y-tree.
+        let rt = build_small();
+        assert!(rt.x_tree().depth() > rt.y_tree().depth());
+    }
+
+    #[test]
+    fn footprint_sums_trees() {
+        let rt = build_small();
+        assert_eq!(
+            rt.total_blocks(),
+            rt.x_tree().total_blocks() + rt.y_tree().total_blocks()
+        );
+    }
+}

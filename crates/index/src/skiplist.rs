@@ -1,0 +1,358 @@
+//! Deterministic skip list.
+//!
+//! The building block of Redis-style sorted sets (§4.4): an ordered list
+//! with express lanes. Each *tower* (one record) carries forward pointers
+//! at `height` levels; a search enters at the head tower and repeatedly
+//! takes the highest lane that does not overshoot the key.
+//!
+//! Tower heights are deterministic (tower *i* is promoted once per factor
+//! of `branching` dividing *i*), which makes runs reproducible and the
+//! structure perfectly balanced — the software analogue of the paper's
+//! fixed-degree B+trees.
+//!
+//! For the IX-cache, a tower at height *h* plays the role of an index node
+//! at level *h − 1*: the paper tags skip nodes with `[Sᵢ, Max]`; we tighten
+//! `Max` to the key just before the next same-height tower, which preserves
+//! the short-circuit semantics (any tower with `key ≤ target` is a valid
+//! walk restart point) while keeping range tags disjoint per level.
+//!
+//! Keys must be ≥ 1: key 0 is reserved for the head sentinel.
+
+use crate::arena::{Arena, NodeId};
+use crate::walk::{Descend, NodeInfo, WalkIndex};
+use metal_sim::types::{Addr, Key};
+
+const TOWER_HEADER_BYTES: u64 = 24;
+
+#[derive(Debug, Clone)]
+struct Tower {
+    key: Key,
+    /// `next[h]` = id of the next tower at level `h`.
+    next: Vec<Option<NodeId>>,
+    slot: usize,
+    /// Upper bound (inclusive) of the span this tower leads (range tag).
+    hi: Key,
+}
+
+/// A deterministic skip list over keys ≥ 1.
+#[derive(Debug, Clone)]
+pub struct SkipList {
+    towers: Vec<Tower>,
+    arena: Arena,
+    max_height: u8,
+    n_keys: u64,
+    /// Largest key stored (the bucket `Max` of §4.4).
+    max_key: Key,
+}
+
+impl SkipList {
+    /// Builds a skip list over sorted, strictly increasing keys (all ≥ 1),
+    /// with promotion factor `branching` (≥ 2), placing towers at
+    /// simulated addresses from `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if keys are empty, unsorted, contain 0, or `branching < 2`.
+    pub fn build(keys: &[Key], branching: usize, base: Addr) -> Self {
+        assert!(!keys.is_empty(), "cannot build an empty skip list");
+        assert!(branching >= 2, "branching factor must be at least 2");
+        assert!(keys[0] >= 1, "key 0 is reserved for the head sentinel");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly sorted"
+        );
+
+        let n = keys.len();
+        // Height of tower i (1-based position; head is position 0 and gets
+        // the maximum height).
+        let height_of = |pos: usize| -> u8 {
+            let mut h = 1u8;
+            let mut p = pos;
+            while p.is_multiple_of(branching) && p > 0 {
+                h += 1;
+                p /= branching;
+            }
+            h
+        };
+        let max_height = (1..=n).map(height_of).max().unwrap_or(1) + 1;
+
+        let mut arena = Arena::new(base);
+        let mut towers: Vec<Tower> = Vec::with_capacity(n + 1);
+
+        // Head sentinel (key 0, full height).
+        let head_bytes = TOWER_HEADER_BYTES + max_height as u64 * 8;
+        let head_slot = arena.alloc(head_bytes);
+        towers.push(Tower {
+            key: 0,
+            next: vec![None; max_height as usize],
+            slot: head_slot,
+            hi: 0,
+        });
+
+        for (i, &k) in keys.iter().enumerate() {
+            let h = height_of(i + 1).min(max_height);
+            let bytes = TOWER_HEADER_BYTES + h as u64 * 8 + 8; // + value ptr
+            let slot = arena.alloc(bytes);
+            towers.push(Tower {
+                key: k,
+                next: vec![None; h as usize],
+                slot,
+                hi: k,
+            });
+        }
+
+        // Wire forward pointers per level.
+        for level in 0..max_height as usize {
+            let mut prev = 0usize; // head
+            for id in 1..towers.len() {
+                if towers[id].next.len() > level {
+                    towers[prev].next[level] = Some(id as NodeId);
+                    prev = id;
+                }
+            }
+        }
+
+        let max_key = *keys.last().expect("non-empty");
+
+        // Range tags: tower t's hi = key before the next tower at t's top
+        // level (or the list max).
+        for id in 1..towers.len() {
+            let top = towers[id].next.len() - 1;
+            towers[id].hi = match towers[id].next[top] {
+                Some(nxt) => towers[nxt as usize].key.saturating_sub(1),
+                None => max_key,
+            };
+        }
+        towers[0].hi = max_key;
+
+        SkipList {
+            towers,
+            arena,
+            max_height,
+            n_keys: n as u64,
+            max_key,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.n_keys
+    }
+
+    /// Whether the list stores no keys (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.n_keys == 0
+    }
+
+    /// Largest key stored.
+    pub fn max_key(&self) -> Key {
+        self.max_key
+    }
+
+    /// Height (in levels) of the tallest tower, including the head.
+    pub fn height(&self) -> u8 {
+        self.max_height
+    }
+
+    /// Height of tower `id` in levels.
+    pub fn tower_height(&self, id: NodeId) -> u8 {
+        self.towers[id as usize].next.len() as u8
+    }
+}
+
+impl WalkIndex for SkipList {
+    fn root(&self) -> NodeId {
+        0
+    }
+
+    fn node(&self, id: NodeId) -> NodeInfo {
+        let t = &self.towers[id as usize];
+        NodeInfo {
+            addr: self.arena.addr(t.slot),
+            bytes: self.arena.bytes(t.slot),
+            // Level analog: height − 1, so plain record towers are leaves.
+            level: (t.next.len() as u8).saturating_sub(1),
+            lo: t.key,
+            hi: t.hi,
+            keys: 1,
+        }
+    }
+
+    fn descend(&self, id: NodeId, key: Key) -> Descend {
+        let t = &self.towers[id as usize];
+        // Take the highest lane that does not overshoot.
+        for level in (0..t.next.len()).rev() {
+            if let Some(nxt) = t.next[level] {
+                if self.towers[nxt as usize].key <= key {
+                    return Descend::Child(nxt);
+                }
+            }
+        }
+        // No lane advances: this tower is the predecessor-or-equal.
+        Descend::Leaf {
+            found: t.key == key,
+            value_addr: self.arena.addr(t.slot).offset(TOWER_HEADER_BYTES),
+            value_bytes: if t.key == key { 8 } else { 0 },
+        }
+    }
+
+    fn depth(&self) -> u8 {
+        self.max_height
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.arena.total_blocks()
+    }
+
+    fn node_count(&self) -> usize {
+        self.towers.len()
+    }
+
+    fn next_leaf(&self, leaf: NodeId) -> Option<NodeId> {
+        // The bottom lane is the ordered record list: §4.4's validation
+        // traversal ("we have to validate by traversing that portion of
+        // the list") walks it.
+        self.towers.get(leaf as usize)?.next.first().copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<Key> {
+        (1..=n).map(|i| i * 10).collect()
+    }
+
+    #[test]
+    fn finds_all_keys() {
+        let ks = keys(200);
+        let sl = SkipList::build(&ks, 4, Addr::new(0));
+        for &k in &ks {
+            assert!(sl.contains(k), "key {k} must be found");
+        }
+        for k in [1, 5, 15, 1995, 2005, 9999] {
+            assert!(!sl.contains(k), "key {k} must be absent");
+        }
+    }
+
+    #[test]
+    fn search_visits_few_towers() {
+        let ks = keys(10_000);
+        let sl = SkipList::build(&ks, 4, Addr::new(0));
+        let mut visited = 0;
+        sl.walk(55_550, |_, _| visited += 1);
+        // log_4(10000) ≈ 6.6; the greedy walk visits O(b·log_b n) towers.
+        assert!(
+            visited <= 40,
+            "walk visited {visited} towers, expected O(log n)"
+        );
+    }
+
+    #[test]
+    fn walk_is_monotone_in_key() {
+        let ks = keys(500);
+        let sl = SkipList::build(&ks, 3, Addr::new(0));
+        let mut last = 0;
+        sl.walk(3210, |id, _| {
+            let k = sl.node(id).lo;
+            assert!(k >= last || last == 0, "keys along walk never decrease");
+            last = k;
+        });
+    }
+
+    #[test]
+    fn tall_towers_cover_wider_ranges() {
+        let ks = keys(1000);
+        let sl = SkipList::build(&ks, 4, Addr::new(0));
+        // Average covered width should grow with tower height.
+        let mut width_by_level: Vec<(u64, u64)> = vec![(0, 0); sl.height() as usize];
+        for id in 1..sl.node_count() as NodeId {
+            let info = sl.node(id);
+            let (sum, cnt) = &mut width_by_level[info.level as usize];
+            *sum += info.hi - info.lo;
+            *cnt += 1;
+        }
+        let avg = |l: usize| {
+            let (s, c) = width_by_level[l];
+            if c == 0 {
+                0.0
+            } else {
+                s as f64 / c as f64
+            }
+        };
+        assert!(avg(2) > avg(0), "higher towers span more keys");
+    }
+
+    #[test]
+    fn range_tags_are_valid_restart_points() {
+        let ks = keys(300);
+        let sl = SkipList::build(&ks, 4, Addr::new(0));
+        // For every tower t and every key in [t.lo, t.hi], walking from t
+        // must find the key iff it exists.
+        for id in (1..sl.node_count() as NodeId).step_by(17) {
+            let info = sl.node(id);
+            for probe in [info.lo, (info.lo + info.hi) / 2, info.hi] {
+                let mut cur = id;
+                let found = loop {
+                    match sl.descend(cur, probe) {
+                        Descend::Child(c) => cur = c,
+                        Descend::Leaf { found, .. } => break found,
+                    }
+                };
+                assert_eq!(found, ks.binary_search(&probe).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_heights() {
+        let ks = keys(64);
+        let a = SkipList::build(&ks, 2, Addr::new(0));
+        let b = SkipList::build(&ks, 2, Addr::new(0));
+        for id in 0..a.node_count() as NodeId {
+            assert_eq!(a.tower_height(id), b.tower_height(id));
+        }
+        // Tower 32 (position 32, divisible by 2^5) is tall.
+        assert!(a.tower_height(32) >= 5);
+        // Odd positions are plain records.
+        assert_eq!(a.tower_height(1), 1);
+        assert_eq!(a.tower_height(3), 1);
+    }
+
+    #[test]
+    fn single_key_list() {
+        let sl = SkipList::build(&[42], 4, Addr::new(0));
+        assert!(sl.contains(42));
+        assert!(!sl.contains(41));
+        assert!(!sl.contains(43));
+        assert_eq!(sl.len(), 1);
+        assert_eq!(sl.max_key(), 42);
+    }
+
+    #[test]
+    fn bottom_lane_links_all_records_in_order() {
+        let ks = keys(100);
+        let sl = SkipList::build(&ks, 4, Addr::new(0));
+        // Start from the head and chase the bottom lane.
+        let mut cur = 0;
+        let mut seen = Vec::new();
+        while let Some(n) = sl.next_leaf(cur) {
+            seen.push(sl.node(n).lo);
+            cur = n;
+        }
+        assert_eq!(seen, ks, "bottom lane yields all records in order");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn rejects_key_zero() {
+        let _ = SkipList::build(&[0, 1, 2], 4, Addr::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn rejects_duplicates() {
+        let _ = SkipList::build(&[1, 1, 2], 4, Addr::new(0));
+    }
+}

@@ -1,0 +1,424 @@
+//! Redis-style sorted sets (§4.4).
+//!
+//! A hybrid hash/skip-list index: records are mapped to buckets by their
+//! *score*, and each bucket is an ordered [`crate::skiplist::SkipList`].
+//! Following the paper's order-preserving-hash deployment, the bucket of a
+//! score is its high bits (`score >> shift`), so bucket key ranges are
+//! disjoint and skip-node range tags remain valid IX-cache tags across the
+//! whole set.
+//!
+//! Two deployments from Table 2:
+//!
+//! - **Sets** (deep): few buckets → long skip lists (many levels to skip).
+//! - **Sets-S** (shallow): ~10³× more buckets → short lists, mimicking a
+//!   low-associativity hash table where caching buys little reach.
+
+use crate::arena::{Arena, NodeId};
+use crate::skiplist::SkipList;
+use crate::walk::{Descend, NodeInfo, WalkIndex};
+use metal_sim::types::{Addr, Key};
+
+/// Configuration of a sorted set.
+#[derive(Debug, Clone, Copy)]
+pub struct SortedSetConfig {
+    /// Number of score buckets (power of two).
+    pub n_buckets: usize,
+    /// Skip-list promotion factor within each bucket.
+    pub branching: usize,
+    /// Exclusive upper bound of the score space.
+    pub score_space: Key,
+}
+
+impl SortedSetConfig {
+    /// Deep deployment: long per-bucket lists (the paper's "Sets").
+    pub fn deep(score_space: Key) -> Self {
+        SortedSetConfig {
+            n_buckets: 16,
+            branching: 4,
+            score_space,
+        }
+    }
+
+    /// Shallow deployment: ~10³× more buckets ("Sets-S").
+    pub fn shallow(score_space: Key) -> Self {
+        SortedSetConfig {
+            n_buckets: 16 * 1024,
+            branching: 4,
+            score_space,
+        }
+    }
+}
+
+/// A sorted set: score-bucketed skip lists behind a bucket directory.
+#[derive(Debug, Clone)]
+pub struct SortedSet {
+    buckets: Vec<Option<SkipList>>,
+    /// NodeId offset of each bucket's towers in the composite id space.
+    offsets: Vec<NodeId>,
+    dir_addr: Addr,
+    dir_bytes: u64,
+    shift: u32,
+    cfg: SortedSetConfig,
+    n_keys: u64,
+    depth: u8,
+    total_blocks: u64,
+    node_count: usize,
+    lo: Key,
+    hi: Key,
+}
+
+impl SortedSet {
+    /// Builds a sorted set over sorted, strictly increasing scores
+    /// (all ≥ 1 and < `cfg.score_space`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if scores are empty/unsorted/out of range, or if
+    /// `cfg.n_buckets` is not a power of two.
+    pub fn build(scores: &[Key], cfg: SortedSetConfig, base: Addr) -> Self {
+        assert!(!scores.is_empty(), "cannot build an empty sorted set");
+        assert!(
+            cfg.n_buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
+        assert!(
+            scores.windows(2).all(|w| w[0] < w[1]),
+            "scores must be strictly sorted"
+        );
+        assert!(scores[0] >= 1, "score 0 is reserved");
+        assert!(
+            *scores.last().expect("non-empty") < cfg.score_space,
+            "scores must be below the score space bound"
+        );
+
+        // Order-preserving bucketing: bucket = score >> shift.
+        let space_bits = 64 - (cfg.score_space - 1).leading_zeros();
+        let bucket_bits = cfg.n_buckets.trailing_zeros();
+        let shift = space_bits.saturating_sub(bucket_bits);
+
+        // Bucket directory occupies one pointer per bucket.
+        let mut dir_arena = Arena::new(base);
+        let dir_bytes = cfg.n_buckets as u64 * 8;
+        let dir_slot = dir_arena.alloc(dir_bytes);
+        let dir_addr = dir_arena.addr(dir_slot);
+        let mut next_base = dir_arena.end();
+
+        let mut buckets: Vec<Option<SkipList>> = Vec::with_capacity(cfg.n_buckets);
+        let mut offsets: Vec<NodeId> = Vec::with_capacity(cfg.n_buckets);
+        let mut next_offset: NodeId = 1; // 0 is the directory
+        let mut total_blocks = dir_arena.total_blocks();
+        let mut node_count = 1usize;
+        let mut max_height = 0u8;
+
+        let mut i = 0usize;
+        for b in 0..cfg.n_buckets as u64 {
+            let hi_bound = (b + 1) << shift;
+            let start = i;
+            while i < scores.len() && scores[i] < hi_bound {
+                i += 1;
+            }
+            offsets.push(next_offset);
+            if start == i {
+                buckets.push(None);
+            } else {
+                let sl = SkipList::build(&scores[start..i], cfg.branching, next_base);
+                next_base = Addr::new(next_base.get() + sl.total_blocks() * 64);
+                next_offset += sl.node_count() as NodeId;
+                total_blocks += sl.total_blocks();
+                node_count += sl.node_count();
+                max_height = max_height.max(sl.height());
+                buckets.push(Some(sl));
+            }
+        }
+
+        SortedSet {
+            buckets,
+            offsets,
+            dir_addr,
+            dir_bytes,
+            shift,
+            cfg,
+            n_keys: scores.len() as u64,
+            depth: max_height + 1,
+            total_blocks,
+            node_count,
+            lo: scores[0],
+            hi: *scores.last().expect("non-empty"),
+        }
+    }
+
+    /// Number of scores stored.
+    pub fn len(&self) -> u64 {
+        self.n_keys
+    }
+
+    /// Whether the set stores no scores (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.n_keys == 0
+    }
+
+    /// The bucket a score maps to.
+    pub fn bucket_of(&self, score: Key) -> usize {
+        ((score >> self.shift) as usize).min(self.cfg.n_buckets - 1)
+    }
+
+    /// Number of non-empty buckets.
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.iter().filter(|b| b.is_some()).count()
+    }
+
+    fn bucket_and_local(&self, id: NodeId) -> (usize, NodeId) {
+        debug_assert!(id >= 1);
+        // offsets is sorted; find the bucket whose offset range contains id.
+        let b = match self.offsets.binary_search(&id) {
+            Ok(b) => b,
+            Err(ins) => ins - 1,
+        };
+        (b, id - self.offsets[b])
+    }
+
+    fn bucket_range(&self, b: usize) -> (Key, Key) {
+        let lo = (b as u64) << self.shift;
+        let hi = (((b as u64) + 1) << self.shift).saturating_sub(1);
+        (lo.max(1), hi)
+    }
+}
+
+impl WalkIndex for SortedSet {
+    fn root(&self) -> NodeId {
+        0
+    }
+
+    fn node(&self, id: NodeId) -> NodeInfo {
+        if id == 0 {
+            return NodeInfo {
+                addr: self.dir_addr,
+                bytes: self.dir_bytes,
+                level: self.depth - 1,
+                lo: self.lo,
+                hi: self.hi,
+                keys: self.cfg.n_buckets as u16,
+            };
+        }
+        let (b, local) = self.bucket_and_local(id);
+        let sl = self.buckets[b]
+            .as_ref()
+            .expect("ids only exist for non-empty buckets");
+        let mut info = sl.node(local);
+        if local == 0 {
+            // Head sentinel: clamp its range to the bucket, not [0, max].
+            let (blo, bhi) = self.bucket_range(b);
+            info.lo = blo;
+            info.hi = bhi.min(self.hi);
+        }
+        info
+    }
+
+    fn descend(&self, id: NodeId, key: Key) -> Descend {
+        if id == 0 {
+            let b = self.bucket_of(key);
+            return match &self.buckets[b] {
+                Some(_) => Descend::Child(self.offsets[b]),
+                None => Descend::Leaf {
+                    found: false,
+                    value_addr: self.dir_addr,
+                    value_bytes: 0,
+                },
+            };
+        }
+        let (b, local) = self.bucket_and_local(id);
+        let sl = self.buckets[b]
+            .as_ref()
+            .expect("ids only exist for non-empty buckets");
+        match sl.descend(local, key) {
+            Descend::Child(c) => Descend::Child(self.offsets[b] + c),
+            leaf @ Descend::Leaf { .. } => leaf,
+        }
+    }
+
+    fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn next_leaf(&self, leaf: NodeId) -> Option<NodeId> {
+        if leaf == 0 {
+            return None;
+        }
+        let (b, local) = self.bucket_and_local(leaf);
+        let sl = self.buckets[b].as_ref()?;
+        sl.next_leaf(local).map(|n| self.offsets[b] + n)
+    }
+
+    fn access_for(&self, id: NodeId, key: Key) -> (Addr, u64) {
+        if id == 0 {
+            // Directory lookup: fetch only the bucket slot's block.
+            let slot = self.dir_addr.get() + self.bucket_of(key) as u64 * 8;
+            return (Addr::new(slot / 64 * 64), 64.min(self.dir_bytes));
+        }
+        let info = self.node(id);
+        (info.addr, info.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(n: u64) -> Vec<Key> {
+        (1..=n).map(|i| i * 7).collect()
+    }
+
+    #[test]
+    fn finds_all_scores_deep() {
+        let ss = SortedSet::build(&scores(2000), SortedSetConfig::deep(1 << 16), Addr::new(0));
+        for &s in &scores(2000) {
+            assert!(ss.contains(s), "score {s} must be found");
+        }
+        assert!(!ss.contains(6));
+        assert!(!ss.contains(8));
+        assert!(!ss.contains(15_000));
+    }
+
+    #[test]
+    fn finds_all_scores_shallow() {
+        let cfg = SortedSetConfig {
+            n_buckets: 256,
+            branching: 4,
+            score_space: 1 << 16,
+        };
+        let ss = SortedSet::build(&scores(2000), cfg, Addr::new(0));
+        for &s in &scores(2000) {
+            assert!(ss.contains(s));
+        }
+    }
+
+    #[test]
+    fn deep_has_fewer_buckets_more_levels() {
+        let deep = SortedSet::build(&scores(5000), SortedSetConfig::deep(1 << 16), Addr::new(0));
+        let shallow = SortedSet::build(
+            &scores(5000),
+            SortedSetConfig {
+                n_buckets: 4096,
+                branching: 4,
+                score_space: 1 << 16,
+            },
+            Addr::new(0),
+        );
+        assert!(deep.depth() > shallow.depth());
+    }
+
+    #[test]
+    fn bucketing_is_order_preserving() {
+        let ss = SortedSet::build(&scores(1000), SortedSetConfig::deep(1 << 13), Addr::new(0));
+        let mut last = 0;
+        for s in [10u64, 100, 1000, 5000, 6999] {
+            let b = ss.bucket_of(s);
+            assert!(b >= last, "bucket index must not decrease with score");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn node_ranges_disjoint_across_buckets() {
+        let ss = SortedSet::build(&scores(1000), SortedSetConfig::deep(1 << 13), Addr::new(0));
+        // The head tower of each non-empty bucket covers only its bucket.
+        for id in 1..ss.node_count() as NodeId {
+            let info = ss.node(id);
+            let blo = ss.bucket_of(info.lo.max(1));
+            let bhi = ss.bucket_of(info.hi);
+            assert_eq!(blo, bhi, "node {id} range straddles buckets");
+        }
+    }
+
+    #[test]
+    fn directory_is_the_root() {
+        let ss = SortedSet::build(&scores(100), SortedSetConfig::deep(1 << 10), Addr::new(0));
+        let root = ss.node(ss.root());
+        assert_eq!(root.level, ss.depth() - 1);
+        assert!(root.covers(7));
+        assert!(root.covers(700));
+    }
+
+    #[test]
+    fn probe_in_empty_bucket_misses_cheaply() {
+        // Scores clustered low: high buckets are empty.
+        let ss = SortedSet::build(
+            &[1, 2, 3],
+            SortedSetConfig {
+                n_buckets: 16,
+                branching: 4,
+                score_space: 1 << 16,
+            },
+            Addr::new(0),
+        );
+        let mut touched = 0;
+        let out = ss.walk(60_000, |_, _| touched += 1);
+        assert!(matches!(out, Descend::Leaf { found: false, .. }));
+        assert_eq!(touched, 1, "only the directory is touched");
+    }
+
+    #[test]
+    fn walk_depth_is_bounded() {
+        let ss = SortedSet::build(&scores(5000), SortedSetConfig::deep(1 << 16), Addr::new(0));
+        let mut n = 0;
+        ss.walk(amid(&scores(5000)), |_, _| n += 1);
+        assert!(n as u64 <= 3 * ss.depth() as u64 + 8);
+    }
+
+    fn amid(v: &[Key]) -> Key {
+        v[v.len() / 2]
+    }
+
+    #[test]
+    fn occupied_buckets_counted() {
+        let ss = SortedSet::build(
+            &[1, 2, 3],
+            SortedSetConfig {
+                n_buckets: 16,
+                branching: 4,
+                score_space: 1 << 16,
+            },
+            Addr::new(0),
+        );
+        assert_eq!(ss.occupied_buckets(), 1);
+    }
+
+    #[test]
+    fn validation_hops_stay_within_bucket() {
+        let ss = SortedSet::build(&scores(1000), SortedSetConfig::deep(1 << 13), Addr::new(0));
+        // Walk to a score, then take one validation hop; it must stay in
+        // the same bucket and carry the next score.
+        let target = scores(1000)[500];
+        let mut last = ss.root();
+        ss.walk(target, |id, _| last = id);
+        if let Some(next) = ss.next_leaf(last) {
+            let info = ss.node(next);
+            assert!(info.lo > target);
+            assert_eq!(ss.bucket_of(info.lo), ss.bucket_of(target));
+        }
+        // The directory has no bottom lane.
+        assert_eq!(ss.next_leaf(ss.root()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_buckets() {
+        let _ = SortedSet::build(
+            &[1, 2],
+            SortedSetConfig {
+                n_buckets: 10,
+                branching: 4,
+                score_space: 1 << 8,
+            },
+            Addr::new(0),
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! The common walk interface every index lowers onto.
+//!
+//! A walk is a root-to-leaf pointer chase: start at [`WalkIndex::root`],
+//! fetch the node (one DRAM/cache access), search its sorted keys
+//! ([`WalkIndex::descend`]) to pick the next child, repeat until a leaf
+//! resolves the key. Each visited node exposes [`NodeInfo`] — address,
+//! size, level and covered key range `[lo, hi]` — which is both what the
+//! DRAM model needs (address, bytes) and what METAL's IX-cache tags with
+//! (range, level).
+//!
+//! Levels are numbered from the leaves: level 0 is a leaf, the root is
+//! `depth − 1`. This matches the paper's observation that "lower nodes
+//! effectively short-circuit" while "upper nodes are common across walks".
+
+use crate::arena::NodeId;
+use metal_sim::types::{Addr, Key};
+
+/// Metadata of one index node, as seen by walkers and caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Simulated physical address of the node.
+    pub addr: Addr,
+    /// Node size in bytes (drives how many blocks a refill touches).
+    pub bytes: u64,
+    /// Level counted from the leaves (leaf = 0, root = depth − 1).
+    pub level: u8,
+    /// Smallest key reachable through this node.
+    pub lo: Key,
+    /// Largest key reachable through this node (inclusive).
+    pub hi: Key,
+    /// Number of keys stored in the node (search cost).
+    pub keys: u16,
+}
+
+impl NodeInfo {
+    /// Whether `key` falls inside this node's covered range.
+    pub fn covers(&self, key: Key) -> bool {
+        self.lo <= key && key <= self.hi
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+}
+
+/// Result of searching a node for a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Descend {
+    /// Continue the walk at this child node.
+    Child(NodeId),
+    /// The walk ended at a leaf.
+    Leaf {
+        /// Whether the key was present.
+        found: bool,
+        /// Address of the leaf's data payload (for data-object DMA).
+        value_addr: Addr,
+        /// Payload size in bytes (e.g. a non-zero list for SpMM).
+        value_bytes: u64,
+    },
+}
+
+/// A multi-level index that can be walked key-by-key.
+///
+/// Implementations must be deterministic: the same key always takes the
+/// same path. All paths from the root terminate in a
+/// [`Descend::Leaf`] after at most [`WalkIndex::depth`] descents.
+pub trait WalkIndex {
+    /// The root node id.
+    fn root(&self) -> NodeId;
+
+    /// Metadata for node `id`.
+    fn node(&self, id: NodeId) -> NodeInfo;
+
+    /// Searches node `id` for `key` and returns where the walk goes next.
+    fn descend(&self, id: NodeId, key: Key) -> Descend;
+
+    /// Number of levels (a tree of only a root-leaf has depth 1).
+    fn depth(&self) -> u8;
+
+    /// Total index footprint in 64 B blocks (for working-set fractions).
+    fn total_blocks(&self) -> u64;
+
+    /// Total number of nodes.
+    fn node_count(&self) -> usize;
+
+    /// The leaf to the right of `leaf` for ordered range scans, if the
+    /// index links its leaves (B+trees do; hash-like indexes return
+    /// `None`).
+    fn next_leaf(&self, _leaf: NodeId) -> Option<NodeId> {
+        None
+    }
+
+    /// The `(address, bytes)` a walk actually fetches when it visits node
+    /// `id` searching for `key`. Defaults to the whole node (tree nodes
+    /// are searched in full); array-indexed nodes such as hash-bucket
+    /// directories override this to fetch only the slot's block.
+    fn access_for(&self, id: NodeId, _key: Key) -> (Addr, u64) {
+        let info = self.node(id);
+        (info.addr, info.bytes)
+    }
+
+    /// Walks `key` from the root, visiting nodes in order, and returns the
+    /// terminal leaf outcome. `visit` is called for every node *touched*
+    /// (including the leaf). Provided for convenience and testing; the
+    /// timed walkers in `metal-core` re-implement this loop step-by-step.
+    fn walk(&self, key: Key, mut visit: impl FnMut(NodeId, &NodeInfo)) -> Descend
+    where
+        Self: Sized,
+    {
+        let mut id = self.root();
+        loop {
+            let info = self.node(id);
+            visit(id, &info);
+            match self.descend(id, key) {
+                Descend::Child(c) => id = c,
+                leaf @ Descend::Leaf { .. } => return leaf,
+            }
+        }
+    }
+
+    /// Point lookup: returns `true` if `key` exists.
+    fn contains(&self, key: Key) -> bool
+    where
+        Self: Sized,
+    {
+        matches!(self.walk(key, |_, _| {}), Descend::Leaf { found: true, .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_info_covers() {
+        let n = NodeInfo {
+            addr: Addr::new(0),
+            bytes: 64,
+            level: 2,
+            lo: 10,
+            hi: 20,
+            keys: 4,
+        };
+        assert!(n.covers(10));
+        assert!(n.covers(15));
+        assert!(n.covers(20));
+        assert!(!n.covers(9));
+        assert!(!n.covers(21));
+        assert!(!n.is_leaf());
+    }
+
+    #[test]
+    fn leaf_level_zero() {
+        let n = NodeInfo {
+            addr: Addr::new(64),
+            bytes: 64,
+            level: 0,
+            lo: 0,
+            hi: 5,
+            keys: 5,
+        };
+        assert!(n.is_leaf());
+    }
+}

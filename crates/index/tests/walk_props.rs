@@ -1,0 +1,148 @@
+//! Property tests for the walk interface across all index families:
+//! termination, coverage and access consistency.
+
+use metal_index::bptree::BPlusTree;
+use metal_index::fiber::FiberMatrix;
+use metal_index::graph::AdjacencyIndex;
+use metal_index::hashtable::ChainedHashTable;
+use metal_index::sortedset::{SortedSet, SortedSetConfig};
+use metal_index::tensor::SparseTensor;
+use metal_index::walk::{Descend, WalkIndex};
+use metal_sim::types::{Addr, Key};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn sorted_keys(max_len: usize) -> impl Strategy<Value = Vec<Key>> {
+    proptest::collection::btree_set(1u64..500_000, 1..max_len)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+/// Walks `key` against `index`, asserting termination within a generous
+/// step bound and returning the outcome.
+fn checked_walk(index: &dyn WalkIndex, key: Key) -> bool {
+    let mut id = index.root();
+    let bound = 8 * index.depth() as usize + 64;
+    for _ in 0..bound {
+        // Every visited node's fetch must be well-formed.
+        let (_, bytes) = index.access_for(id, key);
+        assert!(bytes >= 1, "fetches are at least one byte");
+        match index.descend(id, key) {
+            Descend::Child(c) => id = c,
+            Descend::Leaf { found, .. } => return found,
+        }
+    }
+    panic!("walk for key {key} did not terminate within {bound} steps");
+}
+
+proptest! {
+    /// Hash-table membership agrees with the oracle for arbitrary probe
+    /// keys (present and absent), at any geometry.
+    #[test]
+    fn hashtable_matches_oracle(
+        keys in sorted_keys(200),
+        bucket_pow in 1u32..8,
+        per_node in 1usize..8,
+        probes in proptest::collection::vec(1u64..600_000, 1..40),
+    ) {
+        let oracle: BTreeSet<Key> = keys.iter().copied().collect();
+        let space = (keys.last().unwrap() + 1).next_power_of_two();
+        let t = ChainedHashTable::build(&keys, 1 << bucket_pow, per_node, space, Addr::new(0));
+        for p in probes {
+            prop_assert_eq!(checked_walk(&t, p), oracle.contains(&p));
+        }
+    }
+
+    /// Sorted-set membership agrees with the oracle at deep and shallow
+    /// geometries.
+    #[test]
+    fn sortedset_matches_oracle(
+        keys in sorted_keys(200),
+        shallow in any::<bool>(),
+        probes in proptest::collection::vec(1u64..600_000, 1..40),
+    ) {
+        let oracle: BTreeSet<Key> = keys.iter().copied().collect();
+        let space = (keys.last().unwrap() + 1).next_power_of_two();
+        let cfg = if shallow {
+            SortedSetConfig {
+                n_buckets: 256,
+                branching: 4,
+                score_space: space,
+            }
+        } else {
+            SortedSetConfig::deep(space)
+        };
+        let s = SortedSet::build(&keys, cfg, Addr::new(0));
+        for p in probes {
+            prop_assert_eq!(checked_walk(&s, p), oracle.contains(&p));
+        }
+    }
+
+    /// Tensor and fiber representations of the same matrix agree with
+    /// each other and the oracle.
+    #[test]
+    fn tensor_and_fiber_agree(
+        cols in proptest::collection::btree_set(0u64..10_000, 1..120),
+        probes in proptest::collection::vec(0u64..12_000, 1..40),
+    ) {
+        let columns: Vec<(Key, u32)> =
+            cols.iter().map(|&c| (c, (c % 7 + 1) as u32)).collect();
+        let deep = SparseTensor::build(100, 10_000, &columns, 4, Addr::new(0));
+        let shallow = FiberMatrix::build(100, 10_000, &columns, 16, Addr::new(0));
+        for p in probes {
+            let in_deep = checked_walk(&deep, p);
+            let in_shallow = checked_walk(&shallow, p);
+            prop_assert_eq!(in_deep, in_shallow);
+            prop_assert_eq!(in_deep, cols.contains(&p));
+        }
+    }
+
+    /// Adjacency walks resolve edge lists whose sizes match the degrees.
+    #[test]
+    fn adjacency_payload_sizes(
+        vertices in proptest::collection::btree_set(0u64..5_000, 1..100),
+    ) {
+        let vs: Vec<(Key, u32)> =
+            vertices.iter().map(|&v| (v, (v % 9 + 1) as u32)).collect();
+        let g = AdjacencyIndex::build(&vs, 4, Addr::new(0));
+        for &(v, d) in &vs {
+            let mut id = g.root();
+            let found = loop {
+                match g.descend(id, v) {
+                    Descend::Child(c) => id = c,
+                    Descend::Leaf { found, value_bytes, .. } => {
+                        if found {
+                            prop_assert_eq!(value_bytes, d as u64 * 12);
+                        }
+                        break found;
+                    }
+                }
+            };
+            prop_assert!(found);
+        }
+    }
+
+    /// Leaf-chain traversal of a B+tree enumerates exactly the key set.
+    #[test]
+    fn bptree_leaf_chain_complete(keys in sorted_keys(300), leaf_keys in 1usize..10) {
+        let t = BPlusTree::bulk_load_geometry(&keys, leaf_keys, 4, Addr::new(0), 16);
+        let mut leaf = Some(t.leaf_for(keys[0]));
+        let mut seen = Vec::new();
+        while let Some(l) = leaf {
+            seen.extend_from_slice(t.leaf_keys(l));
+            leaf = t.next_leaf(l);
+        }
+        prop_assert_eq!(seen, keys);
+    }
+
+    /// `access_for` on directory-style roots returns a single-block slot
+    /// fetch, never the whole directory.
+    #[test]
+    fn directory_access_is_slot_sized(keys in sorted_keys(150)) {
+        let space = (keys.last().unwrap() + 1).next_power_of_two();
+        let t = ChainedHashTable::build(&keys, 1024, 8, space, Addr::new(0));
+        for &k in keys.iter().take(10) {
+            let (_, bytes) = t.access_for(t.root(), k);
+            prop_assert!(bytes <= 64, "directory fetch is one block, got {bytes}");
+        }
+    }
+}

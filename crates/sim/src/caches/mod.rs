@@ -1,0 +1,20 @@
+//! Baseline cache organizations the paper compares METAL against.
+//!
+//! - [`address::AddressCache`] — a conventional set-associative LRU cache
+//!   tagged by block address (the "Address" bars of Figs. 15–19; MAD/Widx
+//!   style).
+//! - [`opt::OptCache`] — a fully-associative address cache with Belady's
+//!   optimal replacement ("FA-OPT"), computed offline from the recorded
+//!   block trace. Used by §5.1 to show that *policy* cannot rescue the
+//!   address organization.
+//! - [`keycache::KeyCache`] — the X-Cache model: exact keys tag leaf data;
+//!   a hit short-circuits the entire walk, a miss triggers a root-to-leaf
+//!   walk and inserts the leaf.
+
+pub mod address;
+pub mod keycache;
+pub mod opt;
+
+pub use address::AddressCache;
+pub use keycache::KeyCache;
+pub use opt::OptCache;

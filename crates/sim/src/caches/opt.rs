@@ -1,0 +1,196 @@
+//! Fully-associative address cache with Belady's OPT replacement.
+//!
+//! §5.1 of the paper compares METAL against "a fully-associative address
+//! cache with OPT policy (FA-OPT)" to show that the *organization* — not the
+//! replacement policy — is what limits address caches: even with perfect
+//! future knowledge, every walk still traverses root-to-leaf and the
+//! working set stays inflated.
+//!
+//! OPT needs the future, so it runs in two passes:
+//!
+//! 1. Record the full block-address trace of the workload (the walk path of
+//!    an address cache does not depend on cache contents, so the trace is
+//!    exact).
+//! 2. [`OptCache::simulate`] replays the trace, evicting the line whose
+//!    next use is farthest in the future (classic Belady with next-use
+//!    precomputation).
+//!
+//! The per-access hit/miss decisions are returned so the timing pass can
+//! replay them.
+
+use crate::types::BlockAddr;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Result of an offline OPT simulation over a block trace.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// Per-access outcome, aligned with the input trace.
+    pub hits: Vec<bool>,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl OptResult {
+    /// Miss rate over the whole trace (0.0 for an empty trace).
+    pub fn miss_rate(&self) -> f64 {
+        if self.hits.is_empty() {
+            0.0
+        } else {
+            self.misses as f64 / self.hits.len() as f64
+        }
+    }
+}
+
+/// Offline Belady/OPT simulator for a fully-associative cache.
+#[derive(Debug, Clone, Copy)]
+pub struct OptCache {
+    entries: usize,
+}
+
+impl OptCache {
+    /// Creates an OPT simulator for a cache of `entries` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "cache needs at least one entry");
+        OptCache { entries }
+    }
+
+    /// Runs Belady's algorithm over `trace` and returns per-access
+    /// hit/miss outcomes.
+    ///
+    /// Implementation: precompute each access's next-use index; keep the
+    /// resident set plus a max-heap of (next-use, block). Lazy deletion
+    /// handles stale heap entries.
+    pub fn simulate(&self, trace: &[BlockAddr]) -> OptResult {
+        let n = trace.len();
+        // next_use[i] = index of the next access to trace[i]'s block, or n.
+        let mut next_use = vec![n; n];
+        let mut last_seen: HashMap<BlockAddr, usize> = HashMap::new();
+        for i in (0..n).rev() {
+            let b = trace[i];
+            next_use[i] = *last_seen.get(&b).unwrap_or(&n);
+            last_seen.insert(b, i);
+        }
+
+        let mut resident: HashSet<BlockAddr> = HashSet::with_capacity(self.entries);
+        // Heap of (next_use, block) — the farthest-future line on top.
+        let mut heap: BinaryHeap<(usize, BlockAddr)> = BinaryHeap::new();
+        // Current next-use of each resident block, for lazy deletion.
+        let mut current_next: HashMap<BlockAddr, usize> = HashMap::new();
+
+        let mut hits = Vec::with_capacity(n);
+        let mut misses = 0u64;
+
+        for i in 0..n {
+            let b = trace[i];
+            let hit = resident.contains(&b);
+            hits.push(hit);
+            if !hit {
+                misses += 1;
+                if resident.len() == self.entries {
+                    // Evict farthest-future resident line.
+                    loop {
+                        let (nu, victim) = heap.pop().expect("resident lines are all in heap");
+                        if resident.contains(&victim) && current_next.get(&victim) == Some(&nu) {
+                            resident.remove(&victim);
+                            current_next.remove(&victim);
+                            break;
+                        }
+                        // Stale entry — skip.
+                    }
+                }
+                resident.insert(b);
+            }
+            // Whether hit or newly inserted, refresh its next use.
+            current_next.insert(b, next_use[i]);
+            heap.push((next_use[i], b));
+        }
+
+        OptResult { hits, misses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(blocks: &[u64]) -> Vec<BlockAddr> {
+        blocks.iter().map(|&b| BlockAddr::new(b)).collect()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = OptCache::new(4).simulate(&[]);
+        assert_eq!(r.misses, 0);
+        assert_eq!(r.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn all_fits_only_cold_misses() {
+        let t = trace(&[1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        let r = OptCache::new(3).simulate(&t);
+        assert_eq!(r.misses, 3, "only the three cold misses");
+        assert_eq!(&r.hits[3..], &[true; 6]);
+    }
+
+    #[test]
+    fn belady_classic_example() {
+        // Textbook: cache of 3, trace 7 0 1 2 0 3 0 4 2 3 0 3 2 1 2 0 1 7 0 1
+        // OPT gives 9 misses (including compulsory).
+        let t = trace(&[7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1]);
+        let r = OptCache::new(3).simulate(&t);
+        assert_eq!(r.misses, 9);
+    }
+
+    #[test]
+    fn opt_beats_lru_on_cyclic_pattern() {
+        // Cyclic access to capacity+1 blocks: LRU gets 100% misses, OPT does
+        // far better by pinning all but one block.
+        let mut pattern = Vec::new();
+        for _ in 0..50 {
+            for b in 0..5u64 {
+                pattern.push(b);
+            }
+        }
+        let t = trace(&pattern);
+        let opt = OptCache::new(4).simulate(&t);
+
+        let mut lru = super::super::address::AddressCache::new(4, 4);
+        for &b in &t {
+            lru.access(b);
+        }
+        assert!(
+            opt.miss_rate() < lru.miss_rate(),
+            "OPT {} should beat LRU {}",
+            opt.miss_rate(),
+            lru.miss_rate()
+        );
+        assert!(opt.miss_rate() < 0.3);
+        assert!(lru.miss_rate() > 0.99);
+    }
+
+    #[test]
+    fn single_entry_cache() {
+        let t = trace(&[1, 1, 2, 2, 1]);
+        let r = OptCache::new(1).simulate(&t);
+        assert_eq!(r.hits, vec![false, true, false, true, false]);
+        assert_eq!(r.misses, 3);
+    }
+
+    #[test]
+    fn hit_vector_is_trace_aligned() {
+        let t = trace(&[5, 6, 5]);
+        let r = OptCache::new(2).simulate(&t);
+        assert_eq!(r.hits.len(), t.len());
+        assert_eq!(r.hits, vec![false, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = OptCache::new(0);
+    }
+}

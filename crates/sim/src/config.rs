@@ -1,0 +1,187 @@
+//! Simulation parameter sets.
+//!
+//! Defaults follow the paper's simulation setup (Fig. 14): a 2.5D-stacked
+//! HBM with ~100-cycle access latency, 16 pseudo-banks, 64 B blocks, and the
+//! energy constants the paper reports in §5.7 (9000 fJ per IX-cache access
+//! vs 7000 fJ for the address cache and X-Cache; DRAM access energy dominated
+//! by the 64 B burst).
+
+use crate::types::Cycles;
+
+/// Parameters of the banked DRAM/HBM channel model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramConfig {
+    /// Access latency on a row-buffer conflict (precharge + activate +
+    /// CAS) — the worst-case path.
+    pub latency: Cycles,
+    /// Access latency when the target row is already open in the bank's
+    /// row buffer (CAS only). Sequential block streams — bulk node
+    /// refills, leaf-chain scans — mostly hit the open row.
+    pub row_hit_latency: Cycles,
+    /// Blocks per DRAM row per bank (2 KiB rows of 64 B blocks = 32).
+    pub row_blocks: u64,
+    /// Number of independent HBM channels; blocks interleave across
+    /// channels, each with its own data bus (banks are per-channel).
+    pub channels: usize,
+    /// Number of independently schedulable banks per channel.
+    pub banks: usize,
+    /// Bank busy (occupancy) time per 64 B access — limits per-bank rate.
+    pub bank_busy: Cycles,
+    /// Peak bandwidth of one channel's bus in bytes per cycle; aggregate
+    /// peak is `channels × bytes_per_cycle`.
+    pub bytes_per_cycle: u64,
+    /// Dynamic energy per 64 B DRAM access, in femtojoules.
+    pub energy_per_access_fj: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            latency: Cycles::new(100),
+            row_hit_latency: Cycles::new(55),
+            row_blocks: 32,
+            channels: 2,
+            banks: 16,
+            bank_busy: Cycles::new(4),
+            // HBM-class: 16 B/cycle per channel at the accelerator clock
+            // (32 B/cycle aggregate over the two default channels).
+            bytes_per_cycle: 16,
+            // ~20 nJ per 64 B burst is a common DDR/HBM ballpark.
+            energy_per_access_fj: 20_000_000,
+        }
+    }
+}
+
+/// On-chip access energy constants (paper §5.7).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyConfig {
+    /// Per-access energy of an IX-cache probe (range-tag match), fJ.
+    pub ix_access_fj: u64,
+    /// Per-access energy of an address-cache or X-Cache probe, fJ.
+    pub addr_access_fj: u64,
+    /// Per-op energy of a compute-tile operation, fJ.
+    pub op_fj: u64,
+    /// Per-access energy of the walker/pattern-controller logic, fJ.
+    pub walker_fj: u64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            ix_access_fj: 9_000,
+            addr_access_fj: 7_000,
+            op_fj: 500,
+            walker_fj: 1_000,
+        }
+    }
+}
+
+/// Top-level simulator configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// DRAM channel parameters.
+    pub dram: DramConfig,
+    /// On-chip energy constants.
+    pub energy: EnergyConfig,
+    /// Latency of an SRAM (scratchpad / cache data array) hit.
+    pub sram_latency: Cycles,
+    /// Latency of a cache tag match (address compare).
+    pub tag_latency: Cycles,
+    /// Per-access latency of the general cache *hierarchy* the
+    /// address-organized DSAs (MAD, Widx) walk through — an L1-miss/L2-hit
+    /// path for a 64 kB working set, paid on every block touched whether
+    /// it hits or misses on-chip (§5.7: "every memory access needs to go
+    /// through the cache hierarchy"). Dedicated DSA caches (X-Cache, the
+    /// IX-cache) use the fast `tag`/`sram` path instead.
+    pub hierarchy_hit_latency: Cycles,
+    /// Extra latency of the IX-cache range match over an address match
+    /// (segmented comparators; paper Fig. 7 reports ~1 ns, i.e. one cycle
+    /// at the DSA clock).
+    pub range_match_latency: Cycles,
+    /// Cycles to search the sorted keys inside one fetched index node
+    /// (parallel `<=` comparators followed by find-first-set, §3.1).
+    pub node_search_latency: Cycles,
+    /// Maximum number of in-flight walks (lanes) the walker engine
+    /// multiplexes; one lane per hardware walk context.
+    pub lanes: usize,
+    /// Entries (64 B lines) across the tile-local data scratchpads that
+    /// stage leaf data objects for METAL designs (64 kB aggregate default,
+    /// mirroring the global scratchpad of the paper's Fig. 4 platform).
+    pub data_scratch_entries: usize,
+    /// Operations retired per cycle by one compute tile.
+    pub tile_ops_per_cycle: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dram: DramConfig::default(),
+            energy: EnergyConfig::default(),
+            sram_latency: Cycles::new(2),
+            tag_latency: Cycles::new(1),
+            hierarchy_hit_latency: Cycles::new(20),
+            range_match_latency: Cycles::new(1),
+            node_search_latency: Cycles::new(2),
+            lanes: 16,
+            data_scratch_entries: 1024,
+            tile_ops_per_cycle: 1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Configuration with `lanes` walk contexts (one per compute tile in the
+    /// default DSA mapping).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes > 0, "need at least one walk lane");
+        self.lanes = lanes;
+        self
+    }
+
+    /// Total latency of an IX-cache hit: tag + range match + data array.
+    pub fn ix_hit_latency(&self) -> Cycles {
+        self.tag_latency + self.range_match_latency + self.sram_latency
+    }
+
+    /// Total latency of an address-cache or X-Cache hit on a *dedicated*
+    /// fast path (X-Cache's hit path; the paper assumes no extra handler).
+    pub fn addr_hit_latency(&self) -> Cycles {
+        self.tag_latency + self.sram_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.energy.ix_access_fj, 9_000);
+        assert_eq!(cfg.energy.addr_access_fj, 7_000);
+        assert_eq!(cfg.dram.latency, Cycles::new(100));
+        assert_eq!(cfg.dram.banks, 16);
+    }
+
+    #[test]
+    fn hit_latencies_compose() {
+        let cfg = SimConfig::default();
+        assert!(cfg.ix_hit_latency() > cfg.addr_hit_latency());
+        assert_eq!(
+            cfg.ix_hit_latency().get(),
+            cfg.tag_latency.get() + cfg.range_match_latency.get() + cfg.sram_latency.get()
+        );
+    }
+
+    #[test]
+    fn with_lanes_overrides() {
+        let cfg = SimConfig::default().with_lanes(64);
+        assert_eq!(cfg.lanes, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_lanes_rejected() {
+        let _ = SimConfig::default().with_lanes(0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Multiplexed walker engine.
+//!
+//! The paper's walk pipeline (§3.2, Fig. 9) breaks each index walk into a
+//! state machine with yield points (*Wait* on a DRAM refill, *Search* inside
+//! a fetched node) and multiplexes many walks onto the hardware so their
+//! DRAM refills overlap — walks are serial internally but independent of one
+//! another, and the goal is to "harvest memory-level parallelism from these
+//! independent walks".
+//!
+//! [`Engine`] reproduces exactly that: it runs up to `lanes` walks
+//! concurrently, advancing whichever lane's pending step completes first.
+//! A lane executes [`WalkStep`]s produced by a [`WalkProgram`]; `Dram` steps
+//! go through the banked [`crate::dram::Dram`] model (where contention and
+//! bandwidth limits arise), `Busy` steps model on-chip work such as node
+//! search, tag matches, or compute.
+//!
+//! Because every call into the program is serialized in simulated-time
+//! order, programs may freely mutate shared state (caches, statistics): the
+//! interleaving the engine produces is a legal execution of the hardware.
+
+use crate::config::SimConfig;
+use crate::dram::Dram;
+use crate::stats::LatencyStats;
+use crate::types::{Addr, Cycles};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One step of a walk, as lowered by an index traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkStep {
+    /// Fetch `bytes` bytes at `addr` from DRAM (a *Wait* yield point).
+    Dram {
+        /// Simulated physical address of the object being fetched.
+        addr: Addr,
+        /// Object size in bytes; multi-block objects pipeline across banks.
+        bytes: u64,
+    },
+    /// Occupy the lane for `cycles` of on-chip work (search, match, compute).
+    Busy {
+        /// Duration of the busy period.
+        cycles: Cycles,
+    },
+    /// Access the shared on-chip cache SRAM: occupies one of the cache's
+    /// banked ports for one cycle before the access latency elapses.
+    /// Address-organized designs probe once per walked level, so under
+    /// many lanes their port pressure is ~depth× that of a single-probe
+    /// IX-cache — the serialization §5.7 of the paper describes.
+    Sram {
+        /// Access latency once a port is granted.
+        cycles: Cycles,
+    },
+    /// The walk has finished.
+    Done,
+}
+
+/// Outcome of completing one walk, reported back to the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Simulated time at which the step completed.
+    pub now: Cycles,
+}
+
+/// A supply of walks plus their step-by-step execution.
+///
+/// The engine drives the program with two calls: [`WalkProgram::begin_walk`]
+/// when a lane becomes free (returning `false` retires the lane), and
+/// [`WalkProgram::step`] each time the lane's previous step completes.
+/// Implementations hold all shared state — the index, the cache under test,
+/// and statistics — and may mutate it on every call; the engine serializes
+/// calls in simulated-time order.
+pub trait WalkProgram {
+    /// Starts the next walk on `lane`. Returns `false` when the workload is
+    /// exhausted (the lane retires).
+    fn begin_walk(&mut self, lane: usize) -> bool;
+
+    /// Produces the next step of the walk currently running on `lane`.
+    /// Called once after `begin_walk` and then after each step completes.
+    fn step(&mut self, lane: usize, now: Cycles) -> WalkStep;
+}
+
+/// Report of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Completion time of the last walk.
+    pub exec_cycles: Cycles,
+    /// Number of walks completed.
+    pub walks: u64,
+    /// Per-walk latency distribution.
+    pub walk_latency: LatencyStats,
+}
+
+/// The multiplexed walker engine: `lanes` concurrent walk contexts sharing a
+/// banked DRAM channel and a banked cache-SRAM port pool.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: SimConfig,
+    dram: Dram,
+    /// Time each cache-SRAM bank port becomes free.
+    sram_free: Vec<Cycles>,
+    sram_rr: usize,
+}
+
+/// Number of banked ports on the shared cache SRAM (paper supplemental:
+/// best geometry is 16-banked).
+pub const SRAM_BANKS: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    walk_start: Cycles,
+    active: bool,
+}
+
+impl Engine {
+    /// Creates an engine (and its DRAM channel) from a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Engine {
+            dram: Dram::new(cfg.dram),
+            cfg,
+            sram_free: vec![Cycles::ZERO; SRAM_BANKS],
+            sram_rr: 0,
+        }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The DRAM channel (for stats: accesses, bytes, energy, working set).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Runs `program` to exhaustion across all lanes and reports timing.
+    ///
+    /// Determinism: lanes are woken in `(time, lane-id)` order, so repeated
+    /// runs of the same program produce identical interleavings.
+    pub fn run<P: WalkProgram>(&mut self, program: &mut P) -> EngineReport {
+        let lanes = self.cfg.lanes;
+        let mut lane_state = vec![
+            Lane {
+                walk_start: Cycles::ZERO,
+                active: false,
+            };
+            lanes
+        ];
+        let mut report = EngineReport::default();
+        // Min-heap of (wake-time, lane).
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+
+        // Seed every lane at time zero.
+        #[allow(clippy::needless_range_loop)]
+        for lane in 0..lanes {
+            if program.begin_walk(lane) {
+                lane_state[lane].active = true;
+                lane_state[lane].walk_start = Cycles::ZERO;
+                heap.push(Reverse((0, lane)));
+            }
+        }
+
+        while let Some(Reverse((t, lane))) = heap.pop() {
+            let now = Cycles::new(t);
+            match program.step(lane, now) {
+                WalkStep::Dram { addr, bytes } => {
+                    let done = self.dram.access(t, addr, bytes);
+                    heap.push(Reverse((done.get(), lane)));
+                }
+                WalkStep::Busy { cycles } => {
+                    heap.push(Reverse(((now + cycles).get(), lane)));
+                }
+                WalkStep::Sram { cycles } => {
+                    // Round-robin port assignment; a port serves one access
+                    // per cycle.
+                    let bank = self.sram_rr % SRAM_BANKS;
+                    self.sram_rr = self.sram_rr.wrapping_add(1);
+                    let start = now.max(self.sram_free[bank]);
+                    self.sram_free[bank] = start + Cycles::new(1);
+                    heap.push(Reverse(((start + cycles).get(), lane)));
+                }
+                WalkStep::Done => {
+                    let latency = now - lane_state[lane].walk_start;
+                    report.walk_latency.record(latency);
+                    report.walks += 1;
+                    report.exec_cycles = report.exec_cycles.max(now);
+                    if program.begin_walk(lane) {
+                        lane_state[lane].walk_start = now;
+                        heap.push(Reverse((t, lane)));
+                    } else {
+                        lane_state[lane].active = false;
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    /// A program that runs `n` walks, each doing `reads` DRAM reads of one
+    /// block at stride-separated addresses, serially (pointer chasing).
+    struct ChaseProgram {
+        walks_left: u64,
+        reads_per_walk: u32,
+        lane_pos: Vec<u32>,
+        next_addr: u64,
+        lane_addr: Vec<u64>,
+    }
+
+    impl ChaseProgram {
+        fn new(walks: u64, reads: u32, lanes: usize) -> Self {
+            ChaseProgram {
+                walks_left: walks,
+                reads_per_walk: reads,
+                lane_pos: vec![0; lanes],
+                next_addr: 0,
+                lane_addr: vec![0; lanes],
+            }
+        }
+    }
+
+    impl WalkProgram for ChaseProgram {
+        fn begin_walk(&mut self, lane: usize) -> bool {
+            if self.walks_left == 0 {
+                return false;
+            }
+            self.walks_left -= 1;
+            self.lane_pos[lane] = 0;
+            self.lane_addr[lane] = self.next_addr;
+            self.next_addr += 64 * self.reads_per_walk as u64;
+            true
+        }
+
+        fn step(&mut self, lane: usize, _now: Cycles) -> WalkStep {
+            if self.lane_pos[lane] == self.reads_per_walk {
+                return WalkStep::Done;
+            }
+            let addr = Addr::new(self.lane_addr[lane] + 64 * self.lane_pos[lane] as u64);
+            self.lane_pos[lane] += 1;
+            WalkStep::Dram { addr, bytes: 64 }
+        }
+    }
+
+    fn cfg(lanes: usize) -> SimConfig {
+        let mut c = SimConfig {
+            lanes,
+            ..SimConfig::default()
+        };
+        // Generous bandwidth/banks so latency dominates in these tests.
+        c.dram.banks = 64;
+        c.dram.bytes_per_cycle = 64;
+        c.dram.bank_busy = Cycles::new(1);
+        c
+    }
+
+    #[test]
+    fn single_lane_serializes_walks() {
+        let mut engine = Engine::new(cfg(1));
+        let mut prog = ChaseProgram::new(4, 3, 1);
+        let report = engine.run(&mut prog);
+        assert_eq!(report.walks, 4);
+        // Each walk: 3 serial DRAM reads ≈ 300 cycles.
+        assert!(report.walk_latency.mean() >= 300.0);
+        // 4 serial walks ≈ 1200 cycles total.
+        assert!(report.exec_cycles.get() >= 1200);
+    }
+
+    #[test]
+    fn many_lanes_overlap_walks() {
+        let mut serial = Engine::new(cfg(1));
+        let t_serial = serial.run(&mut ChaseProgram::new(8, 3, 1)).exec_cycles;
+
+        let mut parallel = Engine::new(cfg(8));
+        let t_parallel = parallel.run(&mut ChaseProgram::new(8, 3, 8)).exec_cycles;
+
+        // 8 lanes overlap the DRAM latency of independent walks.
+        assert!(
+            t_parallel.get() * 4 < t_serial.get(),
+            "parallel {t_parallel:?} should be far faster than serial {t_serial:?}"
+        );
+    }
+
+    #[test]
+    fn walk_latency_counts_queueing() {
+        // One bank on one channel: concurrent walks contend and inflate
+        // each other.
+        let mut c = cfg(8);
+        c.dram.channels = 1;
+        c.dram.banks = 1;
+        c.dram.bank_busy = Cycles::new(50);
+        let mut engine = Engine::new(c);
+        let report = engine.run(&mut ChaseProgram::new(8, 1, 8));
+        assert_eq!(report.walks, 8);
+        // The last walk's read starts after 7 × 50 cycles of bank busy
+        // (plus at least the open-row CAS latency).
+        let row_hit = c.dram.row_hit_latency.get();
+        assert!(report.walk_latency.max() >= row_hit + 7 * 50);
+    }
+
+    #[test]
+    fn busy_steps_occupy_lane() {
+        struct BusyProg {
+            walks: u64,
+            stepped: Vec<bool>,
+        }
+        impl WalkProgram for BusyProg {
+            fn begin_walk(&mut self, lane: usize) -> bool {
+                if self.walks == 0 {
+                    return false;
+                }
+                self.walks -= 1;
+                self.stepped[lane] = false;
+                true
+            }
+            fn step(&mut self, lane: usize, _now: Cycles) -> WalkStep {
+                if self.stepped[lane] {
+                    WalkStep::Done
+                } else {
+                    self.stepped[lane] = true;
+                    WalkStep::Busy {
+                        cycles: Cycles::new(42),
+                    }
+                }
+            }
+        }
+        let mut engine = Engine::new(cfg(1));
+        let report = engine.run(&mut BusyProg {
+            walks: 2,
+            stepped: vec![false],
+        });
+        assert_eq!(report.walks, 2);
+        assert_eq!(report.exec_cycles.get(), 84);
+        assert_eq!(report.walk_latency.mean(), 42.0);
+    }
+
+    #[test]
+    fn empty_program_reports_zero() {
+        struct Empty;
+        impl WalkProgram for Empty {
+            fn begin_walk(&mut self, _lane: usize) -> bool {
+                false
+            }
+            fn step(&mut self, _lane: usize, _now: Cycles) -> WalkStep {
+                unreachable!("no walks begin")
+            }
+        }
+        let mut engine = Engine::new(cfg(4));
+        let report = engine.run(&mut Empty);
+        assert_eq!(report.walks, 0);
+        assert_eq!(report.exec_cycles, Cycles::ZERO);
+    }
+
+    #[test]
+    fn sram_ports_serialize_under_pressure() {
+        // A program issuing only SRAM accesses from many lanes: with
+        // SRAM_BANKS ports at one access per cycle, aggregate throughput
+        // is capped at SRAM_BANKS accesses per cycle.
+        struct SramStorm {
+            walks: u64,
+            lanes_pos: Vec<u32>,
+        }
+        impl WalkProgram for SramStorm {
+            fn begin_walk(&mut self, lane: usize) -> bool {
+                if self.walks == 0 {
+                    return false;
+                }
+                self.walks -= 1;
+                self.lanes_pos[lane] = 0;
+                true
+            }
+            fn step(&mut self, lane: usize, _now: Cycles) -> WalkStep {
+                if self.lanes_pos[lane] == 64 {
+                    return WalkStep::Done;
+                }
+                self.lanes_pos[lane] += 1;
+                WalkStep::Sram {
+                    cycles: Cycles::new(1),
+                }
+            }
+        }
+        let c = SimConfig {
+            lanes: 64,
+            ..SimConfig::default()
+        };
+        let mut engine = Engine::new(c);
+        let total_accesses = 64u64 * 64;
+        let report = engine.run(&mut SramStorm {
+            walks: 64,
+            lanes_pos: vec![0; 64],
+        });
+        assert_eq!(report.walks, 64);
+        // 4096 accesses through 16 ports ≥ 256 cycles.
+        assert!(
+            report.exec_cycles.get() >= total_accesses / SRAM_BANKS as u64,
+            "port-limited: {} cycles for {} accesses",
+            report.exec_cycles,
+            total_accesses
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut engine = Engine::new(cfg(4));
+            let mut prog = ChaseProgram::new(16, 4, 4);
+            let r = engine.run(&mut prog);
+            (r.exec_cycles, r.walks, r.walk_latency.total())
+        };
+        assert_eq!(run(), run());
+    }
+}

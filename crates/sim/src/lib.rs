@@ -1,0 +1,47 @@
+//! # metal-sim — memory-system substrate for the METAL reproduction
+//!
+//! This crate is the stand-in for the paper's gem5-SALAM toolflow: a small,
+//! deterministic, event-driven simulator of the memory system that METAL's
+//! index walks exercise. It provides:
+//!
+//! - simulated physical [`Addr`]esses and 64-byte [`BlockAddr`] blocks
+//!   ([`types`]),
+//! - a banked HBM/DRAM channel model with queueing, bandwidth accounting and
+//!   energy ([`dram`]),
+//! - the baseline caches the paper compares against: a set-associative LRU
+//!   address cache, a fully-associative Belady/OPT address cache, and the
+//!   X-Cache-style exact-key leaf cache ([`caches`]),
+//! - a multiplexed walker scheduler that runs many in-flight walks and lets
+//!   their DRAM refills overlap, modelling memory-level parallelism
+//!   ([`engine`]),
+//! - counters for hits, misses, working-set size, walk latency and energy
+//!   ([`stats`]).
+//!
+//! Higher crates (`metal-index`, `metal-core`, `metal-dsa`) lower index
+//! traversals onto [`engine::WalkProgram`]s; everything in this crate is
+//! index-agnostic.
+//!
+//! ## Example
+//!
+//! ```
+//! use metal_sim::{SimConfig, dram::Dram, types::Addr};
+//!
+//! let cfg = SimConfig::default();
+//! let mut dram = Dram::new(cfg.dram);
+//! // Issue an access at cycle 0 and observe its completion time.
+//! let done = dram.access(0, Addr::new(0x40), 64);
+//! assert!(done >= cfg.dram.latency);
+//! ```
+
+pub mod caches;
+pub mod config;
+pub mod dram;
+pub mod engine;
+pub mod stats;
+pub mod trace;
+pub mod types;
+
+pub use config::{DramConfig, EnergyConfig, SimConfig};
+pub use engine::{Engine, EngineReport, StepOutcome, WalkProgram, WalkStep};
+pub use stats::{RunStats, WorkingSet};
+pub use types::{Addr, BlockAddr, Cycles, Key, BLOCK_BYTES};

@@ -1,0 +1,296 @@
+//! Counters and derived metrics for a simulation run.
+//!
+//! Three families of metrics reproduce the paper's measurement axes:
+//!
+//! - **Miss rate** (Fig. 15): misses / probes for whichever cache design is
+//!   under test.
+//! - **Working set** (Fig. 16): the fraction of the index's blocks that were
+//!   actually fetched from DRAM during the run.
+//! - **Walk latency** (Fig. 17): per-walk latency samples aggregated into an
+//!   average (plus min/max for diagnostics).
+//!
+//! Energy is accumulated in femtojoules and split into DRAM, cache and
+//! compute/walker components (Figs. 19 and 25).
+
+use crate::types::{BlockAddr, Cycles};
+use std::collections::HashSet;
+
+/// Tracks the set of distinct DRAM blocks touched by a run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkingSet {
+    blocks: HashSet<BlockAddr>,
+}
+
+impl WorkingSet {
+    /// Creates an empty working set.
+    pub fn new() -> Self {
+        WorkingSet::default()
+    }
+
+    /// Records that `block` was fetched from DRAM.
+    pub fn touch(&mut self, block: BlockAddr) {
+        self.blocks.insert(block);
+    }
+
+    /// Number of distinct blocks touched.
+    pub fn distinct_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Fraction of an index of `total_blocks` blocks that was touched.
+    ///
+    /// Returns 0.0 for an empty index to avoid division by zero.
+    pub fn fraction_of(&self, total_blocks: u64) -> f64 {
+        if total_blocks == 0 {
+            0.0
+        } else {
+            self.distinct_blocks() as f64 / total_blocks as f64
+        }
+    }
+
+    /// Whether a given block has been touched.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.blocks.contains(&block)
+    }
+}
+
+/// Latency accumulator with average/min/max.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats {
+    count: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LatencyStats {
+    /// Records one latency sample.
+    pub fn record(&mut self, lat: Cycles) {
+        let l = lat.get();
+        if self.count == 0 {
+            self.min = l;
+            self.max = l;
+        } else {
+            self.min = self.min.min(l);
+            self.max = self.max.max(l);
+        }
+        self.count += 1;
+        self.total = self.total.saturating_add(l);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in cycles (0.0 when no samples).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when none).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample (0 when none).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Complete statistics for one simulated run of one cache design.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Cache probes issued (IX-cache, address cache or X-Cache).
+    pub probes: u64,
+    /// Cache probe misses.
+    pub misses: u64,
+    /// Index-node reads that went to DRAM.
+    pub dram_node_reads: u64,
+    /// Per-walk latency samples.
+    pub walk_latency: LatencyStats,
+    /// Number of completed walks.
+    pub walks: u64,
+    /// Walks whose key was found in the index. Cache organization must
+    /// never change this — it is a cross-design correctness invariant.
+    pub found_walks: u64,
+    /// Total execution time of the run (completion of last walk).
+    pub exec_cycles: Cycles,
+    /// Cache dynamic energy (fJ): probes × per-access cost.
+    pub cache_energy_fj: u64,
+    /// DRAM dynamic energy (fJ), mirrored from the DRAM model.
+    pub dram_energy_fj: u64,
+    /// Compute-tile energy (fJ): ops × per-op cost.
+    pub compute_energy_fj: u64,
+    /// Walker + pattern-controller energy (fJ).
+    pub walker_energy_fj: u64,
+    /// Total compute operations retired.
+    pub compute_ops: u64,
+    /// Distinct DRAM blocks touched.
+    pub distinct_blocks: u64,
+    /// Total number of blocks in the index (for working-set fraction).
+    pub index_blocks: u64,
+    /// Windowed working-set fraction measured by the runner (Fig. 16's
+    /// metric). When set (> 0), it overrides the whole-run
+    /// `distinct_blocks / index_blocks` ratio.
+    pub ws_fraction: f64,
+    /// Total DRAM bytes transferred.
+    pub dram_bytes: u64,
+    /// Nodes inserted into the cache under test.
+    pub inserts: u64,
+    /// Nodes the descriptor chose to bypass (METAL only).
+    pub bypasses: u64,
+    /// Number of walk steps short-circuited by cache hits (nodes *not*
+    /// walked thanks to kick-starting below the root).
+    pub levels_skipped: u64,
+    /// Histogram of probe-hit levels (`hit_levels[l]` = hits that landed
+    /// on a level-`l` entry); diagnostic for reach-vs-short-circuit.
+    pub hit_levels: Vec<u64>,
+}
+
+impl RunStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        RunStats::default()
+    }
+
+    /// Miss rate = misses / probes (0.0 when no probes).
+    pub fn miss_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.probes as f64
+        }
+    }
+
+    /// Hit rate = 1 − miss rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            1.0 - self.miss_rate()
+        }
+    }
+
+    /// Fraction of the index touched in DRAM (Fig. 16's metric): the
+    /// windowed measurement when present, the whole-run ratio otherwise.
+    pub fn working_set_fraction(&self) -> f64 {
+        if self.ws_fraction > 0.0 {
+            self.ws_fraction.min(1.0)
+        } else if self.index_blocks == 0 {
+            0.0
+        } else {
+            (self.distinct_blocks as f64 / self.index_blocks as f64).min(1.0)
+        }
+    }
+
+    /// Mean walk latency in cycles (Fig. 17's metric).
+    pub fn avg_walk_latency(&self) -> f64 {
+        self.walk_latency.mean()
+    }
+
+    /// Total on-chip + DRAM energy in femtojoules.
+    pub fn total_energy_fj(&self) -> u64 {
+        self.cache_energy_fj
+            .saturating_add(self.dram_energy_fj)
+            .saturating_add(self.compute_energy_fj)
+            .saturating_add(self.walker_energy_fj)
+    }
+
+    /// Total on-chip energy (excluding DRAM), for Fig. 25's breakdown.
+    pub fn onchip_energy_fj(&self) -> u64 {
+        self.cache_energy_fj
+            .saturating_add(self.compute_energy_fj)
+            .saturating_add(self.walker_energy_fj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_dedupes() {
+        let mut ws = WorkingSet::new();
+        ws.touch(BlockAddr::new(1));
+        ws.touch(BlockAddr::new(1));
+        ws.touch(BlockAddr::new(2));
+        assert_eq!(ws.distinct_blocks(), 2);
+        assert!(ws.contains(BlockAddr::new(1)));
+        assert!(!ws.contains(BlockAddr::new(3)));
+    }
+
+    #[test]
+    fn working_set_fraction_handles_empty_index() {
+        let ws = WorkingSet::new();
+        assert_eq!(ws.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn working_set_fraction_basic() {
+        let mut ws = WorkingSet::new();
+        for b in 0..25 {
+            ws.touch(BlockAddr::new(b));
+        }
+        assert!((ws.fraction_of(100) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_stats_aggregate() {
+        let mut ls = LatencyStats::default();
+        assert_eq!(ls.mean(), 0.0);
+        ls.record(Cycles::new(10));
+        ls.record(Cycles::new(20));
+        ls.record(Cycles::new(60));
+        assert_eq!(ls.count(), 3);
+        assert_eq!(ls.min(), 10);
+        assert_eq!(ls.max(), 60);
+        assert!((ls.mean() - 30.0).abs() < 1e-12);
+        assert_eq!(ls.total(), 90);
+    }
+
+    #[test]
+    fn run_stats_miss_rate() {
+        let mut s = RunStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        s.probes = 10;
+        s.misses = 4;
+        assert!((s.miss_rate() - 0.4).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_energy_totals() {
+        let s = RunStats {
+            cache_energy_fj: 10,
+            dram_energy_fj: 100,
+            compute_energy_fj: 5,
+            walker_energy_fj: 1,
+            ..RunStats::new()
+        };
+        assert_eq!(s.total_energy_fj(), 116);
+        assert_eq!(s.onchip_energy_fj(), 16);
+    }
+
+    #[test]
+    fn working_set_fraction_clamped() {
+        let s = RunStats {
+            distinct_blocks: 200,
+            index_blocks: 100,
+            ..RunStats::new()
+        };
+        // Data blocks outside the index can inflate the count; the fraction
+        // is clamped to 1.0 because the metric is "fraction of the index".
+        assert_eq!(s.working_set_fraction(), 1.0);
+    }
+}

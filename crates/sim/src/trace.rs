@@ -1,0 +1,118 @@
+//! Block-address trace recording.
+//!
+//! The FA-OPT baseline (§5.1) needs the future: Belady's policy evicts the
+//! line re-used farthest in the future. [`Trace`] records the block-address
+//! stream of a workload's walks in pass 1 so [`crate::caches::OptCache`]
+//! can compute per-access decisions, which the timing pass then replays.
+//!
+//! Traces are also reused by tests to assert which blocks a walk touches.
+
+use crate::types::BlockAddr;
+
+/// A recorded sequence of block accesses, with walk boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    blocks: Vec<BlockAddr>,
+    /// Start offset of each walk within `blocks`.
+    walk_starts: Vec<usize>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Marks the start of a new walk.
+    pub fn begin_walk(&mut self) {
+        self.walk_starts.push(self.blocks.len());
+    }
+
+    /// Records one block access within the current walk.
+    pub fn record(&mut self, block: BlockAddr) {
+        self.blocks.push(block);
+    }
+
+    /// The flat block-access stream.
+    pub fn blocks(&self) -> &[BlockAddr] {
+        &self.blocks
+    }
+
+    /// Number of recorded walks.
+    pub fn walks(&self) -> usize {
+        self.walk_starts.len()
+    }
+
+    /// The block accesses of walk `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.walks()`.
+    pub fn walk(&self, i: usize) -> &[BlockAddr] {
+        let start = self.walk_starts[i];
+        let end = self
+            .walk_starts
+            .get(i + 1)
+            .copied()
+            .unwrap_or(self.blocks.len());
+        &self.blocks[start..end]
+    }
+
+    /// Total number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_walk_boundaries() {
+        let mut t = Trace::new();
+        t.begin_walk();
+        t.record(BlockAddr::new(1));
+        t.record(BlockAddr::new(2));
+        t.begin_walk();
+        t.record(BlockAddr::new(3));
+        assert_eq!(t.walks(), 2);
+        assert_eq!(t.walk(0), &[BlockAddr::new(1), BlockAddr::new(2)]);
+        assert_eq!(t.walk(1), &[BlockAddr::new(3)]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert_eq!(t.walks(), 0);
+        assert!(t.is_empty());
+        assert!(t.blocks().is_empty());
+    }
+
+    #[test]
+    fn last_walk_extends_to_end() {
+        let mut t = Trace::new();
+        t.begin_walk();
+        t.record(BlockAddr::new(9));
+        t.record(BlockAddr::new(8));
+        t.record(BlockAddr::new(7));
+        assert_eq!(t.walk(0).len(), 3);
+    }
+
+    #[test]
+    fn empty_walks_allowed() {
+        let mut t = Trace::new();
+        t.begin_walk();
+        t.begin_walk();
+        t.record(BlockAddr::new(5));
+        assert_eq!(t.walk(0), &[] as &[BlockAddr]);
+        assert_eq!(t.walk(1), &[BlockAddr::new(5)]);
+    }
+}

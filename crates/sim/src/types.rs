@@ -1,0 +1,213 @@
+//! Fundamental value types shared across the simulator.
+//!
+//! The simulator works in whole clock cycles ([`Cycles`]) over a simulated
+//! physical address space ([`Addr`]) that is divided into 64-byte blocks
+//! ([`BlockAddr`]), matching the paper's fixed 64 B cache-block size
+//! ("All cache blocks are set to 64 bytes to ensure a fair comparison",
+//! §5). Index keys are 64-bit unsigned integers ([`Key`]), the widest key
+//! the paper's hardware supports (4–8 byte keys, §4.4).
+
+use std::fmt;
+
+/// Size of one cache/DRAM block in bytes (fixed at 64 B as in the paper).
+pub const BLOCK_BYTES: u64 = 64;
+
+/// A key in an index's key space.
+///
+/// Keys are the namespace through which DSA tiles address data ("the compute
+/// tiles interface with the data-structure using keys, not addresses", §3).
+pub type Key = u64;
+
+/// A simulated clock-cycle count.
+///
+/// `Cycles` is an additive quantity; it supports saturating arithmetic so
+/// that long runs cannot overflow silently.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub fn new(c: u64) -> Self {
+        Cycles(c)
+    }
+
+    /// Returns the raw cycle count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+}
+
+impl std::ops::Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A simulated physical byte address.
+///
+/// Index nodes are placed in this address space by `metal-index`'s arena
+/// allocator; the DRAM model and the address-based caches operate on the
+/// block the address falls in.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Creates an address from a raw byte offset.
+    pub fn new(a: u64) -> Self {
+        Addr(a)
+    }
+
+    /// Returns the raw byte address.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The 64-byte block this address falls in.
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 / BLOCK_BYTES)
+    }
+
+    /// Offsets the address by `bytes`.
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A 64-byte-aligned block number (byte address divided by [`BLOCK_BYTES`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block number.
+    pub fn new(b: u64) -> Self {
+        BlockAddr(b)
+    }
+
+    /// Returns the raw block number.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of this block.
+    pub fn base(self) -> Addr {
+        Addr(self.0 * BLOCK_BYTES)
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk#{}", self.0)
+    }
+}
+
+/// Number of blocks an object of `bytes` bytes starting at `addr` spans.
+pub fn blocks_spanned(addr: Addr, bytes: u64) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    let first = addr.get() / BLOCK_BYTES;
+    let last = (addr.get() + bytes - 1) / BLOCK_BYTES;
+    last - first + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(5);
+        let b = Cycles::new(7);
+        assert_eq!((a + b).get(), 12);
+        assert_eq!((b - a).get(), 2);
+        assert_eq!((a - b).get(), 0, "subtraction saturates at zero");
+        assert_eq!(a.max(b), b);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn cycles_saturating_add_does_not_overflow() {
+        let near_max = Cycles::new(u64::MAX - 1);
+        assert_eq!(near_max.saturating_add(Cycles::new(10)).get(), u64::MAX);
+    }
+
+    #[test]
+    fn addr_block_mapping() {
+        assert_eq!(Addr::new(0).block(), BlockAddr::new(0));
+        assert_eq!(Addr::new(63).block(), BlockAddr::new(0));
+        assert_eq!(Addr::new(64).block(), BlockAddr::new(1));
+        assert_eq!(Addr::new(130).block(), BlockAddr::new(2));
+        assert_eq!(BlockAddr::new(2).base(), Addr::new(128));
+    }
+
+    #[test]
+    fn addr_offset() {
+        assert_eq!(Addr::new(100).offset(28), Addr::new(128));
+    }
+
+    #[test]
+    fn blocks_spanned_counts_straddles() {
+        // A 64-byte object aligned to a block spans exactly one block.
+        assert_eq!(blocks_spanned(Addr::new(64), 64), 1);
+        // Unaligned 64-byte object straddles two blocks.
+        assert_eq!(blocks_spanned(Addr::new(32), 64), 2);
+        // Zero-byte object spans nothing.
+        assert_eq!(blocks_spanned(Addr::new(32), 0), 0);
+        // Large object.
+        assert_eq!(blocks_spanned(Addr::new(0), 640), 10);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert_eq!(format!("{:?}", Cycles::new(3)), "3cy");
+        assert_eq!(format!("{:?}", Addr::new(255)), "0xff");
+        assert_eq!(format!("{:?}", BlockAddr::new(9)), "blk#9");
+    }
+}

@@ -1,0 +1,53 @@
+//! A fully assembled workload: indexes + requests + pattern configuration.
+
+use metal_core::descriptor::Descriptor;
+use metal_core::models::Experiment;
+use metal_core::request::WalkRequest;
+use metal_index::walk::WalkIndex;
+
+/// One workload, ready to run under any design.
+pub struct BuiltWorkload {
+    /// Display name (Fig. 18's x-axis label).
+    pub name: &'static str,
+    /// Owned index structures (experiment indexes 0, 1, …).
+    pub indexes: Vec<Box<dyn WalkIndex + Send + Sync>>,
+    /// The request stream, in issue order.
+    pub requests: Vec<WalkRequest>,
+    /// Table 2's reuse-pattern descriptor per index.
+    pub descriptors: Vec<Descriptor>,
+    /// Walks per tuning batch (the paper's 1 M, scaled).
+    pub batch_walks: u64,
+    /// Tile count of the hosting DSA.
+    pub tiles: usize,
+}
+
+impl BuiltWorkload {
+    /// Borrows the workload as a runnable experiment.
+    pub fn experiment(&self) -> Experiment<'_> {
+        Experiment {
+            indexes: self
+                .indexes
+                .iter()
+                .map(|b| b.as_ref() as &dyn WalkIndex)
+                .collect(),
+            requests: &self.requests,
+        }
+    }
+
+    /// Total number of walk requests.
+    pub fn walks(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+impl std::fmt::Debug for BuiltWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltWorkload")
+            .field("name", &self.name)
+            .field("indexes", &self.indexes.len())
+            .field("requests", &self.requests.len())
+            .field("descriptors", &self.descriptors)
+            .field("tiles", &self.tiles)
+            .finish()
+    }
+}

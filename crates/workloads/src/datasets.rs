@@ -1,0 +1,228 @@
+//! Dataset generators.
+//!
+//! Synthetic stand-ins for the paper's inputs:
+//!
+//! - Key sets for B+trees / hash indexes (sparse key spaces, as the paper
+//!   notes deep indexes arise from sparse keys).
+//! - Sparse matrices replacing the HB/bcsstk suite: a banded diagonal
+//!   structure (the bcsstk matrices are stiffness matrices with strong
+//!   banding) plus power-law column populations.
+//! - Power-law graphs for PageRank-push.
+//! - Spatial coordinate sets for the R-tree.
+//!
+//! All generators are seeded and deterministic.
+
+use crate::dist::Zipf;
+use metal_sim::types::Key;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A sorted set of `n` distinct keys spread sparsely over `[1, n*spread]`.
+///
+/// Sparse key spaces are what make real indexes deep (§2.2); `spread` ≈ 8
+/// reproduces that without blowing up the u64 range.
+pub fn sparse_keys(n: u64, spread: u64, seed: u64) -> Vec<Key> {
+    assert!(n > 0 && spread > 0, "degenerate key set");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut keys = Vec::with_capacity(n as usize);
+    let mut cur = 1u64;
+    for _ in 0..n {
+        cur += rng.gen_range(1..=2 * spread - 1);
+        keys.push(cur);
+    }
+    keys
+}
+
+/// A synthetic sparse matrix: `(col_id, nnz)` pairs for `cols` columns at
+/// `density` (fraction of columns populated), with per-column non-zero
+/// counts following a banded+power-law profile like the bcsstk stiffness
+/// matrices (most columns small, some dense bands).
+pub fn sparse_matrix(cols: u64, density: f64, max_nnz: u32, seed: u64) -> Vec<(Key, u32)> {
+    assert!(cols > 0, "matrix needs columns");
+    assert!((0.0..=1.0).contains(&density), "density is a fraction");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let zipf = Zipf::new(max_nnz.max(2) as u64, 1.3);
+    for c in 0..cols {
+        // Banding: population probability peaks periodically.
+        let band_boost = if (c / 64) % 4 == 0 { 2.0 } else { 1.0 };
+        if rng.gen::<f64>() < (density * band_boost).min(1.0) {
+            let nnz = zipf.sample(&mut rng) as u32;
+            out.push((c, nnz.max(1)));
+        }
+    }
+    if out.is_empty() {
+        out.push((0, 1));
+    }
+    out
+}
+
+/// Row sparsity patterns of matrix A for the SpMM schedule: `rows` rows,
+/// each touching a handful of the stored columns of B, with locality
+/// (rows touch column neighborhoods) plus a few hub columns everyone
+/// touches.
+pub fn spmm_rows(
+    rows: u64,
+    b_cols: &[(Key, u32)],
+    nnz_per_row: usize,
+    seed: u64,
+) -> Vec<Vec<Key>> {
+    assert!(!b_cols.is_empty(), "B must have stored columns");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5);
+    let zipf = Zipf::new(b_cols.len() as u64, 0.8);
+    (0..rows)
+        .map(|r| {
+            let mut cols: Vec<Key> = Vec::with_capacity(nnz_per_row);
+            // Band-local columns around the row's diagonal neighborhood.
+            let center = (r as usize * b_cols.len() / rows.max(1) as usize)
+                .min(b_cols.len() - 1);
+            for i in 0..nnz_per_row / 2 {
+                let idx = (center + i) % b_cols.len();
+                cols.push(b_cols[idx].0);
+            }
+            // Plus Zipf-popular hub columns (popularity scattered across
+            // the column space).
+            for _ in nnz_per_row / 2..nnz_per_row {
+                let rank = zipf.sample(&mut rng);
+                let idx = (rank.wrapping_mul(0x9E3779B97F4A7C15) % b_cols.len() as u64) as usize;
+                cols.push(b_cols[idx].0);
+            }
+            cols.sort_unstable();
+            cols.dedup();
+            cols
+        })
+        .collect()
+}
+
+/// A power-law directed graph: `(vertex, out-neighbors)` with Zipfian
+/// in-degree (hub vertices attract most edges) and neighbor locality.
+pub fn power_law_graph(vertices: u64, avg_degree: usize, seed: u64) -> Vec<(Key, Vec<Key>)> {
+    assert!(vertices > 1, "graph needs at least two vertices");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1234);
+    let zipf = Zipf::new(vertices, 1.05);
+    (0..vertices)
+        .map(|u| {
+            let deg = rng.gen_range(1..=2 * avg_degree.max(1));
+            let mut nbrs = Vec::with_capacity(deg);
+            for i in 0..deg {
+                let v = if i % 2 == 0 {
+                    // Preferential attachment: Zipf-ranked target, hub ids
+                    // scattered across the vertex space.
+                    zipf.sample(&mut rng).wrapping_mul(0x9E3779B97F4A7C15) % vertices
+                } else {
+                    // Local edge.
+                    (u + rng.gen_range(1..=16)) % vertices
+                };
+                if v != u {
+                    nbrs.push(v);
+                }
+            }
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            (u, nbrs)
+        })
+        .collect()
+}
+
+/// Spatial coordinates for the R-tree: `n` x keys and `m` y keys, both
+/// sparse and sorted.
+pub fn spatial_coords(n_x: u64, n_y: u64, seed: u64) -> (Vec<Key>, Vec<Key>) {
+    (
+        sparse_keys(n_x, 4, seed ^ 0x77),
+        sparse_keys(n_y, 4, seed ^ 0x99),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_keys_sorted_distinct() {
+        let ks = sparse_keys(10_000, 8, 1);
+        assert_eq!(ks.len(), 10_000);
+        assert!(ks.windows(2).all(|w| w[0] < w[1]));
+        assert!(ks[0] >= 1);
+        // Spread: average gap ≈ 8.
+        let span = ks.last().unwrap() - ks[0];
+        assert!(span > 10_000 * 4 && span < 10_000 * 16);
+    }
+
+    #[test]
+    fn sparse_keys_deterministic() {
+        assert_eq!(sparse_keys(100, 8, 5), sparse_keys(100, 8, 5));
+        assert_ne!(sparse_keys(100, 8, 5), sparse_keys(100, 8, 6));
+    }
+
+    #[test]
+    fn sparse_matrix_shape() {
+        let m = sparse_matrix(10_000, 0.3, 64, 2);
+        assert!(!m.is_empty());
+        assert!(m.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(m.iter().all(|&(c, n)| c < 10_000 && (1..=64).contains(&n)));
+        // Density roughly respected (banding boosts some regions).
+        let frac = m.len() as f64 / 10_000.0;
+        assert!(frac > 0.2 && frac < 0.6, "got density {frac}");
+    }
+
+    #[test]
+    fn sparse_matrix_nnz_is_skewed() {
+        let m = sparse_matrix(50_000, 0.5, 64, 3);
+        let small = m.iter().filter(|&&(_, n)| n <= 4).count();
+        assert!(
+            small * 2 > m.len(),
+            "power-law nnz: most columns are small ({small}/{})",
+            m.len()
+        );
+    }
+
+    #[test]
+    fn spmm_rows_reference_stored_columns() {
+        let b = sparse_matrix(1000, 0.4, 32, 4);
+        let rows = spmm_rows(100, &b, 8, 4);
+        assert_eq!(rows.len(), 100);
+        let stored: std::collections::HashSet<Key> = b.iter().map(|&(c, _)| c).collect();
+        for row in &rows {
+            assert!(!row.is_empty());
+            assert!(row.windows(2).all(|w| w[0] < w[1]));
+            assert!(row.iter().all(|c| stored.contains(c)));
+        }
+    }
+
+    #[test]
+    fn graph_shape() {
+        let g = power_law_graph(1000, 8, 5);
+        assert_eq!(g.len(), 1000);
+        for (u, nbrs) in &g {
+            assert!(nbrs.iter().all(|v| v != u && *v < 1000));
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn graph_has_hubs() {
+        let g = power_law_graph(2000, 8, 6);
+        let mut indeg = vec![0u64; 2000];
+        for (_, nbrs) in &g {
+            for &v in nbrs {
+                indeg[v as usize] += 1;
+            }
+        }
+        indeg.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = indeg.iter().sum();
+        let top = indeg[..20].iter().sum::<u64>();
+        assert!(
+            top * 5 > total,
+            "top-1% vertices should attract ≥20% of edges ({top}/{total})"
+        );
+    }
+
+    #[test]
+    fn spatial_coords_sorted() {
+        let (x, y) = spatial_coords(1000, 100, 7);
+        assert_eq!(x.len(), 1000);
+        assert_eq!(y.len(), 100);
+        assert!(x.windows(2).all(|w| w[0] < w[1]));
+        assert!(y.windows(2).all(|w| w[0] < w[1]));
+    }
+}

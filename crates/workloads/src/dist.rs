@@ -1,0 +1,244 @@
+//! Access distributions.
+//!
+//! Two generators shape every request stream in the suite:
+//!
+//! - [`Zipf`] — rejection-inversion sampling (Hörmann & Derflinger) of a
+//!   Zipf(s) distribution over `1..=n`, for skewed point lookups (hot
+//!   records, hub vertices, popular tags).
+//! - [`DriftingCluster`] — a clustered window over the key space that
+//!   drifts every `period` samples, modelling the paper's batch behaviour
+//!   ("parameters are updated after a batch of 1 million walks" because
+//!   batches move; Fig. 22 shows the cached band following the drift).
+
+use metal_sim::types::Key;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Zipf(s) sampler over `1..=n` by rejection inversion.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n > 0, "support must be non-empty");
+        assert!(exponent > 0.0, "exponent must be positive");
+        let h_x1 = Self::h_integral(1.5, exponent) - 1.0;
+        let h_n = Self::h_integral(n as f64 + 0.5, exponent);
+        let s = 2.0
+            - Self::h_integral_inverse(
+                Self::h_integral(2.5, exponent) - Self::h(2.0, exponent),
+                exponent,
+            );
+        Zipf {
+            n,
+            exponent,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    fn h_integral(x: f64, e: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - e) * log_x) * log_x
+    }
+
+    fn h(x: f64, e: f64) -> f64 {
+        (-e * x.ln()).exp()
+    }
+
+    fn h_integral_inverse(x: f64, e: f64) -> f64 {
+        let mut t = x * (1.0 - e);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draws one rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inverse(u, self.exponent);
+            let k64 = x.round().clamp(1.0, self.n as f64);
+            let k = k64 as u64;
+            if k64 - x <= self.s
+                || u >= Self::h_integral(k64 + 0.5, self.exponent) - Self::h(k64, self.exponent)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+/// `ln(1 + x) / x` with a stable small-`x` branch.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(exp(x) - 1) / x` with a stable small-`x` branch.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        (x.exp_m1()) / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+/// A clustered key window that drifts across the key space.
+#[derive(Debug, Clone)]
+pub struct DriftingCluster {
+    space: u64,
+    width: u64,
+    period: u64,
+    samples: u64,
+    base: u64,
+}
+
+impl DriftingCluster {
+    /// Creates a cluster of `width` keys over `[0, space)` that jumps to a
+    /// new position every `period` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, `width > space`, or `period == 0`.
+    pub fn new(space: u64, width: u64, period: u64) -> Self {
+        assert!(width > 0 && period > 0, "degenerate cluster");
+        assert!(width <= space, "cluster wider than the key space");
+        DriftingCluster {
+            space,
+            width,
+            period,
+            samples: 0,
+            base: 0,
+        }
+    }
+
+    /// Draws the next clustered key.
+    pub fn sample(&mut self, rng: &mut SmallRng) -> Key {
+        if self.samples.is_multiple_of(self.period) {
+            self.base = rng.gen_range(0..=(self.space - self.width));
+        }
+        self.samples += 1;
+        self.base + rng.gen_range(0..self.width)
+    }
+
+    /// The current window `[base, base + width)`.
+    pub fn window(&self) -> (Key, Key) {
+        (self.base, self.base + self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zipf_support_bounds() {
+        let z = Zipf::new(100, 0.99);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let k = z.sample(&mut r);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut r = rng();
+        let mut head = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut r) <= 100 {
+                head += 1;
+            }
+        }
+        // Zipf(0.99, 10k): the top 1% of ranks draws roughly half the mass.
+        assert!(
+            head > n / 4,
+            "top-100 ranks got only {head}/{n} samples; not Zipfian"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_decrease() {
+        let z = Zipf::new(50, 1.2);
+        let mut r = rng();
+        let mut counts = [0u64; 51];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        assert!(counts[1] > counts[5]);
+        assert!(counts[5] > counts[25]);
+    }
+
+    #[test]
+    fn zipf_exponent_one_supported() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let k = z.sample(&mut r);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn cluster_stays_in_window_until_drift() {
+        let mut c = DriftingCluster::new(1_000_000, 1000, 50);
+        let mut r = rng();
+        let first = c.sample(&mut r);
+        let (lo, hi) = c.window();
+        assert!(first >= lo && first < hi);
+        for _ in 0..49 {
+            let k = c.sample(&mut r);
+            assert!(k >= lo && k < hi, "sample within the current window");
+        }
+        // The 51st sample may move the window.
+        c.sample(&mut r);
+        let (lo2, _) = c.window();
+        assert_ne!(lo, lo2, "window drifted after the period");
+    }
+
+    #[test]
+    fn cluster_deterministic_with_seed() {
+        let run = || {
+            let mut c = DriftingCluster::new(10_000, 100, 10);
+            let mut r = rng();
+            (0..100).map(|_| c.sample(&mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn cluster_wider_than_space_rejected() {
+        let _ = DriftingCluster::new(10, 20, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn zipf_empty_support_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # metal-workloads — datasets and the Table 2 workload suite
+//!
+//! Reproduces the paper's workload setup (Table 2): eight applications
+//! across four DSAs over five index types. Each [`suite::Workload`] builds
+//! its index structures, generates its request stream with the access
+//! behaviour the paper describes (clustered range scans, bursty SpMM
+//! column reuse, power-law PageRank pushes, correlated spatial queries),
+//! and carries the reuse-pattern descriptors of Table 2's "Pattern" row.
+//!
+//! Dataset sizes are scaled by [`scale::Scale`]: the defaults keep the
+//! paper's *depths* (the axis the results depend on) while shrinking key
+//! counts so the full suite runs in seconds; `Scale::paper()` restores the
+//! published sizes.
+//!
+//! ## Substitutions
+//!
+//! The paper's SpMM uses the HB/bcsstk sparse matrices; we generate
+//! synthetic matrices with matching structure (banded plus power-law
+//! column populations, see [`datasets::sparse_matrix`]) because the suite
+//! must build offline. The substitution preserves the property METAL
+//! exploits: per-column non-zero counts that set leaf-reuse lifetimes.
+
+pub mod built;
+pub mod datasets;
+pub mod dist;
+pub mod scale;
+pub mod suite;
+
+pub use built::BuiltWorkload;
+pub use scale::Scale;
+pub use suite::Workload;

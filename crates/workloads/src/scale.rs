@@ -1,0 +1,114 @@
+//! Dataset scaling.
+//!
+//! The paper's headline results depend on index *depth* (10 levels
+//! default, 18 at the extreme) and on the ratio of working set to cache
+//! capacity — not on the absolute 10 M-record sizes, which exist to make
+//! the ratios realistic on their simulated HBM. [`Scale`] keeps the
+//! depths and ratios while shrinking the key counts so the whole suite
+//! runs quickly; `Scale::paper()` restores the published sizes for users
+//! with patience.
+
+/// Dataset and run-length scaling for the workload suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Keys/records in the primary index (paper: 10 M).
+    pub keys: u64,
+    /// Walks issued per workload run (paper: ~10 M).
+    pub walks: u64,
+    /// Target index depth in levels (paper: 10).
+    pub depth: u8,
+    /// Deterministic RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Tiny datasets for unit/integration tests (sub-second suite).
+    pub fn ci() -> Self {
+        Scale {
+            keys: 20_000,
+            walks: 4_000,
+            depth: 8,
+            seed: 7,
+        }
+    }
+
+    /// Default benchmarking scale: the paper's depth at ~1/50 size.
+    pub fn bench() -> Self {
+        Scale {
+            keys: 200_000,
+            walks: 40_000,
+            depth: 10,
+            seed: 7,
+        }
+    }
+
+    /// The paper's published sizes (slow: minutes per workload).
+    pub fn paper() -> Self {
+        Scale {
+            keys: 10_000_000,
+            walks: 2_000_000,
+            depth: 10,
+            seed: 7,
+        }
+    }
+
+    /// Overrides the key count.
+    pub fn with_keys(mut self, keys: u64) -> Self {
+        self.keys = keys;
+        self
+    }
+
+    /// Overrides the walk count.
+    pub fn with_walks(mut self, walks: u64) -> Self {
+        self.walks = walks;
+        self
+    }
+
+    /// Overrides the index depth.
+    pub fn with_depth(mut self, depth: u8) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Tuning batch: the paper retunes every 1 M walks over 10 M-walk
+    /// runs; keep the same 1:10 ratio at any scale.
+    pub fn batch_walks(&self) -> u64 {
+        (self.walks / 10).max(1)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::bench()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Scale::ci().keys < Scale::bench().keys);
+        assert!(Scale::bench().keys < Scale::paper().keys);
+        assert_eq!(Scale::paper().depth, 10);
+    }
+
+    #[test]
+    fn builders_override() {
+        let s = Scale::ci().with_keys(5).with_walks(6).with_depth(3).with_seed(9);
+        assert_eq!((s.keys, s.walks, s.depth, s.seed), (5, 6, 3, 9));
+    }
+
+    #[test]
+    fn batch_ratio() {
+        assert_eq!(Scale::bench().batch_walks(), 4_000);
+        assert_eq!(Scale::ci().with_walks(5).batch_walks(), 1);
+    }
+}

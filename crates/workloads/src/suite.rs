@@ -1,0 +1,689 @@
+//! The Table 2 workload suite.
+//!
+//! One builder per evaluated application, each assembling its index
+//! structures, its request stream (with the access behaviour the paper
+//! describes for it), and its reuse-pattern descriptor:
+//!
+//! | Workload  | DSA     | Index            | Pattern            |
+//! |-----------|---------|------------------|--------------------|
+//! | Scan      | Gorgon  | B+tree           | Level              |
+//! | Sets      | Gorgon  | sorted sets      | Node (level band)  |
+//! | Sets-S    | Gorgon  | shallow sets     | Node (level band)  |
+//! | SpMM      | Capstan | dynamic tensor   | Node (+life)       |
+//! | SpMM-S    | Capstan | 3-level fibers   | Node (+life)       |
+//! | WHERE     | Gorgon  | B+tree           | Level              |
+//! | Nest.SEL  | Gorgon  | B+tree           | Level              |
+//! | JOIN      | Gorgon  | 2 B+trees        | Level              |
+//! | RTree     | Aurochs | x-/y-B+trees     | Level + Branch     |
+//! | PageRank  | Aurochs | adjacency lists  | Node + Branch      |
+//! | HashProbe | Widx    | chained hash     | Level + Node (ext) |
+
+use crate::built::BuiltWorkload;
+use crate::datasets;
+use crate::dist::{DriftingCluster, Zipf};
+use crate::scale::Scale;
+use metal_core::descriptor::{
+    BranchDescriptor, Descriptor, LevelDescriptor, NodeDescriptor,
+};
+use metal_core::request::WalkRequest;
+use metal_dsa::tile::DsaSpec;
+use metal_dsa::{aurochs, capstan, gorgon, widx};
+use metal_index::bptree::BPlusTree;
+use metal_index::fiber::FiberMatrix;
+use metal_index::graph::AdjacencyIndex;
+use metal_index::hashtable::ChainedHashTable;
+use metal_index::rtree::RTree2D;
+use metal_index::sortedset::{SortedSet, SortedSetConfig};
+use metal_index::tensor::SparseTensor;
+use metal_index::walk::WalkIndex;
+use metal_sim::types::{Addr, Key};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The evaluated applications (Fig. 18's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Random range scans over a B+tree (Gorgon).
+    Scan,
+    /// Sorted-set lookups, deep skip lists (Gorgon).
+    Sets,
+    /// Sorted-set lookups, shallow deployment (Gorgon, "Sets-S").
+    SetsShallow,
+    /// SpMM inner product over deep dynamic tensors (Capstan).
+    SpMM,
+    /// SpMM over shallow 3-level fibers (Capstan, "SpMM-S").
+    SpMMShallow,
+    /// WHERE-predicate analytics over a B+tree (Gorgon).
+    Where,
+    /// Nested SELECT with dependent inner lookups (Gorgon, "Nest.SEL").
+    NestedSelect,
+    /// Two-table JOIN (Gorgon).
+    Join,
+    /// Quadrilateral-embedding spatial analysis (Aurochs).
+    RTree,
+    /// PageRank-push over adjacency lists (Aurochs).
+    PageRank,
+    /// Hash-index probes and hash join over a chained hash table (Widx).
+    ///
+    /// Not one of Fig. 18's eight workloads — Widx is the paper's fourth
+    /// target DSA (§2.1, "Widx predates DSAs and continues to rely on
+    /// address-caches"); this workload exercises the retrofit.
+    HashProbe,
+}
+
+impl Workload {
+    /// All workloads, in the paper's figure order.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Workload::Scan,
+            Workload::Sets,
+            Workload::SetsShallow,
+            Workload::SpMM,
+            Workload::SpMMShallow,
+            Workload::Where,
+            Workload::NestedSelect,
+            Workload::Join,
+            Workload::RTree,
+            Workload::PageRank,
+            Workload::HashProbe,
+        ]
+    }
+
+    /// Display name (matching the paper's plots).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Scan => "scan",
+            Workload::Sets => "sets",
+            Workload::SetsShallow => "sets-s",
+            Workload::SpMM => "spmm",
+            Workload::SpMMShallow => "spmm-s",
+            Workload::Where => "where",
+            Workload::NestedSelect => "nest.sel",
+            Workload::Join => "join",
+            Workload::RTree => "rtree",
+            Workload::PageRank => "pagerank",
+            Workload::HashProbe => "hashprobe",
+        }
+    }
+
+    /// Builds the workload at the given scale.
+    pub fn build(&self, scale: Scale) -> BuiltWorkload {
+        match self {
+            Workload::Scan => build_scan(scale),
+            Workload::Sets => build_sets(scale, false),
+            Workload::SetsShallow => build_sets(scale, true),
+            Workload::SpMM => build_spmm(scale, false),
+            Workload::SpMMShallow => build_spmm(scale, true),
+            Workload::Where => build_where(scale),
+            Workload::NestedSelect => build_nested_select(scale),
+            Workload::Join => build_join(scale),
+            Workload::RTree => build_rtree(scale),
+            Workload::PageRank => build_pagerank(scale),
+            Workload::HashProbe => build_hash_probe(scale),
+        }
+    }
+}
+
+/// Chooses the level band for a B+tree from its level census: the band's
+/// upper edge is the highest non-root level small enough to stay fully
+/// resident (so probes effectively always hit), and the band extends
+/// downward while the cumulative footprint fits the cache with slack for
+/// churn. This mirrors what the paper's Fig. 21 shows the tuned pattern
+/// converging to.
+fn band_for_tree(tree: &BPlusTree, cache_entries: usize) -> LevelDescriptor {
+    let depth = tree.depth();
+    if depth <= 2 {
+        return LevelDescriptor::band(0, depth.saturating_sub(1));
+    }
+    // Entry cost of a whole level: node count × blocks per node (split
+    // nodes occupy one IX-cache entry per block). 60% of capacity is the
+    // budget; the rest is slack for churn.
+    let level_cost = |l: u8| -> usize {
+        let ids = tree.nodes_at_level(l);
+        if ids.is_empty() {
+            return 0;
+        }
+        let bytes = tree.node(ids[0]).bytes.max(1);
+        ids.len() * (bytes.div_ceil(64) as usize)
+    };
+    let budget = cache_entries * 6 / 10;
+    // Deepest level whose whole census fits the budget becomes the band's
+    // lower edge; the band extends upward while the cumulative cost fits
+    // (upper levels are small, so reach comes almost free).
+    let mut lower = depth - 2;
+    for l in 1..depth - 1 {
+        if level_cost(l) <= budget {
+            lower = l;
+            break;
+        }
+    }
+    let mut upper = lower;
+    let mut footprint = level_cost(lower);
+    while upper + 1 < depth - 1 {
+        let next = level_cost(upper + 1);
+        if footprint + next > budget {
+            break;
+        }
+        footprint += next;
+        upper += 1;
+    }
+    LevelDescriptor::band(lower, upper)
+}
+
+/// Default cache-entry budget the static descriptors are sized for
+/// (64 kB, the paper's default geometry).
+const DEFAULT_CACHE_ENTRIES: usize = 1024;
+
+/// Scatters a Zipf rank across `n` positions: popularity should not be
+/// correlated with key order (hot records are not key-adjacent).
+fn scatter(rank: u64, n: u64) -> usize {
+    ((rank.wrapping_mul(0x9E3779B97F4A7C15)) % n) as usize
+}
+
+fn build_scan(scale: Scale) -> BuiltWorkload {
+    let spec = DsaSpec::gorgon_scan();
+    let keys = datasets::sparse_keys(scale.keys, 8, scale.seed);
+    let tree = BPlusTree::bulk_load_with_depth(&keys, scale.depth, Addr::new(0), 64);
+
+    // Table 2: "Random Search" — range starts are mostly uniform over the
+    // whole key space (leaf reuse is negligible at scale), with a small
+    // Zipfian head of popular ranges.
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    let span_max = scale.keys.saturating_sub(256).max(1);
+    let zipf = Zipf::new(span_max, 1.0);
+    let mut queries = Vec::with_capacity(scale.walks as usize);
+    for i in 0..scale.walks {
+        let rank = if i % 4 == 0 {
+            scatter(zipf.sample(&mut rng), span_max) as u64
+        } else {
+            rng.gen_range(0..span_max)
+        } as usize;
+        let rank = rank.min(keys.len() - 2);
+        let span = rng.gen_range(2..=16).min(keys.len() - 1 - rank);
+        queries.push((keys[rank], keys[rank + span]));
+    }
+    let requests = gorgon::scan_requests(&tree, &queries, &spec);
+    let band = band_for_tree(&tree, DEFAULT_CACHE_ENTRIES);
+    BuiltWorkload {
+        name: "scan",
+        indexes: vec![Box::new(tree)],
+        requests,
+        descriptors: vec![Descriptor::Level(band)],
+        batch_walks: scale.batch_walks(),
+        tiles: spec.tiles,
+    }
+}
+
+fn build_sets(scale: Scale, shallow: bool) -> BuiltWorkload {
+    let spec = DsaSpec::gorgon_sets();
+    // Table 2: 8 M keys for Sets at paper scale.
+    let n = (scale.keys * 8 / 10).max(64);
+    let scores = datasets::sparse_keys(n, 8, scale.seed ^ 0x5E75);
+    let space = scores.last().expect("non-empty") + 1;
+    let cfg = if shallow {
+        // ~10³× more buckets than the deep deployment.
+        let buckets = (n / 8).next_power_of_two().max(16) as usize;
+        SortedSetConfig {
+            n_buckets: buckets,
+            branching: 4,
+            score_space: space.next_power_of_two(),
+        }
+    } else {
+        SortedSetConfig {
+            n_buckets: 16,
+            branching: 4,
+            score_space: space.next_power_of_two(),
+        }
+    };
+    let set = SortedSet::build(&scores, cfg, Addr::new(0));
+
+    // Random search: Zipf-ranked score lookups (tagging/auto-completion
+    // traffic is heavily skewed) with an occasional miss probe.
+    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 1);
+    let zipf = Zipf::new(n, 0.99);
+    let requests: Vec<WalkRequest> = (0..scale.walks)
+        .map(|i| {
+            let key = if i % 16 == 15 {
+                // Missing score.
+                scores[scatter(zipf.sample(&mut rng), n)] + 1
+            } else {
+                scores[scatter(zipf.sample(&mut rng), n)]
+            };
+            // §4.4: "a hit does not completely eliminate the traversal
+            // (there could be multiple strings with the same score)" —
+            // a quarter of the lookups validate one list hop.
+            let validate = if i % 4 == 0 { 1 } else { 0 };
+            WalkRequest::lookup(key)
+                .with_compute(spec.ops_per_compute)
+                .with_scan(validate)
+        })
+        .collect();
+
+    // The paper's node pattern for sorted sets caches mid skip nodes
+    // ("the skip node located closest to the median ... maximizes reach").
+    // A tower of height h+1 carries level h, so targeting all towers of at
+    // least a threshold height is a level band [k, depth−1]; k is the
+    // smallest height whose tower census fits the cache with slack.
+    let depth = set.depth();
+    let mut k = 1u8;
+    let mut census = n / cfg.branching as u64; // towers of height ≥ 2
+    while k + 1 < depth && census > 600 {
+        census /= cfg.branching as u64;
+        k += 1;
+    }
+    BuiltWorkload {
+        name: if shallow { "sets-s" } else { "sets" },
+        indexes: vec![Box::new(set)],
+        requests,
+        descriptors: vec![Descriptor::or(
+            Descriptor::Level(LevelDescriptor::band(k, depth.saturating_sub(1))),
+            // Hot (Zipf-popular) records short-circuit fully through their
+            // bottom towers; CLOCK aging keeps only the reused ones.
+            Descriptor::Node(NodeDescriptor {
+                level: 0,
+                use_life_hint: false,
+            }),
+        )],
+        batch_walks: scale.batch_walks(),
+        tiles: spec.tiles,
+    }
+}
+
+fn build_spmm(scale: Scale, shallow: bool) -> BuiltWorkload {
+    let spec = DsaSpec::capstan_spmm();
+    let cols = (scale.keys / 2).max(256);
+    let matrix = datasets::sparse_matrix(cols, 0.35, 64, scale.seed ^ 0x3A3A);
+
+    let index: Box<dyn WalkIndex + Send + Sync> = if shallow {
+        Box::new(FiberMatrix::build(cols, cols, &matrix, 64, Addr::new(0)))
+    } else {
+        Box::new(SparseTensor::build(cols, cols, &matrix, 4, Addr::new(0)))
+    };
+
+    // Enough A-rows to fill the walk budget: each row touches ~8 columns.
+    let nnz_per_row = 8usize;
+    let rows = (scale.walks / nnz_per_row as u64).max(1);
+    let a_rows = datasets::spmm_rows(rows, &matrix, nnz_per_row, scale.seed);
+    let mut requests = capstan::spmm_requests(&a_rows, 64, &spec);
+    requests.truncate(scale.walks as usize);
+
+    BuiltWorkload {
+        name: if shallow { "spmm-s" } else { "spmm" },
+        indexes: vec![index],
+        requests,
+        descriptors: vec![Descriptor::Node(NodeDescriptor::leaves())],
+        batch_walks: scale.batch_walks(),
+        tiles: spec.tiles,
+    }
+}
+
+fn build_where(scale: Scale) -> BuiltWorkload {
+    let spec = DsaSpec::gorgon_analytics();
+    let keys = datasets::sparse_keys(scale.keys, 8, scale.seed ^ 0xCAFE);
+    let tree = BPlusTree::bulk_load_with_depth(&keys, scale.depth, Addr::new(0), 64);
+
+    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 2);
+    let mut cluster = DriftingCluster::new(
+        scale.keys.max(2),
+        (scale.keys / 16).max(16),
+        (scale.walks / 10).max(1),
+    );
+    let probe_keys: Vec<Key> = (0..scale.walks)
+        .map(|_| keys[(cluster.sample(&mut rng) as usize).min(keys.len() - 1)])
+        .collect();
+    let requests = gorgon::select_requests(&probe_keys, &spec);
+
+    let band = band_for_tree(&tree, DEFAULT_CACHE_ENTRIES);
+    BuiltWorkload {
+        name: "where",
+        indexes: vec![Box::new(tree)],
+        requests,
+        descriptors: vec![Descriptor::Level(band)],
+        batch_walks: scale.batch_walks(),
+        tiles: spec.tiles,
+    }
+}
+
+fn build_nested_select(scale: Scale) -> BuiltWorkload {
+    let spec = DsaSpec::gorgon_analytics();
+    let keys = datasets::sparse_keys(scale.keys, 8, scale.seed ^ 0xBEEF);
+    let tree = BPlusTree::bulk_load_with_depth(&keys, scale.depth, Addr::new(0), 64);
+
+    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 3);
+    let zipf = Zipf::new(scale.keys, 0.8);
+    let n_keys = keys.len() as u64;
+    let outer: Vec<Key> = (0..scale.walks / 2)
+        .map(|_| keys[scatter(zipf.sample(&mut rng), n_keys)])
+        .collect();
+    let n = keys.len() as u64;
+    let keys2 = keys.clone();
+    let requests = gorgon::nested_select_requests(
+        &outer,
+        move |k| {
+            // The inner clause selects a correlated record.
+            keys2[((k.wrapping_mul(2654435761)) % n) as usize]
+        },
+        &spec,
+    );
+
+    let band = band_for_tree(&tree, DEFAULT_CACHE_ENTRIES);
+    BuiltWorkload {
+        name: "nest.sel",
+        indexes: vec![Box::new(tree)],
+        requests,
+        descriptors: vec![Descriptor::Level(band)],
+        batch_walks: scale.batch_walks(),
+        tiles: spec.tiles,
+    }
+}
+
+fn build_join(scale: Scale) -> BuiltWorkload {
+    let spec = DsaSpec::gorgon_analytics();
+    // Outer table: a quarter of the records; inner: the full table.
+    let outer_keys = datasets::sparse_keys(scale.keys / 4, 8, scale.seed ^ 0xD00D);
+    let inner_keys = datasets::sparse_keys(scale.keys, 8, scale.seed ^ 0xF00D);
+    let outer = BPlusTree::bulk_load_with_depth(
+        &outer_keys,
+        scale.depth.saturating_sub(1).max(2),
+        Addr::new(0),
+        64,
+    );
+    let inner_base = Addr::new(outer.total_blocks() * 64 + (scale.keys * 80) + 4096);
+    let inner = BPlusTree::bulk_load_with_depth(&inner_keys, scale.depth, inner_base, 64);
+
+    // Foreign keys scatter across the dimension table (hash-distributed,
+    // as in a star-schema join) with a small hot set of dimension rows.
+    let n_inner = inner_keys.len() as u64;
+    let inner2 = inner_keys.clone();
+    let mut requests = gorgon::join_requests(
+        &outer,
+        move |k| {
+            let h = k.wrapping_mul(0x9E3779B97F4A7C15);
+            if h % 10 == 0 {
+                // Hot dimension row.
+                inner2[(h % 64) as usize]
+            } else {
+                inner2[(h % n_inner) as usize]
+            }
+        },
+        scale.walks as usize,
+        &spec,
+    );
+    requests.truncate(scale.walks as usize);
+
+    // JOIN targets two trees: each gets a band sized to half the cache.
+    let b0 = band_for_tree(&outer, DEFAULT_CACHE_ENTRIES / 2);
+    let b1 = band_for_tree(&inner, DEFAULT_CACHE_ENTRIES / 2);
+    BuiltWorkload {
+        name: "join",
+        indexes: vec![Box::new(outer), Box::new(inner)],
+        requests,
+        descriptors: vec![Descriptor::Level(b0), Descriptor::Level(b1)],
+        batch_walks: scale.batch_walks(),
+        tiles: spec.tiles,
+    }
+}
+
+fn build_rtree(scale: Scale) -> BuiltWorkload {
+    let spec = DsaSpec::aurochs_rtree();
+    // Table 2: x-tree 10 M (depth 10), y-tree 300 K (depth 6).
+    let (x, y) = datasets::spatial_coords(scale.keys, (scale.keys * 3 / 100).max(64), scale.seed);
+    let rt = RTree2D::build(&x, &y, 4, 2, 4, Addr::new(0));
+
+    // Quadrilateral queries cluster spatially and drift (§4.3: "certain
+    // key clusters being repetitively scanned").
+    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 4);
+    let x_lo = x[0];
+    let x_hi = *x.last().expect("non-empty");
+    let mut cluster = DriftingCluster::new(
+        x_hi - x_lo,
+        ((x_hi - x_lo) / 24).max(16),
+        (scale.walks / 50).max(1),
+    );
+    let n_queries = scale.walks / (1 + rt.y_keys_per_x() as u64);
+    let x_queries: Vec<Key> = (0..n_queries)
+        .map(|_| x_lo + cluster.sample(&mut rng))
+        .collect();
+    let requests = aurochs::rtree_requests(&rt, &x_queries, &spec);
+
+    let x_root = rt.x_tree().node(rt.x_tree().root());
+    let y_root = rt.y_tree().node(rt.y_tree().root());
+    // Table 2's Level+Branch composite on both trees: the level band gives
+    // guaranteed reach, the branch descriptor deep-caches the clustered
+    // sub-branches the quadrilateral queries revisit (queries cluster in
+    // x, and correlated y keys cluster with them). The branch pivots are
+    // placeholders the tuner re-centres every batch.
+    let descriptors = vec![
+        Descriptor::or(
+            Descriptor::Branch(BranchDescriptor {
+                pivot: x_root.lo + (x_root.hi - x_root.lo) / 2,
+                halfwidth: (x_root.hi - x_root.lo) / 24,
+                depth: 2,
+            }),
+            Descriptor::Level(band_for_tree(rt.x_tree(), DEFAULT_CACHE_ENTRIES / 2)),
+        ),
+        Descriptor::or(
+            Descriptor::Branch(BranchDescriptor {
+                pivot: y_root.lo + (y_root.hi - y_root.lo) / 2,
+                halfwidth: (y_root.hi - y_root.lo) / 8,
+                depth: 2,
+            }),
+            Descriptor::Level(band_for_tree(rt.y_tree(), DEFAULT_CACHE_ENTRIES / 4)),
+        ),
+    ];
+
+    // The composite experiment: x-tree is index 0, y-tree index 1. The
+    // y-tree is owned by the RTree2D, so split it into two owned trees.
+    let x_tree = rt.x_tree().clone();
+    let y_tree = rt.y_tree().clone();
+    BuiltWorkload {
+        name: "rtree",
+        indexes: vec![Box::new(x_tree), Box::new(y_tree)],
+        requests,
+        descriptors,
+        // Spatial clusters drift faster than the default batch; retune at
+        // the drift period so the branch pivot tracks the live cluster.
+        batch_walks: (scale.walks / 50).max(1),
+        tiles: spec.tiles,
+    }
+}
+
+fn build_pagerank(scale: Scale) -> BuiltWorkload {
+    let spec = DsaSpec::aurochs_pagerank();
+    // Table 2: 10 M nodes, dynamic degree.
+    let vertices = (scale.keys / 8).max(128);
+    let graph = datasets::power_law_graph(vertices, 8, scale.seed ^ 0x6006);
+    let vertex_degrees: Vec<(Key, u32)> = graph
+        .iter()
+        .filter(|(_, nbrs)| !nbrs.is_empty())
+        .map(|(u, nbrs)| (*u, nbrs.len() as u32))
+        .collect();
+    let adj = AdjacencyIndex::build(&vertex_degrees, 4, Addr::new(0));
+
+    let mut requests = aurochs::pagerank_requests(&graph, &spec);
+    requests.truncate(scale.walks as usize);
+
+    let depth = adj.depth();
+    BuiltWorkload {
+        name: "pagerank",
+        indexes: vec![Box::new(adj)],
+        requests,
+        descriptors: vec![Descriptor::or(
+            Descriptor::Node(NodeDescriptor::leaves()),
+            Descriptor::Branch(BranchDescriptor {
+                pivot: vertices / 2,
+                halfwidth: vertices / 8,
+                depth: depth.saturating_sub(2).max(1),
+            }),
+        )],
+        batch_walks: scale.batch_walks(),
+        tiles: spec.tiles,
+    }
+}
+
+fn build_hash_probe(scale: Scale) -> BuiltWorkload {
+    let spec = DsaSpec::widx_probe();
+    let keys = datasets::sparse_keys(scale.keys, 8, scale.seed ^ 0x71D);
+    let key_space = (keys.last().expect("non-empty") + 1).next_power_of_two();
+    // Widx-style table: enough buckets for short chains (degree ~10 keys
+    // per chain node, a few nodes per chain).
+    let buckets = (scale.keys / 40).next_power_of_two().max(16) as usize;
+    let table = ChainedHashTable::build(&keys, buckets, 10, key_space, Addr::new(0));
+
+    // Probe stream: half point lookups (Zipf-skewed), half a hash join
+    // driven by a streaming outer relation.
+    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 5);
+    let zipf = Zipf::new(scale.keys, 0.9);
+    let n = keys.len() as u64;
+    let lookups: Vec<Key> = (0..scale.walks / 2)
+        .map(|_| keys[scatter(zipf.sample(&mut rng), n)])
+        .collect();
+    let mut requests = widx::probe_requests(&lookups, &spec);
+    let outer: Vec<Key> = (0..scale.walks / 2).map(|i| i * 3 + 1).collect();
+    requests.extend(widx::hash_join_requests(
+        &outer,
+        move |k| keys[(k.wrapping_mul(0x9E3779B97F4A7C15) % n) as usize],
+        &spec,
+    ));
+
+    // Chain nodes deeper than the head carry lower levels; cache the
+    // chain interiors (skip the one-node-chain heads which are the bulk).
+    let depth = table.depth();
+    BuiltWorkload {
+        name: "hashprobe",
+        indexes: vec![Box::new(table)],
+        requests,
+        descriptors: vec![Descriptor::or(
+            Descriptor::Level(LevelDescriptor::band(0, depth.saturating_sub(2))),
+            Descriptor::Node(NodeDescriptor {
+                level: 0,
+                use_life_hint: false,
+            }),
+        )],
+        batch_walks: scale.batch_walks(),
+        tiles: spec.tiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ci() -> Scale {
+        Scale::ci()
+    }
+
+    #[test]
+    fn every_workload_builds_and_is_walkable() {
+        for w in Workload::all() {
+            let built = w.build(ci());
+            assert_eq!(built.name, w.name());
+            assert!(!built.requests.is_empty(), "{}: no requests", built.name);
+            assert_eq!(
+                built.descriptors.len(),
+                built.indexes.len(),
+                "{}: one descriptor per index",
+                built.name
+            );
+            // Every request's key resolves through its index without
+            // panicking (found or not).
+            let exp = built.experiment();
+            for req in built.requests.iter().take(200) {
+                let index = exp.indexes[req.index as usize];
+                let mut steps = 0;
+                let mut id = index.root();
+                loop {
+                    match index.descend(id, req.key) {
+                        metal_index::walk::Descend::Child(c) => id = c,
+                        metal_index::walk::Descend::Leaf { .. } => break,
+                    }
+                    steps += 1;
+                    assert!(
+                        steps <= 4 * index.depth() as usize + 16,
+                        "{}: walk for key {} does not terminate",
+                        built.name,
+                        req.key
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_requests_carry_leaf_scans() {
+        let built = Workload::Scan.build(ci());
+        assert!(
+            built.requests.iter().any(|r| r.scan_leaves > 0),
+            "range scans must hop leaves"
+        );
+    }
+
+    #[test]
+    fn spmm_deep_vs_shallow_depth() {
+        let deep = Workload::SpMM.build(ci());
+        let shallow = Workload::SpMMShallow.build(ci());
+        assert!(deep.experiment().max_depth() > shallow.experiment().max_depth());
+        assert_eq!(shallow.experiment().max_depth(), 3, "fibers are 3 levels");
+    }
+
+    #[test]
+    fn sets_deep_vs_shallow_depth() {
+        let deep = Workload::Sets.build(ci());
+        let shallow = Workload::SetsShallow.build(ci());
+        assert!(deep.experiment().max_depth() > shallow.experiment().max_depth());
+    }
+
+    #[test]
+    fn join_uses_two_indexes() {
+        let built = Workload::Join.build(ci());
+        assert_eq!(built.indexes.len(), 2);
+        assert!(built.requests.iter().any(|r| r.index == 0));
+        assert!(built.requests.iter().any(|r| r.index == 1));
+    }
+
+    #[test]
+    fn rtree_walks_both_trees() {
+        let built = Workload::RTree.build(ci());
+        assert_eq!(built.indexes.len(), 2);
+        let y_walks = built.requests.iter().filter(|r| r.index == 1).count();
+        let x_walks = built.requests.iter().filter(|r| r.index == 0).count();
+        assert_eq!(y_walks, 4 * x_walks, "4 correlated y walks per x query");
+    }
+
+    #[test]
+    fn spmm_has_lifetime_hints() {
+        let built = Workload::SpMM.build(ci());
+        assert!(
+            built.requests.iter().any(|r| r.life_hint > 1),
+            "SpMM pins columns for their block reuse"
+        );
+    }
+
+    #[test]
+    fn pagerank_descriptor_is_composite() {
+        let built = Workload::PageRank.build(ci());
+        assert!(matches!(built.descriptors[0], Descriptor::Or(_, _)));
+    }
+
+    #[test]
+    fn hashprobe_walks_chains() {
+        let built = Workload::HashProbe.build(ci());
+        assert_eq!(built.indexes.len(), 1);
+        assert!(built.experiment().max_depth() >= 2, "chains exist");
+        // Both lookup and join halves are present.
+        assert_eq!(built.requests.len() as u64, ci().walks / 2 * 2);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = Workload::Where.build(ci());
+        let b = Workload::Where.build(ci());
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn scan_depth_matches_scale() {
+        let built = Workload::Scan.build(ci());
+        assert_eq!(built.experiment().max_depth(), ci().depth);
+    }
+}

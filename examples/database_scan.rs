@@ -1,0 +1,62 @@
+//! Database range scans on Gorgon (the paper's §4.2 scenario).
+//!
+//! Runs `SELECT * WHERE X BETWEEN R1 AND R2`-style range scans over a
+//! B+tree and shows how the *level* reuse pattern captures the funnel
+//! through common intermediate nodes — including the tuner's per-batch
+//! band adjustments (the paper's Fig. 22 behaviour).
+//!
+//! ```sh
+//! cargo run --release --example database_scan
+//! ```
+
+use metal::core::prelude::*;
+use metal::workloads::{Scale, Workload};
+
+fn main() {
+    let scale = Scale::bench().with_keys(300_000).with_walks(30_000);
+    let built = Workload::Scan.build(scale);
+    let exp = built.experiment();
+    println!(
+        "scan workload: {} walks over a depth-{} B+tree ({} blocks)",
+        built.walks(),
+        exp.max_depth(),
+        exp.total_index_blocks()
+    );
+    println!("static pattern: {:?}", built.descriptors[0]);
+
+    let cfg = RunConfig::default().with_lanes(built.tiles);
+
+    let stream = run_design(&DesignSpec::Stream, &exp, &cfg);
+    let metal = run_design(
+        &DesignSpec::Metal {
+            ix: IxConfig::kb64(),
+            descriptors: built.descriptors.clone(),
+            tune: true,
+            batch_walks: built.batch_walks,
+        },
+        &exp,
+        &cfg,
+    );
+
+    println!(
+        "\nstreaming: {} cycles | METAL: {} cycles ({:.2}x)",
+        stream.stats.exec_cycles,
+        metal.stats.exec_cycles,
+        metal.speedup_vs(&stream)
+    );
+    println!(
+        "walk latency: {:.0} -> {:.0} cycles; DRAM node reads/walk: {:.1} -> {:.1}",
+        stream.stats.avg_walk_latency(),
+        metal.stats.avg_walk_latency(),
+        stream.stats.dram_node_reads as f64 / stream.stats.walks as f64,
+        metal.stats.dram_node_reads as f64 / metal.stats.walks as f64,
+    );
+
+    if let Some(history) = metal.band_history.first() {
+        println!("\ntuned level band per batch window:");
+        for (i, (lo, hi)) in history.iter().enumerate() {
+            println!("  window {i}: levels [{lo}, {hi}]");
+        }
+    }
+    println!("\nfinal IX-cache occupancy by level: {:?}", metal.occupancy_by_level);
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build an index, run the same walks under every cache
+//! design, and print the comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use metal::core::prelude::*;
+use metal::index::bptree::BPlusTree;
+use metal::index::walk::WalkIndex;
+use metal::sim::types::{Addr, Key};
+
+fn main() {
+    // 1. An index: 100k keys, bulk-loaded into a B+tree shaped to the
+    //    paper's 10-level depth.
+    let keys: Vec<Key> = (0..100_000).map(|i| i * 3).collect();
+    let tree = BPlusTree::bulk_load_with_depth(&keys, 10, Addr::new(0), 64);
+    println!(
+        "index: {} keys, depth {}, {} nodes, {} KiB footprint",
+        keys.len(),
+        tree.depth(),
+        tree.node_count(),
+        tree.total_blocks() * 64 / 1024
+    );
+
+    // 2. A skewed request stream: 70% of walks hit 2% of keys.
+    let requests: Vec<WalkRequest> = (0..20_000usize)
+        .map(|i| {
+            let key = if i % 10 < 7 {
+                ((i as u64).wrapping_mul(0x9E3779B9) % 2_000) * 3
+            } else {
+                ((i as u64).wrapping_mul(6_364_136_223_846_793_005) % 100_000) * 3
+            };
+            WalkRequest::lookup(key).with_compute(16)
+        })
+        .collect();
+    let exp = Experiment::single(&tree, &requests);
+
+    // 3. Run the paper's comparison set: streaming DSA, address cache,
+    //    Belady-optimal address cache, X-Cache, METAL-IX and METAL.
+    let cfg = RunConfig::default().with_lanes(64);
+    let band = LevelDescriptor::band(2, 4);
+    let reports = run_comparison(
+        &exp,
+        &cfg,
+        64 * 1024,
+        vec![Descriptor::Level(band)],
+        2_000,
+    );
+
+    let stream = &reports[0];
+    println!(
+        "\n{:<11} {:>9} {:>9} {:>10} {:>10} {:>9}",
+        "design", "speedup", "missrate", "walk(cyc)", "DRAM(µJ)", "ws-frac"
+    );
+    for r in &reports {
+        println!(
+            "{:<11} {:>8.2}x {:>9.3} {:>10.1} {:>10.1} {:>9.3}",
+            r.design,
+            r.speedup_vs(stream),
+            r.stats.miss_rate(),
+            r.stats.avg_walk_latency(),
+            r.stats.dram_energy_fj as f64 / 1e9,
+            r.stats.working_set_fraction(),
+        );
+    }
+
+    let metal = &reports[6];
+    println!(
+        "\nMETAL probe count: {} ({}x fewer cache accesses than the address design)",
+        metal.stats.probes,
+        reports[1].stats.probes / metal.stats.probes.max(1)
+    );
+}

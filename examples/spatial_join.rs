@@ -1,0 +1,70 @@
+//! Spatial analysis and a two-table JOIN on Aurochs/Gorgon (the paper's
+//! §4.3 scenario plus the JOIN workload of Fig. 23).
+//!
+//! Both workloads walk *two* indexes, which is where the IX-cache's
+//! per-index range tags and the composite (Level + Branch) descriptors
+//! earn their keep.
+//!
+//! ```sh
+//! cargo run --release --example spatial_join
+//! ```
+
+use metal::core::prelude::*;
+use metal::workloads::{Scale, Workload};
+
+fn main() {
+    let scale = Scale::bench().with_walks(30_000);
+
+    for workload in [Workload::RTree, Workload::Join] {
+        let built = workload.build(scale);
+        let exp = built.experiment();
+        println!(
+            "\n=== {} — {} walks over {} indexes (depths: {:?}) ===",
+            built.name,
+            built.walks(),
+            built.indexes.len(),
+            exp.indexes.iter().map(|i| i.depth()).collect::<Vec<_>>()
+        );
+        for (i, d) in built.descriptors.iter().enumerate() {
+            println!("  index {i} pattern: {d:?}");
+        }
+
+        let cfg = RunConfig::default().with_lanes(built.tiles);
+        let stream = run_design(&DesignSpec::Stream, &exp, &cfg);
+        let addr = run_design(
+            &DesignSpec::Address {
+                entries: 1024,
+                ways: 16,
+            },
+            &exp,
+            &cfg,
+        );
+        let metal = run_design(
+            &DesignSpec::Metal {
+                ix: IxConfig::kb64(),
+                descriptors: built.descriptors.clone(),
+                tune: true,
+                batch_walks: built.batch_walks,
+            },
+            &exp,
+            &cfg,
+        );
+
+        println!(
+            "  speedup vs stream: address {:.2}x, METAL {:.2}x",
+            addr.speedup_vs(&stream),
+            metal.speedup_vs(&stream)
+        );
+        println!(
+            "  DRAM energy vs stream: address {:.2}, METAL {:.2} (lower is better)",
+            addr.dram_energy_vs(&stream),
+            metal.dram_energy_vs(&stream)
+        );
+        println!(
+            "  cache accesses: address {} vs METAL {} ({:.1}x reduction)",
+            addr.stats.probes,
+            metal.stats.probes,
+            addr.stats.probes as f64 / metal.stats.probes.max(1) as f64
+        );
+    }
+}

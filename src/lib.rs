@@ -1,0 +1,50 @@
+//! # metal — reproduction of METAL (ASPLOS 2024)
+//!
+//! *METAL: Caching Multi-level Indexes in Domain-Specific Architectures*
+//! (Anil Kumar, Prasanna, Balkind, Shriraman) proposes a portable caching
+//! idiom for DSAs built on two ideas: the **IX-cache**, whose tags are key
+//! ranges `[Lo, Hi]` so a single probe can short-circuit an index walk at
+//! the deepest cached covering node; and **reuse patterns**, an explicit
+//! insert/bypass interface expressed on affine index features (levels,
+//! ranges, branches) with per-batch dynamic tuning.
+//!
+//! This facade crate re-exports the whole reproduction:
+//!
+//! - [`sim`] — event-driven memory-system substrate (banked HBM model,
+//!   baseline caches, multiplexed walker engine).
+//! - [`index`] — the index structures the paper walks: B+trees, chained
+//!   hash tables, sorted sets over skip lists, a 2-D R-tree, dynamic
+//!   sparse tensors, shallow fibers, and adjacency lists.
+//! - [`core`] — the contribution: IX-cache, descriptors, tuner, and the
+//!   per-design walk models (Stream / Address / FA-OPT / X-Cache /
+//!   METAL-IX / METAL).
+//! - [`dsa`] — tile-grid front-ends for Gorgon, Capstan, Aurochs and Widx.
+//! - [`workloads`] — the Table 2 workload suite with scaled datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use metal::core::prelude::*;
+//! use metal::index::bptree::BPlusTree;
+//! use metal::sim::types::Addr;
+//!
+//! let keys: Vec<u64> = (0..2000).collect();
+//! let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+//! let requests: Vec<WalkRequest> =
+//!     (0..500).map(|i| WalkRequest::lookup((i * 7) % 100)).collect();
+//! let exp = Experiment::single(&tree, &requests);
+//!
+//! let cfg = RunConfig::default();
+//! let stream = run_design(&DesignSpec::Stream, &exp, &cfg);
+//! let metal = run_design(&DesignSpec::MetalIx { ix: IxConfig::kb64() }, &exp, &cfg);
+//! assert!(metal.speedup_vs(&stream) > 1.0);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the per-figure reproduction harness.
+
+pub use metal_core as core;
+pub use metal_dsa as dsa;
+pub use metal_index as index;
+pub use metal_sim as sim;
+pub use metal_workloads as workloads;

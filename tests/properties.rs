@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) on the core data structures and their
+//! invariants.
+
+use metal::core::ixcache::{IxCache, IxConfig};
+use metal::core::range::KeyRange;
+use metal::index::bptree::BPlusTree;
+use metal::index::skiplist::SkipList;
+use metal::index::walk::{Descend, WalkIndex};
+use metal::sim::caches::{AddressCache, OptCache};
+use metal::sim::types::{Addr, BlockAddr, Key};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn sorted_keys(max_len: usize) -> impl Strategy<Value = Vec<Key>> {
+    proptest::collection::btree_set(1u64..1_000_000, 1..max_len)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    /// Splitting a range partitions it exactly: contiguous, disjoint,
+    /// same coverage.
+    #[test]
+    fn range_split_partitions(lo in 0u64..1_000_000, width in 0u64..100_000, n in 1usize..20) {
+        let r = KeyRange::new(lo, lo + width);
+        let parts = r.split(n);
+        prop_assert_eq!(parts[0].lo, r.lo);
+        prop_assert_eq!(parts.last().unwrap().hi, r.hi);
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].hi + 1, w[1].lo);
+        }
+        let total: u64 = parts.iter().map(|p| p.width()).sum();
+        prop_assert_eq!(total, r.width());
+    }
+
+    /// Union covers both operands.
+    #[test]
+    fn range_union_covers(a_lo in 0u64..1000, a_w in 0u64..1000, b_lo in 0u64..1000, b_w in 0u64..1000) {
+        let a = KeyRange::new(a_lo, a_lo + a_w);
+        let b = KeyRange::new(b_lo, b_lo + b_w);
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+    }
+
+    /// B+tree point lookups agree with a BTreeSet oracle, at any geometry.
+    #[test]
+    fn bptree_matches_oracle(
+        keys in sorted_keys(300),
+        leaf_keys in 1usize..12,
+        fanout in 2usize..8,
+        probes in proptest::collection::vec(0u64..1_100_000, 1..50),
+    ) {
+        let oracle: BTreeSet<Key> = keys.iter().copied().collect();
+        let tree = BPlusTree::bulk_load_geometry(&keys, leaf_keys, fanout, Addr::new(0), 16);
+        for p in probes {
+            prop_assert_eq!(tree.contains(p), oracle.contains(&p));
+        }
+    }
+
+    /// B+tree range scans agree with the oracle.
+    #[test]
+    fn bptree_range_matches_oracle(
+        keys in sorted_keys(300),
+        lo in 0u64..1_000_000,
+        width in 0u64..100_000,
+    ) {
+        let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let want: Vec<Key> = keys.iter().copied().filter(|&k| k >= lo && k <= lo + width).collect();
+        prop_assert_eq!(tree.range(lo, lo + width), want);
+    }
+
+    /// Walks terminate within depth steps and every visited node covers
+    /// the probe key when the key is present.
+    #[test]
+    fn bptree_walk_invariants(keys in sorted_keys(300), probe_idx in 0usize..300) {
+        let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let key = keys[probe_idx % keys.len()];
+        let mut steps = 0;
+        let mut levels = Vec::new();
+        let out = tree.walk(key, |_, info| {
+            steps += 1;
+            levels.push(info.level);
+            assert!(info.covers(key));
+        });
+        prop_assert_eq!(steps, tree.depth() as usize);
+        let found_leaf = matches!(out, Descend::Leaf { found: true, .. });
+        prop_assert!(found_leaf);
+        for w in levels.windows(2) {
+            prop_assert_eq!(w[0], w[1] + 1);
+        }
+    }
+
+    /// Skip-list membership agrees with the oracle.
+    #[test]
+    fn skiplist_matches_oracle(
+        keys in sorted_keys(200),
+        branching in 2usize..6,
+        probes in proptest::collection::vec(1u64..1_100_000, 1..40),
+    ) {
+        let oracle: BTreeSet<Key> = keys.iter().copied().collect();
+        let sl = SkipList::build(&keys, branching, Addr::new(0));
+        for p in probes {
+            prop_assert_eq!(sl.contains(p), oracle.contains(&p));
+        }
+    }
+
+    /// IX-cache: an inserted unpinned range is immediately probeable at
+    /// every covered key, and the hit resolves to the inserted node.
+    #[test]
+    fn ixcache_insert_then_probe(lo in 0u64..100_000, width in 0u64..5_000, level in 0u8..10) {
+        let mut c = IxCache::new(IxConfig::kb64());
+        let range = KeyRange::new(lo, lo + width);
+        c.insert(0, 42, range, level, 64, 0);
+        for probe in [range.lo, range.midpoint(), range.hi] {
+            let hit = c.probe(0, probe);
+            prop_assert!(hit.is_some(), "covered key {probe} must hit");
+            prop_assert_eq!(hit.unwrap().node, 42);
+        }
+        if range.lo > 0 {
+            prop_assert!(c.probe(0, range.lo - 1).is_none());
+        }
+        prop_assert!(c.probe(0, range.hi + 1).is_none());
+    }
+
+    /// IX-cache occupancy never exceeds the configured entry budget,
+    /// whatever the insertion mix.
+    #[test]
+    fn ixcache_capacity_respected(
+        inserts in proptest::collection::vec((0u64..65_536, 0u64..4_096, 0u8..8, 1u64..512, 0u32..4), 1..300),
+    ) {
+        let mut c = IxCache::new(IxConfig {
+            entries: 64,
+            ways: 4,
+            key_block_bits: 4,
+            wide_fraction: 0.5,
+        });
+        for (i, (lo, width, level, bytes, life)) in inserts.into_iter().enumerate() {
+            c.insert(0, i as u32, KeyRange::new(lo, lo + width), level, bytes, life);
+            prop_assert!(c.occupancy() <= 64, "occupancy {} over budget", c.occupancy());
+        }
+    }
+
+    /// Probe always returns the deepest covering entry.
+    #[test]
+    fn ixcache_probe_returns_deepest(levels in proptest::collection::vec(0u8..12, 2..8)) {
+        let mut c = IxCache::new(IxConfig::kb64());
+        // Nested ranges all covering key 500, one per level.
+        let mut distinct = levels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for (i, &l) in distinct.iter().enumerate() {
+            let spread = 1 + l as u64 * 100;
+            c.insert(0, i as u32, KeyRange::new(500 - spread.min(500), 500 + spread), l, 64, 0);
+        }
+        let hit = c.probe(0, 500).expect("all entries cover 500");
+        prop_assert_eq!(hit.level, *distinct.iter().min().unwrap());
+    }
+
+    /// Belady's OPT never has more misses than LRU at equal capacity.
+    #[test]
+    fn opt_dominates_lru(trace in proptest::collection::vec(0u64..64, 1..500), entries_pow in 1u32..5) {
+        let entries = 1usize << entries_pow;
+        let blocks: Vec<BlockAddr> = trace.iter().map(|&b| BlockAddr::new(b)).collect();
+        let opt = OptCache::new(entries).simulate(&blocks);
+        let mut lru = AddressCache::new(entries, entries); // fully associative
+        for &b in &blocks {
+            lru.access(b);
+        }
+        prop_assert!(
+            opt.misses <= lru.misses(),
+            "OPT {} must not exceed LRU {}",
+            opt.misses,
+            lru.misses()
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Integration tests: the whole workload suite runs under every cache
+//! design, and the statistics the figures are built from are internally
+//! consistent.
+
+use metal::core::models::DesignSpec;
+use metal::core::prelude::*;
+use metal::workloads::{Scale, Workload};
+
+fn tiny() -> Scale {
+    Scale::ci().with_keys(12_000).with_walks(1_500)
+}
+
+fn all_designs(built: &metal::workloads::BuiltWorkload) -> Vec<DesignSpec> {
+    vec![
+        DesignSpec::Stream,
+        DesignSpec::Address {
+            entries: 1024,
+            ways: 16,
+        },
+        DesignSpec::FaOpt { entries: 1024 },
+        DesignSpec::XCache {
+            entries: 1024,
+            ways: 16,
+        },
+        DesignSpec::MetalIx {
+            ix: IxConfig::kb64(),
+        },
+        DesignSpec::Metal {
+            ix: IxConfig::kb64(),
+            descriptors: built.descriptors.clone(),
+            tune: true,
+            batch_walks: built.batch_walks,
+        },
+    ]
+}
+
+#[test]
+fn every_workload_runs_under_every_design() {
+    for w in Workload::all() {
+        let built = w.build(tiny());
+        let exp = built.experiment();
+        let n_requests = built.requests.len() as u64;
+        let cfg = RunConfig::default().with_lanes(16);
+        for spec in all_designs(&built) {
+            let report = run_design(&spec, &exp, &cfg);
+            let s = &report.stats;
+            assert_eq!(
+                s.walks, n_requests,
+                "{}/{}: every request completes",
+                built.name, report.design
+            );
+            assert!(
+                s.exec_cycles.get() > 0,
+                "{}/{}: time advances",
+                built.name,
+                report.design
+            );
+            assert!(
+                s.misses <= s.probes,
+                "{}/{}: misses bounded by probes",
+                built.name,
+                report.design
+            );
+            assert!(
+                s.walk_latency.mean() > 0.0,
+                "{}/{}: walks take time",
+                built.name,
+                report.design
+            );
+            assert!(
+                s.working_set_fraction() <= 1.0,
+                "{}/{}: working set is a fraction",
+                built.name,
+                report.design
+            );
+        }
+    }
+}
+
+#[test]
+fn all_designs_agree_on_walk_outcomes() {
+    // The cache organization must never change *what* a walk finds —
+    // only how fast. Every design reports the identical found count.
+    for w in Workload::all() {
+        let built = w.build(tiny());
+        let exp = built.experiment();
+        let cfg = RunConfig::default().with_lanes(16);
+        let mut found: Option<u64> = None;
+        for spec in all_designs(&built) {
+            let r = run_design(&spec, &exp, &cfg);
+            match found {
+                None => found = Some(r.stats.found_walks),
+                Some(f) => assert_eq!(
+                    r.stats.found_walks, f,
+                    "{}/{}: walk outcomes must be design-independent",
+                    built.name, r.design
+                ),
+            }
+        }
+        assert!(found.unwrap_or(0) > 0, "{}: some keys are found", built.name);
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let w = Workload::Where;
+    let run = || {
+        let built = w.build(tiny());
+        let exp = built.experiment();
+        let cfg = RunConfig::default().with_lanes(16);
+        let r = run_design(
+            &DesignSpec::Metal {
+                ix: IxConfig::kb64(),
+                descriptors: built.descriptors.clone(),
+                tune: true,
+                batch_walks: built.batch_walks,
+            },
+            &exp,
+            &cfg,
+        );
+        (
+            r.stats.exec_cycles,
+            r.stats.misses,
+            r.stats.dram_energy_fj,
+            r.stats.levels_skipped,
+            r.band_history.clone(),
+        )
+    };
+    assert_eq!(run(), run(), "same build + same seed = identical report");
+}
+
+#[test]
+fn dram_traffic_ordering_stream_is_maximal() {
+    // The streaming DSA re-fetches everything; every caching design must
+    // produce at most that much index traffic.
+    for w in [Workload::Where, Workload::Scan, Workload::Sets, Workload::SpMM] {
+        let built = w.build(tiny());
+        let exp = built.experiment();
+        let cfg = RunConfig::default().with_lanes(16);
+        let stream = run_design(&DesignSpec::Stream, &exp, &cfg);
+        for spec in all_designs(&built).into_iter().skip(1) {
+            let r = run_design(&spec, &exp, &cfg);
+            assert!(
+                r.stats.dram_node_reads <= stream.stats.dram_node_reads,
+                "{}/{}: node traffic must not exceed streaming ({} vs {})",
+                built.name,
+                r.design,
+                r.stats.dram_node_reads,
+                stream.stats.dram_node_reads
+            );
+        }
+    }
+}
+
+#[test]
+fn metal_probe_counts_are_one_per_walk_plus_scans() {
+    // METAL probes once per walk (plus once per scanned leaf); the
+    // address design probes once per touched block. This is §5.7's
+    // access-count reduction.
+    let built = Workload::Where.build(tiny());
+    let exp = built.experiment();
+    let cfg = RunConfig::default().with_lanes(16);
+    let metal = run_design(
+        &DesignSpec::MetalIx {
+            ix: IxConfig::kb64(),
+        },
+        &exp,
+        &cfg,
+    );
+    let addr = run_design(
+        &DesignSpec::Address {
+            entries: 1024,
+            ways: 16,
+        },
+        &exp,
+        &cfg,
+    );
+    assert_eq!(metal.stats.probes, built.requests.len() as u64);
+    assert!(
+        addr.stats.probes > 4 * metal.stats.probes,
+        "address probes per level+block: {} vs {}",
+        addr.stats.probes,
+        metal.stats.probes
+    );
+}
+
+#[test]
+fn tuned_band_history_has_one_entry_per_batch() {
+    let built = Workload::Scan.build(tiny().with_walks(2_000));
+    let exp = built.experiment();
+    let cfg = RunConfig::default().with_lanes(16);
+    let r = run_design(
+        &DesignSpec::Metal {
+            ix: IxConfig::kb64(),
+            descriptors: built.descriptors.clone(),
+            tune: true,
+            batch_walks: 500,
+        },
+        &exp,
+        &cfg,
+    );
+    assert_eq!(r.band_history.len(), 1);
+    assert_eq!(r.band_history[0].len(), 4, "2000 walks / 500 per batch");
+}
+
+#[test]
+fn occupancy_reports_only_for_ix_designs() {
+    let built = Workload::Where.build(tiny());
+    let exp = built.experiment();
+    let cfg = RunConfig::default().with_lanes(16);
+    let addr = run_design(
+        &DesignSpec::Address {
+            entries: 1024,
+            ways: 16,
+        },
+        &exp,
+        &cfg,
+    );
+    assert!(addr.occupancy_by_level.is_empty());
+    let metal = run_design(
+        &DesignSpec::MetalIx {
+            ix: IxConfig::kb64(),
+        },
+        &exp,
+        &cfg,
+    );
+    let total: usize = metal.occupancy_by_level.iter().sum();
+    assert!(total > 0, "greedy IX caches something");
+    assert!(total <= 1024, "occupancy bounded by capacity");
+}
