@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify, the full test suite single-threaded,
+# and a sharded-replay smoke test (shards=1 vs shards=4 must emit
+# byte-identical figure CSV).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== full workspace tests (single-threaded) =="
+cargo test -q --workspace -- --test-threads=1
+
+echo "== sharded-replay smoke: fig18_speedup, shards 1 vs 4 =="
+cargo build --release -p metal-bench --bin fig18_speedup
+out1=$(mktemp) && out4=$(mktemp)
+trap 'rm -f "$out1" "$out4"' EXIT
+t0=$(date +%s%N)
+METAL_SHARDS=1 ./target/release/fig18_speedup --scale ci > "$out1"
+t1=$(date +%s%N)
+METAL_SHARDS=4 ./target/release/fig18_speedup --scale ci > "$out4"
+t2=$(date +%s%N)
+if ! diff -q "$out1" "$out4" > /dev/null; then
+    echo "FAIL: fig18_speedup output differs between shards=1 and shards=4" >&2
+    diff "$out1" "$out4" >&2 || true
+    exit 1
+fi
+echo "shards=1: $(( (t1 - t0) / 1000000 )) ms, shards=4: $(( (t2 - t1) / 1000000 )) ms, CSV identical"
+
+echo "== ci.sh: all checks passed =="

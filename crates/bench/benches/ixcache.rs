@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks for the IX-cache hot paths: probe (range
+//! Plain-timing micro-benchmarks for the IX-cache hot paths: probe (range
 //! match + level priority) and insert (packing + CLOCK eviction).
+//!
+//! These run with `harness = false` as ordinary `main()` binaries so the
+//! workspace builds offline without a benchmark framework dependency.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use metal_core::ixcache::{IxCache, IxConfig};
 use metal_core::range::KeyRange;
+use std::hint::black_box;
+use std::time::Instant;
 
 fn filled_cache() -> IxCache {
     let mut c = IxCache::new(IxConfig::kb64());
@@ -24,37 +28,41 @@ fn filled_cache() -> IxCache {
     c
 }
 
-fn bench_probe(c: &mut Criterion) {
+fn report(name: &str, iters: u64, elapsed_ns: u128) {
+    println!("{name}: {:.1} ns/iter ({iters} iters)", elapsed_ns as f64 / iters as f64);
+}
+
+fn main() {
+    const ITERS: u64 = 200_000;
+
     let mut cache = filled_cache();
     let mut key = 0u64;
-    c.bench_function("ixcache_probe_hit", |b| {
-        b.iter(|| {
-            key = (key + 37) % 4096;
-            black_box(cache.probe(0, black_box(key)))
-        })
-    });
-    c.bench_function("ixcache_probe_miss", |b| {
-        b.iter(|| black_box(cache.probe(0, black_box(1 << 40))))
-    });
-}
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        key = (key + 37) % 4096;
+        black_box(cache.probe(0, black_box(key)));
+    }
+    report("ixcache_probe_hit", ITERS, t.elapsed().as_nanos());
 
-fn bench_insert(c: &mut Criterion) {
-    c.bench_function("ixcache_insert_evict", |b| {
-        let mut cache = filled_cache();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            cache.insert(
-                0,
-                (20_000 + i) as u32,
-                KeyRange::new(i * 16, i * 16 + 15),
-                1,
-                64,
-                0,
-            );
-        })
-    });
-}
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        black_box(cache.probe(0, black_box(1 << 40)));
+    }
+    report("ixcache_probe_miss", ITERS, t.elapsed().as_nanos());
 
-criterion_group!(benches, bench_probe, bench_insert);
-criterion_main!(benches);
+    let mut cache = filled_cache();
+    let mut i = 0u64;
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        i += 1;
+        cache.insert(
+            0,
+            (20_000 + i) as u32,
+            KeyRange::new(i * 16, i * 16 + 15),
+            1,
+            64,
+            0,
+        );
+    }
+    report("ixcache_insert_evict", ITERS, t.elapsed().as_nanos());
+}

@@ -1,13 +1,17 @@
-//! Criterion micro-benchmarks for pattern-controller hot paths: descriptor
-//! admission and tuner observation.
+//! Plain-timing micro-benchmarks for pattern-controller hot paths:
+//! descriptor admission and tuner observation.
+//!
+//! These run with `harness = false` as ordinary `main()` binaries so the
+//! workspace builds offline without a benchmark framework dependency.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use metal_core::descriptor::{
     AdmitCtx, BranchDescriptor, Descriptor, LevelDescriptor, NodeDescriptor,
 };
 use metal_core::tuner::Tuner;
 use metal_index::walk::NodeInfo;
 use metal_sim::types::Addr;
+use std::hint::black_box;
+use std::time::Instant;
 
 fn node(level: u8, lo: u64, hi: u64) -> NodeInfo {
     NodeInfo {
@@ -20,7 +24,13 @@ fn node(level: u8, lo: u64, hi: u64) -> NodeInfo {
     }
 }
 
-fn bench_admit(c: &mut Criterion) {
+fn report(name: &str, iters: u64, elapsed_ns: u128) {
+    println!("{name}: {:.1} ns/iter ({iters} iters)", elapsed_ns as f64 / iters as f64);
+}
+
+fn main() {
+    const ITERS: u64 = 500_000;
+
     let ctx = AdmitCtx { life_hint: 4 };
     let level = Descriptor::Level(LevelDescriptor::band(2, 4));
     let composite = Descriptor::or(
@@ -31,34 +41,31 @@ fn bench_admit(c: &mut Criterion) {
             depth: 3,
         }),
     );
+
     let mut l = 0u8;
-    c.bench_function("descriptor_admit_level", |b| {
-        b.iter(|| {
-            l = (l + 1) % 8;
-            black_box(level.admit(&node(l, 10, 20), &ctx))
-        })
-    });
-    c.bench_function("descriptor_admit_composite", |b| {
-        b.iter(|| {
-            l = (l + 1) % 8;
-            black_box(composite.admit(&node(l, 900, 1100), &ctx))
-        })
-    });
-}
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        l = (l + 1) % 8;
+        black_box(level.admit(&node(l, 10, 20), &ctx));
+    }
+    report("descriptor_admit_level", ITERS, t.elapsed().as_nanos());
 
-fn bench_tuner(c: &mut Criterion) {
-    c.bench_function("tuner_observe_and_batch", |b| {
-        let mut tuner = Tuner::new(10, 1000, 1024);
-        let mut desc = Descriptor::Level(LevelDescriptor::band(2, 4));
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            tuner.observe_node((i % 10) as u8, i % 5000, 64);
-            tuner.observe_probe(i.is_multiple_of(3));
-            black_box(tuner.walk_done(&mut desc))
-        })
-    });
-}
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        l = (l + 1) % 8;
+        black_box(composite.admit(&node(l, 900, 1100), &ctx));
+    }
+    report("descriptor_admit_composite", ITERS, t.elapsed().as_nanos());
 
-criterion_group!(benches, bench_admit, bench_tuner);
-criterion_main!(benches);
+    let mut tuner = Tuner::new(10, 1000, 1024);
+    let mut desc = Descriptor::Level(LevelDescriptor::band(2, 4));
+    let mut i = 0u32;
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        i = i.wrapping_add(1);
+        tuner.observe_node((i % 10) as u8, i % 5000, 64);
+        tuner.observe_probe(i.is_multiple_of(3));
+        black_box(tuner.walk_done(&mut desc));
+    }
+    report("tuner_observe_and_batch", ITERS, t.elapsed().as_nanos());
+}

@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks for index walks: B+tree descent, skip-list
+//! Plain-timing micro-benchmarks for index walks: B+tree descent, skip-list
 //! search, and a full simulated run of a small experiment.
+//!
+//! These run with `harness = false` as ordinary `main()` binaries so the
+//! workspace builds offline without a benchmark framework dependency.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use metal_core::models::{DesignSpec, Experiment};
 use metal_core::runner::{run_design, RunConfig};
 use metal_core::{IxConfig, WalkRequest};
@@ -9,51 +11,53 @@ use metal_index::bptree::BPlusTree;
 use metal_index::skiplist::SkipList;
 use metal_index::walk::WalkIndex;
 use metal_sim::types::{Addr, Key};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_bptree_walk(c: &mut Criterion) {
+fn report(name: &str, iters: u64, elapsed_ns: u128) {
+    println!("{name}: {:.1} ns/iter ({iters} iters)", elapsed_ns as f64 / iters as f64);
+}
+
+fn main() {
+    const WALK_ITERS: u64 = 100_000;
+
     let keys: Vec<Key> = (0..100_000).collect();
     let tree = BPlusTree::bulk_load(&keys, 8, Addr::new(0), 16);
     let mut k = 0u64;
-    c.bench_function("bptree_walk_100k", |b| {
-        b.iter(|| {
-            k = (k + 7919) % 100_000;
-            black_box(tree.walk(black_box(k), |_, _| {}))
-        })
-    });
-}
+    let t = Instant::now();
+    for _ in 0..WALK_ITERS {
+        k = (k + 7919) % 100_000;
+        black_box(tree.walk(black_box(k), |_, _| {}));
+    }
+    report("bptree_walk_100k", WALK_ITERS, t.elapsed().as_nanos());
 
-fn bench_skiplist_walk(c: &mut Criterion) {
     let keys: Vec<Key> = (1..=50_000).map(|i| i * 3).collect();
     let sl = SkipList::build(&keys, 4, Addr::new(0));
     let mut k = 1u64;
-    c.bench_function("skiplist_walk_50k", |b| {
-        b.iter(|| {
-            k = (k + 7919) % 150_000;
-            black_box(sl.walk(black_box(k), |_, _| {}))
-        })
-    });
-}
+    let t = Instant::now();
+    for _ in 0..WALK_ITERS {
+        k = (k + 7919) % 150_000;
+        black_box(sl.walk(black_box(k), |_, _| {}));
+    }
+    report("skiplist_walk_50k", WALK_ITERS, t.elapsed().as_nanos());
 
-fn bench_simulated_run(c: &mut Criterion) {
     let keys: Vec<Key> = (0..20_000).collect();
     let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
     let requests: Vec<WalkRequest> = (0..2_000)
         .map(|i| WalkRequest::lookup((i * 37) % 20_000))
         .collect();
-    c.bench_function("metal_run_2k_walks", |b| {
-        b.iter(|| {
-            let exp = Experiment::single(&tree, &requests);
-            let report = run_design(
-                &DesignSpec::MetalIx {
-                    ix: IxConfig::kb64(),
-                },
-                &exp,
-                &RunConfig::default(),
-            );
-            black_box(report.stats.exec_cycles)
-        })
-    });
+    const RUN_ITERS: u64 = 20;
+    let t = Instant::now();
+    for _ in 0..RUN_ITERS {
+        let exp = Experiment::single(&tree, &requests);
+        let report = run_design(
+            &DesignSpec::MetalIx {
+                ix: IxConfig::kb64(),
+            },
+            &exp,
+            &RunConfig::default(),
+        );
+        black_box(report.stats.exec_cycles);
+    }
+    report("metal_run_2k_walks", RUN_ITERS, t.elapsed().as_nanos());
 }
-
-criterion_group!(benches, bench_bptree_walk, bench_skiplist_walk, bench_simulated_run);
-criterion_main!(benches);

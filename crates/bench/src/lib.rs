@@ -22,6 +22,19 @@ pub struct HarnessArgs {
     pub scale: Scale,
     /// Cache capacity in bytes for every design (paper default: 64 kB).
     pub cache_bytes: usize,
+    /// Simulation worker threads (`0` = all available cores). Seeds from
+    /// the `METAL_SHARDS` environment variable; `--shards N` overrides.
+    /// Never changes results, only wall-clock time.
+    pub shards: usize,
+}
+
+/// The `METAL_SHARDS` worker-count override, `0` (= all cores) when the
+/// variable is unset or unparsable.
+pub fn env_shards() -> usize {
+    std::env::var("METAL_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 impl Default for HarnessArgs {
@@ -29,6 +42,7 @@ impl Default for HarnessArgs {
         HarnessArgs {
             scale: Scale::bench(),
             cache_bytes: 64 * 1024,
+            shards: env_shards(),
         }
     }
 }
@@ -39,6 +53,8 @@ impl HarnessArgs {
     /// - `--scale ci|bench|paper`
     /// - `--keys N`, `--walks N`, `--depth N`, `--seed N`
     /// - `--cache-kb N`
+    /// - `--shards N` (worker threads; 0 = all cores; also settable via
+    ///   `METAL_SHARDS`)
     ///
     /// Unknown flags are ignored so figure-specific binaries can add
     /// their own.
@@ -67,6 +83,12 @@ impl HarnessArgs {
                 "--seed" => out.scale.seed = next_u64(&mut it, "--seed"),
                 "--cache-kb" => {
                     out.cache_bytes = next_u64(&mut it, "--cache-kb") as usize * 1024
+                }
+                "--shards" => {
+                    out.shards = next_u64(&mut it, "--shards") as usize;
+                    // Propagate to the env so `run_workload`/`run_one`
+                    // (which don't take HarnessArgs) see the same value.
+                    std::env::set_var("METAL_SHARDS", out.shards.to_string());
                 }
                 _ => {}
             }
@@ -118,14 +140,13 @@ pub fn run_workload(
 ) -> Vec<(String, RunReport)> {
     let built = workload.build(scale);
     let exp = built.experiment();
-    let cfg = RunConfig::default().with_lanes(built.tiles);
-    figure_designs(&built, cache_bytes)
-        .into_iter()
-        .map(|(name, spec)| {
-            let report = run_design(&spec, &exp, &cfg);
-            (name, report)
-        })
-        .collect()
+    let cfg = RunConfig::default()
+        .with_lanes(built.tiles)
+        .with_shards(env_shards());
+    let (names, specs): (Vec<String>, Vec<DesignSpec>) =
+        figure_designs(&built, cache_bytes).into_iter().unzip();
+    let reports = metal_core::runner::run_designs_parallel(&specs, &exp, &cfg);
+    names.into_iter().zip(reports).collect()
 }
 
 /// Runs one workload under one design.
@@ -137,7 +158,9 @@ pub fn run_one(
 ) -> RunReport {
     let built = workload.build(scale);
     let exp = built.experiment();
-    let cfg = RunConfig::default().with_lanes(lanes_override.unwrap_or(built.tiles));
+    let cfg = RunConfig::default()
+        .with_lanes(lanes_override.unwrap_or(built.tiles))
+        .with_shards(env_shards());
     run_design(spec, &exp, &cfg)
 }
 

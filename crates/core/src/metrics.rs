@@ -17,7 +17,10 @@ pub struct WindowedWorkingSet {
     total_blocks: u64,
     walks_in_window: u64,
     current: HashSet<BlockAddr>,
-    fractions: Vec<f64>,
+    /// Distinct blocks touched per closed window, each clamped to
+    /// `total_blocks`. Integer counts (fractions are computed on read)
+    /// so shard merges sum exactly.
+    touched: Vec<u64>,
 }
 
 impl WindowedWorkingSet {
@@ -34,7 +37,7 @@ impl WindowedWorkingSet {
             total_blocks,
             walks_in_window: 0,
             current: HashSet::new(),
-            fractions: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
@@ -60,8 +63,8 @@ impl WindowedWorkingSet {
 
     fn close_window(&mut self) {
         if self.total_blocks > 0 {
-            self.fractions
-                .push((self.current.len() as f64 / self.total_blocks as f64).min(1.0));
+            self.touched
+                .push((self.current.len() as u64).min(self.total_blocks));
         }
         self.current.clear();
         self.walks_in_window = 0;
@@ -70,13 +73,31 @@ impl WindowedWorkingSet {
     /// Average per-window fraction of the index touched. Includes the
     /// (possibly partial) current window if no window has closed yet.
     pub fn average_fraction(&mut self) -> f64 {
-        if self.fractions.is_empty() && !self.current.is_empty() {
-            self.close_window();
-        }
-        if self.fractions.is_empty() {
+        self.finalize();
+        if self.touched.is_empty() {
             return 0.0;
         }
-        self.fractions.iter().sum::<f64>() / self.fractions.len() as f64
+        self.touched_sum() as f64 / (self.touched.len() as u64 * self.total_blocks) as f64
+    }
+
+    /// Flushes the (partial) current window if no window has closed yet,
+    /// so `touched_sum`/`windows` describe the whole run. Idempotent.
+    pub fn finalize(&mut self) {
+        if self.touched.is_empty() && !self.current.is_empty() {
+            self.close_window();
+        }
+    }
+
+    /// Sum of per-window distinct-block counts (each clamped to the index
+    /// size). Together with [`windows`] this is the mergeable integer
+    /// form of [`average_fraction`]: shards sum both counters and divide
+    /// once at the end, reconstructing the exact global per-window
+    /// average with no float-accumulation order sensitivity.
+    ///
+    /// [`windows`]: WindowedWorkingSet::windows
+    /// [`average_fraction`]: WindowedWorkingSet::average_fraction
+    pub fn touched_sum(&self) -> u64 {
+        self.touched.iter().sum()
     }
 
     /// Distinct blocks in the current (open) window.
@@ -86,7 +107,7 @@ impl WindowedWorkingSet {
 
     /// Number of closed windows.
     pub fn windows(&self) -> usize {
-        self.fractions.len()
+        self.touched.len()
     }
 }
 

@@ -39,19 +39,32 @@ use metal_sim::SimConfig;
 use std::collections::VecDeque;
 
 /// The indexes and request stream of one experiment.
+///
+/// Indexes are `Sync` so the sharded runner can walk disjoint request
+/// chunks against the same (read-only) structures from worker threads.
+#[derive(Clone)]
 pub struct Experiment<'a> {
     /// The indexes walks run against (JOIN and R-tree use two).
-    pub indexes: Vec<&'a dyn WalkIndex>,
+    pub indexes: Vec<&'a (dyn WalkIndex + Sync)>,
     /// The request stream, in issue order.
     pub requests: &'a [WalkRequest],
 }
 
 impl<'a> Experiment<'a> {
     /// Convenience constructor over one index.
-    pub fn single(index: &'a dyn WalkIndex, requests: &'a [WalkRequest]) -> Self {
+    pub fn single(index: &'a (dyn WalkIndex + Sync), requests: &'a [WalkRequest]) -> Self {
         Experiment {
             indexes: vec![index],
             requests,
+        }
+    }
+
+    /// The same experiment restricted to a contiguous request chunk
+    /// (one logical shard of the run).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Experiment<'a> {
+        Experiment {
+            indexes: self.indexes.clone(),
+            requests: &self.requests[range],
         }
     }
 
@@ -300,7 +313,9 @@ impl<'a> DesignModel<'a> {
     /// Finalizes windowed statistics into `stats` (call after the run).
     pub fn finalize(&mut self) {
         self.stats.index_blocks = self.exp.total_index_blocks();
-        self.stats.ws_fraction = self.ws.average_fraction();
+        self.ws.finalize();
+        self.stats.ws_touched_sum = self.ws.touched_sum();
+        self.stats.ws_windows = self.ws.windows() as u64;
     }
 
     // ---- walk planning -------------------------------------------------

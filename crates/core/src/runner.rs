@@ -5,6 +5,18 @@
 //! same walks run through Stream / Address / FA-OPT / X-Cache / METAL-IX /
 //! METAL with identical DRAM and tile models, so every difference in the
 //! report is attributable to the cache organization and policy.
+//!
+//! ## Sharded execution
+//!
+//! Long request streams are partitioned into *logical shards*: contiguous
+//! chunks of [`RunConfig::shard_walks`] requests, each simulated by its
+//! own engine + walk model (its own caches, DRAM and statistics — the
+//! hardware analogue is one independent accelerator partition per shard),
+//! then merged with [`RunStats::merge`]. Crucially the partition is a
+//! pure function of the experiment and `shard_walks` — **never** of the
+//! worker-thread count [`RunConfig::shards`] — so
+//! `run(shards = 1) == run(shards = k)` bit-identically for every merged
+//! statistic; threads only change wall-clock time.
 
 use crate::descriptor::Descriptor;
 use crate::ixcache::IxConfig;
@@ -12,6 +24,9 @@ use crate::models::{DesignModel, DesignSpec, Experiment};
 use metal_sim::engine::Engine;
 use metal_sim::stats::RunStats;
 use metal_sim::SimConfig;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runner configuration.
 #[derive(Debug, Clone, Copy)]
@@ -20,13 +35,29 @@ pub struct RunConfig {
     pub sim: SimConfig,
     /// Walks per working-set measurement window (Fig. 16).
     pub ws_window: u64,
+    /// Worker threads simulating shards (and designs) concurrently.
+    /// `0` means "use all available parallelism"; `1` runs serially.
+    /// Never affects results, only wall-clock time.
+    pub shards: usize,
+    /// Walks per logical shard. The request stream is cut into contiguous
+    /// chunks of this size; each chunk runs on its own engine and the
+    /// chunk statistics are merged. Determines *results* (each chunk has
+    /// cold caches), so it is fixed independently of `shards`.
+    pub shard_walks: u64,
 }
+
+/// Default logical-shard grain: streams at or below this length run as a
+/// single chunk, which keeps small experiments identical to the
+/// pre-sharding engine.
+pub const DEFAULT_SHARD_WALKS: u64 = 8192;
 
 impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             sim: SimConfig::default(),
             ws_window: 1024,
+            shards: 0,
+            shard_walks: DEFAULT_SHARD_WALKS,
         }
     }
 }
@@ -37,6 +68,53 @@ impl RunConfig {
         self.sim = self.sim.with_lanes(lanes);
         self
     }
+
+    /// Overrides the worker-thread count (`0` = all available cores).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the logical-shard grain (walks per shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_walks` is 0.
+    pub fn with_shard_walks(mut self, shard_walks: u64) -> Self {
+        assert!(shard_walks > 0, "shards must contain at least one walk");
+        self.shard_walks = shard_walks;
+        self
+    }
+
+    /// The number of worker threads to actually spawn.
+    pub fn worker_threads(&self) -> usize {
+        if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.shards
+        }
+    }
+}
+
+/// The logical shard partition: contiguous chunks of at most
+/// `shard_walks` requests. Pure function of (stream length, grain) so the
+/// partition — and therefore every merged statistic — is independent of
+/// how many worker threads execute it.
+fn shard_bounds(n_requests: usize, shard_walks: u64) -> Vec<Range<usize>> {
+    let grain = (shard_walks.max(1)) as usize;
+    let mut out = Vec::with_capacity(n_requests.div_ceil(grain).max(1));
+    let mut lo = 0;
+    while lo < n_requests {
+        let hi = (lo + grain).min(n_requests);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    if out.is_empty() {
+        out.push(0..0);
+    }
+    out
 }
 
 /// The outcome of running one design over one experiment.
@@ -67,8 +145,9 @@ impl RunReport {
     }
 }
 
-/// Runs one design over the experiment.
-pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
+/// Runs one design over one logical shard on one engine (the original
+/// serial path).
+fn run_design_shard(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
     let mut model = DesignModel::new(spec, exp, cfg.sim, cfg.ws_window);
     let mut engine = Engine::new(cfg.sim);
     let engine_report = engine.run(&mut model);
@@ -79,7 +158,8 @@ pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> R
     stats.walk_latency = engine_report.walk_latency;
     stats.dram_energy_fj = engine.dram().energy_fj();
     stats.dram_bytes = engine.dram().bytes();
-    stats.distinct_blocks = engine.dram().working_set().distinct_blocks();
+    stats.working_set = engine.dram().working_set().clone();
+    stats.distinct_blocks = stats.working_set.distinct_blocks();
 
     let max_depth = exp.max_depth();
     let occupancy_by_level = model.occupancy_by_level(max_depth).unwrap_or_default();
@@ -94,6 +174,67 @@ pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> R
         occupancy_by_level,
         band_history,
     }
+}
+
+/// Merges per-shard reports (in shard order) into one run report.
+///
+/// Statistics merge through [`RunStats::merge`]; occupancy histograms sum
+/// elementwise; band histories concatenate per index in shard order.
+fn merge_reports(mut reports: Vec<RunReport>) -> RunReport {
+    let mut merged = reports.remove(0);
+    for r in reports {
+        merged.stats.merge(&r.stats);
+        if merged.occupancy_by_level.len() < r.occupancy_by_level.len() {
+            merged
+                .occupancy_by_level
+                .resize(r.occupancy_by_level.len(), 0);
+        }
+        for (l, n) in r.occupancy_by_level.iter().enumerate() {
+            merged.occupancy_by_level[l] += n;
+        }
+        if merged.band_history.len() < r.band_history.len() {
+            merged.band_history.resize(r.band_history.len(), Vec::new());
+        }
+        for (i, h) in r.band_history.into_iter().enumerate() {
+            merged.band_history[i].extend(h);
+        }
+    }
+    merged
+}
+
+/// Runs one design over the experiment, sharding the request stream
+/// across worker threads when it exceeds one shard grain (see the module
+/// docs for the determinism contract).
+pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
+    let bounds = shard_bounds(exp.requests.len(), cfg.shard_walks);
+    if bounds.len() <= 1 {
+        return run_design_shard(spec, exp, cfg);
+    }
+
+    let workers = cfg.worker_threads().min(bounds.len()).max(1);
+    let slots: Vec<Mutex<Option<RunReport>>> =
+        bounds.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(range) = bounds.get(i) else { break };
+                let shard_exp = exp.slice(range.clone());
+                let report = run_design_shard(spec, &shard_exp, cfg);
+                *slots[i].lock().expect("shard slot poisoned") = Some(report);
+            });
+        }
+    });
+    let reports: Vec<RunReport> = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("shard slot poisoned")
+                .expect("every shard produced a report")
+        })
+        .collect();
+    merge_reports(reports)
 }
 
 /// The standard comparison set the paper's figures iterate over.
@@ -131,6 +272,11 @@ pub fn standard_designs(
 
 /// Runs the full standard comparison, returning one report per design
 /// (the tuned METAL run is labelled `metal+tune`).
+///
+/// The designs are independent (each owns its caches, DRAM model and
+/// statistics), so they fan out across worker threads; reports come back
+/// in design order and each design's run is itself deterministic, so the
+/// output is identical to the serial sweep.
 pub fn run_comparison(
     exp: &Experiment<'_>,
     cfg: &RunConfig,
@@ -139,19 +285,59 @@ pub fn run_comparison(
     batch_walks: u64,
 ) -> Vec<RunReport> {
     let designs = standard_designs(cache_bytes, descriptors, batch_walks);
-    let mut out = Vec::with_capacity(designs.len());
+    let mut reports = run_designs_parallel(&designs, exp, cfg);
+
     let mut metal_seen = false;
-    for spec in &designs {
-        let mut report = run_design(spec, exp, cfg);
+    for (spec, report) in designs.iter().zip(reports.iter_mut()) {
         if matches!(spec, DesignSpec::Metal { tune: true, .. }) && metal_seen {
             report.design = "metal+tune".to_string();
         }
         if matches!(spec, DesignSpec::Metal { tune: false, .. }) {
             metal_seen = true;
         }
-        out.push(report);
     }
-    out
+    reports
+}
+
+/// Runs several designs over the same experiment concurrently, returning
+/// reports in design order. `cfg.shards` caps the worker count; results
+/// are identical to running each design serially.
+pub fn run_designs_parallel(
+    designs: &[DesignSpec],
+    exp: &Experiment<'_>,
+    cfg: &RunConfig,
+) -> Vec<RunReport> {
+    if designs.is_empty() {
+        return Vec::new();
+    }
+    let workers = cfg.worker_threads().min(designs.len()).max(1);
+    if workers == 1 {
+        return designs.iter().map(|d| run_design(d, exp, cfg)).collect();
+    }
+    let slots: Vec<Mutex<Option<RunReport>>> =
+        designs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = designs.get(i) else { break };
+                // Each design may shard its own request stream in turn;
+                // run serially within this worker to bound thread count.
+                let inner = RunConfig { shards: 1, ..*cfg };
+                let report = run_design(spec, exp, &inner);
+                *slots[i].lock().expect("design slot poisoned") = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("design slot poisoned")
+                .expect("every design produced a report")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -337,6 +523,51 @@ mod tests {
             shared.stats.exec_cycles,
             private.stats.exec_cycles
         );
+    }
+
+    #[test]
+    fn shard_bounds_are_contiguous_and_complete() {
+        let bounds = shard_bounds(10_000, 4096);
+        assert_eq!(bounds, vec![0..4096, 4096..8192, 8192..10_000]);
+        assert_eq!(shard_bounds(0, 4096), vec![0..0]);
+        assert_eq!(shard_bounds(4096, 4096), vec![0..4096]);
+    }
+
+    #[test]
+    fn sharded_run_is_worker_count_invariant() {
+        let t = tree();
+        let requests = zipfish_requests(2000);
+        let exp = Experiment::single(&t, &requests);
+        // Grain 500 → four logical shards regardless of worker count.
+        let base = RunConfig::default().with_shard_walks(500);
+        let spec = DesignSpec::Metal {
+            ix: IxConfig::kb64(),
+            descriptors: vec![Descriptor::Node(NodeDescriptor::leaves())],
+            tune: true,
+            batch_walks: 100,
+        };
+        let serial = run_design(&spec, &exp, &base.with_shards(1));
+        let parallel = run_design(&spec, &exp, &base.with_shards(4));
+        assert_eq!(serial.stats, parallel.stats);
+        assert_eq!(serial.occupancy_by_level, parallel.occupancy_by_level);
+        assert_eq!(serial.band_history, parallel.band_history);
+        assert_eq!(serial.stats.walks, 2000);
+    }
+
+    #[test]
+    fn comparison_fanout_matches_serial_sweep() {
+        let t = tree();
+        let requests = zipfish_requests(800);
+        let exp = Experiment::single(&t, &requests);
+        let cfg = RunConfig::default();
+        let descriptors = vec![Descriptor::Node(NodeDescriptor::leaves())];
+        let parallel = run_comparison(&exp, &cfg.with_shards(4), 64 * 1024, descriptors.clone(), 200);
+        let serial = run_comparison(&exp, &cfg.with_shards(1), 64 * 1024, descriptors, 200);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.design, p.design);
+            assert_eq!(s.stats, p.stats, "{} differs across worker counts", s.design);
+        }
     }
 
     #[test]

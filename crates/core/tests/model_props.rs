@@ -1,5 +1,6 @@
-//! Property tests over the design models: randomized workloads must
-//! preserve walk semantics under every cache organization.
+//! Randomized tests over the design models: generated workloads must
+//! preserve walk semantics under every cache organization. Driven by a
+//! seeded [`SplitRng`] so every case is reproducible.
 
 use metal_core::descriptor::{Descriptor, LevelDescriptor, NodeDescriptor};
 use metal_core::ixcache::IxConfig;
@@ -7,13 +8,17 @@ use metal_core::models::{DesignSpec, Experiment};
 use metal_core::request::WalkRequest;
 use metal_core::runner::{run_design, RunConfig};
 use metal_index::bptree::BPlusTree;
+use metal_sim::rng::SplitRng;
 use metal_sim::types::{Addr, Key};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn sorted_keys(max_len: usize) -> impl Strategy<Value = Vec<Key>> {
-    proptest::collection::btree_set(1u64..200_000, 2..max_len)
-        .prop_map(|s| s.into_iter().collect())
+fn sorted_keys(rng: &mut SplitRng, min_len: usize, max_len: usize) -> Vec<Key> {
+    let len = rng.gen_range(min_len..max_len);
+    let mut set = BTreeSet::new();
+    while set.len() < len {
+        set.insert(rng.gen_range(1u64..200_000));
+    }
+    set.into_iter().collect()
 }
 
 fn designs(desc: Descriptor) -> Vec<DesignSpec> {
@@ -50,20 +55,21 @@ fn designs(desc: Descriptor) -> Vec<DesignSpec> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// With a deliberately tiny cache and arbitrary descriptors, every design
+/// still (a) completes every walk, (b) finds exactly the keys the oracle
+/// contains, and (c) never exceeds streaming's DRAM node traffic.
+#[test]
+fn designs_preserve_semantics() {
+    let mut rng = SplitRng::stream(0xD0DE, 0);
+    for _ in 0..24 {
+        let keys = sorted_keys(&mut rng, 2, 120);
+        let n_probes = rng.gen_range(5usize..60);
+        let probe_seeds: Vec<u64> = (0..n_probes)
+            .map(|_| rng.gen_range(0u64..250_000))
+            .collect();
+        let band_lo = rng.gen_range(0u64..3) as u8;
+        let desc_kind = rng.gen_range(0u64..4) as u8;
 
-    /// With a deliberately tiny cache and arbitrary descriptors, every
-    /// design still (a) completes every walk, (b) finds exactly the keys
-    /// the oracle contains, and (c) never exceeds streaming's DRAM node
-    /// traffic.
-    #[test]
-    fn designs_preserve_semantics(
-        keys in sorted_keys(120),
-        probe_seeds in proptest::collection::vec(0u64..250_000, 5..60),
-        band_lo in 0u8..3,
-        desc_kind in 0u8..4,
-    ) {
         let oracle: BTreeSet<Key> = keys.iter().copied().collect();
         let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
         let requests: Vec<WalkRequest> =
@@ -87,25 +93,26 @@ proptest! {
             .dram_node_reads;
         for spec in designs(desc.clone()) {
             let r = run_design(&spec, &exp, &cfg);
-            prop_assert_eq!(r.stats.walks, requests.len() as u64);
-            prop_assert_eq!(
-                r.stats.found_walks,
-                expected_found,
+            assert_eq!(r.stats.walks, requests.len() as u64);
+            assert_eq!(
+                r.stats.found_walks, expected_found,
                 "design {} changed walk outcomes",
                 r.design
             );
-            prop_assert!(r.stats.dram_node_reads <= stream_nodes);
-            prop_assert!(r.stats.misses <= r.stats.probes);
+            assert!(r.stats.dram_node_reads <= stream_nodes);
+            assert!(r.stats.misses <= r.stats.probes);
         }
     }
+}
 
-    /// The tuner may move descriptor parameters anywhere; runs stay
-    /// deterministic and bounded.
-    #[test]
-    fn tuned_runs_deterministic(
-        keys in sorted_keys(100),
-        n_probes in 10usize..80,
-    ) {
+/// The tuner may move descriptor parameters anywhere; runs stay
+/// deterministic and bounded.
+#[test]
+fn tuned_runs_deterministic() {
+    let mut rng = SplitRng::stream(0xD0DE, 1);
+    for _ in 0..24 {
+        let keys = sorted_keys(&mut rng, 2, 100);
+        let n_probes = rng.gen_range(10usize..80);
         let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
         let requests: Vec<WalkRequest> = (0..n_probes)
             .map(|i| WalkRequest::lookup(keys[i % keys.len()]))
@@ -120,7 +127,7 @@ proptest! {
         };
         let a = run_design(&spec, &exp, &cfg);
         let b = run_design(&spec, &exp, &cfg);
-        prop_assert_eq!(a.stats.exec_cycles, b.stats.exec_cycles);
-        prop_assert_eq!(a.band_history, b.band_history);
+        assert_eq!(a.stats.exec_cycles, b.stats.exec_cycles);
+        assert_eq!(a.band_history, b.band_history);
     }
 }

@@ -1,5 +1,6 @@
-//! Property tests for the walk interface across all index families:
-//! termination, coverage and access consistency.
+//! Randomized tests for the walk interface across all index families:
+//! termination, coverage and access consistency. Driven by a seeded
+//! [`SplitRng`].
 
 use metal_index::bptree::BPlusTree;
 use metal_index::fiber::FiberMatrix;
@@ -8,13 +9,17 @@ use metal_index::hashtable::ChainedHashTable;
 use metal_index::sortedset::{SortedSet, SortedSetConfig};
 use metal_index::tensor::SparseTensor;
 use metal_index::walk::{Descend, WalkIndex};
+use metal_sim::rng::SplitRng;
 use metal_sim::types::{Addr, Key};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn sorted_keys(max_len: usize) -> impl Strategy<Value = Vec<Key>> {
-    proptest::collection::btree_set(1u64..500_000, 1..max_len)
-        .prop_map(|s| s.into_iter().collect())
+fn sorted_keys(rng: &mut SplitRng, max_len: usize) -> Vec<Key> {
+    let len = rng.gen_range(1..=max_len);
+    let mut set = BTreeSet::new();
+    while set.len() < len {
+        set.insert(rng.gen_range(1u64..500_000));
+    }
+    set.into_iter().collect()
 }
 
 /// Walks `key` against `index`, asserting termination within a generous
@@ -34,32 +39,33 @@ fn checked_walk(index: &dyn WalkIndex, key: Key) -> bool {
     panic!("walk for key {key} did not terminate within {bound} steps");
 }
 
-proptest! {
-    /// Hash-table membership agrees with the oracle for arbitrary probe
-    /// keys (present and absent), at any geometry.
-    #[test]
-    fn hashtable_matches_oracle(
-        keys in sorted_keys(200),
-        bucket_pow in 1u32..8,
-        per_node in 1usize..8,
-        probes in proptest::collection::vec(1u64..600_000, 1..40),
-    ) {
+/// Hash-table membership agrees with the oracle for arbitrary probe keys
+/// (present and absent), at any geometry.
+#[test]
+fn hashtable_matches_oracle() {
+    let mut rng = SplitRng::stream(0x1D, 0);
+    for _ in 0..40 {
+        let keys = sorted_keys(&mut rng, 200);
+        let bucket_pow = rng.gen_range(1u64..8) as u32;
+        let per_node = rng.gen_range(1usize..8);
         let oracle: BTreeSet<Key> = keys.iter().copied().collect();
         let space = (keys.last().unwrap() + 1).next_power_of_two();
         let t = ChainedHashTable::build(&keys, 1 << bucket_pow, per_node, space, Addr::new(0));
-        for p in probes {
-            prop_assert_eq!(checked_walk(&t, p), oracle.contains(&p));
+        for _ in 0..40 {
+            let p = rng.gen_range(1u64..600_000);
+            assert_eq!(checked_walk(&t, p), oracle.contains(&p));
         }
     }
+}
 
-    /// Sorted-set membership agrees with the oracle at deep and shallow
-    /// geometries.
-    #[test]
-    fn sortedset_matches_oracle(
-        keys in sorted_keys(200),
-        shallow in any::<bool>(),
-        probes in proptest::collection::vec(1u64..600_000, 1..40),
-    ) {
+/// Sorted-set membership agrees with the oracle at deep and shallow
+/// geometries.
+#[test]
+fn sortedset_matches_oracle() {
+    let mut rng = SplitRng::stream(0x1D, 1);
+    for case in 0..30 {
+        let keys = sorted_keys(&mut rng, 200);
+        let shallow = case % 2 == 0;
         let oracle: BTreeSet<Key> = keys.iter().copied().collect();
         let space = (keys.last().unwrap() + 1).next_power_of_two();
         let cfg = if shallow {
@@ -72,58 +78,76 @@ proptest! {
             SortedSetConfig::deep(space)
         };
         let s = SortedSet::build(&keys, cfg, Addr::new(0));
-        for p in probes {
-            prop_assert_eq!(checked_walk(&s, p), oracle.contains(&p));
+        for _ in 0..40 {
+            let p = rng.gen_range(1u64..600_000);
+            assert_eq!(checked_walk(&s, p), oracle.contains(&p));
         }
     }
+}
 
-    /// Tensor and fiber representations of the same matrix agree with
-    /// each other and the oracle.
-    #[test]
-    fn tensor_and_fiber_agree(
-        cols in proptest::collection::btree_set(0u64..10_000, 1..120),
-        probes in proptest::collection::vec(0u64..12_000, 1..40),
-    ) {
-        let columns: Vec<(Key, u32)> =
-            cols.iter().map(|&c| (c, (c % 7 + 1) as u32)).collect();
+/// Tensor and fiber representations of the same matrix agree with each
+/// other and the oracle.
+#[test]
+fn tensor_and_fiber_agree() {
+    let mut rng = SplitRng::stream(0x1D, 2);
+    for _ in 0..30 {
+        let n_cols = rng.gen_range(1usize..120);
+        let mut cols = BTreeSet::new();
+        while cols.len() < n_cols {
+            cols.insert(rng.gen_range(0u64..10_000));
+        }
+        let columns: Vec<(Key, u32)> = cols.iter().map(|&c| (c, (c % 7 + 1) as u32)).collect();
         let deep = SparseTensor::build(100, 10_000, &columns, 4, Addr::new(0));
         let shallow = FiberMatrix::build(100, 10_000, &columns, 16, Addr::new(0));
-        for p in probes {
+        for _ in 0..40 {
+            let p = rng.gen_range(0u64..12_000);
             let in_deep = checked_walk(&deep, p);
             let in_shallow = checked_walk(&shallow, p);
-            prop_assert_eq!(in_deep, in_shallow);
-            prop_assert_eq!(in_deep, cols.contains(&p));
+            assert_eq!(in_deep, in_shallow);
+            assert_eq!(in_deep, cols.contains(&p));
         }
     }
+}
 
-    /// Adjacency walks resolve edge lists whose sizes match the degrees.
-    #[test]
-    fn adjacency_payload_sizes(
-        vertices in proptest::collection::btree_set(0u64..5_000, 1..100),
-    ) {
-        let vs: Vec<(Key, u32)> =
-            vertices.iter().map(|&v| (v, (v % 9 + 1) as u32)).collect();
+/// Adjacency walks resolve edge lists whose sizes match the degrees.
+#[test]
+fn adjacency_payload_sizes() {
+    let mut rng = SplitRng::stream(0x1D, 3);
+    for _ in 0..30 {
+        let n = rng.gen_range(1usize..100);
+        let mut vertices = BTreeSet::new();
+        while vertices.len() < n {
+            vertices.insert(rng.gen_range(0u64..5_000));
+        }
+        let vs: Vec<(Key, u32)> = vertices.iter().map(|&v| (v, (v % 9 + 1) as u32)).collect();
         let g = AdjacencyIndex::build(&vs, 4, Addr::new(0));
         for &(v, d) in &vs {
             let mut id = g.root();
             let found = loop {
                 match g.descend(id, v) {
                     Descend::Child(c) => id = c,
-                    Descend::Leaf { found, value_bytes, .. } => {
+                    Descend::Leaf {
+                        found, value_bytes, ..
+                    } => {
                         if found {
-                            prop_assert_eq!(value_bytes, d as u64 * 12);
+                            assert_eq!(value_bytes, d as u64 * 12);
                         }
                         break found;
                     }
                 }
             };
-            prop_assert!(found);
+            assert!(found);
         }
     }
+}
 
-    /// Leaf-chain traversal of a B+tree enumerates exactly the key set.
-    #[test]
-    fn bptree_leaf_chain_complete(keys in sorted_keys(300), leaf_keys in 1usize..10) {
+/// Leaf-chain traversal of a B+tree enumerates exactly the key set.
+#[test]
+fn bptree_leaf_chain_complete() {
+    let mut rng = SplitRng::stream(0x1D, 4);
+    for _ in 0..40 {
+        let keys = sorted_keys(&mut rng, 300);
+        let leaf_keys = rng.gen_range(1usize..10);
         let t = BPlusTree::bulk_load_geometry(&keys, leaf_keys, 4, Addr::new(0), 16);
         let mut leaf = Some(t.leaf_for(keys[0]));
         let mut seen = Vec::new();
@@ -131,18 +155,22 @@ proptest! {
             seen.extend_from_slice(t.leaf_keys(l));
             leaf = t.next_leaf(l);
         }
-        prop_assert_eq!(seen, keys);
+        assert_eq!(seen, keys);
     }
+}
 
-    /// `access_for` on directory-style roots returns a single-block slot
-    /// fetch, never the whole directory.
-    #[test]
-    fn directory_access_is_slot_sized(keys in sorted_keys(150)) {
+/// `access_for` on directory-style roots returns a single-block slot
+/// fetch, never the whole directory.
+#[test]
+fn directory_access_is_slot_sized() {
+    let mut rng = SplitRng::stream(0x1D, 5);
+    for _ in 0..30 {
+        let keys = sorted_keys(&mut rng, 150);
         let space = (keys.last().unwrap() + 1).next_power_of_two();
         let t = ChainedHashTable::build(&keys, 1024, 8, space, Addr::new(0));
         for &k in keys.iter().take(10) {
             let (_, bytes) = t.access_for(t.root(), k);
-            prop_assert!(bytes <= 64, "directory fetch is one block, got {bytes}");
+            assert!(bytes <= 64, "directory fetch is one block, got {bytes}");
         }
     }
 }

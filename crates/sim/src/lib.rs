@@ -37,11 +37,13 @@ pub mod caches;
 pub mod config;
 pub mod dram;
 pub mod engine;
+pub mod rng;
 pub mod stats;
 pub mod trace;
 pub mod types;
 
 pub use config::{DramConfig, EnergyConfig, SimConfig};
 pub use engine::{Engine, EngineReport, StepOutcome, WalkProgram, WalkStep};
+pub use rng::SplitRng;
 pub use stats::{RunStats, WorkingSet};
 pub use types::{Addr, BlockAddr, Cycles, Key, BLOCK_BYTES};

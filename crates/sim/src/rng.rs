@@ -1,0 +1,206 @@
+//! A small, dependency-free, splittable deterministic PRNG.
+//!
+//! The workload generators and the test suite need reproducible random
+//! streams, and the sharded runner additionally needs *splittable* streams:
+//! shard `N` must see the same keys no matter how many worker threads run
+//! the experiment. [`SplitRng`] is a SplitMix64 generator (Steele, Lea &
+//! Flood, OOPSLA'14) — each stream is identified by a `(seed, stream)`
+//! pair, and deriving a child stream is a pure function of that pair, so
+//! generation order across streams never matters.
+//!
+//! The registry is offline in this environment, so this replaces the
+//! `rand` crate; the API mirrors the `SmallRng` call sites it replaced
+//! (`seed_from_u64`, `gen_range`, `gen_f64`).
+
+use std::ops::{Range, RangeInclusive};
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Splittable SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitRng {
+    state: u64,
+}
+
+impl SplitRng {
+    /// Creates the root stream for `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitRng { state: seed }
+    }
+
+    /// Derives an independent child stream. The child depends only on
+    /// `(seed, stream)`, never on how much the parent has generated, so
+    /// per-shard streams are stable under any shard/thread count.
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        SplitRng {
+            state: mix64(seed ^ stream.wrapping_mul(GOLDEN_GAMMA)),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `range` (half-open or inclusive, `u64`/`usize`).
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `[0, span)` via widening multiply. The bias for
+    /// spans far below 2^64 is < span/2^64 — irrelevant for workload
+    /// shaping, and the method is branch-free and deterministic.
+    #[inline]
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0, "empty range");
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Range types [`SplitRng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform element.
+    fn sample(self, rng: &mut SplitRng) -> Self::Output;
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut SplitRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded(self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut SplitRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.bounded(span + 1)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SplitRng) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SplitRng) -> usize {
+        (*self.start() as u64..=*self.end() as u64).sample(rng) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let draw = || {
+            let mut r = SplitRng::seed_from_u64(7);
+            (0..64).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitRng::seed_from_u64(1);
+        let mut b = SplitRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn child_streams_are_independent_of_parent_position() {
+        // stream() is a pure function of (seed, id): consuming the parent
+        // must not change a child — the property sharding relies on.
+        let c1 = SplitRng::stream(42, 3);
+        let mut parent = SplitRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            parent.next_u64();
+        }
+        let c2 = SplitRng::stream(42, 3);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn distinct_streams_decorrelate() {
+        let mut a = SplitRng::stream(9, 0);
+        let mut b = SplitRng::stream(9, 1);
+        let va: Vec<u64> = (0..256).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..256).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+        let shared = va.iter().filter(|x| vb.contains(x)).count();
+        assert_eq!(shared, 0, "streams should not collide");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SplitRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(2usize..=16);
+            assert!((2..=16).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_support() {
+        let mut r = SplitRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values drawn in 1000 tries");
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SplitRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut r = SplitRng::seed_from_u64(0);
+        let _ = r.gen_range(5u64..5);
+    }
+}

@@ -16,7 +16,7 @@ use crate::types::{BlockAddr, Cycles};
 use std::collections::HashSet;
 
 /// Tracks the set of distinct DRAM blocks touched by a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkingSet {
     blocks: HashSet<BlockAddr>,
 }
@@ -52,10 +52,21 @@ impl WorkingSet {
     pub fn contains(&self, block: BlockAddr) -> bool {
         self.blocks.contains(&block)
     }
+
+    /// Whether no block has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Unions `other` into `self`. Commutative and associative: the merged
+    /// set is identical whichever shard order the runner merges in.
+    pub fn merge(&mut self, other: &WorkingSet) {
+        self.blocks.extend(other.blocks.iter().copied());
+    }
 }
 
 /// Latency accumulator with average/min/max.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyStats {
     count: u64,
     total: u64,
@@ -106,10 +117,31 @@ impl LatencyStats {
     pub fn total(&self) -> u64 {
         self.total
     }
+
+    /// Folds `other`'s samples into `self` as if every sample had been
+    /// recorded here. Commutative and associative (count/total sum,
+    /// min/max combine), so shard merge order cannot change the result.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+    }
 }
 
 /// Complete statistics for one simulated run of one cache design.
-#[derive(Debug, Clone, Default)]
+///
+/// Field-by-field equality (`PartialEq`) is part of the public contract:
+/// the sharded runner asserts `run(shards = 1) == run(shards = k)` on
+/// whole `RunStats` values, so every field must be deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Cache probes issued (IX-cache, address cache or X-Cache).
     pub probes: u64,
@@ -138,12 +170,19 @@ pub struct RunStats {
     pub compute_ops: u64,
     /// Distinct DRAM blocks touched.
     pub distinct_blocks: u64,
+    /// The distinct DRAM blocks themselves, kept so shard merges can
+    /// union footprints exactly instead of summing overlapping counts.
+    pub working_set: WorkingSet,
     /// Total number of blocks in the index (for working-set fraction).
     pub index_blocks: u64,
-    /// Windowed working-set fraction measured by the runner (Fig. 16's
-    /// metric). When set (> 0), it overrides the whole-run
-    /// `distinct_blocks / index_blocks` ratio.
-    pub ws_fraction: f64,
+    /// Sum over working-set windows of the distinct index blocks touched
+    /// in that window, each clamped to `index_blocks` (Fig. 16's metric
+    /// before the division). Kept as an integer sum — not a pre-divided
+    /// float average — so shard merges are exact and associative.
+    pub ws_touched_sum: u64,
+    /// Number of working-set windows that contributed to
+    /// `ws_touched_sum`.
+    pub ws_windows: u64,
     /// Total DRAM bytes transferred.
     pub dram_bytes: u64,
     /// Nodes inserted into the cache under test.
@@ -185,8 +224,8 @@ impl RunStats {
     /// Fraction of the index touched in DRAM (Fig. 16's metric): the
     /// windowed measurement when present, the whole-run ratio otherwise.
     pub fn working_set_fraction(&self) -> f64 {
-        if self.ws_fraction > 0.0 {
-            self.ws_fraction.min(1.0)
+        if self.ws_windows > 0 && self.ws_touched_sum > 0 && self.index_blocks > 0 {
+            (self.ws_touched_sum as f64 / (self.ws_windows * self.index_blocks) as f64).min(1.0)
         } else if self.index_blocks == 0 {
             0.0
         } else {
@@ -212,6 +251,60 @@ impl RunStats {
         self.cache_energy_fj
             .saturating_add(self.compute_energy_fj)
             .saturating_add(self.walker_energy_fj)
+    }
+
+    /// Folds the statistics of another shard of the same run into `self`.
+    ///
+    /// The operation is commutative and associative, so a parallel runner
+    /// may merge shard results in any grouping and obtain bit-identical
+    /// totals. Per-field semantics:
+    ///
+    /// - event counters (probes, misses, walks, energy, bytes, …) sum;
+    /// - `walk_latency` merges sample populations (count/total/min/max);
+    /// - `exec_cycles` takes the max — shards model hardware partitions
+    ///   executing in parallel, so the run ends when the slowest shard
+    ///   does;
+    /// - `working_set` unions, and `distinct_blocks` is recomputed from
+    ///   the union (shards that touch the same block must not double
+    ///   count it); when neither side carries block sets the counts sum;
+    /// - `ws_touched_sum`/`ws_windows` sum, preserving the exact global
+    ///   per-window average;
+    /// - `hit_levels` sums elementwise;
+    /// - `index_blocks` takes the max (every shard sees the same index).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.probes = self.probes.saturating_add(other.probes);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.dram_node_reads = self.dram_node_reads.saturating_add(other.dram_node_reads);
+        self.walk_latency.merge(&other.walk_latency);
+        self.walks = self.walks.saturating_add(other.walks);
+        self.found_walks = self.found_walks.saturating_add(other.found_walks);
+        self.exec_cycles = self.exec_cycles.max(other.exec_cycles);
+        self.cache_energy_fj = self.cache_energy_fj.saturating_add(other.cache_energy_fj);
+        self.dram_energy_fj = self.dram_energy_fj.saturating_add(other.dram_energy_fj);
+        self.compute_energy_fj = self
+            .compute_energy_fj
+            .saturating_add(other.compute_energy_fj);
+        self.walker_energy_fj = self.walker_energy_fj.saturating_add(other.walker_energy_fj);
+        self.compute_ops = self.compute_ops.saturating_add(other.compute_ops);
+        self.working_set.merge(&other.working_set);
+        self.distinct_blocks = if self.working_set.is_empty() {
+            self.distinct_blocks.saturating_add(other.distinct_blocks)
+        } else {
+            self.working_set.distinct_blocks()
+        };
+        self.index_blocks = self.index_blocks.max(other.index_blocks);
+        self.ws_touched_sum = self.ws_touched_sum.saturating_add(other.ws_touched_sum);
+        self.ws_windows = self.ws_windows.saturating_add(other.ws_windows);
+        self.dram_bytes = self.dram_bytes.saturating_add(other.dram_bytes);
+        self.inserts = self.inserts.saturating_add(other.inserts);
+        self.bypasses = self.bypasses.saturating_add(other.bypasses);
+        self.levels_skipped = self.levels_skipped.saturating_add(other.levels_skipped);
+        if self.hit_levels.len() < other.hit_levels.len() {
+            self.hit_levels.resize(other.hit_levels.len(), 0);
+        }
+        for (l, n) in other.hit_levels.iter().enumerate() {
+            self.hit_levels[l] = self.hit_levels[l].saturating_add(*n);
+        }
     }
 }
 
@@ -280,6 +373,84 @@ mod tests {
         };
         assert_eq!(s.total_energy_fj(), 116);
         assert_eq!(s.onchip_energy_fj(), 16);
+    }
+
+    #[test]
+    fn latency_merge_matches_recording() {
+        let mut all = LatencyStats::default();
+        let mut a = LatencyStats::default();
+        let mut b = LatencyStats::default();
+        for (i, l) in [7u64, 3, 90, 12, 55].iter().enumerate() {
+            all.record(Cycles::new(*l));
+            if i % 2 == 0 {
+                a.record(Cycles::new(*l));
+            } else {
+                b.record(Cycles::new(*l));
+            }
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all, "merge is commutative");
+        let empty = LatencyStats::default();
+        let mut with_empty = all;
+        with_empty.merge(&empty);
+        assert_eq!(with_empty, all, "empty side is the identity");
+    }
+
+    #[test]
+    fn run_stats_merge_unions_working_sets() {
+        let mut a = RunStats::new();
+        let mut b = RunStats::new();
+        for blk in [1u64, 2, 3] {
+            a.working_set.touch(BlockAddr::new(blk));
+        }
+        for blk in [3u64, 4] {
+            b.working_set.touch(BlockAddr::new(blk));
+        }
+        a.distinct_blocks = 3;
+        b.distinct_blocks = 2;
+        a.merge(&b);
+        assert_eq!(a.distinct_blocks, 4, "shared block 3 counted once");
+    }
+
+    #[test]
+    fn run_stats_merge_takes_max_exec_cycles() {
+        let mut a = RunStats {
+            exec_cycles: Cycles::new(100),
+            walks: 10,
+            ..RunStats::new()
+        };
+        let b = RunStats {
+            exec_cycles: Cycles::new(250),
+            walks: 5,
+            ..RunStats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.exec_cycles.get(), 250);
+        assert_eq!(a.walks, 15);
+    }
+
+    #[test]
+    fn run_stats_merge_averages_ws_windows_exactly() {
+        // Windows touching 50/100, then 10/100 of the index: the merged
+        // average is (50 + 10) / (3 × 100) = 0.2.
+        let mut a = RunStats {
+            ws_touched_sum: 50,
+            ws_windows: 2,
+            index_blocks: 100,
+            ..RunStats::new()
+        };
+        let b = RunStats {
+            ws_touched_sum: 10,
+            ws_windows: 1,
+            index_blocks: 100,
+            ..RunStats::new()
+        };
+        a.merge(&b);
+        assert!((a.working_set_fraction() - 0.2).abs() < 1e-12);
     }
 
     #[test]

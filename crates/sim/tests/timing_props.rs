@@ -1,25 +1,29 @@
-//! Property tests for the memory-system substrate's timing invariants.
+//! Randomized tests for the memory-system substrate's timing invariants,
+//! driven by a seeded [`SplitRng`].
 
 use metal_sim::caches::{AddressCache, OptCache};
 use metal_sim::dram::Dram;
 use metal_sim::engine::{Engine, WalkProgram, WalkStep};
+use metal_sim::rng::SplitRng;
 use metal_sim::types::{Addr, BlockAddr, Cycles};
 use metal_sim::{DramConfig, SimConfig};
-use proptest::prelude::*;
 
-proptest! {
-    /// DRAM never completes an access before `now + row-hit latency`, and
-    /// repeated identical access sequences are deterministic.
-    #[test]
-    fn dram_latency_lower_bound(
-        accesses in proptest::collection::vec((0u64..1_000_000, 1u64..512), 1..100),
-    ) {
+/// DRAM never completes an access before `now + row-hit latency`, and
+/// repeated identical access sequences are deterministic.
+#[test]
+fn dram_latency_lower_bound() {
+    let mut rng = SplitRng::stream(0x71, 0);
+    for _ in 0..50 {
+        let n = rng.gen_range(1usize..100);
+        let accesses: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..1_000_000), rng.gen_range(1u64..512)))
+            .collect();
         let cfg = DramConfig::default();
         let mut d = Dram::new(cfg);
         let mut now = 0u64;
         for (addr, bytes) in &accesses {
             let done = d.access(now, Addr::new(*addr), *bytes);
-            prop_assert!(done.get() >= now + cfg.row_hit_latency.get());
+            assert!(done.get() >= now + cfg.row_hit_latency.get());
             now = done.get();
         }
         // Determinism.
@@ -28,89 +32,108 @@ proptest! {
         for (addr, bytes) in &accesses {
             now2 = d2.access(now2, Addr::new(*addr), *bytes).get();
         }
-        prop_assert_eq!(now, now2);
-        prop_assert_eq!(d.accesses(), d2.accesses());
-        prop_assert_eq!(d.energy_fj(), d2.energy_fj());
+        assert_eq!(now, now2);
+        assert_eq!(d.accesses(), d2.accesses());
+        assert_eq!(d.energy_fj(), d2.energy_fj());
     }
+}
 
-    /// DRAM traffic accounting: accesses × 64 == bytes, and the working
-    /// set never exceeds the access count.
-    #[test]
-    fn dram_accounting_consistent(
-        accesses in proptest::collection::vec((0u64..100_000, 1u64..256), 1..100),
-    ) {
+/// DRAM traffic accounting: accesses × 64 == bytes, and the working set
+/// never exceeds the access count.
+#[test]
+fn dram_accounting_consistent() {
+    let mut rng = SplitRng::stream(0x71, 1);
+    for _ in 0..50 {
         let mut d = Dram::new(DramConfig::default());
-        for (addr, bytes) in accesses {
-            d.access(0, Addr::new(addr), bytes);
+        let n = rng.gen_range(1usize..100);
+        for _ in 0..n {
+            d.access(
+                0,
+                Addr::new(rng.gen_range(0u64..100_000)),
+                rng.gen_range(1u64..256),
+            );
         }
-        prop_assert_eq!(d.bytes(), d.accesses() * 64);
-        prop_assert!(d.working_set().distinct_blocks() <= d.accesses());
-        prop_assert!(d.row_hits() <= d.accesses());
+        assert_eq!(d.bytes(), d.accesses() * 64);
+        assert!(d.working_set().distinct_blocks() <= d.accesses());
+        assert!(d.row_hits() <= d.accesses());
     }
+}
 
-    /// Address-cache hit count equals probes − misses, and occupancy never
-    /// exceeds the configured entries.
-    #[test]
-    fn address_cache_accounting(
-        blocks in proptest::collection::vec(0u64..256, 1..400),
-        ways_pow in 0u32..4,
-    ) {
-        let ways = 1usize << ways_pow;
+/// Address-cache hit count equals probes − misses, and occupancy never
+/// exceeds the configured entries.
+#[test]
+fn address_cache_accounting() {
+    let mut rng = SplitRng::stream(0x71, 2);
+    for _ in 0..40 {
+        let ways = 1usize << rng.gen_range(0u64..4);
         let entries = ways * 8;
         let mut c = AddressCache::new(entries, ways);
-        for b in blocks {
-            c.access(BlockAddr::new(b));
-            prop_assert!(c.occupancy() <= entries);
+        let n = rng.gen_range(1usize..400);
+        for _ in 0..n {
+            c.access(BlockAddr::new(rng.gen_range(0u64..256)));
+            assert!(c.occupancy() <= entries);
         }
-        prop_assert!(c.misses() <= c.probes());
+        assert!(c.misses() <= c.probes());
     }
+}
 
-    /// OPT's per-access decision vector has exactly one entry per access
-    /// and its misses equal the number of `false` entries.
-    #[test]
-    fn opt_decisions_align(trace in proptest::collection::vec(0u64..64, 0..300)) {
-        let blocks: Vec<BlockAddr> = trace.iter().map(|&b| BlockAddr::new(b)).collect();
+/// OPT's per-access decision vector has exactly one entry per access and
+/// its misses equal the number of `false` entries.
+#[test]
+fn opt_decisions_align() {
+    let mut rng = SplitRng::stream(0x71, 3);
+    for _ in 0..60 {
+        let n = rng.gen_range(0usize..300);
+        let blocks: Vec<BlockAddr> = (0..n)
+            .map(|_| BlockAddr::new(rng.gen_range(0u64..64)))
+            .collect();
         let r = OptCache::new(8).simulate(&blocks);
-        prop_assert_eq!(r.hits.len(), blocks.len());
+        assert_eq!(r.hits.len(), blocks.len());
         let miss_count = r.hits.iter().filter(|h| !**h).count() as u64;
-        prop_assert_eq!(miss_count, r.misses);
+        assert_eq!(miss_count, r.misses);
+    }
+}
+
+/// Engine: total execution time is at least the longest single walk, and
+/// every walk serially chains its DRAM accesses.
+#[test]
+fn engine_time_bounds() {
+    struct Chase {
+        walks: u64,
+        reads: u32,
+        pos: Vec<u32>,
+        next: u64,
+        base: Vec<u64>,
+    }
+    impl WalkProgram for Chase {
+        fn begin_walk(&mut self, lane: usize) -> bool {
+            if self.walks == 0 {
+                return false;
+            }
+            self.walks -= 1;
+            self.pos[lane] = 0;
+            self.base[lane] = self.next;
+            self.next += 64 * self.reads as u64;
+            true
+        }
+        fn step(&mut self, lane: usize, _now: Cycles) -> WalkStep {
+            if self.pos[lane] == self.reads {
+                return WalkStep::Done;
+            }
+            let a = self.base[lane] + 64 * self.pos[lane] as u64;
+            self.pos[lane] += 1;
+            WalkStep::Dram {
+                addr: Addr::new(a),
+                bytes: 64,
+            }
+        }
     }
 
-    /// Engine: total execution time is at least the longest single walk,
-    /// and at least (total serial work) / lanes.
-    #[test]
-    fn engine_time_bounds(
-        walks in 1u64..40,
-        reads in 1u32..6,
-        lanes in 1usize..16,
-    ) {
-        struct Chase {
-            walks: u64,
-            reads: u32,
-            pos: Vec<u32>,
-            next: u64,
-            base: Vec<u64>,
-        }
-        impl WalkProgram for Chase {
-            fn begin_walk(&mut self, lane: usize) -> bool {
-                if self.walks == 0 {
-                    return false;
-                }
-                self.walks -= 1;
-                self.pos[lane] = 0;
-                self.base[lane] = self.next;
-                self.next += 64 * self.reads as u64;
-                true
-            }
-            fn step(&mut self, lane: usize, _now: Cycles) -> WalkStep {
-                if self.pos[lane] == self.reads {
-                    return WalkStep::Done;
-                }
-                let a = self.base[lane] + 64 * self.pos[lane] as u64;
-                self.pos[lane] += 1;
-                WalkStep::Dram { addr: Addr::new(a), bytes: 64 }
-            }
-        }
+    let mut rng = SplitRng::stream(0x71, 4);
+    for _ in 0..40 {
+        let walks = rng.gen_range(1u64..40);
+        let reads = rng.gen_range(1u64..6) as u32;
+        let lanes = rng.gen_range(1usize..16);
         let cfg = SimConfig {
             lanes,
             ..SimConfig::default()
@@ -123,11 +146,11 @@ proptest! {
             next: 0,
             base: vec![0; lanes],
         });
-        prop_assert_eq!(report.walks, walks);
-        prop_assert!(report.exec_cycles.get() >= report.walk_latency.max());
+        assert_eq!(report.walks, walks);
+        assert!(report.exec_cycles.get() >= report.walk_latency.max());
         // Each walk serially chains `reads` DRAM accesses of ≥ row-hit
         // latency each.
         let min_walk = reads as u64 * cfg.dram.row_hit_latency.get();
-        prop_assert!(report.walk_latency.min() >= min_walk);
+        assert!(report.walk_latency.min() >= min_walk);
     }
 }

@@ -28,7 +28,7 @@ impl BuiltWorkload {
             indexes: self
                 .indexes
                 .iter()
-                .map(|b| b.as_ref() as &dyn WalkIndex)
+                .map(|b| b.as_ref() as &(dyn WalkIndex + Sync))
                 .collect(),
             requests: &self.requests,
         }

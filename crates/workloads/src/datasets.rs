@@ -14,8 +14,7 @@
 
 use crate::dist::Zipf;
 use metal_sim::types::Key;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use metal_sim::rng::SplitRng;
 
 /// A sorted set of `n` distinct keys spread sparsely over `[1, n*spread]`.
 ///
@@ -23,7 +22,7 @@ use rand::{Rng, SeedableRng};
 /// reproduces that without blowing up the u64 range.
 pub fn sparse_keys(n: u64, spread: u64, seed: u64) -> Vec<Key> {
     assert!(n > 0 && spread > 0, "degenerate key set");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitRng::stream(seed, 0);
     let mut keys = Vec::with_capacity(n as usize);
     let mut cur = 1u64;
     for _ in 0..n {
@@ -40,13 +39,13 @@ pub fn sparse_keys(n: u64, spread: u64, seed: u64) -> Vec<Key> {
 pub fn sparse_matrix(cols: u64, density: f64, max_nnz: u32, seed: u64) -> Vec<(Key, u32)> {
     assert!(cols > 0, "matrix needs columns");
     assert!((0.0..=1.0).contains(&density), "density is a fraction");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitRng::stream(seed, 0);
     let mut out = Vec::new();
     let zipf = Zipf::new(max_nnz.max(2) as u64, 1.3);
     for c in 0..cols {
         // Banding: population probability peaks periodically.
         let band_boost = if (c / 64) % 4 == 0 { 2.0 } else { 1.0 };
-        if rng.gen::<f64>() < (density * band_boost).min(1.0) {
+        if rng.gen_f64() < (density * band_boost).min(1.0) {
             let nnz = zipf.sample(&mut rng) as u32;
             out.push((c, nnz.max(1)));
         }
@@ -68,7 +67,7 @@ pub fn spmm_rows(
     seed: u64,
 ) -> Vec<Vec<Key>> {
     assert!(!b_cols.is_empty(), "B must have stored columns");
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5);
+    let mut rng = SplitRng::stream(seed, 0xA5A5);
     let zipf = Zipf::new(b_cols.len() as u64, 0.8);
     (0..rows)
         .map(|r| {
@@ -98,7 +97,7 @@ pub fn spmm_rows(
 /// in-degree (hub vertices attract most edges) and neighbor locality.
 pub fn power_law_graph(vertices: u64, avg_degree: usize, seed: u64) -> Vec<(Key, Vec<Key>)> {
     assert!(vertices > 1, "graph needs at least two vertices");
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1234);
+    let mut rng = SplitRng::stream(seed, 0x1234);
     let zipf = Zipf::new(vertices, 1.05);
     (0..vertices)
         .map(|u| {
@@ -111,7 +110,7 @@ pub fn power_law_graph(vertices: u64, avg_degree: usize, seed: u64) -> Vec<(Key,
                     zipf.sample(&mut rng).wrapping_mul(0x9E3779B97F4A7C15) % vertices
                 } else {
                     // Local edge.
-                    (u + rng.gen_range(1..=16)) % vertices
+                    (u + rng.gen_range(1u64..=16)) % vertices
                 };
                 if v != u {
                     nbrs.push(v);

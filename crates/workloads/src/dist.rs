@@ -11,8 +11,7 @@
 //!   batches move; Fig. 22 shows the cached band following the drift).
 
 use metal_sim::types::Key;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use metal_sim::rng::SplitRng;
 
 /// Zipf(s) sampler over `1..=n` by rejection inversion.
 #[derive(Debug, Clone)]
@@ -67,9 +66,9 @@ impl Zipf {
     }
 
     /// Draws one rank in `1..=n` (rank 1 is the most popular).
-    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+    pub fn sample(&self, rng: &mut SplitRng) -> u64 {
         loop {
-            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let u = self.h_n + rng.gen_f64() * (self.h_x1 - self.h_n);
             let x = Self::h_integral_inverse(u, self.exponent);
             let k64 = x.round().clamp(1.0, self.n as f64);
             let k = k64 as u64;
@@ -130,7 +129,7 @@ impl DriftingCluster {
     }
 
     /// Draws the next clustered key.
-    pub fn sample(&mut self, rng: &mut SmallRng) -> Key {
+    pub fn sample(&mut self, rng: &mut SplitRng) -> Key {
         if self.samples.is_multiple_of(self.period) {
             self.base = rng.gen_range(0..=(self.space - self.width));
         }
@@ -147,10 +146,8 @@ impl DriftingCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(42)
+    fn rng() -> SplitRng {
+        SplitRng::seed_from_u64(42)
     }
 
     #[test]

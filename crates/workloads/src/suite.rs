@@ -37,8 +37,7 @@ use metal_index::sortedset::{SortedSet, SortedSetConfig};
 use metal_index::tensor::SparseTensor;
 use metal_index::walk::WalkIndex;
 use metal_sim::types::{Addr, Key};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use metal_sim::rng::SplitRng;
 
 /// The evaluated applications (Fig. 18's x-axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -188,7 +187,7 @@ fn build_scan(scale: Scale) -> BuiltWorkload {
     // Table 2: "Random Search" — range starts are mostly uniform over the
     // whole key space (leaf reuse is negligible at scale), with a small
     // Zipfian head of popular ranges.
-    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    let mut rng = SplitRng::stream(scale.seed, 0);
     let span_max = scale.keys.saturating_sub(256).max(1);
     let zipf = Zipf::new(span_max, 1.0);
     let mut queries = Vec::with_capacity(scale.walks as usize);
@@ -199,7 +198,7 @@ fn build_scan(scale: Scale) -> BuiltWorkload {
             rng.gen_range(0..span_max)
         } as usize;
         let rank = rank.min(keys.len() - 2);
-        let span = rng.gen_range(2..=16).min(keys.len() - 1 - rank);
+        let span = rng.gen_range(2usize..=16).min(keys.len() - 1 - rank);
         queries.push((keys[rank], keys[rank + span]));
     }
     let requests = gorgon::scan_requests(&tree, &queries, &spec);
@@ -239,7 +238,7 @@ fn build_sets(scale: Scale, shallow: bool) -> BuiltWorkload {
 
     // Random search: Zipf-ranked score lookups (tagging/auto-completion
     // traffic is heavily skewed) with an occasional miss probe.
-    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 1);
+    let mut rng = SplitRng::stream(scale.seed, 1);
     let zipf = Zipf::new(n, 0.99);
     let requests: Vec<WalkRequest> = (0..scale.walks)
         .map(|i| {
@@ -322,7 +321,7 @@ fn build_where(scale: Scale) -> BuiltWorkload {
     let keys = datasets::sparse_keys(scale.keys, 8, scale.seed ^ 0xCAFE);
     let tree = BPlusTree::bulk_load_with_depth(&keys, scale.depth, Addr::new(0), 64);
 
-    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 2);
+    let mut rng = SplitRng::stream(scale.seed, 2);
     let mut cluster = DriftingCluster::new(
         scale.keys.max(2),
         (scale.keys / 16).max(16),
@@ -349,7 +348,7 @@ fn build_nested_select(scale: Scale) -> BuiltWorkload {
     let keys = datasets::sparse_keys(scale.keys, 8, scale.seed ^ 0xBEEF);
     let tree = BPlusTree::bulk_load_with_depth(&keys, scale.depth, Addr::new(0), 64);
 
-    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 3);
+    let mut rng = SplitRng::stream(scale.seed, 3);
     let zipf = Zipf::new(scale.keys, 0.8);
     let n_keys = keys.len() as u64;
     let outer: Vec<Key> = (0..scale.walks / 2)
@@ -432,7 +431,7 @@ fn build_rtree(scale: Scale) -> BuiltWorkload {
 
     // Quadrilateral queries cluster spatially and drift (§4.3: "certain
     // key clusters being repetitively scanned").
-    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 4);
+    let mut rng = SplitRng::stream(scale.seed, 4);
     let x_lo = x[0];
     let x_hi = *x.last().expect("non-empty");
     let mut cluster = DriftingCluster::new(
@@ -532,7 +531,7 @@ fn build_hash_probe(scale: Scale) -> BuiltWorkload {
 
     // Probe stream: half point lookups (Zipf-skewed), half a hash join
     // driven by a streaming outer relation.
-    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 5);
+    let mut rng = SplitRng::stream(scale.seed, 5);
     let zipf = Zipf::new(scale.keys, 0.9);
     let n = keys.len() as u64;
     let lookups: Vec<Key> = (0..scale.walks / 2)

@@ -1,5 +1,7 @@
-//! Property-based tests (proptest) on the core data structures and their
-//! invariants.
+//! Randomized property tests on the core data structures and their
+//! invariants. Each test drives many generated cases from a fixed
+//! [`SplitRng`] seed, so failures are reproducible by construction (no
+//! external property-testing framework; the registry is offline).
 
 use metal::core::ixcache::{IxCache, IxConfig};
 use metal::core::range::KeyRange;
@@ -7,74 +9,98 @@ use metal::index::bptree::BPlusTree;
 use metal::index::skiplist::SkipList;
 use metal::index::walk::{Descend, WalkIndex};
 use metal::sim::caches::{AddressCache, OptCache};
+use metal::sim::rng::SplitRng;
 use metal::sim::types::{Addr, BlockAddr, Key};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn sorted_keys(max_len: usize) -> impl Strategy<Value = Vec<Key>> {
-    proptest::collection::btree_set(1u64..1_000_000, 1..max_len)
-        .prop_map(|s| s.into_iter().collect())
+/// Distinct sorted keys, 1..=max_len of them, drawn below `key_max`.
+fn sorted_keys(rng: &mut SplitRng, max_len: usize, key_max: u64) -> Vec<Key> {
+    let len = rng.gen_range(1..=max_len);
+    let mut set = BTreeSet::new();
+    while set.len() < len {
+        set.insert(rng.gen_range(1..key_max));
+    }
+    set.into_iter().collect()
 }
 
-proptest! {
-    /// Splitting a range partitions it exactly: contiguous, disjoint,
-    /// same coverage.
-    #[test]
-    fn range_split_partitions(lo in 0u64..1_000_000, width in 0u64..100_000, n in 1usize..20) {
+#[test]
+fn range_split_partitions() {
+    // Splitting a range partitions it exactly: contiguous, disjoint,
+    // same coverage.
+    let mut rng = SplitRng::stream(1, 1);
+    for _ in 0..500 {
+        let lo = rng.gen_range(0u64..1_000_000);
+        let width = rng.gen_range(0u64..100_000);
+        let n = rng.gen_range(1usize..20);
         let r = KeyRange::new(lo, lo + width);
         let parts = r.split(n);
-        prop_assert_eq!(parts[0].lo, r.lo);
-        prop_assert_eq!(parts.last().unwrap().hi, r.hi);
+        assert_eq!(parts[0].lo, r.lo);
+        assert_eq!(parts.last().unwrap().hi, r.hi);
         for w in parts.windows(2) {
-            prop_assert_eq!(w[0].hi + 1, w[1].lo);
+            assert_eq!(w[0].hi + 1, w[1].lo);
         }
         let total: u64 = parts.iter().map(|p| p.width()).sum();
-        prop_assert_eq!(total, r.width());
+        assert_eq!(total, r.width());
     }
+}
 
-    /// Union covers both operands.
-    #[test]
-    fn range_union_covers(a_lo in 0u64..1000, a_w in 0u64..1000, b_lo in 0u64..1000, b_w in 0u64..1000) {
-        let a = KeyRange::new(a_lo, a_lo + a_w);
-        let b = KeyRange::new(b_lo, b_lo + b_w);
+#[test]
+fn range_union_covers() {
+    let mut rng = SplitRng::stream(2, 2);
+    for _ in 0..500 {
+        let a_lo = rng.gen_range(0u64..1000);
+        let b_lo = rng.gen_range(0u64..1000);
+        let a = KeyRange::new(a_lo, a_lo + rng.gen_range(0u64..1000));
+        let b = KeyRange::new(b_lo, b_lo + rng.gen_range(0u64..1000));
         let u = a.union(&b);
-        prop_assert!(u.contains(&a));
-        prop_assert!(u.contains(&b));
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
     }
+}
 
-    /// B+tree point lookups agree with a BTreeSet oracle, at any geometry.
-    #[test]
-    fn bptree_matches_oracle(
-        keys in sorted_keys(300),
-        leaf_keys in 1usize..12,
-        fanout in 2usize..8,
-        probes in proptest::collection::vec(0u64..1_100_000, 1..50),
-    ) {
+#[test]
+fn bptree_matches_oracle() {
+    // B+tree point lookups agree with a BTreeSet oracle, at any geometry.
+    let mut rng = SplitRng::stream(3, 3);
+    for _ in 0..40 {
+        let keys = sorted_keys(&mut rng, 300, 1_000_000);
+        let leaf_keys = rng.gen_range(1usize..12);
+        let fanout = rng.gen_range(2usize..8);
         let oracle: BTreeSet<Key> = keys.iter().copied().collect();
         let tree = BPlusTree::bulk_load_geometry(&keys, leaf_keys, fanout, Addr::new(0), 16);
-        for p in probes {
-            prop_assert_eq!(tree.contains(p), oracle.contains(&p));
+        for _ in 0..50 {
+            let p = rng.gen_range(0u64..1_100_000);
+            assert_eq!(tree.contains(p), oracle.contains(&p));
         }
     }
+}
 
-    /// B+tree range scans agree with the oracle.
-    #[test]
-    fn bptree_range_matches_oracle(
-        keys in sorted_keys(300),
-        lo in 0u64..1_000_000,
-        width in 0u64..100_000,
-    ) {
+#[test]
+fn bptree_range_matches_oracle() {
+    let mut rng = SplitRng::stream(4, 4);
+    for _ in 0..40 {
+        let keys = sorted_keys(&mut rng, 300, 1_000_000);
+        let lo = rng.gen_range(0u64..1_000_000);
+        let width = rng.gen_range(0u64..100_000);
         let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
-        let want: Vec<Key> = keys.iter().copied().filter(|&k| k >= lo && k <= lo + width).collect();
-        prop_assert_eq!(tree.range(lo, lo + width), want);
+        let want: Vec<Key> = keys
+            .iter()
+            .copied()
+            .filter(|&k| k >= lo && k <= lo + width)
+            .collect();
+        assert_eq!(tree.range(lo, lo + width), want);
     }
+}
 
-    /// Walks terminate within depth steps and every visited node covers
-    /// the probe key when the key is present.
-    #[test]
-    fn bptree_walk_invariants(keys in sorted_keys(300), probe_idx in 0usize..300) {
+#[test]
+fn bptree_walk_invariants() {
+    // Walks terminate within depth steps and every visited node covers
+    // the probe key when the key is present.
+    let mut rng = SplitRng::stream(5, 5);
+    for _ in 0..60 {
+        let keys = sorted_keys(&mut rng, 300, 1_000_000);
         let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
-        let key = keys[probe_idx % keys.len()];
+        let key = keys[rng.gen_range(0usize..keys.len())];
         let mut steps = 0;
         let mut levels = Vec::new();
         let out = tree.walk(key, |_, info| {
@@ -82,91 +108,219 @@ proptest! {
             levels.push(info.level);
             assert!(info.covers(key));
         });
-        prop_assert_eq!(steps, tree.depth() as usize);
-        let found_leaf = matches!(out, Descend::Leaf { found: true, .. });
-        prop_assert!(found_leaf);
+        assert_eq!(steps, tree.depth() as usize);
+        assert!(matches!(out, Descend::Leaf { found: true, .. }));
         for w in levels.windows(2) {
-            prop_assert_eq!(w[0], w[1] + 1);
+            assert_eq!(w[0], w[1] + 1);
         }
     }
+}
 
-    /// Skip-list membership agrees with the oracle.
-    #[test]
-    fn skiplist_matches_oracle(
-        keys in sorted_keys(200),
-        branching in 2usize..6,
-        probes in proptest::collection::vec(1u64..1_100_000, 1..40),
-    ) {
+#[test]
+fn skiplist_matches_oracle() {
+    let mut rng = SplitRng::stream(6, 6);
+    for _ in 0..40 {
+        let keys = sorted_keys(&mut rng, 200, 1_000_000);
+        let branching = rng.gen_range(2usize..6);
         let oracle: BTreeSet<Key> = keys.iter().copied().collect();
         let sl = SkipList::build(&keys, branching, Addr::new(0));
-        for p in probes {
-            prop_assert_eq!(sl.contains(p), oracle.contains(&p));
+        for _ in 0..40 {
+            let p = rng.gen_range(1u64..1_100_000);
+            assert_eq!(sl.contains(p), oracle.contains(&p));
         }
     }
+}
 
-    /// IX-cache: an inserted unpinned range is immediately probeable at
-    /// every covered key, and the hit resolves to the inserted node.
-    #[test]
-    fn ixcache_insert_then_probe(lo in 0u64..100_000, width in 0u64..5_000, level in 0u8..10) {
+#[test]
+fn ixcache_insert_then_probe() {
+    // An inserted unpinned range is immediately probeable at every covered
+    // key, and the hit resolves to the inserted node.
+    let mut rng = SplitRng::stream(7, 7);
+    for _ in 0..500 {
+        let lo = rng.gen_range(0u64..100_000);
+        let width = rng.gen_range(0u64..5_000);
+        let level = rng.gen_range(0u64..10) as u8;
         let mut c = IxCache::new(IxConfig::kb64());
         let range = KeyRange::new(lo, lo + width);
         c.insert(0, 42, range, level, 64, 0);
         for probe in [range.lo, range.midpoint(), range.hi] {
             let hit = c.probe(0, probe);
-            prop_assert!(hit.is_some(), "covered key {probe} must hit");
-            prop_assert_eq!(hit.unwrap().node, 42);
+            assert!(hit.is_some(), "covered key {probe} must hit");
+            assert_eq!(hit.unwrap().node, 42);
         }
         if range.lo > 0 {
-            prop_assert!(c.probe(0, range.lo - 1).is_none());
+            assert!(c.probe(0, range.lo - 1).is_none());
         }
-        prop_assert!(c.probe(0, range.hi + 1).is_none());
+        assert!(c.probe(0, range.hi + 1).is_none());
     }
+}
 
-    /// IX-cache occupancy never exceeds the configured entry budget,
-    /// whatever the insertion mix.
-    #[test]
-    fn ixcache_capacity_respected(
-        inserts in proptest::collection::vec((0u64..65_536, 0u64..4_096, 0u8..8, 1u64..512, 0u32..4), 1..300),
-    ) {
+#[test]
+fn ixcache_capacity_respected() {
+    // Occupancy never exceeds the configured entry budget, whatever the
+    // insertion mix.
+    let mut rng = SplitRng::stream(8, 8);
+    for _ in 0..30 {
         let mut c = IxCache::new(IxConfig {
             entries: 64,
             ways: 4,
             key_block_bits: 4,
             wide_fraction: 0.5,
         });
-        for (i, (lo, width, level, bytes, life)) in inserts.into_iter().enumerate() {
+        let n = rng.gen_range(1usize..300);
+        for i in 0..n {
+            let lo = rng.gen_range(0u64..65_536);
+            let width = rng.gen_range(0u64..4_096);
+            let level = rng.gen_range(0u64..8) as u8;
+            let bytes = rng.gen_range(1u64..512);
+            let life = rng.gen_range(0u64..4) as u32;
             c.insert(0, i as u32, KeyRange::new(lo, lo + width), level, bytes, life);
-            prop_assert!(c.occupancy() <= 64, "occupancy {} over budget", c.occupancy());
+            assert!(c.occupancy() <= 64, "occupancy {} over budget", c.occupancy());
         }
     }
+}
 
-    /// Probe always returns the deepest covering entry.
-    #[test]
-    fn ixcache_probe_returns_deepest(levels in proptest::collection::vec(0u8..12, 2..8)) {
+#[test]
+fn ixcache_probe_returns_deepest() {
+    // Probe always returns the deepest covering entry.
+    let mut rng = SplitRng::stream(9, 9);
+    for _ in 0..200 {
         let mut c = IxCache::new(IxConfig::kb64());
-        // Nested ranges all covering key 500, one per level.
-        let mut distinct = levels.clone();
+        let n_levels = rng.gen_range(2usize..8);
+        let mut distinct: Vec<u8> = (0..n_levels)
+            .map(|_| rng.gen_range(0u64..12) as u8)
+            .collect();
         distinct.sort_unstable();
         distinct.dedup();
+        // Nested ranges all covering key 500, one per level.
         for (i, &l) in distinct.iter().enumerate() {
             let spread = 1 + l as u64 * 100;
-            c.insert(0, i as u32, KeyRange::new(500 - spread.min(500), 500 + spread), l, 64, 0);
+            c.insert(
+                0,
+                i as u32,
+                KeyRange::new(500 - spread.min(500), 500 + spread),
+                l,
+                64,
+                0,
+            );
         }
         let hit = c.probe(0, 500).expect("all entries cover 500");
-        prop_assert_eq!(hit.level, *distinct.iter().min().unwrap());
+        assert_eq!(hit.level, *distinct.iter().min().unwrap());
     }
+}
 
-    /// Belady's OPT never has more misses than LRU at equal capacity.
-    #[test]
-    fn opt_dominates_lru(trace in proptest::collection::vec(0u64..64, 1..500), entries_pow in 1u32..5) {
-        let entries = 1usize << entries_pow;
-        let blocks: Vec<BlockAddr> = trace.iter().map(|&b| BlockAddr::new(b)).collect();
+#[test]
+fn ixcache_disjoint_ranges_never_alias() {
+    // Set-index virtualization: whatever the key-block geometry and
+    // however set indices collide, a probe may only ever resolve to an
+    // entry whose segment range actually covers the probe key — entries
+    // from disjoint ranges (even hashed into the same set) never alias.
+    let mut rng = SplitRng::stream(10, 10);
+    for _ in 0..60 {
+        let b = rng.gen_range(0u64..8) as u32;
+        let mut c = IxCache::new(IxConfig {
+            entries: 128,
+            ways: 4,
+            key_block_bits: b,
+            wide_fraction: 0.5,
+        });
+        // Disjoint ranges with one-key gaps, scattered over several
+        // indexes so index-id virtualization is exercised too.
+        let mut ranges: Vec<(u8, KeyRange, u32)> = Vec::new();
+        let mut lo = rng.gen_range(0u64..50);
+        for node in 0..40u32 {
+            let width = rng.gen_range(0u64..40);
+            let index = rng.gen_range(0u64..3) as u8;
+            let r = KeyRange::new(lo, lo + width);
+            ranges.push((index, r, node));
+            c.insert(index, node, r, 0, 64, 0);
+            lo = r.hi + 2 + rng.gen_range(0u64..30);
+        }
+        for &(index, r, node) in &ranges {
+            // Covered probes must never resolve to a different node.
+            for k in [r.lo, r.midpoint(), r.hi] {
+                if let Some(hit) = c.probe(index, k) {
+                    assert_eq!(
+                        hit.node, node,
+                        "probe({index}, {k}) aliased into node {} (range {:?})",
+                        hit.node, r
+                    );
+                }
+            }
+            // The gap key just past the range covers nothing: any hit
+            // would be cross-range aliasing.
+            assert!(
+                c.probe(index, r.hi + 1).is_none(),
+                "gap key {} must miss",
+                r.hi + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn ixcache_pack_modes_round_trip() {
+    // Fig. 5's three 64 B pack modes preserve node-boundary resolution.
+    let mut rng = SplitRng::stream(11, 11);
+    for _ in 0..100 {
+        let mut c = IxCache::new(IxConfig::kb64());
+
+        // Case 1 (exact): a 64 B node in one entry, exact boundaries.
+        let lo1 = rng.gen_range(0u64..1000) * 10_000;
+        let r1 = KeyRange::new(lo1, lo1 + rng.gen_range(1u64..15));
+        c.insert(0, 1, r1, 1, 64, 0);
+
+        // Case 2 (split): a multi-block node split across entries; every
+        // covered key still resolves to the same node.
+        let lo2 = lo1 + 100_000;
+        let blocks = rng.gen_range(2u64..6);
+        let r2 = KeyRange::new(lo2, lo2 + rng.gen_range(blocks..2_000));
+        c.insert(0, 2, r2, 2, blocks * 64, 0);
+
+        // Case 3 (coalesced): small siblings packed into one entry keep
+        // per-node segments.
+        let lo3 = lo2 + 100_000;
+        let r3a = KeyRange::new(lo3, lo3 + 2);
+        let r3b = KeyRange::new(lo3 + 4, lo3 + 6);
+        c.insert(0, 3, r3a, 0, 24, 0);
+        c.insert(0, 4, r3b, 0, 24, 0);
+
+        for (r, node) in [(r1, 1u32), (r2, 2), (r3a, 3), (r3b, 4)] {
+            for k in [r.lo, r.midpoint(), r.hi] {
+                let hit = c.probe(0, k).expect("covered key must hit");
+                assert_eq!(hit.node, node, "key {k} resolved to wrong node");
+            }
+            // One past either boundary never resolves to this node.
+            if let Some(hit) = c.probe(0, r.hi + 1) {
+                assert_ne!(hit.node, node, "boundary leak past hi of node {node}");
+            }
+            if r.lo > 0 {
+                if let Some(hit) = c.probe(0, r.lo - 1) {
+                    assert_ne!(hit.node, node, "boundary leak past lo of node {node}");
+                }
+            }
+        }
+        // The coalesced gap key belongs to neither sibling.
+        assert!(c.probe(0, lo3 + 3).is_none(), "gap key must miss");
+    }
+}
+
+#[test]
+fn opt_dominates_lru() {
+    // Belady's OPT never has more misses than LRU at equal capacity.
+    let mut rng = SplitRng::stream(12, 12);
+    for _ in 0..60 {
+        let entries = 1usize << rng.gen_range(1u64..5);
+        let len = rng.gen_range(1usize..500);
+        let blocks: Vec<BlockAddr> = (0..len)
+            .map(|_| BlockAddr::new(rng.gen_range(0u64..64)))
+            .collect();
         let opt = OptCache::new(entries).simulate(&blocks);
         let mut lru = AddressCache::new(entries, entries); // fully associative
         for &b in &blocks {
             lru.access(b);
         }
-        prop_assert!(
+        assert!(
             opt.misses <= lru.misses(),
             "OPT {} must not exceed LRU {}",
             opt.misses,

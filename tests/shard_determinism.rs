@@ -1,0 +1,216 @@
+//! Sharded-replay regression tests: the parallel experiment engine must
+//! be bit-identical to the serial one.
+//!
+//! The contract (see `metal_core::runner`'s module docs): the logical
+//! shard partition is a pure function of the experiment and the shard
+//! grain, never of the worker-thread count, so `run(shards = 1)` and
+//! `run(shards = k)` must agree on every merged statistic. These tests
+//! force multi-shard partitions with a small grain and compare whole
+//! reports field by field across worker counts, for several workload
+//! families and designs. A second group checks that [`RunStats::merge`]
+//! itself is commutative on randomized inputs, which is what makes the
+//! merge order irrelevant.
+
+use metal::core::models::DesignSpec;
+use metal::core::runner::{run_design, RunConfig};
+use metal::core::IxConfig;
+use metal::sim::rng::SplitRng;
+use metal::sim::stats::RunStats;
+use metal::sim::types::{BlockAddr, Cycles};
+use metal::workloads::{Scale, Workload};
+
+/// Runs `workload` under `spec` with a grain small enough to force many
+/// logical shards, once serially and once on four workers, and asserts
+/// the merged reports are identical.
+fn assert_shard_invariant(workload: Workload, spec: &DesignSpec) {
+    let built = workload.build(Scale::ci());
+    let exp = built.experiment();
+    let n_walks = built.walks();
+    // Small grain → several logical shards even at CI scale.
+    let base = RunConfig::default()
+        .with_lanes(built.tiles)
+        .with_shard_walks(256);
+    assert!(
+        n_walks > 512,
+        "{}: need a multi-shard stream, got {n_walks} walks",
+        workload.name()
+    );
+
+    let serial = run_design(spec, &exp, &base.with_shards(1));
+    let parallel = run_design(spec, &exp, &base.with_shards(4));
+
+    // RunStats derives PartialEq over every public field, so this is the
+    // full field-by-field comparison; the individual asserts below just
+    // give readable failure messages for the headline figures.
+    assert_eq!(
+        serial.stats.walks,
+        parallel.stats.walks,
+        "{}: walk counts differ",
+        workload.name()
+    );
+    assert_eq!(
+        serial.stats.exec_cycles,
+        parallel.stats.exec_cycles,
+        "{}: exec cycles differ",
+        workload.name()
+    );
+    assert_eq!(
+        serial.stats.misses,
+        parallel.stats.misses,
+        "{}: miss counts differ",
+        workload.name()
+    );
+    assert_eq!(
+        serial.stats.dram_energy_fj,
+        parallel.stats.dram_energy_fj,
+        "{}: DRAM energy differs",
+        workload.name()
+    );
+    assert_eq!(
+        serial.stats,
+        parallel.stats,
+        "{}: merged statistics differ between 1 and 4 workers",
+        workload.name()
+    );
+    assert_eq!(
+        serial.occupancy_by_level,
+        parallel.occupancy_by_level,
+        "{}: occupancy histograms differ",
+        workload.name()
+    );
+    assert_eq!(
+        serial.band_history,
+        parallel.band_history,
+        "{}: band histories differ",
+        workload.name()
+    );
+    assert_eq!(serial.stats.walks, n_walks as u64);
+}
+
+#[test]
+fn scan_workload_shard_invariant() {
+    assert_shard_invariant(
+        Workload::Scan,
+        &DesignSpec::MetalIx {
+            ix: IxConfig::kb64(),
+        },
+    );
+}
+
+#[test]
+fn spmm_workload_shard_invariant() {
+    let built = Workload::SpMM.build(Scale::ci());
+    let spec = DesignSpec::Metal {
+        ix: IxConfig::kb64(),
+        descriptors: built.descriptors.clone(),
+        tune: true,
+        batch_walks: built.batch_walks,
+    };
+    assert_shard_invariant(Workload::SpMM, &spec);
+}
+
+#[test]
+fn hashprobe_workload_shard_invariant() {
+    assert_shard_invariant(
+        Workload::HashProbe,
+        &DesignSpec::Address {
+            entries: 1024,
+            ways: 16,
+        },
+    );
+}
+
+#[test]
+fn join_workload_shard_invariant_two_indexes() {
+    // Two-index experiment: shard slices must keep every index visible.
+    assert_shard_invariant(
+        Workload::Join,
+        &DesignSpec::XCache {
+            entries: 1024,
+            ways: 16,
+        },
+    );
+}
+
+/// Builds a randomized but fully populated `RunStats` from one RNG
+/// stream.
+fn random_stats(rng: &mut SplitRng) -> RunStats {
+    let mut s = RunStats::new();
+    s.probes = rng.gen_range(0u64..10_000);
+    s.misses = rng.gen_range(0u64..s.probes.max(1));
+    s.dram_node_reads = rng.gen_range(0u64..5_000);
+    s.walks = rng.gen_range(1u64..2_000);
+    s.found_walks = rng.gen_range(0u64..s.walks);
+    s.exec_cycles = Cycles::new(rng.gen_range(1u64..1 << 40));
+    s.cache_energy_fj = rng.gen_range(0u64..1 << 50);
+    s.dram_energy_fj = rng.gen_range(0u64..1 << 50);
+    s.compute_energy_fj = rng.gen_range(0u64..1 << 50);
+    s.walker_energy_fj = rng.gen_range(0u64..1 << 50);
+    s.compute_ops = rng.gen_range(0u64..1 << 30);
+    s.index_blocks = rng.gen_range(1u64..100_000);
+    s.ws_touched_sum = rng.gen_range(0u64..s.index_blocks * 8);
+    s.ws_windows = rng.gen_range(0u64..16);
+    s.dram_bytes = rng.gen_range(0u64..1 << 40);
+    s.inserts = rng.gen_range(0u64..10_000);
+    s.bypasses = rng.gen_range(0u64..10_000);
+    s.levels_skipped = rng.gen_range(0u64..10_000);
+    let n_levels = rng.gen_range(0usize..8);
+    s.hit_levels = (0..n_levels).map(|_| rng.gen_range(0u64..1000)).collect();
+    let n_lat = rng.gen_range(0usize..40);
+    for _ in 0..n_lat {
+        s.walk_latency.record(Cycles::new(rng.gen_range(1u64..100_000)));
+    }
+    let n_blocks = rng.gen_range(0usize..200);
+    for _ in 0..n_blocks {
+        s.working_set.touch(BlockAddr::new(rng.gen_range(0u64..500)));
+    }
+    s.distinct_blocks = s.working_set.distinct_blocks();
+    s
+}
+
+#[test]
+fn merge_is_commutative_on_randomized_pairs() {
+    let mut rng = SplitRng::stream(0x5AD, 0);
+    for _ in 0..200 {
+        let a = random_stats(&mut rng);
+        let b = random_stats(&mut rng);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be order-insensitive");
+    }
+}
+
+#[test]
+fn merge_is_associative_on_randomized_triples() {
+    let mut rng = SplitRng::stream(0x5AD, 1);
+    for _ in 0..100 {
+        let a = random_stats(&mut rng);
+        let b = random_stats(&mut rng);
+        let c = random_stats(&mut rng);
+        // (a ⊔ b) ⊔ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊔ (b ⊔ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+    }
+}
+
+#[test]
+fn merge_with_default_is_identity_on_counters() {
+    let mut rng = SplitRng::stream(0x5AD, 2);
+    for _ in 0..50 {
+        let a = random_stats(&mut rng);
+        let mut merged = a.clone();
+        merged.merge(&RunStats::default());
+        // Everything except distinct_blocks (recomputed from the union,
+        // which equals the original set here) is untouched.
+        assert_eq!(merged, a, "default stats are the merge identity");
+    }
+}
