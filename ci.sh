@@ -1,33 +1,44 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify, the full test suite single-threaded,
-# and a sharded-replay smoke test (shards=1 vs shards=4 must emit
-# byte-identical figure CSV).
+# and a sharded-replay smoke test (worker count must never change the
+# figure CSV, with and without an explicit logical-shard grain).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
-echo "== tier-1: cargo test -q =="
-cargo test -q
-
+# The root-package tests are covered by the workspace run below; build
+# test targets first so the timed run is compile-free.
 echo "== full workspace tests (single-threaded) =="
+cargo test -q --workspace --no-run
 cargo test -q --workspace -- --test-threads=1
 
 echo "== sharded-replay smoke: fig18_speedup, shards 1 vs 4 =="
 cargo build --release -p metal-bench --bin fig18_speedup
 out1=$(mktemp) && out4=$(mktemp)
 trap 'rm -f "$out1" "$out4"' EXIT
+# Default (unbounded) grain: the serial single-engine methodology.
 t0=$(date +%s%N)
-METAL_SHARDS=1 ./target/release/fig18_speedup --scale ci > "$out1"
+./target/release/fig18_speedup --scale ci --shards 1 > "$out1"
 t1=$(date +%s%N)
-METAL_SHARDS=4 ./target/release/fig18_speedup --scale ci > "$out4"
+./target/release/fig18_speedup --scale ci --shards 4 > "$out4"
 t2=$(date +%s%N)
 if ! diff -q "$out1" "$out4" > /dev/null; then
-    echo "FAIL: fig18_speedup output differs between shards=1 and shards=4" >&2
+    echo "FAIL: fig18_speedup (default grain) differs between shards=1 and shards=4" >&2
     diff "$out1" "$out4" >&2 || true
     exit 1
 fi
-echo "shards=1: $(( (t1 - t0) / 1000000 )) ms, shards=4: $(( (t2 - t1) / 1000000 )) ms, CSV identical"
+echo "default grain: shards=1 $(( (t1 - t0) / 1000000 )) ms, shards=4 $(( (t2 - t1) / 1000000 )) ms, CSV identical"
+# Explicit logical sharding (partitioned-accelerator semantics): still
+# worker-count invariant.
+./target/release/fig18_speedup --scale ci --shards 1 --shard-walks 512 > "$out1"
+./target/release/fig18_speedup --scale ci --shards 4 --shard-walks 512 > "$out4"
+if ! diff -q "$out1" "$out4" > /dev/null; then
+    echo "FAIL: fig18_speedup (--shard-walks 512) differs between shards=1 and shards=4" >&2
+    diff "$out1" "$out4" >&2 || true
+    exit 1
+fi
+echo "shard-walks=512: CSV identical across worker counts"
 
 echo "== ci.sh: all checks passed =="

@@ -36,6 +36,7 @@ fn main() {
                     batch_walks: built.batch_walks,
                 },
                 None,
+                args.run_config(),
             );
             csv_row([
                 ways.to_string(),

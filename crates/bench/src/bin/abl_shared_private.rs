@@ -43,6 +43,7 @@ fn main() {
                 batch_walks: built.batch_walks,
             },
             None,
+            args.run_config(),
         );
         let private = run_one(
             w,
@@ -52,6 +53,7 @@ fn main() {
                 descriptors: built.descriptors.clone(),
             },
             None,
+            args.run_config(),
         );
         csv_row([
             w.name().to_string(),

@@ -17,7 +17,7 @@ fn main() {
     println!("# paper expectation: x-cache 0.6-0.95; metal lowest");
     csv_row(["workload", "fa-opt", "x-cache", "metal-ix", "metal"]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
         let mr = |i: usize| f3(reports[i].1.stats.miss_rate());
         csv_row([w.name().to_string(), mr(2), mr(3), mr(4), mr(5)]);
     }

@@ -20,7 +20,7 @@ fn main() {
         "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal", "metal_window_distinct",
     ]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
         let full = reports[0].1.stats.dram_node_reads.max(1) as f64;
         let frac = |i: usize| f3(reports[i].1.stats.dram_node_reads as f64 / full);
         csv_row([

@@ -21,7 +21,7 @@ fn main() {
         "workload", "fa-opt-64k", "x-cache-64k", "metal-ix-64k", "metal-64k", "fa-1mb",
     ]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
         let lat = |i: usize| f3(reports[i].1.stats.avg_walk_latency());
         // The 16×-larger fully-associative address cache. A 1 MB SRAM is
         // physically slower to traverse than a 64 kB one (~sqrt-of-size

@@ -19,7 +19,7 @@ fn main() {
         "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal",
     ]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
         let stream = &reports[0].1;
         let speedup = |i: usize| f3(reports[i].1.speedup_vs(stream));
         csv_row([

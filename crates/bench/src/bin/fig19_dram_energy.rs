@@ -18,7 +18,7 @@ fn main() {
         "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal",
     ]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
         let stream = reports[0].1.stats.dram_energy_fj.max(1) as f64;
         let e = |i: usize| f3(reports[i].1.stats.dram_energy_fj as f64 / stream);
         csv_row([w.name().to_string(), e(1), e(2), e(3), e(4), e(5)]);

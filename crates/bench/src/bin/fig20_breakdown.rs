@@ -25,8 +25,14 @@ fn main() {
     csv_row(["workload", "ix", "patterns", "params"]);
     for w in Workload::all() {
         let built = w.build(args.scale);
-        let stream = run_one(w, args.scale, &DesignSpec::Stream, None);
-        let ix_only = run_one(w, args.scale, &DesignSpec::MetalIx { ix }, None);
+        let stream = run_one(w, args.scale, &DesignSpec::Stream, None, args.run_config());
+        let ix_only = run_one(
+            w,
+            args.scale,
+            &DesignSpec::MetalIx { ix },
+            None,
+            args.run_config(),
+        );
         let patterns = run_one(
             w,
             args.scale,
@@ -37,6 +43,7 @@ fn main() {
                 batch_walks: built.batch_walks,
             },
             None,
+            args.run_config(),
         );
         let params = run_one(
             w,
@@ -48,6 +55,7 @@ fn main() {
                 batch_walks: built.batch_walks,
             },
             None,
+            args.run_config(),
         );
         csv_row([
             w.name().to_string(),

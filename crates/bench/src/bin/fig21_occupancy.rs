@@ -16,7 +16,7 @@ fn main() {
     println!("# paper expectation: metal concentrates on target levels, metal-ix spreads");
     csv_row(["workload", "design", "level", "entries"]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
         for (name, report) in &reports {
             if report.occupancy_by_level.is_empty() {
                 continue;

@@ -30,6 +30,7 @@ fn main() {
             batch_walks: batch,
         },
         None,
+        args.run_config(),
     );
     println!("# Fig 22: level band chosen by the tuner per batch window (Where)");
     println!("# paper expectation: the band tracks the walks across windows");

@@ -29,7 +29,7 @@ fn main() {
         for depth in [10u8, 12, 14, 16, 18] {
             let scale = args.scale.with_depth(depth);
             for kb in [32usize, 256] {
-                let (ixr, mr) = run_pair(scale, kb);
+                let (ixr, mr) = run_pair(scale, kb, &args);
                 csv_row([
                     depth.to_string(),
                     "metal-ix".into(),
@@ -47,7 +47,7 @@ fn main() {
         for mult in [1u64, 2, 5, 10] {
             let scale = args.scale.with_keys(base * mult);
             for &kb in &cache_kbs {
-                let (ixr, mr) = run_pair(scale, kb);
+                let (ixr, mr) = run_pair(scale, kb, &args);
                 csv_row([
                     scale.keys.to_string(),
                     "metal-ix".into(),
@@ -67,10 +67,16 @@ fn main() {
 
 /// Runs METAL-IX and METAL on JOIN at the given scale and cache size,
 /// returning their average walk latencies.
-fn run_pair(scale: metal_workloads::Scale, cache_kb: usize) -> (f64, f64) {
+fn run_pair(scale: metal_workloads::Scale, cache_kb: usize, args: &HarnessArgs) -> (f64, f64) {
     let built = Workload::Join.build(scale);
     let ix = IxConfig::with_capacity_bytes(cache_kb * 1024);
-    let ix_report = run_one(Workload::Join, scale, &DesignSpec::MetalIx { ix }, None);
+    let ix_report = run_one(
+        Workload::Join,
+        scale,
+        &DesignSpec::MetalIx { ix },
+        None,
+        args.run_config(),
+    );
     let metal_report = run_one(
         Workload::Join,
         scale,
@@ -81,6 +87,7 @@ fn run_pair(scale: metal_workloads::Scale, cache_kb: usize) -> (f64, f64) {
             batch_walks: built.batch_walks,
         },
         None,
+        args.run_config(),
     );
     (
         ix_report.stats.avg_walk_latency(),

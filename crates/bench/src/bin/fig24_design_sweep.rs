@@ -28,7 +28,13 @@ fn main() {
     ]);
     for w in [Workload::Join, Workload::SpMM, Workload::RTree] {
         // The 8-tile streaming baseline.
-        let base = run_one(w, args.scale, &DesignSpec::Stream, Some(8));
+        let base = run_one(
+            w,
+            args.scale,
+            &DesignSpec::Stream,
+            Some(8),
+            args.run_config(),
+        );
         let base_cycles = base.stats.exec_cycles.get().max(1) as f64;
         for tiles in [16usize, 32, 64, 128] {
             for cache_kb in [8usize, 16, 64, 256] {
@@ -44,6 +50,7 @@ fn main() {
                         batch_walks: built.batch_walks,
                     },
                     Some(tiles),
+                    args.run_config(),
                 );
                 let speedup = base_cycles / report.stats.exec_cycles.get().max(1) as f64;
                 // Bandwidth fraction: bytes moved / (cycles × peak B/cy).

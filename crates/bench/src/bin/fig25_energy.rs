@@ -34,7 +34,7 @@ fn main() {
         Workload::Join,
     ];
     for w in representative {
-        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
         let addr_accesses = reports[1].1.stats.probes.max(1) as f64;
         for (name, r) in &reports[1..] {
             csv_row([
@@ -51,7 +51,7 @@ fn main() {
     println!("# Fig 25 bottom: on-chip energy breakdown for METAL (fractions)");
     csv_row(["workload", "compute", "cache", "walker"]);
     for w in representative {
-        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
         let metal = &reports[5].1.stats;
         let total = metal.onchip_energy_fj().max(1) as f64;
         csv_row([

@@ -35,7 +35,7 @@ fn main() {
     let mut dram_x = Vec::new();
 
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes);
+        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
         let cyc = |i: usize| reports[i].1.stats.exec_cycles.get().max(1) as f64;
         let dram = |i: usize| reports[i].1.stats.dram_energy_fj.max(1) as f64;
         // Order: stream, address, fa-opt, x-cache, metal-ix, metal.

@@ -11,7 +11,7 @@
 //! and machine-parsable.
 
 use metal_core::models::DesignSpec;
-use metal_core::runner::{run_design, RunConfig, RunReport};
+use metal_core::runner::{run_design, RunConfig, RunReport, DEFAULT_SHARD_WALKS};
 use metal_core::IxConfig;
 use metal_workloads::{BuiltWorkload, Scale, Workload};
 
@@ -26,6 +26,11 @@ pub struct HarnessArgs {
     /// the `METAL_SHARDS` environment variable; `--shards N` overrides.
     /// Never changes results, only wall-clock time.
     pub shards: usize,
+    /// Logical-shard grain (`--shard-walks N`). The default (unbounded)
+    /// keeps the serial single-engine methodology; a finite grain opts
+    /// into partitioned-accelerator semantics and *changes results* (see
+    /// `metal_core::runner`'s module docs).
+    pub shard_walks: u64,
 }
 
 /// The `METAL_SHARDS` worker-count override, `0` (= all cores) when the
@@ -43,6 +48,7 @@ impl Default for HarnessArgs {
             scale: Scale::bench(),
             cache_bytes: 64 * 1024,
             shards: env_shards(),
+            shard_walks: DEFAULT_SHARD_WALKS,
         }
     }
 }
@@ -55,6 +61,8 @@ impl HarnessArgs {
     /// - `--cache-kb N`
     /// - `--shards N` (worker threads; 0 = all cores; also settable via
     ///   `METAL_SHARDS`)
+    /// - `--shard-walks N` (logical-shard grain; opt-in, changes the
+    ///   simulated machine model; 0 = unbounded default)
     ///
     /// Unknown flags are ignored so figure-specific binaries can add
     /// their own.
@@ -84,16 +92,26 @@ impl HarnessArgs {
                 "--cache-kb" => {
                     out.cache_bytes = next_u64(&mut it, "--cache-kb") as usize * 1024
                 }
-                "--shards" => {
-                    out.shards = next_u64(&mut it, "--shards") as usize;
-                    // Propagate to the env so `run_workload`/`run_one`
-                    // (which don't take HarnessArgs) see the same value.
-                    std::env::set_var("METAL_SHARDS", out.shards.to_string());
+                "--shards" => out.shards = next_u64(&mut it, "--shards") as usize,
+                "--shard-walks" => {
+                    out.shard_walks = match next_u64(&mut it, "--shard-walks") {
+                        0 => DEFAULT_SHARD_WALKS,
+                        n => n,
+                    }
                 }
                 _ => {}
             }
         }
         out
+    }
+
+    /// The execution half of these arguments as a [`RunConfig`] (worker
+    /// threads + shard grain). Lanes are workload-specific, so
+    /// `run_workload`/`run_one` fill them in per workload.
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig::default()
+            .with_shards(self.shards)
+            .with_shard_walks(self.shard_walks.max(1))
     }
 }
 
@@ -132,35 +150,37 @@ pub fn figure_designs(built: &BuiltWorkload, cache_bytes: usize) -> Vec<(String,
     ]
 }
 
-/// Runs one workload under all figure designs.
+/// Runs one workload under all figure designs. `cfg` carries the
+/// execution knobs (worker threads, shard grain — see
+/// [`HarnessArgs::run_config`]); its lane count is overridden by the
+/// workload's tile count.
 pub fn run_workload(
     workload: Workload,
     scale: Scale,
     cache_bytes: usize,
+    cfg: RunConfig,
 ) -> Vec<(String, RunReport)> {
     let built = workload.build(scale);
     let exp = built.experiment();
-    let cfg = RunConfig::default()
-        .with_lanes(built.tiles)
-        .with_shards(env_shards());
+    let cfg = cfg.with_lanes(built.tiles);
     let (names, specs): (Vec<String>, Vec<DesignSpec>) =
         figure_designs(&built, cache_bytes).into_iter().unzip();
     let reports = metal_core::runner::run_designs_parallel(&specs, &exp, &cfg);
     names.into_iter().zip(reports).collect()
 }
 
-/// Runs one workload under one design.
+/// Runs one workload under one design. `cfg` carries the execution knobs
+/// as in [`run_workload`].
 pub fn run_one(
     workload: Workload,
     scale: Scale,
     spec: &DesignSpec,
     lanes_override: Option<usize>,
+    cfg: RunConfig,
 ) -> RunReport {
     let built = workload.build(scale);
     let exp = built.experiment();
-    let cfg = RunConfig::default()
-        .with_lanes(lanes_override.unwrap_or(built.tiles))
-        .with_shards(env_shards());
+    let cfg = cfg.with_lanes(lanes_override.unwrap_or(built.tiles));
     run_design(spec, &exp, &cfg)
 }
 
@@ -219,9 +239,28 @@ mod tests {
     }
 
     #[test]
+    fn shard_flags_parse() {
+        let a = args("--shards 4 --shard-walks 512");
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.shard_walks, 512);
+        let cfg = a.run_config();
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.shard_walks, 512);
+        // 0 and absence both mean the unbounded (single-engine) default.
+        assert_eq!(args("--shard-walks 0").shard_walks, DEFAULT_SHARD_WALKS);
+        assert_eq!(args("").shard_walks, DEFAULT_SHARD_WALKS);
+    }
+
+    #[test]
     fn run_one_smoke() {
         let scale = Scale::ci().with_keys(2000).with_walks(300);
-        let r = run_one(Workload::Where, scale, &DesignSpec::Stream, None);
+        let r = run_one(
+            Workload::Where,
+            scale,
+            &DesignSpec::Stream,
+            None,
+            RunConfig::default(),
+        );
         assert_eq!(r.stats.walks, 300);
     }
 }

@@ -6,15 +6,23 @@
 //! METAL with identical DRAM and tile models, so every difference in the
 //! report is attributable to the cache organization and policy.
 //!
-//! ## Sharded execution
+//! ## Sharded execution (opt-in)
 //!
-//! Long request streams are partitioned into *logical shards*: contiguous
-//! chunks of [`RunConfig::shard_walks`] requests, each simulated by its
-//! own engine + walk model (its own caches, DRAM and statistics — the
-//! hardware analogue is one independent accelerator partition per shard),
-//! then merged with [`RunStats::merge`]. Crucially the partition is a
-//! pure function of the experiment and `shard_walks` — **never** of the
-//! worker-thread count [`RunConfig::shards`] — so
+//! With the default [`RunConfig::shard_walks`] grain (`u64::MAX`) every
+//! request stream runs as one chunk on one engine — exactly the serial
+//! single-engine methodology, whatever the worker count. Setting a
+//! finite grain opts into *logical sharding*: the stream is partitioned
+//! into contiguous chunks of `shard_walks` requests, each simulated by
+//! its own engine + walk model (its own caches, DRAM and statistics —
+//! the hardware analogue is one independent accelerator partition per
+//! shard), then merged with [`RunStats::merge`]. Sharding is a
+//! *modelling choice*, not an implementation detail: each chunk starts
+//! with cold caches and tuner state, so a finite grain simulates a
+//! partitioned accelerator and changes results.
+//!
+//! What never changes results is the worker count
+//! [`RunConfig::shards`]: the chunk partition is a pure function of the
+//! experiment and `shard_walks` — **never** of the thread count — so
 //! `run(shards = 1) == run(shards = k)` bit-identically for every merged
 //! statistic; threads only change wall-clock time.
 
@@ -46,10 +54,11 @@ pub struct RunConfig {
     pub shard_walks: u64,
 }
 
-/// Default logical-shard grain: streams at or below this length run as a
-/// single chunk, which keeps small experiments identical to the
-/// pre-sharding engine.
-pub const DEFAULT_SHARD_WALKS: u64 = 8192;
+/// Default logical-shard grain: effectively unbounded, so every stream
+/// runs as a single chunk and default results are identical to the
+/// serial single-engine methodology. Sharding — simulating a partitioned
+/// accelerator — is opt-in via [`RunConfig::with_shard_walks`].
+pub const DEFAULT_SHARD_WALKS: u64 = u64::MAX;
 
 impl Default for RunConfig {
     fn default() -> Self {
@@ -75,7 +84,9 @@ impl RunConfig {
         self
     }
 
-    /// Overrides the logical-shard grain (walks per shard).
+    /// Overrides the logical-shard grain (walks per shard), opting into
+    /// partitioned-accelerator semantics: every chunk starts cold, so a
+    /// finite grain changes simulated results, not just wall-clock time.
     ///
     /// # Panics
     ///
@@ -103,11 +114,11 @@ impl RunConfig {
 /// partition — and therefore every merged statistic — is independent of
 /// how many worker threads execute it.
 fn shard_bounds(n_requests: usize, shard_walks: u64) -> Vec<Range<usize>> {
-    let grain = (shard_walks.max(1)) as usize;
+    let grain = shard_walks.max(1).min(usize::MAX as u64) as usize;
     let mut out = Vec::with_capacity(n_requests.div_ceil(grain).max(1));
     let mut lo = 0;
     while lo < n_requests {
-        let hi = (lo + grain).min(n_requests);
+        let hi = lo.saturating_add(grain).min(n_requests);
         out.push(lo..hi);
         lo = hi;
     }
@@ -531,6 +542,27 @@ mod tests {
         assert_eq!(bounds, vec![0..4096, 4096..8192, 8192..10_000]);
         assert_eq!(shard_bounds(0, 4096), vec![0..0]);
         assert_eq!(shard_bounds(4096, 4096), vec![0..4096]);
+        assert_eq!(shard_bounds(10_000, u64::MAX), vec![0..10_000]);
+    }
+
+    #[test]
+    fn default_grain_matches_single_engine() {
+        // The high-order contract: with the default (unbounded) grain the
+        // runner is the pre-sharding serial engine — one chunk, one
+        // engine — regardless of worker count, so published figures keep
+        // the single-accelerator methodology unless sharding is opted
+        // into explicitly.
+        let t = tree();
+        let requests = zipfish_requests(20_000); // well past any finite grain
+        let exp = Experiment::single(&t, &requests);
+        let cfg = RunConfig::default().with_shards(4);
+        let spec = DesignSpec::MetalIx {
+            ix: IxConfig::kb64(),
+        };
+        let default_run = run_design(&spec, &exp, &cfg);
+        let serial = run_design_shard(&spec, &exp, &cfg);
+        assert_eq!(default_run.stats, serial.stats);
+        assert_eq!(default_run.occupancy_by_level, serial.occupancy_by_level);
     }
 
     #[test]

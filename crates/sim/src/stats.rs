@@ -264,9 +264,13 @@ impl RunStats {
     /// - `exec_cycles` takes the max — shards model hardware partitions
     ///   executing in parallel, so the run ends when the slowest shard
     ///   does;
-    /// - `working_set` unions, and `distinct_blocks` is recomputed from
-    ///   the union (shards that touch the same block must not double
-    ///   count it); when neither side carries block sets the counts sum;
+    /// - `working_set` unions, and `distinct_blocks` becomes the union's
+    ///   size (shards that touch the same block must not double count
+    ///   it) plus each side's *count-only surplus* — the part of its
+    ///   `distinct_blocks` not represented in its block set — so sides
+    ///   carrying only a count (empty `working_set`, nonzero count)
+    ///   still contribute, and the mixed set/count case stays
+    ///   commutative and associative;
     /// - `ws_touched_sum`/`ws_windows` sum, preserving the exact global
     ///   per-window average;
     /// - `hit_levels` sums elementwise;
@@ -286,12 +290,22 @@ impl RunStats {
             .saturating_add(other.compute_energy_fj);
         self.walker_energy_fj = self.walker_energy_fj.saturating_add(other.walker_energy_fj);
         self.compute_ops = self.compute_ops.saturating_add(other.compute_ops);
+        // Count-only surplus: blocks a side counted without carrying the
+        // set itself. Computed before the union so each side's surplus is
+        // measured against its own set; summing the surpluses keeps the
+        // mixed set/count merge associative.
+        let self_surplus = self
+            .distinct_blocks
+            .saturating_sub(self.working_set.distinct_blocks());
+        let other_surplus = other
+            .distinct_blocks
+            .saturating_sub(other.working_set.distinct_blocks());
         self.working_set.merge(&other.working_set);
-        self.distinct_blocks = if self.working_set.is_empty() {
-            self.distinct_blocks.saturating_add(other.distinct_blocks)
-        } else {
-            self.working_set.distinct_blocks()
-        };
+        self.distinct_blocks = self
+            .working_set
+            .distinct_blocks()
+            .saturating_add(self_surplus)
+            .saturating_add(other_surplus);
         self.index_blocks = self.index_blocks.max(other.index_blocks);
         self.ws_touched_sum = self.ws_touched_sum.saturating_add(other.ws_touched_sum);
         self.ws_windows = self.ws_windows.saturating_add(other.ws_windows);
@@ -414,6 +428,48 @@ mod tests {
         b.distinct_blocks = 2;
         a.merge(&b);
         assert_eq!(a.distinct_blocks, 4, "shared block 3 counted once");
+    }
+
+    #[test]
+    fn run_stats_merge_mixed_set_and_count_only() {
+        // One side carries a block set, the other only a count (e.g. a
+        // deserialized summary): the count must survive the merge, in
+        // either order, and merging a third count-only side must not
+        // discard earlier count-only contributions.
+        let set_side = {
+            let mut s = RunStats::new();
+            for blk in [1u64, 2, 3] {
+                s.working_set.touch(BlockAddr::new(blk));
+            }
+            s.distinct_blocks = 3;
+            s
+        };
+        let count_b = RunStats {
+            distinct_blocks: 5,
+            ..RunStats::new()
+        };
+        let count_c = RunStats {
+            distinct_blocks: 7,
+            ..RunStats::new()
+        };
+
+        let mut ab = set_side.clone();
+        ab.merge(&count_b);
+        assert_eq!(ab.distinct_blocks, 8, "count-only side must survive");
+        let mut ba = count_b.clone();
+        ba.merge(&set_side);
+        assert_eq!(ba.distinct_blocks, 8, "merge is commutative");
+
+        ab.merge(&count_c);
+        let mut bc = count_b.clone();
+        bc.merge(&count_c);
+        let mut a_bc = set_side.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab.distinct_blocks, 15);
+        assert_eq!(
+            a_bc.distinct_blocks, ab.distinct_blocks,
+            "merge is associative in the mixed case"
+        );
     }
 
     #[test]
