@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify, the full test suite single-threaded,
-# and a sharded-replay smoke test (worker count must never change the
-# figure CSV, with and without an explicit logical-shard grain).
+# CI entry point: lints, tier-1 verify, the full test suite
+# single-threaded, a sharded-replay smoke test (worker count must never
+# change the figure CSV, with and without an explicit logical-shard
+# grain), and a telemetry smoke test (the trace must parse and agree
+# with the run manifest).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== lint: cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== lint: cargo clippy -D warnings =="
+cargo clippy --workspace -- -D warnings
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
@@ -40,5 +48,27 @@ if ! diff -q "$out1" "$out4" > /dev/null; then
     exit 1
 fi
 echo "shard-walks=512: CSV identical across worker counts"
+
+echo "== telemetry smoke: fig20_breakdown --trace-out / --metrics-out =="
+cargo build --release -p metal-bench --bin fig20_breakdown --bin trace_dump
+tdir=$(mktemp -d)
+trap 'rm -f "$out1" "$out4"; rm -rf "$tdir"' EXIT
+# A traced run must produce the same CSV as an untraced one…
+./target/release/fig20_breakdown --scale ci > "$tdir/plain.csv"
+./target/release/fig20_breakdown --scale ci \
+    --trace-out "$tdir/trace.jsonl" --metrics-out "$tdir/manifest.json" \
+    > "$tdir/traced.csv"
+if ! diff -q "$tdir/plain.csv" "$tdir/traced.csv" > /dev/null; then
+    echo "FAIL: --trace-out changed the figure CSV" >&2
+    diff "$tdir/plain.csv" "$tdir/traced.csv" >&2 || true
+    exit 1
+fi
+echo "tracing does not perturb the CSV"
+# …every trace line must parse, and the per-level hit counts derived
+# from raw probe events must match the manifest's statistics exactly.
+./target/release/trace_dump "$tdir/trace.jsonl" \
+    --check-hits "$tdir/manifest.json" > "$tdir/dump.txt"
+grep -q "check-hits: per-level hit counts match" "$tdir/dump.txt"
+echo "trace parses; trace-derived hit levels match the manifest"
 
 echo "== ci.sh: all checks passed =="

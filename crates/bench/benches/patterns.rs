@@ -25,7 +25,10 @@ fn node(level: u8, lo: u64, hi: u64) -> NodeInfo {
 }
 
 fn report(name: &str, iters: u64, elapsed_ns: u128) {
-    println!("{name}: {:.1} ns/iter ({iters} iters)", elapsed_ns as f64 / iters as f64);
+    println!(
+        "{name}: {:.1} ns/iter ({iters} iters)",
+        elapsed_ns as f64 / iters as f64
+    );
 }
 
 fn main() {

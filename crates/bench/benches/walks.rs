@@ -15,7 +15,10 @@ use std::hint::black_box;
 use std::time::Instant;
 
 fn report(name: &str, iters: u64, elapsed_ns: u128) {
-    println!("{name}: {:.1} ns/iter ({iters} iters)", elapsed_ns as f64 / iters as f64);
+    println!(
+        "{name}: {:.1} ns/iter ({iters} iters)",
+        elapsed_ns as f64 / iters as f64
+    );
 }
 
 fn main() {

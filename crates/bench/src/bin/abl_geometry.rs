@@ -6,13 +6,14 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin abl_geometry`
 
-use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_bench::{csv_row, f3, run_one, HarnessArgs, Session};
 use metal_core::models::DesignSpec;
 use metal_core::IxConfig;
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("abl_geometry", &args);
     println!("# Ablation: IX-cache geometry (ways x key-block bits), Where workload");
     println!("# paper supplemental: 16-way is the sweet spot; oversized key");
     println!("#   blocks increase set conflicts");
@@ -26,6 +27,7 @@ fn main() {
                 key_block_bits: bits,
                 wide_fraction: 0.5,
             };
+            let scope = format!("where/w{ways}-b{bits}");
             let report = run_one(
                 Workload::Where,
                 args.scale,
@@ -36,8 +38,9 @@ fn main() {
                     batch_walks: built.batch_walks,
                 },
                 None,
-                args.run_config(),
+                session.config(&scope),
             );
+            session.record(&scope, &report.design, &report.stats);
             csv_row([
                 ways.to_string(),
                 bits.to_string(),
@@ -46,4 +49,5 @@ fn main() {
             ]);
         }
     }
+    session.finish();
 }

@@ -8,13 +8,14 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin abl_shared_private`
 
-use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_bench::{csv_row, f3, run_one, HarnessArgs, Session};
 use metal_core::models::DesignSpec;
 use metal_core::IxConfig;
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("abl_shared_private", &args);
     let ix = IxConfig::with_capacity_bytes(args.cache_bytes);
     println!("# Ablation: shared vs per-tile private IX-caches, equal total capacity");
     println!("# paper supplemental expectation: shared wins");
@@ -43,8 +44,9 @@ fn main() {
                 batch_walks: built.batch_walks,
             },
             None,
-            args.run_config(),
+            session.config(w.name()),
         );
+        session.record(w.name(), &shared.design, &shared.stats);
         let private = run_one(
             w,
             args.scale,
@@ -53,8 +55,9 @@ fn main() {
                 descriptors: built.descriptors.clone(),
             },
             None,
-            args.run_config(),
+            session.config(w.name()),
         );
+        session.record(w.name(), &private.design, &private.stats);
         csv_row([
             w.name().to_string(),
             shared.stats.exec_cycles.get().to_string(),
@@ -65,4 +68,5 @@ fn main() {
                 / shared.stats.exec_cycles.get().max(1) as f64),
         ]);
     }
+    session.finish();
 }

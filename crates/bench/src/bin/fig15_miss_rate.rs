@@ -7,18 +7,23 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig15_miss_rate`
 
-use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig15_miss_rate", &args);
     println!("# Fig 15: miss rate (lower is better; note §5.1 obs. 2 — miss");
     println!("#   rates are not comparable across organizations: hit/miss paths differ)");
     println!("# paper expectation: x-cache 0.6-0.95; metal lowest");
     csv_row(["workload", "fa-opt", "x-cache", "metal-ix", "metal"]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
+        let reports = run_workload(w, args.scale, args.cache_bytes, session.config(w.name()));
+        for (name, r) in &reports {
+            session.record(w.name(), name, &r.stats);
+        }
         let mr = |i: usize| f3(reports[i].1.stats.miss_rate());
         csv_row([w.name().to_string(), mr(2), mr(3), mr(4), mr(5)]);
     }
+    session.finish();
 }

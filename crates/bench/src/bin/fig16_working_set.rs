@@ -9,18 +9,28 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig16_working_set`
 
-use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig16_working_set", &args);
     println!("# Fig 16: walking-region fraction = DRAM node reads / streaming node reads");
     println!("# paper expectation: address/fa-opt ~0.85, x-cache ~0.72, metal ~0.2");
     csv_row([
-        "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal", "metal_window_distinct",
+        "workload",
+        "address",
+        "fa-opt",
+        "x-cache",
+        "metal-ix",
+        "metal",
+        "metal_window_distinct",
     ]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
+        let reports = run_workload(w, args.scale, args.cache_bytes, session.config(w.name()));
+        for (name, r) in &reports {
+            session.record(w.name(), name, &r.stats);
+        }
         let full = reports[0].1.stats.dram_node_reads.max(1) as f64;
         let frac = |i: usize| f3(reports[i].1.stats.dram_node_reads as f64 / full);
         csv_row([
@@ -33,4 +43,5 @@ fn main() {
             f3(reports[5].1.stats.working_set_fraction()),
         ]);
     }
+    session.finish();
 }

@@ -7,28 +7,38 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig17_walk_latency`
 
-use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs, Session};
 use metal_core::models::{DesignSpec, Experiment};
-use metal_core::runner::{run_design, RunConfig};
+use metal_core::runner::run_design;
 use metal_sim::types::Cycles;
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig17_walk_latency", &args);
     println!("# Fig 17: average walk latency in cycles (lower is better)");
     println!("# paper expectation: metal < x-cache < fa-opt; fa-1MB still above metal");
     csv_row([
-        "workload", "fa-opt-64k", "x-cache-64k", "metal-ix-64k", "metal-64k", "fa-1mb",
+        "workload",
+        "fa-opt-64k",
+        "x-cache-64k",
+        "metal-ix-64k",
+        "metal-64k",
+        "fa-1mb",
     ]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
+        let reports = run_workload(w, args.scale, args.cache_bytes, session.config(w.name()));
+        for (name, r) in &reports {
+            session.record(w.name(), name, &r.stats);
+        }
         let lat = |i: usize| f3(reports[i].1.stats.avg_walk_latency());
         // The 16×-larger fully-associative address cache. A 1 MB SRAM is
         // physically slower to traverse than a 64 kB one (~sqrt-of-size
         // wire delay): its hierarchy latency scales from 20 to 35 cycles.
         let built = w.build(args.scale);
         let exp: Experiment<'_> = built.experiment();
-        let mut cfg = RunConfig::default().with_lanes(built.tiles);
+        let scope = format!("{}/fa-1mb", w.name());
+        let mut cfg = session.config(&scope).with_lanes(built.tiles);
         cfg.sim.hierarchy_hit_latency = Cycles::new(35);
         let big = run_design(
             &DesignSpec::FaOpt {
@@ -37,6 +47,7 @@ fn main() {
             &exp,
             &cfg,
         );
+        session.record(&scope, &big.design, &big.stats);
         csv_row([
             w.name().to_string(),
             lat(2),
@@ -46,4 +57,5 @@ fn main() {
             f3(big.stats.avg_walk_latency()),
         ]);
     }
+    session.finish();
 }

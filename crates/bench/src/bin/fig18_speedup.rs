@@ -7,11 +7,12 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig18_speedup -- --scale bench`
 
-use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig18_speedup", &args);
     println!("# Fig 18: speedup over the streaming DSA (higher is better)");
     println!("# paper expectation: metal > metal-ix > x-cache/address > stream;");
     println!("#   -S (shallow) variants: metal within ~15% of x-cache");
@@ -19,7 +20,10 @@ fn main() {
         "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal",
     ]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
+        let reports = run_workload(w, args.scale, args.cache_bytes, session.config(w.name()));
+        for (name, r) in &reports {
+            session.record(w.name(), name, &r.stats);
+        }
         let stream = &reports[0].1;
         let speedup = |i: usize| f3(reports[i].1.speedup_vs(stream));
         csv_row([
@@ -31,4 +35,5 @@ fn main() {
             speedup(5),
         ]);
     }
+    session.finish();
 }

@@ -7,20 +7,25 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig19_dram_energy`
 
-use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig19_dram_energy", &args);
     println!("# Fig 19: DRAM dynamic energy normalized to the streaming DSA");
     println!("# paper expectation: metal lowest; x-cache ~ address; -S variants close");
     csv_row([
         "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal",
     ]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
+        let reports = run_workload(w, args.scale, args.cache_bytes, session.config(w.name()));
+        for (name, r) in &reports {
+            session.record(w.name(), name, &r.stats);
+        }
         let stream = reports[0].1.stats.dram_energy_fj.max(1) as f64;
         let e = |i: usize| f3(reports[i].1.stats.dram_energy_fj as f64 / stream);
         csv_row([w.name().to_string(), e(1), e(2), e(3), e(4), e(5)]);
     }
+    session.finish();
 }

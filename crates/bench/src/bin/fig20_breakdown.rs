@@ -11,13 +11,14 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig20_breakdown`
 
-use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_bench::{csv_row, f3, run_one, HarnessArgs, Session};
 use metal_core::models::DesignSpec;
 use metal_core::IxConfig;
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig20_breakdown", &args);
     let ix = IxConfig::with_capacity_bytes(args.cache_bytes);
     println!("# Fig 20: speedup breakdown vs streaming: IX-only, +patterns, +params");
     println!("# paper expectation: patterns > IX on pattern-friendly workloads;");
@@ -25,14 +26,23 @@ fn main() {
     csv_row(["workload", "ix", "patterns", "params"]);
     for w in Workload::all() {
         let built = w.build(args.scale);
-        let stream = run_one(w, args.scale, &DesignSpec::Stream, None, args.run_config());
+        let scope = |variant: &str| format!("{}/{variant}", w.name());
+        let stream = run_one(
+            w,
+            args.scale,
+            &DesignSpec::Stream,
+            None,
+            session.config(&scope("stream")),
+        );
+        session.record(&scope("stream"), &stream.design, &stream.stats);
         let ix_only = run_one(
             w,
             args.scale,
             &DesignSpec::MetalIx { ix },
             None,
-            args.run_config(),
+            session.config(&scope("ix")),
         );
+        session.record(&scope("ix"), &ix_only.design, &ix_only.stats);
         let patterns = run_one(
             w,
             args.scale,
@@ -43,8 +53,9 @@ fn main() {
                 batch_walks: built.batch_walks,
             },
             None,
-            args.run_config(),
+            session.config(&scope("patterns")),
         );
+        session.record(&scope("patterns"), &patterns.design, &patterns.stats);
         let params = run_one(
             w,
             args.scale,
@@ -55,8 +66,9 @@ fn main() {
                 batch_walks: built.batch_walks,
             },
             None,
-            args.run_config(),
+            session.config(&scope("params")),
         );
+        session.record(&scope("params"), &params.design, &params.stats);
         csv_row([
             w.name().to_string(),
             f3(ix_only.speedup_vs(&stream)),
@@ -64,4 +76,5 @@ fn main() {
             f3(params.speedup_vs(&stream)),
         ]);
     }
+    session.finish();
 }

@@ -7,16 +7,20 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig21_occupancy`
 
-use metal_bench::{csv_row, run_workload, HarnessArgs};
+use metal_bench::{csv_row, run_workload, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig21_occupancy", &args);
     println!("# Fig 21: final IX-cache occupancy per index level (entry counts)");
     println!("# paper expectation: metal concentrates on target levels, metal-ix spreads");
     csv_row(["workload", "design", "level", "entries"]);
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
+        let reports = run_workload(w, args.scale, args.cache_bytes, session.config(w.name()));
+        for (name, r) in &reports {
+            session.record(w.name(), name, &r.stats);
+        }
         for (name, report) in &reports {
             if report.occupancy_by_level.is_empty() {
                 continue;
@@ -33,4 +37,5 @@ fn main() {
             }
         }
     }
+    session.finish();
 }

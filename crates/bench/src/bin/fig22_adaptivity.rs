@@ -9,13 +9,14 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig22_adaptivity`
 
-use metal_bench::{csv_row, run_one, HarnessArgs};
+use metal_bench::{csv_row, run_one, HarnessArgs, Session};
 use metal_core::models::DesignSpec;
 use metal_core::IxConfig;
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig22_adaptivity", &args);
     let built = Workload::Where.build(args.scale);
     let ix = IxConfig::with_capacity_bytes(args.cache_bytes);
     // Ten windows, as in the paper's 10 M walks / 1 M batches.
@@ -30,8 +31,9 @@ fn main() {
             batch_walks: batch,
         },
         None,
-        args.run_config(),
+        session.config("where"),
     );
+    session.record("where", &report.design, &report.stats);
     println!("# Fig 22: level band chosen by the tuner per batch window (Where)");
     println!("# paper expectation: the band tracks the walks across windows");
     csv_row(["window", "band_lower", "band_upper"]);
@@ -40,4 +42,5 @@ fn main() {
             csv_row([i.to_string(), lower.to_string(), upper.to_string()]);
         }
     }
+    session.finish();
 }

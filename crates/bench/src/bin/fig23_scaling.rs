@@ -12,13 +12,14 @@
 //! Run: `cargo run --release -p metal-bench --bin fig23_scaling`
 //!      `... --bin fig23_scaling -- --depth-sweep`
 
-use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_bench::{csv_row, f3, run_one, HarnessArgs, Session};
 use metal_core::models::DesignSpec;
 use metal_core::IxConfig;
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig23_scaling", &args);
     let depth_sweep = std::env::args().any(|a| a == "--depth-sweep");
 
     let cache_kbs = [32usize, 64, 128, 256];
@@ -29,7 +30,8 @@ fn main() {
         for depth in [10u8, 12, 14, 16, 18] {
             let scale = args.scale.with_depth(depth);
             for kb in [32usize, 256] {
-                let (ixr, mr) = run_pair(scale, kb, &args);
+                let scope = format!("join/d{depth}-kb{kb}");
+                let (ixr, mr) = run_pair(scale, kb, &scope, &mut session);
                 csv_row([
                     depth.to_string(),
                     "metal-ix".into(),
@@ -47,7 +49,8 @@ fn main() {
         for mult in [1u64, 2, 5, 10] {
             let scale = args.scale.with_keys(base * mult);
             for &kb in &cache_kbs {
-                let (ixr, mr) = run_pair(scale, kb, &args);
+                let scope = format!("join/k{}-kb{kb}", scale.keys);
+                let (ixr, mr) = run_pair(scale, kb, &scope, &mut session);
                 csv_row([
                     scale.keys.to_string(),
                     "metal-ix".into(),
@@ -63,11 +66,17 @@ fn main() {
             }
         }
     }
+    session.finish();
 }
 
 /// Runs METAL-IX and METAL on JOIN at the given scale and cache size,
 /// returning their average walk latencies.
-fn run_pair(scale: metal_workloads::Scale, cache_kb: usize, args: &HarnessArgs) -> (f64, f64) {
+fn run_pair(
+    scale: metal_workloads::Scale,
+    cache_kb: usize,
+    scope: &str,
+    session: &mut Session,
+) -> (f64, f64) {
     let built = Workload::Join.build(scale);
     let ix = IxConfig::with_capacity_bytes(cache_kb * 1024);
     let ix_report = run_one(
@@ -75,8 +84,9 @@ fn run_pair(scale: metal_workloads::Scale, cache_kb: usize, args: &HarnessArgs) 
         scale,
         &DesignSpec::MetalIx { ix },
         None,
-        args.run_config(),
+        session.config(scope),
     );
+    session.record(scope, &ix_report.design, &ix_report.stats);
     let metal_report = run_one(
         Workload::Join,
         scale,
@@ -87,8 +97,9 @@ fn run_pair(scale: metal_workloads::Scale, cache_kb: usize, args: &HarnessArgs) 
             batch_walks: built.batch_walks,
         },
         None,
-        args.run_config(),
+        session.config(scope),
     );
+    session.record(scope, &metal_report.design, &metal_report.stats);
     (
         ix_report.stats.avg_walk_latency(),
         metal_report.stats.avg_walk_latency(),

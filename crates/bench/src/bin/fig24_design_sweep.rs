@@ -14,32 +14,42 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig24_design_sweep`
 
-use metal_bench::{csv_row, f3, run_one, HarnessArgs};
+use metal_bench::{csv_row, f3, run_one, HarnessArgs, Session};
 use metal_core::models::DesignSpec;
 use metal_core::IxConfig;
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig24_design_sweep", &args);
     println!("# Fig 24: normalized speedup vs 8-tile streaming across tiles x cache size");
     println!("# regions: band-lim (>=50% HBM), cache-lim (missrate>25%), par-lim");
     csv_row([
-        "workload", "tiles", "cache_kb", "speedup", "region", "bw_frac", "miss_rate",
+        "workload",
+        "tiles",
+        "cache_kb",
+        "speedup",
+        "region",
+        "bw_frac",
+        "miss_rate",
     ]);
     for w in [Workload::Join, Workload::SpMM, Workload::RTree] {
         // The 8-tile streaming baseline.
+        let base_scope = format!("{}/t8-stream", w.name());
         let base = run_one(
             w,
             args.scale,
             &DesignSpec::Stream,
             Some(8),
-            args.run_config(),
+            session.config(&base_scope),
         );
+        session.record(&base_scope, &base.design, &base.stats);
         let base_cycles = base.stats.exec_cycles.get().max(1) as f64;
         for tiles in [16usize, 32, 64, 128] {
             for cache_kb in [8usize, 16, 64, 256] {
                 let built = w.build(args.scale);
                 let ix = IxConfig::with_capacity_bytes(cache_kb * 1024);
+                let scope = format!("{}/t{tiles}-kb{cache_kb}", w.name());
                 let report = run_one(
                     w,
                     args.scale,
@@ -50,8 +60,9 @@ fn main() {
                         batch_walks: built.batch_walks,
                     },
                     Some(tiles),
-                    args.run_config(),
+                    session.config(&scope),
                 );
+                session.record(&scope, &report.design, &report.stats);
                 let speedup = base_cycles / report.stats.exec_cycles.get().max(1) as f64;
                 // Bandwidth fraction: bytes moved / (cycles × peak B/cy).
                 let dram = metal_sim::SimConfig::default().dram;
@@ -78,4 +89,5 @@ fn main() {
             }
         }
     }
+    session.finish();
 }

@@ -13,11 +13,12 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig25_energy`
 
-use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("fig25_energy", &args);
     println!("# Fig 25 top: cache energy (fJ) and access reduction vs address cache");
     csv_row([
         "workload",
@@ -34,7 +35,11 @@ fn main() {
         Workload::Join,
     ];
     for w in representative {
-        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
+        let scope = format!("{}/top", w.name());
+        let reports = run_workload(w, args.scale, args.cache_bytes, session.config(&scope));
+        for (name, r) in &reports {
+            session.record(&scope, name, &r.stats);
+        }
         let addr_accesses = reports[1].1.stats.probes.max(1) as f64;
         for (name, r) in &reports[1..] {
             csv_row([
@@ -51,7 +56,11 @@ fn main() {
     println!("# Fig 25 bottom: on-chip energy breakdown for METAL (fractions)");
     csv_row(["workload", "compute", "cache", "walker"]);
     for w in representative {
-        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
+        let scope = format!("{}/bottom", w.name());
+        let reports = run_workload(w, args.scale, args.cache_bytes, session.config(&scope));
+        for (name, r) in &reports {
+            session.record(&scope, name, &r.stats);
+        }
         let metal = &reports[5].1.stats;
         let total = metal.onchip_energy_fj().max(1) as f64;
         csv_row([
@@ -61,4 +70,5 @@ fn main() {
             f3(metal.walker_energy_fj as f64 / total),
         ]);
     }
+    session.finish();
 }

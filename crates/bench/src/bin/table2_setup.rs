@@ -6,11 +6,13 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin table2_setup`
 
-use metal_bench::{csv_row, HarnessArgs};
+use metal_bench::{csv_row, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn main() {
     let args = HarnessArgs::parse();
+    // No simulation runs here; the session still captures the run manifest.
+    let session = Session::new("table2_setup", &args);
     println!("# Table 2: workload setup at the chosen scale");
     csv_row([
         "workload",
@@ -39,4 +41,5 @@ fn main() {
             built.tiles.to_string(),
         ]);
     }
+    session.finish();
 }

@@ -13,7 +13,7 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin table3_summary`
 
-use metal_bench::{csv_row, f3, run_workload, HarnessArgs};
+use metal_bench::{csv_row, f3, run_workload, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn geomean(xs: &[f64]) -> f64 {
@@ -25,6 +25,7 @@ fn geomean(xs: &[f64]) -> f64 {
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut session = Session::new("table3_summary", &args);
     let mut speed_stream = Vec::new();
     let mut speed_addr = Vec::new();
     let mut speed_x = Vec::new();
@@ -35,7 +36,10 @@ fn main() {
     let mut dram_x = Vec::new();
 
     for w in Workload::all() {
-        let reports = run_workload(w, args.scale, args.cache_bytes, args.run_config());
+        let reports = run_workload(w, args.scale, args.cache_bytes, session.config(w.name()));
+        for (name, r) in &reports {
+            session.record(w.name(), name, &r.stats);
+        }
         let cyc = |i: usize| reports[i].1.stats.exec_cycles.get().max(1) as f64;
         let dram = |i: usize| reports[i].1.stats.dram_energy_fj.max(1) as f64;
         // Order: stream, address, fa-opt, x-cache, metal-ix, metal.
@@ -55,8 +59,13 @@ fn main() {
     csv_row(["speedup_vs_address", &f3(geomean(&speed_addr)), "4.1"]);
     csv_row(["speedup_vs_xcache", &f3(geomean(&speed_x)), "2.4"]);
     csv_row(["ixcache_only_vs_stream", &f3(geomean(&ix_stream)), "5.3"]);
-    csv_row(["patterns_over_metal_ix", &f3(geomean(&pat_over_ix)), "1.6-3.7"]);
+    csv_row([
+        "patterns_over_metal_ix",
+        &f3(geomean(&pat_over_ix)),
+        "1.6-3.7",
+    ]);
     csv_row(["dram_energy_vs_stream", &f3(geomean(&dram_stream)), "1.9"]);
     csv_row(["dram_energy_vs_address", &f3(geomean(&dram_addr)), "1.7"]);
     csv_row(["dram_energy_vs_xcache", &f3(geomean(&dram_x)), "1.6"]);
+    session.finish();
 }

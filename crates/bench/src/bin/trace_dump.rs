@@ -1,0 +1,297 @@
+//! `trace-dump` — inspector for `--trace-out` JSONL event traces.
+//!
+//! Reads a trace produced by any figure binary and prints:
+//!
+//! - event counts by kind,
+//! - the top-N hottest IX-cache sets by probe count,
+//! - the short-circuit depth distribution of non-scan probe hits,
+//! - eviction and admission reason counters,
+//! - the tuner decision timeline.
+//!
+//! With `--check-hits <manifest.json>` it additionally cross-checks the
+//! per-level non-scan hit counts reconstructed from the trace against the
+//! `hit_levels` statistics recorded in the run manifest — the two are
+//! independent paths through the simulator and must agree exactly.
+//!
+//! Run: `cargo run -p metal-bench --bin trace_dump -- trace.jsonl
+//!       [--top N] [--check-hits manifest.json]`
+
+use metal_obs::Json;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+/// Everything the summaries need, folded from one pass over the trace.
+#[derive(Default)]
+struct TraceSummary {
+    lines: u64,
+    by_kind: BTreeMap<String, u64>,
+    /// (index, set) → probe count.
+    probes_by_set: BTreeMap<(u64, u64), u64>,
+    /// Walk levels skipped per non-scan probe hit.
+    short_circuit: BTreeMap<u64, u64>,
+    /// (run, design) → level → non-scan hit count.
+    hits_by_run: BTreeMap<(String, String), BTreeMap<u64, u64>>,
+    evict_reasons: BTreeMap<String, u64>,
+    admit_reasons: BTreeMap<String, u64>,
+    bypass_reasons: BTreeMap<String, u64>,
+    /// Tuner decisions as (at, line description).
+    tuner: Vec<(u64, String)>,
+}
+
+fn str_field(v: &Json, key: &str) -> String {
+    v.get(key)
+        .and_then(|f| f.as_str())
+        .unwrap_or("?")
+        .to_string()
+}
+
+fn u64_field(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(|f| f.as_u64()).unwrap_or(0)
+}
+
+impl TraceSummary {
+    fn observe(&mut self, v: &Json) {
+        self.lines += 1;
+        let kind = str_field(v, "ev");
+        *self.by_kind.entry(kind.clone()).or_insert(0) += 1;
+        match kind.as_str() {
+            "ix_probe" => {
+                let index = u64_field(v, "index");
+                let set = u64_field(v, "set");
+                *self.probes_by_set.entry((index, set)).or_insert(0) += 1;
+                let hit = v.get("hit").and_then(|f| f.as_bool()).unwrap_or(false);
+                let scan = v.get("scan").and_then(|f| f.as_bool()).unwrap_or(false);
+                if hit && !scan {
+                    *self
+                        .short_circuit
+                        .entry(u64_field(v, "short_circuit"))
+                        .or_insert(0) += 1;
+                    let run = str_field(v, "run");
+                    let design = str_field(v, "design");
+                    *self
+                        .hits_by_run
+                        .entry((run, design))
+                        .or_default()
+                        .entry(u64_field(v, "level"))
+                        .or_insert(0) += 1;
+                }
+            }
+            "evict" => {
+                *self
+                    .evict_reasons
+                    .entry(str_field(v, "reason"))
+                    .or_insert(0) += 1;
+            }
+            "insert" => {
+                *self
+                    .admit_reasons
+                    .entry(str_field(v, "reason"))
+                    .or_insert(0) += 1;
+            }
+            "bypass" => {
+                *self
+                    .bypass_reasons
+                    .entry(str_field(v, "reason"))
+                    .or_insert(0) += 1;
+            }
+            "tuner_decision" => {
+                let at = u64_field(v, "at");
+                self.tuner.push((
+                    at,
+                    format!(
+                        "at={at} run={} design={} shard={} index={} batch={} {}: {} -> {}",
+                        str_field(v, "run"),
+                        str_field(v, "design"),
+                        u64_field(v, "shard"),
+                        u64_field(v, "index"),
+                        u64_field(v, "batch"),
+                        str_field(v, "param"),
+                        u64_field(v, "from"),
+                        u64_field(v, "to"),
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    fn print(&self, top: usize) {
+        println!("# trace-dump: {} events", self.lines);
+        println!();
+        println!("## events by kind");
+        for (kind, n) in &self.by_kind {
+            println!("{kind:>16}  {n}");
+        }
+
+        println!();
+        println!("## top {top} hottest sets by probe count (index, set)");
+        let mut sets: Vec<_> = self.probes_by_set.iter().collect();
+        sets.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (&(index, set), n) in sets.into_iter().take(top) {
+            let label = if set == u64::from(u32::MAX) {
+                "wide".to_string()
+            } else {
+                set.to_string()
+            };
+            println!("index {index} set {label:>6}  {n}");
+        }
+
+        println!();
+        println!("## short-circuit depth distribution (non-scan hits)");
+        for (depth, n) in &self.short_circuit {
+            println!("skip {depth:>2} levels  {n}");
+        }
+
+        println!();
+        println!("## admission / eviction reasons");
+        for (reason, n) in &self.admit_reasons {
+            println!("insert {reason:>14}  {n}");
+        }
+        for (reason, n) in &self.bypass_reasons {
+            println!("bypass {reason:>14}  {n}");
+        }
+        for (reason, n) in &self.evict_reasons {
+            println!("evict  {reason:>14}  {n}");
+        }
+
+        println!();
+        println!(
+            "## tuner decision timeline ({} decisions)",
+            self.tuner.len()
+        );
+        let mut tuner = self.tuner.clone();
+        tuner.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (_, line) in &tuner {
+            println!("{line}");
+        }
+    }
+
+    /// Cross-checks trace-derived per-level hit counts against the
+    /// manifest's `hit_levels`. Returns the number of mismatches.
+    fn check_hits(&self, manifest: &Json) -> u64 {
+        let mut mismatches = 0;
+        let Some(reports) = manifest.get("reports").and_then(|r| r.as_arr()) else {
+            eprintln!("check-hits: manifest has no reports array");
+            return 1;
+        };
+        for report in reports {
+            let workload = str_field(report, "workload");
+            let design = str_field(report, "design");
+            let levels: Vec<u64> = report
+                .get("stats")
+                .and_then(|s| s.get("hit_levels"))
+                .and_then(|h| h.as_arr())
+                .map(|a| a.iter().filter_map(|x| x.as_u64()).collect())
+                .unwrap_or_default();
+            let traced = self
+                .hits_by_run
+                .get(&(workload.clone(), design.clone()))
+                .cloned()
+                .unwrap_or_default();
+            let depth = levels
+                .len()
+                .max(traced.keys().next_back().map_or(0, |&l| l as usize + 1));
+            for level in 0..depth {
+                let want = levels.get(level).copied().unwrap_or(0);
+                let got = traced.get(&(level as u64)).copied().unwrap_or(0);
+                if want != got {
+                    mismatches += 1;
+                    println!(
+                        "MISMATCH {workload}/{design} level {level}: manifest {want}, trace {got}"
+                    );
+                }
+            }
+        }
+        if mismatches == 0 {
+            println!(
+                "check-hits: per-level hit counts match for all {} reports",
+                reports.len()
+            );
+        }
+        mismatches
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_dump <trace.jsonl> [--top N] [--check-hits <manifest.json>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path = None;
+    let mut manifest_path = None;
+    let mut top = 10usize;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => return usage(),
+            },
+            "--check-hits" => match it.next() {
+                Some(p) => manifest_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            p if trace_path.is_none() => trace_path = Some(p.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return usage();
+    };
+
+    let file = match File::open(&trace_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace_dump: cannot open {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut summary = TraceSummary::default();
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("trace_dump: read error at line {}: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(&line) {
+            Ok(v) => summary.observe(&v),
+            Err(e) => {
+                eprintln!("trace_dump: bad JSON at line {}: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    summary.print(top);
+
+    if let Some(path) = manifest_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_dump: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let manifest = match Json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("trace_dump: bad manifest JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!();
+        if summary.check_hits(&manifest) > 0 {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -11,12 +11,20 @@
 //! and machine-parsable.
 
 use metal_core::models::DesignSpec;
-use metal_core::runner::{run_design, RunConfig, RunReport, DEFAULT_SHARD_WALKS};
+use metal_core::runner::{run_design, ObsConfig, RunConfig, RunReport, DEFAULT_SHARD_WALKS};
 use metal_core::IxConfig;
+use metal_obs::manifest::RunManifest;
+use metal_obs::{ChromeTraceSink, ChromeTraceWriter, JsonlSink, JsonlWriter, MetricsRegistry};
+use metal_sim::obs::{shared, EventSink, MultiSink};
+use metal_sim::stats::RunStats;
 use metal_workloads::{BuiltWorkload, Scale, Workload};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// Command-line arguments shared by all harness binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Dataset/run scale.
     pub scale: Scale,
@@ -31,6 +39,14 @@ pub struct HarnessArgs {
     /// into partitioned-accelerator semantics and *changes results* (see
     /// `metal_core::runner`'s module docs).
     pub shard_walks: u64,
+    /// `--trace-out PATH`: write a JSONL event trace to PATH and a
+    /// Chrome `trace_event` export next to it (`PATH` with a
+    /// `.chrome.json` extension). Observe-only; CSV output is unchanged.
+    pub trace_out: Option<PathBuf>,
+    /// `--metrics-out PATH`: write a run-manifest JSON (configuration,
+    /// seed, git revision, wall clock, full per-design statistics and
+    /// aggregated event metrics) to PATH.
+    pub metrics_out: Option<PathBuf>,
 }
 
 /// The `METAL_SHARDS` worker-count override, `0` (= all cores) when the
@@ -49,6 +65,8 @@ impl Default for HarnessArgs {
             cache_bytes: 64 * 1024,
             shards: env_shards(),
             shard_walks: DEFAULT_SHARD_WALKS,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -63,6 +81,8 @@ impl HarnessArgs {
     ///   `METAL_SHARDS`)
     /// - `--shard-walks N` (logical-shard grain; opt-in, changes the
     ///   simulated machine model; 0 = unbounded default)
+    /// - `--trace-out PATH` (JSONL event trace + Chrome export)
+    /// - `--metrics-out PATH` (run-manifest JSON)
     ///
     /// Unknown flags are ignored so figure-specific binaries can add
     /// their own.
@@ -89,15 +109,19 @@ impl HarnessArgs {
                 "--walks" => out.scale.walks = next_u64(&mut it, "--walks"),
                 "--depth" => out.scale.depth = next_u64(&mut it, "--depth") as u8,
                 "--seed" => out.scale.seed = next_u64(&mut it, "--seed"),
-                "--cache-kb" => {
-                    out.cache_bytes = next_u64(&mut it, "--cache-kb") as usize * 1024
-                }
+                "--cache-kb" => out.cache_bytes = next_u64(&mut it, "--cache-kb") as usize * 1024,
                 "--shards" => out.shards = next_u64(&mut it, "--shards") as usize,
                 "--shard-walks" => {
                     out.shard_walks = match next_u64(&mut it, "--shard-walks") {
                         0 => DEFAULT_SHARD_WALKS,
                         n => n,
                     }
+                }
+                "--trace-out" => {
+                    out.trace_out = Some(PathBuf::from(next_str(&mut it, "--trace-out")))
+                }
+                "--metrics-out" => {
+                    out.metrics_out = Some(PathBuf::from(next_str(&mut it, "--metrics-out")))
                 }
                 _ => {}
             }
@@ -121,6 +145,201 @@ fn next_u64(it: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
         .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
 }
 
+fn next_str(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| panic!("{flag} needs an argument"))
+}
+
+/// Heartbeat period from `METAL_HEARTBEAT_SECS` (default 5; 0 disables).
+fn heartbeat_period() -> Option<Duration> {
+    let secs = std::env::var("METAL_HEARTBEAT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(5);
+    (secs > 0).then(|| Duration::from_secs(secs))
+}
+
+/// Background stderr progress reporter; exits when its `Session` drops
+/// the channel sender.
+struct Heartbeat {
+    stop: Option<mpsc::Sender<()>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn spawn(run: String, progress: Arc<AtomicU64>, period: Duration) -> Self {
+        let (tx, rx) = mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            while let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(period) {
+                eprintln!(
+                    "# [{run}] heartbeat: {} walks simulated, {:.0}s elapsed",
+                    progress.load(Ordering::Relaxed),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+        });
+        Heartbeat {
+            stop: Some(tx),
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        drop(self.stop.take()); // disconnects the channel → thread exits
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-binary observability session: owns the trace writers, metrics
+/// registry, run manifest and heartbeat configured by [`HarnessArgs`],
+/// and hands out [`RunConfig`]s wired to them.
+///
+/// Usage pattern (see any figure binary):
+///
+/// ```ignore
+/// let args = HarnessArgs::parse();
+/// let mut session = Session::new("fig20_breakdown", &args);
+/// let report = run_one(w, args.scale, &spec, None, session.config("spmm/ix"));
+/// session.record("spmm/ix", &report.design, &report.stats);
+/// session.finish();
+/// ```
+///
+/// With neither `--trace-out` nor `--metrics-out` the sink factory is
+/// absent and simulations run exactly as without a session (only the
+/// progress counter is attached, which no statistic reads).
+pub struct Session {
+    args: HarnessArgs,
+    manifest: RunManifest,
+    started: Instant,
+    jsonl: Option<Arc<JsonlWriter>>,
+    chrome: Option<Arc<ChromeTraceWriter>>,
+    chrome_path: Option<PathBuf>,
+    registry: Option<Arc<MetricsRegistry>>,
+    progress: Arc<AtomicU64>,
+    _heartbeat: Option<Heartbeat>,
+}
+
+impl Session {
+    /// Opens a session for binary `run`, creating the output files named
+    /// by `args` up front (so path errors surface before simulating).
+    pub fn new(run: &str, args: &HarnessArgs) -> Session {
+        let mut manifest = RunManifest::new(run);
+        manifest.arg("scale_keys", args.scale.keys);
+        manifest.arg("scale_walks", args.scale.walks);
+        manifest.arg("scale_depth", args.scale.depth);
+        manifest.arg("seed", args.scale.seed);
+        manifest.arg("cache_bytes", args.cache_bytes);
+        manifest.arg("shards", args.shards);
+        manifest.arg("shard_walks", args.shard_walks);
+
+        let jsonl = args.trace_out.as_ref().map(|p| {
+            JsonlWriter::create(p).unwrap_or_else(|e| panic!("--trace-out {}: {e}", p.display()))
+        });
+        let chrome_path = args
+            .trace_out
+            .as_ref()
+            .map(|p| p.with_extension("chrome.json"));
+        let chrome = chrome_path.as_ref().map(|_| ChromeTraceWriter::new());
+        let registry = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+
+        let progress = Arc::new(AtomicU64::new(0));
+        let heartbeat = heartbeat_period()
+            .map(|period| Heartbeat::spawn(run.to_string(), progress.clone(), period));
+
+        Session {
+            args: args.clone(),
+            manifest,
+            started: Instant::now(),
+            jsonl,
+            chrome,
+            chrome_path,
+            registry,
+            progress,
+            _heartbeat: heartbeat,
+        }
+    }
+
+    /// A [`RunConfig`] for one simulation batch, wired to this session's
+    /// sinks. `scope` labels the batch in traces and manifests (use
+    /// `"workload"` or `"workload/variant"`); pass the same scope to
+    /// [`Session::record`] so `trace-dump --check-hits` can match trace
+    /// events to manifest reports.
+    pub fn config(&self, scope: &str) -> RunConfig {
+        let mut obs = ObsConfig {
+            sink_factory: None,
+            progress: Some(self.progress.clone()),
+        };
+        if self.jsonl.is_some() || self.registry.is_some() {
+            let jsonl = self.jsonl.clone();
+            let chrome = self.chrome.clone();
+            let registry = self.registry.clone();
+            let scope = scope.to_string();
+            obs.sink_factory = Some(Arc::new(move |ctx| {
+                let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
+                if let Some(w) = &jsonl {
+                    sinks.push(Box::new(JsonlSink::new(
+                        w.clone(),
+                        &scope,
+                        &ctx.design,
+                        ctx.shard,
+                    )));
+                }
+                if let Some(c) = &chrome {
+                    sinks.push(Box::new(ChromeTraceSink::new(
+                        c.clone(),
+                        &ctx.design,
+                        ctx.shard,
+                    )));
+                }
+                if let Some(r) = &registry {
+                    sinks.push(Box::new(r.sink()));
+                }
+                (!sinks.is_empty()).then(|| shared(MultiSink::new(sinks)))
+            }));
+        }
+        self.args.run_config().with_obs(obs)
+    }
+
+    /// Adds one simulated (scope, design) result to the manifest.
+    pub fn record(&mut self, scope: &str, design: &str, stats: &RunStats) {
+        self.manifest.push_report(scope, design, stats);
+    }
+
+    /// Total walks simulated so far (the heartbeat's counter).
+    pub fn walks_simulated(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Closes the session: stops the heartbeat, stamps the wall clock
+    /// and writes the Chrome export and the manifest (when requested).
+    pub fn finish(mut self) {
+        self.manifest.wall_clock_secs = self.started.elapsed().as_secs_f64();
+        self.manifest.metrics = self.registry.as_ref().map(|r| r.snapshot());
+        if let (Some(chrome), Some(path)) = (&self.chrome, &self.chrome_path) {
+            if let Err(e) = chrome.save(path) {
+                eprintln!("# warning: chrome trace {}: {e}", path.display());
+            } else {
+                eprintln!("# wrote chrome trace: {}", path.display());
+            }
+        }
+        if let Some(p) = &self.args.trace_out {
+            eprintln!("# wrote event trace: {}", p.display());
+        }
+        if let Some(p) = &self.args.metrics_out {
+            if let Err(e) = self.manifest.save(p) {
+                eprintln!("# warning: manifest {}: {e}", p.display());
+            } else {
+                eprintln!("# wrote run manifest: {}", p.display());
+            }
+        }
+    }
+}
+
 /// The set of designs most figures compare, sized to `cache_bytes` and
 /// configured with the workload's Table 2 descriptors.
 pub fn figure_designs(built: &BuiltWorkload, cache_bytes: usize) -> Vec<(String, DesignSpec)> {
@@ -128,15 +347,9 @@ pub fn figure_designs(built: &BuiltWorkload, cache_bytes: usize) -> Vec<(String,
     let ix = IxConfig::with_capacity_bytes(cache_bytes);
     vec![
         ("stream".into(), DesignSpec::Stream),
-        (
-            "address".into(),
-            DesignSpec::Address { entries, ways: 16 },
-        ),
+        ("address".into(), DesignSpec::Address { entries, ways: 16 }),
         ("fa-opt".into(), DesignSpec::FaOpt { entries }),
-        (
-            "x-cache".into(),
-            DesignSpec::XCache { entries, ways: 16 },
-        ),
+        ("x-cache".into(), DesignSpec::XCache { entries, ways: 16 }),
         ("metal-ix".into(), DesignSpec::MetalIx { ix }),
         (
             "metal".into(),

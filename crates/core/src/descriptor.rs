@@ -20,6 +20,7 @@
 //! - [`Descriptor::Or`] — union of two patterns (Table 2's "Node+Branch").
 
 use metal_index::walk::NodeInfo;
+use metal_sim::obs::AdmitReason;
 
 /// Pattern-controller verdict for one walked node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +81,10 @@ impl LevelDescriptor {
     ///
     /// Panics if `lower > upper`.
     pub fn band(lower: u8, upper: u8) -> Self {
-        assert!(lower <= upper, "band lower ({lower}) must be ≤ upper ({upper})");
+        assert!(
+            lower <= upper,
+            "band lower ({lower}) must be ≤ upper ({upper})"
+        );
         LevelDescriptor { lower, upper }
     }
 
@@ -137,39 +141,52 @@ impl Descriptor {
 
     /// Decides whether `info` should be inserted into the IX-cache.
     pub fn admit(&self, info: &NodeInfo, ctx: &AdmitCtx) -> Admit {
+        self.decide(info, ctx).0
+    }
+
+    /// Decides admission and reports *which pattern arm* decided — the
+    /// telemetry behind `Insert`/`Bypass` events. For [`Descriptor::Or`],
+    /// an admitting arm reports its own reason (left arm preferred when
+    /// both admit); a double bypass reports [`AdmitReason::Composite`].
+    pub fn decide(&self, info: &NodeInfo, ctx: &AdmitCtx) -> (Admit, AdmitReason) {
         match self {
-            Descriptor::All => Admit::Insert { life: 0 },
-            Descriptor::None => Admit::Bypass,
+            Descriptor::All => (Admit::Insert { life: 0 }, AdmitReason::All),
+            Descriptor::None => (Admit::Bypass, AdmitReason::None),
             Descriptor::Node(d) => {
-                if info.level == d.level {
+                let verdict = if info.level == d.level {
                     Admit::Insert {
                         life: if d.use_life_hint { ctx.life_hint } else { 0 },
                     }
                 } else {
                     Admit::Bypass
-                }
+                };
+                (verdict, AdmitReason::NodeLevel)
             }
             Descriptor::Level(d) => {
-                if d.lower <= info.level && info.level <= d.upper {
+                let verdict = if d.lower <= info.level && info.level <= d.upper {
                     Admit::Insert { life: 0 }
                 } else {
                     Admit::Bypass
-                }
+                };
+                (verdict, AdmitReason::LevelBand)
             }
             Descriptor::Branch(d) => {
                 let (lo, hi) = d.window();
-                if info.level <= d.depth && info.lo <= hi && lo <= info.hi {
+                let verdict = if info.level <= d.depth && info.lo <= hi && lo <= info.hi {
                     Admit::Insert { life: 0 }
                 } else {
                     Admit::Bypass
-                }
+                };
+                (verdict, AdmitReason::BranchWindow)
             }
-            Descriptor::Or(a, b) => match (a.admit(info, ctx), b.admit(info, ctx)) {
-                (Admit::Insert { life: l1 }, Admit::Insert { life: l2 }) => {
-                    Admit::Insert { life: l1.max(l2) }
+            Descriptor::Or(a, b) => match (a.decide(info, ctx), b.decide(info, ctx)) {
+                ((Admit::Insert { life: l1 }, r1), (Admit::Insert { life: l2 }, _)) => {
+                    (Admit::Insert { life: l1.max(l2) }, r1)
                 }
-                (ins @ Admit::Insert { .. }, _) | (_, ins @ Admit::Insert { .. }) => ins,
-                _ => Admit::Bypass,
+                ((ins @ Admit::Insert { .. }, r), _) | (_, (ins @ Admit::Insert { .. }, r)) => {
+                    (ins, r)
+                }
+                _ => (Admit::Bypass, AdmitReason::Composite),
             },
         }
     }
@@ -285,6 +302,53 @@ mod tests {
         assert_eq!(d.admit(&node(2, 45, 55), &ctx), Admit::Insert { life: 0 });
         // Level-5 node outside: bypass.
         assert_eq!(d.admit(&node(5, 500, 600), &ctx), Admit::Bypass);
+    }
+
+    #[test]
+    fn decide_reports_the_deciding_arm() {
+        let ctx = AdmitCtx { life_hint: 3 };
+        assert_eq!(
+            Descriptor::All.decide(&node(1, 0, 9), &ctx).1,
+            AdmitReason::All
+        );
+        assert_eq!(
+            Descriptor::Node(NodeDescriptor::leaves())
+                .decide(&node(0, 0, 9), &ctx)
+                .1,
+            AdmitReason::NodeLevel
+        );
+        let d = Descriptor::or(
+            Descriptor::Node(NodeDescriptor::leaves()),
+            Descriptor::Branch(BranchDescriptor {
+                pivot: 50,
+                halfwidth: 10,
+                depth: 3,
+            }),
+        );
+        // Only the branch arm admits a level-2 node in the window.
+        assert_eq!(
+            d.decide(&node(2, 45, 55), &ctx).1,
+            AdmitReason::BranchWindow
+        );
+        // Both arms admit a leaf in the window: left arm's reason wins.
+        assert_eq!(d.decide(&node(0, 45, 55), &ctx).1, AdmitReason::NodeLevel);
+        // Both bypass: composite.
+        let (v, r) = d.decide(&node(5, 500, 600), &ctx);
+        assert_eq!(v, Admit::Bypass);
+        assert_eq!(r, AdmitReason::Composite);
+    }
+
+    #[test]
+    fn decide_agrees_with_admit() {
+        let d = Descriptor::or(
+            Descriptor::Level(LevelDescriptor::band(1, 2)),
+            Descriptor::Node(NodeDescriptor::leaves()),
+        );
+        let ctx = AdmitCtx { life_hint: 9 };
+        for l in 0..6 {
+            let n = node(l, 10, 20);
+            assert_eq!(d.admit(&n, &ctx), d.decide(&n, &ctx).0);
+        }
     }
 
     #[test]

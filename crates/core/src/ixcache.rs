@@ -40,6 +40,7 @@
 //! pressure erodes stale pins so the cache can never wedge fully pinned.
 
 use crate::range::KeyRange;
+use metal_sim::obs::{EvictReason, WIDE_SET};
 use metal_sim::types::{Key, BLOCK_BYTES};
 
 /// Maximum value of the 4-bit saturating utility counter.
@@ -115,7 +116,36 @@ struct Entry {
     utility: u8,
     /// Remaining pinned hits; entry is unevictable while > 0.
     life: u32,
+    /// Whether the entry was ever lifetime-pinned (telemetry: its
+    /// eventual eviction is attributed to pin erosion, not capacity).
+    pinned: bool,
     tick: u64,
+}
+
+/// Telemetry record of one eviction (drained via
+/// [`IxCache::drain_evictions`] when recording is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictRecord {
+    /// Index the evicted entry belonged to.
+    pub index: IndexId,
+    /// Level of the evicted entry.
+    pub level: u8,
+    /// Set it was evicted from ([`WIDE_SET`] for the wide partition).
+    pub set: u32,
+    /// Why it was chosen.
+    pub reason: EvictReason,
+}
+
+/// Telemetry record of one physical entry creation (after dedup and
+/// coalescing; drained via [`IxCache::drain_fills`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillRecord {
+    /// Index the new entry belongs to.
+    pub index: IndexId,
+    /// Entry level.
+    pub level: u8,
+    /// Placement set ([`WIDE_SET`] for the wide partition).
+    pub set: u32,
 }
 
 impl Entry {
@@ -123,10 +153,7 @@ impl Entry {
         if self.index != index || !self.span.covers(key) {
             return None;
         }
-        self.segs
-            .iter()
-            .find(|(r, _)| r.covers(key))
-            .copied()
+        self.segs.iter().find(|(r, _)| r.covers(key)).copied()
     }
 }
 
@@ -167,6 +194,10 @@ pub struct IxCache {
     wide_hand: usize,
     tick: u64,
     stats: IxStats,
+    /// Telemetry recording is opt-in so unobserved runs allocate nothing.
+    record: bool,
+    recent_evictions: Vec<EvictRecord>,
+    recent_fills: Vec<FillRecord>,
 }
 
 impl IxCache {
@@ -193,6 +224,9 @@ impl IxCache {
             wide_hand: 0,
             tick: 0,
             stats: IxStats::default(),
+            record: false,
+            recent_evictions: Vec::new(),
+            recent_fills: Vec::new(),
         }
     }
 
@@ -204,6 +238,45 @@ impl IxCache {
     /// Internal counters.
     pub fn stats(&self) -> &IxStats {
         &self.stats
+    }
+
+    /// Enables or disables telemetry recording of evictions and fills.
+    /// Disabled by default; recording is observe-only and changes no
+    /// cache behaviour or statistic.
+    pub fn set_recording(&mut self, on: bool) {
+        self.record = on;
+        if !on {
+            self.recent_evictions = Vec::new();
+            self.recent_fills = Vec::new();
+        }
+    }
+
+    /// Drains the eviction records accumulated since the last drain.
+    pub fn drain_evictions(&mut self) -> std::vec::Drain<'_, EvictRecord> {
+        self.recent_evictions.drain(..)
+    }
+
+    /// Drains the fill records accumulated since the last drain.
+    pub fn drain_fills(&mut self) -> std::vec::Drain<'_, FillRecord> {
+        self.recent_fills.drain(..)
+    }
+
+    /// The narrow set a probe for `key` in `index` selects (telemetry:
+    /// identifies hot sets in traces).
+    pub fn probe_set(&self, index: IndexId, key: Key) -> u32 {
+        self.set_of(index, key) as u32
+    }
+
+    /// Where an insert of `range` would be placed: its narrow set index,
+    /// or [`WIDE_SET`] when the range straddles a key-block boundary and
+    /// must live in the wide partition.
+    pub fn placement_set(&self, index: IndexId, range: &KeyRange) -> u32 {
+        let b = self.cfg.key_block_bits;
+        if (range.lo >> b) != (range.hi >> b) {
+            WIDE_SET
+        } else {
+            self.set_of(index, range.lo) as u32
+        }
     }
 
     fn set_of(&self, index: IndexId, key: Key) -> usize {
@@ -286,15 +359,28 @@ impl IxCache {
         self.tick += 1;
         let n_blocks = bytes.max(1).div_ceil(BLOCK_BYTES) as usize;
         if n_blocks == 1 {
-            self.insert_one(index, node, range, level, bytes.max(1), life);
+            self.insert_one(index, node, range, level, bytes.max(1), life, false);
         } else {
             // Case 2: split the node across multiple entries.
             for sub in range.split(n_blocks) {
-                self.insert_one(index, node, sub, level, BLOCK_BYTES, life);
+                self.insert_one(index, node, sub, level, BLOCK_BYTES, life, true);
             }
         }
     }
 
+    /// Attributes an eviction for telemetry: pin erosion dominates, then
+    /// displacement by a multi-entry split insert, then plain capacity.
+    fn evict_reason(victim: &Entry, split: bool) -> EvictReason {
+        if victim.pinned {
+            EvictReason::Lifetime
+        } else if split {
+            EvictReason::RangeSplit
+        } else {
+            EvictReason::Capacity
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn insert_one(
         &mut self,
         index: IndexId,
@@ -303,6 +389,7 @@ impl IxCache {
         level: u8,
         bytes: u64,
         life: u32,
+        split: bool,
     ) {
         // Already present? Refresh instead of duplicating.
         if self.find_existing(index, node, &range, level) {
@@ -344,18 +431,36 @@ impl IxCache {
             payload_bytes: bytes,
             utility: 1,
             life,
+            pinned: life > 0,
             tick: self.tick,
         };
         self.stats.inserts += 1;
+        let record = self.record;
 
         if wide {
             while self.occupancy() >= self.cfg.entries {
                 if let Some(v) = Self::victim_clock(&mut self.wide, &mut self.wide_hand) {
+                    if record {
+                        let victim = &self.wide[v];
+                        self.recent_evictions.push(EvictRecord {
+                            index: victim.index,
+                            level: victim.level,
+                            set: WIDE_SET,
+                            reason: Self::evict_reason(victim, split),
+                        });
+                    }
                     self.wide.swap_remove(v);
                     self.stats.evictions += 1;
                 } else {
                     return; // everything pinned: bypass
                 }
+            }
+            if record {
+                self.recent_fills.push(FillRecord {
+                    index,
+                    level,
+                    set: WIDE_SET,
+                });
             }
             self.wide.push(entry);
         } else {
@@ -366,6 +471,15 @@ impl IxCache {
                 if let Some(v) =
                     Self::victim_clock(&mut self.sets[set_idx], &mut self.set_hands[set_idx])
                 {
+                    if record {
+                        let victim = &self.sets[set_idx][v];
+                        self.recent_evictions.push(EvictRecord {
+                            index: victim.index,
+                            level: victim.level,
+                            set: set_idx as u32,
+                            reason: Self::evict_reason(victim, split),
+                        });
+                    }
                     self.sets[set_idx].swap_remove(v);
                     self.stats.evictions += 1;
                 } else {
@@ -374,16 +488,41 @@ impl IxCache {
             } else if self.occupancy() >= self.cfg.entries {
                 // Total budget full: reclaim from the wide partition first.
                 if let Some(v) = Self::victim_clock(&mut self.wide, &mut self.wide_hand) {
+                    if record {
+                        let victim = &self.wide[v];
+                        self.recent_evictions.push(EvictRecord {
+                            index: victim.index,
+                            level: victim.level,
+                            set: WIDE_SET,
+                            reason: Self::evict_reason(victim, split),
+                        });
+                    }
                     self.wide.swap_remove(v);
                     self.stats.evictions += 1;
                 } else if let Some(v) =
                     Self::victim_clock(&mut self.sets[set_idx], &mut self.set_hands[set_idx])
                 {
+                    if record {
+                        let victim = &self.sets[set_idx][v];
+                        self.recent_evictions.push(EvictRecord {
+                            index: victim.index,
+                            level: victim.level,
+                            set: set_idx as u32,
+                            reason: Self::evict_reason(victim, split),
+                        });
+                    }
                     self.sets[set_idx].swap_remove(v);
                     self.stats.evictions += 1;
                 } else {
                     return;
                 }
+            }
+            if record {
+                self.recent_fills.push(FillRecord {
+                    index,
+                    level,
+                    set: set_idx as u32,
+                });
             }
             self.sets[set_idx].push(entry);
         }
@@ -392,11 +531,11 @@ impl IxCache {
     fn find_existing(&mut self, index: IndexId, node: u32, range: &KeyRange, level: u8) -> bool {
         let tick = self.tick;
         let set_idx = self.set_of(index, range.lo);
-        for e in self.sets[set_idx]
-            .iter_mut()
-            .chain(self.wide.iter_mut())
-        {
-            if e.index == index && e.level == level && e.segs.iter().any(|&(r, n)| n == node && r == *range) {
+        for e in self.sets[set_idx].iter_mut().chain(self.wide.iter_mut()) {
+            if e.index == index
+                && e.level == level
+                && e.segs.iter().any(|&(r, n)| n == node && r == *range)
+            {
                 e.tick = tick;
                 return true;
             }
@@ -524,7 +663,10 @@ mod tests {
         // b = 4 → key blocks of 16; a 100-wide range is a wide entry.
         c.insert(0, 1, KeyRange::new(0, 99), 4, 64, 0);
         assert_eq!(c.occupancy(), 1);
-        assert!(c.probe(0, 77).is_some(), "wide entries match any covered key");
+        assert!(
+            c.probe(0, 77).is_some(),
+            "wide entries match any covered key"
+        );
     }
 
     #[test]
@@ -651,6 +793,87 @@ mod tests {
         assert_eq!(c.stats().probes, 3);
         assert_eq!(c.stats().misses, 2);
         assert!((c.stats().miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recording_captures_fills_and_evictions_with_reasons() {
+        let mut c = IxCache::new(IxConfig {
+            entries: 4,
+            ways: 2,
+            key_block_bits: 20, // one key block → one set
+            wide_fraction: 0.5,
+        });
+        c.set_recording(true);
+        c.insert(0, 1, KeyRange::new(0, 10), 0, 64, 0);
+        c.insert(0, 2, KeyRange::new(20, 30), 0, 64, 0);
+        assert_eq!(c.drain_fills().count(), 2);
+        assert_eq!(c.drain_evictions().count(), 0);
+        // Third insert into the full 2-way set evicts for capacity.
+        c.insert(0, 3, KeyRange::new(40, 50), 0, 64, 0);
+        let evs: Vec<_> = c.drain_evictions().collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].reason, EvictReason::Capacity);
+        assert_ne!(evs[0].set, WIDE_SET);
+    }
+
+    #[test]
+    fn recording_attributes_pin_erosion_to_lifetime() {
+        let mut c = IxCache::new(IxConfig {
+            entries: 2,
+            ways: 2,
+            key_block_bits: 20,
+            wide_fraction: 0.5,
+        });
+        c.set_recording(true);
+        // Both residents pinned with tiny lives: eviction pressure erodes
+        // the pins, and the eventual victim is reported as Lifetime.
+        c.insert(0, 1, KeyRange::new(0, 10), 0, 64, 1);
+        c.insert(0, 2, KeyRange::new(20, 30), 0, 64, 1);
+        c.drain_fills().count();
+        c.insert(0, 3, KeyRange::new(40, 50), 0, 64, 0);
+        let evs: Vec<_> = c.drain_evictions().collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].reason, EvictReason::Lifetime);
+    }
+
+    #[test]
+    fn recording_off_is_free_and_identical() {
+        let run = |record: bool| {
+            let mut c = IxCache::new(IxConfig {
+                entries: 4,
+                ways: 2,
+                key_block_bits: 4,
+                wide_fraction: 0.5,
+            });
+            c.set_recording(record);
+            for n in 0..20u32 {
+                let lo = (n as u64) * 8;
+                c.insert(0, n, KeyRange::new(lo, lo + 5), (n % 3) as u8, 64, 0);
+                c.probe(0, lo + 2);
+            }
+            (
+                c.occupancy(),
+                c.stats().probes,
+                c.stats().misses,
+                c.stats().inserts,
+                c.stats().evictions,
+            )
+        };
+        assert_eq!(run(false), run(true), "recording is observe-only");
+        let mut c = cache(64);
+        c.insert(0, 1, KeyRange::new(0, 10), 0, 64, 0);
+        assert_eq!(c.drain_fills().count(), 0, "no records when disabled");
+    }
+
+    #[test]
+    fn placement_and_probe_sets_agree_for_narrow_ranges() {
+        let c = cache(64);
+        let r = KeyRange::new(32, 35); // inside one 16-key block
+        let set = c.placement_set(0, &r);
+        assert_ne!(set, WIDE_SET);
+        assert_eq!(set, c.probe_set(0, 33));
+        let wide = KeyRange::new(0, 99);
+        assert_eq!(c.placement_set(0, &wide), WIDE_SET);
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub mod prelude {
     pub use crate::models::{DesignSpec, Experiment};
     pub use crate::range::KeyRange;
     pub use crate::request::WalkRequest;
-    pub use crate::runner::{run_comparison, run_design, RunConfig, RunReport};
+    pub use crate::runner::{
+        run_comparison, run_design, ObsConfig, RunConfig, RunReport, ShardCtx, SinkFactory,
+    };
     pub use crate::tuner::Tuner;
 }
 

@@ -24,19 +24,22 @@
 //! memory parallelism and DRAM contention.
 
 use crate::descriptor::{Admit, AdmitCtx, Descriptor};
-use crate::ixcache::{IxCache, IxConfig};
+use crate::ixcache::{EvictRecord, FillRecord, IxCache, IxConfig};
 use crate::metrics::WindowedWorkingSet;
 use crate::range::KeyRange;
 use crate::request::WalkRequest;
-use crate::tuner::Tuner;
+use crate::tuner::{TuneDecision, Tuner};
 use metal_index::arena::NodeId;
 use metal_index::walk::{Descend, NodeInfo, WalkIndex};
 use metal_sim::caches::{AddressCache, KeyCache, OptCache};
 use metal_sim::engine::{WalkProgram, WalkStep};
+use metal_sim::obs::{emit_to, Event, SharedSink};
 use metal_sim::stats::RunStats;
 use metal_sim::types::{blocks_spanned, Cycles, Key};
 use metal_sim::SimConfig;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The indexes and request stream of one experiment.
 ///
@@ -180,18 +183,20 @@ pub struct DesignModel<'a> {
     /// Statistics being accumulated (merged into the final report).
     pub stats: RunStats,
     ws: WindowedWorkingSet,
+    /// Optional telemetry sink; observe-only (see `metal_sim::obs`).
+    sink: Option<SharedSink>,
+    /// Latest simulated cycle seen from the engine; model-side events are
+    /// stamped with it (plan-time ≈ the lane's last wake time).
+    now: u64,
+    /// Optional cross-thread walk counter for heartbeat reporting.
+    progress: Option<Arc<AtomicU64>>,
 }
 
 impl<'a> DesignModel<'a> {
     /// Builds the model for `spec`, including the offline OPT pass for
     /// [`DesignSpec::FaOpt`]. `ws_window` is the working-set window in
     /// walks.
-    pub fn new(
-        spec: &DesignSpec,
-        exp: &'a Experiment<'a>,
-        cfg: SimConfig,
-        ws_window: u64,
-    ) -> Self {
+    pub fn new(spec: &DesignSpec, exp: &'a Experiment<'a>, cfg: SimConfig, ws_window: u64) -> Self {
         let state = match spec {
             DesignSpec::Stream => CacheState::Stream,
             DesignSpec::Address { entries, ways } => {
@@ -264,7 +269,34 @@ impl<'a> DesignModel<'a> {
             cursor: 0,
             stats: RunStats::new(),
             ws: WindowedWorkingSet::new(total_blocks, ws_window),
+            sink: None,
+            now: 0,
+            progress: None,
         }
+    }
+
+    /// Attaches (or detaches) a telemetry sink. Enables eviction/fill
+    /// recording on the IX-caches so `Fill`/`Evict` events can be
+    /// emitted; everything stays observe-only.
+    pub fn set_sink(&mut self, sink: Option<SharedSink>) {
+        let on = sink.is_some();
+        if let CacheState::Metal { caches, .. } = &mut self.state {
+            for c in caches {
+                c.set_recording(on);
+            }
+        }
+        self.sink = sink;
+    }
+
+    /// Attaches a shared walk counter incremented as each walk is planned
+    /// (heartbeat/progress reporting across worker threads).
+    pub fn set_progress(&mut self, progress: Option<Arc<AtomicU64>>) {
+        self.progress = progress;
+    }
+
+    /// Emits a model-side event at the current plan time.
+    fn emit(&self, ev: Event) {
+        emit_to(&self.sink, self.now, &ev);
     }
 
     /// The (first) IX-cache, if this design has one.
@@ -424,7 +456,12 @@ impl<'a> DesignModel<'a> {
             .saturating_add(self.cfg.energy.walker_fj);
     }
 
-    fn push_dram_node_access(&mut self, steps: &mut VecDeque<WalkStep>, addr: metal_sim::types::Addr, bytes: u64) {
+    fn push_dram_node_access(
+        &mut self,
+        steps: &mut VecDeque<WalkStep>,
+        addr: metal_sim::types::Addr,
+        bytes: u64,
+    ) {
         steps.push_back(WalkStep::Dram { addr, bytes });
         steps.push_back(WalkStep::Busy {
             cycles: self.cfg.node_search_latency,
@@ -434,7 +471,8 @@ impl<'a> DesignModel<'a> {
             .stats
             .walker_energy_fj
             .saturating_add(self.cfg.energy.walker_fj);
-        self.ws.touch_span(addr.block(), blocks_spanned(addr, bytes));
+        self.ws
+            .touch_span(addr.block(), blocks_spanned(addr, bytes));
     }
 
     fn push_dram_node_for(
@@ -599,7 +637,12 @@ impl<'a> DesignModel<'a> {
                 }
                 self.note_outcome(&leaf);
                 // Data object through the unified cache as well.
-                if let Descend::Leaf { found: true, value_addr, value_bytes } = leaf {
+                if let Descend::Leaf {
+                    found: true,
+                    value_addr,
+                    value_bytes,
+                } = leaf
+                {
                     if value_bytes > 0 {
                         let hit = decisions.get(di).copied().unwrap_or(false);
                         self.stats.probes += 1;
@@ -609,7 +652,10 @@ impl<'a> DesignModel<'a> {
                         } else {
                             self.stats.misses += 1;
                             steps.push_back(WalkStep::Sram { cycles: miss_lat });
-                            steps.push_back(WalkStep::Dram { addr: value_addr, bytes: value_bytes });
+                            steps.push_back(WalkStep::Dram {
+                                addr: value_addr,
+                                bytes: value_bytes,
+                            });
                             self.stats.inserts += 1;
                         }
                     }
@@ -690,10 +736,17 @@ impl<'a> DesignModel<'a> {
             life_hint: req.life_hint,
         };
 
-        let probe = match &mut self.state {
+        let observing = self.sink.is_some();
+        let (probe, probe_set) = match &mut self.state {
             CacheState::Metal { caches, .. } => {
                 let n = caches.len();
-                caches[lane % n].probe(req.index, req.key)
+                let c = &mut caches[lane % n];
+                let set = if observing {
+                    c.probe_set(req.index, req.key)
+                } else {
+                    0
+                };
+                (c.probe(req.index, req.key), set)
             }
             _ => unreachable!(),
         };
@@ -738,6 +791,17 @@ impl<'a> DesignModel<'a> {
             }
         };
         self.stats.levels_skipped += skipped;
+        if observing {
+            self.emit(Event::IxProbe {
+                index: req.index,
+                key: req.key,
+                hit: probe.is_some(),
+                level: probe.map_or(0, |h| h.level),
+                short_circuit: skipped.min(u8::MAX as u64) as u8,
+                set: probe_set,
+                scan: false,
+            });
+        }
 
         for (id, info) in &path {
             let (id, info) = (*id, *info);
@@ -751,17 +815,35 @@ impl<'a> DesignModel<'a> {
         if let Some(start) = scan_start {
             let chain = Self::scan_chain(index, start, req.scan_leaves);
             for (id, info) in chain {
-                let leaf_hit = match &mut self.state {
+                let (leaf_hit, scan_set) = match &mut self.state {
                     CacheState::Metal { caches, .. } => {
                         let n = caches.len();
-                        caches[lane % n]
-                            .probe(req.index, info.lo)
-                            .is_some_and(|h| h.node == id)
+                        let c = &mut caches[lane % n];
+                        let set = if observing {
+                            c.probe_set(req.index, info.lo)
+                        } else {
+                            0
+                        };
+                        (
+                            c.probe(req.index, info.lo).is_some_and(|h| h.node == id),
+                            set,
+                        )
                     }
                     _ => unreachable!(),
                 };
                 self.stats.probes += 1;
                 self.charge_cache_access(ix_fj);
+                if observing {
+                    self.emit(Event::IxProbe {
+                        index: req.index,
+                        key: info.lo,
+                        hit: leaf_hit,
+                        level: info.level,
+                        short_circuit: 0,
+                        set: scan_set,
+                        scan: true,
+                    });
+                }
                 if leaf_hit {
                     self.push_sram_node(steps, hit_lat);
                 } else {
@@ -777,13 +859,30 @@ impl<'a> DesignModel<'a> {
         self.push_compute(steps, req.compute_ops);
 
         // Close the walk for the tuner (may retune the descriptor).
+        let mut decisions: Vec<TuneDecision> = Vec::new();
         if let CacheState::Metal {
             descriptors,
             tuners: Some(ts),
             ..
         } = &mut self.state
         {
-            ts[req.index as usize].walk_done(&mut descriptors[req.index as usize]);
+            let t = &mut ts[req.index as usize];
+            if t.walk_done(&mut descriptors[req.index as usize]) {
+                // Always drain so unobserved runs don't accumulate the
+                // decision log; emit only when a sink is attached.
+                decisions = t.take_decisions();
+            }
+        }
+        if observing {
+            for d in decisions {
+                self.emit(Event::TunerDecision {
+                    index: req.index,
+                    batch: d.batch,
+                    param: d.param,
+                    from: d.from,
+                    to: d.to,
+                });
+            }
         }
     }
 
@@ -798,6 +897,10 @@ impl<'a> DesignModel<'a> {
         ix_fj: u64,
         lane: usize,
     ) {
+        let observing = self.sink.is_some();
+        let mut admit_ev: Option<Event> = None;
+        let mut fills: Vec<FillRecord> = Vec::new();
+        let mut evicts: Vec<EvictRecord> = Vec::new();
         if let CacheState::Metal {
             caches,
             descriptors,
@@ -808,24 +911,59 @@ impl<'a> DesignModel<'a> {
             if let Some(ts) = tuners {
                 ts[index_id as usize].observe_node(info.level, id, info.bytes);
             }
-            match descriptors[index_id as usize].admit(info, ctx) {
+            let (verdict, reason) = descriptors[index_id as usize].decide(info, ctx);
+            match verdict {
                 Admit::Insert { life } => {
                     let n = caches.len();
-                    caches[lane % n].insert(
-                        index_id,
-                        id,
-                        KeyRange::new(info.lo, info.hi),
-                        info.level,
-                        info.bytes,
-                        life,
-                    );
+                    let c = &mut caches[lane % n];
+                    let range = KeyRange::new(info.lo, info.hi);
+                    if observing {
+                        admit_ev = Some(Event::Insert {
+                            index: index_id,
+                            level: info.level,
+                            set: c.placement_set(index_id, &range),
+                            life,
+                            reason,
+                        });
+                    }
+                    c.insert(index_id, id, range, info.level, info.bytes, life);
+                    if observing {
+                        fills.extend(c.drain_fills());
+                        evicts.extend(c.drain_evictions());
+                    }
                     self.stats.inserts += 1;
-                    self.stats.cache_energy_fj =
-                        self.stats.cache_energy_fj.saturating_add(ix_fj);
+                    self.stats.cache_energy_fj = self.stats.cache_energy_fj.saturating_add(ix_fj);
                 }
                 Admit::Bypass => {
                     self.stats.bypasses += 1;
+                    if observing {
+                        admit_ev = Some(Event::Bypass {
+                            index: index_id,
+                            level: info.level,
+                            reason,
+                        });
+                    }
                 }
+            }
+        }
+        if observing {
+            if let Some(ev) = admit_ev {
+                self.emit(ev);
+            }
+            for f in fills {
+                self.emit(Event::Fill {
+                    index: f.index,
+                    level: f.level,
+                    set: f.set,
+                });
+            }
+            for e in evicts {
+                self.emit(Event::Evict {
+                    index: e.index,
+                    level: e.level,
+                    set: e.set,
+                    reason: e.reason,
+                });
             }
         }
     }
@@ -982,10 +1120,16 @@ impl WalkProgram for DesignModel<'_> {
         self.lanes[lane] = steps;
         self.cursor += 1;
         self.stats.walks += 1;
+        if let Some(p) = &self.progress {
+            p.fetch_add(1, Ordering::Relaxed);
+        }
         true
     }
 
-    fn step(&mut self, lane: usize, _now: Cycles) -> WalkStep {
+    fn step(&mut self, lane: usize, now: Cycles) -> WalkStep {
+        // Track simulated time for stamping model-side events; plans
+        // happen when a lane finishes, so this is the plan-time clock.
+        self.now = self.now.max(now.get());
         self.lanes[lane].pop_front().unwrap_or(WalkStep::Done)
     }
 }
@@ -1010,7 +1154,9 @@ mod tests {
         let mut lane_active = model.begin_walk(0);
         while lane_active {
             loop {
-                if model.step(0, Cycles::ZERO) == WalkStep::Done { break }
+                if model.step(0, Cycles::ZERO) == WalkStep::Done {
+                    break;
+                }
             }
             lane_active = model.begin_walk(0);
         }
@@ -1136,9 +1282,10 @@ mod tests {
         let mut m = DesignModel::new(
             &DesignSpec::Metal {
                 ix: IxConfig::kb64(),
-                descriptors: vec![Descriptor::Level(
-                    crate::descriptor::LevelDescriptor::band(depth - 3, depth - 2),
-                )],
+                descriptors: vec![Descriptor::Level(crate::descriptor::LevelDescriptor::band(
+                    depth - 3,
+                    depth - 2,
+                ))],
                 tune: false,
                 batch_walks: 1_000_000,
             },

@@ -79,11 +79,7 @@ impl KeyRange {
         let mut out = Vec::with_capacity(n);
         let mut lo = self.lo;
         for i in 0..n {
-            let hi = if i == n - 1 {
-                self.hi
-            } else {
-                lo + step - 1
-            };
+            let hi = if i == n - 1 { self.hi } else { lo + step - 1 };
             out.push(KeyRange::new(lo, hi));
             lo = hi + 1;
         }

@@ -30,14 +30,54 @@ use crate::descriptor::Descriptor;
 use crate::ixcache::IxConfig;
 use crate::models::{DesignModel, DesignSpec, Experiment};
 use metal_sim::engine::Engine;
+use metal_sim::obs::SharedSink;
 use metal_sim::stats::RunStats;
 use metal_sim::SimConfig;
+use std::fmt;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identifies one (design, logical shard) simulation for the sink
+/// factory: which design label is running and which contiguous chunk of
+/// the request stream it covers (`shard` is 0 for unsharded runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCtx {
+    /// The design label ("stream", "metal", …) being simulated.
+    pub design: String,
+    /// Logical shard index within the design's request stream.
+    pub shard: u64,
+}
+
+/// Builds an event sink for one (design, shard) simulation, or `None` to
+/// leave that simulation unobserved. The factory itself crosses worker
+/// threads (`Send + Sync`); the sinks it returns live on the simulating
+/// thread, so they may be cheap `Rc`-shared single-thread objects that
+/// forward to shared state (a file writer, a metrics registry) internally.
+pub type SinkFactory = Arc<dyn Fn(&ShardCtx) -> Option<SharedSink> + Send + Sync>;
+
+/// Observability hooks on a run. Default (`None` everywhere) is the
+/// unobserved fast path: no sink is constructed and no event code runs.
+#[derive(Clone, Default)]
+pub struct ObsConfig {
+    /// Per-(design, shard) event-sink factory.
+    pub sink_factory: Option<SinkFactory>,
+    /// Shared walk counter, incremented once per walk issued. Lets a
+    /// harness thread report progress without touching simulation state.
+    pub progress: Option<Arc<AtomicU64>>,
+}
+
+impl fmt::Debug for ObsConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsConfig")
+            .field("sink_factory", &self.sink_factory.as_ref().map(|_| "…"))
+            .field("progress", &self.progress)
+            .finish()
+    }
+}
 
 /// Runner configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Simulator parameters (DRAM, latencies, lanes, energy).
     pub sim: SimConfig,
@@ -52,6 +92,9 @@ pub struct RunConfig {
     /// chunk statistics are merged. Determines *results* (each chunk has
     /// cold caches), so it is fixed independently of `shards`.
     pub shard_walks: u64,
+    /// Observability hooks (event sinks, progress counter). Observe-only:
+    /// never changes simulated results, only what gets recorded.
+    pub obs: ObsConfig,
 }
 
 /// Default logical-shard grain: effectively unbounded, so every stream
@@ -67,6 +110,7 @@ impl Default for RunConfig {
             ws_window: 1024,
             shards: 0,
             shard_walks: DEFAULT_SHARD_WALKS,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -94,6 +138,13 @@ impl RunConfig {
     pub fn with_shard_walks(mut self, shard_walks: u64) -> Self {
         assert!(shard_walks > 0, "shards must contain at least one walk");
         self.shard_walks = shard_walks;
+        self
+    }
+
+    /// Attaches observability hooks (event-sink factory and/or progress
+    /// counter). Observe-only: simulated results are unchanged.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -157,12 +208,31 @@ impl RunReport {
 }
 
 /// Runs one design over one logical shard on one engine (the original
-/// serial path).
-fn run_design_shard(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
+/// serial path). `shard` only labels events; it never affects results.
+fn run_design_shard(
+    spec: &DesignSpec,
+    exp: &Experiment<'_>,
+    cfg: &RunConfig,
+    shard: u64,
+) -> RunReport {
     let mut model = DesignModel::new(spec, exp, cfg.sim, cfg.ws_window);
     let mut engine = Engine::new(cfg.sim);
+    let sink = cfg.obs.sink_factory.as_ref().and_then(|make| {
+        make(&ShardCtx {
+            design: spec.label().to_string(),
+            shard,
+        })
+    });
+    if let Some(s) = &sink {
+        engine.set_sink(Some(s.clone()));
+        model.set_sink(Some(s.clone()));
+    }
+    model.set_progress(cfg.obs.progress.clone());
     let engine_report = engine.run(&mut model);
     model.finalize();
+    if let Some(s) = &sink {
+        s.borrow_mut().flush();
+    }
 
     let mut stats = model.stats.clone();
     stats.exec_cycles = engine_report.exec_cycles;
@@ -219,12 +289,11 @@ fn merge_reports(mut reports: Vec<RunReport>) -> RunReport {
 pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
     let bounds = shard_bounds(exp.requests.len(), cfg.shard_walks);
     if bounds.len() <= 1 {
-        return run_design_shard(spec, exp, cfg);
+        return run_design_shard(spec, exp, cfg, 0);
     }
 
     let workers = cfg.worker_threads().min(bounds.len()).max(1);
-    let slots: Vec<Mutex<Option<RunReport>>> =
-        bounds.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<RunReport>>> = bounds.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -232,7 +301,7 @@ pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> R
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(range) = bounds.get(i) else { break };
                 let shard_exp = exp.slice(range.clone());
-                let report = run_design_shard(spec, &shard_exp, cfg);
+                let report = run_design_shard(spec, &shard_exp, cfg, i as u64);
                 *slots[i].lock().expect("shard slot poisoned") = Some(report);
             });
         }
@@ -325,8 +394,7 @@ pub fn run_designs_parallel(
     if workers == 1 {
         return designs.iter().map(|d| run_design(d, exp, cfg)).collect();
     }
-    let slots: Vec<Mutex<Option<RunReport>>> =
-        designs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<RunReport>>> = designs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -335,7 +403,10 @@ pub fn run_designs_parallel(
                 let Some(spec) = designs.get(i) else { break };
                 // Each design may shard its own request stream in turn;
                 // run serially within this worker to bound thread count.
-                let inner = RunConfig { shards: 1, ..*cfg };
+                let inner = RunConfig {
+                    shards: 1,
+                    ..cfg.clone()
+                };
                 let report = run_design(spec, exp, &inner);
                 *slots[i].lock().expect("design slot poisoned") = Some(report);
             });
@@ -469,7 +540,13 @@ mod tests {
         assert_eq!(
             labels,
             vec![
-                "stream", "address", "fa-opt", "x-cache", "metal-ix", "metal", "metal+tune"
+                "stream",
+                "address",
+                "fa-opt",
+                "x-cache",
+                "metal-ix",
+                "metal",
+                "metal+tune"
             ]
         );
         for r in &reports {
@@ -486,9 +563,9 @@ mod tests {
         let report = run_design(
             &DesignSpec::Metal {
                 ix: IxConfig::kb64(),
-                descriptors: vec![Descriptor::Level(
-                    crate::descriptor::LevelDescriptor::band(2, 4),
-                )],
+                descriptors: vec![Descriptor::Level(crate::descriptor::LevelDescriptor::band(
+                    2, 4,
+                ))],
                 tune: true,
                 batch_walks: 100,
             },
@@ -560,7 +637,7 @@ mod tests {
             ix: IxConfig::kb64(),
         };
         let default_run = run_design(&spec, &exp, &cfg);
-        let serial = run_design_shard(&spec, &exp, &cfg);
+        let serial = run_design_shard(&spec, &exp, &cfg, 0);
         assert_eq!(default_run.stats, serial.stats);
         assert_eq!(default_run.occupancy_by_level, serial.occupancy_by_level);
     }
@@ -578,7 +655,7 @@ mod tests {
             tune: true,
             batch_walks: 100,
         };
-        let serial = run_design(&spec, &exp, &base.with_shards(1));
+        let serial = run_design(&spec, &exp, &base.clone().with_shards(1));
         let parallel = run_design(&spec, &exp, &base.with_shards(4));
         assert_eq!(serial.stats, parallel.stats);
         assert_eq!(serial.occupancy_by_level, parallel.occupancy_by_level);
@@ -593,12 +670,22 @@ mod tests {
         let exp = Experiment::single(&t, &requests);
         let cfg = RunConfig::default();
         let descriptors = vec![Descriptor::Node(NodeDescriptor::leaves())];
-        let parallel = run_comparison(&exp, &cfg.with_shards(4), 64 * 1024, descriptors.clone(), 200);
+        let parallel = run_comparison(
+            &exp,
+            &cfg.clone().with_shards(4),
+            64 * 1024,
+            descriptors.clone(),
+            200,
+        );
         let serial = run_comparison(&exp, &cfg.with_shards(1), 64 * 1024, descriptors, 200);
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.design, p.design);
-            assert_eq!(s.stats, p.stats, "{} differs across worker counts", s.design);
+            assert_eq!(
+                s.stats, p.stats,
+                "{} differs across worker counts",
+                s.design
+            );
         }
     }
 

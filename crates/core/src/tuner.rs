@@ -15,8 +15,24 @@
 //! exactly the series Fig. 22 plots.
 
 use crate::descriptor::{BranchDescriptor, Descriptor, LevelDescriptor};
+use metal_sim::obs::TunedParam;
 use metal_sim::types::Key;
 use std::collections::HashSet;
+
+/// Telemetry record of one parameter move at a batch boundary (drained
+/// via [`Tuner::take_decisions`]); only *changed* parameters are
+/// recorded, so the stream is exactly the tuner's decision timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneDecision {
+    /// Completed-batch number (1-based) at which the move happened.
+    pub batch: u64,
+    /// Which parameter moved.
+    pub param: TunedParam,
+    /// Value before the batch boundary.
+    pub from: u64,
+    /// Value after.
+    pub to: u64,
+}
 
 /// Per-batch observation and retuning of one descriptor's parameters.
 #[derive(Debug, Clone)]
@@ -42,6 +58,8 @@ pub struct Tuner {
     history: Vec<(u8, u8)>,
     /// Number of completed batches.
     batches: u64,
+    /// Parameter moves since the last [`Tuner::take_decisions`] drain.
+    decisions: Vec<TuneDecision>,
 }
 
 impl Tuner {
@@ -66,6 +84,25 @@ impl Tuner {
             capacity_entries,
             history: Vec::new(),
             batches: 0,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Drains the parameter moves recorded since the last call (telemetry;
+    /// empty unless batches have completed in between).
+    pub fn take_decisions(&mut self) -> Vec<TuneDecision> {
+        std::mem::take(&mut self.decisions)
+    }
+
+    /// Records one parameter move for telemetry (no-op when unchanged).
+    fn note(&mut self, param: TunedParam, from: u64, to: u64) {
+        if from != to {
+            self.decisions.push(TuneDecision {
+                batch: self.batches,
+                param,
+                from,
+                to,
+            });
         }
     }
 
@@ -142,15 +179,21 @@ impl Tuner {
         match desc {
             Descriptor::Level(band) => {
                 let new = self.retune_level(*band);
+                self.note(TunedParam::BandLower, band.lower as u64, new.lower as u64);
+                self.note(TunedParam::BandUpper, band.upper as u64, new.upper as u64);
                 self.history.push((new.lower, new.upper));
                 *band = new;
             }
             Descriptor::Branch(br) => {
                 let new = self.retune_branch(*br);
+                self.note(TunedParam::Pivot, br.pivot, new.pivot);
+                self.note(TunedParam::Halfwidth, br.halfwidth, new.halfwidth);
+                self.note(TunedParam::Depth, br.depth as u64, new.depth as u64);
                 *br = new;
                 self.history.push((br.depth, br.depth));
             }
             Descriptor::Node(nd) => {
+                let old_level = nd.level;
                 // Move the target one step toward the deepest level whose
                 // entry footprint fits the cache with slack; fall back to
                 // the reach heuristic when the batch saw no nodes.
@@ -173,6 +216,7 @@ impl Tuner {
                 } else if self.hit_rate() < 0.2 && (nd.level as usize) < depth {
                     nd.level += 1;
                 }
+                self.note(TunedParam::NodeLevel, old_level as u64, nd.level as u64);
                 self.history.push((nd.level, nd.level));
             }
             Descriptor::Or(a, b) => {
@@ -394,11 +438,49 @@ mod tests {
         let mut desc = Descriptor::Level(LevelDescriptor::band(1, 2));
         t.observe_node(2, 1, 64);
         t.observe_probe(true);
-        t.walk_done(&mut desc);
-        assert!(!t.walk_done(&mut desc) || true); // second walk closes batch
+        assert!(!t.walk_done(&mut desc), "first walk is mid-batch");
+        assert!(t.walk_done(&mut desc), "second walk closes the batch");
         // After the batch boundary, counters are cleared.
         assert_eq!(t.hit_rate(), 0.0);
         assert_eq!(t.level_utility(2), 0.0);
+    }
+
+    #[test]
+    fn decisions_record_only_changed_parameters() {
+        let mut t = Tuner::new(8, 5, 10);
+        let mut desc = Descriptor::Level(LevelDescriptor::band(6, 7));
+        for _ in 0..5 {
+            t.observe_node(3, 0, 64);
+            t.observe_node(3, 1, 64);
+            t.walk_done(&mut desc);
+        }
+        let ds = t.take_decisions();
+        assert!(
+            ds.iter()
+                .any(|d| d.param == TunedParam::BandLower && d.from == 6 && d.to == 5),
+            "lower edge move must be recorded, got {ds:?}"
+        );
+        assert!(ds.iter().all(|d| d.from != d.to), "no-op moves filtered");
+        assert!(ds.iter().all(|d| d.batch == 1), "stamped with batch number");
+        assert!(t.take_decisions().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn decisions_cover_branch_parameters() {
+        let mut t = Tuner::new(4, 4, 100);
+        let mut desc = Descriptor::Branch(BranchDescriptor {
+            pivot: 0,
+            halfwidth: 1,
+            depth: 1,
+        });
+        for k in [100u64, 110, 120, 130] {
+            t.observe_key(k);
+            t.observe_probe(true);
+            t.walk_done(&mut desc);
+        }
+        let ds = t.take_decisions();
+        assert!(ds.iter().any(|d| d.param == TunedParam::Pivot));
+        assert!(ds.iter().any(|d| d.param == TunedParam::Depth && d.to == 2));
     }
 
     #[test]

@@ -72,12 +72,11 @@ fn designs_preserve_semantics() {
 
         let oracle: BTreeSet<Key> = keys.iter().copied().collect();
         let tree = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
-        let requests: Vec<WalkRequest> =
-            probe_seeds.iter().map(|&p| WalkRequest::lookup(p)).collect();
-        let expected_found = probe_seeds
+        let requests: Vec<WalkRequest> = probe_seeds
             .iter()
-            .filter(|p| oracle.contains(p))
-            .count() as u64;
+            .map(|&p| WalkRequest::lookup(p))
+            .collect();
+        let expected_found = probe_seeds.iter().filter(|p| oracle.contains(p)).count() as u64;
 
         let desc = match desc_kind {
             0 => Descriptor::All,

@@ -52,9 +52,7 @@ pub fn pagerank_requests(edges: &[(Key, Vec<Key>)], spec: &DsaSpec) -> Vec<WalkR
                 .with_compute(spec.ops_per_compute),
         );
         for &v in neighbors {
-            out.push(
-                WalkRequest::lookup(v).with_compute(spec.ops_per_compute),
-            );
+            out.push(WalkRequest::lookup(v).with_compute(spec.ops_per_compute));
         }
     }
     out

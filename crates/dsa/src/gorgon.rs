@@ -22,11 +22,7 @@ use metal_sim::types::Key;
 ///
 /// Each query `[lo, hi]` becomes one walk request that scans however many
 /// leaves the range spans.
-pub fn scan_requests(
-    tree: &BPlusTree,
-    queries: &[(Key, Key)],
-    spec: &DsaSpec,
-) -> Vec<WalkRequest> {
+pub fn scan_requests(tree: &BPlusTree, queries: &[(Key, Key)], spec: &DsaSpec) -> Vec<WalkRequest> {
     queries
         .iter()
         .map(|&(lo, hi)| {
@@ -163,8 +159,7 @@ mod tests {
 
     #[test]
     fn nested_select_doubles_walks() {
-        let reqs =
-            nested_select_requests(&[10, 20], |k| k + 1000, &DsaSpec::gorgon_analytics());
+        let reqs = nested_select_requests(&[10, 20], |k| k + 1000, &DsaSpec::gorgon_analytics());
         assert_eq!(reqs.len(), 4);
         assert_eq!(reqs[1].key, 1010);
         assert_eq!(reqs[3].key, 1020);

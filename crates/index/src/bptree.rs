@@ -138,12 +138,8 @@ impl BPlusTree {
             level += 1;
             let mut upper: Vec<NodeId> = Vec::new();
             for group in level_ids.chunks(fanout) {
-                let seps: Vec<Key> = group[1..]
-                    .iter()
-                    .map(|&c| nodes[c as usize].lo)
-                    .collect();
-                let bytes =
-                    NODE_HEADER_BYTES + seps.len() as u64 * 8 + group.len() as u64 * 8;
+                let seps: Vec<Key> = group[1..].iter().map(|&c| nodes[c as usize].lo).collect();
+                let bytes = NODE_HEADER_BYTES + seps.len() as u64 * 8 + group.len() as u64 * 8;
                 let slot = arena.alloc(bytes);
                 let id = nodes.len() as NodeId;
                 let lo = nodes[group[0] as usize].lo;
@@ -241,7 +237,13 @@ impl BPlusTree {
             (None, Some((_, l, f))) => (l, f),
             (None, None) => unreachable!("fanout search covers 2..=256"),
         };
-        Self::bulk_load_geometry(keys, leaf_keys as usize, fanout as usize, base, record_bytes)
+        Self::bulk_load_geometry(
+            keys,
+            leaf_keys as usize,
+            fanout as usize,
+            base,
+            record_bytes,
+        )
     }
 
     /// The fanout-independent number of keys indexed.
@@ -501,7 +503,9 @@ mod tests {
         let mut addrs = Vec::new();
         for k in 0..100 {
             if let Descend::Leaf {
-                found, value_addr, value_bytes,
+                found,
+                value_addr,
+                value_bytes,
             } = t.walk(k, |_, _| {})
             {
                 assert!(found);

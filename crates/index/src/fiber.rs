@@ -62,13 +62,22 @@ impl FiberMatrix {
         cols_per_segment: usize,
         base: Addr,
     ) -> Self {
-        assert!(!columns.is_empty(), "fiber matrix needs at least one column");
-        assert!(cols_per_segment > 0, "segments must cover at least one column");
+        assert!(
+            !columns.is_empty(),
+            "fiber matrix needs at least one column"
+        );
+        assert!(
+            cols_per_segment > 0,
+            "segments must cover at least one column"
+        );
         assert!(
             columns.windows(2).all(|w| w[0].0 < w[1].0),
             "column ids must be strictly sorted"
         );
-        assert!(columns.iter().all(|&(_, n)| n > 0), "columns need non-zeros");
+        assert!(
+            columns.iter().all(|&(_, n)| n > 0),
+            "columns need non-zeros"
+        );
 
         let mut arena = Arena::new(base);
         let n_segments = columns.len().div_ceil(cols_per_segment);
@@ -194,9 +203,7 @@ impl WalkIndex for FiberMatrix {
             value_bytes: 0,
         };
         if id == 0 {
-            let si = self
-                .segments
-                .partition_point(|s| s.last_col < key);
+            let si = self.segments.partition_point(|s| s.last_col < key);
             if si == self.segments.len() {
                 return miss;
             }

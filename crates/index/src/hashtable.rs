@@ -67,9 +67,15 @@ impl ChainedHashTable {
         base: Addr,
     ) -> Self {
         assert!(!keys.is_empty(), "cannot build an empty hash table");
-        assert!(n_buckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(
+            n_buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
         assert!(keys_per_node > 0, "chain nodes must hold at least one key");
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly sorted");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly sorted"
+        );
         assert!(keys[0] >= 1, "key 0 is reserved");
         assert!(*keys.last().expect("non-empty") < key_space);
 
@@ -279,7 +285,11 @@ mod tests {
         for w in levels[1..].windows(2) {
             assert_eq!(w[0], w[1] + 1, "chain levels descend by one");
         }
-        assert_eq!(*levels.last().unwrap(), 0, "walk ends at the chain tail region");
+        assert_eq!(
+            *levels.last().unwrap(),
+            0,
+            "walk ends at the chain tail region"
+        );
     }
 
     #[test]

@@ -43,9 +43,8 @@ impl RTree2D {
     ) -> Self {
         assert!(y_keys_per_x > 0, "need at least one correlated y key");
         let x_tree = BPlusTree::bulk_load(x_keys, x_max_keys, base, 8 * y_keys_per_x as u64);
-        let y_base = Addr::new(
-            x_tree.data_base().get() + x_keys.len() as u64 * x_tree.record_bytes() + 64,
-        );
+        let y_base =
+            Addr::new(x_tree.data_base().get() + x_keys.len() as u64 * x_tree.record_bytes() + 64);
         let y_tree = BPlusTree::bulk_load(y_keys, y_max_keys, y_base, 16);
         RTree2D {
             x_tree,
@@ -81,8 +80,8 @@ impl RTree2D {
         // into y-rank space, then take a small window.
         let x_root = self.x_tree.node(self.x_tree.root());
         let span = (x_root.hi - x_root.lo).max(1);
-        let pos = ((x.saturating_sub(x_root.lo)) as u128 * self.y_count as u128 / span as u128)
-            as u64;
+        let pos =
+            ((x.saturating_sub(x_root.lo)) as u128 * self.y_count as u128 / span as u128) as u64;
         let start = pos.min(self.y_count.saturating_sub(self.y_keys_per_x as u64));
         (0..self.y_keys_per_x as u64)
             .map(|i| self.y_rank_to_key((start + i).min(self.y_count - 1)))

@@ -212,7 +212,12 @@ impl WalkIndex for SkipList {
         // The bottom lane is the ordered record list: §4.4's validation
         // traversal ("we have to validate by traversing that portion of
         // the list") walks it.
-        self.towers.get(leaf as usize)?.next.first().copied().flatten()
+        self.towers
+            .get(leaf as usize)?
+            .next
+            .first()
+            .copied()
+            .flatten()
     }
 }
 

@@ -1,0 +1,176 @@
+//! Chrome `trace_event` exporter: load the output in `chrome://tracing`
+//! or Perfetto to see walks as horizontal bars per lane.
+//!
+//! Mapping: each [`Event::WalkEnd`] becomes one complete ("X") slice —
+//! `ts = at − latency`, `dur = latency`, `pid` = shard, `tid` = lane —
+//! and every other event becomes a thread-scoped instant ("i") with the
+//! payload in `args`. Timestamps are simulated cycles presented as the
+//! format's microsecond field; absolute units don't matter for
+//! inspection, only relative spans.
+
+use crate::json::Json;
+use crate::jsonl::event_fields;
+use metal_sim::obs::{Event, EventSink};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Accumulates rendered trace-event objects from all shards, then writes
+/// the single JSON document Chrome expects.
+#[derive(Default)]
+pub struct ChromeTraceWriter {
+    events: Mutex<Vec<String>>,
+}
+
+impl ChromeTraceWriter {
+    /// Creates an empty accumulator.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ChromeTraceWriter::default())
+    }
+
+    fn append(&self, mut chunk: Vec<String>) {
+        self.events
+            .lock()
+            .expect("chrome trace poisoned")
+            .append(&mut chunk);
+    }
+
+    /// Renders the accumulated `{"traceEvents":[…]}` document.
+    pub fn render(&self) -> String {
+        let events = self.events.lock().expect("chrome trace poisoned");
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(e);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the document to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.render().as_bytes())
+    }
+}
+
+/// Per-(design, shard) sink rendering events into Chrome trace objects.
+pub struct ChromeTraceSink {
+    design: String,
+    shard: u64,
+    buf: Vec<String>,
+    out: Arc<ChromeTraceWriter>,
+}
+
+impl ChromeTraceSink {
+    /// Creates a sink whose slices land on `pid = shard`.
+    pub fn new(out: Arc<ChromeTraceWriter>, design: &str, shard: u64) -> Self {
+        ChromeTraceSink {
+            design: design.to_string(),
+            shard,
+            buf: Vec::new(),
+            out,
+        }
+    }
+
+    fn push(&mut self, fields: Vec<(&'static str, Json)>) {
+        let obj = Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+        self.buf.push(obj.render());
+    }
+}
+
+impl EventSink for ChromeTraceSink {
+    fn emit(&mut self, at: u64, ev: &Event) {
+        let args = Json::Obj(
+            event_fields(ev)
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .chain([("design".to_string(), Json::str(self.design.as_str()))])
+                .collect(),
+        );
+        match *ev {
+            Event::WalkEnd { lane, latency, .. } => {
+                self.push(vec![
+                    ("name", Json::str("walk")),
+                    ("ph", Json::str("X")),
+                    ("ts", Json::UInt(at.saturating_sub(latency))),
+                    ("dur", Json::UInt(latency)),
+                    ("pid", Json::UInt(self.shard)),
+                    ("tid", Json::UInt(lane as u64)),
+                    ("args", args),
+                ]);
+            }
+            _ => {
+                let tid = match *ev {
+                    Event::WalkStart { lane, .. } | Event::DramFetch { lane, .. } => lane as u64,
+                    _ => 0,
+                };
+                self.push(vec![
+                    ("name", Json::str(ev.kind())),
+                    ("ph", Json::str("i")),
+                    ("ts", Json::UInt(at)),
+                    ("pid", Json::UInt(self.shard)),
+                    ("tid", Json::UInt(tid)),
+                    ("s", Json::str("t")),
+                    ("args", args),
+                ]);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.out.append(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_end_becomes_a_complete_slice() {
+        let writer = ChromeTraceWriter::new();
+        let mut sink = ChromeTraceSink::new(writer.clone(), "metal", 2);
+        sink.emit(
+            100,
+            &Event::WalkEnd {
+                walk: 5,
+                lane: 3,
+                latency: 40,
+            },
+        );
+        sink.emit(7, &Event::WalkStart { walk: 6, lane: 1 });
+        sink.flush();
+        let doc = Json::parse(&writer.render()).expect("valid trace document");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        let slice = &events[0];
+        assert_eq!(slice.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(slice.get("ts").unwrap().as_u64(), Some(60));
+        assert_eq!(slice.get("dur").unwrap().as_u64(), Some(40));
+        assert_eq!(slice.get("pid").unwrap().as_u64(), Some(2));
+        assert_eq!(slice.get("tid").unwrap().as_u64(), Some(3));
+        let instant = &events[1];
+        assert_eq!(instant.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(instant.get("name").unwrap().as_str(), Some("walk_start"));
+        assert_eq!(
+            instant.get("args").unwrap().get("design").unwrap().as_str(),
+            Some("metal")
+        );
+    }
+}

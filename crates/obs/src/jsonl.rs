@@ -1,0 +1,292 @@
+//! JSONL trace writer: one JSON object per line, one line per event.
+//!
+//! Layout: a process-wide [`JsonlWriter`] owns the output file behind a
+//! mutex; each (design, shard) simulation gets its own [`JsonlSink`]
+//! that buffers rendered lines locally and only takes the writer lock
+//! when the buffer fills or the shard flushes. Lines from concurrent
+//! shards therefore interleave at line granularity — never mid-line —
+//! and each line carries its `design`/`shard` labels so a reader can
+//! demultiplex the streams.
+//!
+//! Line schema (field order fixed):
+//!
+//! ```json
+//! {"run":"fig20","design":"metal","shard":0,"at":1234,"ev":"ix_probe", …payload}
+//! ```
+
+use crate::json::Json;
+use metal_sim::obs::{Event, EventSink};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// The payload fields of one event, in stable order, as JSON values.
+/// Shared by the JSONL and Chrome writers so both spell fields the same.
+pub fn event_fields(ev: &Event) -> Vec<(&'static str, Json)> {
+    match *ev {
+        Event::WalkStart { walk, lane } => vec![
+            ("walk", Json::UInt(walk)),
+            ("lane", Json::UInt(lane as u64)),
+        ],
+        Event::WalkEnd {
+            walk,
+            lane,
+            latency,
+        } => vec![
+            ("walk", Json::UInt(walk)),
+            ("lane", Json::UInt(lane as u64)),
+            ("latency", Json::UInt(latency)),
+        ],
+        Event::DramFetch {
+            lane,
+            addr,
+            bytes,
+            done,
+        } => vec![
+            ("lane", Json::UInt(lane as u64)),
+            ("addr", Json::UInt(addr)),
+            ("bytes", Json::UInt(bytes)),
+            ("done", Json::UInt(done)),
+        ],
+        Event::IxProbe {
+            index,
+            key,
+            hit,
+            level,
+            short_circuit,
+            set,
+            scan,
+        } => vec![
+            ("index", Json::UInt(index as u64)),
+            ("key", Json::UInt(key)),
+            ("hit", Json::Bool(hit)),
+            ("level", Json::UInt(level as u64)),
+            ("short_circuit", Json::UInt(short_circuit as u64)),
+            ("set", Json::UInt(set as u64)),
+            ("scan", Json::Bool(scan)),
+        ],
+        Event::Insert {
+            index,
+            level,
+            set,
+            life,
+            reason,
+        } => vec![
+            ("index", Json::UInt(index as u64)),
+            ("level", Json::UInt(level as u64)),
+            ("set", Json::UInt(set as u64)),
+            ("life", Json::UInt(life as u64)),
+            ("reason", Json::str(reason.as_str())),
+        ],
+        Event::Bypass {
+            index,
+            level,
+            reason,
+        } => vec![
+            ("index", Json::UInt(index as u64)),
+            ("level", Json::UInt(level as u64)),
+            ("reason", Json::str(reason.as_str())),
+        ],
+        Event::Fill { index, level, set } => vec![
+            ("index", Json::UInt(index as u64)),
+            ("level", Json::UInt(level as u64)),
+            ("set", Json::UInt(set as u64)),
+        ],
+        Event::Evict {
+            index,
+            level,
+            set,
+            reason,
+        } => vec![
+            ("index", Json::UInt(index as u64)),
+            ("level", Json::UInt(level as u64)),
+            ("set", Json::UInt(set as u64)),
+            ("reason", Json::str(reason.as_str())),
+        ],
+        Event::TunerDecision {
+            index,
+            batch,
+            param,
+            from,
+            to,
+        } => vec![
+            ("index", Json::UInt(index as u64)),
+            ("batch", Json::UInt(batch)),
+            ("param", Json::str(param.as_str())),
+            ("from", Json::UInt(from)),
+            ("to", Json::UInt(to)),
+        ],
+    }
+}
+
+/// Shared, thread-safe sink target: owns the output stream, appends
+/// whole rendered chunks under one lock.
+pub struct JsonlWriter {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlWriter {
+    /// Creates (truncates) `path` as the trace file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Arc<Self>> {
+        let file = File::create(path)?;
+        Ok(Arc::new(JsonlWriter {
+            out: Mutex::new(Box::new(BufWriter::new(file))),
+        }))
+    }
+
+    /// Wraps an arbitrary writer (tests, stdout).
+    pub fn from_writer(w: impl Write + Send + 'static) -> Arc<Self> {
+        Arc::new(JsonlWriter {
+            out: Mutex::new(Box::new(w)),
+        })
+    }
+
+    /// Appends a pre-rendered chunk of whole lines and flushes it.
+    fn append(&self, chunk: &str) {
+        let mut out = self.out.lock().expect("trace writer poisoned");
+        let _ = out.write_all(chunk.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+/// Local buffer size that triggers an early flush to the shared writer.
+const FLUSH_BYTES: usize = 1 << 16;
+
+/// Per-(design, shard) JSONL event sink.
+pub struct JsonlSink {
+    run: String,
+    design: String,
+    shard: u64,
+    buf: String,
+    out: Arc<JsonlWriter>,
+}
+
+impl JsonlSink {
+    /// Creates a sink labelling its lines `run`/`design`/`shard`.
+    pub fn new(out: Arc<JsonlWriter>, run: &str, design: &str, shard: u64) -> Self {
+        JsonlSink {
+            run: run.to_string(),
+            design: design.to_string(),
+            shard,
+            buf: String::new(),
+            out,
+        }
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&mut self, at: u64, ev: &Event) {
+        let mut fields = vec![
+            ("run", Json::str(self.run.as_str())),
+            ("design", Json::str(self.design.as_str())),
+            ("shard", Json::UInt(self.shard)),
+            ("at", Json::UInt(at)),
+            ("ev", Json::str(ev.kind())),
+        ];
+        fields.extend(event_fields(ev));
+        let obj = Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+        obj.write(&mut self.buf);
+        self.buf.push('\n');
+        if self.buf.len() >= FLUSH_BYTES {
+            self.out.append(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.out.append(&self.buf);
+            self.buf.clear();
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_sim::obs::{AdmitReason, EvictReason};
+
+    /// Collects appended chunks into a shared string.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<String>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap()
+                .push_str(std::str::from_utf8(buf).unwrap());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_parse_and_carry_labels() {
+        let cap = Capture::default();
+        let writer = JsonlWriter::from_writer(cap.clone());
+        let mut sink = JsonlSink::new(writer, "figX", "metal", 3);
+        sink.emit(10, &Event::WalkStart { walk: 0, lane: 1 });
+        sink.emit(
+            20,
+            &Event::Evict {
+                index: 0,
+                level: 2,
+                set: 7,
+                reason: EvictReason::RangeSplit,
+            },
+        );
+        sink.emit(
+            30,
+            &Event::Insert {
+                index: 1,
+                level: 0,
+                set: 4,
+                life: 64,
+                reason: AdmitReason::NodeLevel,
+            },
+        );
+        sink.flush();
+        let text = cap.0.lock().unwrap().clone();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = Json::parse(line).expect("every line is a JSON object");
+            assert_eq!(v.get("run").unwrap().as_str(), Some("figX"));
+            assert_eq!(v.get("design").unwrap().as_str(), Some("metal"));
+            assert_eq!(v.get("shard").unwrap().as_u64(), Some(3));
+        }
+        let evict = Json::parse(lines[1]).unwrap();
+        assert_eq!(evict.get("ev").unwrap().as_str(), Some("evict"));
+        assert_eq!(evict.get("reason").unwrap().as_str(), Some("range-split"));
+        let insert = Json::parse(lines[2]).unwrap();
+        assert_eq!(insert.get("life").unwrap().as_u64(), Some(64));
+        assert_eq!(insert.get("reason").unwrap().as_str(), Some("node-level"));
+    }
+
+    #[test]
+    fn drop_flushes_the_tail() {
+        let cap = Capture::default();
+        let writer = JsonlWriter::from_writer(cap.clone());
+        {
+            let mut sink = JsonlSink::new(writer, "r", "d", 0);
+            sink.emit(1, &Event::WalkStart { walk: 9, lane: 0 });
+        }
+        let text = cap.0.lock().unwrap().clone();
+        assert!(text.contains("\"walk\":9"), "drop must flush: {text}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # metal-obs — telemetry back-ends for the METAL reproduction
+//!
+//! The simulator emits typed [`metal_sim::obs::Event`]s through the
+//! [`metal_sim::obs::EventSink`] contract; this crate provides the sinks
+//! and file formats that make those events useful:
+//!
+//! - [`jsonl`] — a JSONL trace writer (one event per line, shard-safe),
+//!   the format behind the harness's `--trace-out` flag and the
+//!   `trace-dump` inspector.
+//! - [`chrome`] — a Chrome `trace_event` exporter for visual inspection
+//!   in `chrome://tracing` / Perfetto (walks become per-lane slices).
+//! - [`metrics`] — an order-free counting registry (per-set probe and
+//!   occupancy tallies, eviction/admission reason counters, per-level
+//!   hit counts, short-circuit depth distribution, tuner timeline).
+//! - [`manifest`] — run manifests for `--metrics-out`: configuration,
+//!   seed, git revision, wall clock and the full merged statistics of
+//!   every (workload, design) report.
+//! - [`json`] — the minimal hand-rolled JSON model all of the above
+//!   share (the container bakes in no serialization crates).
+//!
+//! Everything here is observe-only: attaching any of these sinks must
+//! not change a single simulated statistic. That contract is enforced by
+//! the `observability` integration tests at the workspace root.
+
+pub mod chrome;
+pub mod json;
+pub mod jsonl;
+pub mod manifest;
+pub mod metrics;
+
+pub use chrome::{ChromeTraceSink, ChromeTraceWriter};
+pub use json::{Json, JsonError};
+pub use jsonl::{JsonlSink, JsonlWriter};
+pub use manifest::{stats_json, ManifestReport, RunManifest};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, RegistrySink};

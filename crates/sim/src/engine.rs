@@ -20,6 +20,7 @@
 
 use crate::config::SimConfig;
 use crate::dram::Dram;
+use crate::obs::{emit_to, Event, SharedSink};
 use crate::stats::LatencyStats;
 use crate::types::{Addr, Cycles};
 use std::cmp::Reverse;
@@ -91,13 +92,14 @@ pub struct EngineReport {
 
 /// The multiplexed walker engine: `lanes` concurrent walk contexts sharing a
 /// banked DRAM channel and a banked cache-SRAM port pool.
-#[derive(Debug)]
 pub struct Engine {
     cfg: SimConfig,
     dram: Dram,
     /// Time each cache-SRAM bank port becomes free.
     sram_free: Vec<Cycles>,
     sram_rr: usize,
+    /// Optional telemetry sink; observe-only (see [`crate::obs`]).
+    sink: Option<SharedSink>,
 }
 
 /// Number of banked ports on the shared cache SRAM (paper supplemental:
@@ -107,6 +109,7 @@ pub const SRAM_BANKS: usize = 16;
 #[derive(Debug, Clone, Copy)]
 struct Lane {
     walk_start: Cycles,
+    walk_id: u64,
     active: bool,
 }
 
@@ -118,7 +121,15 @@ impl Engine {
             cfg,
             sram_free: vec![Cycles::ZERO; SRAM_BANKS],
             sram_rr: 0,
+            sink: None,
         }
+    }
+
+    /// Attaches (or detaches) a telemetry sink. The sink observes
+    /// `WalkStart`/`WalkEnd`/`DramFetch` events; it never influences
+    /// scheduling or statistics.
+    pub fn set_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
     }
 
     /// The simulator configuration.
@@ -140,11 +151,13 @@ impl Engine {
         let mut lane_state = vec![
             Lane {
                 walk_start: Cycles::ZERO,
+                walk_id: 0,
                 active: false,
             };
             lanes
         ];
         let mut report = EngineReport::default();
+        let mut next_walk_id: u64 = 0;
         // Min-heap of (wake-time, lane).
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
 
@@ -154,6 +167,16 @@ impl Engine {
             if program.begin_walk(lane) {
                 lane_state[lane].active = true;
                 lane_state[lane].walk_start = Cycles::ZERO;
+                lane_state[lane].walk_id = next_walk_id;
+                emit_to(
+                    &self.sink,
+                    0,
+                    &Event::WalkStart {
+                        walk: next_walk_id,
+                        lane: lane as u32,
+                    },
+                );
+                next_walk_id += 1;
                 heap.push(Reverse((0, lane)));
             }
         }
@@ -163,6 +186,18 @@ impl Engine {
             match program.step(lane, now) {
                 WalkStep::Dram { addr, bytes } => {
                     let done = self.dram.access(t, addr, bytes);
+                    if self.sink.is_some() {
+                        emit_to(
+                            &self.sink,
+                            t,
+                            &Event::DramFetch {
+                                lane: lane as u32,
+                                addr: addr.get(),
+                                bytes,
+                                done: done.get(),
+                            },
+                        );
+                    }
                     heap.push(Reverse((done.get(), lane)));
                 }
                 WalkStep::Busy { cycles } => {
@@ -182,14 +217,40 @@ impl Engine {
                     report.walk_latency.record(latency);
                     report.walks += 1;
                     report.exec_cycles = report.exec_cycles.max(now);
+                    if self.sink.is_some() {
+                        emit_to(
+                            &self.sink,
+                            t,
+                            &Event::WalkEnd {
+                                walk: lane_state[lane].walk_id,
+                                lane: lane as u32,
+                                latency: latency.get(),
+                            },
+                        );
+                    }
                     if program.begin_walk(lane) {
                         lane_state[lane].walk_start = now;
+                        lane_state[lane].walk_id = next_walk_id;
+                        if self.sink.is_some() {
+                            emit_to(
+                                &self.sink,
+                                t,
+                                &Event::WalkStart {
+                                    walk: next_walk_id,
+                                    lane: lane as u32,
+                                },
+                            );
+                        }
+                        next_walk_id += 1;
                         heap.push(Reverse((t, lane)));
                     } else {
                         lane_state[lane].active = false;
                     }
                 }
             }
+        }
+        if let Some(s) = &self.sink {
+            s.borrow_mut().flush();
         }
         report
     }
@@ -399,6 +460,53 @@ mod tests {
             report.exec_cycles,
             total_accesses
         );
+    }
+
+    #[test]
+    fn sink_observes_walks_and_fetches_without_perturbing() {
+        use crate::obs::{shared, VecSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let bare = {
+            let mut engine = Engine::new(cfg(2));
+            let r = engine.run(&mut ChaseProgram::new(6, 2, 2));
+            (r.exec_cycles, r.walks, r.walk_latency)
+        };
+
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        let mut engine = Engine::new(cfg(2));
+        engine.set_sink(Some(shared(TeeVec(sink.clone()))));
+        let r = engine.run(&mut ChaseProgram::new(6, 2, 2));
+        assert_eq!((r.exec_cycles, r.walks, r.walk_latency), bare);
+
+        struct TeeVec(Rc<RefCell<VecSink>>);
+        impl crate::obs::EventSink for TeeVec {
+            fn emit(&mut self, at: u64, ev: &Event) {
+                self.0.borrow_mut().emit(at, ev);
+            }
+        }
+
+        let events = &sink.borrow().events;
+        let count = |k: &str| events.iter().filter(|(_, e)| e.kind() == k).count() as u64;
+        assert_eq!(count("walk_start"), 6);
+        assert_eq!(count("walk_end"), 6);
+        assert_eq!(count("dram_fetch"), 12, "2 reads per walk");
+        // WalkEnd latency must match the recorded aggregate.
+        let total: u64 = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::WalkEnd { latency, .. } => Some(*latency),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, r.walk_latency.total());
+        // DramFetch completion times never precede issue times.
+        for (at, e) in events {
+            if let Event::DramFetch { done, .. } = e {
+                assert!(done >= at);
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod caches;
 pub mod config;
 pub mod dram;
 pub mod engine;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -44,6 +45,7 @@ pub mod types;
 
 pub use config::{DramConfig, EnergyConfig, SimConfig};
 pub use engine::{Engine, EngineReport, StepOutcome, WalkProgram, WalkStep};
+pub use obs::{Event, EventSink, NullSink, SharedSink};
 pub use rng::SplitRng;
 pub use stats::{RunStats, WorkingSet};
 pub use types::{Addr, BlockAddr, Cycles, Key, BLOCK_BYTES};

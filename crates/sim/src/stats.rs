@@ -65,13 +65,52 @@ impl WorkingSet {
     }
 }
 
-/// Latency accumulator with average/min/max.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Number of log2 latency buckets: bucket 0 holds the value 0 and bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so 65 buckets cover all of
+/// `u64`.
+pub const LATENCY_BUCKETS: usize = 65;
+
+/// Latency distribution: count/total/min/max plus a log2-bucketed
+/// histogram exposing p50/p90/p99.
+///
+/// The histogram merges elementwise, so shard merges stay commutative
+/// and associative — merging in any grouping yields bit-identical
+/// buckets and therefore bit-identical percentile estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyStats {
     count: u64,
     total: u64,
     min: u64,
     max: u64,
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            count: 0,
+            total: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+/// Log2 bucket index of a latency value (its bit length).
+#[inline]
+fn bucket_of(l: u64) -> usize {
+    (u64::BITS - l.leading_zeros()) as usize
+}
+
+/// Upper bound of bucket `i` (largest value the bucket can hold).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
 }
 
 impl LatencyStats {
@@ -87,6 +126,7 @@ impl LatencyStats {
         }
         self.count += 1;
         self.total = self.total.saturating_add(l);
+        self.buckets[bucket_of(l)] += 1;
     }
 
     /// Number of samples.
@@ -118,9 +158,50 @@ impl LatencyStats {
         self.total
     }
 
+    /// The raw log2 histogram (`buckets[i]` = samples with bit length
+    /// `i`, i.e. in `[2^(i-1), 2^i)`; bucket 0 holds zeros).
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the `ceil(q·count)`-th smallest sample, clamped to the
+    /// observed `[min, max]` so single-bucket distributions report
+    /// exactly. Returns 0 when there are no samples.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency estimate.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile latency estimate.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile latency estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
     /// Folds `other`'s samples into `self` as if every sample had been
     /// recorded here. Commutative and associative (count/total sum,
-    /// min/max combine), so shard merge order cannot change the result.
+    /// min/max combine, histogram buckets add elementwise), so shard
+    /// merge order cannot change the result.
     pub fn merge(&mut self, other: &LatencyStats) {
         if other.count == 0 {
             return;
@@ -133,6 +214,9 @@ impl LatencyStats {
         self.max = self.max.max(other.max);
         self.count += other.count;
         self.total = self.total.saturating_add(other.total);
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
     }
 }
 
@@ -364,6 +448,67 @@ mod tests {
         assert_eq!(ls.max(), 60);
         assert!((ls.mean() - 30.0).abs() < 1e-12);
         assert_eq!(ls.total(), 90);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_log2() {
+        let mut ls = LatencyStats::default();
+        for l in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            ls.record(Cycles::new(l));
+        }
+        let b = ls.buckets();
+        assert_eq!(b[0], 1, "value 0");
+        assert_eq!(b[1], 1, "value 1");
+        assert_eq!(b[2], 2, "values 2..4");
+        assert_eq!(b[3], 2, "values 4..8");
+        assert_eq!(b[4], 1, "values 8..16");
+        assert_eq!(b[11], 1, "value 1024");
+        assert_eq!(b.iter().sum::<u64>(), ls.count());
+    }
+
+    #[test]
+    fn latency_percentiles_bound_the_distribution() {
+        let mut ls = LatencyStats::default();
+        for l in 1..=1000u64 {
+            ls.record(Cycles::new(l));
+        }
+        // Bucket upper bounds over-approximate but never exceed max and
+        // never undershoot the true quantile's bucket.
+        assert!(ls.p50() >= 500 && ls.p50() <= 1000);
+        assert!(ls.p90() >= 900 && ls.p90() <= 1000);
+        assert!(ls.p99() >= 990 && ls.p99() <= 1000);
+        assert!(ls.p50() <= ls.p90() && ls.p90() <= ls.p99());
+    }
+
+    #[test]
+    fn latency_percentiles_exact_for_degenerate_cases() {
+        let empty = LatencyStats::default();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+        let mut one = LatencyStats::default();
+        one.record(Cycles::new(37));
+        // Clamping to [min, max] makes single-value distributions exact.
+        assert_eq!(one.p50(), 37);
+        assert_eq!(one.p99(), 37);
+    }
+
+    #[test]
+    fn latency_histogram_merge_matches_recording() {
+        let mut all = LatencyStats::default();
+        let mut a = LatencyStats::default();
+        let mut b = LatencyStats::default();
+        for (i, l) in [0u64, 5, 9, 200, 3_000, 70_000, 7, 8].iter().enumerate() {
+            all.record(Cycles::new(*l));
+            if i % 3 == 0 {
+                a.record(Cycles::new(*l));
+            } else {
+                b.record(Cycles::new(*l));
+            }
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        assert_eq!(ab, all, "buckets merge elementwise");
+        assert_eq!(ab.p99(), all.p99());
     }
 
     #[test]

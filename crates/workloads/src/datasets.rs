@@ -13,8 +13,8 @@
 //! All generators are seeded and deterministic.
 
 use crate::dist::Zipf;
-use metal_sim::types::Key;
 use metal_sim::rng::SplitRng;
+use metal_sim::types::Key;
 
 /// A sorted set of `n` distinct keys spread sparsely over `[1, n*spread]`.
 ///
@@ -60,12 +60,7 @@ pub fn sparse_matrix(cols: u64, density: f64, max_nnz: u32, seed: u64) -> Vec<(K
 /// each touching a handful of the stored columns of B, with locality
 /// (rows touch column neighborhoods) plus a few hub columns everyone
 /// touches.
-pub fn spmm_rows(
-    rows: u64,
-    b_cols: &[(Key, u32)],
-    nnz_per_row: usize,
-    seed: u64,
-) -> Vec<Vec<Key>> {
+pub fn spmm_rows(rows: u64, b_cols: &[(Key, u32)], nnz_per_row: usize, seed: u64) -> Vec<Vec<Key>> {
     assert!(!b_cols.is_empty(), "B must have stored columns");
     let mut rng = SplitRng::stream(seed, 0xA5A5);
     let zipf = Zipf::new(b_cols.len() as u64, 0.8);
@@ -73,8 +68,7 @@ pub fn spmm_rows(
         .map(|r| {
             let mut cols: Vec<Key> = Vec::with_capacity(nnz_per_row);
             // Band-local columns around the row's diagonal neighborhood.
-            let center = (r as usize * b_cols.len() / rows.max(1) as usize)
-                .min(b_cols.len() - 1);
+            let center = (r as usize * b_cols.len() / rows.max(1) as usize).min(b_cols.len() - 1);
             for i in 0..nnz_per_row / 2 {
                 let idx = (center + i) % b_cols.len();
                 cols.push(b_cols[idx].0);

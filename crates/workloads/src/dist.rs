@@ -10,8 +10,8 @@
 //!   ("parameters are updated after a batch of 1 million walks" because
 //!   batches move; Fig. 22 shows the cached band following the drift).
 
-use metal_sim::types::Key;
 use metal_sim::rng::SplitRng;
+use metal_sim::types::Key;
 
 /// Zipf(s) sampler over `1..=n` by rejection inversion.
 #[derive(Debug, Clone)]

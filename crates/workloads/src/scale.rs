@@ -102,7 +102,11 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let s = Scale::ci().with_keys(5).with_walks(6).with_depth(3).with_seed(9);
+        let s = Scale::ci()
+            .with_keys(5)
+            .with_walks(6)
+            .with_depth(3)
+            .with_seed(9);
         assert_eq!((s.keys, s.walks, s.depth, s.seed), (5, 6, 3, 9));
     }
 

@@ -22,9 +22,7 @@ use crate::built::BuiltWorkload;
 use crate::datasets;
 use crate::dist::{DriftingCluster, Zipf};
 use crate::scale::Scale;
-use metal_core::descriptor::{
-    BranchDescriptor, Descriptor, LevelDescriptor, NodeDescriptor,
-};
+use metal_core::descriptor::{BranchDescriptor, Descriptor, LevelDescriptor, NodeDescriptor};
 use metal_core::request::WalkRequest;
 use metal_dsa::tile::DsaSpec;
 use metal_dsa::{aurochs, capstan, gorgon, widx};
@@ -36,8 +34,8 @@ use metal_index::rtree::RTree2D;
 use metal_index::sortedset::{SortedSet, SortedSetConfig};
 use metal_index::tensor::SparseTensor;
 use metal_index::walk::WalkIndex;
-use metal_sim::types::{Addr, Key};
 use metal_sim::rng::SplitRng;
+use metal_sim::types::{Addr, Key};
 
 /// The evaluated applications (Fig. 18's x-axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -591,11 +589,8 @@ mod tests {
                 let index = exp.indexes[req.index as usize];
                 let mut steps = 0;
                 let mut id = index.root();
-                loop {
-                    match index.descend(id, req.key) {
-                        metal_index::walk::Descend::Child(c) => id = c,
-                        metal_index::walk::Descend::Leaf { .. } => break,
-                    }
+                while let metal_index::walk::Descend::Child(c) = index.descend(id, req.key) {
+                    id = c;
                     steps += 1;
                     assert!(
                         steps <= 4 * index.depth() as usize + 16,

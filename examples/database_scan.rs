@@ -58,5 +58,8 @@ fn main() {
             println!("  window {i}: levels [{lo}, {hi}]");
         }
     }
-    println!("\nfinal IX-cache occupancy by level: {:?}", metal.occupancy_by_level);
+    println!(
+        "\nfinal IX-cache occupancy by level: {:?}",
+        metal.occupancy_by_level
+    );
 }

@@ -40,13 +40,7 @@ fn main() {
     //    Belady-optimal address cache, X-Cache, METAL-IX and METAL.
     let cfg = RunConfig::default().with_lanes(64);
     let band = LevelDescriptor::band(2, 4);
-    let reports = run_comparison(
-        &exp,
-        &cfg,
-        64 * 1024,
-        vec![Descriptor::Level(band)],
-        2_000,
-    );
+    let reports = run_comparison(&exp, &cfg, 64 * 1024, vec![Descriptor::Level(band)], 2_000);
 
     let stream = &reports[0];
     println!(

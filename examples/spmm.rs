@@ -50,9 +50,7 @@ fn main() {
     let (x_shallow, m_shallow, d_shallow) = run(Workload::SpMMShallow, scale);
 
     println!("SpMM inner product, speedup over the streaming DSA:");
-    println!(
-        "  deep dynamic tensor (depth {d_deep}):   x-cache {x_deep:.2}x   metal {m_deep:.2}x"
-    );
+    println!("  deep dynamic tensor (depth {d_deep}):   x-cache {x_deep:.2}x   metal {m_deep:.2}x");
     println!(
         "  shallow fibers      (depth {d_shallow}):   x-cache {x_shallow:.2}x   metal {m_shallow:.2}x"
     );

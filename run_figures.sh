@@ -6,15 +6,15 @@ ARGS="${@:---scale bench}"
 BINS="table2_setup fig15_miss_rate fig16_working_set fig17_walk_latency fig18_speedup fig19_dram_energy fig20_breakdown fig21_occupancy fig22_adaptivity fig25_energy table3_summary"
 for b in $BINS; do
   echo "=== $b ==="
-  cargo run --release -p metal-bench --bin "$b" -- $ARGS > "results/$b.csv" 2>/dev/null
+  cargo run --release -p metal-bench --bin "$b" -- $ARGS > "results/$b.csv"
 done
 # Sweeps run many configurations; a shorter request stream per point keeps
 # the whole sweep tractable without changing the trends.
 SWEEP_ARGS="$ARGS --walks 15000"
 for b in fig23_scaling fig24_design_sweep abl_geometry abl_shared_private; do
   echo "=== $b ==="
-  cargo run --release -p metal-bench --bin "$b" -- $SWEEP_ARGS > "results/$b.csv" 2>/dev/null
+  cargo run --release -p metal-bench --bin "$b" -- $SWEEP_ARGS > "results/$b.csv"
 done
 echo "=== fig23b ==="
-cargo run --release -p metal-bench --bin fig23_scaling -- $SWEEP_ARGS --depth-sweep > results/fig23b_depth.csv 2>/dev/null
+cargo run --release -p metal-bench --bin fig23_scaling -- $SWEEP_ARGS --depth-sweep > results/fig23b_depth.csv
 echo ALL_DONE

@@ -46,5 +46,6 @@
 pub use metal_core as core;
 pub use metal_dsa as dsa;
 pub use metal_index as index;
+pub use metal_obs as obs;
 pub use metal_sim as sim;
 pub use metal_workloads as workloads;

@@ -174,8 +174,19 @@ fn ixcache_capacity_respected() {
             let level = rng.gen_range(0u64..8) as u8;
             let bytes = rng.gen_range(1u64..512);
             let life = rng.gen_range(0u64..4) as u32;
-            c.insert(0, i as u32, KeyRange::new(lo, lo + width), level, bytes, life);
-            assert!(c.occupancy() <= 64, "occupancy {} over budget", c.occupancy());
+            c.insert(
+                0,
+                i as u32,
+                KeyRange::new(lo, lo + width),
+                level,
+                bytes,
+                life,
+            );
+            assert!(
+                c.occupancy() <= 64,
+                "occupancy {} over budget",
+                c.occupancy()
+            );
         }
     }
 }

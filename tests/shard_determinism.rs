@@ -36,7 +36,7 @@ fn assert_shard_invariant(workload: Workload, spec: &DesignSpec) {
         workload.name()
     );
 
-    let serial = run_design(spec, &exp, &base.with_shards(1));
+    let serial = run_design(spec, &exp, &base.clone().with_shards(1));
     let parallel = run_design(spec, &exp, &base.with_shards(4));
 
     // RunStats derives PartialEq over every public field, so this is the
@@ -158,11 +158,13 @@ fn random_stats(rng: &mut SplitRng) -> RunStats {
     s.hit_levels = (0..n_levels).map(|_| rng.gen_range(0u64..1000)).collect();
     let n_lat = rng.gen_range(0usize..40);
     for _ in 0..n_lat {
-        s.walk_latency.record(Cycles::new(rng.gen_range(1u64..100_000)));
+        s.walk_latency
+            .record(Cycles::new(rng.gen_range(1u64..100_000)));
     }
     let n_blocks = rng.gen_range(0usize..200);
     for _ in 0..n_blocks {
-        s.working_set.touch(BlockAddr::new(rng.gen_range(0u64..500)));
+        s.working_set
+            .touch(BlockAddr::new(rng.gen_range(0u64..500)));
     }
     s.distinct_blocks = s.working_set.distinct_blocks();
     s
@@ -199,6 +201,16 @@ fn merge_is_associative_on_randomized_triples() {
         let mut right = a.clone();
         right.merge(&bc);
         assert_eq!(left, right, "merge must be associative");
+        // The latency histogram merges bucketwise, so the percentile
+        // estimates of the merged stats are grouping-independent too.
+        assert_eq!(
+            left.walk_latency.buckets(),
+            right.walk_latency.buckets(),
+            "histogram buckets must merge associatively"
+        );
+        assert_eq!(left.walk_latency.p50(), right.walk_latency.p50());
+        assert_eq!(left.walk_latency.p90(), right.walk_latency.p90());
+        assert_eq!(left.walk_latency.p99(), right.walk_latency.p99());
     }
 }
 

@@ -97,7 +97,11 @@ fn all_designs_agree_on_walk_outcomes() {
                 ),
             }
         }
-        assert!(found.unwrap_or(0) > 0, "{}: some keys are found", built.name);
+        assert!(
+            found.unwrap_or(0) > 0,
+            "{}: some keys are found",
+            built.name
+        );
     }
 }
 
@@ -133,7 +137,12 @@ fn runs_are_deterministic_across_invocations() {
 fn dram_traffic_ordering_stream_is_maximal() {
     // The streaming DSA re-fetches everything; every caching design must
     // produce at most that much index traffic.
-    for w in [Workload::Where, Workload::Scan, Workload::Sets, Workload::SpMM] {
+    for w in [
+        Workload::Where,
+        Workload::Scan,
+        Workload::Sets,
+        Workload::SpMM,
+    ] {
         let built = w.build(tiny());
         let exp = built.experiment();
         let cfg = RunConfig::default().with_lanes(16);
