@@ -78,11 +78,14 @@ impl KeyRange {
         let step = w / n as u64;
         let mut out = Vec::with_capacity(n);
         let mut lo = self.lo;
-        for i in 0..n {
-            let hi = if i == n - 1 { self.hi } else { lo + step - 1 };
+        for _ in 0..n - 1 {
+            let hi = lo + step - 1;
             out.push(KeyRange::new(lo, hi));
             lo = hi + 1;
         }
+        // Last piece takes the remainder; `hi` may be `u64::MAX`, so the
+        // cursor must not advance past it.
+        out.push(KeyRange::new(lo, self.hi));
         out
     }
 
@@ -164,6 +167,23 @@ mod tests {
         // Every key covered by exactly one part.
         let total: u64 = parts.iter().map(|p| p.width()).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn split_at_top_of_key_space() {
+        // Regression: the cursor used to advance past the final piece's
+        // `hi` even when it was `u64::MAX`, overflowing in debug builds
+        // (reachable from `IxCache::insert` with a multi-block node
+        // ending at the top of the key space).
+        let r = KeyRange::new(u64::MAX - 99, u64::MAX);
+        let parts = r.split(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].lo, u64::MAX - 99);
+        assert_eq!(parts.last().unwrap().hi, u64::MAX);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].hi + 1, w[1].lo);
+        }
+        assert_eq!(parts.iter().map(|p| p.width()).sum::<u64>(), 100);
     }
 
     #[test]
