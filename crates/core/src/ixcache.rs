@@ -434,7 +434,6 @@ impl IxCache {
             pinned: life > 0,
             tick: self.tick,
         };
-        self.stats.inserts += 1;
         let record = self.record;
 
         if wide {
@@ -462,6 +461,10 @@ impl IxCache {
                     set: WIDE_SET,
                 });
             }
+            // Counted only once placement is certain: a fully pinned
+            // cache bypasses the insert above, and a bypass is not an
+            // insertion (inserts = evictions + flushed + resident).
+            self.stats.inserts += 1;
             self.wide.push(entry);
         } else {
             let set_idx = self.set_of(index, range.lo);
@@ -524,6 +527,7 @@ impl IxCache {
                     set: set_idx as u32,
                 });
             }
+            self.stats.inserts += 1;
             self.sets[set_idx].push(entry);
         }
     }
@@ -731,6 +735,27 @@ mod tests {
         c.insert(0, 4, KeyRange::new(60, 70), 0, 64, 0); // evicts 3
         assert!(c.probe(0, 5).is_some(), "pinned entry still resident");
         assert!(c.probe(0, 25).is_none());
+    }
+
+    #[test]
+    fn bypassed_insert_is_not_counted() {
+        // Regression: a fully pinned cache bypasses the insert, and a
+        // bypass must not increment `IxStats::inserts` — the counter
+        // satisfies inserts == evictions + flushed + resident.
+        let mut c = IxCache::new(IxConfig {
+            entries: 2,
+            ways: 2,
+            key_block_bits: 20,
+            wide_fraction: 0.0,
+        });
+        c.insert(0, 1, KeyRange::new(0, 10), 0, 64, 1000); // pinned
+        c.insert(0, 2, KeyRange::new(20, 30), 0, 64, 1000); // pinned
+        assert_eq!(c.stats().inserts, 2);
+        c.insert(0, 3, KeyRange::new(40, 50), 0, 64, 0); // bypassed
+        assert!(c.probe(0, 45).is_none(), "insert was bypassed");
+        assert_eq!(c.stats().inserts, 2, "bypass is not an insertion");
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.occupancy(), 2);
     }
 
     #[test]
