@@ -148,6 +148,41 @@ pub struct FillRecord {
     pub set: u32,
 }
 
+/// A resident entry, as reported by [`IxCache::snapshot`] for external
+/// verification (the `metal-verify` oracle checks every probe against a
+/// linear scan over these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntrySnapshot {
+    /// Index the entry belongs to.
+    pub index: IndexId,
+    /// Entry level (leaf = 0).
+    pub level: u8,
+    /// Union span of all segments (the SRAM range tag).
+    pub span: KeyRange,
+    /// `(exact range, node id)` per packed node slice, in match order.
+    pub segs: Vec<(KeyRange, u32)>,
+    /// Total payload bytes packed into the entry.
+    pub payload_bytes: u64,
+    /// Whether the entry is currently lifetime-pinned (`life > 0`).
+    pub pinned: bool,
+    /// Residence set ([`WIDE_SET`] for the wide partition).
+    pub set: u32,
+}
+
+impl EntrySnapshot {
+    fn from_entry(e: &Entry, set: u32) -> Self {
+        EntrySnapshot {
+            index: e.index,
+            level: e.level,
+            span: e.span,
+            segs: e.segs.clone(),
+            payload_bytes: e.payload_bytes,
+            pinned: e.life > 0,
+            set,
+        }
+    }
+}
+
 impl Entry {
     fn matches(&self, index: IndexId, key: Key) -> Option<(KeyRange, u32)> {
         if self.index != index || !self.span.covers(key) {
@@ -581,6 +616,26 @@ impl IxCache {
             e.utility -= 1;
         }
         None
+    }
+
+    /// Captures every resident entry in probe-scan order: the narrow
+    /// sets in index order (each in its internal vector order), then
+    /// the wide partition. [`IxCache::probe`] scans exactly one narrow
+    /// set followed by the wide partition, so filtering a snapshot to
+    /// one set plus [`WIDE_SET`] reproduces the match stage's candidate
+    /// order. Observe-only: changes no state, counter or replacement
+    /// metadata (used by `metal-verify`'s differential oracle).
+    pub fn snapshot(&self) -> Vec<EntrySnapshot> {
+        let mut out = Vec::with_capacity(self.occupancy());
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for e in set {
+                out.push(EntrySnapshot::from_entry(e, set_idx as u32));
+            }
+        }
+        for e in &self.wide {
+            out.push(EntrySnapshot::from_entry(e, WIDE_SET));
+        }
+        out
     }
 
     /// Number of valid entries.

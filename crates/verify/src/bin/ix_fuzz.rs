@@ -1,0 +1,183 @@
+//! Seeded swarm fuzzer for the differential verification subsystem.
+//!
+//! Generates random cases across three families and checks each against
+//! its reference oracle:
+//!
+//! - **ix** — IX-cache scenarios (random geometry × index shape × op
+//!   mix), differentially checked against the snapshot spec oracle, the
+//!   history oracle and — for ample cases — translation invariance;
+//! - **baseline** — address/X-Cache traces vs independent LRU
+//!   references, and FA-OPT vs the Belady sanity oracle;
+//! - **design** — design-model runs whose event traces must reconstruct
+//!   their statistics.
+//!
+//! Failing IX scenarios are shrunk to a minimal repro and written to the
+//! corpus directory as JSON; `cargo test -p metal-verify` replays the
+//! corpus forever after. The run is fully determined by `--seed`, so CI
+//! failures reproduce locally with the same flags.
+//!
+//! ```text
+//! ix_fuzz [--cases N] [--seed S] [--corpus-dir DIR] [--budget-secs T]
+//! ```
+
+use metal_verify::check::{check_translation, run_scenario, Divergence};
+use metal_verify::design::check_designs_case;
+use metal_verify::refcache::check_baselines_case;
+use metal_verify::scenario::{gen_scenario, Scenario};
+use metal_verify::shrink::shrink_scenario;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    corpus_dir: String,
+    budget_secs: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cases: 500,
+        seed: 1,
+        corpus_dir: concat!(env!("CARGO_MANIFEST_DIR"), "/corpus").to_string(),
+        budget_secs: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--cases" => args.cases = val("--cases").parse().expect("--cases: not a number"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed: not a number"),
+            "--corpus-dir" => args.corpus_dir = val("--corpus-dir"),
+            "--budget-secs" => {
+                args.budget_secs = val("--budget-secs")
+                    .parse()
+                    .expect("--budget-secs: not a number")
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Runs every check for one IX scenario, folding panics (e.g. debug
+/// overflow) into divergences so the shrinker can minimize them too.
+fn check_ix(s: &Scenario) -> Result<(), Divergence> {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        run_scenario(s)?;
+        if s.ample {
+            for delta in [1, 1 << 20, u64::MAX / 2] {
+                check_translation(s, delta)?;
+            }
+        }
+        Ok(())
+    }));
+    match r {
+        Ok(inner) => inner,
+        Err(p) => Err(Divergence {
+            op: s.ops.len(),
+            what: format!("panic: {}", panic_message(&p)),
+        }),
+    }
+}
+
+fn panic_message(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let start = Instant::now();
+    let mut failures = 0u64;
+    let mut ran = 0u64;
+
+    for i in 0..args.cases {
+        if args.budget_secs > 0 && start.elapsed().as_secs() >= args.budget_secs {
+            eprintln!(
+                "ix_fuzz: budget of {}s exhausted after {ran} cases",
+                args.budget_secs
+            );
+            break;
+        }
+        ran += 1;
+        let case_seed = args
+            .seed
+            .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+
+        // Swarm mix: mostly IX scenarios (the subsystem under test),
+        // with baseline and design-accounting sweeps interleaved.
+        match i % 8 {
+            5 => {
+                let r = catch_unwind(AssertUnwindSafe(|| check_baselines_case(case_seed)));
+                match r {
+                    Ok(Ok(())) => {}
+                    Ok(Err(d)) => {
+                        failures += 1;
+                        eprintln!("FAIL baseline case {i} (seed {case_seed}): {d}");
+                    }
+                    Err(p) => {
+                        failures += 1;
+                        eprintln!(
+                            "FAIL baseline case {i} (seed {case_seed}): panic: {}",
+                            panic_message(&p)
+                        );
+                    }
+                }
+            }
+            6 => {
+                let r = catch_unwind(AssertUnwindSafe(|| check_designs_case(case_seed)));
+                match r {
+                    Ok(Ok(())) => {}
+                    Ok(Err(d)) => {
+                        failures += 1;
+                        eprintln!("FAIL design case {i} (seed {case_seed}): {d}");
+                    }
+                    Err(p) => {
+                        failures += 1;
+                        eprintln!(
+                            "FAIL design case {i} (seed {case_seed}): panic: {}",
+                            panic_message(&p)
+                        );
+                    }
+                }
+            }
+            n => {
+                let ample = n % 2 == 0;
+                let s = gen_scenario(case_seed, ample);
+                if let Err(d) = check_ix(&s) {
+                    failures += 1;
+                    eprintln!("FAIL ix case {i} (seed {case_seed}, ample {ample}): {d}");
+                    let small = shrink_scenario(&s, |c| check_ix(c).is_err());
+                    let why = check_ix(&small).expect_err("shrunk case must still fail");
+                    let path = format!("{}/ix-seed{case_seed}.json", args.corpus_dir);
+                    std::fs::create_dir_all(&args.corpus_dir).expect("create corpus dir");
+                    std::fs::write(&path, small.to_json().render() + "\n")
+                        .expect("write corpus repro");
+                    eprintln!(
+                        "  shrunk {} ops -> {} ops ({why}); repro written to {path}",
+                        s.ops.len(),
+                        small.ops.len()
+                    );
+                }
+            }
+        }
+    }
+
+    println!(
+        "ix_fuzz: {ran} cases, {failures} failures, {:.1}s (seed {})",
+        start.elapsed().as_secs_f64(),
+        args.seed
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

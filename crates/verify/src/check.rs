@@ -1,0 +1,352 @@
+//! Differential and metamorphic checks against the reference oracles.
+//!
+//! [`run_scenario`] is the core gate: it drives an [`IxCache`] through
+//! a [`Scenario`] while predicting every probe with [`spec_probe`]
+//! (residency snapshot, all regimes) and — in ample-capacity scenarios
+//! — with the [`HistoryOracle`] (retention: nothing may be spuriously
+//! dropped). Structural invariants (occupancy bound, segment
+//! justification, counter coherence) run alongside. Everything returns
+//! a [`Divergence`] naming the first failing op so the shrinker can
+//! minimize on "still fails".
+
+use crate::oracle::{spec_probe, HistoryOracle};
+use crate::scenario::{Op, Scenario};
+use metal_core::range::KeyRange;
+use metal_core::IxCache;
+
+/// A reproducible disagreement between the cache and the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the op that exposed it (`ops.len()` for end-of-run
+    /// counter checks).
+    pub op: usize,
+    /// Human-readable description of expected vs actual.
+    pub what: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op {}: {}", self.op, self.what)
+    }
+}
+
+fn fail(op: usize, what: impl Into<String>) -> Result<(), Divergence> {
+    Err(Divergence {
+        op,
+        what: what.into(),
+    })
+}
+
+/// Runs the full differential check over one scenario.
+pub fn run_scenario(s: &Scenario) -> Result<(), Divergence> {
+    let mut cache = IxCache::new(s.config());
+    let mut hist = HistoryOracle::new();
+    let mut expected_probes = 0u64;
+    let mut expected_misses = 0u64;
+    let mut flushed = 0usize;
+
+    for (i, op) in s.ops.iter().enumerate() {
+        match *op {
+            Op::Insert {
+                index,
+                node,
+                lo,
+                hi,
+                level,
+                bytes,
+                life,
+            } => {
+                cache.insert(index, node, KeyRange::new(lo, hi), level, bytes, life);
+                hist.insert(index, level, KeyRange::new(lo, hi), node);
+                // Every resident segment must be justified by history.
+                for e in cache.snapshot() {
+                    for (seg, n) in &e.segs {
+                        if !hist.justifies(e.index, e.level, seg, *n) {
+                            return fail(
+                                i,
+                                format!(
+                                    "resident segment {seg:?} node {n} level {} index {} \
+                                     was never inserted",
+                                    e.level, e.index
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Op::Probe { index, key } => {
+                let snap = cache.snapshot();
+                let expected = spec_probe(&snap, index, key, cache.probe_set(index, key));
+                let actual = cache.probe(index, key);
+                expected_probes += 1;
+                match (&expected, &actual) {
+                    (None, None) => expected_misses += 1,
+                    (Some(e), Some(a)) => {
+                        if (e.node, e.level, e.range) != (a.node, a.level, a.range) {
+                            return fail(
+                                i,
+                                format!(
+                                    "probe({index}, {key}): spec says node {} level {} \
+                                     range {:?}, cache returned node {} level {} range {:?}",
+                                    e.node, e.level, e.range, a.node, a.level, a.range
+                                ),
+                            );
+                        }
+                    }
+                    (Some(e), None) => {
+                        return fail(
+                            i,
+                            format!(
+                                "probe({index}, {key}): spec says hit node {} level {}, \
+                                 cache missed",
+                                e.node, e.level
+                            ),
+                        );
+                    }
+                    (None, Some(a)) => {
+                        return fail(
+                            i,
+                            format!(
+                                "probe({index}, {key}): spec says miss, cache returned \
+                                 node {} level {}",
+                                a.node, a.level
+                            ),
+                        );
+                    }
+                }
+                // Retention: with ample capacity nothing may have been
+                // dropped, so the history oracle agrees too.
+                if s.ample {
+                    match (hist.probe(index, key), &actual) {
+                        (None, None) => {}
+                        (Some(h), Some(a)) => {
+                            if h.level != a.level || !h.nodes.contains(&a.node) {
+                                return fail(
+                                    i,
+                                    format!(
+                                        "probe({index}, {key}): history says level {} \
+                                         nodes {:?}, cache returned node {} level {}",
+                                        h.level, h.nodes, a.node, a.level
+                                    ),
+                                );
+                            }
+                        }
+                        (Some(h), None) => {
+                            return fail(
+                                i,
+                                format!(
+                                    "probe({index}, {key}): inserted level-{} entry \
+                                     lost without eviction pressure",
+                                    h.level
+                                ),
+                            );
+                        }
+                        (None, Some(a)) => {
+                            return fail(
+                                i,
+                                format!(
+                                    "probe({index}, {key}): hit node {} never inserted",
+                                    a.node
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Op::Flush => {
+                flushed += cache.occupancy();
+                cache.flush();
+                hist.flush();
+                if cache.occupancy() != 0 {
+                    return fail(i, "flush left residents behind");
+                }
+            }
+        }
+        if cache.occupancy() > cache.entries() {
+            return fail(
+                i,
+                format!(
+                    "occupancy {} exceeds capacity {}",
+                    cache.occupancy(),
+                    cache.entries()
+                ),
+            );
+        }
+    }
+
+    // Counter coherence over the whole run.
+    let st = *cache.stats();
+    let end = s.ops.len();
+    if st.probes != expected_probes || st.misses != expected_misses {
+        return fail(
+            end,
+            format!(
+                "stats probes/misses {}/{} but spec counted {}/{}",
+                st.probes, st.misses, expected_probes, expected_misses
+            ),
+        );
+    }
+    // Every counted insert is either still resident, was evicted, or
+    // was dropped by a flush; bypassed inserts must not be counted.
+    let accounted = (st.evictions as usize) + flushed + cache.occupancy();
+    if st.inserts as usize != accounted {
+        return fail(
+            end,
+            format!(
+                "stats.inserts {} != evicted {} + flushed {flushed} + resident {} \
+                 (bypassed inserts must not count as insertions)",
+                st.inserts,
+                st.evictions,
+                cache.occupancy()
+            ),
+        );
+    }
+    if s.ample && st.evictions != 0 {
+        return fail(
+            end,
+            format!("{} evictions in an ample-capacity scenario", st.evictions),
+        );
+    }
+    Ok(())
+}
+
+/// Metamorphic: translating the whole key space by `delta` must leave
+/// the hit/miss/node/level sequence unchanged (ample scenarios only —
+/// set indexing legitimately changes under translation, which can
+/// reorder evictions in tight geometries). Range tags must translate
+/// along.
+pub fn check_translation(s: &Scenario, delta: u64) -> Result<(), Divergence> {
+    assert!(
+        s.ample,
+        "translation invariance needs the no-eviction regime"
+    );
+    let max_key = s
+        .ops
+        .iter()
+        .map(|op| match *op {
+            Op::Insert { hi, .. } => hi,
+            Op::Probe { key, .. } => key,
+            Op::Flush => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    let delta = delta.min(u64::MAX - max_key);
+
+    let shift = |ops: &[Op]| -> Vec<Op> {
+        ops.iter()
+            .map(|op| match *op {
+                Op::Insert {
+                    index,
+                    node,
+                    lo,
+                    hi,
+                    level,
+                    bytes,
+                    life,
+                } => Op::Insert {
+                    index,
+                    node,
+                    lo: lo + delta,
+                    hi: hi + delta,
+                    level,
+                    bytes,
+                    life,
+                },
+                Op::Probe { index, key } => Op::Probe {
+                    index,
+                    key: key.saturating_add(delta),
+                },
+                Op::Flush => Op::Flush,
+            })
+            .collect()
+    };
+
+    let outcomes = |ops: &[Op]| -> Vec<Option<(u32, u8, u64)>> {
+        let mut cache = IxCache::new(s.config());
+        let mut out = Vec::new();
+        for op in ops {
+            match *op {
+                Op::Insert {
+                    index,
+                    node,
+                    lo,
+                    hi,
+                    level,
+                    bytes,
+                    life,
+                } => cache.insert(index, node, KeyRange::new(lo, hi), level, bytes, life),
+                Op::Probe { index, key } => {
+                    out.push(
+                        cache
+                            .probe(index, key)
+                            .map(|h| (h.node, h.level, h.range.lo)),
+                    );
+                }
+                Op::Flush => cache.flush(),
+            }
+        }
+        out
+    };
+
+    let base = outcomes(&s.ops);
+    let shifted = outcomes(&shift(&s.ops));
+    for (i, (b, t)) in base.iter().zip(&shifted).enumerate() {
+        let translated = b.map(|(n, l, lo)| (n, l, lo + delta));
+        if translated != *t {
+            return fail(
+                i,
+                format!(
+                    "probe #{i}: outcome {translated:?} became {t:?} after translating \
+                     keys by {delta}"
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::gen_scenario;
+
+    #[test]
+    fn handwritten_scenario_passes() {
+        let s = Scenario {
+            seed: 0,
+            entries: 16,
+            ways: 16,
+            key_block_bits: 4,
+            wide_pct: 50,
+            ample: true,
+            ops: vec![
+                Op::Probe { index: 0, key: 5 },
+                Op::Insert {
+                    index: 0,
+                    node: 1,
+                    lo: 0,
+                    hi: 10,
+                    level: 1,
+                    bytes: 64,
+                    life: 0,
+                },
+                Op::Probe { index: 0, key: 5 },
+                Op::Probe { index: 1, key: 5 },
+                Op::Flush,
+                Op::Probe { index: 0, key: 5 },
+            ],
+        };
+        run_scenario(&s).unwrap();
+        check_translation(&s, 1 << 20).unwrap();
+    }
+
+    #[test]
+    fn generated_scenarios_smoke() {
+        for seed in 0..40 {
+            let s = gen_scenario(seed, seed % 2 == 0);
+            if let Err(d) = run_scenario(&s) {
+                panic!("seed {seed}: {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Differential verification for the METAL reproduction.
+//!
+//! The simulator's credibility rests on the IX-cache and the baseline
+//! caches doing exactly what the paper's spec says. This crate makes the
+//! spec *executable* and checks the optimized implementations against it:
+//!
+//! - [`oracle`] — a flat, obviously-correct reference of the IX-cache
+//!   probe rule (deepest covering segment wins) over residency snapshots,
+//!   plus a history oracle for the no-eviction regime;
+//! - [`refcache`] — independent LRU references for the address cache and
+//!   X-Cache, and a Belady sanity oracle for FA-OPT;
+//! - [`design`] — event-trace vs statistics accounting checks for every
+//!   [`metal_core::models::DesignSpec`];
+//! - [`scenario`] — serializable fuzz cases and the seeded swarm
+//!   generator (`SplitRng`-driven; no external fuzzing deps);
+//! - [`check`] — the differential / metamorphic harness that runs a
+//!   scenario and reports the first [`check::Divergence`];
+//! - [`shrink`] — delta-debugging minimizer for failing scenarios.
+//!
+//! The `ix_fuzz` binary drives all of it from a fixed seed (CI runs it
+//! on every push); failures are shrunk and written to
+//! `crates/verify/corpus/`, which `tests/corpus_replay.rs` replays
+//! forever after as regression tests.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod design;
+pub mod oracle;
+pub mod refcache;
+pub mod scenario;
+pub mod shrink;
+
+pub use check::{check_translation, run_scenario, Divergence};
+pub use oracle::{spec_probe, HistoryOracle, SpecHit};
+pub use scenario::{gen_scenario, Op, Scenario};
+pub use shrink::shrink_scenario;

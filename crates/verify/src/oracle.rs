@@ -1,0 +1,229 @@
+//! Executable reference oracle of the IX-cache spec.
+//!
+//! Two independent executables of §3.1's probe semantics, both flat
+//! linear scans with none of `IxCache`'s machinery (no set
+//! virtualization, no 64 B packing, no CLOCK metadata):
+//!
+//! - [`spec_probe`] predicts the exact outcome of the *next* probe from
+//!   a residency snapshot: scan every resident segment, keep the
+//!   deepest covering one, first-found on level ties. Valid in every
+//!   regime — evictions change the snapshot, not the rule.
+//! - [`HistoryOracle`] predicts probe outcomes from the *insert
+//!   history* alone. It never forgets, so it only agrees with the cache
+//!   when no capacity eviction can have happened; differential runs in
+//!   the ample-capacity regime use it to detect entries that were
+//!   spuriously dropped (a bug the snapshot scan, which trusts
+//!   residency, cannot see).
+
+use metal_core::ixcache::EntrySnapshot;
+use metal_core::range::KeyRange;
+use metal_sim::obs::WIDE_SET;
+
+/// What the spec says a probe must return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecHit {
+    /// Node id of the winning segment.
+    pub node: u32,
+    /// Level of the winning entry (leaf = 0).
+    pub level: u8,
+    /// The winning segment's exact range tag.
+    pub range: KeyRange,
+}
+
+/// Predicts the outcome of `probe(index, key)` against a residency
+/// snapshot by linear scan: an entry matches when any of its segments
+/// covers the key (the first covering segment resolves the node); the
+/// deepest-level match wins, and on equal levels the earliest entry in
+/// scan order keeps the win (strictly-lower-level replacement, exactly
+/// the hardware match stage's tie-break).
+///
+/// `probe_set` must be the set the cache would scan for this key
+/// ([`metal_core::IxCache::probe_set`]); entries resident in *other*
+/// narrow sets are deliberately not filtered out — a correctly placed
+/// narrow entry covering `key` can only live in `probe_set`, so if the
+/// scan ever wins with an entry from elsewhere, the cache has a
+/// placement bug and the differential check reports the divergence.
+pub fn spec_probe(
+    snapshot: &[EntrySnapshot],
+    index: u8,
+    key: u64,
+    probe_set: u32,
+) -> Option<SpecHit> {
+    let mut best: Option<(SpecHit, u32)> = None;
+    for e in snapshot {
+        if e.index != index || !e.span.covers(key) {
+            continue;
+        }
+        let Some(&(range, node)) = e.segs.iter().find(|(r, _)| r.covers(key)) else {
+            continue;
+        };
+        let hit = SpecHit {
+            node,
+            level: e.level,
+            range,
+        };
+        if best.as_ref().is_none_or(|(b, _)| hit.level < b.level) {
+            best = Some((hit, e.set));
+        }
+    }
+    let (hit, set) = best?;
+    debug_assert!(
+        set == probe_set || set == WIDE_SET,
+        "winning entry in set {set} is unreachable from probe set {probe_set}"
+    );
+    Some(hit)
+}
+
+/// The probe outcome implied by the insert history alone: deepest
+/// covering insert wins. Node ids are returned as the full candidate
+/// set at the winning level because the history carries no tie-break
+/// order (two same-level inserts may cover the same key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryHit {
+    /// Deepest level of any covering insert.
+    pub level: u8,
+    /// Every node inserted at that level whose range covers the key.
+    pub nodes: Vec<u32>,
+}
+
+/// Append-only record of every insert, cleared by flush. With ample
+/// capacity (no evictions possible) the cache must agree with this
+/// oracle on every probe's hit/miss and level.
+#[derive(Debug, Default)]
+pub struct HistoryOracle {
+    /// `(index, level, range, node)` per insert op (op-level range,
+    /// before any packing).
+    inserted: Vec<(u8, u8, KeyRange, u32)>,
+}
+
+impl HistoryOracle {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one insert op.
+    pub fn insert(&mut self, index: u8, level: u8, range: KeyRange, node: u32) {
+        self.inserted.push((index, level, range, node));
+    }
+
+    /// Forgets everything (mirrors `IxCache::flush`).
+    pub fn flush(&mut self) {
+        self.inserted.clear();
+    }
+
+    /// The deepest covering insert for `key`, with all same-level
+    /// candidate nodes.
+    pub fn probe(&self, index: u8, key: u64) -> Option<HistoryHit> {
+        let mut best: Option<HistoryHit> = None;
+        for &(i, level, range, node) in &self.inserted {
+            if i != index || !range.covers(key) {
+                continue;
+            }
+            match &mut best {
+                Some(b) if level > b.level => {}
+                Some(b) if level == b.level => {
+                    if !b.nodes.contains(&node) {
+                        b.nodes.push(node);
+                    }
+                }
+                _ => {
+                    best = Some(HistoryHit {
+                        level,
+                        nodes: vec![node],
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether a resident segment is justified by the history: some
+    /// insert of the same `(index, level, node)` whose op range
+    /// contains the segment (splitting produces sub-ranges of the op
+    /// range; exact and coalesced packing keep it verbatim).
+    pub fn justifies(&self, index: u8, level: u8, seg: &KeyRange, node: u32) -> bool {
+        self.inserted
+            .iter()
+            .any(|&(i, l, r, n)| i == index && l == level && n == node && r.contains(seg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(entries: &[(u8, u8, u64, u64, u32, u32)]) -> Vec<EntrySnapshot> {
+        // (index, level, lo, hi, node, set)
+        entries
+            .iter()
+            .map(|&(index, level, lo, hi, node, set)| EntrySnapshot {
+                index,
+                level,
+                span: KeyRange::new(lo, hi),
+                segs: vec![(KeyRange::new(lo, hi), node)],
+                payload_bytes: 64,
+                pinned: false,
+                set,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deepest_covering_entry_wins() {
+        let s = snap(&[(0, 3, 0, 100, 1, 0), (0, 1, 40, 60, 2, 0)]);
+        let hit = spec_probe(&s, 0, 50, 0).unwrap();
+        assert_eq!((hit.node, hit.level), (2, 1));
+        let hit = spec_probe(&s, 0, 10, 0).unwrap();
+        assert_eq!((hit.node, hit.level), (1, 3));
+        assert!(spec_probe(&s, 0, 101, 0).is_none());
+        assert!(spec_probe(&s, 1, 50, 0).is_none(), "index isolation");
+    }
+
+    #[test]
+    fn equal_level_first_in_scan_order_wins() {
+        let s = snap(&[(0, 2, 0, 50, 7, 0), (0, 2, 20, 90, 8, 0)]);
+        assert_eq!(spec_probe(&s, 0, 30, 0).unwrap().node, 7);
+    }
+
+    #[test]
+    fn gap_keys_in_coalesced_entries_miss() {
+        let e = EntrySnapshot {
+            index: 0,
+            level: 0,
+            span: KeyRange::new(0, 6),
+            segs: vec![(KeyRange::new(0, 2), 1), (KeyRange::new(4, 6), 2)],
+            payload_bytes: 48,
+            pinned: false,
+            set: 0,
+        };
+        assert_eq!(spec_probe(&[e.clone()], 0, 1, 0).unwrap().node, 1);
+        assert_eq!(spec_probe(&[e.clone()], 0, 5, 0).unwrap().node, 2);
+        assert!(spec_probe(&[e], 0, 3, 0).is_none(), "gap key");
+    }
+
+    #[test]
+    fn history_probe_collects_tied_nodes() {
+        let mut h = HistoryOracle::new();
+        h.insert(0, 2, KeyRange::new(0, 50), 7);
+        h.insert(0, 2, KeyRange::new(20, 90), 8);
+        h.insert(0, 4, KeyRange::new(0, 1000), 9);
+        let hit = h.probe(0, 30).unwrap();
+        assert_eq!(hit.level, 2);
+        assert_eq!(hit.nodes, vec![7, 8]);
+        assert_eq!(h.probe(0, 500).unwrap().nodes, vec![9]);
+        h.flush();
+        assert!(h.probe(0, 30).is_none());
+    }
+
+    #[test]
+    fn justification_accepts_sub_ranges_only() {
+        let mut h = HistoryOracle::new();
+        h.insert(0, 1, KeyRange::new(0, 100), 5);
+        assert!(h.justifies(0, 1, &KeyRange::new(10, 20), 5));
+        assert!(h.justifies(0, 1, &KeyRange::new(0, 100), 5));
+        assert!(!h.justifies(0, 1, &KeyRange::new(90, 110), 5));
+        assert!(!h.justifies(0, 0, &KeyRange::new(10, 20), 5), "level");
+        assert!(!h.justifies(0, 1, &KeyRange::new(10, 20), 6), "node");
+    }
+}

@@ -1,0 +1,355 @@
+//! Fuzz scenarios: a serializable op sequence against one IX-cache
+//! geometry, plus the seeded swarm generator that produces them.
+//!
+//! A scenario is the unit of differential checking, shrinking and
+//! corpus replay: JSON round-trips exactly (keys are `u64`, so the
+//! serialization rides `metal-obs`'s exact-integer JSON), and the
+//! generator varies every axis the paper's structure exposes — index
+//! shape (tree-like nested levels), key-space magnitude (including the
+//! top of the `u64` range), geometry (entries/ways/key-block
+//! bits/wide fraction) and op mix (inserts, probes, flushes, pins).
+
+use metal_core::IxConfig;
+use metal_obs::Json;
+use metal_sim::rng::SplitRng;
+
+/// One operation against the cache under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `IxCache::insert(index, node, [lo, hi], level, bytes, life)`.
+    Insert {
+        /// Index id.
+        index: u8,
+        /// Node id.
+        node: u32,
+        /// Range low key (inclusive).
+        lo: u64,
+        /// Range high key (inclusive).
+        hi: u64,
+        /// Node level (leaf = 0).
+        level: u8,
+        /// Payload bytes (drives Fig. 5 packing).
+        bytes: u64,
+        /// Pin lifetime in hits (0 = unpinned).
+        life: u32,
+    },
+    /// `IxCache::probe(index, key)`.
+    Probe {
+        /// Index id.
+        index: u8,
+        /// Probe key.
+        key: u64,
+    },
+    /// `IxCache::flush()`.
+    Flush,
+}
+
+/// A complete differential test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Seed that generated the case (provenance; replay uses the ops).
+    pub seed: u64,
+    /// Geometry: total entry budget.
+    pub entries: usize,
+    /// Geometry: narrow-partition associativity.
+    pub ways: usize,
+    /// Geometry: key-block bits.
+    pub key_block_bits: u32,
+    /// Geometry: wide fraction as integer percent (0..=100), so the
+    /// JSON round-trip is exact.
+    pub wide_pct: u8,
+    /// Whether the generator sized the cache so no eviction or bypass
+    /// can occur; enables the strict history-oracle retention check.
+    pub ample: bool,
+    /// The op sequence.
+    pub ops: Vec<Op>,
+}
+
+impl Scenario {
+    /// The geometry as an [`IxConfig`].
+    pub fn config(&self) -> IxConfig {
+        IxConfig {
+            entries: self.entries,
+            ways: self.ways,
+            key_block_bits: self.key_block_bits,
+            wide_fraction: self.wide_pct as f64 / 100.0,
+        }
+    }
+
+    /// Serializes to the corpus JSON schema (`kind: "ix"`).
+    pub fn to_json(&self) -> Json {
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match *op {
+                Op::Insert {
+                    index,
+                    node,
+                    lo,
+                    hi,
+                    level,
+                    bytes,
+                    life,
+                } => Json::Obj(vec![
+                    ("op".into(), Json::str("insert")),
+                    ("index".into(), Json::UInt(index as u64)),
+                    ("node".into(), Json::UInt(node as u64)),
+                    ("lo".into(), Json::UInt(lo)),
+                    ("hi".into(), Json::UInt(hi)),
+                    ("level".into(), Json::UInt(level as u64)),
+                    ("bytes".into(), Json::UInt(bytes)),
+                    ("life".into(), Json::UInt(life as u64)),
+                ]),
+                Op::Probe { index, key } => Json::Obj(vec![
+                    ("op".into(), Json::str("probe")),
+                    ("index".into(), Json::UInt(index as u64)),
+                    ("key".into(), Json::UInt(key)),
+                ]),
+                Op::Flush => Json::Obj(vec![("op".into(), Json::str("flush"))]),
+            })
+            .collect();
+        Json::Obj(vec![
+            ("kind".into(), Json::str("ix")),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("entries".into(), Json::UInt(self.entries as u64)),
+            ("ways".into(), Json::UInt(self.ways as u64)),
+            (
+                "key_block_bits".into(),
+                Json::UInt(self.key_block_bits as u64),
+            ),
+            ("wide_pct".into(), Json::UInt(self.wide_pct as u64)),
+            ("ample".into(), Json::Bool(self.ample)),
+            ("ops".into(), Json::Arr(ops)),
+        ])
+    }
+
+    /// Parses the corpus JSON schema. Returns `None` on any shape
+    /// mismatch (corpus files are hand-editable; a replay must fail
+    /// loudly rather than silently skip a malformed repro).
+    pub fn from_json(j: &Json) -> Option<Scenario> {
+        if j.get("kind")?.as_str()? != "ix" {
+            return None;
+        }
+        let u = |k: &str| j.get(k).and_then(Json::as_u64);
+        let mut ops = Vec::new();
+        for op in j.get("ops")?.as_arr()? {
+            let f = |k: &str| op.get(k).and_then(Json::as_u64);
+            ops.push(match op.get("op")?.as_str()? {
+                "insert" => Op::Insert {
+                    index: f("index")? as u8,
+                    node: f("node")? as u32,
+                    lo: f("lo")?,
+                    hi: f("hi")?,
+                    level: f("level")? as u8,
+                    bytes: f("bytes")?,
+                    life: f("life")? as u32,
+                },
+                "probe" => Op::Probe {
+                    index: f("index")? as u8,
+                    key: f("key")?,
+                },
+                "flush" => Op::Flush,
+                _ => return None,
+            });
+        }
+        Some(Scenario {
+            seed: u("seed")?,
+            entries: u("entries")? as usize,
+            ways: u("ways")? as usize,
+            key_block_bits: u("key_block_bits")? as u32,
+            wide_pct: u("wide_pct")? as u8,
+            ample: j.get("ample")?.as_bool()?,
+            ops,
+        })
+    }
+
+    /// Physical entries an insert sequence can create, at most: each
+    /// insert op makes `min(ceil(bytes/64), width)` entries (the
+    /// degenerate split caps at one key per entry). Used to size ample
+    /// scenarios so no eviction is possible.
+    pub fn max_physical_entries(ops: &[Op]) -> usize {
+        ops.iter()
+            .map(|op| match *op {
+                Op::Insert { lo, hi, bytes, .. } => {
+                    let blocks = bytes.max(1).div_ceil(64);
+                    let width = (hi - lo).saturating_add(1);
+                    blocks.min(width) as usize
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// A synthetic tree-like index shape: levels of nested ranges, level 0
+/// deepest. Same-level nodes are disjoint (as in a real index), so the
+/// deepest covering node for any key is unique.
+struct Shape {
+    /// `(level, lo, hi, node, bytes)` for every node.
+    nodes: Vec<(u8, u64, u64, u32, u64)>,
+    base: u64,
+    span: u64,
+}
+
+fn gen_shape(rng: &mut SplitRng, near_max: bool) -> Shape {
+    let span: u64 = match rng.gen_range(0..3u64) {
+        0 => rng.gen_range(8..200u64),
+        1 => rng.gen_range(200..20_000u64),
+        _ => rng.gen_range(20_000..2_000_000u64),
+    };
+    let base = if near_max {
+        u64::MAX - span
+    } else {
+        rng.gen_range(0..1u64 << 40)
+    };
+    let depth = rng.gen_range(1..5u64) as u8;
+    let mut nodes = Vec::new();
+    let mut node_id = 1u32;
+    for level in (0..depth).rev() {
+        // Fewer, wider nodes at higher levels.
+        let n = (1usize << ((depth - 1 - level) as usize).min(4)).min(16);
+        let n = rng.gen_range(1..=(n.max(1)));
+        let step = span / n as u64 + 1;
+        let end = base.saturating_add(span);
+        for i in 0..n as u64 {
+            let Some(lo) = i.checked_mul(step).and_then(|o| base.checked_add(o)) else {
+                break;
+            };
+            if lo > end {
+                break;
+            }
+            // Strictly below the next node's `lo`: same-level nodes are
+            // disjoint (as in a real index), so equal-level probe ties
+            // cannot arise and node identity is translation-invariant.
+            let hi = lo.saturating_add(rng.gen_range(1..=step) - 1).min(end);
+            let bytes = *pick(rng, &[16, 24, 40, 64, 64, 100, 128, 256, 960]);
+            nodes.push((level, lo, hi.max(lo), node_id, bytes));
+            node_id += 1;
+        }
+    }
+    Shape { nodes, base, span }
+}
+
+pub(crate) fn pick<'a, T>(rng: &mut SplitRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+/// Generates one IX scenario from the swarm. `ample` scenarios are
+/// sized so no eviction or bypass can occur (single narrow set, entry
+/// budget above the worst-case physical entry count, no pins), which
+/// arms the history-oracle retention and translation-invariance
+/// checks; tight scenarios use small geometries and pins to stress
+/// eviction, erosion and bypass paths.
+pub fn gen_scenario(seed: u64, ample: bool) -> Scenario {
+    let mut rng = SplitRng::stream(seed, 0x5ce7a210);
+    let near_max = rng.gen_range(0..8u64) == 0;
+    let shape = gen_shape(&mut rng, near_max);
+    let n_ops = rng.gen_range(10..160u64) as usize;
+    let indexes = rng.gen_range(1..=2u64) as u8;
+
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let roll = rng.gen_range(0..100u64);
+        if roll < 40 {
+            let &(level, lo, hi, node, bytes) = pick(&mut rng, &shape.nodes);
+            let life = if ample {
+                0
+            } else {
+                *pick(&mut rng, &[0, 0, 0, 0, 1, 2, 3, 8, 20])
+            };
+            ops.push(Op::Insert {
+                index: rng.gen_range(0..indexes as u64) as u8,
+                node,
+                lo,
+                hi,
+                level,
+                bytes,
+                life,
+            });
+        } else if roll < 97 || ample {
+            // Probe keys: uniform in span, node boundaries, or outside.
+            let key = match rng.gen_range(0..6u64) {
+                0 => {
+                    let &(_, lo, hi, _, _) = pick(&mut rng, &shape.nodes);
+                    if rng.gen_range(0..2u64) == 0 {
+                        lo
+                    } else {
+                        hi
+                    }
+                }
+                1 => shape.base.wrapping_sub(rng.gen_range(1..50u64)),
+                _ => shape.base + rng.gen_range(0..=shape.span),
+            };
+            ops.push(Op::Probe {
+                index: rng.gen_range(0..indexes as u64) as u8,
+                key,
+            });
+        } else {
+            ops.push(Op::Flush);
+        }
+    }
+
+    let (entries, ways) = if ample {
+        let entries = Scenario::max_physical_entries(&ops) + 2;
+        (entries, entries)
+    } else {
+        let ways = rng.gen_range(1..=8u64) as usize;
+        (rng.gen_range(2..40u64) as usize, ways)
+    };
+    Scenario {
+        seed,
+        entries,
+        ways,
+        key_block_bits: rng.gen_range(0..16u64) as u32,
+        wide_pct: *pick(&mut rng, &[0, 25, 50, 75, 100]),
+        ample,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        for seed in 0..20 {
+            let s = gen_scenario(seed, seed % 2 == 0);
+            let j = s.to_json();
+            let back = Scenario::from_json(&Json::parse(&j.render()).unwrap()).unwrap();
+            assert_eq!(s, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ample_scenarios_have_no_pins_and_enough_entries() {
+        for seed in 0..50 {
+            let s = gen_scenario(seed, true);
+            assert!(s.entries > Scenario::max_physical_entries(&s.ops));
+            assert_eq!(s.ways, s.entries, "single narrow set");
+            for op in &s.ops {
+                if let Op::Insert { life, .. } = op {
+                    assert_eq!(*life, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(gen_scenario(42, false), gen_scenario(42, false));
+        assert_ne!(gen_scenario(1, false).ops, gen_scenario(2, false).ops);
+    }
+
+    #[test]
+    fn ranges_are_well_formed() {
+        for seed in 0..80 {
+            for op in gen_scenario(seed, seed % 3 == 0).ops {
+                if let Op::Insert { lo, hi, bytes, .. } = op {
+                    assert!(lo <= hi, "seed {seed}: inverted range");
+                    assert!(bytes > 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Scenario shrinking: reduce a failing case to a short, readable repro.
+//!
+//! Classic delta-debugging over the op list (drop exponentially smaller
+//! chunks while the scenario still fails), followed by value-level
+//! simplification (shrink keys toward the scenario's base, bytes toward
+//! 64, lives toward 0, geometry toward minimal). Every candidate is
+//! re-run under the same predicate, so the output is guaranteed to still
+//! diverge; a bounded pass count keeps worst-case time predictable.
+
+use crate::scenario::{Op, Scenario};
+
+/// Re-establishes the invariants a candidate must keep for the checks to
+/// stay sound: `ample` scenarios promise "no eviction is possible", so
+/// after any mutation their geometry is resized back to the single-set,
+/// above-worst-case shape. Tight candidates only need basic sanity.
+fn normalize(c: &mut Scenario) {
+    if c.ample {
+        c.entries = Scenario::max_physical_entries(&c.ops) + 2;
+        c.ways = c.entries;
+    } else {
+        c.entries = c.entries.max(2);
+        c.ways = c.ways.clamp(1, c.entries);
+    }
+}
+
+/// Returns the smallest still-failing scenario `fails` accepts, starting
+/// from `s` (which must fail).
+pub fn shrink_scenario<F>(s: &Scenario, fails: F) -> Scenario
+where
+    F: Fn(&Scenario) -> bool,
+{
+    debug_assert!(fails(s), "shrink needs a failing input");
+    let mut best = s.clone();
+
+    // Pass 1: ddmin over ops — remove chunks, halving the granularity.
+    let mut chunk = best.ops.len().div_ceil(2).max(1);
+    while chunk >= 1 {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < best.ops.len() {
+            let mut candidate = best.clone();
+            let end = (start + chunk).min(candidate.ops.len());
+            candidate.ops.drain(start..end);
+            normalize(&mut candidate);
+            if !candidate.ops.is_empty() && fails(&candidate) {
+                best = candidate;
+                removed_any = true;
+                // Same `start` now points at fresh ops.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+    }
+
+    // Pass 2: value simplification, to fixpoint (bounded).
+    for _ in 0..8 {
+        let mut progressed = false;
+
+        // Geometry: fewer entries / ways / bits, zero wide partition.
+        for f in [
+            (|c: &mut Scenario| c.entries /= 2) as fn(&mut Scenario),
+            |c| c.ways = 1,
+            |c| c.ways = c.entries,
+            |c| c.key_block_bits /= 2,
+            |c| c.wide_pct = 0,
+        ] {
+            let mut candidate = best.clone();
+            f(&mut candidate);
+            normalize(&mut candidate);
+            if candidate != best && fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+
+        // Ops: simplify one field at a time.
+        for i in 0..best.ops.len() {
+            let variants: Vec<Op> = match best.ops[i] {
+                Op::Insert {
+                    index,
+                    node,
+                    lo,
+                    hi,
+                    level,
+                    bytes,
+                    life,
+                } => vec![
+                    Op::Insert {
+                        index,
+                        node,
+                        lo,
+                        hi,
+                        level,
+                        bytes: 64,
+                        life,
+                    },
+                    Op::Insert {
+                        index,
+                        node,
+                        lo,
+                        hi,
+                        level,
+                        bytes,
+                        life: 0,
+                    },
+                    Op::Insert {
+                        index,
+                        node,
+                        lo,
+                        hi,
+                        level: 0,
+                        bytes,
+                        life,
+                    },
+                    Op::Insert {
+                        index,
+                        node: 1,
+                        lo,
+                        hi,
+                        level,
+                        bytes,
+                        life,
+                    },
+                    Op::Insert {
+                        index: 0,
+                        node,
+                        lo,
+                        hi,
+                        level,
+                        bytes,
+                        life,
+                    },
+                    Op::Insert {
+                        index,
+                        node,
+                        lo,
+                        hi: lo,
+                        level,
+                        bytes,
+                        life,
+                    },
+                    Op::Insert {
+                        index,
+                        node,
+                        lo: hi,
+                        hi,
+                        level,
+                        bytes,
+                        life,
+                    },
+                    Op::Insert {
+                        index,
+                        node,
+                        lo: lo / 2,
+                        hi: hi / 2,
+                        level,
+                        bytes,
+                        life,
+                    },
+                ],
+                Op::Probe { index, key } => vec![
+                    Op::Probe { index: 0, key },
+                    Op::Probe {
+                        index,
+                        key: key / 2,
+                    },
+                    Op::Probe { index, key: 0 },
+                ],
+                Op::Flush => vec![],
+            };
+            for v in variants {
+                if v == best.ops[i] {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate.ops[i] = v;
+                normalize(&mut candidate);
+                if fails(&candidate) {
+                    best = candidate;
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::gen_scenario;
+
+    #[test]
+    fn shrinks_to_single_triggering_op() {
+        // Predicate: "contains an insert with bytes > 500" — a stand-in
+        // for a real divergence tied to one op.
+        let fails = |s: &Scenario| {
+            s.ops
+                .iter()
+                .any(|op| matches!(op, Op::Insert { bytes, .. } if *bytes > 500))
+        };
+        for seed in 0..200 {
+            let s = gen_scenario(seed, false);
+            if !fails(&s) {
+                continue;
+            }
+            let small = shrink_scenario(&s, fails);
+            assert_eq!(small.ops.len(), 1, "seed {seed}: {:?}", small.ops);
+            assert!(fails(&small));
+            return; // one generated witness is enough
+        }
+        panic!("no generated scenario contained a large insert");
+    }
+
+    #[test]
+    fn shrink_preserves_failure() {
+        let fails = |s: &Scenario| {
+            s.ops
+                .iter()
+                .filter(|o| matches!(o, Op::Probe { .. }))
+                .count()
+                >= 3
+        };
+        for seed in 0..50 {
+            let s = gen_scenario(seed, true);
+            if fails(&s) {
+                let small = shrink_scenario(&s, fails);
+                assert!(fails(&small));
+                assert!(small.ops.len() <= s.ops.len());
+                return;
+            }
+        }
+        panic!("no witness");
+    }
+}
