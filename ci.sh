@@ -71,4 +71,44 @@ echo "tracing does not perturb the CSV"
 grep -q "check-hits: per-level hit counts match" "$tdir/dump.txt"
 echo "trace parses; trace-derived hit levels match the manifest"
 
+echo "== telemetry cross-check: fig15 + fig24 traces vs manifests =="
+cargo build --release -p metal-bench --bin fig15_miss_rate --bin fig24_design_sweep
+for fig in fig15_miss_rate fig24_design_sweep; do
+    ./target/release/"$fig" --scale ci \
+        --trace-out "$tdir/$fig.jsonl" --metrics-out "$tdir/$fig.manifest.json" \
+        > /dev/null
+    ./target/release/trace_dump "$tdir/$fig.jsonl" \
+        --check-hits "$tdir/$fig.manifest.json" > "$tdir/$fig.dump.txt"
+    grep -q "check-hits: per-level hit counts match" "$tdir/$fig.dump.txt"
+    echo "$fig: trace-derived hit levels match the manifest"
+done
+# Negative control: a corrupted trace (one forged probe hit) must make
+# trace_dump exit nonzero, or the checks above prove nothing.
+cp "$tdir/fig15_miss_rate.jsonl" "$tdir/forged.jsonl"
+printf '%s\n' '{"ev":"ix_probe","run":"scan","design":"metal-ix","shard":0,"index":0,"set":0,"level":0,"hit":true,"scan":false,"short_circuit":1}' \
+    >> "$tdir/forged.jsonl"
+if ./target/release/trace_dump "$tdir/forged.jsonl" \
+    --check-hits "$tdir/fig15_miss_rate.manifest.json" > "$tdir/forged.txt"; then
+    echo "FAIL: trace_dump exited 0 on a forged trace/manifest mismatch" >&2
+    exit 1
+fi
+grep -q "MISMATCH" "$tdir/forged.txt"
+echo "negative control: forged trace fails check-hits with nonzero exit"
+
+echo "== differential verification: fuzz smoke + figure cross-check =="
+# Debug build on purpose: overflow checks armed, and 600 cases take
+# seconds. Zero divergences required; failures land minimized repros in
+# crates/verify/corpus/ (replayed by the corpus_replay test above).
+cargo build -p metal-verify --bin ix_fuzz
+./target/debug/ix_fuzz --cases 600 --seed 42
+# The --verify flag cross-checks a subsample of every figure workload
+# against the reference accounting model, without touching the CSV.
+./target/release/fig15_miss_rate --scale ci --verify > "$tdir/verify.csv" 2> /dev/null
+./target/release/fig15_miss_rate --scale ci > "$tdir/plain15.csv" 2> /dev/null
+if ! diff -q "$tdir/plain15.csv" "$tdir/verify.csv" > /dev/null; then
+    echo "FAIL: --verify changed the figure CSV" >&2
+    exit 1
+fi
+echo "--verify passes and leaves the CSV byte-identical"
+
 echo "== ci.sh: all checks passed =="

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig15_miss_rate`
 
-use metal_bench::{csv_row, f3, run_workload, HarnessArgs, Session};
+use metal_bench::{fig15_header, fig15_row, run_workload, verify_workload, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn main() {
@@ -16,14 +16,16 @@ fn main() {
     println!("# Fig 15: miss rate (lower is better; note §5.1 obs. 2 — miss");
     println!("#   rates are not comparable across organizations: hit/miss paths differ)");
     println!("# paper expectation: x-cache 0.6-0.95; metal lowest");
-    csv_row(["workload", "fa-opt", "x-cache", "metal-ix", "metal"]);
+    println!("{}", fig15_header());
     for w in Workload::all() {
         let reports = run_workload(w, args.scale, args.cache_bytes, session.config(w.name()));
         for (name, r) in &reports {
             session.record(w.name(), name, &r.stats);
         }
-        let mr = |i: usize| f3(reports[i].1.stats.miss_rate());
-        csv_row([w.name().to_string(), mr(2), mr(3), mr(4), mr(5)]);
+        println!("{}", fig15_row(w.name(), &reports));
+        if args.verify {
+            verify_workload(w, args.scale, args.cache_bytes, &args.run_config());
+        }
     }
     session.finish();
 }

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig18_speedup -- --scale bench`
 
-use metal_bench::{csv_row, f3, run_workload, HarnessArgs, Session};
+use metal_bench::{fig18_header, fig18_row, run_workload, verify_workload, HarnessArgs, Session};
 use metal_workloads::Workload;
 
 fn main() {
@@ -16,24 +16,16 @@ fn main() {
     println!("# Fig 18: speedup over the streaming DSA (higher is better)");
     println!("# paper expectation: metal > metal-ix > x-cache/address > stream;");
     println!("#   -S (shallow) variants: metal within ~15% of x-cache");
-    csv_row([
-        "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal",
-    ]);
+    println!("{}", fig18_header());
     for w in Workload::all() {
         let reports = run_workload(w, args.scale, args.cache_bytes, session.config(w.name()));
         for (name, r) in &reports {
             session.record(w.name(), name, &r.stats);
         }
-        let stream = &reports[0].1;
-        let speedup = |i: usize| f3(reports[i].1.speedup_vs(stream));
-        csv_row([
-            w.name().to_string(),
-            speedup(1),
-            speedup(2),
-            speedup(3),
-            speedup(4),
-            speedup(5),
-        ]);
+        println!("{}", fig18_row(w.name(), &reports));
+        if args.verify {
+            verify_workload(w, args.scale, args.cache_bytes, &args.run_config());
+        }
     }
     session.finish();
 }

@@ -14,7 +14,7 @@
 //!
 //! Run: `cargo run --release -p metal-bench --bin fig24_design_sweep`
 
-use metal_bench::{csv_row, f3, run_one, HarnessArgs, Session};
+use metal_bench::{csv_row, f3, run_one, verify_workload, HarnessArgs, Session};
 use metal_core::models::DesignSpec;
 use metal_core::IxConfig;
 use metal_workloads::Workload;
@@ -87,6 +87,9 @@ fn main() {
                     f3(mr),
                 ]);
             }
+        }
+        if args.verify {
+            verify_workload(w, args.scale, args.cache_bytes, &args.run_config());
         }
     }
     session.finish();

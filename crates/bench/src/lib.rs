@@ -47,6 +47,11 @@ pub struct HarnessArgs {
     /// seed, git revision, wall clock, full per-design statistics and
     /// aggregated event metrics) to PATH.
     pub metrics_out: Option<PathBuf>,
+    /// `--verify`: after each workload, re-run a subsample of it through
+    /// `metal-verify`'s reference accounting cross-check (observe-only;
+    /// diagnostics go to stderr and the CSV on stdout is unchanged).
+    /// Aborts the binary on any divergence.
+    pub verify: bool,
 }
 
 /// The `METAL_SHARDS` worker-count override, `0` (= all cores) when the
@@ -67,6 +72,7 @@ impl Default for HarnessArgs {
             shard_walks: DEFAULT_SHARD_WALKS,
             trace_out: None,
             metrics_out: None,
+            verify: false,
         }
     }
 }
@@ -83,6 +89,7 @@ impl HarnessArgs {
     ///   simulated machine model; 0 = unbounded default)
     /// - `--trace-out PATH` (JSONL event trace + Chrome export)
     /// - `--metrics-out PATH` (run-manifest JSON)
+    /// - `--verify` (subsampled reference cross-check per workload)
     ///
     /// Unknown flags are ignored so figure-specific binaries can add
     /// their own.
@@ -123,6 +130,7 @@ impl HarnessArgs {
                 "--metrics-out" => {
                     out.metrics_out = Some(PathBuf::from(next_str(&mut it, "--metrics-out")))
                 }
+                "--verify" => out.verify = true,
                 _ => {}
             }
         }
@@ -382,6 +390,39 @@ pub fn run_workload(
     names.into_iter().zip(reports).collect()
 }
 
+/// The `--verify` cross-check for one workload: rebuilds it at a
+/// subsampled scale (bounded keys/walks, same seed and structure) and
+/// runs every figure design through `metal-verify`'s reference
+/// accounting model — observation must not perturb statistics, the
+/// event trace must reconstruct them, and non-IX designs must emit no
+/// IX events. Observe-only: nothing is written to stdout, so figure
+/// CSVs are byte-identical with and without `--verify`.
+///
+/// Aborts (panics) on the first divergence: a figure produced from a
+/// diverging simulator is worthless, so there is nothing sensible to
+/// continue with.
+pub fn verify_workload(workload: Workload, scale: Scale, cache_bytes: usize, cfg: &RunConfig) {
+    let sub = scale
+        .with_keys(scale.keys.min(8_000))
+        .with_walks(scale.walks.min(1_000));
+    let built = workload.build(sub);
+    let exp = built.experiment();
+    let cfg = cfg.clone().with_lanes(built.tiles);
+    for (name, spec) in figure_designs(&built, cache_bytes) {
+        if let Err(d) = metal_verify::design::check_design(&spec, &exp, &cfg) {
+            panic!(
+                "--verify: {}/{name} diverged from the reference accounting model: {d}",
+                workload.name()
+            );
+        }
+    }
+    eprintln!(
+        "# verify: {} cross-checked against the reference model (all designs, {} walks)",
+        workload.name(),
+        sub.walks
+    );
+}
+
 /// Runs one workload under one design. `cfg` carries the execution knobs
 /// as in [`run_workload`].
 pub fn run_one(
@@ -397,10 +438,66 @@ pub fn run_one(
     run_design(spec, &exp, &cfg)
 }
 
+/// Formats a CSV row, comma-separated, no trailing comma.
+pub fn csv_line<S: AsRef<str>>(cells: impl IntoIterator<Item = S>) -> String {
+    let row: Vec<String> = cells.into_iter().map(|s| s.as_ref().to_string()).collect();
+    row.join(",")
+}
+
 /// Prints a CSV row, comma-separated, no trailing comma.
 pub fn csv_row<S: AsRef<str>>(cells: impl IntoIterator<Item = S>) {
-    let row: Vec<String> = cells.into_iter().map(|s| s.as_ref().to_string()).collect();
-    println!("{}", row.join(","));
+    println!("{}", csv_line(cells));
+}
+
+fn by_design<'a>(reports: &'a [(String, RunReport)], name: &str) -> &'a RunReport {
+    reports
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, r)| r)
+        .unwrap_or_else(|| panic!("design '{name}' missing from figure reports"))
+}
+
+/// The Fig. 15 CSV header row.
+pub fn fig15_header() -> String {
+    csv_line(["workload", "fa-opt", "x-cache", "metal-ix", "metal"])
+}
+
+/// One Fig. 15 data row (probe miss rate per design) from a
+/// [`figure_designs`] report set. Shared by the `fig15_miss_rate`
+/// binary and the golden-file regression test, so the pinned bytes are
+/// produced by the exact code that writes `results/fig15_miss_rate.csv`.
+pub fn fig15_row(workload: &str, reports: &[(String, RunReport)]) -> String {
+    let mr = |name: &str| f3(by_design(reports, name).stats.miss_rate());
+    csv_line([
+        workload.to_string(),
+        mr("fa-opt"),
+        mr("x-cache"),
+        mr("metal-ix"),
+        mr("metal"),
+    ])
+}
+
+/// The Fig. 18 CSV header row.
+pub fn fig18_header() -> String {
+    csv_line([
+        "workload", "address", "fa-opt", "x-cache", "metal-ix", "metal",
+    ])
+}
+
+/// One Fig. 18 data row (speedup over streaming) from a
+/// [`figure_designs`] report set. Shared by the `fig18_speedup` binary
+/// and the golden-file regression test.
+pub fn fig18_row(workload: &str, reports: &[(String, RunReport)]) -> String {
+    let stream = by_design(reports, "stream");
+    let speedup = |name: &str| f3(by_design(reports, name).speedup_vs(stream));
+    csv_line([
+        workload.to_string(),
+        speedup("address"),
+        speedup("fa-opt"),
+        speedup("x-cache"),
+        speedup("metal-ix"),
+        speedup("metal"),
+    ])
 }
 
 /// Formats a float to three significant decimals for CSV cells.

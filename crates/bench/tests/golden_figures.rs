@@ -1,0 +1,80 @@
+//! Golden-file regression gate for the headline figures.
+//!
+//! Pins the ci-scale CSV output of `fig15_miss_rate` and `fig18_speedup`
+//! byte-for-byte against `tests/goldens/` at the repo root. Simulation
+//! is deterministic (fixed seed, order-independent sharding), so any
+//! diff here is a *behavioral* change to the model — latencies, cache
+//! policy, tuning, workload generation — and must be intentional.
+//!
+//! When a change is intentional, regenerate the goldens and commit them
+//! together with the change that caused the diff:
+//!
+//! ```text
+//! METAL_UPDATE_GOLDENS=1 cargo test -p metal-bench --test golden_figures
+//! ```
+//!
+//! The rows are produced by the same `fig15_row`/`fig18_row` functions
+//! the figure binaries print, so the pinned bytes cover the exact code
+//! path behind `results/fig15_miss_rate.csv` and
+//! `results/fig18_speedup.csv` (minus the `#` comment preamble, which
+//! carries no data).
+
+use metal_bench::{fig15_header, fig15_row, fig18_header, fig18_row, run_workload};
+use metal_core::runner::RunConfig;
+use metal_workloads::{Scale, Workload};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    // crates/bench -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("tests/goldens")
+        .join(name)
+}
+
+fn check_golden(name: &str, produced: &str) {
+    let path = golden_path(name);
+    if std::env::var("METAL_UPDATE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, produced).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(run with METAL_UPDATE_GOLDENS=1 to create)",
+            path.display()
+        )
+    });
+    if produced != want {
+        let diff: Vec<String> = produced
+            .lines()
+            .zip(want.lines())
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| format!("  got:  {a}\n  want: {b}"))
+            .collect();
+        panic!(
+            "{name} diverged from its golden ({} differing rows):\n{}\n\
+             If this change is intentional, regenerate with\n\
+             METAL_UPDATE_GOLDENS=1 cargo test -p metal-bench --test golden_figures",
+            diff.len(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn fig15_and_fig18_ci_output_is_pinned() {
+    // Both figures read the same workload x design sweep, so run it once.
+    let cache_bytes = 64 * 1024;
+    let mut fig15 = vec![fig15_header()];
+    let mut fig18 = vec![fig18_header()];
+    for w in Workload::all() {
+        let reports = run_workload(w, Scale::ci(), cache_bytes, RunConfig::default());
+        fig15.push(fig15_row(w.name(), &reports));
+        fig18.push(fig18_row(w.name(), &reports));
+    }
+    let render = |rows: Vec<String>| rows.join("\n") + "\n";
+    check_golden("fig15_ci.csv", &render(fig15));
+    check_golden("fig18_ci.csv", &render(fig18));
+}

@@ -1,0 +1,159 @@
+//! Metamorphic properties of the IX-cache.
+//!
+//! These tests assert *relations between runs* rather than pointwise
+//! expectations, so they hold for any correct implementation of the
+//! spec and survive refactors of the internals:
+//!
+//! - translating the whole key space must not change probe outcomes
+//!   (ample regime — set indexing legitimately shifts under translation
+//!   once conflict evictions are possible);
+//! - `flush()` must return probe behavior to the fresh-cache state in
+//!   the no-eviction regime (CLOCK hands and ticks may persist, but
+//!   they only matter under eviction pressure);
+//! - occupancy never exceeds the configured entry budget, under any
+//!   randomized insert/probe/flush storm.
+
+use metal_core::range::KeyRange;
+use metal_core::{IxCache, IxConfig};
+use metal_sim::SplitRng;
+
+/// A deterministic op stream: `(node, lo, width, level, bytes,
+/// probe_key)` tuples derived from a seed. Levels nest inside 1024-key
+/// slots (deepest narrowest) and the node id is a function of
+/// `(level, slot)`, so re-inserts dedup onto the same node and every
+/// probe has a unique winner — translation cannot flip a tie.
+fn ops(seed: u64, n: usize) -> Vec<(u32, u64, u64, u8, u64, u64)> {
+    let mut rng = SplitRng::stream(seed, 0x0e7a);
+    (0..n)
+        .map(|i| {
+            let level = (i % 3) as u8;
+            let slot = rng.gen_range(0..64u64);
+            let width = 1 + 4u64.pow(level as u32);
+            let lo = slot * 1024;
+            let node = level as u32 * 64 + slot as u32;
+            let bytes = [16, 64, 100, 256][rng.gen_range(0..4u64) as usize];
+            let probe_key = lo + rng.gen_range(0..=width);
+            (node, lo, width, level, bytes, probe_key)
+        })
+        .collect()
+}
+
+/// Ample single-set geometry: big enough that no storm below can evict.
+fn ample() -> IxConfig {
+    IxConfig {
+        entries: 4096,
+        ways: 4096,
+        key_block_bits: 12,
+        wide_fraction: 0.5,
+    }
+}
+
+fn outcomes(
+    cfg: IxConfig,
+    stream: &[(u32, u64, u64, u8, u64, u64)],
+    delta: u64,
+) -> Vec<Option<(u32, u8)>> {
+    let mut c = IxCache::new(cfg);
+    let mut out = Vec::new();
+    for &(node, lo, width, level, bytes, key) in stream {
+        c.insert(
+            0,
+            node,
+            KeyRange::new(lo + delta, lo + delta + width),
+            level,
+            bytes,
+            0,
+        );
+        out.push(c.probe(0, key + delta).map(|h| (h.node, h.level)));
+    }
+    out
+}
+
+#[test]
+fn probe_outcomes_are_translation_invariant_without_eviction() {
+    for seed in 0..10 {
+        let stream = ops(seed, 300);
+        let base = outcomes(ample(), &stream, 0);
+        for delta in [1, 4096, 1 << 33, u64::MAX - (1 << 20)] {
+            assert_eq!(
+                base,
+                outcomes(ample(), &stream, delta),
+                "seed {seed}: hit/node/level sequence changed under key translation by {delta}"
+            );
+        }
+        assert!(
+            base.iter().any(|o| o.is_some()),
+            "seed {seed}: stream must actually produce hits"
+        );
+    }
+}
+
+#[test]
+fn flush_restores_fresh_cache_behavior_without_eviction() {
+    for seed in 0..10 {
+        let stream = ops(seed, 200);
+        let fresh = outcomes(ample(), &stream, 0);
+
+        let mut c = IxCache::new(ample());
+        for &(node, lo, width, level, bytes, _) in &stream {
+            c.insert(0, node, KeyRange::new(lo, lo + width), level, bytes, 0);
+        }
+        c.flush();
+        assert_eq!(c.occupancy(), 0, "flush must clear every resident entry");
+        for &(_, _, _, _, _, key) in &stream {
+            assert!(c.probe(0, key).is_none(), "post-flush probe must miss");
+        }
+
+        // Replaying the same stream after the flush behaves like a
+        // fresh cache (stats keep accumulating; behavior resets).
+        let mut replay = Vec::new();
+        for &(node, lo, width, level, bytes, key) in &stream {
+            c.insert(0, node, KeyRange::new(lo, lo + width), level, bytes, 0);
+            replay.push(c.probe(0, key).map(|h| (h.node, h.level)));
+        }
+        assert_eq!(fresh, replay, "seed {seed}: flush left behavioral residue");
+    }
+}
+
+#[test]
+fn occupancy_never_exceeds_budget_under_storm() {
+    for seed in 0..20 {
+        let mut rng = SplitRng::stream(seed, 0x57034);
+        let entries = rng.gen_range(2..24u64) as usize;
+        let ways = 1 + rng.gen_range(0..entries as u64) as usize;
+        let cfg = IxConfig {
+            entries,
+            ways,
+            key_block_bits: rng.gen_range(0..10u64) as u32,
+            wide_fraction: [0.0, 0.25, 0.5, 1.0][rng.gen_range(0..4u64) as usize],
+        };
+        let mut c = IxCache::new(cfg);
+        for _ in 0..800 {
+            match rng.gen_range(0..10u64) {
+                0 => c.flush(),
+                1..=5 => {
+                    let lo = rng.gen_range(0..(1u64 << 20));
+                    let width = rng.gen_range(0..4096u64);
+                    c.insert(
+                        0,
+                        rng.gen_range(0..50u64) as u32,
+                        KeyRange::new(lo, lo.saturating_add(width)),
+                        rng.gen_range(0..4u64) as u8,
+                        [16, 64, 256, 960][rng.gen_range(0..4u64) as usize],
+                        [0, 0, 3, 50][rng.gen_range(0..4u64) as usize],
+                    );
+                }
+                _ => {
+                    c.probe(0, rng.gen_range(0..(1u64 << 20)));
+                }
+            }
+            assert!(
+                c.occupancy() <= entries,
+                "seed {seed}: occupancy {} exceeded budget {entries}",
+                c.occupancy()
+            );
+        }
+        let st = c.stats();
+        assert!(st.misses <= st.probes, "seed {seed}: counter coherence");
+    }
+}

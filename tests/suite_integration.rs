@@ -106,6 +106,103 @@ fn all_designs_agree_on_walk_outcomes() {
 }
 
 #[test]
+fn cross_design_hit_rate_ordering_holds_suite_wide() {
+    // The paper's qualitative ordering (Figs. 15/18), checked on every
+    // suite workload:
+    //  - streaming probes nothing, so every caching design improves on
+    //    its (zero) hit rate;
+    //  - the full METAL design (descriptors + tuning) may only lose
+    //    hit rate against the bare IX-cache when its admission filter
+    //    actually bypassed insertions (trading hit rate for pollution
+    //    and DRAM traffic — e.g. SpMM-S gives up ~0.7 of hit rate by
+    //    design), and both IX designs must still beat streaming
+    //    end-to-end;
+    //  - FA-OPT sees the identical block trace as the set-associative
+    //    LRU cache with the same capacity, and Belady is optimal, so
+    //    its misses are a hard lower bound.
+    for w in Workload::all() {
+        let built = w.build(tiny());
+        let exp = built.experiment();
+        let cfg = RunConfig::default().with_lanes(16);
+        let hit_rate = |r: &RunReport| {
+            if r.stats.probes == 0 {
+                0.0
+            } else {
+                1.0 - r.stats.misses as f64 / r.stats.probes as f64
+            }
+        };
+
+        let stream = run_design(&DesignSpec::Stream, &exp, &cfg);
+        assert_eq!(
+            stream.stats.probes, 0,
+            "{}: streaming has no cache",
+            built.name
+        );
+
+        let metal_ix = run_design(
+            &DesignSpec::MetalIx {
+                ix: IxConfig::kb64(),
+            },
+            &exp,
+            &cfg,
+        );
+        let metal = run_design(
+            &DesignSpec::Metal {
+                ix: IxConfig::kb64(),
+                descriptors: built.descriptors.clone(),
+                tune: true,
+                batch_walks: built.batch_walks,
+            },
+            &exp,
+            &cfg,
+        );
+        assert!(
+            hit_rate(&metal_ix) > hit_rate(&stream),
+            "{}: the IX-cache must capture some reuse",
+            built.name
+        );
+        let gap = hit_rate(&metal) - hit_rate(&metal_ix);
+        assert!(
+            gap >= -0.01 || metal.stats.bypasses > 0,
+            "{}: metal lost {:.4} hit rate vs metal-ix without bypassing anything",
+            built.name,
+            -gap
+        );
+        for (r, name) in [(&metal_ix, "metal-ix"), (&metal, "metal")] {
+            assert!(
+                r.stats.exec_cycles.get() < stream.stats.exec_cycles.get(),
+                "{}/{name}: an IX design must beat streaming ({} vs {} cycles)",
+                built.name,
+                r.stats.exec_cycles.get(),
+                stream.stats.exec_cycles.get()
+            );
+        }
+
+        let addr = run_design(
+            &DesignSpec::Address {
+                entries: 1024,
+                ways: 16,
+            },
+            &exp,
+            &cfg,
+        );
+        let faopt = run_design(&DesignSpec::FaOpt { entries: 1024 }, &exp, &cfg);
+        assert_eq!(
+            faopt.stats.probes, addr.stats.probes,
+            "{}: both address organizations see the identical block trace",
+            built.name
+        );
+        assert!(
+            faopt.stats.misses <= addr.stats.misses,
+            "{}: Belady with full associativity cannot miss more than set-LRU ({} vs {})",
+            built.name,
+            faopt.stats.misses,
+            addr.stats.misses
+        );
+    }
+}
+
+#[test]
 fn runs_are_deterministic_across_invocations() {
     let w = Workload::Where;
     let run = || {
