@@ -13,6 +13,9 @@ cargo fmt --all --check
 echo "== lint: cargo clippy -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== docs: cargo doc --no-deps (rustdoc warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
@@ -110,5 +113,15 @@ if ! diff -q "$tdir/plain15.csv" "$tdir/verify.csv" > /dev/null; then
     exit 1
 fi
 echo "--verify passes and leaves the CSV byte-identical"
+
+echo "== bench smoke: bench_suite schema + regression gate =="
+# Runs the microbenchmark suite at ci scale, validates the emitted
+# BENCH JSON against the metal-bench-suite/1 schema, and fails on a
+# >20% regression against the committed baseline (exit 2 = regression,
+# exit 3 = schema error). See PERFORMANCE.md for the workflow.
+cargo build --release -p metal-bench --bin bench_suite
+./target/release/bench_suite --scale ci \
+    --out "$tdir/BENCH_ci_new.json" --compare BENCH_ci.json
+echo "bench smoke: schema valid, no metric regressed >20% vs BENCH_ci.json"
 
 echo "== ci.sh: all checks passed =="

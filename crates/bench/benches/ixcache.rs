@@ -3,69 +3,24 @@
 //!
 //! These run with `harness = false` as ordinary `main()` binaries so the
 //! workspace builds offline without a benchmark framework dependency.
+//! The workload lives in [`metal_bench::micro`], shared with the
+//! `bench_suite` binary that writes BENCH.json (see PERFORMANCE.md).
 
-use metal_core::ixcache::{IxCache, IxConfig};
-use metal_core::range::KeyRange;
-use std::hint::black_box;
-use std::time::Instant;
-
-fn filled_cache() -> IxCache {
-    let mut c = IxCache::new(IxConfig::kb64());
-    // A mix of narrow leaves and wide interior entries.
-    for i in 0..512u64 {
-        c.insert(0, i as u32, KeyRange::new(i * 8, i * 8 + 7), 0, 64, 0);
-    }
-    for i in 0..128u64 {
-        c.insert(
-            0,
-            10_000 + i as u32,
-            KeyRange::new(i * 512, i * 512 + 511),
-            3,
-            64,
-            0,
-        );
-    }
-    c
-}
-
-fn report(name: &str, iters: u64, elapsed_ns: u128) {
-    println!(
-        "{name}: {:.1} ns/iter ({iters} iters)",
-        elapsed_ns as f64 / iters as f64
-    );
-}
+use metal_bench::micro::probe_microbench;
 
 fn main() {
     const ITERS: u64 = 200_000;
-
-    let mut cache = filled_cache();
-    let mut key = 0u64;
-    let t = Instant::now();
-    for _ in 0..ITERS {
-        key = (key + 37) % 4096;
-        black_box(cache.probe(0, black_box(key)));
-    }
-    report("ixcache_probe_hit", ITERS, t.elapsed().as_nanos());
-
-    let t = Instant::now();
-    for _ in 0..ITERS {
-        black_box(cache.probe(0, black_box(1 << 40)));
-    }
-    report("ixcache_probe_miss", ITERS, t.elapsed().as_nanos());
-
-    let mut cache = filled_cache();
-    let mut i = 0u64;
-    let t = Instant::now();
-    for _ in 0..ITERS {
-        i += 1;
-        cache.insert(
-            0,
-            (20_000 + i) as u32,
-            KeyRange::new(i * 16, i * 16 + 15),
-            1,
-            64,
-            0,
-        );
-    }
-    report("ixcache_insert_evict", ITERS, t.elapsed().as_nanos());
+    let r = probe_microbench(ITERS);
+    println!(
+        "ixcache_probe_hit: {:.1} ns/iter ({ITERS} iters)",
+        r.probe_hit_ns
+    );
+    println!(
+        "ixcache_probe_miss: {:.1} ns/iter ({ITERS} iters)",
+        r.probe_miss_ns
+    );
+    println!(
+        "ixcache_insert_evict: {:.1} ns/iter ({ITERS} iters)",
+        r.insert_evict_ns
+    );
 }

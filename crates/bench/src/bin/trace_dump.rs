@@ -219,8 +219,29 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+fn help() -> ExitCode {
+    println!(
+        "trace_dump: inspect a --trace-out JSONL event trace\n\
+         \n\
+         Usage: trace_dump <trace.jsonl> [--top N] [--check-hits <manifest.json>]\n\
+         \n\
+         Prints event counts by kind, the hottest IX-cache sets, the\n\
+         short-circuit depth distribution, admission/eviction reason counters\n\
+         and the tuner decision timeline. --check-hits cross-checks the trace\n\
+         against a --metrics-out run manifest (exits non-zero on mismatch).\n\
+         \n\
+         Traces and manifests are documented in README.md's Telemetry section\n\
+         (and its CLI reference table); the tracked performance baseline these\n\
+         tools sit alongside is documented in PERFORMANCE.md."
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        return help();
+    }
     let mut trace_path = None;
     let mut manifest_path = None;
     let mut top = 10usize;
@@ -235,7 +256,6 @@ fn main() -> ExitCode {
                 Some(p) => manifest_path = Some(p.clone()),
                 None => return usage(),
             },
-            "--help" | "-h" => return usage(),
             p if trace_path.is_none() => trace_path = Some(p.to_string()),
             _ => return usage(),
         }

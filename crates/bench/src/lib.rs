@@ -10,6 +10,8 @@
 //! the paper's expectation, so the harness output is both human-checkable
 //! and machine-parsable.
 
+pub mod micro;
+
 use metal_core::models::DesignSpec;
 use metal_core::runner::{run_design, ObsConfig, RunConfig, RunReport, DEFAULT_SHARD_WALKS};
 use metal_core::IxConfig;
@@ -93,8 +95,19 @@ impl HarnessArgs {
     ///
     /// Unknown flags are ignored so figure-specific binaries can add
     /// their own.
+    ///
+    /// `--help`/`-h` prints the shared flag reference (plus pointers to
+    /// README.md and PERFORMANCE.md) and exits; [`parse_from`] stays pure
+    /// so it remains testable.
+    ///
+    /// [`parse_from`]: HarnessArgs::parse_from
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            print_usage();
+            std::process::exit(0);
+        }
+        Self::parse_from(args)
     }
 
     /// Parses from an explicit iterator (testable).
@@ -145,6 +158,31 @@ impl HarnessArgs {
             .with_shards(self.shards)
             .with_shard_walks(self.shard_walks.max(1))
     }
+}
+
+/// Prints the flag reference shared by every figure binary.
+fn print_usage() {
+    println!(
+        "Shared figure-harness flags (unknown flags are ignored):\n\
+         \n\
+           --scale ci|bench|paper   workload scale preset (default: bench)\n\
+           --keys N                 override keyspace size\n\
+           --walks N                override walk count\n\
+           --depth N                override index depth\n\
+           --seed N                 override workload RNG seed\n\
+           --cache-kb N             IX-cache capacity in KiB (default: 64)\n\
+           --shards N               worker threads; 0 = all cores\n\
+           --shard-walks N          logical-shard grain (opt-in machine model)\n\
+           --trace-out PATH         write a JSONL event trace (+ Chrome export)\n\
+           --metrics-out PATH       write a run-manifest JSON\n\
+           --verify                 cross-check a subsample against metal-verify\n\
+         \n\
+         Environment: METAL_SHARDS (worker-thread default),\n\
+         METAL_HEARTBEAT_SECS (progress heartbeat; 0 disables).\n\
+         \n\
+         The full CLI reference lives in README.md; the tracked performance\n\
+         baseline and bench_suite workflow are documented in PERFORMANCE.md."
+    );
 }
 
 fn next_u64(it: &mut impl Iterator<Item = String>, flag: &str) -> u64 {

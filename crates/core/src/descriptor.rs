@@ -117,6 +117,21 @@ impl BranchDescriptor {
 }
 
 /// A reuse-pattern descriptor, possibly composed.
+///
+/// ```
+/// use metal_core::descriptor::{Admit, AdmitCtx, Descriptor, LevelDescriptor};
+/// use metal_index::walk::NodeInfo;
+/// use metal_sim::types::Addr;
+///
+/// // §4.2: cache the band of levels [2, 4]; bypass everything else.
+/// let band = Descriptor::Level(LevelDescriptor::band(2, 4));
+/// let node = |level| NodeInfo {
+///     addr: Addr::new(0), bytes: 64, level, lo: 0, hi: 99, keys: 4,
+/// };
+/// let ctx = AdmitCtx::default();
+/// assert_eq!(band.admit(&node(3), &ctx), Admit::Insert { life: 0 });
+/// assert_eq!(band.admit(&node(0), &ctx), Admit::Bypass);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Descriptor {
     /// Greedy: insert every walked node (METAL-IX's hardwired behaviour).

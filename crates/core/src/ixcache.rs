@@ -192,8 +192,296 @@ impl Entry {
     }
 }
 
+/// One range tag in an [`IntervalIndex`]: the `[lo, hi]` span of an
+/// entry plus the entry's position in its backing store. Tombstoned
+/// tags keep their sort key but point at [`DEAD_POS`].
+#[derive(Debug, Clone, Copy)]
+struct Tag {
+    index: IndexId,
+    level: u8,
+    lo: Key,
+    hi: Key,
+    /// Position of the tagged entry in the backing `Vec<Entry>`, or
+    /// [`DEAD_POS`] for a tombstone.
+    pos: u32,
+}
+
+impl Tag {
+    #[inline]
+    fn key(&self) -> (IndexId, u8, Key) {
+        (self.index, self.level, self.lo)
+    }
+}
+
+/// `pos` of a tombstoned tag. No live entry can sit there: positions
+/// are bounded by the cache's entry budget.
+const DEAD_POS: u32 = u32::MAX;
+
+/// Adds buffered in the unsorted `pending` array before a compaction
+/// folds them into the sorted one. Bounds both the linear part of a
+/// stabbing query and the amortized cost of an add.
+const PENDING_MAX: usize = 16;
+
+/// Below this many sorted tags a stabbing query scans the (compact,
+/// cache-line-packed) tag array linearly instead of binary searching;
+/// the crossover favors the narrow sets, whose size is bounded by the
+/// associativity.
+const STAB_LINEAR_MAX: usize = 8;
+
+/// Sorted interval overlay over one entry partition (a narrow set or
+/// the wide partition).
+///
+/// Tags are kept ordered by `(index, level, lo)` and `prefix_hi[i]` is
+/// the running maximum of `hi` over the tag's `(index, level)` run up
+/// to and including `i` (runs restart at index or level boundaries).
+/// Keying the runs by *level* is what keeps stabbing queries short in
+/// real walks: index nodes of one level partition the key space, so
+/// within a run the tag spans are (near-)disjoint and the backward
+/// scan from the binary-searched last `lo <= key` position stops after
+/// a step or two. A single `(index)`-keyed run would be poisoned by
+/// any upper-level node — a root tag spanning the whole key space
+/// holds the running maximum at `u64::MAX` and degrades every scan
+/// back to linear.
+///
+/// Mutations are O(log n) amortized, never an O(n) array shift:
+///
+/// - adds are buffered in the small unsorted `pending` array (stabbing
+///   queries scan it linearly, like the legacy scan but over at most
+///   [`PENDING_MAX`] tags);
+/// - removals of already-sorted tags tombstone them in place
+///   ([`DEAD_POS`]) — the bounds they fed stay valid upper bounds;
+/// - relocations (backing `swap_remove` moves) re-point `pos` in
+///   place, never touching the sort key.
+///
+/// A compaction — every [`PENDING_MAX`] adds or `len/4` tombstones —
+/// folds `pending` in, drops tombstones and rebuilds exact prefix
+/// maxima; `sort_unstable` on the nearly-sorted result is close to
+/// linear. Between compactions the sort keys of `tags` are immutable,
+/// so `prefix_hi` is always *exact* over `tags` (tombstones included;
+/// they only ever leave a bound too high, costing scan steps, never
+/// correctness).
+///
+/// The overlay never owns entries and never defines their order: the
+/// backing `Vec<Entry>` keeps its insertion/`swap_remove` order, which
+/// the CLOCK hand and the equal-level tie-break (first in scan order)
+/// are defined over, so probe results and eviction decisions are
+/// bit-identical to the legacy linear scan (see
+/// [`IxCache::probe_reference`]).
+#[derive(Debug, Clone, Default)]
+struct IntervalIndex {
+    /// Sorted by `(index, level, lo)`; may contain tombstones.
+    tags: Vec<Tag>,
+    /// Exact running max of `hi` per `(index, level)` run of `tags`.
+    prefix_hi: Vec<u64>,
+    /// Recent adds: unsorted, all live, at most [`PENDING_MAX`] − 1
+    /// outside [`IntervalIndex::add`].
+    pending: Vec<Tag>,
+    /// Tombstones currently in `tags`.
+    dead: u32,
+}
+
+/// Where [`IntervalIndex::find`] located a live tag.
+enum Slot {
+    Sorted(usize),
+    Pending(usize),
+}
+
+impl IntervalIndex {
+    fn with_capacity(n: usize) -> Self {
+        IntervalIndex {
+            tags: Vec::with_capacity(n),
+            prefix_hi: Vec::with_capacity(n),
+            pending: Vec::with_capacity(PENDING_MAX),
+            dead: 0,
+        }
+    }
+
+    /// Folds pending adds in, drops tombstones and rebuilds exact
+    /// prefix maxima.
+    fn compact(&mut self) {
+        if self.dead > 0 {
+            self.tags.retain(|t| t.pos != DEAD_POS);
+            self.dead = 0;
+        }
+        self.tags.append(&mut self.pending);
+        self.tags.sort_unstable_by_key(Tag::key);
+        self.prefix_hi.clear();
+        let mut run_max = 0u64;
+        for i in 0..self.tags.len() {
+            let t = self.tags[i];
+            let same_run =
+                i > 0 && (self.tags[i - 1].index, self.tags[i - 1].level) == (t.index, t.level);
+            run_max = if same_run { run_max.max(t.hi) } else { t.hi };
+            self.prefix_hi.push(run_max);
+        }
+    }
+
+    /// Registers the span of the level-`level` entry at `pos`.
+    fn add(&mut self, index: IndexId, level: u8, span: KeyRange, pos: u32) {
+        self.pending.push(Tag {
+            index,
+            level,
+            lo: span.lo,
+            hi: span.hi,
+            pos,
+        });
+        if self.pending.len() >= PENDING_MAX {
+            self.compact();
+        }
+    }
+
+    /// Locates the live tag for (`index`, `level`, `lo`, `pos`).
+    fn find(&self, index: IndexId, level: u8, lo: Key, pos: u32) -> Slot {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|t| t.pos == pos && t.key() == (index, level, lo))
+        {
+            return Slot::Pending(i);
+        }
+        let mut i = self.tags.partition_point(|t| t.key() < (index, level, lo));
+        while let Some(t) = self.tags.get(i) {
+            if t.key() != (index, level, lo) {
+                break;
+            }
+            if t.pos == pos {
+                return Slot::Sorted(i);
+            }
+            i += 1;
+        }
+        unreachable!("interval index lost track of entry at pos {pos}");
+    }
+
+    /// Drops the tag of the entry at `pos`.
+    fn remove(&mut self, index: IndexId, level: u8, lo: Key, pos: u32) {
+        match self.find(index, level, lo, pos) {
+            Slot::Pending(i) => {
+                self.pending.swap_remove(i);
+            }
+            Slot::Sorted(i) => {
+                self.tags[i].pos = DEAD_POS;
+                self.dead += 1;
+                if (self.dead as usize) * 4 >= self.tags.len().max(STAB_LINEAR_MAX) {
+                    self.compact();
+                }
+            }
+        }
+    }
+
+    /// Re-points a tag after its entry moved (`swap_remove`
+    /// relocation). The sort key is unchanged, so the order is too.
+    fn relocate(&mut self, index: IndexId, level: u8, lo: Key, old_pos: u32, new_pos: u32) {
+        match self.find(index, level, lo, old_pos) {
+            Slot::Pending(i) => self.pending[i].pos = new_pos,
+            Slot::Sorted(i) => self.tags[i].pos = new_pos,
+        }
+    }
+
+    /// Replaces the span of the entry at `pos` (coalescing grows it).
+    fn update_span(&mut self, index: IndexId, level: u8, old_lo: Key, pos: u32, span: KeyRange) {
+        self.remove(index, level, old_lo, pos);
+        self.add(index, level, span, pos);
+    }
+
+    /// Calls `f` with the backing position of every live tag whose span
+    /// covers `key` in `index`. Enumeration order is unspecified;
+    /// callers resolve ties by backing position, not visit order.
+    fn stab(&self, index: IndexId, key: Key, mut f: impl FnMut(u32)) {
+        for t in &self.pending {
+            if t.index == index && t.lo <= key && key <= t.hi {
+                f(t.pos);
+            }
+        }
+        if self.tags.len() <= STAB_LINEAR_MAX {
+            for t in &self.tags {
+                if t.pos != DEAD_POS && t.index == index && t.lo <= key && key <= t.hi {
+                    f(t.pos);
+                }
+            }
+            return;
+        }
+        // Common case (everything but JOIN): the whole overlay is one
+        // index — skip the two region-boundary searches.
+        let (mut run, end) =
+            if self.tags[0].index == index && self.tags[self.tags.len() - 1].index == index {
+                (0, self.tags.len())
+            } else {
+                let end = self.tags.partition_point(|t| t.index <= index);
+                (self.tags[..end].partition_point(|t| t.index < index), end)
+            };
+        while run < end {
+            let level = self.tags[run].level;
+            // Levels are monotone within the region, so an equal level
+            // at the far end means this is the last (often only) run —
+            // skip the boundary search.
+            let run_end = if self.tags[end - 1].level == level {
+                end
+            } else {
+                run + self.tags[run..end].partition_point(|t| t.level <= level)
+            };
+            let mut i = run + self.tags[run..run_end].partition_point(|t| t.lo <= key);
+            while i > run {
+                i -= 1;
+                if self.prefix_hi[i] < key {
+                    break;
+                }
+                let t = self.tags[i];
+                if t.pos != DEAD_POS && t.hi >= key {
+                    f(t.pos);
+                }
+            }
+            run = run_end;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.tags.clear();
+        self.prefix_hi.clear();
+        self.pending.clear();
+        self.dead = 0;
+    }
+
+    /// Invariant check for tests: sorted tags, exact prefix maxima per
+    /// `(index, level)` run, a consistent tombstone count, and a
+    /// one-to-one correspondence between live tags and backing entries.
+    #[cfg(test)]
+    fn check(&self, entries: &[Entry]) {
+        assert!(self.pending.len() < PENDING_MAX);
+        assert_eq!(self.tags.len(), self.prefix_hi.len());
+        assert_eq!(
+            self.dead as usize,
+            self.tags.iter().filter(|t| t.pos == DEAD_POS).count()
+        );
+        let mut seen = vec![false; entries.len()];
+        for t in self
+            .tags
+            .iter()
+            .filter(|t| t.pos != DEAD_POS)
+            .chain(self.pending.iter())
+        {
+            let e = &entries[t.pos as usize];
+            assert_eq!(
+                (t.index, t.level, t.lo, t.hi),
+                (e.index, e.level, e.span.lo, e.span.hi)
+            );
+            assert!(!std::mem::replace(&mut seen[t.pos as usize], true));
+        }
+        assert!(seen.iter().all(|&s| s), "every entry must have a tag");
+        let mut run_max = 0u64;
+        for (i, t) in self.tags.iter().enumerate() {
+            let same_run =
+                i > 0 && (self.tags[i - 1].index, self.tags[i - 1].level) == (t.index, t.level);
+            if i > 0 {
+                assert!(self.tags[i - 1].key() <= t.key(), "tags must stay sorted");
+            }
+            run_max = if same_run { run_max.max(t.hi) } else { t.hi };
+            assert_eq!(self.prefix_hi[i], run_max, "prefix maxima must be exact");
+        }
+    }
+}
+
 /// Statistics the IX-cache maintains internally.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IxStats {
     /// Probes issued.
     pub probes: u64,
@@ -227,6 +515,16 @@ pub struct IxCache {
     set_hands: Vec<usize>,
     wide: Vec<Entry>,
     wide_hand: usize,
+    /// Sorted interval overlays over `sets` (one per set) and `wide`,
+    /// kept in lockstep with the backing vectors. Probe-only read path;
+    /// see [`IntervalIndex`].
+    narrow_idx: Vec<IntervalIndex>,
+    wide_idx: IntervalIndex,
+    /// Reusable probe candidate buffer (no per-probe allocation).
+    scratch: Vec<u32>,
+    /// Recycled segment vectors from evicted entries (no per-insert
+    /// allocation once the cache has warmed up).
+    seg_pool: Vec<Vec<(KeyRange, u32)>>,
     tick: u64,
     stats: IxStats,
     /// Telemetry recording is opt-in so unobserved runs allocate nothing.
@@ -251,12 +549,21 @@ impl IxCache {
         );
         let narrow_target = ((cfg.entries as f64 * (1.0 - cfg.wide_fraction)) as usize).max(1);
         let n_sets = (narrow_target / cfg.ways).max(1);
+        // Preallocate every per-partition arena to its bound so the
+        // steady-state insert path never allocates (set vectors to their
+        // associativity, the wide partition to the full entry budget).
         IxCache {
             cfg,
-            sets: vec![Vec::new(); n_sets],
+            sets: (0..n_sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
             set_hands: vec![0; n_sets],
-            wide: Vec::new(),
+            wide: Vec::with_capacity(cfg.entries),
             wide_hand: 0,
+            narrow_idx: (0..n_sets)
+                .map(|_| IntervalIndex::with_capacity(cfg.ways))
+                .collect(),
+            wide_idx: IntervalIndex::with_capacity(cfg.entries),
+            scratch: Vec::with_capacity(cfg.ways.max(8)),
+            seg_pool: Vec::new(),
             tick: 0,
             stats: IxStats::default(),
             record: false,
@@ -321,7 +628,98 @@ impl IxCache {
 
     /// Probes for `key` in index `index`. Returns the deepest covering
     /// entry (level-priority tie-break) or `None`.
+    ///
+    /// The match stage is interval-indexed: candidates come from a
+    /// binary search over the probed set's and the wide partition's
+    /// sorted range tags plus a bounded neighborhood scan (the internal
+    /// interval index; see DESIGN.md §10), instead of a linear scan over
+    /// every resident entry. The result — the winning hit, which entries get their
+    /// utility refreshed, which entry spends a pinned life — is
+    /// bit-identical to the linear reference scan, pinned by
+    /// [`IxCache::probe_reference`] and the `metal-verify` oracle.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use metal_core::ixcache::{IxCache, IxConfig};
+    /// use metal_core::range::KeyRange;
+    ///
+    /// let mut cache = IxCache::new(IxConfig::kb64());
+    /// cache.insert(0, 42, KeyRange::new(100, 199), 1, 64, 0);
+    /// // Any covered key hits and short-circuits the walk at node 42.
+    /// let hit = cache.probe(0, 150).expect("covered key");
+    /// assert_eq!((hit.node, hit.level), (42, 1));
+    /// assert!(cache.probe(0, 200).is_none(), "uncovered key misses");
+    /// ```
     pub fn probe(&mut self, index: IndexId, key: Key) -> Option<IxHit> {
+        self.tick += 1;
+        self.stats.probes += 1;
+
+        let set_idx = self.set_of(index, key);
+        let tick = self.tick;
+        // Winner = lexicographic min of (level, partition, position):
+        // the deepest covering entry wins; on level ties the entry the
+        // legacy linear scan would have found first keeps the win (the
+        // probed set before the wide partition, lower position first).
+        let mut best: Option<(u8, u8, u32, IxHit)> = None;
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        // Every covering entry is refreshed (they are live *reach* for
+        // this key even when a deeper entry wins), and the deepest one
+        // is returned (Fig. 6's level-priority tie-break).
+        for (part, entries, tags) in [
+            (0u8, &mut self.sets[set_idx], &self.narrow_idx[set_idx]),
+            (1u8, &mut self.wide, &self.wide_idx),
+        ] {
+            scratch.clear();
+            tags.stab(index, key, |pos| scratch.push(pos));
+            for &pos in &scratch {
+                let e = &mut entries[pos as usize];
+                if let Some((range, node)) = e.matches(index, key) {
+                    e.utility = (e.utility + 1).min(UTILITY_MAX);
+                    e.tick = tick;
+                    let hit = IxHit {
+                        node,
+                        level: e.level,
+                        range,
+                    };
+                    if best
+                        .as_ref()
+                        .is_none_or(|&(l, p, o, _)| (hit.level, part, pos) < (l, p, o))
+                    {
+                        best = Some((hit.level, part, pos, hit));
+                    }
+                }
+            }
+        }
+        self.scratch = scratch;
+
+        match best {
+            Some((_, part, pos, hit)) => {
+                let e = if part == 1 {
+                    &mut self.wide[pos as usize]
+                } else {
+                    &mut self.sets[set_idx][pos as usize]
+                };
+                e.life = e.life.saturating_sub(1);
+                Some(hit)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The legacy probe implementation: a linear scan over every entry
+    /// of the probed set and the wide partition. Kept as the executable
+    /// reference for [`IxCache::probe`]'s interval-indexed match stage —
+    /// the two are observably identical (same hit, same utility/lifetime
+    /// side effects, same statistics), which the randomized equivalence
+    /// suite (`crates/core/tests/probe_equivalence.rs`) and the
+    /// `metal-verify` fuzzer pin. Differential testing only; simulation
+    /// paths call [`IxCache::probe`].
+    pub fn probe_reference(&mut self, index: IndexId, key: Key) -> Option<IxHit> {
         self.tick += 1;
         self.stats.probes += 1;
 
@@ -329,10 +727,6 @@ impl IxCache {
         let mut best: Option<(usize, bool, IxHit)> = None; // (pos, in_wide, hit)
         let tick = self.tick;
 
-        // The match stage compares every tag in the probed set and the
-        // wide partition; every covering entry is refreshed (they are
-        // live *reach* for this key even when a deeper entry wins), and
-        // the deepest one is returned (Fig. 6's level-priority tie-break).
         for (pos, e) in self.sets[set_idx].iter_mut().enumerate() {
             if let Some((range, node)) = e.matches(index, key) {
                 e.utility = (e.utility + 1).min(UTILITY_MAX);
@@ -415,6 +809,36 @@ impl IxCache {
         }
     }
 
+    /// Removes the entry at `v` from one partition, keeping its interval
+    /// overlay in lockstep with the backing vector's `swap_remove` (the
+    /// victim's tag is dropped, the relocated last entry's tag is
+    /// re-pointed) and recycling the victim's segment vector.
+    fn remove_entry(
+        entries: &mut Vec<Entry>,
+        tags: &mut IntervalIndex,
+        seg_pool: &mut Vec<Vec<(KeyRange, u32)>>,
+        v: usize,
+    ) {
+        let victim = &entries[v];
+        tags.remove(victim.index, victim.level, victim.span.lo, v as u32);
+        let last = entries.len() - 1;
+        if v != last {
+            let moved = &entries[last];
+            tags.relocate(
+                moved.index,
+                moved.level,
+                moved.span.lo,
+                last as u32,
+                v as u32,
+            );
+        }
+        let mut victim = entries.swap_remove(v);
+        if seg_pool.len() < 64 {
+            victim.segs.clear();
+            seg_pool.push(victim.segs);
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn insert_one(
         &mut self,
@@ -442,27 +866,41 @@ impl IxCache {
             // combined payload still fits one block and stays inside the
             // key block.
             let tick = self.tick;
-            if let Some(e) = self.sets[set_idx].iter_mut().find(|e| {
+            if let Some(pos) = self.sets[set_idx].iter().position(|e| {
                 e.index == index
                     && e.level == level
                     && e.payload_bytes + bytes <= BLOCK_BYTES
                     && (e.span.union(&range).lo >> b) == (e.span.union(&range).hi >> b)
             }) {
+                let e = &mut self.sets[set_idx][pos];
+                let old_span = e.span;
                 e.segs.push((range, node));
                 e.span = e.span.union(&range);
                 e.payload_bytes += bytes;
                 e.life = e.life.max(life);
                 e.tick = tick;
+                if e.span != old_span {
+                    let new_span = e.span;
+                    self.narrow_idx[set_idx].update_span(
+                        index,
+                        level,
+                        old_span.lo,
+                        pos as u32,
+                        new_span,
+                    );
+                }
                 self.stats.coalesced += 1;
                 return;
             }
         }
 
+        let mut segs = self.seg_pool.pop().unwrap_or_default();
+        segs.push((range, node));
         let entry = Entry {
             index,
             span: range,
             level,
-            segs: vec![(range, node)],
+            segs,
             payload_bytes: bytes,
             utility: 1,
             life,
@@ -483,7 +921,7 @@ impl IxCache {
                             reason: Self::evict_reason(victim, split),
                         });
                     }
-                    self.wide.swap_remove(v);
+                    Self::remove_entry(&mut self.wide, &mut self.wide_idx, &mut self.seg_pool, v);
                     self.stats.evictions += 1;
                 } else {
                     return; // everything pinned: bypass
@@ -500,6 +938,8 @@ impl IxCache {
             // cache bypasses the insert above, and a bypass is not an
             // insertion (inserts = evictions + flushed + resident).
             self.stats.inserts += 1;
+            self.wide_idx
+                .add(index, level, entry.span, self.wide.len() as u32);
             self.wide.push(entry);
         } else {
             let set_idx = self.set_of(index, range.lo);
@@ -518,7 +958,12 @@ impl IxCache {
                             reason: Self::evict_reason(victim, split),
                         });
                     }
-                    self.sets[set_idx].swap_remove(v);
+                    Self::remove_entry(
+                        &mut self.sets[set_idx],
+                        &mut self.narrow_idx[set_idx],
+                        &mut self.seg_pool,
+                        v,
+                    );
                     self.stats.evictions += 1;
                 } else {
                     return;
@@ -535,7 +980,7 @@ impl IxCache {
                             reason: Self::evict_reason(victim, split),
                         });
                     }
-                    self.wide.swap_remove(v);
+                    Self::remove_entry(&mut self.wide, &mut self.wide_idx, &mut self.seg_pool, v);
                     self.stats.evictions += 1;
                 } else if let Some(v) =
                     Self::victim_clock(&mut self.sets[set_idx], &mut self.set_hands[set_idx])
@@ -549,7 +994,12 @@ impl IxCache {
                             reason: Self::evict_reason(victim, split),
                         });
                     }
-                    self.sets[set_idx].swap_remove(v);
+                    Self::remove_entry(
+                        &mut self.sets[set_idx],
+                        &mut self.narrow_idx[set_idx],
+                        &mut self.seg_pool,
+                        v,
+                    );
                     self.stats.evictions += 1;
                 } else {
                     return;
@@ -563,23 +1013,51 @@ impl IxCache {
                 });
             }
             self.stats.inserts += 1;
+            self.narrow_idx[set_idx].add(index, level, entry.span, self.sets[set_idx].len() as u32);
             self.sets[set_idx].push(entry);
         }
     }
 
+    /// Is this exact `(range, node)` slice already resident? Refreshes
+    /// the holding entry's tick if so (dedup: re-fetching a node must
+    /// not duplicate it).
+    ///
+    /// An entry holding the slice has a span covering `range.lo` (the
+    /// span is the union of its segments), and a narrow span never
+    /// leaves its key block, so the candidates are exactly what the two
+    /// interval overlays stab out for `range.lo` — the legacy
+    /// every-resident-entry scan is not needed. The refreshed entry on
+    /// (impossible in practice) duplicates matches the legacy scan
+    /// order: probed set before wide partition, lowest position first.
     fn find_existing(&mut self, index: IndexId, node: u32, range: &KeyRange, level: u8) -> bool {
         let tick = self.tick;
         let set_idx = self.set_of(index, range.lo);
-        for e in self.sets[set_idx].iter_mut().chain(self.wide.iter_mut()) {
-            if e.index == index
-                && e.level == level
-                && e.segs.iter().any(|&(r, n)| n == node && r == *range)
-            {
-                e.tick = tick;
-                return true;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut best: Option<(u8, u32)> = None;
+        for (part, entries, tags) in [
+            (0u8, &self.sets[set_idx], &self.narrow_idx[set_idx]),
+            (1u8, &self.wide, &self.wide_idx),
+        ] {
+            scratch.clear();
+            tags.stab(index, range.lo, |pos| scratch.push(pos));
+            for &pos in &scratch {
+                let e = &entries[pos as usize];
+                if e.level == level && e.segs.iter().any(|&(r, n)| n == node && r == *range) {
+                    let cand = (part, pos);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
             }
         }
-        false
+        scratch.clear();
+        self.scratch = scratch;
+        match best {
+            Some((0, pos)) => self.sets[set_idx][pos as usize].tick = tick,
+            Some((_, pos)) => self.wide[pos as usize].tick = tick,
+            None => return false,
+        }
+        true
     }
 
     /// CLOCK-style aging victim selection: the hand sweeps the entries,
@@ -665,6 +1143,20 @@ impl IxCache {
             s.clear();
         }
         self.wide.clear();
+        for t in &mut self.narrow_idx {
+            t.clear();
+        }
+        self.wide_idx.clear();
+    }
+
+    /// Asserts the interval overlays exactly mirror the backing entry
+    /// storage (tests only).
+    #[cfg(test)]
+    fn check_interval_index(&self) {
+        for (set, tags) in self.sets.iter().zip(&self.narrow_idx) {
+            tags.check(set);
+        }
+        self.wide_idx.check(&self.wide);
     }
 }
 
@@ -954,6 +1446,97 @@ mod tests {
         assert_eq!(set, c.probe_set(0, 33));
         let wide = KeyRange::new(0, 99);
         assert_eq!(c.placement_set(0, &wide), WIDE_SET);
+    }
+
+    #[test]
+    fn interval_index_mirrors_storage_through_churn() {
+        use metal_sim::rng::SplitRng;
+        let mut rng = SplitRng::seed_from_u64(7);
+        let mut c = IxCache::new(IxConfig {
+            entries: 64,
+            ways: 4,
+            key_block_bits: 4,
+            wide_fraction: 0.5,
+        });
+        for op in 0..4000u32 {
+            match rng.next_u64() % 10 {
+                // Insert-heavy mix with narrow, wide, split and pinned
+                // entries so every maintenance path (add, evict-relocate,
+                // coalesce span growth, flush) runs repeatedly.
+                0..=5 => {
+                    let lo = rng.next_u64() % 1024;
+                    let w = 1 + rng.next_u64() % 200;
+                    let bytes = [24, 64, 256][(rng.next_u64() % 3) as usize];
+                    let life = (rng.next_u64() % 4) as u32;
+                    c.insert(
+                        (rng.next_u64() % 2) as u8,
+                        op,
+                        KeyRange::new(lo, lo.saturating_add(w)),
+                        (rng.next_u64() % 5) as u8,
+                        bytes,
+                        life,
+                    );
+                }
+                6..=8 => {
+                    c.probe((rng.next_u64() % 2) as u8, rng.next_u64() % 1300);
+                }
+                _ => {
+                    if rng.next_u64() % 50 == 0 {
+                        c.flush();
+                    }
+                }
+            }
+            c.check_interval_index();
+        }
+        assert!(c.stats().probes > 0 && c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn probe_matches_reference_probe_bit_for_bit() {
+        use metal_sim::rng::SplitRng;
+        // Two caches, identical op streams; one probes through the
+        // interval index, the other through the legacy linear scan. Every
+        // probe result, every statistic and the full residency snapshot
+        // must stay identical — the probe side effects (utility refresh,
+        // pin decay) feed eviction, so any drift would surface here.
+        for seed in 0..4u64 {
+            let cfg = IxConfig {
+                entries: 32,
+                ways: 2 + (seed as usize % 3),
+                key_block_bits: 3 + (seed as u32 % 3),
+                wide_fraction: 0.25 * (seed as f64 % 4.0),
+            };
+            let mut fast = IxCache::new(cfg);
+            let mut reference = IxCache::new(cfg);
+            let mut rng = SplitRng::seed_from_u64(seed);
+            for op in 0..3000u32 {
+                if rng.next_u64() % 2 == 0 {
+                    let lo = rng.next_u64() % 512;
+                    let w = rng.next_u64() % 120;
+                    let r = KeyRange::new(lo, lo.saturating_add(w));
+                    let level = (rng.next_u64() % 4) as u8;
+                    let bytes = [24, 64, 200][(rng.next_u64() % 3) as usize];
+                    let life = (rng.next_u64() % 3) as u32;
+                    let index = (rng.next_u64() % 2) as u8;
+                    fast.insert(index, op, r, level, bytes, life);
+                    reference.insert(index, op, r, level, bytes, life);
+                } else {
+                    let index = (rng.next_u64() % 2) as u8;
+                    let key = rng.next_u64() % 700;
+                    assert_eq!(
+                        fast.probe(index, key),
+                        reference.probe_reference(index, key),
+                        "probe({index}, {key}) diverged at op {op} (seed {seed})"
+                    );
+                }
+                assert_eq!(fast.snapshot(), reference.snapshot());
+            }
+            assert_eq!(fast.stats().probes, reference.stats().probes);
+            assert_eq!(fast.stats().misses, reference.stats().misses);
+            assert_eq!(fast.stats().inserts, reference.stats().inserts);
+            assert_eq!(fast.stats().evictions, reference.stats().evictions);
+            assert!(fast.stats().evictions > 0, "storm must evict (seed {seed})");
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@
 //! assert!(metal.speedup_vs(&stream) > 1.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod descriptor;
 pub mod energy;
 pub mod ixcache;

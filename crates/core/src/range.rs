@@ -9,6 +9,19 @@ use metal_sim::types::Key;
 use std::fmt;
 
 /// An inclusive key range `[lo, hi]`.
+///
+/// ```
+/// use metal_core::range::KeyRange;
+///
+/// let tag = KeyRange::new(100, 199);
+/// assert!(tag.covers(150) && !tag.covers(200));
+///
+/// // Fig. 5 case 2: a node wider than a block splits into contiguous
+/// // sub-ranges whose union is the original tag.
+/// let halves = tag.split(2);
+/// assert_eq!(halves.len(), 2);
+/// assert_eq!(halves[0].union(&halves[1]), tag);
+/// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct KeyRange {
     /// Smallest key covered.

@@ -35,6 +35,23 @@ pub struct TuneDecision {
 }
 
 /// Per-batch observation and retuning of one descriptor's parameters.
+///
+/// ```
+/// use metal_core::descriptor::{Descriptor, LevelDescriptor};
+/// use metal_core::tuner::Tuner;
+///
+/// // A 6-level index retuned every 100 walks against a 64-entry cache.
+/// let mut tuner = Tuner::new(6, 100, 64);
+/// let mut desc = Descriptor::Level(LevelDescriptor::band(2, 4));
+/// for walk in 0..200u64 {
+///     tuner.observe_key(walk % 32);
+///     tuner.observe_node(2, (walk % 8) as u32, 64);
+///     tuner.observe_probe(walk % 2 == 0);
+///     tuner.walk_done(&mut desc); // retunes at walks 100 and 200
+/// }
+/// assert_eq!(tuner.batches(), 2);
+/// assert_eq!(tuner.history().len(), 2); // the Fig. 22 series
+/// ```
 #[derive(Debug, Clone)]
 pub struct Tuner {
     /// Walks per tuning batch (the paper uses 1 M; scaled runs use less).

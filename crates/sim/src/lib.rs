@@ -33,6 +33,8 @@
 //! assert!(done >= cfg.dram.latency);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod caches;
 pub mod config;
 pub mod dram;

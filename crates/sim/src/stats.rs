@@ -225,6 +225,22 @@ impl LatencyStats {
 /// Field-by-field equality (`PartialEq`) is part of the public contract:
 /// the sharded runner asserts `run(shards = 1) == run(shards = k)` on
 /// whole `RunStats` values, so every field must be deterministic.
+///
+/// ```
+/// use metal_sim::stats::RunStats;
+///
+/// let mut shard_a = RunStats::new();
+/// shard_a.probes = 100;
+/// shard_a.misses = 25;
+/// let mut shard_b = RunStats::new();
+/// shard_b.probes = 100;
+/// shard_b.misses = 5;
+///
+/// // Shard merging is associative and exact (see the runner docs).
+/// shard_a.merge(&shard_b);
+/// assert_eq!(shard_a.probes, 200);
+/// assert_eq!(shard_a.miss_rate(), 0.15);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Cache probes issued (IX-cache, address cache or X-Cache).

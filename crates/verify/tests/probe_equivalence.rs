@@ -1,0 +1,130 @@
+//! Randomized equivalence sweep for the interval-indexed probe path.
+//!
+//! Three implementations of "what does a probe return" are driven in
+//! lockstep over the same op sequence and must agree on every call:
+//!
+//! 1. [`IxCache::probe`] — the interval-indexed production path
+//!    (binary search + bounded neighborhood scan over sorted tags);
+//! 2. [`IxCache::probe_reference`] — the legacy linear scan, kept as
+//!    the executable reference, run on a *twin* cache fed the same ops
+//!    (probes mutate utility/tick/life, so the twin keeps its own
+//!    state and both states must also stay identical);
+//! 3. [`spec_probe`] — `metal-verify`'s declarative oracle over a
+//!    residency snapshot, independent of either scan.
+//!
+//! The sweep crosses the geometry axes the figures exercise — the
+//! `abl_geometry` associativities (1/4/16/64 ways), narrow-only
+//! through wide-only splits, and key-block sizes from degenerate to
+//! coarse — with op mixes chosen to hit coalesced packing (small
+//! payloads sharing a key block), split packing (payloads above one
+//! block, fanning out into multi-entry inserts) and eviction storms
+//! (budgets far below the insert volume, with pinned entries eroding).
+
+use metal_core::ixcache::{IxCache, IxConfig};
+use metal_core::range::KeyRange;
+use metal_sim::rng::SplitRng;
+use metal_verify::oracle::spec_probe;
+
+/// One randomized run over a fixed geometry: every probe must agree
+/// across the indexed path, the reference path and the spec oracle,
+/// and the twin caches must remain observably identical.
+fn drive(cfg: IxConfig, seed: u64, ops: usize) {
+    let mut rng = SplitRng::stream(seed, 0x9e0b_e11a);
+    let mut fast = IxCache::new(cfg);
+    let mut slow = IxCache::new(cfg);
+    let block = 1u64 << cfg.key_block_bits.min(16);
+    let span = (block * 64).max(4096);
+
+    for op in 0..ops {
+        let roll = rng.gen_range(0..100u64);
+        if roll < 45 {
+            // Insert. Bias lo toward block starts so coalescing (same
+            // block, same level, payloads that sum below one block) and
+            // block-straddling wide placements both occur.
+            let lo = match rng.gen_range(0..4u64) {
+                0 => rng.gen_range(0..span) / block * block,
+                _ => rng.gen_range(0..span),
+            };
+            let width = match rng.gen_range(0..4u64) {
+                0 => rng.gen_range(1..=block.min(8)), // narrow, packable
+                1 => rng.gen_range(1..=block),        // narrow-ish
+                _ => rng.gen_range(1..=span / 4),     // often wide
+            };
+            let hi = lo.saturating_add(width - 1);
+            let level = rng.gen_range(0..4u64) as u8;
+            // 16/24-byte payloads coalesce; 960 bytes splits into 15
+            // block-sized sub-entries (the paper's Case-2 packing).
+            let bytes = [16u64, 24, 40, 64, 128, 960][rng.gen_range(0..6u64) as usize];
+            let life = [0u32, 0, 0, 2, 9][rng.gen_range(0..5u64) as usize];
+            let index = rng.gen_range(0..2u64) as u8;
+            let node = op as u32;
+            fast.insert(index, node, KeyRange::new(lo, hi), level, bytes, life);
+            slow.insert(index, node, KeyRange::new(lo, hi), level, bytes, life);
+        } else if roll < 96 {
+            let key = match rng.gen_range(0..8u64) {
+                0 => rng.gen_range(0..span) / block * block, // block edges
+                1 => span + rng.gen_range(0..span),          // mostly-miss region
+                _ => rng.gen_range(0..span),
+            };
+            let index = rng.gen_range(0..2u64) as u8;
+            let snap = fast.snapshot();
+            let spec = spec_probe(&snap, index, key, fast.probe_set(index, key));
+            let a = fast.probe(index, key);
+            let b = slow.probe_reference(index, key);
+            assert_eq!(
+                a, b,
+                "op {op}: indexed probe vs reference probe diverged \
+                 (cfg {cfg:?}, seed {seed}, index {index}, key {key})"
+            );
+            let spec_view = spec.as_ref().map(|h| (h.node, h.level, h.range));
+            let got_view = a.as_ref().map(|h| (h.node, h.level, h.range));
+            assert_eq!(
+                got_view, spec_view,
+                "op {op}: indexed probe vs spec oracle diverged \
+                 (cfg {cfg:?}, seed {seed}, index {index}, key {key})"
+            );
+        } else {
+            fast.flush();
+            slow.flush();
+        }
+        assert_eq!(
+            fast.snapshot(),
+            slow.snapshot(),
+            "op {op}: twin cache states diverged (cfg {cfg:?}, seed {seed})"
+        );
+    }
+    assert_eq!(fast.stats(), slow.stats(), "cfg {cfg:?}, seed {seed}");
+}
+
+#[test]
+fn probe_equivalence_across_geometries() {
+    // The abl_geometry associativity sweep × partition splits × block
+    // sizes. Budgets of 8 entries against hundreds of inserts are a
+    // sustained eviction storm; 512 entries exercises the roomy regime.
+    let mut cases = 0;
+    for &ways in &[1usize, 4, 16, 64] {
+        for &entries in &[8usize, 64, 512] {
+            for &wide_fraction in &[0.0, 0.5, 1.0] {
+                for &key_block_bits in &[0u32, 4, 10] {
+                    let cfg = IxConfig {
+                        entries,
+                        ways: ways.min(entries),
+                        key_block_bits,
+                        wide_fraction,
+                    };
+                    drive(cfg, 0xA11CE + cases, 400);
+                    cases += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(cases, 108);
+}
+
+#[test]
+fn probe_equivalence_long_churn_default_geometry() {
+    // One long run on the default figure geometry: deep churn so the
+    // interval overlay's lazy prefix bounds go through many rebuild
+    // cycles while the three probe views stay in lockstep.
+    drive(IxConfig::kb64(), 0xD0_5E_ED, 4000);
+}
