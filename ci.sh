@@ -2,8 +2,9 @@
 # CI entry point: lints, tier-1 verify, the full test suite
 # single-threaded, a sharded-replay smoke test (worker count must never
 # change the figure CSV, with and without an explicit logical-shard
-# grain), and a telemetry smoke test (the trace must parse and agree
-# with the run manifest).
+# grain), a telemetry smoke test (the trace must parse and agree with
+# the run manifest), and a forensics gate (the `analyze` report must
+# pass its schema/conservation validation on a real fig15 trace).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -97,6 +98,30 @@ if ./target/release/trace_dump "$tdir/forged.jsonl" \
 fi
 grep -q "MISMATCH" "$tdir/forged.txt"
 echo "negative control: forged trace fails check-hits with nonzero exit"
+# Second negative control: a forged admission event leaves the hit counts
+# intact but must trip the reason-counter diff re-derived from the trace.
+cp "$tdir/fig15_miss_rate.jsonl" "$tdir/forged_reason.jsonl"
+printf '%s\n' '{"ev":"insert","run":"scan","design":"metal-ix","shard":0,"index":0,"level":0,"set":0,"life":64,"reason":"node-level"}' \
+    >> "$tdir/forged_reason.jsonl"
+if ./target/release/trace_dump "$tdir/forged_reason.jsonl" \
+    --check-hits "$tdir/fig15_miss_rate.manifest.json" > "$tdir/forged_reason.txt"; then
+    echo "FAIL: trace_dump exited 0 on a forged insert-reason counter" >&2
+    exit 1
+fi
+grep -q "MISMATCH inserts_by_reason" "$tdir/forged_reason.txt"
+echo "negative control: forged reason counter fails check-reasons with nonzero exit"
+
+echo "== forensics: analyze the fig15 trace + schema gate =="
+# The offline analyzer must digest the ci-scale fig15 trace into a
+# schema-valid, conservation-checked ANALYSIS.json and an HTML report.
+cargo build --release -p metal-bench --bin analyze
+./target/release/analyze "$tdir/fig15_miss_rate.jsonl" \
+    --manifest "$tdir/fig15_miss_rate.manifest.json" \
+    --out "$tdir/ANALYSIS.json" --html "$tdir/ANALYSIS.html" > "$tdir/analyze.txt"
+grep -q "analyze: wrote" "$tdir/analyze.txt"
+./target/release/analyze --validate "$tdir/ANALYSIS.json"
+grep -q "<svg" "$tdir/ANALYSIS.html"
+echo "fig15 trace analyzed; ANALYSIS.json passes the schema/conservation gate"
 
 echo "== differential verification: fuzz smoke + figure cross-check =="
 # Debug build on purpose: overflow checks armed, and 600 cases take

@@ -1,0 +1,226 @@
+//! `analyze` — offline forensic report generator for `--trace-out`
+//! JSONL event traces.
+//!
+//! Demultiplexes the trace into its (run, design, shard) streams —
+//! order matters *within* a stream (reuse distances, regret windows) but
+//! never across streams — replays each through the same
+//! [`metal_obs::StreamAnalyzer`] core the in-process `--analyze-out`
+//! path uses, merges the per-stream reductions by design, and writes:
+//!
+//! - a schema-tagged, associatively merged `ANALYSIS.json`
+//!   (`metal-analysis-v1`), self-validated before writing;
+//! - a self-contained single-file HTML report (inline SVG reuse/regret
+//!   histograms, per-set occupancy heatmap, tuner-decision timeline).
+//!
+//! With `--manifest <manifest.json>` the miss-taxonomy reference cache
+//! is sized from the run's recorded `cache_bytes` argument; otherwise
+//! the harness default (64 KiB) is assumed.
+//!
+//! `analyze --validate <ANALYSIS.json>` instead checks an existing
+//! document: schema tag, required per-design sections, and the
+//! conservation invariants (ledger retirement, regret verdicts, block
+//! classification). CI uses this as the schema gate.
+//!
+//! Run: `cargo run -p metal-bench --bin analyze -- trace.jsonl
+//!       [--manifest manifest.json] [--out ANALYSIS.json] [--html report.html]`
+
+use metal_bench::fail;
+use metal_obs::{render_html, validate_analysis, Json, StreamAnalyzer, TraceAnalysis};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn help() -> ExitCode {
+    println!(
+        "analyze: build a forensic report from a --trace-out JSONL event trace\n\
+         \n\
+         Usage: analyze <trace.jsonl> [--manifest <manifest.json>]\n\
+         \x20                         [--out <ANALYSIS.json>] [--html <report.html>]\n\
+         \x20      analyze --validate <ANALYSIS.json>\n\
+         \n\
+         Replays every (run, design, shard) stream of the trace through the\n\
+         entry ledger, reuse-distance profiler, miss taxonomy and eviction-\n\
+         regret meter, merges per design, and writes a schema-tagged\n\
+         ANALYSIS.json (default: ANALYSIS.json next to the trace) plus a\n\
+         self-contained HTML report (default: the output path with an .html\n\
+         extension). --manifest sizes the taxonomy's fully-associative\n\
+         reference from the run's recorded cache_bytes.\n\
+         \n\
+         --validate checks an existing ANALYSIS.json instead: schema tag,\n\
+         required sections, and conservation invariants; exits non-zero on\n\
+         the first violation.\n\
+         \n\
+         Traces, manifests and the analysis schema are documented in\n\
+         README.md's Telemetry section and DESIGN.md §8."
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: analyze <trace.jsonl> [--manifest <m.json>] [--out <a.json>] [--html <r.html>]\n\
+         \x20      analyze --validate <ANALYSIS.json>"
+    );
+    ExitCode::from(2)
+}
+
+/// Reads and parses a whole JSON document, exiting with context on
+/// failure.
+fn read_json(path: &PathBuf, what: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {what} {}: {e}", path.display())));
+    Json::parse(&text)
+        .unwrap_or_else(|e| fail(format_args!("bad JSON in {what} {}: {e}", path.display())))
+}
+
+fn validate_mode(path: &PathBuf) -> ExitCode {
+    let doc = read_json(path, "analysis");
+    match validate_analysis(&doc) {
+        Ok(()) => {
+            println!(
+                "analyze: {} is a valid, conserved metal-analysis document",
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("analyze: INVALID {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        return help();
+    }
+    let mut trace_path: Option<PathBuf> = None;
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut html_path: Option<PathBuf> = None;
+    let mut validate_path: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut path_arg = |flag: &str| match it.next() {
+            Some(p) => PathBuf::from(p),
+            None => fail(format_args!("{flag} needs a path argument")),
+        };
+        match arg.as_str() {
+            "--manifest" => manifest_path = Some(path_arg("--manifest")),
+            "--out" => out_path = Some(path_arg("--out")),
+            "--html" => html_path = Some(path_arg("--html")),
+            "--validate" => validate_path = Some(path_arg("--validate")),
+            p if trace_path.is_none() && !p.starts_with('-') => trace_path = Some(PathBuf::from(p)),
+            _ => return usage(),
+        }
+    }
+
+    if let Some(p) = validate_path {
+        if trace_path.is_some() {
+            return usage();
+        }
+        return validate_mode(&p);
+    }
+    let Some(trace_path) = trace_path else {
+        return usage();
+    };
+
+    // The taxonomy's fully-associative reference is sized to the design
+    // budget in 64 B blocks; the manifest records the run's actual
+    // --cache-kb, the harness default applies otherwise.
+    let budget_blocks = match &manifest_path {
+        Some(p) => {
+            let manifest = read_json(p, "manifest");
+            let field = manifest.get("args").and_then(|a| a.get("cache_bytes"));
+            // Manifest args are recorded as strings; accept a plain
+            // number too for hand-built manifests.
+            field
+                .and_then(Json::as_u64)
+                .or_else(|| field.and_then(Json::as_str).and_then(|s| s.parse().ok()))
+                .unwrap_or_else(|| {
+                    fail(format_args!(
+                        "manifest {} records no cache_bytes argument",
+                        p.display()
+                    ))
+                }) as usize
+                / 64
+        }
+        None => 64 * 1024 / 64,
+    }
+    .max(1);
+
+    let file = File::open(&trace_path)
+        .unwrap_or_else(|e| fail(format_args!("cannot open {}: {e}", trace_path.display())));
+    // One analyzer per (run, design, shard) stream; lines of one stream
+    // appear in emission order, so replay order is stream order.
+    let mut streams: BTreeMap<(String, String, u64), StreamAnalyzer> = BTreeMap::new();
+    let mut lines = 0u64;
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.unwrap_or_else(|e| fail(format_args!("read error at line {}: {e}", i + 1)));
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(&line)
+            .unwrap_or_else(|e| fail(format_args!("bad JSON at line {}: {e}", i + 1)));
+        let label = |k: &str| v.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        let shard = v.get("shard").and_then(Json::as_u64).unwrap_or(0);
+        streams
+            .entry((label("run"), label("design"), shard))
+            .or_insert_with(|| StreamAnalyzer::new(budget_blocks))
+            .observe_json(&v);
+        lines += 1;
+    }
+    if streams.is_empty() {
+        fail(format_args!(
+            "{}: no trace events found",
+            trace_path.display()
+        ));
+    }
+
+    let n_streams = streams.len();
+    let mut analysis = TraceAnalysis::default();
+    for ((_, design, _), analyzer) in streams {
+        analysis.fold(&design, analyzer.finish());
+    }
+
+    let doc = analysis.to_json();
+    if let Err(e) = validate_analysis(&doc) {
+        fail(format_args!("analysis failed self-validation: {e}"));
+    }
+    let out_path = out_path.unwrap_or_else(|| trace_path.with_file_name("ANALYSIS.json"));
+    std::fs::write(&out_path, doc.render() + "\n")
+        .unwrap_or_else(|e| fail(format_args!("cannot write {}: {e}", out_path.display())));
+    let html_path = html_path.unwrap_or_else(|| out_path.with_extension("html"));
+    let title = format!(
+        "METAL forensics — {}",
+        trace_path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| trace_path.display().to_string())
+    );
+    std::fs::write(&html_path, render_html(&analysis, &title))
+        .unwrap_or_else(|e| fail(format_args!("cannot write {}: {e}", html_path.display())));
+
+    println!(
+        "analyze: {lines} events in {n_streams} streams across {} designs",
+        analysis.designs.len()
+    );
+    for (design, d) in &analysis.designs {
+        println!(
+            "  {design}: taxonomy compulsory={} capacity={} conflict={}, \
+             regret {}/{} evictions, {} zero-hit evictions",
+            d.taxonomy.compulsory,
+            d.taxonomy.capacity,
+            d.taxonomy.conflict,
+            d.regret.regretted,
+            d.regret.evictions,
+            d.ledger.zero_hit_evictions
+        );
+    }
+    println!("analyze: wrote {}", out_path.display());
+    println!("analyze: wrote {}", html_path.display());
+    ExitCode::SUCCESS
+}

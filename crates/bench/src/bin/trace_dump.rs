@@ -11,7 +11,10 @@
 //! With `--check-hits <manifest.json>` it additionally cross-checks the
 //! per-level non-scan hit counts reconstructed from the trace against the
 //! `hit_levels` statistics recorded in the run manifest — the two are
-//! independent paths through the simulator and must agree exactly.
+//! independent paths through the simulator and must agree exactly. When
+//! the manifest carries aggregated event metrics (`--metrics-out`), the
+//! admission/bypass/eviction reason counters re-derived from the trace
+//! are diffed against them too.
 //!
 //! Run: `cargo run -p metal-bench --bin trace_dump -- trace.jsonl
 //!       [--top N] [--check-hits manifest.json]`
@@ -212,6 +215,48 @@ impl TraceSummary {
         }
         mismatches
     }
+
+    /// Cross-checks the admission/bypass/eviction reason counters
+    /// re-derived from the trace against the manifest's aggregated event
+    /// metrics. Returns the number of mismatches; skips (returning 0)
+    /// when the manifest carries no metrics block.
+    fn check_reasons(&self, manifest: &Json) -> u64 {
+        let Some(metrics) = manifest.get("metrics") else {
+            println!(
+                "check-reasons: manifest has no metrics block (run with --metrics-out); skipped"
+            );
+            return 0;
+        };
+        let mut mismatches = 0;
+        for (key, traced) in [
+            ("inserts_by_reason", &self.admit_reasons),
+            ("bypasses_by_reason", &self.bypass_reasons),
+            ("evictions_by_reason", &self.evict_reasons),
+        ] {
+            let want: BTreeMap<String, u64> = match metrics.get(key) {
+                Some(Json::Obj(fields)) => fields
+                    .iter()
+                    .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                    .collect(),
+                _ => BTreeMap::new(),
+            };
+            let mut reasons: Vec<&String> = want.keys().chain(traced.keys()).collect();
+            reasons.sort();
+            reasons.dedup();
+            for reason in reasons {
+                let w = want.get(reason).copied().unwrap_or(0);
+                let t = traced.get(reason).copied().unwrap_or(0);
+                if w != t {
+                    mismatches += 1;
+                    println!("MISMATCH {key}/{reason}: manifest {w}, trace {t}");
+                }
+            }
+        }
+        if mismatches == 0 {
+            println!("check-reasons: admission/bypass/eviction reason counters match the manifest");
+        }
+        mismatches
+    }
 }
 
 fn usage() -> ExitCode {
@@ -309,7 +354,7 @@ fn main() -> ExitCode {
             }
         };
         println!();
-        if summary.check_hits(&manifest) > 0 {
+        if summary.check_hits(&manifest) + summary.check_reasons(&manifest) > 0 {
             return ExitCode::FAILURE;
         }
     }

@@ -16,14 +16,26 @@ use metal_core::models::DesignSpec;
 use metal_core::runner::{run_design, ObsConfig, RunConfig, RunReport, DEFAULT_SHARD_WALKS};
 use metal_core::IxConfig;
 use metal_obs::manifest::RunManifest;
-use metal_obs::{ChromeTraceSink, ChromeTraceWriter, JsonlSink, JsonlWriter, MetricsRegistry};
+use metal_obs::{
+    render_html, validate_analysis, AnalysisRegistry, ChromeTraceSink, ChromeTraceWriter,
+    JsonlSink, JsonlWriter, MetricsRegistry,
+};
 use metal_sim::obs::{shared, EventSink, MultiSink};
 use metal_sim::stats::RunStats;
 use metal_workloads::{BuiltWorkload, Scale, Workload};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Prints a contextful error and exits nonzero. The harness binaries use
+/// this for user-facing I/O and parse failures (bad paths, unreadable
+/// input) where a panic's backtrace would bury the actual problem;
+/// internal invariant violations still panic.
+pub fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
 
 /// Command-line arguments shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -49,6 +61,12 @@ pub struct HarnessArgs {
     /// seed, git revision, wall clock, full per-design statistics and
     /// aggregated event metrics) to PATH.
     pub metrics_out: Option<PathBuf>,
+    /// `--analyze-out PATH`: run the in-process forensic analyzers
+    /// (entry ledger, reuse-distance profile, miss taxonomy, eviction
+    /// regret) and write a schema-tagged `ANALYSIS.json` to PATH plus a
+    /// self-contained HTML report next to it (PATH with an `.html`
+    /// extension). Observe-only; CSV output is unchanged.
+    pub analyze_out: Option<PathBuf>,
     /// `--verify`: after each workload, re-run a subsample of it through
     /// `metal-verify`'s reference accounting cross-check (observe-only;
     /// diagnostics go to stderr and the CSV on stdout is unchanged).
@@ -74,6 +92,7 @@ impl Default for HarnessArgs {
             shard_walks: DEFAULT_SHARD_WALKS,
             trace_out: None,
             metrics_out: None,
+            analyze_out: None,
             verify: false,
         }
     }
@@ -91,6 +110,7 @@ impl HarnessArgs {
     ///   simulated machine model; 0 = unbounded default)
     /// - `--trace-out PATH` (JSONL event trace + Chrome export)
     /// - `--metrics-out PATH` (run-manifest JSON)
+    /// - `--analyze-out PATH` (forensic `ANALYSIS.json` + HTML report)
     /// - `--verify` (subsampled reference cross-check per workload)
     ///
     /// Unknown flags are ignored so figure-specific binaries can add
@@ -143,6 +163,9 @@ impl HarnessArgs {
                 "--metrics-out" => {
                     out.metrics_out = Some(PathBuf::from(next_str(&mut it, "--metrics-out")))
                 }
+                "--analyze-out" => {
+                    out.analyze_out = Some(PathBuf::from(next_str(&mut it, "--analyze-out")))
+                }
                 "--verify" => out.verify = true,
                 _ => {}
             }
@@ -175,6 +198,7 @@ fn print_usage() {
            --shard-walks N          logical-shard grain (opt-in machine model)\n\
            --trace-out PATH         write a JSONL event trace (+ Chrome export)\n\
            --metrics-out PATH       write a run-manifest JSON\n\
+           --analyze-out PATH       write forensic ANALYSIS.json + HTML report\n\
            --verify                 cross-check a subsample against metal-verify\n\
          \n\
          Environment: METAL_SHARDS (worker-thread default),\n\
@@ -213,13 +237,27 @@ struct Heartbeat {
 }
 
 impl Heartbeat {
-    fn spawn(run: String, progress: Arc<AtomicU64>, period: Duration) -> Self {
+    fn spawn(
+        run: String,
+        scope: Arc<Mutex<String>>,
+        progress: Arc<AtomicU64>,
+        period: Duration,
+    ) -> Self {
         let (tx, rx) = mpsc::channel::<()>();
         let handle = std::thread::spawn(move || {
             let started = Instant::now();
             while let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(period) {
+                // Long sessions run many scoped batches back to back;
+                // without the active scope the heartbeat can't say
+                // *which* workload/design the session is stuck in.
+                let scope = scope.lock().map(|s| s.clone()).unwrap_or_default();
+                let at = if scope.is_empty() {
+                    run.clone()
+                } else {
+                    format!("{run}:{scope}")
+                };
                 eprintln!(
-                    "# [{run}] heartbeat: {} walks simulated, {:.0}s elapsed",
+                    "# [{at}] heartbeat: {} walks simulated, {:.0}s elapsed",
                     progress.load(Ordering::Relaxed),
                     started.elapsed().as_secs_f64()
                 );
@@ -259,6 +297,7 @@ impl Drop for Heartbeat {
 /// absent and simulations run exactly as without a session (only the
 /// progress counter is attached, which no statistic reads).
 pub struct Session {
+    run: String,
     args: HarnessArgs,
     manifest: RunManifest,
     started: Instant,
@@ -266,7 +305,10 @@ pub struct Session {
     chrome: Option<Arc<ChromeTraceWriter>>,
     chrome_path: Option<PathBuf>,
     registry: Option<Arc<MetricsRegistry>>,
+    analysis: Option<Arc<AnalysisRegistry>>,
     progress: Arc<AtomicU64>,
+    /// The most recent [`Session::config`] scope, shown by the heartbeat.
+    hb_scope: Arc<Mutex<String>>,
     _heartbeat: Option<Heartbeat>,
 }
 
@@ -284,7 +326,8 @@ impl Session {
         manifest.arg("shard_walks", args.shard_walks);
 
         let jsonl = args.trace_out.as_ref().map(|p| {
-            JsonlWriter::create(p).unwrap_or_else(|e| panic!("--trace-out {}: {e}", p.display()))
+            JsonlWriter::create(p)
+                .unwrap_or_else(|e| fail(format_args!("--trace-out {}: {e}", p.display())))
         });
         let chrome_path = args
             .trace_out
@@ -292,12 +335,19 @@ impl Session {
             .map(|p| p.with_extension("chrome.json"));
         let chrome = chrome_path.as_ref().map(|_| ChromeTraceWriter::new());
         let registry = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+        let analysis = args
+            .analyze_out
+            .as_ref()
+            .map(|_| AnalysisRegistry::new((args.cache_bytes / 64).max(1)));
 
         let progress = Arc::new(AtomicU64::new(0));
-        let heartbeat = heartbeat_period()
-            .map(|period| Heartbeat::spawn(run.to_string(), progress.clone(), period));
+        let hb_scope = Arc::new(Mutex::new(String::new()));
+        let heartbeat = heartbeat_period().map(|period| {
+            Heartbeat::spawn(run.to_string(), hb_scope.clone(), progress.clone(), period)
+        });
 
         Session {
+            run: run.to_string(),
             args: args.clone(),
             manifest,
             started: Instant::now(),
@@ -305,9 +355,17 @@ impl Session {
             chrome,
             chrome_path,
             registry,
+            analysis,
             progress,
+            hb_scope,
             _heartbeat: heartbeat,
         }
+    }
+
+    /// The scope label the heartbeat currently reports (the argument of
+    /// the most recent [`Session::config`] call).
+    pub fn active_scope(&self) -> String {
+        self.hb_scope.lock().map(|s| s.clone()).unwrap_or_default()
     }
 
     /// A [`RunConfig`] for one simulation batch, wired to this session's
@@ -316,14 +374,18 @@ impl Session {
     /// [`Session::record`] so `trace-dump --check-hits` can match trace
     /// events to manifest reports.
     pub fn config(&self, scope: &str) -> RunConfig {
+        if let Ok(mut s) = self.hb_scope.lock() {
+            *s = scope.to_string();
+        }
         let mut obs = ObsConfig {
             sink_factory: None,
             progress: Some(self.progress.clone()),
         };
-        if self.jsonl.is_some() || self.registry.is_some() {
+        if self.jsonl.is_some() || self.registry.is_some() || self.analysis.is_some() {
             let jsonl = self.jsonl.clone();
             let chrome = self.chrome.clone();
             let registry = self.registry.clone();
+            let analysis = self.analysis.clone();
             let scope = scope.to_string();
             obs.sink_factory = Some(Arc::new(move |ctx| {
                 let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
@@ -344,6 +406,9 @@ impl Session {
                 }
                 if let Some(r) = &registry {
                     sinks.push(Box::new(r.sink()));
+                }
+                if let Some(a) = &analysis {
+                    sinks.push(Box::new(a.sink(&ctx.design)));
                 }
                 (!sinks.is_empty()).then(|| shared(MultiSink::new(sinks)))
             }));
@@ -382,6 +447,25 @@ impl Session {
             } else {
                 eprintln!("# wrote run manifest: {}", p.display());
             }
+        }
+        if let (Some(p), Some(reg)) = (&self.args.analyze_out, &self.analysis) {
+            let analysis = reg.snapshot();
+            let doc = analysis.to_json();
+            // The validator runs on our own output so an accounting bug
+            // fails the producing run, not just a later CI check.
+            if let Err(e) = validate_analysis(&doc) {
+                fail(format_args!("--analyze-out self-validation: {e}"));
+            }
+            if let Err(e) = std::fs::write(p, doc.render() + "\n") {
+                fail(format_args!("--analyze-out {}: {e}", p.display()));
+            }
+            eprintln!("# wrote forensic analysis: {}", p.display());
+            let html_path = p.with_extension("html");
+            let html = render_html(&analysis, &format!("METAL forensics — {}", self.run));
+            if let Err(e) = std::fs::write(&html_path, html) {
+                fail(format_args!("--analyze-out {}: {e}", html_path.display()));
+            }
+            eprintln!("# wrote forensic report: {}", html_path.display());
         }
     }
 }
@@ -597,6 +681,23 @@ mod tests {
         // 0 and absence both mean the unbounded (single-engine) default.
         assert_eq!(args("--shard-walks 0").shard_walks, DEFAULT_SHARD_WALKS);
         assert_eq!(args("").shard_walks, DEFAULT_SHARD_WALKS);
+    }
+
+    #[test]
+    fn analyze_out_flag_parses() {
+        let a = args("--analyze-out out/ANALYSIS.json");
+        assert_eq!(a.analyze_out, Some(PathBuf::from("out/ANALYSIS.json")));
+        assert_eq!(args("").analyze_out, None);
+    }
+
+    #[test]
+    fn heartbeat_scope_tracks_config_calls() {
+        let session = Session::new("test_run", &args(""));
+        assert_eq!(session.active_scope(), "");
+        let _ = session.config("spmm/ix");
+        assert_eq!(session.active_scope(), "spmm/ix");
+        let _ = session.config("join/walk");
+        assert_eq!(session.active_scope(), "join/walk");
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! pressure erodes stale pins so the cache can never wedge fully pinned.
 
 use crate::range::KeyRange;
-use metal_sim::obs::{EvictReason, WIDE_SET};
+use metal_sim::obs::{EvictReason, PackMode, WIDE_SET};
 use metal_sim::types::{Key, BLOCK_BYTES};
 
 /// Maximum value of the 4-bit saturating utility counter.
@@ -102,10 +102,18 @@ pub struct IxHit {
     pub level: u8,
     /// The matched range tag.
     pub range: KeyRange,
+    /// Stable id of the matched entry (unique within one cache
+    /// lifetime; forensics keys the per-entry ledger on it).
+    pub entry: u64,
 }
 
 #[derive(Debug, Clone)]
 struct Entry {
+    /// Stable id, allocated from a monotonic per-cache counter at
+    /// physical creation time. Never reused; 0
+    /// ([`metal_sim::obs::NO_ENTRY`]) is reserved as the "no entry"
+    /// sentinel.
+    id: u64,
     index: IndexId,
     /// Union span of all segments (the SRAM range tag).
     span: KeyRange,
@@ -134,6 +142,15 @@ pub struct EvictRecord {
     pub set: u32,
     /// Why it was chosen.
     pub reason: EvictReason,
+    /// Stable id of the evicted entry.
+    pub entry: u64,
+    /// Low key of the victim's span (the regret meter watches this
+    /// window for re-references).
+    pub lo: u64,
+    /// High key of the victim's span (inclusive).
+    pub hi: u64,
+    /// Id of the incoming entry the eviction made room for.
+    pub for_entry: u64,
 }
 
 /// Telemetry record of one physical entry creation (after dedup and
@@ -146,6 +163,25 @@ pub struct FillRecord {
     pub level: u8,
     /// Placement set ([`WIDE_SET`] for the wide partition).
     pub set: u32,
+    /// Stable id of the created entry.
+    pub entry: u64,
+    /// How the admitted node was packed into the entry.
+    pub pack: PackMode,
+}
+
+/// Telemetry record of one coalescing absorption: an admitted node was
+/// folded into an existing same-level sibling entry instead of creating
+/// a new one (drained via [`IxCache::drain_coalesces`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceRecord {
+    /// Index the absorbing entry belongs to.
+    pub index: IndexId,
+    /// Entry level.
+    pub level: u8,
+    /// Placement set of the absorbing entry (always narrow).
+    pub set: u32,
+    /// Stable id of the absorbing entry.
+    pub entry: u64,
 }
 
 /// A resident entry, as reported by [`IxCache::snapshot`] for external
@@ -527,10 +563,15 @@ pub struct IxCache {
     seg_pool: Vec<Vec<(KeyRange, u32)>>,
     tick: u64,
     stats: IxStats,
+    /// Next stable entry id to hand out. Advances on every physical
+    /// entry creation regardless of `record`, so ids are identical
+    /// between observed and unobserved runs.
+    next_entry_id: u64,
     /// Telemetry recording is opt-in so unobserved runs allocate nothing.
     record: bool,
     recent_evictions: Vec<EvictRecord>,
     recent_fills: Vec<FillRecord>,
+    recent_coalesces: Vec<CoalesceRecord>,
 }
 
 impl IxCache {
@@ -566,9 +607,11 @@ impl IxCache {
             seg_pool: Vec::new(),
             tick: 0,
             stats: IxStats::default(),
+            next_entry_id: 1,
             record: false,
             recent_evictions: Vec::new(),
             recent_fills: Vec::new(),
+            recent_coalesces: Vec::new(),
         }
     }
 
@@ -582,6 +625,21 @@ impl IxCache {
         &self.stats
     }
 
+    /// Partitions the entry-id space between several cache slices of one
+    /// model (e.g. `MetalPrivate`'s per-lane caches), so ids stay unique
+    /// within a (design, shard) event stream. Slice `stream` hands out
+    /// ids `(stream << 48) + 1, (stream << 48) + 2, …`. Must be called
+    /// before the first insertion, and identically whether or not the
+    /// run is observed (it is part of cache construction, not telemetry).
+    pub fn set_entry_id_stream(&mut self, stream: u64) {
+        debug_assert_eq!(
+            self.next_entry_id & ((1 << 48) - 1),
+            1,
+            "ids already handed out"
+        );
+        self.next_entry_id = (stream << 48) | 1;
+    }
+
     /// Enables or disables telemetry recording of evictions and fills.
     /// Disabled by default; recording is observe-only and changes no
     /// cache behaviour or statistic.
@@ -590,6 +648,7 @@ impl IxCache {
         if !on {
             self.recent_evictions = Vec::new();
             self.recent_fills = Vec::new();
+            self.recent_coalesces = Vec::new();
         }
     }
 
@@ -601,6 +660,11 @@ impl IxCache {
     /// Drains the fill records accumulated since the last drain.
     pub fn drain_fills(&mut self) -> std::vec::Drain<'_, FillRecord> {
         self.recent_fills.drain(..)
+    }
+
+    /// Drains the coalesce records accumulated since the last drain.
+    pub fn drain_coalesces(&mut self) -> std::vec::Drain<'_, CoalesceRecord> {
+        self.recent_coalesces.drain(..)
     }
 
     /// The narrow set a probe for `key` in `index` selects (telemetry:
@@ -682,6 +746,7 @@ impl IxCache {
                         node,
                         level: e.level,
                         range,
+                        entry: e.id,
                     };
                     if best
                         .as_ref()
@@ -735,6 +800,7 @@ impl IxCache {
                     node,
                     level: e.level,
                     range,
+                    entry: e.id,
                 };
                 if best.as_ref().is_none_or(|(_, _, b)| hit.level < b.level) {
                     best = Some((pos, false, hit));
@@ -749,6 +815,7 @@ impl IxCache {
                     node,
                     level: e.level,
                     range,
+                    entry: e.id,
                 };
                 if best.as_ref().is_none_or(|(_, _, b)| hit.level < b.level) {
                     best = Some((pos, true, hit));
@@ -879,6 +946,16 @@ impl IxCache {
                 e.payload_bytes += bytes;
                 e.life = e.life.max(life);
                 e.tick = tick;
+                if self.record {
+                    let entry = e.id;
+                    self.recent_coalesces.push(CoalesceRecord {
+                        index,
+                        level,
+                        set: set_idx as u32,
+                        entry,
+                    });
+                }
+                let e = &self.sets[set_idx][pos];
                 if e.span != old_span {
                     let new_span = e.span;
                     self.narrow_idx[set_idx].update_span(
@@ -894,9 +971,17 @@ impl IxCache {
             }
         }
 
+        // The incoming entry's id is allocated before the eviction loops
+        // so each eviction record can name the entry it made room for.
+        // Allocation is unconditional (even when a fully pinned cache
+        // later bypasses the insert) so ids never depend on whether
+        // recording is enabled.
+        let id = self.next_entry_id;
+        self.next_entry_id += 1;
         let mut segs = self.seg_pool.pop().unwrap_or_default();
         segs.push((range, node));
         let entry = Entry {
+            id,
             index,
             span: range,
             level,
@@ -908,6 +993,11 @@ impl IxCache {
             tick: self.tick,
         };
         let record = self.record;
+        let pack = if split {
+            PackMode::Split
+        } else {
+            PackMode::Exact
+        };
 
         if wide {
             while self.occupancy() >= self.cfg.entries {
@@ -919,6 +1009,10 @@ impl IxCache {
                             level: victim.level,
                             set: WIDE_SET,
                             reason: Self::evict_reason(victim, split),
+                            entry: victim.id,
+                            lo: victim.span.lo,
+                            hi: victim.span.hi,
+                            for_entry: id,
                         });
                     }
                     Self::remove_entry(&mut self.wide, &mut self.wide_idx, &mut self.seg_pool, v);
@@ -932,6 +1026,8 @@ impl IxCache {
                     index,
                     level,
                     set: WIDE_SET,
+                    entry: id,
+                    pack,
                 });
             }
             // Counted only once placement is certain: a fully pinned
@@ -956,6 +1052,10 @@ impl IxCache {
                             level: victim.level,
                             set: set_idx as u32,
                             reason: Self::evict_reason(victim, split),
+                            entry: victim.id,
+                            lo: victim.span.lo,
+                            hi: victim.span.hi,
+                            for_entry: id,
                         });
                     }
                     Self::remove_entry(
@@ -978,6 +1078,10 @@ impl IxCache {
                             level: victim.level,
                             set: WIDE_SET,
                             reason: Self::evict_reason(victim, split),
+                            entry: victim.id,
+                            lo: victim.span.lo,
+                            hi: victim.span.hi,
+                            for_entry: id,
                         });
                     }
                     Self::remove_entry(&mut self.wide, &mut self.wide_idx, &mut self.seg_pool, v);
@@ -992,6 +1096,10 @@ impl IxCache {
                             level: victim.level,
                             set: set_idx as u32,
                             reason: Self::evict_reason(victim, split),
+                            entry: victim.id,
+                            lo: victim.span.lo,
+                            hi: victim.span.hi,
+                            for_entry: id,
                         });
                     }
                     Self::remove_entry(
@@ -1010,6 +1118,8 @@ impl IxCache {
                     index,
                     level,
                     set: set_idx as u32,
+                    entry: id,
+                    pack,
                 });
             }
             self.stats.inserts += 1;
@@ -1537,6 +1647,67 @@ mod tests {
             assert_eq!(fast.stats().evictions, reference.stats().evictions);
             assert!(fast.stats().evictions > 0, "storm must evict (seed {seed})");
         }
+    }
+
+    #[test]
+    fn entry_ids_thread_through_fills_probes_and_evictions() {
+        let mut c = IxCache::new(IxConfig {
+            entries: 4,
+            ways: 2,
+            key_block_bits: 20, // one key block → one set
+            wide_fraction: 0.5,
+        });
+        c.set_recording(true);
+        c.insert(0, 1, KeyRange::new(0, 10), 0, 64, 0);
+        c.insert(0, 2, KeyRange::new(20, 30), 0, 64, 0);
+        let fills: Vec<_> = c.drain_fills().collect();
+        assert_eq!(fills.len(), 2);
+        assert!(fills[0].entry >= 1, "ids start at 1 (0 is the sentinel)");
+        assert!(fills[1].entry > fills[0].entry, "ids are monotonic");
+        assert_eq!(fills[0].pack, PackMode::Exact);
+        // A probe hit names the entry it matched.
+        let hit = c.probe(0, 25).expect("hit");
+        assert_eq!(hit.entry, fills[1].entry);
+        // A capacity eviction names both the victim and the incoming
+        // entry it made room for.
+        c.insert(0, 3, KeyRange::new(40, 50), 0, 64, 0);
+        let evs: Vec<_> = c.drain_evictions().collect();
+        let fill3: Vec<_> = c.drain_fills().collect();
+        assert_eq!((evs.len(), fill3.len()), (1, 1));
+        assert_eq!(evs[0].for_entry, fill3[0].entry);
+        assert_eq!(evs[0].entry, fills[0].entry, "cold entry is the victim");
+        assert_eq!((evs[0].lo, evs[0].hi), (0, 10), "victim span recorded");
+    }
+
+    #[test]
+    fn split_fills_carry_distinct_ids_and_split_pack() {
+        let mut c = cache(64);
+        c.set_recording(true);
+        c.insert(0, 9, KeyRange::new(0, 1023), 2, 256, 0);
+        let fills: Vec<_> = c.drain_fills().collect();
+        assert_eq!(fills.len(), 4);
+        assert!(fills.iter().all(|f| f.pack == PackMode::Split));
+        let mut ids: Vec<u64> = fills.iter().map(|f| f.entry).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "each sub-range entry has its own id");
+    }
+
+    #[test]
+    fn coalesce_records_reference_the_absorbing_entry() {
+        let mut c = cache(64);
+        c.set_recording(true);
+        c.insert(0, 1, KeyRange::new(0, 2), 0, 24, 0);
+        let fills: Vec<_> = c.drain_fills().collect();
+        assert_eq!(fills.len(), 1);
+        c.insert(0, 2, KeyRange::new(4, 6), 0, 24, 0);
+        let co: Vec<_> = c.drain_coalesces().collect();
+        assert_eq!(co.len(), 1);
+        assert_eq!(co[0].entry, fills[0].entry);
+        assert_eq!(
+            c.drain_fills().count(),
+            0,
+            "an absorbed insert creates no new entry"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! memory parallelism and DRAM contention.
 
 use crate::descriptor::{Admit, AdmitCtx, Descriptor};
-use crate::ixcache::{EvictRecord, FillRecord, IxCache, IxConfig};
+use crate::ixcache::{CoalesceRecord, EvictRecord, FillRecord, IxCache, IxConfig};
 use crate::metrics::WindowedWorkingSet;
 use crate::range::KeyRange;
 use crate::request::WalkRequest;
@@ -33,7 +33,7 @@ use metal_index::arena::NodeId;
 use metal_index::walk::{Descend, NodeInfo, WalkIndex};
 use metal_sim::caches::{AddressCache, KeyCache, OptCache};
 use metal_sim::engine::{WalkProgram, WalkStep};
-use metal_sim::obs::{emit_to, Event, SharedSink};
+use metal_sim::obs::{emit_to, Event, SharedSink, NO_ENTRY};
 use metal_sim::stats::RunStats;
 use metal_sim::types::{blocks_spanned, Cycles, Key};
 use metal_sim::SimConfig;
@@ -253,7 +253,16 @@ impl<'a> DesignModel<'a> {
                     ..*ix
                 };
                 CacheState::Metal {
-                    caches: (0..cfg.lanes).map(|_| IxCache::new(slice)).collect(),
+                    caches: (0..cfg.lanes)
+                        .map(|lane| {
+                            let mut c = IxCache::new(slice);
+                            // Private slices share one (design, shard) event
+                            // stream, so partition the entry-id space per
+                            // lane to keep ids unique in the trace.
+                            c.set_entry_id_stream(lane as u64);
+                            c
+                        })
+                        .collect(),
                     descriptors: descriptors.clone(),
                     tuners: None,
                     scratch: AddressCache::new(cfg.data_scratch_entries, 16),
@@ -800,6 +809,7 @@ impl<'a> DesignModel<'a> {
                 short_circuit: skipped.min(u8::MAX as u64) as u8,
                 set: probe_set,
                 scan: false,
+                entry: probe.map_or(NO_ENTRY, |h| h.entry),
             });
         }
 
@@ -815,7 +825,7 @@ impl<'a> DesignModel<'a> {
         if let Some(start) = scan_start {
             let chain = Self::scan_chain(index, start, req.scan_leaves);
             for (id, info) in chain {
-                let (leaf_hit, scan_set) = match &mut self.state {
+                let (leaf_hit, scan_entry, scan_set) = match &mut self.state {
                     CacheState::Metal { caches, .. } => {
                         let n = caches.len();
                         let c = &mut caches[lane % n];
@@ -824,10 +834,8 @@ impl<'a> DesignModel<'a> {
                         } else {
                             0
                         };
-                        (
-                            c.probe(req.index, info.lo).is_some_and(|h| h.node == id),
-                            set,
-                        )
+                        let hit = c.probe(req.index, info.lo).filter(|h| h.node == id);
+                        (hit.is_some(), hit.map_or(NO_ENTRY, |h| h.entry), set)
                     }
                     _ => unreachable!(),
                 };
@@ -842,6 +850,7 @@ impl<'a> DesignModel<'a> {
                         short_circuit: 0,
                         set: scan_set,
                         scan: true,
+                        entry: scan_entry,
                     });
                 }
                 if leaf_hit {
@@ -901,6 +910,7 @@ impl<'a> DesignModel<'a> {
         let mut admit_ev: Option<Event> = None;
         let mut fills: Vec<FillRecord> = Vec::new();
         let mut evicts: Vec<EvictRecord> = Vec::new();
+        let mut coalesces: Vec<CoalesceRecord> = Vec::new();
         if let CacheState::Metal {
             caches,
             descriptors,
@@ -930,6 +940,7 @@ impl<'a> DesignModel<'a> {
                     if observing {
                         fills.extend(c.drain_fills());
                         evicts.extend(c.drain_evictions());
+                        coalesces.extend(c.drain_coalesces());
                     }
                     self.stats.inserts += 1;
                     self.stats.cache_energy_fj = self.stats.cache_energy_fj.saturating_add(ix_fj);
@@ -955,6 +966,16 @@ impl<'a> DesignModel<'a> {
                     index: f.index,
                     level: f.level,
                     set: f.set,
+                    entry: f.entry,
+                    pack: f.pack,
+                });
+            }
+            for co in coalesces {
+                self.emit(Event::Coalesce {
+                    index: co.index,
+                    level: co.level,
+                    set: co.set,
+                    entry: co.entry,
                 });
             }
             for e in evicts {
@@ -963,6 +984,10 @@ impl<'a> DesignModel<'a> {
                     level: e.level,
                     set: e.set,
                     reason: e.reason,
+                    entry: e.entry,
+                    lo: e.lo,
+                    hi: e.hi,
+                    for_entry: e.for_entry,
                 });
             }
         }

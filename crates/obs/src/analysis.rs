@@ -1,0 +1,788 @@
+//! Trace forensics: one analyzer per (run, design, shard) event stream,
+//! reduced to per-design aggregates that merge associatively.
+//!
+//! The same [`StreamAnalyzer`] core backs two paths:
+//!
+//! - **in-process**: an [`AnalysisSink`] per shard feeds events straight
+//!   from the simulation (wired by the bench harness's `--analyze-out`);
+//! - **offline**: the `analyze` binary demultiplexes a JSONL trace by
+//!   its (run, design, shard) labels and replays each stream through
+//!   [`StreamAnalyzer::observe_json`].
+//!
+//! Both reduce to the same [`DesignAnalysis`] values, so the offline
+//! report of a trace agrees bit-for-bit with the in-process one of the
+//! run that produced it.
+//!
+//! Order matters *within* a stream (reuse distance, the regret windows)
+//! but never *across* streams: [`DesignAnalysis::merge`] is a plain sum,
+//! so the merged result is independent of shard arrival order and of
+//! the worker-thread count — the same contract the metrics registry and
+//! `LatencyStats` already pin.
+
+use crate::json::Json;
+use crate::ledger::{EntryLedger, LedgerSummary, RegretMeter, RegretSummary};
+use crate::reuse::{LogHist, MissTaxonomy, ReuseProfiler, TaxonomyCounts};
+use metal_sim::obs::{Event, EventSink};
+use metal_sim::types::BLOCK_BYTES;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Schema tag stamped into `ANALYSIS.json`.
+pub const ANALYSIS_SCHEMA: &str = "metal-analysis-v1";
+
+/// One tuner decision in the forensic timeline.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TunerRec {
+    /// Simulated cycle of the decision.
+    pub at: u64,
+    /// Index whose descriptor moved.
+    pub index: u8,
+    /// Completed-batch number.
+    pub batch: u64,
+    /// Parameter tag.
+    pub param: String,
+    /// Old value.
+    pub from: u64,
+    /// New value.
+    pub to: u64,
+}
+
+/// Per-design forensic aggregate (merged over shards and runs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DesignAnalysis {
+    /// Events per kind tag.
+    pub events_by_kind: BTreeMap<String, u64>,
+    /// Entry-ledger reduction.
+    pub ledger: LedgerSummary,
+    /// Eviction-regret reduction.
+    pub regret: RegretSummary,
+    /// First-touch block accesses (infinite reuse distance).
+    pub reuse_cold: u64,
+    /// Finite reuse distances (log₂).
+    pub reuse_hist: LogHist,
+    /// Compulsory / capacity / conflict split of the block stream.
+    pub taxonomy: TaxonomyCounts,
+    /// IX-cache probes per (index, set).
+    pub probes_by_set: BTreeMap<(u8, u32), u64>,
+    /// Net fills minus evictions per (index, set).
+    pub occupancy_by_set: BTreeMap<(u8, u32), i64>,
+    /// Tuner decisions (sorted canonically in [`Self::to_json`]).
+    pub tuner_decisions: Vec<TunerRec>,
+}
+
+impl DesignAnalysis {
+    /// Folds `other` into `self`; commutative and associative.
+    pub fn merge(&mut self, other: &DesignAnalysis) {
+        for (k, n) in &other.events_by_kind {
+            *self.events_by_kind.entry(k.clone()).or_insert(0) += n;
+        }
+        self.ledger.merge(&other.ledger);
+        self.regret.merge(&other.regret);
+        self.reuse_cold += other.reuse_cold;
+        self.reuse_hist.merge(&other.reuse_hist);
+        self.taxonomy.merge(&other.taxonomy);
+        for (k, n) in &other.probes_by_set {
+            *self.probes_by_set.entry(*k).or_insert(0) += n;
+        }
+        for (k, n) in &other.occupancy_by_set {
+            *self.occupancy_by_set.entry(*k).or_insert(0) += n;
+        }
+        self.tuner_decisions
+            .extend(other.tuner_decisions.iter().cloned());
+    }
+
+    /// The design's JSON object. Deterministic: maps are ordered and the
+    /// tuner timeline is sorted, so equal aggregates render equal bytes
+    /// regardless of merge order.
+    pub fn to_json(&self) -> Json {
+        let kinds = Json::Obj(
+            self.events_by_kind
+                .iter()
+                .map(|(k, n)| (k.clone(), Json::UInt(*n)))
+                .collect(),
+        );
+        let by_reason = {
+            let mut reasons: Vec<&String> = self.ledger.entries_by_admit_reason.keys().collect();
+            for r in self.ledger.hits_by_admit_reason.keys() {
+                if !reasons.contains(&r) {
+                    reasons.push(r);
+                }
+            }
+            reasons.sort();
+            Json::Obj(
+                reasons
+                    .into_iter()
+                    .map(|r| {
+                        let entries = *self.ledger.entries_by_admit_reason.get(r).unwrap_or(&0);
+                        let hits = *self.ledger.hits_by_admit_reason.get(r).unwrap_or(&0);
+                        (
+                            r.clone(),
+                            Json::Obj(vec![
+                                ("entries".into(), Json::UInt(entries)),
+                                ("hits".into(), Json::UInt(hits)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let by_pack = Json::Obj(
+            self.ledger
+                .entries_by_pack
+                .iter()
+                .map(|(k, n)| (k.clone(), Json::UInt(*n)))
+                .collect(),
+        );
+        let ledger = Json::Obj(vec![
+            ("filled".into(), Json::UInt(self.ledger.filled)),
+            ("coalesced".into(), Json::UInt(self.ledger.coalesced)),
+            ("evicted".into(), Json::UInt(self.ledger.evicted)),
+            ("resident".into(), Json::UInt(self.ledger.resident)),
+            (
+                "zero_hit_evictions".into(),
+                Json::UInt(self.ledger.zero_hit_evictions),
+            ),
+            ("hits_total".into(), Json::UInt(self.ledger.hits_total)),
+            (
+                "short_circuit_saved".into(),
+                Json::UInt(self.ledger.short_circuit_saved),
+            ),
+            (
+                "hits_per_entry_log2".into(),
+                self.ledger.hits_per_entry.to_json(),
+            ),
+            (
+                "lifetime_cycles_log2".into(),
+                self.ledger.lifetime_cycles.to_json(),
+            ),
+            ("by_admit_reason".into(), by_reason),
+            ("by_pack".into(), by_pack),
+        ]);
+        let regret = Json::Obj(vec![
+            ("evictions".into(), Json::UInt(self.regret.evictions)),
+            ("regretted".into(), Json::UInt(self.regret.regretted)),
+            ("vindicated".into(), Json::UInt(self.regret.vindicated)),
+            ("unresolved".into(), Json::UInt(self.regret.unresolved)),
+            (
+                "distance_log2".into(),
+                self.regret.regret_distance.to_json(),
+            ),
+        ]);
+        let reuse = Json::Obj(vec![
+            ("cold".into(), Json::UInt(self.reuse_cold)),
+            ("log2".into(), self.reuse_hist.to_json()),
+        ]);
+        let set_map_u = |m: &BTreeMap<(u8, u32), u64>| {
+            Json::Arr(
+                m.iter()
+                    .map(|(&(i, s), &n)| {
+                        Json::Arr(vec![
+                            Json::UInt(i as u64),
+                            Json::UInt(s as u64),
+                            Json::UInt(n),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let occupancy = Json::Arr(
+            self.occupancy_by_set
+                .iter()
+                .map(|(&(i, s), &n)| {
+                    Json::Arr(vec![
+                        Json::UInt(i as u64),
+                        Json::UInt(s as u64),
+                        // Occupancy is a net count and cannot go negative
+                        // over a complete stream; clamp defensively for
+                        // truncated offline traces.
+                        Json::UInt(n.max(0) as u64),
+                    ])
+                })
+                .collect(),
+        );
+        let mut decisions = self.tuner_decisions.clone();
+        decisions.sort();
+        let tuner = Json::Arr(
+            decisions
+                .into_iter()
+                .map(|d| {
+                    Json::Obj(vec![
+                        ("at".into(), Json::UInt(d.at)),
+                        ("index".into(), Json::UInt(d.index as u64)),
+                        ("batch".into(), Json::UInt(d.batch)),
+                        ("param".into(), Json::str(&d.param)),
+                        ("from".into(), Json::UInt(d.from)),
+                        ("to".into(), Json::UInt(d.to)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("events_by_kind".into(), kinds),
+            ("ledger".into(), ledger),
+            ("reuse_distance".into(), reuse),
+            ("taxonomy".into(), self.taxonomy.to_json()),
+            ("regret".into(), regret),
+            ("probes_by_set".into(), set_map_u(&self.probes_by_set)),
+            ("occupancy_by_set".into(), occupancy),
+            ("tuner_decisions".into(), tuner),
+        ])
+    }
+}
+
+/// Analyzer for one (run, design, shard) event stream.
+#[derive(Debug)]
+pub struct StreamAnalyzer {
+    ledger: EntryLedger,
+    regret: RegretMeter,
+    reuse: ReuseProfiler,
+    taxonomy: MissTaxonomy,
+    events_by_kind: BTreeMap<String, u64>,
+    probes_by_set: BTreeMap<(u8, u32), u64>,
+    occupancy_by_set: BTreeMap<(u8, u32), i64>,
+    tuner_decisions: Vec<TunerRec>,
+}
+
+impl StreamAnalyzer {
+    /// Creates an analyzer; `budget_blocks` sizes the miss-taxonomy
+    /// reference cache (the design's capacity in
+    /// [`BLOCK_BYTES`]-byte blocks).
+    pub fn new(budget_blocks: usize) -> Self {
+        StreamAnalyzer {
+            ledger: EntryLedger::new(),
+            regret: RegretMeter::new(),
+            reuse: ReuseProfiler::new(),
+            taxonomy: MissTaxonomy::new(budget_blocks),
+            events_by_kind: BTreeMap::new(),
+            probes_by_set: BTreeMap::new(),
+            occupancy_by_set: BTreeMap::new(),
+            tuner_decisions: Vec::new(),
+        }
+    }
+
+    fn probe(&mut self, index: u8, key: u64, hit: bool, short_circuit: u64, set: u32, entry: u64) {
+        *self.probes_by_set.entry((index, set)).or_insert(0) += 1;
+        if hit && entry != 0 {
+            self.ledger.probe_hit(entry, short_circuit);
+        }
+        self.regret.probe(index, key, hit, entry);
+    }
+
+    fn fill(&mut self, at: u64, index: u8, set: u32, entry: u64, pack: &str) {
+        *self.occupancy_by_set.entry((index, set)).or_insert(0) += 1;
+        self.ledger.fill(at, entry, pack);
+    }
+
+    fn evict(
+        &mut self,
+        at: u64,
+        index: u8,
+        set: u32,
+        entry: u64,
+        span: (u64, u64),
+        for_entry: u64,
+    ) {
+        *self.occupancy_by_set.entry((index, set)).or_insert(0) -= 1;
+        self.ledger.evict(at, entry);
+        self.regret.evict(index, span.0, span.1, entry, for_entry);
+    }
+
+    fn dram_fetch(&mut self, addr: u64) {
+        let block = addr / BLOCK_BYTES;
+        self.reuse.observe(block);
+        self.taxonomy.observe(block);
+    }
+
+    /// Feeds one in-process event.
+    pub fn observe_event(&mut self, at: u64, ev: &Event) {
+        *self
+            .events_by_kind
+            .entry(ev.kind().to_string())
+            .or_insert(0) += 1;
+        match *ev {
+            Event::IxProbe {
+                index,
+                key,
+                hit,
+                short_circuit,
+                set,
+                entry,
+                ..
+            } => self.probe(index, key, hit, short_circuit as u64, set, entry),
+            Event::Insert { reason, .. } => self.ledger.insert(reason.as_str()),
+            Event::Fill {
+                index,
+                set,
+                entry,
+                pack,
+                ..
+            } => self.fill(at, index, set, entry, pack.as_str()),
+            Event::Coalesce { entry, .. } => self.ledger.coalesce(entry),
+            Event::Evict {
+                index,
+                set,
+                entry,
+                lo,
+                hi,
+                for_entry,
+                ..
+            } => self.evict(at, index, set, entry, (lo, hi), for_entry),
+            Event::DramFetch { addr, .. } => self.dram_fetch(addr),
+            Event::TunerDecision {
+                index,
+                batch,
+                param,
+                from,
+                to,
+            } => self.tuner_decisions.push(TunerRec {
+                at,
+                index,
+                batch,
+                param: param.as_str().to_string(),
+                from,
+                to,
+            }),
+            Event::WalkStart { .. } | Event::WalkEnd { .. } | Event::Bypass { .. } => {}
+        }
+    }
+
+    /// Feeds one parsed JSONL trace line. Field access is tolerant
+    /// (missing fields default to 0 / "" / false), matching the
+    /// trace-dump reader, so older traces without the forensic fields
+    /// still analyze — their ledgers just stay empty.
+    pub fn observe_json(&mut self, line: &Json) {
+        let u = |k: &str| line.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let b = |k: &str| line.get(k).and_then(Json::as_bool).unwrap_or(false);
+        let s = |k: &str| line.get(k).and_then(Json::as_str).unwrap_or("");
+        let kind = s("ev").to_string();
+        if kind.is_empty() {
+            return;
+        }
+        *self.events_by_kind.entry(kind.clone()).or_insert(0) += 1;
+        let at = u("at");
+        match kind.as_str() {
+            "ix_probe" => self.probe(
+                u("index") as u8,
+                u("key"),
+                b("hit"),
+                u("short_circuit"),
+                u("set") as u32,
+                u("entry"),
+            ),
+            "insert" => {
+                let reason = s("reason").to_string();
+                self.ledger.insert(&reason);
+            }
+            "fill" => {
+                let pack = s("pack").to_string();
+                self.fill(at, u("index") as u8, u("set") as u32, u("entry"), &pack);
+            }
+            "coalesce" => self.ledger.coalesce(u("entry")),
+            "evict" => self.evict(
+                at,
+                u("index") as u8,
+                u("set") as u32,
+                u("entry"),
+                (u("lo"), u("hi")),
+                u("for_entry"),
+            ),
+            "dram_fetch" => self.dram_fetch(u("addr")),
+            "tuner_decision" => self.tuner_decisions.push(TunerRec {
+                at,
+                index: u("index") as u8,
+                batch: u("batch"),
+                param: s("param").to_string(),
+                from: u("from"),
+                to: u("to"),
+            }),
+            _ => {}
+        }
+    }
+
+    /// Ends the stream and returns its reduction.
+    pub fn finish(self) -> DesignAnalysis {
+        DesignAnalysis {
+            events_by_kind: self.events_by_kind,
+            ledger: self.ledger.finish(),
+            regret: self.regret.finish(),
+            reuse_cold: self.reuse.cold(),
+            reuse_hist: self.reuse.hist().clone(),
+            taxonomy: self.taxonomy.counts().clone(),
+            probes_by_set: self.probes_by_set,
+            occupancy_by_set: self.occupancy_by_set,
+            tuner_decisions: self.tuner_decisions,
+        }
+    }
+}
+
+/// The merged, per-design forensic aggregate of a whole session.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceAnalysis {
+    /// Aggregates keyed by design name.
+    pub designs: BTreeMap<String, DesignAnalysis>,
+}
+
+impl TraceAnalysis {
+    /// Folds one finished stream into the design's aggregate.
+    pub fn fold(&mut self, design: &str, stream: DesignAnalysis) {
+        self.designs
+            .entry(design.to_string())
+            .or_default()
+            .merge(&stream);
+    }
+
+    /// The full `ANALYSIS.json` document, schema-tagged.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(ANALYSIS_SCHEMA)),
+            (
+                "designs".into(),
+                Json::Obj(
+                    self.designs
+                        .iter()
+                        .map(|(d, a)| (d.clone(), a.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Structural and conservation checks over a rendered `ANALYSIS.json`.
+/// Returns the first violation found. Used by `analyze --validate` in
+/// CI so a schema or accounting regression fails loudly.
+pub fn validate_analysis(v: &Json) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != ANALYSIS_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {ANALYSIS_SCHEMA:?}"));
+    }
+    let designs = match v.get("designs") {
+        Some(Json::Obj(fields)) => fields,
+        _ => return Err("missing designs object".into()),
+    };
+    if designs.is_empty() {
+        return Err("designs object is empty".into());
+    }
+    for (name, d) in designs {
+        let ctx = |msg: &str| format!("design {name:?}: {msg}");
+        let num = |path: &[&str]| -> Result<u64, String> {
+            let mut cur = d;
+            for k in path {
+                cur = cur
+                    .get(k)
+                    .ok_or_else(|| ctx(&format!("missing {path:?}")))?;
+            }
+            cur.as_u64()
+                .ok_or_else(|| ctx(&format!("{path:?} is not a count")))
+        };
+        let hist_total = |path: &[&str]| -> Result<u64, String> {
+            let mut cur = d;
+            for k in path {
+                cur = cur
+                    .get(k)
+                    .ok_or_else(|| ctx(&format!("missing {path:?}")))?;
+            }
+            let arr = cur
+                .as_arr()
+                .ok_or_else(|| ctx(&format!("{path:?} is not an array")))?;
+            arr.iter()
+                .map(|n| {
+                    n.as_u64()
+                        .ok_or_else(|| ctx(&format!("{path:?} holds a non-count")))
+                })
+                .sum()
+        };
+        // Ledger accounting: every filled entry retires exactly once.
+        let filled = num(&["ledger", "filled"])?;
+        let evicted = num(&["ledger", "evicted"])?;
+        let resident = num(&["ledger", "resident"])?;
+        if filled != evicted + resident {
+            return Err(ctx(&format!(
+                "ledger leak: filled {filled} != evicted {evicted} + resident {resident}"
+            )));
+        }
+        if hist_total(&["ledger", "hits_per_entry_log2"])? != filled {
+            return Err(ctx("hits_per_entry histogram does not cover every entry"));
+        }
+        // Regret accounting: every window reached exactly one verdict,
+        // and every regret recorded one distance.
+        let evictions = num(&["regret", "evictions"])?;
+        let regretted = num(&["regret", "regretted"])?;
+        let vindicated = num(&["regret", "vindicated"])?;
+        let unresolved = num(&["regret", "unresolved"])?;
+        if evictions != regretted + vindicated + unresolved {
+            return Err(ctx("regret verdicts do not sum to evictions"));
+        }
+        if hist_total(&["regret", "distance_log2"])? != regretted {
+            return Err(ctx("regret distance histogram does not match regret count"));
+        }
+        // Block-stream accounting: taxonomy and reuse profile both
+        // classify every dram_fetch.
+        let fetches = d
+            .get("events_by_kind")
+            .and_then(|k| k.get("dram_fetch"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let taxonomy: u64 = num(&["taxonomy", "compulsory"])?
+            + num(&["taxonomy", "capacity"])?
+            + num(&["taxonomy", "conflict"])?;
+        if taxonomy != fetches {
+            return Err(ctx(&format!(
+                "taxonomy classifies {taxonomy} of {fetches} fetches"
+            )));
+        }
+        let cold = num(&["reuse_distance", "cold"])?;
+        if cold + hist_total(&["reuse_distance", "log2"])? != fetches {
+            return Err(ctx("reuse profile does not cover every fetch"));
+        }
+        for key in ["probes_by_set", "occupancy_by_set", "tuner_decisions"] {
+            if d.get(key).and_then(Json::as_arr).is_none() {
+                return Err(ctx(&format!("missing {key} array")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Process-wide forensic aggregation point (in-process path).
+#[derive(Debug)]
+pub struct AnalysisRegistry {
+    budget_blocks: usize,
+    inner: Mutex<TraceAnalysis>,
+}
+
+impl AnalysisRegistry {
+    /// Creates a registry; `budget_blocks` sizes every stream's
+    /// miss-taxonomy reference.
+    pub fn new(budget_blocks: usize) -> Arc<Self> {
+        Arc::new(AnalysisRegistry {
+            budget_blocks,
+            inner: Mutex::new(TraceAnalysis::default()),
+        })
+    }
+
+    /// A shard-local sink feeding this registry under `design`.
+    pub fn sink(self: &Arc<Self>, design: &str) -> AnalysisSink {
+        AnalysisSink {
+            design: design.to_string(),
+            analyzer: Some(StreamAnalyzer::new(self.budget_blocks)),
+            registry: Arc::clone(self),
+        }
+    }
+
+    /// A copy of the current merged aggregate.
+    pub fn snapshot(&self) -> TraceAnalysis {
+        self.inner.lock().expect("analysis poisoned").clone()
+    }
+}
+
+/// Shard-local forensic sink; folds its finished stream into the
+/// registry on flush.
+pub struct AnalysisSink {
+    design: String,
+    analyzer: Option<StreamAnalyzer>,
+    registry: Arc<AnalysisRegistry>,
+}
+
+impl EventSink for AnalysisSink {
+    fn emit(&mut self, at: u64, ev: &Event) {
+        // A flush ends the stream; a fresh analyzer would mis-handle the
+        // order-sensitive profiles, so events arriving after the first
+        // flush start a new (empty-prefix) stream — this only happens if
+        // an engine flushes mid-shard, which none do today.
+        self.analyzer
+            .get_or_insert_with(|| StreamAnalyzer::new(self.registry.budget_blocks))
+            .observe_event(at, ev);
+    }
+
+    fn flush(&mut self) {
+        if let Some(a) = self.analyzer.take() {
+            self.registry
+                .inner
+                .lock()
+                .expect("analysis poisoned")
+                .fold(&self.design, a.finish());
+        }
+    }
+}
+
+impl Drop for AnalysisSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_sim::obs::{AdmitReason, EvictReason, PackMode};
+
+    fn sample_events() -> Vec<(u64, Event)> {
+        vec![
+            (
+                1,
+                Event::Insert {
+                    index: 0,
+                    level: 2,
+                    set: 3,
+                    life: 0,
+                    reason: AdmitReason::LevelBand,
+                },
+            ),
+            (
+                1,
+                Event::Fill {
+                    index: 0,
+                    level: 2,
+                    set: 3,
+                    entry: 1,
+                    pack: PackMode::Exact,
+                },
+            ),
+            (
+                5,
+                Event::IxProbe {
+                    index: 0,
+                    key: 40,
+                    hit: true,
+                    level: 2,
+                    short_circuit: 2,
+                    set: 3,
+                    scan: false,
+                    entry: 1,
+                },
+            ),
+            (
+                7,
+                Event::DramFetch {
+                    lane: 0,
+                    addr: 640,
+                    bytes: 64,
+                    done: 100,
+                },
+            ),
+            (
+                8,
+                Event::DramFetch {
+                    lane: 0,
+                    addr: 640,
+                    bytes: 64,
+                    done: 101,
+                },
+            ),
+            (
+                9,
+                Event::Evict {
+                    index: 0,
+                    level: 2,
+                    set: 3,
+                    reason: EvictReason::Capacity,
+                    entry: 1,
+                    lo: 0,
+                    hi: 63,
+                    for_entry: 2,
+                },
+            ),
+        ]
+    }
+
+    /// The JSONL rendering of `sample_events`, as the offline path sees
+    /// it.
+    fn sample_lines() -> Vec<Json> {
+        use crate::jsonl::event_fields;
+        sample_events()
+            .iter()
+            .map(|(at, ev)| {
+                let mut fields = vec![("at", Json::UInt(*at)), ("ev", Json::str(ev.kind()))];
+                fields.extend(event_fields(ev));
+                Json::Obj(
+                    fields
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn event_and_json_paths_agree() {
+        let mut live = StreamAnalyzer::new(16);
+        for (at, ev) in sample_events() {
+            live.observe_event(at, &ev);
+        }
+        let mut offline = StreamAnalyzer::new(16);
+        for line in sample_lines() {
+            offline.observe_json(&line);
+        }
+        assert_eq!(live.finish(), offline.finish());
+    }
+
+    #[test]
+    fn analysis_json_validates_and_is_conserved() {
+        let mut a = StreamAnalyzer::new(16);
+        for (at, ev) in sample_events() {
+            a.observe_event(at, &ev);
+        }
+        let mut trace = TraceAnalysis::default();
+        trace.fold("metal", a.finish());
+        let d = &trace.designs["metal"];
+        assert_eq!(d.ledger.filled, 1);
+        assert_eq!(d.ledger.evicted, 1);
+        assert_eq!(d.ledger.hits_total, 1);
+        assert_eq!(d.ledger.short_circuit_saved, 2);
+        assert_eq!(d.taxonomy.compulsory, 1);
+        assert_eq!(d.taxonomy.conflict + d.taxonomy.capacity, 1);
+        assert_eq!(d.reuse_cold, 1);
+        assert_eq!(d.regret.evictions, 1);
+        validate_analysis(&trace.to_json()).expect("valid document");
+    }
+
+    #[test]
+    fn validation_rejects_broken_conservation() {
+        let mut a = StreamAnalyzer::new(16);
+        for (at, ev) in sample_events() {
+            a.observe_event(at, &ev);
+        }
+        let mut trace = TraceAnalysis::default();
+        trace.fold("metal", a.finish());
+        let rendered = trace.to_json().render();
+        let forged = rendered.replace("\"filled\":1", "\"filled\":7");
+        let doc = Json::parse(&forged).unwrap();
+        assert!(validate_analysis(&doc).is_err(), "forged filled count");
+        let forged = rendered.replace(ANALYSIS_SCHEMA, "metal-analysis-v0");
+        let doc = Json::parse(&forged).unwrap();
+        assert!(validate_analysis(&doc).is_err(), "wrong schema tag");
+    }
+
+    #[test]
+    fn merge_is_order_free_and_sink_folds_on_flush() {
+        let mut a = StreamAnalyzer::new(16);
+        let mut b = StreamAnalyzer::new(16);
+        for (i, (at, ev)) in sample_events().into_iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe_event(at, &ev);
+            } else {
+                b.observe_event(at, &ev);
+            }
+        }
+        let (a, b) = (a.finish(), b.finish());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.to_json().render(), ba.to_json().render());
+
+        let reg = AnalysisRegistry::new(16);
+        let mut sink = reg.sink("metal");
+        for (at, ev) in sample_events() {
+            sink.emit(at, &ev);
+        }
+        assert!(reg.snapshot().designs.is_empty(), "pre-flush");
+        drop(sink);
+        assert_eq!(reg.snapshot().designs["metal"].ledger.filled, 1);
+    }
+}

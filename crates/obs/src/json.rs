@@ -392,9 +392,14 @@ impl<'a> Parser<'a> {
                 return Ok(Json::UInt(v));
             }
         }
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        // `"1e999".parse::<f64>()` yields `inf`; JSON has no non-finite
+        // numbers, so overflowing literals are rejected rather than
+        // silently saturated (NaN/Infinity tokens never reach here — the
+        // value dispatch has no arm for them).
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Json::Num(f)),
+            _ => Err(self.err("invalid number")),
+        }
     }
 }
 
@@ -443,6 +448,37 @@ mod tests {
         assert!(Json::parse(r#"{"a" 1}"#).is_err());
         assert!(Json::parse("1 2").is_err(), "trailing garbage");
         assert!(Json::parse(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        // JSON has no NaN/Infinity tokens...
+        assert!(Json::parse("NaN").is_err());
+        assert!(Json::parse("Infinity").is_err());
+        assert!(Json::parse("-Infinity").is_err());
+        assert!(Json::parse(r#"{"x": NaN}"#).is_err());
+        // ...and numeric literals that overflow f64 to infinity must not
+        // sneak a non-finite value in through the back door.
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+        // Large-but-finite still parses.
+        assert_eq!(Json::parse("1e300").unwrap().as_f64(), Some(1e300));
+    }
+
+    #[test]
+    fn non_finite_values_render_as_null() {
+        // A non-finite f64 constructed in-process (e.g. a 0/0 ratio in a
+        // report) degrades to null rather than emitting invalid JSON.
+        let v = Json::Arr(vec![
+            Json::Num(f64::NAN),
+            Json::Num(f64::INFINITY),
+            Json::Num(f64::NEG_INFINITY),
+        ]);
+        assert_eq!(v.render(), "[null,null,null]");
+        assert_eq!(
+            Json::parse(&v.render()).unwrap(),
+            Json::Arr(vec![Json::Null, Json::Null, Json::Null])
+        );
     }
 
     #[test]

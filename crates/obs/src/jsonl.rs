@@ -57,6 +57,7 @@ pub fn event_fields(ev: &Event) -> Vec<(&'static str, Json)> {
             short_circuit,
             set,
             scan,
+            entry,
         } => vec![
             ("index", Json::UInt(index as u64)),
             ("key", Json::UInt(key)),
@@ -65,6 +66,7 @@ pub fn event_fields(ev: &Event) -> Vec<(&'static str, Json)> {
             ("short_circuit", Json::UInt(short_circuit as u64)),
             ("set", Json::UInt(set as u64)),
             ("scan", Json::Bool(scan)),
+            ("entry", Json::UInt(entry)),
         ],
         Event::Insert {
             index,
@@ -88,21 +90,48 @@ pub fn event_fields(ev: &Event) -> Vec<(&'static str, Json)> {
             ("level", Json::UInt(level as u64)),
             ("reason", Json::str(reason.as_str())),
         ],
-        Event::Fill { index, level, set } => vec![
+        Event::Fill {
+            index,
+            level,
+            set,
+            entry,
+            pack,
+        } => vec![
             ("index", Json::UInt(index as u64)),
             ("level", Json::UInt(level as u64)),
             ("set", Json::UInt(set as u64)),
+            ("entry", Json::UInt(entry)),
+            ("pack", Json::str(pack.as_str())),
+        ],
+        Event::Coalesce {
+            index,
+            level,
+            set,
+            entry,
+        } => vec![
+            ("index", Json::UInt(index as u64)),
+            ("level", Json::UInt(level as u64)),
+            ("set", Json::UInt(set as u64)),
+            ("entry", Json::UInt(entry)),
         ],
         Event::Evict {
             index,
             level,
             set,
             reason,
+            entry,
+            lo,
+            hi,
+            for_entry,
         } => vec![
             ("index", Json::UInt(index as u64)),
             ("level", Json::UInt(level as u64)),
             ("set", Json::UInt(set as u64)),
             ("reason", Json::str(reason.as_str())),
+            ("entry", Json::UInt(entry)),
+            ("lo", Json::UInt(lo)),
+            ("hi", Json::UInt(hi)),
+            ("for_entry", Json::UInt(for_entry)),
         ],
         Event::TunerDecision {
             index,
@@ -248,6 +277,10 @@ mod tests {
                 level: 2,
                 set: 7,
                 reason: EvictReason::RangeSplit,
+                entry: 11,
+                lo: 100,
+                hi: 163,
+                for_entry: 12,
             },
         );
         sink.emit(
@@ -273,9 +306,64 @@ mod tests {
         let evict = Json::parse(lines[1]).unwrap();
         assert_eq!(evict.get("ev").unwrap().as_str(), Some("evict"));
         assert_eq!(evict.get("reason").unwrap().as_str(), Some("range-split"));
+        assert_eq!(evict.get("entry").unwrap().as_u64(), Some(11));
+        assert_eq!(evict.get("for_entry").unwrap().as_u64(), Some(12));
+        assert_eq!(evict.get("lo").unwrap().as_u64(), Some(100));
+        assert_eq!(evict.get("hi").unwrap().as_u64(), Some(163));
         let insert = Json::parse(lines[2]).unwrap();
         assert_eq!(insert.get("life").unwrap().as_u64(), Some(64));
         assert_eq!(insert.get("reason").unwrap().as_str(), Some("node-level"));
+    }
+
+    /// Records each appended chunk separately so tests can assert on
+    /// flush boundaries, not just the concatenated stream.
+    #[derive(Clone, Default)]
+    struct ChunkCapture(Arc<Mutex<Vec<String>>>);
+
+    impl Write for ChunkCapture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap()
+                .push(std::str::from_utf8(buf).unwrap().to_string());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_larger_than_the_flush_threshold_stay_whole() {
+        // A single line can exceed FLUSH_BYTES (nothing bounds the run
+        // label). The buffer flushes on the line boundary *after* the
+        // oversized line, so every chunk handed to the writer is still a
+        // whole number of lines and every line parses intact.
+        let big_run = "r".repeat(FLUSH_BYTES + 1234);
+        let cap = ChunkCapture::default();
+        let writer = JsonlWriter::from_writer(cap.clone());
+        let mut sink = JsonlSink::new(writer, &big_run, "metal", 0);
+        sink.emit(1, &Event::WalkStart { walk: 1, lane: 0 });
+        sink.emit(2, &Event::WalkStart { walk: 2, lane: 0 });
+        sink.flush();
+        let chunks = cap.0.lock().unwrap().clone();
+        assert!(
+            chunks.iter().all(|c| c.ends_with('\n')),
+            "chunks must end on line boundaries"
+        );
+        assert!(
+            chunks.iter().any(|c| c.len() > FLUSH_BYTES),
+            "test must actually exercise an oversized chunk"
+        );
+        let text: String = chunks.concat();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.len() > FLUSH_BYTES, "line should dwarf the threshold");
+            let v = Json::parse(line).expect("oversized line still parses");
+            assert_eq!(v.get("run").unwrap().as_str(), Some(big_run.as_str()));
+            assert_eq!(v.get("walk").unwrap().as_u64(), Some(i as u64 + 1));
+        }
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Per-entry cache forensics: the entry ledger and the eviction-regret
+//! meter.
+//!
+//! Both consume one (run, design, shard) event stream in order — entry
+//! ids are only unique within a stream — and reduce to plain-sum
+//! summaries that merge associatively across shards.
+//!
+//! **Ledger.** Every IX-cache entry id seen in a `fill` opens a ledger
+//! record carrying its admission context (the `insert` event that
+//! immediately precedes the fills of one admission names the deciding
+//! arm and granted lifetime), its pack mode, and accumulates the hits
+//! and short-circuited walk levels its probes produce. The record
+//! retires on `evict` (folding lifetime and hit counts into the
+//! summary) or at end of stream (as a resident entry).
+//!
+//! **Regret meter.** Every eviction opens a *regret window* asking the
+//! counterfactual: was the victim's key span re-probed before the entry
+//! it made room for produced its first hit? If yes, the eviction is
+//! **regretted** (keeping the victim would have served that probe); if
+//! the incoming entry hits first, the eviction is **vindicated**; if
+//! neither happens before the incoming entry is itself evicted or the
+//! stream ends, it is **unresolved**. A probe that would both vindicate
+//! and regret the same window counts as vindicated: the re-reference is
+//! not *before* the first hit. Regretted windows record the number of
+//! probes between eviction and re-reference in a log₂ histogram.
+
+use crate::reuse::LogHist;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Live per-entry state while the entry is resident.
+#[derive(Debug, Clone)]
+struct LedgerRec {
+    insert_at: u64,
+    admit_reason: String,
+    pack: String,
+    hits: u64,
+    short_circuit_saved: u64,
+}
+
+/// Associatively mergeable reduction of one stream's ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LedgerSummary {
+    /// Entries created (fill events).
+    pub filled: u64,
+    /// Coalesce events (admissions absorbed into a resident entry).
+    pub coalesced: u64,
+    /// Entries retired by eviction.
+    pub evicted: u64,
+    /// Entries still resident at end of stream.
+    pub resident: u64,
+    /// Evicted entries that never produced a hit (dead on arrival).
+    pub zero_hit_evictions: u64,
+    /// Probe hits attributed to ledgered entries.
+    pub hits_total: u64,
+    /// Walk levels short-circuited by those hits.
+    pub short_circuit_saved: u64,
+    /// Hits accrued per retired entry (log₂ buckets).
+    pub hits_per_entry: LogHist,
+    /// Cycles between fill and eviction per evicted entry (log₂).
+    pub lifetime_cycles: LogHist,
+    /// Entries per admission-reason tag.
+    pub entries_by_admit_reason: BTreeMap<String, u64>,
+    /// Hits per admission-reason tag.
+    pub hits_by_admit_reason: BTreeMap<String, u64>,
+    /// Entries per pack mode at retirement (`coalesced` when the entry
+    /// absorbed at least one later admission).
+    pub entries_by_pack: BTreeMap<String, u64>,
+}
+
+impl LedgerSummary {
+    /// Folds `other` into `self` (all fields are sums).
+    pub fn merge(&mut self, other: &LedgerSummary) {
+        self.filled += other.filled;
+        self.coalesced += other.coalesced;
+        self.evicted += other.evicted;
+        self.resident += other.resident;
+        self.zero_hit_evictions += other.zero_hit_evictions;
+        self.hits_total += other.hits_total;
+        self.short_circuit_saved += other.short_circuit_saved;
+        self.hits_per_entry.merge(&other.hits_per_entry);
+        self.lifetime_cycles.merge(&other.lifetime_cycles);
+        for (k, n) in &other.entries_by_admit_reason {
+            *self.entries_by_admit_reason.entry(k.clone()).or_insert(0) += n;
+        }
+        for (k, n) in &other.hits_by_admit_reason {
+            *self.hits_by_admit_reason.entry(k.clone()).or_insert(0) += n;
+        }
+        for (k, n) in &other.entries_by_pack {
+            *self.entries_by_pack.entry(k.clone()).or_insert(0) += n;
+        }
+    }
+}
+
+/// Per-entry ledger over one event stream.
+#[derive(Debug, Default)]
+pub struct EntryLedger {
+    live: HashMap<u64, LedgerRec>,
+    /// Admission context from the most recent `insert` event; the fills
+    /// of one admission follow their insert immediately in the stream.
+    pending_reason: String,
+    summary: LedgerSummary,
+}
+
+impl EntryLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        EntryLedger::default()
+    }
+
+    /// Observes an `insert` event (the admission decision ahead of its
+    /// fills).
+    pub fn insert(&mut self, reason: &str) {
+        self.pending_reason = reason.to_string();
+    }
+
+    /// Observes a `fill` creating `entry` at cycle `at` with pack mode
+    /// `pack`.
+    pub fn fill(&mut self, at: u64, entry: u64, pack: &str) {
+        self.summary.filled += 1;
+        *self
+            .summary
+            .entries_by_admit_reason
+            .entry(self.pending_reason.clone())
+            .or_insert(0) += 1;
+        self.live.insert(
+            entry,
+            LedgerRec {
+                insert_at: at,
+                admit_reason: self.pending_reason.clone(),
+                pack: pack.to_string(),
+                hits: 0,
+                short_circuit_saved: 0,
+            },
+        );
+    }
+
+    /// Observes a `coalesce` absorbing an admission into resident
+    /// `entry`.
+    pub fn coalesce(&mut self, entry: u64) {
+        self.summary.coalesced += 1;
+        if let Some(rec) = self.live.get_mut(&entry) {
+            rec.pack = "coalesced".to_string();
+        }
+    }
+
+    /// Observes a probe hit on `entry` that short-circuited
+    /// `short_circuit` walk levels.
+    pub fn probe_hit(&mut self, entry: u64, short_circuit: u64) {
+        self.summary.hits_total += 1;
+        self.summary.short_circuit_saved += short_circuit;
+        if let Some(rec) = self.live.get_mut(&entry) {
+            rec.hits += 1;
+            rec.short_circuit_saved += short_circuit;
+            *self
+                .summary
+                .hits_by_admit_reason
+                .entry(rec.admit_reason.clone())
+                .or_insert(0) += 1;
+        }
+    }
+
+    fn retire(summary: &mut LedgerSummary, rec: LedgerRec, evict_at: Option<u64>) {
+        if let Some(at) = evict_at {
+            summary.evicted += 1;
+            if rec.hits == 0 {
+                summary.zero_hit_evictions += 1;
+            }
+            summary
+                .lifetime_cycles
+                .observe(at.saturating_sub(rec.insert_at));
+        } else {
+            summary.resident += 1;
+        }
+        summary.hits_per_entry.observe(rec.hits);
+        *summary.entries_by_pack.entry(rec.pack).or_insert(0) += 1;
+    }
+
+    /// Observes the eviction of `entry` at cycle `at`.
+    pub fn evict(&mut self, at: u64, entry: u64) {
+        if let Some(rec) = self.live.remove(&entry) {
+            Self::retire(&mut self.summary, rec, Some(at));
+        }
+    }
+
+    /// Ends the stream: folds resident entries into the summary and
+    /// returns it.
+    pub fn finish(mut self) -> LedgerSummary {
+        let mut live: Vec<(u64, LedgerRec)> = self.live.drain().collect();
+        // Drain order is hash order; sort so the summary is a pure
+        // function of the stream.
+        live.sort_by_key(|(id, _)| *id);
+        for (_, rec) in live {
+            Self::retire(&mut self.summary, rec, None);
+        }
+        self.summary
+    }
+}
+
+/// One open regret window (an eviction awaiting its verdict).
+#[derive(Debug, Clone)]
+struct Window {
+    index: u8,
+    lo: u64,
+    hi: u64,
+    for_entry: u64,
+    opened_at_probe: u64,
+}
+
+/// Associatively mergeable reduction of one stream's regret windows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegretSummary {
+    /// Windows opened (= evictions observed).
+    pub evictions: u64,
+    /// Victim span re-probed before the incoming entry's first hit.
+    pub regretted: u64,
+    /// Incoming entry hit first.
+    pub vindicated: u64,
+    /// Neither happened before the incoming entry died or the stream
+    /// ended.
+    pub unresolved: u64,
+    /// Probes between eviction and the regretting re-reference (log₂).
+    pub regret_distance: LogHist,
+}
+
+impl RegretSummary {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &RegretSummary) {
+        self.evictions += other.evictions;
+        self.regretted += other.regretted;
+        self.vindicated += other.vindicated;
+        self.unresolved += other.unresolved;
+        self.regret_distance.merge(&other.regret_distance);
+    }
+
+    /// Conservation check: every window reached exactly one verdict.
+    pub fn is_conserved(&self) -> bool {
+        self.evictions == self.regretted + self.vindicated + self.unresolved
+    }
+}
+
+/// Eviction-regret meter over one event stream.
+#[derive(Debug, Default)]
+pub struct RegretMeter {
+    open: Vec<Window>,
+    probes: u64,
+    summary: RegretSummary,
+}
+
+impl RegretMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        RegretMeter::default()
+    }
+
+    /// Observes a probe for `key` in `index`; `entry` is the hit entry
+    /// id (0 on miss).
+    pub fn probe(&mut self, index: u8, key: u64, hit: bool, entry: u64) {
+        self.probes += 1;
+        if self.open.is_empty() {
+            return;
+        }
+        let probes = self.probes;
+        let summary = &mut self.summary;
+        self.open.retain(|w| {
+            // Vindication first: a simultaneous re-reference is not
+            // *before* the first hit.
+            if hit && entry == w.for_entry {
+                summary.vindicated += 1;
+                return false;
+            }
+            if index == w.index && (w.lo..=w.hi).contains(&key) {
+                summary.regretted += 1;
+                summary.regret_distance.observe(probes - w.opened_at_probe);
+                return false;
+            }
+            true
+        });
+    }
+
+    /// Observes an eviction: closes any window waiting on the evicted
+    /// entry (unresolved — it died hitless), then opens a window for
+    /// this eviction's victim.
+    pub fn evict(&mut self, index: u8, lo: u64, hi: u64, entry: u64, for_entry: u64) {
+        let summary = &mut self.summary;
+        self.open.retain(|w| {
+            if w.for_entry == entry {
+                summary.unresolved += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.summary.evictions += 1;
+        self.open.push(Window {
+            index,
+            lo,
+            hi,
+            for_entry,
+            opened_at_probe: self.probes,
+        });
+    }
+
+    /// Ends the stream: remaining windows are unresolved.
+    pub fn finish(mut self) -> RegretSummary {
+        self.summary.unresolved += self.open.len() as u64;
+        self.open.clear();
+        self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_attributes_hits_and_lifetimes() {
+        let mut l = EntryLedger::new();
+        l.insert("level-band");
+        l.fill(100, 1, "exact");
+        l.probe_hit(1, 3);
+        l.probe_hit(1, 2);
+        l.insert("composite");
+        l.fill(200, 2, "split");
+        l.evict(350, 2); // entry 2 dies hitless
+        l.coalesce(1);
+        let s = l.finish();
+        assert_eq!(s.filled, 2);
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(s.evicted, 1);
+        assert_eq!(s.resident, 1);
+        assert_eq!(s.zero_hit_evictions, 1);
+        assert_eq!(s.hits_total, 2);
+        assert_eq!(s.short_circuit_saved, 5);
+        assert_eq!(s.entries_by_admit_reason["level-band"], 1);
+        assert_eq!(s.entries_by_admit_reason["composite"], 1);
+        assert_eq!(s.hits_by_admit_reason["level-band"], 2);
+        assert_eq!(s.entries_by_pack["coalesced"], 1, "entry 1 absorbed one");
+        assert_eq!(s.entries_by_pack["split"], 1);
+        // Lifetime 250 cycles → bucket 8 (128..=255).
+        assert_eq!(s.lifetime_cycles.buckets()[8], 1);
+    }
+
+    #[test]
+    fn ledger_summary_merge_sums_fields() {
+        let mut l1 = EntryLedger::new();
+        l1.insert("all");
+        l1.fill(0, 1, "exact");
+        let mut l2 = EntryLedger::new();
+        l2.insert("all");
+        l2.fill(0, 1, "exact"); // same id: different shard stream
+        l2.probe_hit(1, 1);
+        let mut a = l1.finish();
+        let b = l2.finish();
+        a.merge(&b);
+        assert_eq!(a.filled, 2);
+        assert_eq!(a.resident, 2);
+        assert_eq!(a.hits_total, 1);
+        assert_eq!(a.entries_by_admit_reason["all"], 2);
+    }
+
+    #[test]
+    fn regret_detects_victim_rereference() {
+        let mut m = RegretMeter::new();
+        // Evict victim spanning keys 10..=19 to admit entry 5.
+        m.evict(0, 10, 19, 4, 5);
+        m.probe(0, 50, false, 0); // unrelated probe
+        m.probe(0, 15, false, 0); // victim span re-probed → regret
+        let s = m.finish();
+        assert_eq!(s.regretted, 1);
+        assert_eq!(s.vindicated, 0);
+        assert_eq!(s.unresolved, 0);
+        // Two probes after the eviction → distance 2 → bucket 2.
+        assert_eq!(s.regret_distance.buckets()[2], 1);
+        assert!(s.is_conserved());
+    }
+
+    #[test]
+    fn regret_vindicated_when_incoming_entry_hits_first() {
+        let mut m = RegretMeter::new();
+        m.evict(0, 10, 19, 4, 5);
+        m.probe(0, 30, true, 5); // incoming entry's first hit
+        m.probe(0, 15, false, 0); // victim re-reference arrives too late
+        let s = m.finish();
+        assert_eq!((s.regretted, s.vindicated, s.unresolved), (0, 1, 0));
+        assert!(s.is_conserved());
+    }
+
+    #[test]
+    fn simultaneous_hit_and_rereference_counts_as_vindicated() {
+        let mut m = RegretMeter::new();
+        // The incoming entry covers part of the victim's span: one probe
+        // can hit entry 5 *at* a key inside the victim span.
+        m.evict(0, 10, 19, 4, 5);
+        m.probe(0, 12, true, 5);
+        let s = m.finish();
+        assert_eq!((s.regretted, s.vindicated), (0, 1));
+    }
+
+    #[test]
+    fn window_closes_unresolved_when_incoming_entry_dies() {
+        let mut m = RegretMeter::new();
+        m.evict(0, 10, 19, 4, 5);
+        m.evict(0, 20, 29, 5, 6); // entry 5 evicted before any verdict
+        let s = m.finish();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.unresolved, 2, "window 1 by death, window 2 by EOS");
+        assert!(s.is_conserved());
+    }
+
+    #[test]
+    fn index_mismatch_is_not_a_rereference() {
+        let mut m = RegretMeter::new();
+        m.evict(2, 10, 19, 4, 5);
+        m.probe(1, 15, false, 0); // same key range, different index
+        let s = m.finish();
+        assert_eq!(s.regretted, 0);
+        assert_eq!(s.unresolved, 1);
+    }
+}

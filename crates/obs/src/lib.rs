@@ -17,19 +17,39 @@
 //!   every (workload, design) report.
 //! - [`json`] — the minimal hand-rolled JSON model all of the above
 //!   share (the container bakes in no serialization crates).
+//! - [`ledger`] — per-entry cache forensics: the entry ledger (admission
+//!   context, hits accrued, lifetime) and the eviction-regret meter.
+//! - [`reuse`] — streaming Olken reuse-distance profiling and the
+//!   compulsory/capacity/conflict miss taxonomy over the block trace.
+//! - [`analysis`] — the per-stream analyzer tying the forensics
+//!   together, its associative per-design merge, the `ANALYSIS.json`
+//!   schema and its validator, and the in-process registry sink.
+//! - [`report`] — a self-contained single-file HTML report (inline SVG,
+//!   no scripts, no dependencies) over a merged analysis.
 //!
 //! Everything here is observe-only: attaching any of these sinks must
 //! not change a single simulated statistic. That contract is enforced by
 //! the `observability` integration tests at the workspace root.
 
+pub mod analysis;
 pub mod chrome;
 pub mod json;
 pub mod jsonl;
+pub mod ledger;
 pub mod manifest;
 pub mod metrics;
+pub mod report;
+pub mod reuse;
 
+pub use analysis::{
+    validate_analysis, AnalysisRegistry, AnalysisSink, DesignAnalysis, StreamAnalyzer,
+    TraceAnalysis, ANALYSIS_SCHEMA,
+};
 pub use chrome::{ChromeTraceSink, ChromeTraceWriter};
 pub use json::{Json, JsonError};
 pub use jsonl::{JsonlSink, JsonlWriter};
+pub use ledger::{EntryLedger, LedgerSummary, RegretMeter, RegretSummary};
 pub use manifest::{stats_json, ManifestReport, RunManifest};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, RegistrySink};
+pub use report::render_html;
+pub use reuse::{FaLru, LogHist, MissTaxonomy, ReuseProfiler, TaxonomyCounts};

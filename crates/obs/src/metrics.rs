@@ -188,7 +188,12 @@ impl MetricsSnapshot {
                     at,
                 });
             }
-            Event::WalkStart { .. } | Event::WalkEnd { .. } | Event::DramFetch { .. } => {}
+            // Coalesces only bump the per-kind counter: the absorbing
+            // entry is already counted in occupancy by its fill.
+            Event::WalkStart { .. }
+            | Event::WalkEnd { .. }
+            | Event::DramFetch { .. }
+            | Event::Coalesce { .. } => {}
         }
     }
 }
@@ -251,7 +256,7 @@ impl Drop for RegistrySink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metal_sim::obs::{AdmitReason, EvictReason, TunedParam};
+    use metal_sim::obs::{AdmitReason, EvictReason, PackMode, TunedParam};
 
     #[test]
     fn sink_accumulates_and_folds_on_flush() {
@@ -267,6 +272,7 @@ mod tests {
                 short_circuit: 3,
                 set: 4,
                 scan: false,
+                entry: 1,
             },
         );
         sink.emit(
@@ -279,6 +285,7 @@ mod tests {
                 short_circuit: 0,
                 set: 4,
                 scan: true, // scan probes never count toward hit levels
+                entry: 2,
             },
         );
         sink.emit(
@@ -287,6 +294,8 @@ mod tests {
                 index: 0,
                 level: 2,
                 set: 4,
+                entry: 3,
+                pack: PackMode::Exact,
             },
         );
         sink.emit(
@@ -296,6 +305,10 @@ mod tests {
                 level: 1,
                 set: 4,
                 reason: EvictReason::Capacity,
+                entry: 1,
+                lo: 0,
+                hi: 15,
+                for_entry: 3,
             },
         );
         assert_eq!(reg.snapshot(), MetricsSnapshot::default(), "pre-flush");

@@ -1,0 +1,371 @@
+//! Self-contained HTML report over a [`TraceAnalysis`].
+//!
+//! Everything is hand-rolled and inline — no JavaScript, no external
+//! assets, no dependencies — so the report is a single file that renders
+//! anywhere. Histograms and timelines are inline SVG; the per-set
+//! occupancy heatmap is an SVG grid shaded by final occupancy.
+
+use crate::analysis::{DesignAnalysis, TraceAnalysis};
+use crate::reuse::LogHist;
+use metal_sim::obs::WIDE_SET;
+
+/// Escapes `&`, `<`, `>` and quotes for safe embedding.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Bucket label for a log₂ histogram axis.
+fn bucket_label(b: usize) -> String {
+    match b {
+        0 => "0".to_string(),
+        1 => "1".to_string(),
+        _ => format!("2^{}", b - 1),
+    }
+}
+
+/// An SVG bar chart over the non-empty prefix of a log₂ histogram.
+fn svg_log_hist(title: &str, hist: &LogHist, extra: &[(&str, u64)]) -> String {
+    let buckets = hist.buckets();
+    let last = buckets.iter().rposition(|&n| n != 0).map_or(0, |i| i + 1);
+    let extras = extra.len();
+    let n = last + extras;
+    if n == 0 {
+        return format!("<h3>{}</h3><p class=\"empty\">no samples</p>", esc(title));
+    }
+    let max = buckets[..last]
+        .iter()
+        .copied()
+        .chain(extra.iter().map(|&(_, v)| v))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let bw = 26;
+    let h = 120;
+    let w = n * bw + 10;
+    let mut s = format!(
+        "<h3>{}</h3><svg width=\"{w}\" height=\"{}\" role=\"img\">",
+        esc(title),
+        h + 30
+    );
+    let mut col = |i: usize, label: &str, v: u64, class: &str| {
+        let bh = ((v as f64 / max as f64) * h as f64).round() as usize;
+        let x = 5 + i * bw;
+        let y = h - bh;
+        s.push_str(&format!(
+            "<rect class=\"{class}\" x=\"{x}\" y=\"{y}\" width=\"{}\" height=\"{bh}\">\
+             <title>{}: {v}</title></rect>\
+             <text x=\"{}\" y=\"{}\" class=\"tick\">{}</text>",
+            bw - 4,
+            esc(label),
+            x + (bw - 4) / 2,
+            h + 14,
+            esc(label)
+        ));
+    };
+    for (i, &v) in buckets[..last].iter().enumerate() {
+        col(i, &bucket_label(i), v, "bar");
+    }
+    for (j, &(label, v)) in extra.iter().enumerate() {
+        col(last + j, label, v, "bar alt");
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// The occupancy heatmap: one cell per (index, narrow set), shaded by
+/// final occupancy; the wide partition is summarized per index below.
+fn svg_occupancy(d: &DesignAnalysis) -> String {
+    let narrow: Vec<((u8, u32), i64)> = d
+        .occupancy_by_set
+        .iter()
+        .filter(|((_, s), _)| *s != WIDE_SET)
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    if narrow.is_empty() && d.occupancy_by_set.is_empty() {
+        return "<p class=\"empty\">no fills recorded</p>".to_string();
+    }
+    let indexes: Vec<u8> = {
+        let mut v: Vec<u8> = d.occupancy_by_set.keys().map(|&(i, _)| i).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let max_set = narrow.iter().map(|&((_, s), _)| s).max().unwrap_or(0);
+    let max_occ = narrow
+        .iter()
+        .map(|&(_, v)| v.max(0))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let cell = 14;
+    let w = (max_set as usize + 1) * cell + 40;
+    let h = indexes.len() * cell + 10;
+    let mut s = format!("<svg width=\"{w}\" height=\"{h}\" role=\"img\">");
+    for (row, &idx) in indexes.iter().enumerate() {
+        let y = 5 + row * cell;
+        s.push_str(&format!(
+            "<text x=\"2\" y=\"{}\" class=\"tick\">ix{idx}</text>",
+            y + cell - 3
+        ));
+        for set in 0..=max_set {
+            let occ = narrow
+                .iter()
+                .find(|&&((i, ss), _)| i == idx && ss == set)
+                .map_or(0, |&(_, v)| v.max(0));
+            // Shade 0 → near-white, max → dark.
+            let shade = 235 - ((occ as f64 / max_occ as f64) * 190.0).round() as i64;
+            let x = 35 + set as usize * cell;
+            s.push_str(&format!(
+                "<rect x=\"{x}\" y=\"{y}\" width=\"{}\" height=\"{}\" \
+                 fill=\"rgb({shade},{shade},245)\"><title>index {idx} set {set}: {occ}</title></rect>",
+                cell - 1,
+                cell - 1
+            ));
+        }
+    }
+    s.push_str("</svg>");
+    let wide: Vec<String> = d
+        .occupancy_by_set
+        .iter()
+        .filter(|((_, s), _)| *s == WIDE_SET)
+        .map(|(&(i, _), &v)| format!("ix{i}: {}", v.max(0)))
+        .collect();
+    if wide.is_empty() {
+        s
+    } else {
+        format!(
+            "{s}<p>wide partition occupancy — {}</p>",
+            esc(&wide.join(", "))
+        )
+    }
+}
+
+/// The tuner timeline: decisions as markers over simulated time, one
+/// row per (index, parameter).
+fn svg_tuner_timeline(d: &DesignAnalysis) -> String {
+    if d.tuner_decisions.is_empty() {
+        return "<p class=\"empty\">no tuner decisions</p>".to_string();
+    }
+    let mut decisions = d.tuner_decisions.clone();
+    decisions.sort();
+    let mut rows: Vec<(u8, String)> = decisions
+        .iter()
+        .map(|t| (t.index, t.param.clone()))
+        .collect();
+    rows.sort();
+    rows.dedup();
+    let t_max = decisions.iter().map(|t| t.at).max().unwrap_or(1).max(1);
+    let plot_w = 520usize;
+    let row_h = 18usize;
+    let w = plot_w + 150;
+    let h = rows.len() * row_h + 20;
+    let mut s = format!("<svg width=\"{w}\" height=\"{h}\" role=\"img\">");
+    for (r, (idx, param)) in rows.iter().enumerate() {
+        let y = 10 + r * row_h;
+        s.push_str(&format!(
+            "<text x=\"2\" y=\"{}\" class=\"tick\">ix{idx} {}</text>\
+             <line x1=\"140\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"axis\"/>",
+            y + 12,
+            esc(param),
+            y + 8,
+            140 + plot_w,
+            y + 8
+        ));
+        for t in decisions
+            .iter()
+            .filter(|t| t.index == *idx && t.param == *param)
+        {
+            let x = 140 + ((t.at as f64 / t_max as f64) * plot_w as f64).round() as usize;
+            s.push_str(&format!(
+                "<circle cx=\"{x}\" cy=\"{}\" r=\"4\" class=\"dot\">\
+                 <title>batch {} at cycle {}: {} → {}</title></circle>",
+                y + 8,
+                t.batch,
+                t.at,
+                t.from,
+                t.to
+            ));
+        }
+    }
+    s.push_str("</svg>");
+    s
+}
+
+fn counter_table(rows: &[(String, String)]) -> String {
+    let mut s = String::from("<table>");
+    for (k, v) in rows {
+        s.push_str(&format!("<tr><th>{}</th><td>{}</td></tr>", esc(k), esc(v)));
+    }
+    s.push_str("</table>");
+    s
+}
+
+fn design_section(name: &str, d: &DesignAnalysis) -> String {
+    let pct = |num: u64, den: u64| {
+        if den == 0 {
+            "–".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * num as f64 / den as f64)
+        }
+    };
+    let lg = &d.ledger;
+    let rg = &d.regret;
+    let tx = &d.taxonomy;
+    let summary = counter_table(&[
+        ("entries filled".into(), lg.filled.to_string()),
+        ("admissions coalesced".into(), lg.coalesced.to_string()),
+        (
+            "evicted / resident".into(),
+            format!("{} / {}", lg.evicted, lg.resident),
+        ),
+        (
+            "zero-hit evictions".into(),
+            format!(
+                "{} ({})",
+                lg.zero_hit_evictions,
+                pct(lg.zero_hit_evictions, lg.evicted)
+            ),
+        ),
+        ("probe hits on entries".into(), lg.hits_total.to_string()),
+        (
+            "walk levels short-circuited".into(),
+            lg.short_circuit_saved.to_string(),
+        ),
+        (
+            "evictions regretted".into(),
+            format!("{} ({})", rg.regretted, pct(rg.regretted, rg.evictions)),
+        ),
+        (
+            "vindicated / unresolved".into(),
+            format!("{} / {}", rg.vindicated, rg.unresolved),
+        ),
+        (
+            "miss taxonomy (compulsory/capacity/conflict)".into(),
+            format!("{} / {} / {}", tx.compulsory, tx.capacity, tx.conflict),
+        ),
+    ]);
+    let mut reasons: Vec<(String, String)> = lg
+        .entries_by_admit_reason
+        .iter()
+        .map(|(r, &n)| {
+            let hits = *lg.hits_by_admit_reason.get(r).unwrap_or(&0);
+            (r.clone(), format!("{n} entries, {hits} hits"))
+        })
+        .collect();
+    for (p, &n) in &lg.entries_by_pack {
+        reasons.push((format!("pack: {p}"), format!("{n} entries")));
+    }
+    format!(
+        "<section><h2>{}</h2>{summary}\
+         <h3>Admission breakdown</h3>{}\
+         {}{}{}{}\
+         <h3>Per-set occupancy</h3>{}\
+         <h3>Tuner decisions</h3>{}</section>",
+        esc(name),
+        counter_table(&reasons),
+        svg_log_hist(
+            "Reuse distance (distinct blocks, log2)",
+            &d.reuse_hist,
+            &[("cold", d.reuse_cold)]
+        ),
+        svg_log_hist("Hits per entry (log2)", &lg.hits_per_entry, &[]),
+        svg_log_hist("Entry lifetime in cycles (log2)", &lg.lifetime_cycles, &[]),
+        svg_log_hist("Regret distance in probes (log2)", &rg.regret_distance, &[]),
+        svg_occupancy(d),
+        svg_tuner_timeline(d),
+    )
+}
+
+/// Renders the whole analysis as one self-contained HTML document.
+pub fn render_html(analysis: &TraceAnalysis, title: &str) -> String {
+    let mut body = String::new();
+    for (name, d) in &analysis.designs {
+        body.push_str(&design_section(name, d));
+    }
+    if analysis.designs.is_empty() {
+        body.push_str("<p class=\"empty\">no designs in trace</p>");
+    }
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>{t}</title><style>\
+         body{{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:960px;color:#222}}\
+         h1{{border-bottom:2px solid #447}}section{{margin-bottom:2.5em}}\
+         h2{{color:#447;border-bottom:1px solid #ccd}}\
+         table{{border-collapse:collapse;margin:.5em 0}}\
+         th{{text-align:left;padding:.15em .8em .15em 0;font-weight:600;color:#555}}\
+         td{{padding:.15em 0}}\
+         .bar{{fill:#5b7fb8}}.bar.alt{{fill:#b85b5b}}\
+         .tick{{font-size:9px;fill:#666;text-anchor:middle}}\
+         svg text.tick{{text-anchor:start}}svg .bar+text.tick{{text-anchor:middle}}\
+         .axis{{stroke:#ddd}}.dot{{fill:#b8745b}}\
+         .empty{{color:#999;font-style:italic}}\
+         </style></head><body><h1>{t}</h1>{body}</body></html>\n",
+        t = esc(title),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::StreamAnalyzer;
+    use metal_sim::obs::{AdmitReason, Event, PackMode};
+
+    #[test]
+    fn report_embeds_every_design_and_escapes_markup() {
+        let mut a = StreamAnalyzer::new(8);
+        a.observe_event(
+            1,
+            &Event::Insert {
+                index: 0,
+                level: 1,
+                set: 2,
+                life: 0,
+                reason: AdmitReason::All,
+            },
+        );
+        a.observe_event(
+            1,
+            &Event::Fill {
+                index: 0,
+                level: 1,
+                set: 2,
+                entry: 1,
+                pack: PackMode::Exact,
+            },
+        );
+        a.observe_event(
+            2,
+            &Event::DramFetch {
+                lane: 0,
+                addr: 128,
+                bytes: 64,
+                done: 50,
+            },
+        );
+        let mut trace = TraceAnalysis::default();
+        trace.fold("metal<ix>", a.finish());
+        let html = render_html(&trace, "t & t");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("metal&lt;ix&gt;"), "design name escaped");
+        assert!(html.contains("t &amp; t"), "title escaped");
+        assert!(html.contains("<svg"), "histograms rendered");
+        assert!(html.contains("Reuse distance"));
+        assert!(!html.contains("metal<ix>"), "raw markup never leaks");
+    }
+
+    #[test]
+    fn empty_analysis_still_renders() {
+        let html = render_html(&TraceAnalysis::default(), "empty");
+        assert!(html.contains("no designs in trace"));
+    }
+}

@@ -120,9 +120,37 @@ impl TunedParam {
     }
 }
 
+/// How an admitted node was physically packed into IX-cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PackMode {
+    /// The node fit one entry exactly (≤ one key block).
+    Exact,
+    /// A wide node split into `ceil(bytes/64)` sub-range entries
+    /// (Fig. 5 case 2).
+    Split,
+    /// Same-level siblings coalesced into one shared entry.
+    Coalesced,
+}
+
+impl PackMode {
+    /// Stable lowercase name (JSONL field value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PackMode::Exact => "exact",
+            PackMode::Split => "split",
+            PackMode::Coalesced => "coalesced",
+        }
+    }
+}
+
 /// Sentinel set id for entries living in the fully-associative wide
 /// partition (which has no set index).
 pub const WIDE_SET: u32 = u32::MAX;
+
+/// Sentinel entry id meaning "no entry" (a probe miss, or an eviction
+/// that made room without a specific incoming entry). Real entry ids
+/// are ≥ 1 and unique within one `IxCache` lifetime.
+pub const NO_ENTRY: u64 = 0;
 
 /// One telemetry event. All payloads are plain integers so events are
 /// `Copy` and serialization needs no lookups.
@@ -175,6 +203,8 @@ pub enum Event {
         set: u32,
         /// True for range-scan leaf probes.
         scan: bool,
+        /// Stable id of the matched entry ([`NO_ENTRY`] on a miss).
+        entry: u64,
     },
     /// The descriptor admitted a walked node into the IX-cache.
     Insert {
@@ -207,6 +237,23 @@ pub enum Event {
         level: u8,
         /// Placement set ([`WIDE_SET`] for the wide partition).
         set: u32,
+        /// Stable id of the created entry.
+        entry: u64,
+        /// How the admitted node was packed into this entry.
+        pack: PackMode,
+    },
+    /// An admitted node was folded into an existing same-level sibling
+    /// entry instead of creating a new one (pack-mode upgrade: the
+    /// referenced entry is now [`PackMode::Coalesced`]).
+    Coalesce {
+        /// Index the entry belongs to.
+        index: u8,
+        /// Entry level.
+        level: u8,
+        /// Placement set of the absorbing entry.
+        set: u32,
+        /// Stable id of the absorbing entry.
+        entry: u64,
     },
     /// The IX-cache evicted an entry.
     Evict {
@@ -218,6 +265,15 @@ pub enum Event {
         set: u32,
         /// Why it was chosen.
         reason: EvictReason,
+        /// Stable id of the evicted entry.
+        entry: u64,
+        /// Low key of the victim's span (regret re-reference window).
+        lo: u64,
+        /// High key of the victim's span (inclusive).
+        hi: u64,
+        /// Id of the incoming entry the eviction made room for
+        /// ([`NO_ENTRY`] when not attributable to one insertion).
+        for_entry: u64,
     },
     /// The per-batch tuner moved one descriptor parameter.
     TunerDecision {
@@ -245,6 +301,7 @@ impl Event {
             Event::Insert { .. } => "insert",
             Event::Bypass { .. } => "bypass",
             Event::Fill { .. } => "fill",
+            Event::Coalesce { .. } => "coalesce",
             Event::Evict { .. } => "evict",
             Event::TunerDecision { .. } => "tuner_decision",
         }
@@ -426,6 +483,10 @@ mod tests {
                 level: 1,
                 set: 3,
                 reason: EvictReason::Capacity,
+                entry: 7,
+                lo: 0,
+                hi: 63,
+                for_entry: 8,
             },
         );
         assert_eq!(s.count("walk_start"), 3);
@@ -463,5 +524,17 @@ mod tests {
         assert_eq!(EvictReason::RangeSplit.as_str(), "range-split");
         assert_eq!(AdmitReason::LevelBand.as_str(), "level-band");
         assert_eq!(TunedParam::BandUpper.as_str(), "band-upper");
+        assert_eq!(PackMode::Coalesced.as_str(), "coalesced");
+    }
+
+    #[test]
+    fn coalesce_kind_is_stable() {
+        let ev = Event::Coalesce {
+            index: 1,
+            level: 2,
+            set: 5,
+            entry: 9,
+        };
+        assert_eq!(ev.kind(), "coalesce");
     }
 }

@@ -11,6 +11,9 @@
 //!   X-Cache, and a Belady sanity oracle for FA-OPT;
 //! - [`design`] — event-trace vs statistics accounting checks for every
 //!   [`metal_core::models::DesignSpec`];
+//! - [`forensics`] — re-derivations of the `metal-obs` forensic
+//!   analytics (a Belady-style forward scan for eviction regret, a
+//!   reference differential + OPT bound for the miss taxonomy);
 //! - [`scenario`] — serializable fuzz cases and the seeded swarm
 //!   generator (`SplitRng`-driven; no external fuzzing deps);
 //! - [`check`] — the differential / metamorphic harness that runs a
@@ -26,6 +29,7 @@
 
 pub mod check;
 pub mod design;
+pub mod forensics;
 pub mod oracle;
 pub mod refcache;
 pub mod scenario;
