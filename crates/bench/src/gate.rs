@@ -1,0 +1,304 @@
+//! Schema validation and the noise-aware regression gate shared by
+//! `bench_suite --compare` and the fixture-replay regression tests.
+//!
+//! The PR-5 gate compared single-shot timings with a bare >20% ratio
+//! threshold, which flaked on loaded 1-vCPU CI runners: a scheduler
+//! hiccup during a sub-second ci-scale run moves a 30 ns probe path or
+//! a 0.8 s sweep well past 20% with no code change. Three fixes, here
+//! or in `bench_suite`/`ci.sh`:
+//!
+//! 1. **min-of-K timing** — every timed metric is now the best of
+//!    [`TIMING_REPEATS`] repeats (minimum latency / wall clock, maximum
+//!    throughput). The minimum of K samples estimates the noise-free
+//!    cost; one-sided scheduler noise cannot lower it.
+//! 2. **noise floors** — a metric only regresses when the ratio
+//!    exceeds [`GATE_RATIO`] *and* the absolute delta exceeds its
+//!    class's [`noise_floor`]. The floors are set from the observed
+//!    run-to-run spread of the committed `BENCH_ci.json` methodology on
+//!    a loaded single-core runner; they deliberately only bind where
+//!    the measured quantity is small enough for fixed jitter to
+//!    dominate (ci scale), and are negligible against the
+//!    order-of-magnitude regressions the gate exists to catch.
+//! 3. **a ratio sized to the infrastructure** — [`GATE_RATIO`] is 2.0,
+//!    not 1.2, because the same binary measured minutes apart on this
+//!    shared runner was observed to swing up to 1.9× (hypervisor
+//!    neighbors / steal time), min-of-K included. The gate exists to
+//!    catch algorithmic regressions — the linear-scan probe it
+//!    replaced was 3.7× slower — not single-digit drift, which the
+//!    per-PR `BENCH.json` trajectory tracks instead. `ci.sh` backs
+//!    this with one retry in a fresh measurement window, so a red
+//!    gate means two independent >2× readings.
+//!
+//! Two recorded noisy baseline/fresh pairs that tripped the old gate
+//! live in `tests/fixtures/`; `tests/gate_replay.rs` replays them and
+//! asserts the current gate reports no false positive (and still
+//! catches a genuine slowdown).
+
+use metal_obs::Json;
+
+/// The emitted/validated schema tag (unchanged since PR 5, so the
+/// committed `BENCH_ci.json` baseline stays valid).
+pub const SCHEMA: &str = "metal-bench-suite/1";
+
+/// A metric regresses only beyond this old/new (or new/old, for
+/// latencies) ratio. Sized above the ~1.9× same-binary swing measured
+/// on the shared 1-vCPU runner (see the module docs): the gate targets
+/// algorithmic blowups, not machine-speed drift.
+pub const GATE_RATIO: f64 = 2.0;
+
+/// How many times `bench_suite` repeats each timed measurement before
+/// taking the best sample.
+pub const TIMING_REPEATS: usize = 3;
+
+/// The minimum absolute delta (in the metric's own unit) that can count
+/// as a regression, per metric class:
+///
+/// - `probe_ns.*` — 15 ns: the hit/miss paths sit at 30–120 ns, where
+///   timer granularity and a single cache-cold TLB walk move single
+///   samples by >20% on a shared core;
+/// - `walks_per_sec.*` — 100 000 walks/s: ci-scale runs last ~100 ms,
+///   so millisecond-scale scheduler preemption shifts the rate by this
+///   much run to run;
+/// - wall clocks (seconds) — 0.5 s: the observed hiccup size on a
+///   loaded runner.
+pub fn noise_floor(metric: &str) -> f64 {
+    if metric.starts_with("probe_ns.") {
+        15.0
+    } else if metric.starts_with("walks_per_sec.") {
+        100_000.0
+    } else {
+        0.5
+    }
+}
+
+/// One shared metric's comparison against the baseline.
+pub struct MetricDiff {
+    pub name: String,
+    pub old: f64,
+    pub new: f64,
+    /// Worseness ratio, ≥ orientation-normalized (ratio > 1 means the
+    /// fresh run is worse on this metric).
+    pub ratio: f64,
+    /// True when both the ratio and the absolute-delta floor are
+    /// exceeded.
+    pub regressed: bool,
+}
+
+impl MetricDiff {
+    fn compute(name: &str, old: f64, new: f64, bigger_is_worse: bool) -> MetricDiff {
+        let ratio = if bigger_is_worse {
+            new / old.max(1e-9)
+        } else {
+            old / new.max(1e-9)
+        };
+        let regressed = ratio > GATE_RATIO && (new - old).abs() > noise_floor(name);
+        MetricDiff {
+            name: name.to_string(),
+            old,
+            new,
+            ratio,
+            regressed,
+        }
+    }
+
+    /// The human-readable per-metric line `bench_suite` prints.
+    pub fn describe(&self) -> String {
+        let verdict = if self.regressed {
+            "REGRESSED"
+        } else if self.ratio > GATE_RATIO {
+            "worse, within noise floor"
+        } else if self.ratio >= 1.0 {
+            "worse, within gate"
+        } else {
+            "better"
+        };
+        format!(
+            "{}: {:.1} -> {:.1} ({}{:.0}% {verdict})",
+            self.name,
+            self.old,
+            self.new,
+            if self.ratio >= 1.0 { "+" } else { "-" },
+            (self.ratio.max(1.0 / self.ratio) - 1.0) * 100.0,
+        )
+    }
+}
+
+/// The full comparison of a fresh run against a baseline document.
+pub struct GateReport {
+    pub diffs: Vec<MetricDiff>,
+}
+
+impl GateReport {
+    /// True when any shared metric regressed past ratio *and* floor.
+    pub fn regressed(&self) -> bool {
+        self.diffs.iter().any(|d| d.regressed)
+    }
+}
+
+/// Compares every metric shared by `base` and `new` (latencies and wall
+/// clocks up = worse, throughputs down = worse). Metrics present on
+/// only one side are skipped, so design-roster changes don't break
+/// older baselines.
+pub fn compare(base: &Json, new: &Json) -> GateReport {
+    let mut diffs = Vec::new();
+    for key in ["probe_hit", "probe_miss", "insert_evict"] {
+        if let (Some(o), Some(n)) = (
+            base.get("probe_ns")
+                .and_then(|p| p.get(key))
+                .and_then(Json::as_f64),
+            new.get("probe_ns")
+                .and_then(|p| p.get(key))
+                .and_then(Json::as_f64),
+        ) {
+            diffs.push(MetricDiff::compute(&format!("probe_ns.{key}"), o, n, true));
+        }
+    }
+    if let (Some(Json::Obj(old_fields)), Some(new_wps)) =
+        (base.get("walks_per_sec"), new.get("walks_per_sec"))
+    {
+        for (k, old_v) in old_fields {
+            if let (Some(o), Some(n)) = (old_v.as_f64(), new_wps.get(k).and_then(Json::as_f64)) {
+                diffs.push(MetricDiff::compute(
+                    &format!("walks_per_sec.{k}"),
+                    o,
+                    n,
+                    false,
+                ));
+            }
+        }
+    }
+    if let (Some(o), Some(n)) = (
+        base.get("fig18_wall_clock_s").and_then(Json::as_f64),
+        new.get("fig18_wall_clock_s").and_then(Json::as_f64),
+    ) {
+        diffs.push(MetricDiff::compute("fig18_wall_clock_s", o, n, true));
+    }
+    GateReport { diffs }
+}
+
+/// Validates the `metal-bench-suite/1` schema: required fields, types,
+/// and finite non-negative numbers throughout.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema field must be \"{SCHEMA}\""));
+    }
+    match doc.get("scale").and_then(Json::as_str) {
+        Some("ci") | Some("bench") => {}
+        other => return Err(format!("scale must be ci|bench, got {other:?}")),
+    }
+    doc.get("probe_iters")
+        .and_then(Json::as_u64)
+        .ok_or("probe_iters must be a positive integer")?;
+    let probe = doc.get("probe_ns").ok_or("probe_ns object missing")?;
+    for key in ["probe_hit", "probe_miss", "insert_evict"] {
+        let v = probe
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("probe_ns.{key} must be a number"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("probe_ns.{key} must be finite and non-negative"));
+        }
+    }
+    match doc.get("walks_per_sec") {
+        Some(Json::Obj(fields)) if !fields.is_empty() => {
+            for (k, v) in fields {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("walks_per_sec.{k} must be a number"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("walks_per_sec.{k} must be finite and non-negative"));
+                }
+            }
+        }
+        _ => return Err("walks_per_sec must be a non-empty object".into()),
+    }
+    let wc = doc
+        .get("fig18_wall_clock_s")
+        .and_then(Json::as_f64)
+        .ok_or("fig18_wall_clock_s must be a number")?;
+    if !wc.is_finite() || wc < 0.0 {
+        return Err("fig18_wall_clock_s must be finite and non-negative".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(probe_miss: f64, fa_opt: f64, wall: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"metal-bench-suite/1","scale":"ci","probe_iters":50000,
+                "probe_ns":{{"probe_hit":47.4,"probe_miss":{probe_miss},"insert_evict":117.0}},
+                "walks_per_sec":{{"fa-opt":{fa_opt},"metal":485880.0}},
+                "fig18_wall_clock_s":{wall}}}"#
+        ))
+        .expect("test doc parses")
+    }
+
+    #[test]
+    fn floors_absorb_small_absolute_jitter() {
+        // Each metric is past the ratio gate (>2x worse) but under its
+        // class's absolute floor: a 10 ns path +14 ns, a tiny
+        // throughput -50k walks/s, a 0.2 s sweep +0.35 s. The floor
+        // must absorb all three.
+        let base = doc(10.0, 90_000.0, 0.2);
+        let new = doc(24.0, 40_000.0, 0.55);
+        let report = compare(&base, &new);
+        assert!(
+            !report.regressed(),
+            "noise-floor gate flagged jitter: {:?}",
+            report
+                .diffs
+                .iter()
+                .filter(|d| d.regressed)
+                .map(|d| d.describe())
+                .collect::<Vec<_>>()
+        );
+        // The ratio alone would have tripped without the floor.
+        assert!(report.diffs.iter().any(|d| d.ratio > GATE_RATIO));
+    }
+
+    #[test]
+    fn real_slowdowns_still_gate() {
+        let base = doc(29.9, 275_043.0, 0.83);
+        // Probe path went 4x, throughput halved, sweep doubled: every
+        // delta clears both the ratio and its floor.
+        let new = doc(120.0, 130_000.0, 1.9);
+        let report = compare(&base, &new);
+        let names: Vec<&str> = report
+            .diffs
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.name.as_str())
+            .collect();
+        assert!(names.contains(&"probe_ns.probe_miss"), "{names:?}");
+        assert!(names.contains(&"walks_per_sec.fa-opt"), "{names:?}");
+        assert!(names.contains(&"fig18_wall_clock_s"), "{names:?}");
+    }
+
+    #[test]
+    fn improvement_never_gates() {
+        let base = doc(29.9, 275_043.0, 0.83);
+        let new = doc(12.0, 600_000.0, 0.4);
+        assert!(!compare(&base, &new).regressed());
+    }
+
+    #[test]
+    fn floors_by_class() {
+        assert_eq!(noise_floor("probe_ns.probe_hit"), 15.0);
+        assert_eq!(noise_floor("walks_per_sec.metal"), 100_000.0);
+        assert_eq!(noise_floor("fig18_wall_clock_s"), 0.5);
+    }
+
+    #[test]
+    fn missing_metrics_are_skipped_not_failed() {
+        let base = doc(29.9, 275_043.0, 0.83);
+        let mut trimmed = doc(29.9, 275_043.0, 0.83);
+        if let Json::Obj(fields) = &mut trimmed {
+            fields.retain(|(k, _)| k != "fig18_wall_clock_s");
+        }
+        let report = compare(&base, &trimmed);
+        assert!(report.diffs.iter().all(|d| d.name != "fig18_wall_clock_s"));
+    }
+}

@@ -10,6 +10,7 @@
 //! the paper's expectation, so the harness output is both human-checkable
 //! and machine-parsable.
 
+pub mod gate;
 pub mod micro;
 
 use metal_core::models::DesignSpec;
@@ -510,6 +511,59 @@ pub fn run_workload(
         figure_designs(&built, cache_bytes).into_iter().unzip();
     let reports = metal_core::runner::run_designs_parallel(&specs, &exp, &cfg);
     names.into_iter().zip(reports).collect()
+}
+
+/// Runs an already-built workload under all figure designs (the
+/// [`run_workload`] core for workloads outside the Table 2 roster, e.g.
+/// the parameterized `uniform_std_v1` CRUD mix).
+pub fn run_built(
+    built: &BuiltWorkload,
+    cache_bytes: usize,
+    cfg: RunConfig,
+) -> Vec<(String, RunReport)> {
+    let exp = built.experiment();
+    let cfg = cfg.with_lanes(built.tiles);
+    let (names, specs): (Vec<String>, Vec<DesignSpec>) =
+        figure_designs(built, cache_bytes).into_iter().unzip();
+    let reports = metal_core::runner::run_designs_parallel(&specs, &exp, &cfg);
+    names.into_iter().zip(reports).collect()
+}
+
+/// The write-ratio sweep CSV header (`fig_write_sweep`).
+pub fn write_sweep_header() -> String {
+    csv_line([
+        "write_ratio",
+        "design",
+        "miss_rate",
+        "speedup",
+        "found_walks",
+        "write_walks",
+        "node_splits",
+        "node_merges",
+    ])
+}
+
+/// The write-ratio sweep rows for one ratio: per-design miss rate,
+/// speedup over streaming, and the result/structural counters that a
+/// stale cached short-circuit would skew. Shared by the
+/// `fig_write_sweep` binary and the golden-file regression test.
+pub fn write_sweep_rows(ratio: u8, reports: &[(String, RunReport)]) -> Vec<String> {
+    let stream = by_design(reports, "stream");
+    reports
+        .iter()
+        .map(|(name, r)| {
+            csv_line([
+                ratio.to_string(),
+                name.clone(),
+                f3(r.stats.miss_rate()),
+                f3(r.speedup_vs(stream)),
+                r.stats.found_walks.to_string(),
+                r.stats.write_walks.to_string(),
+                r.stats.node_splits.to_string(),
+                r.stats.node_merges.to_string(),
+            ])
+        })
+        .collect()
 }
 
 /// The `--verify` cross-check for one workload: rebuilds it at a

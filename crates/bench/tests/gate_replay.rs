@@ -1,0 +1,118 @@
+//! Replays recorded noisy `BENCH_ci.json` pairs through the regression
+//! gate.
+//!
+//! The fixtures under `tests/fixtures/` are baseline/fresh pairs from
+//! ci-scale runs on a loaded single-core runner where the PR-5 gate
+//! (bare >20% ratio on single-shot timings) reported a regression with
+//! no code change between the runs:
+//!
+//! - pair 1: a scheduler hiccup during the probe microbench pushed the
+//!   ~30 ns miss path to ~38 ns (+28%) and dented fa-opt's throughput
+//!   by ~50 k walks/s (ratio 1.23);
+//! - pair 2: preemption during the fig18 sweep added 0.29 s (+35%),
+//!   with smaller jitter on the hit path (+24%) and metal-ix
+//!   throughput (ratio 1.22).
+//!
+//! The noise-floor gate must pass both pairs (no false positive) while
+//! still flagging a genuine slowdown scaled past the floors.
+
+use metal_bench::gate::{compare, validate};
+use metal_obs::Json;
+
+/// The PR-5 gate's bare ratio threshold, kept here as the historical
+/// reference the fixtures must still trip (proving they reproduce the
+/// old false positive, whatever the current `GATE_RATIO` is).
+const PR5_GATE_RATIO: f64 = 1.2;
+
+fn fixture(name: &str) -> Json {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{path}: bad JSON: {e:?}"))
+}
+
+fn replay(pair: u32) -> (Json, Json) {
+    let base = fixture(&format!("noisy_base_{pair}.json"));
+    let new = fixture(&format!("noisy_new_{pair}.json"));
+    validate(&base).expect("baseline fixture must satisfy the schema");
+    validate(&new).expect("fresh fixture must satisfy the schema");
+    (base, new)
+}
+
+#[test]
+fn recorded_noisy_pairs_do_not_false_positive() {
+    for pair in [1, 2] {
+        let (base, new) = replay(pair);
+        let report = compare(&base, &new);
+        let flagged: Vec<String> = report
+            .diffs
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.describe())
+            .collect();
+        assert!(
+            flagged.is_empty(),
+            "pair {pair}: noise flagged as regression: {flagged:?}"
+        );
+        // The fixtures must actually exercise the gate: at least one
+        // metric is past the PR-5 bare >20% ratio, i.e. the old gate
+        // would have failed this pair.
+        assert!(
+            report.diffs.iter().any(|d| d.ratio > PR5_GATE_RATIO),
+            "pair {pair}: fixture no longer reproduces the old gate's false positive"
+        );
+    }
+}
+
+#[test]
+fn scaled_slowdown_on_the_same_fixtures_still_gates() {
+    let (base, _) = replay(1);
+    // The same run shapes with a real regression: every latency
+    // tripled, throughput cut to a third, sweep tripled — far past
+    // both the ratio and each class's absolute floor.
+    let slow = fixture("noisy_base_1.json");
+    let slow = match slow {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| {
+                    let v = match (k.as_str(), v) {
+                        ("probe_ns", Json::Obj(ps)) => Json::Obj(
+                            ps.into_iter()
+                                .map(|(pk, pv)| {
+                                    let x = pv.as_f64().unwrap();
+                                    (pk, Json::Num(x * 3.0))
+                                })
+                                .collect(),
+                        ),
+                        ("walks_per_sec", Json::Obj(ws)) => Json::Obj(
+                            ws.into_iter()
+                                .map(|(wk, wv)| {
+                                    let x = wv.as_f64().unwrap();
+                                    (wk, Json::Num(x / 3.0))
+                                })
+                                .collect(),
+                        ),
+                        ("fig18_wall_clock_s", v) => Json::Num(v.as_f64().unwrap() * 3.0),
+                        (_, v) => v,
+                    };
+                    (k, v)
+                })
+                .collect(),
+        ),
+        other => other,
+    };
+    validate(&slow).expect("scaled fixture must stay schema-valid");
+    let report = compare(&base, &slow);
+    assert!(report.regressed(), "a 2-3x slowdown must still gate");
+    // Every metric class participates, so the floors did not blind the
+    // gate to any dimension.
+    for prefix in ["probe_ns.", "walks_per_sec.", "fig18_wall_clock_s"] {
+        assert!(
+            report
+                .diffs
+                .iter()
+                .any(|d| d.name.starts_with(prefix) && d.regressed),
+            "no regression detected in class {prefix}"
+        );
+    }
+}

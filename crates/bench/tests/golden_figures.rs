@@ -19,8 +19,12 @@
 //! `results/fig18_speedup.csv` (minus the `#` comment preamble, which
 //! carries no data).
 
-use metal_bench::{fig15_header, fig15_row, fig18_header, fig18_row, run_workload};
+use metal_bench::{
+    fig15_header, fig15_row, fig18_header, fig18_row, run_built, run_workload, write_sweep_header,
+    write_sweep_rows,
+};
 use metal_core::runner::RunConfig;
+use metal_workloads::crud::uniform_std_v1;
 use metal_workloads::{Scale, Workload};
 use std::path::PathBuf;
 
@@ -77,4 +81,32 @@ fn fig15_and_fig18_ci_output_is_pinned() {
     let render = |rows: Vec<String>| rows.join("\n") + "\n";
     check_golden("fig15_ci.csv", &render(fig15));
     check_golden("fig18_ci.csv", &render(fig18));
+}
+
+#[test]
+fn write_sweep_ci_output_is_pinned_and_shard_invariant() {
+    // The write-ratio sweep at 0%, 10% and 50% writes: the 0% rows pin
+    // the read-only baseline (byte-identical to a pure-read run by
+    // construction), the mutated rows pin split/merge/invalidate
+    // behavior end to end. Speedup is a deterministic cycle model, so
+    // these bytes are as stable as the fig15/fig18 goldens.
+    let cache_bytes = 64 * 1024;
+    let mut rows = vec![write_sweep_header()];
+    for ratio in [0u8, 10, 50] {
+        let built = uniform_std_v1(Scale::ci(), ratio);
+        let reports = run_built(&built, cache_bytes, RunConfig::default());
+        rows.extend(write_sweep_rows(ratio, &reports));
+
+        // Worker count must never change results — especially on the
+        // mutated stream, where the write path and the IX-cache
+        // invalidation protocol both run inside the shards.
+        let built4 = uniform_std_v1(Scale::ci(), ratio);
+        let reports4 = run_built(&built4, cache_bytes, RunConfig::default().with_shards(4));
+        assert_eq!(
+            write_sweep_rows(ratio, &reports),
+            write_sweep_rows(ratio, &reports4),
+            "write ratio {ratio}: rows differ between shards=1 and shards=4"
+        );
+    }
+    check_golden("fig_write_sweep_ci.csv", &(rows.join("\n") + "\n"));
 }

@@ -184,6 +184,27 @@ pub struct CoalesceRecord {
     pub entry: u64,
 }
 
+/// Telemetry record of one range invalidation hitting a resident entry
+/// (drained via [`IxCache::drain_invalidations`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidateRecord {
+    /// Index the entry belongs to.
+    pub index: IndexId,
+    /// Entry level.
+    pub level: u8,
+    /// Set it lives in ([`WIDE_SET`] for the wide partition).
+    pub set: u32,
+    /// Stable id of the affected entry.
+    pub entry: u64,
+    /// Low key of the entry's span before invalidation.
+    pub lo: u64,
+    /// High key of the entry's span before invalidation (inclusive).
+    pub hi: u64,
+    /// True when every segment overlapped and the entry was removed;
+    /// false for a partial invalidation that shrank it.
+    pub killed: bool,
+}
+
 /// A resident entry, as reported by [`IxCache::snapshot`] for external
 /// verification (the `metal-verify` oracle checks every probe against a
 /// linear scan over these).
@@ -529,6 +550,13 @@ pub struct IxStats {
     pub evictions: u64,
     /// Insertions absorbed by coalescing into an existing entry.
     pub coalesced: u64,
+    /// Entries removed whole by range invalidation (every segment
+    /// overlapped the stale range). Conservation:
+    /// `inserts == evictions + flushed + resident + invalidation_kills`.
+    pub invalidation_kills: u64,
+    /// Individual segments dropped by range invalidation (partial kills
+    /// of coalesced/split packs included).
+    pub invalidated_segs: u64,
 }
 
 impl IxStats {
@@ -572,6 +600,7 @@ pub struct IxCache {
     recent_evictions: Vec<EvictRecord>,
     recent_fills: Vec<FillRecord>,
     recent_coalesces: Vec<CoalesceRecord>,
+    recent_invalidations: Vec<InvalidateRecord>,
 }
 
 impl IxCache {
@@ -612,6 +641,7 @@ impl IxCache {
             recent_evictions: Vec::new(),
             recent_fills: Vec::new(),
             recent_coalesces: Vec::new(),
+            recent_invalidations: Vec::new(),
         }
     }
 
@@ -649,6 +679,7 @@ impl IxCache {
             self.recent_evictions = Vec::new();
             self.recent_fills = Vec::new();
             self.recent_coalesces = Vec::new();
+            self.recent_invalidations = Vec::new();
         }
     }
 
@@ -665,6 +696,11 @@ impl IxCache {
     /// Drains the coalesce records accumulated since the last drain.
     pub fn drain_coalesces(&mut self) -> std::vec::Drain<'_, CoalesceRecord> {
         self.recent_coalesces.drain(..)
+    }
+
+    /// Drains the invalidation records accumulated since the last drain.
+    pub fn drain_invalidations(&mut self) -> std::vec::Drain<'_, InvalidateRecord> {
+        self.recent_invalidations.drain(..)
     }
 
     /// The narrow set a probe for `key` in `index` selects (telemetry:
@@ -903,6 +939,109 @@ impl IxCache {
         if seg_pool.len() < 64 {
             victim.segs.clear();
             seg_pool.push(victim.segs);
+        }
+    }
+
+    /// Range invalidation: drops every cached segment of `index` that
+    /// overlaps `range`, at `level` only (or at all levels for `None`).
+    ///
+    /// This is the coherence half of the mutation protocol: a node
+    /// split/merge/rebalance makes the old `[lo, hi]` tag of the mutated
+    /// node stale, so any short-circuit it could serve must die before
+    /// the next probe. Invalidation is whole-segment (a segment that
+    /// merely overlaps the stale range is dropped entirely) — safe
+    /// over-invalidation that the verification oracle models exactly.
+    /// Entries left with no segments are removed; survivors shrink
+    /// their span to the union of the remaining segments. `payload_bytes`
+    /// is deliberately left unchanged on a partial kill: the freed block
+    /// bytes are not reclaimed for future coalescing, which keeps the
+    /// model conservative (never more capacity than hardware would have).
+    /// Pinned entries are not exempt — coherence outranks pinning.
+    pub fn invalidate_range(&mut self, index: IndexId, level: Option<u8>, range: KeyRange) {
+        for s in 0..self.sets.len() {
+            Self::invalidate_partition(
+                &mut self.sets[s],
+                &mut self.narrow_idx[s],
+                &mut self.seg_pool,
+                &mut self.stats,
+                &mut self.recent_invalidations,
+                self.record,
+                s as u32,
+                index,
+                level,
+                range,
+            );
+        }
+        Self::invalidate_partition(
+            &mut self.wide,
+            &mut self.wide_idx,
+            &mut self.seg_pool,
+            &mut self.stats,
+            &mut self.recent_invalidations,
+            self.record,
+            WIDE_SET,
+            index,
+            level,
+            range,
+        );
+    }
+
+    /// Applies one range invalidation to one partition. Iterates
+    /// positions high-to-low so the `swap_remove` inside `remove_entry`
+    /// only relocates already-examined entries.
+    #[allow(clippy::too_many_arguments)]
+    fn invalidate_partition(
+        entries: &mut Vec<Entry>,
+        tags: &mut IntervalIndex,
+        seg_pool: &mut Vec<Vec<(KeyRange, u32)>>,
+        stats: &mut IxStats,
+        records: &mut Vec<InvalidateRecord>,
+        record: bool,
+        set_label: u32,
+        index: IndexId,
+        level: Option<u8>,
+        range: KeyRange,
+    ) {
+        for v in (0..entries.len()).rev() {
+            let e = &entries[v];
+            if e.index != index || level.is_some_and(|l| l != e.level) || !e.span.overlaps(&range) {
+                continue;
+            }
+            let survivors = e.segs.iter().filter(|(r, _)| !r.overlaps(&range)).count();
+            if survivors == e.segs.len() {
+                // The span overlapped but only a gap between segments did.
+                continue;
+            }
+            let old_span = e.span;
+            let (e_level, e_id) = (e.level, e.id);
+            stats.invalidated_segs += (e.segs.len() - survivors) as u64;
+            if record {
+                records.push(InvalidateRecord {
+                    index,
+                    level: e_level,
+                    set: set_label,
+                    entry: e_id,
+                    lo: old_span.lo,
+                    hi: old_span.hi,
+                    killed: survivors == 0,
+                });
+            }
+            if survivors == 0 {
+                Self::remove_entry(entries, tags, seg_pool, v);
+                stats.invalidation_kills += 1;
+            } else {
+                let e = &mut entries[v];
+                e.segs.retain(|(r, _)| !r.overlaps(&range));
+                let new_span = e
+                    .segs
+                    .iter()
+                    .skip(1)
+                    .fold(e.segs[0].0, |acc, (r, _)| acc.union(r));
+                e.span = new_span;
+                if new_span != old_span {
+                    tags.update_span(index, e_level, old_span.lo, v as u32, new_span);
+                }
+            }
         }
     }
 
@@ -1719,5 +1858,160 @@ mod tests {
             key_block_bits: 4,
             wide_fraction: 0.5,
         });
+    }
+
+    #[test]
+    fn invalidate_kills_covering_entries() {
+        let mut c = cache(64);
+        c.insert(0, 1, KeyRange::new(0, 10), 1, 64, 0); // narrow
+        c.insert(0, 2, KeyRange::new(0, 99), 3, 64, 0); // wide
+        assert_eq!(c.occupancy(), 2);
+        c.invalidate_range(0, None, KeyRange::new(5, 8));
+        assert_eq!(c.occupancy(), 0, "both spans overlap the stale range");
+        assert!(c.probe(0, 7).is_none());
+        assert_eq!(c.stats().invalidation_kills, 2);
+        assert_eq!(c.stats().invalidated_segs, 2);
+        c.check_interval_index();
+    }
+
+    #[test]
+    fn invalidation_respects_index_and_level_filters() {
+        let mut c = cache(64);
+        c.insert(0, 1, KeyRange::new(0, 10), 0, 64, 0);
+        c.insert(0, 2, KeyRange::new(0, 15), 2, 64, 0);
+        c.insert(1, 3, KeyRange::new(0, 10), 0, 64, 0);
+        c.invalidate_range(0, Some(0), KeyRange::new(0, 20));
+        assert!(c.probe(0, 5).is_some(), "level-2 entry untouched");
+        assert_eq!(c.probe(0, 5).unwrap().node, 2);
+        assert!(c.probe(1, 5).is_some(), "other index untouched");
+        assert_eq!(c.stats().invalidation_kills, 1);
+        c.invalidate_range(0, None, KeyRange::new(0, 20));
+        assert!(c.probe(0, 5).is_none());
+        assert_eq!(c.stats().invalidation_kills, 2);
+        c.check_interval_index();
+    }
+
+    #[test]
+    fn partial_invalidation_shrinks_coalesced_packs() {
+        let mut c = cache(64);
+        // Two 24-byte leaves coalesce into one entry spanning [0, 6].
+        c.insert(0, 1, KeyRange::new(0, 2), 0, 24, 0);
+        c.insert(0, 2, KeyRange::new(4, 6), 0, 24, 0);
+        assert_eq!(c.occupancy(), 1);
+        // Kill only the first segment: the entry survives, shrunk.
+        c.invalidate_range(0, None, KeyRange::new(0, 2));
+        assert_eq!(c.occupancy(), 1, "survivor segment keeps the entry");
+        assert!(c.probe(0, 1).is_none(), "invalidated segment is gone");
+        assert_eq!(c.probe(0, 5).expect("survivor hits").node, 2);
+        assert_eq!(c.stats().invalidation_kills, 0);
+        assert_eq!(c.stats().invalidated_segs, 1);
+        c.check_interval_index();
+        // A range touching only the gap between segments is a no-op.
+        let mut c = cache(64);
+        c.insert(0, 1, KeyRange::new(0, 2), 0, 24, 0);
+        c.insert(0, 2, KeyRange::new(4, 6), 0, 24, 0);
+        c.invalidate_range(0, None, KeyRange::new(3, 3));
+        assert_eq!(c.stats().invalidated_segs, 0);
+        assert!(c.probe(0, 1).is_some());
+        assert!(c.probe(0, 5).is_some());
+        c.check_interval_index();
+    }
+
+    #[test]
+    fn invalidation_kills_pinned_entries() {
+        let mut c = cache(64);
+        c.insert(0, 1, KeyRange::new(0, 10), 0, 64, 1000); // pinned
+        c.invalidate_range(0, None, KeyRange::new(10, 10));
+        assert!(c.probe(0, 5).is_none(), "coherence outranks pinning");
+        assert_eq!(c.stats().invalidation_kills, 1);
+    }
+
+    #[test]
+    fn invalidation_records_name_killed_and_shrunk_entries() {
+        let mut c = cache(64);
+        c.set_recording(true);
+        c.insert(0, 1, KeyRange::new(0, 2), 0, 24, 0);
+        c.insert(0, 2, KeyRange::new(4, 6), 0, 24, 0); // coalesced
+        c.insert(0, 3, KeyRange::new(0, 99), 3, 64, 0); // wide
+        let fills: Vec<_> = c.drain_fills().collect();
+        c.invalidate_range(0, None, KeyRange::new(0, 2));
+        let inv: Vec<_> = c.drain_invalidations().collect();
+        assert_eq!(inv.len(), 2);
+        let killed: Vec<_> = inv.iter().filter(|r| r.killed).collect();
+        let shrunk: Vec<_> = inv.iter().filter(|r| !r.killed).collect();
+        assert_eq!(killed.len(), 1, "wide entry fully overlapped");
+        assert_eq!(killed[0].set, WIDE_SET);
+        assert_eq!((killed[0].lo, killed[0].hi), (0, 99));
+        assert_eq!(shrunk.len(), 1, "coalesced pack partially survived");
+        assert_eq!(shrunk[0].entry, fills[0].entry);
+        assert_eq!((shrunk[0].lo, shrunk[0].hi), (0, 6), "pre-shrink span");
+    }
+
+    #[test]
+    fn invalidation_storm_preserves_probe_equivalence() {
+        use metal_sim::rng::SplitRng;
+        // Interleave inserts, probes and range invalidations; the interval
+        // overlay, the linear reference probe and the conservation
+        // invariant must all stay exact throughout.
+        for seed in 0..3u64 {
+            let cfg = IxConfig {
+                entries: 32,
+                ways: 2 + (seed as usize % 3),
+                key_block_bits: 3 + (seed as u32 % 3),
+                wide_fraction: 0.25 + 0.25 * (seed as f64 % 3.0),
+            };
+            let mut fast = IxCache::new(cfg);
+            let mut reference = IxCache::new(cfg);
+            let mut rng = SplitRng::seed_from_u64(0xD00D + seed);
+            for op in 0..3000u32 {
+                match rng.next_u64() % 8 {
+                    0..=3 => {
+                        let lo = rng.next_u64() % 512;
+                        let w = rng.next_u64() % 120;
+                        let r = KeyRange::new(lo, lo.saturating_add(w));
+                        let level = (rng.next_u64() % 4) as u8;
+                        let bytes = [24, 64, 200][(rng.next_u64() % 3) as usize];
+                        let life = (rng.next_u64() % 3) as u32;
+                        let index = (rng.next_u64() % 2) as u8;
+                        fast.insert(index, op, r, level, bytes, life);
+                        reference.insert(index, op, r, level, bytes, life);
+                    }
+                    4..=5 => {
+                        let index = (rng.next_u64() % 2) as u8;
+                        let key = rng.next_u64() % 700;
+                        assert_eq!(
+                            fast.probe(index, key),
+                            reference.probe_reference(index, key),
+                            "probe({index}, {key}) diverged at op {op} (seed {seed})"
+                        );
+                    }
+                    _ => {
+                        let lo = rng.next_u64() % 600;
+                        let w = rng.next_u64() % 40;
+                        let r = KeyRange::new(lo, lo.saturating_add(w));
+                        let index = (rng.next_u64() % 2) as u8;
+                        let level = match rng.next_u64() % 3 {
+                            0 => None,
+                            l => Some((l - 1) as u8),
+                        };
+                        fast.invalidate_range(index, level, r);
+                        reference.invalidate_range(index, level, r);
+                    }
+                }
+                fast.check_interval_index();
+                assert_eq!(fast.snapshot(), reference.snapshot());
+                let s = fast.stats();
+                assert_eq!(
+                    s.inserts,
+                    s.evictions + s.invalidation_kills + fast.occupancy() as u64,
+                    "conservation broke at op {op} (seed {seed})"
+                );
+            }
+            let s = fast.stats();
+            assert!(
+                s.invalidation_kills > 0 && s.invalidated_segs >= s.invalidation_kills,
+                "storm must exercise invalidation (seed {seed})"
+            );
+        }
     }
 }

@@ -27,9 +27,10 @@ use crate::descriptor::{Admit, AdmitCtx, Descriptor};
 use crate::ixcache::{CoalesceRecord, EvictRecord, FillRecord, IxCache, IxConfig};
 use crate::metrics::WindowedWorkingSet;
 use crate::range::KeyRange;
-use crate::request::WalkRequest;
+use crate::request::{OpKind, WalkRequest};
 use crate::tuner::{TuneDecision, Tuner};
 use metal_index::arena::NodeId;
+use metal_index::bptree::{BPlusTree, MutationReport};
 use metal_index::walk::{Descend, NodeInfo, WalkIndex};
 use metal_sim::caches::{AddressCache, KeyCache, OptCache};
 use metal_sim::engine::{WalkProgram, WalkStep};
@@ -177,6 +178,12 @@ pub struct DesignModel<'a> {
     exp: &'a Experiment<'a>,
     cfg: SimConfig,
     state: CacheState,
+    /// Mutable clones of the experiment's B+trees, populated only when
+    /// the request stream (or shard prefix) contains write ops. Walks
+    /// against index `i` use `own_trees[i]` when present so inserts and
+    /// deletes restructure a model-private tree; read-only runs leave
+    /// this empty and walk the shared indexes untouched.
+    own_trees: Vec<Option<BPlusTree>>,
     /// Per-lane planned steps.
     lanes: Vec<VecDeque<WalkStep>>,
     cursor: usize,
@@ -197,13 +204,41 @@ impl<'a> DesignModel<'a> {
     /// [`DesignSpec::FaOpt`]. `ws_window` is the working-set window in
     /// walks.
     pub fn new(spec: &DesignSpec, exp: &'a Experiment<'a>, cfg: SimConfig, ws_window: u64) -> Self {
+        Self::new_with_prefix(spec, exp, cfg, ws_window, &[])
+    }
+
+    /// Like [`DesignModel::new`], but first replays the write ops of
+    /// `prefix` against the model-private trees (no steps, no statistics).
+    /// The sharded runner passes the requests preceding a shard's chunk so
+    /// every shard walks the same tree state a serial run would reach —
+    /// caches still start cold (sharding semantics), only the *structure*
+    /// is caught up.
+    pub fn new_with_prefix(
+        spec: &DesignSpec,
+        exp: &'a Experiment<'a>,
+        cfg: SimConfig,
+        ws_window: u64,
+        prefix: &[WalkRequest],
+    ) -> Self {
+        let any_write = prefix
+            .iter()
+            .chain(exp.requests.iter())
+            .any(|r| r.op.is_write());
+        let mut own_trees: Vec<Option<BPlusTree>> = if any_write {
+            exp.indexes.iter().map(|i| i.as_bptree().cloned()).collect()
+        } else {
+            Vec::new()
+        };
+        for req in prefix {
+            Self::replay_write(&mut own_trees, req);
+        }
         let state = match spec {
             DesignSpec::Stream => CacheState::Stream,
             DesignSpec::Address { entries, ways } => {
                 CacheState::Address(AddressCache::new(*entries, *ways))
             }
             DesignSpec::FaOpt { entries } => CacheState::FaOpt {
-                hits: Self::precompute_opt(exp, *entries),
+                hits: Self::precompute_opt(exp, *entries, &own_trees),
             },
             DesignSpec::XCache { entries, ways } => {
                 CacheState::XCache(KeyCache::new(*entries, *ways))
@@ -274,6 +309,7 @@ impl<'a> DesignModel<'a> {
             exp,
             cfg,
             state,
+            own_trees,
             lanes: vec![VecDeque::new(); cfg.lanes],
             cursor: 0,
             stats: RunStats::new(),
@@ -352,14 +388,53 @@ impl<'a> DesignModel<'a> {
     }
 
     /// Finalizes windowed statistics into `stats` (call after the run).
+    /// The index footprint reflects any mutations (split nodes allocate
+    /// new blocks in the model-private trees).
     pub fn finalize(&mut self) {
-        self.stats.index_blocks = self.exp.total_index_blocks();
+        self.stats.index_blocks = (0..self.exp.indexes.len())
+            .map(|i| Self::effective_index(&self.own_trees, self.exp, i).total_blocks())
+            .sum();
         self.ws.finalize();
         self.stats.ws_touched_sum = self.ws.touched_sum();
         self.stats.ws_windows = self.ws.windows() as u64;
     }
 
+    /// Deepest index as currently walked (mutations can grow a tree past
+    /// the experiment's bulk-loaded depth via root splits).
+    pub fn max_depth(&self) -> u8 {
+        (0..self.exp.indexes.len())
+            .map(|i| Self::effective_index(&self.own_trees, self.exp, i).depth())
+            .max()
+            .unwrap_or(1)
+    }
+
     // ---- walk planning -------------------------------------------------
+
+    /// The index walks against slot `idx` actually traverse: the
+    /// model-private mutable clone when the run has writes, else the
+    /// experiment's shared read-only index.
+    fn effective_index<'b, 'e>(
+        own: &'b [Option<BPlusTree>],
+        exp: &'b Experiment<'e>,
+        idx: usize,
+    ) -> &'b dyn WalkIndex {
+        match own.get(idx).and_then(|t| t.as_ref()) {
+            Some(t) => t,
+            None => exp.indexes[idx],
+        }
+    }
+
+    /// Applies one write op to the model-private trees with no modeled
+    /// cost (prefix catch-up and the offline OPT pass both replay this
+    /// way). Updates touch no structure, so only inserts/deletes matter.
+    fn replay_write(own: &mut [Option<BPlusTree>], req: &WalkRequest) -> Option<MutationReport> {
+        let tree = own.get_mut(req.index as usize)?.as_mut()?;
+        match req.op {
+            OpKind::Insert => Some(tree.insert_key(req.key)),
+            OpKind::Delete => Some(tree.delete_key(req.key)),
+            OpKind::Select | OpKind::Update => None,
+        }
+    }
 
     /// The root-to-leaf node path for `key` starting at `from`.
     fn path_from(
@@ -546,10 +621,14 @@ impl<'a> DesignModel<'a> {
         self.stats.cache_energy_fj = self.stats.cache_energy_fj.saturating_add(fj);
     }
 
-    /// Plans the complete step sequence of one request.
+    /// Plans the complete step sequence of one request: the walk through
+    /// the design's caches, then — for write ops — the mutation, its
+    /// write-back traffic and the coherence invalidations it forces.
     fn plan(&mut self, req: &WalkRequest, lane: usize) -> VecDeque<WalkStep> {
         let mut steps = VecDeque::new();
-        let index = self.exp.indexes[req.index as usize];
+        let mut own = std::mem::take(&mut self.own_trees);
+        let exp = self.exp;
+        let index = Self::effective_index(&own, exp, req.index as usize);
 
         match &mut self.state {
             CacheState::Stream => {
@@ -726,9 +805,137 @@ impl<'a> DesignModel<'a> {
             }
         }
 
+        if req.op.is_write() {
+            self.apply_write(&mut steps, &mut own, req);
+        }
+        self.own_trees = own;
         self.ws.walk_done();
         steps.push_back(WalkStep::Done);
         steps
+    }
+
+    /// Executes `req`'s write op against the model-private tree (the walk
+    /// that located the leaf was already planned): applies the mutation,
+    /// appends the dirtied nodes' write-back DRAM traffic, and runs the
+    /// per-design coherence protocol over the stale spans. Writes against
+    /// an index that is not a B+tree degrade to the lookup alone.
+    fn apply_write(
+        &mut self,
+        steps: &mut VecDeque<WalkStep>,
+        own: &mut [Option<BPlusTree>],
+        req: &WalkRequest,
+    ) {
+        self.stats.write_walks += 1;
+        if own
+            .get(req.index as usize)
+            .and_then(|t| t.as_ref())
+            .is_none()
+        {
+            return;
+        }
+        if req.op == OpKind::Update {
+            // In-place record rewrite: no structural change, no stale
+            // spans — just write the located record back.
+            let index = Self::effective_index(own, self.exp, req.index as usize);
+            if let (
+                _,
+                Descend::Leaf {
+                    found: true,
+                    value_addr,
+                    value_bytes,
+                },
+            ) = Self::path_from(index, index.root(), req.key)
+            {
+                if value_bytes > 0 {
+                    steps.push_back(WalkStep::Dram {
+                        addr: value_addr,
+                        bytes: value_bytes,
+                    });
+                    self.ws
+                        .touch_span(value_addr.block(), blocks_spanned(value_addr, value_bytes));
+                }
+            }
+            return;
+        }
+        let Some(report) = Self::replay_write(own, req) else {
+            return;
+        };
+        if !report.applied {
+            return;
+        }
+        self.stats.node_splits += report.splits as u64;
+        self.stats.node_merges += (report.merges + report.rebalances) as u64;
+        for &(addr, bytes) in &report.writes {
+            steps.push_back(WalkStep::Dram { addr, bytes });
+            self.ws
+                .touch_span(addr.block(), blocks_spanned(addr, bytes));
+        }
+        self.invalidate_stale(req, &report);
+    }
+
+    /// Mutation coherence: after a structural mutation, kill or shrink
+    /// every cached tag the stale spans could route wrongly. Only designs
+    /// that tag keys or key ranges carry such state — the address caches
+    /// tag physical blocks, which mutations rewrite in place.
+    fn invalidate_stale(&mut self, req: &WalkRequest, report: &MutationReport) {
+        let observing = self.sink.is_some();
+        let mut records = Vec::new();
+        match &mut self.state {
+            CacheState::Metal { caches, .. } => {
+                let before: u64 = caches.iter().map(|c| c.stats().invalidation_kills).sum();
+                for span in &report.stale {
+                    for c in caches.iter_mut() {
+                        c.invalidate_range(
+                            req.index,
+                            Some(span.level),
+                            KeyRange::new(span.lo, span.hi),
+                        );
+                    }
+                }
+                let after: u64 = caches.iter().map(|c| c.stats().invalidation_kills).sum();
+                self.stats.entries_invalidated += after - before;
+                if observing {
+                    for c in caches.iter_mut() {
+                        records.extend(c.drain_invalidations());
+                    }
+                }
+            }
+            CacheState::XCache(c) => {
+                for span in &report.stale {
+                    if span.level == 0 {
+                        self.stats.entries_invalidated += c.invalidate_range(span.lo, span.hi);
+                    }
+                }
+                if req.op == OpKind::Delete {
+                    // The deleted key's own line would stale-hit as
+                    // "found" even when no node restructured.
+                    self.stats.entries_invalidated += c.invalidate_range(req.key, req.key);
+                }
+            }
+            CacheState::Stream | CacheState::Address(_) | CacheState::FaOpt { .. } => {}
+        }
+        if observing {
+            for span in &report.stale {
+                self.emit(Event::Split {
+                    index: req.index,
+                    level: span.level,
+                    lo: span.lo,
+                    hi: span.hi,
+                    op: span.op,
+                });
+            }
+            for r in records {
+                self.emit(Event::Invalidate {
+                    index: r.index,
+                    level: r.level,
+                    set: r.set,
+                    entry: r.entry,
+                    lo: r.lo,
+                    hi: r.hi,
+                    killed: r.killed,
+                });
+            }
+        }
     }
 
     fn plan_metal(
@@ -1092,37 +1299,50 @@ impl<'a> DesignModel<'a> {
     }
 
     /// Offline OPT pass: record every request's block trace (walk + scan)
-    /// and run Belady over the concatenation.
-    fn precompute_opt(exp: &Experiment<'_>, entries: usize) -> Vec<Vec<bool>> {
+    /// and run Belady over the concatenation. `own_seed` is the
+    /// model-private tree state at the start of the stream (post shard
+    /// prefix); the pass replays each write op so later requests trace
+    /// their post-mutation paths — exactly what the online run walks.
+    /// Write-backs bypass the cache (write-through, no allocate), so they
+    /// add no trace entries.
+    fn precompute_opt(
+        exp: &Experiment<'_>,
+        entries: usize,
+        own_seed: &[Option<BPlusTree>],
+    ) -> Vec<Vec<bool>> {
+        let mut own: Vec<Option<BPlusTree>> = own_seed.to_vec();
         let mut trace = Vec::new();
         let mut lens = Vec::with_capacity(exp.requests.len());
         for req in exp.requests {
-            let index = exp.indexes[req.index as usize];
-            let (path, leaf) = Self::path_from(index, index.root(), req.key);
-            let scan = path
-                .last()
-                .map(|&(id, _)| Self::scan_chain(index, id, req.scan_leaves))
-                .unwrap_or_default();
-            let mut n = 0;
-            for &(id, info) in path.iter().chain(scan.iter()) {
-                let (a, b) = index.access_for(id, req.key.max(info.lo));
-                for i in 0..blocks_spanned(a, b).max(1) {
-                    trace.push(metal_sim::types::Addr::new(a.get() + i * 64).block());
-                    n += 1;
-                }
-            }
-            if let Descend::Leaf {
-                found: true,
-                value_addr,
-                value_bytes,
-            } = leaf
             {
-                if value_bytes > 0 {
-                    trace.push(value_addr.block());
-                    n += 1;
+                let index = Self::effective_index(&own, exp, req.index as usize);
+                let (path, leaf) = Self::path_from(index, index.root(), req.key);
+                let scan = path
+                    .last()
+                    .map(|&(id, _)| Self::scan_chain(index, id, req.scan_leaves))
+                    .unwrap_or_default();
+                let mut n = 0;
+                for &(id, info) in path.iter().chain(scan.iter()) {
+                    let (a, b) = index.access_for(id, req.key.max(info.lo));
+                    for i in 0..blocks_spanned(a, b).max(1) {
+                        trace.push(metal_sim::types::Addr::new(a.get() + i * 64).block());
+                        n += 1;
+                    }
                 }
+                if let Descend::Leaf {
+                    found: true,
+                    value_addr,
+                    value_bytes,
+                } = leaf
+                {
+                    if value_bytes > 0 {
+                        trace.push(value_addr.block());
+                        n += 1;
+                    }
+                }
+                lens.push(n);
             }
-            lens.push(n);
+            Self::replay_write(&mut own, req);
         }
         let result = OptCache::new(entries).simulate(&trace);
         let mut out = Vec::with_capacity(lens.len());
@@ -1434,6 +1654,103 @@ mod tests {
         assert_eq!(
             private.stats.misses, 8,
             "each private slice cold-misses separately"
+        );
+    }
+
+    #[test]
+    fn metal_probe_stays_coherent_across_leaf_splits() {
+        // Even keys only, so odd inserts are genuine insertions. Warm the
+        // IX-cache on a leaf, split that leaf with inserts, then select
+        // every key across the old span: a stale cached tag would
+        // short-circuit into the pre-split leaf and miss the keys that
+        // moved to the new right sibling.
+        let keys: Vec<Key> = (0..1000).map(|i| i * 2).collect();
+        let t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let mut requests = reqs(&[100, 100]);
+        for k in [101, 103, 105, 107, 109] {
+            requests.push(WalkRequest::lookup(k).with_op(OpKind::Insert));
+        }
+        let post: Vec<Key> = (100..110).collect();
+        requests.extend(reqs(&post));
+        let exp = Experiment::single(&t, &requests);
+        let mut m = DesignModel::new(
+            &DesignSpec::MetalIx {
+                ix: IxConfig::kb64(),
+            },
+            &exp,
+            SimConfig::default(),
+            1000,
+        );
+        drain(&mut m);
+        assert_eq!(m.stats.write_walks, 5);
+        assert!(m.stats.node_splits >= 1, "five inserts must split a leaf");
+        assert!(
+            m.stats.entries_invalidated >= 1,
+            "the warmed leaf tag must die with the split"
+        );
+        // 2 warm selects + 10 post-split selects all find their key (the
+        // insert walks probe before the key exists, so they don't count).
+        assert_eq!(m.stats.found_walks, 12, "no select may stale-route");
+    }
+
+    #[test]
+    fn xcache_delete_invalidates_exact_key() {
+        let keys: Vec<Key> = (0..1000).map(|i| i * 2).collect();
+        let t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let requests = vec![
+            WalkRequest::lookup(100), // miss, walk, found, cache leaf
+            WalkRequest::lookup(100), // exact-key hit, found
+            WalkRequest::lookup(100).with_op(OpKind::Delete), // hit, then delete
+            WalkRequest::lookup(100), // MUST NOT claim found from a stale line
+        ];
+        let exp = Experiment::single(&t, &requests);
+        let mut m = DesignModel::new(
+            &DesignSpec::XCache {
+                entries: 64,
+                ways: 16,
+            },
+            &exp,
+            SimConfig::default(),
+            1000,
+        );
+        drain(&mut m);
+        assert_eq!(m.stats.write_walks, 1);
+        assert!(
+            m.stats.entries_invalidated >= 1,
+            "the deleted key's line dies"
+        );
+        // Walks 1–3 observe the key present; walk 4 walks from the root
+        // (its line was invalidated) and correctly finds nothing.
+        assert_eq!(m.stats.found_walks, 3);
+        assert_eq!(m.stats.misses, 2, "cold miss + post-delete miss");
+    }
+
+    #[test]
+    fn update_writes_back_without_structural_change() {
+        let t = tree();
+        let requests = vec![
+            WalkRequest::lookup(100).with_op(OpKind::Update),
+            WalkRequest::lookup(100),
+        ];
+        let exp = Experiment::single(&t, &requests);
+        let mut m = DesignModel::new(&DesignSpec::Stream, &exp, SimConfig::default(), 1000);
+        drain(&mut m);
+        assert_eq!(m.stats.write_walks, 1);
+        assert_eq!(m.stats.node_splits, 0);
+        assert_eq!(m.stats.node_merges, 0);
+        assert_eq!(m.stats.entries_invalidated, 0);
+        assert_eq!(m.stats.found_walks, 2);
+    }
+
+    #[test]
+    fn read_only_runs_never_clone_trees() {
+        let t = tree();
+        let requests = reqs(&[1, 2, 3]);
+        let exp = Experiment::single(&t, &requests);
+        let m = DesignModel::new(&DesignSpec::Stream, &exp, SimConfig::default(), 1000);
+        assert!(
+            m.own_trees.is_empty(),
+            "no write ops → no private tree clones, walks hit the shared index"
         );
     }
 

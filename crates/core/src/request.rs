@@ -8,6 +8,43 @@
 
 use metal_sim::types::Key;
 
+/// What a walk request does to the index once its walk resolves.
+///
+/// Every request walks root-to-leaf first (a write must locate its leaf
+/// exactly like a read). `Select` stops there; the write ops then mutate
+/// the modeled B+tree and trigger the IX-cache range-invalidation
+/// protocol for any node splits/merges/rebalances they cause. Against
+/// indexes that are not B+trees, write ops degrade to plain lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpKind {
+    /// Read-only point lookup (the only op pre-mutation workloads use).
+    #[default]
+    Select,
+    /// Insert the key (no-op if present; may split nodes).
+    Insert,
+    /// Rewrite the key's record in place (no structural change).
+    Update,
+    /// Remove the key (no-op if absent; may merge/rebalance nodes).
+    Delete,
+}
+
+impl OpKind {
+    /// Stable lowercase tag (CSV columns, trace labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpKind::Select => "select",
+            OpKind::Insert => "insert",
+            OpKind::Update => "update",
+            OpKind::Delete => "delete",
+        }
+    }
+
+    /// Whether this op can mutate the index.
+    pub fn is_write(self) -> bool {
+        !matches!(self, OpKind::Select)
+    }
+}
+
 /// One index walk plus its attached work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkRequest {
@@ -15,6 +52,8 @@ pub struct WalkRequest {
     pub index: u8,
     /// The probe key.
     pub key: Key,
+    /// What the walk does once it resolves (CRUD mixes set this).
+    pub op: OpKind,
     /// Reuse estimate for the walked node (pins node-pattern entries;
     /// e.g. SpMM's non-zeros per column).
     pub life_hint: u32,
@@ -32,11 +71,18 @@ impl WalkRequest {
         WalkRequest {
             index: 0,
             key,
+            op: OpKind::Select,
             life_hint: 0,
             compute_ops: 0,
             fetch_value: true,
             scan_leaves: 0,
         }
+    }
+
+    /// Builder-style CRUD op selection.
+    pub fn with_op(mut self, op: OpKind) -> Self {
+        self.op = op;
+        self
     }
 
     /// Builder-style index selection.
@@ -89,5 +135,22 @@ mod tests {
         assert_eq!(r.index, 0);
         assert_eq!(r.scan_leaves, 0);
         assert_eq!(r.compute_ops, 0);
+        assert_eq!(r.op, OpKind::Select);
+        assert!(!r.op.is_write());
+    }
+
+    #[test]
+    fn op_kinds_are_stable_and_classified() {
+        for (op, tag, write) in [
+            (OpKind::Select, "select", false),
+            (OpKind::Insert, "insert", true),
+            (OpKind::Update, "update", true),
+            (OpKind::Delete, "delete", true),
+        ] {
+            assert_eq!(op.as_str(), tag);
+            assert_eq!(op.is_write(), write);
+        }
+        let r = WalkRequest::lookup(5).with_op(OpKind::Delete);
+        assert_eq!(r.op, OpKind::Delete);
     }
 }

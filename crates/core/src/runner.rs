@@ -209,13 +209,17 @@ impl RunReport {
 
 /// Runs one design over one logical shard on one engine (the original
 /// serial path). `shard` only labels events; it never affects results.
+/// `prefix` holds the requests preceding this chunk in the full stream:
+/// their write ops are replayed against the model-private trees (cost
+/// free) so the chunk walks the tree state a serial run would reach.
 fn run_design_shard(
     spec: &DesignSpec,
     exp: &Experiment<'_>,
     cfg: &RunConfig,
     shard: u64,
+    prefix: &[crate::request::WalkRequest],
 ) -> RunReport {
-    let mut model = DesignModel::new(spec, exp, cfg.sim, cfg.ws_window);
+    let mut model = DesignModel::new_with_prefix(spec, exp, cfg.sim, cfg.ws_window, prefix);
     let mut engine = Engine::new(cfg.sim);
     let sink = cfg.obs.sink_factory.as_ref().and_then(|make| {
         make(&ShardCtx {
@@ -242,7 +246,7 @@ fn run_design_shard(
     stats.working_set = engine.dram().working_set().clone();
     stats.distinct_blocks = stats.working_set.distinct_blocks();
 
-    let max_depth = exp.max_depth();
+    let max_depth = model.max_depth();
     let occupancy_by_level = model.occupancy_by_level(max_depth).unwrap_or_default();
     let band_history = model
         .tuners()
@@ -289,7 +293,7 @@ fn merge_reports(mut reports: Vec<RunReport>) -> RunReport {
 pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
     let bounds = shard_bounds(exp.requests.len(), cfg.shard_walks);
     if bounds.len() <= 1 {
-        return run_design_shard(spec, exp, cfg, 0);
+        return run_design_shard(spec, exp, cfg, 0, &[]);
     }
 
     let workers = cfg.worker_threads().min(bounds.len()).max(1);
@@ -301,7 +305,10 @@ pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> R
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(range) = bounds.get(i) else { break };
                 let shard_exp = exp.slice(range.clone());
-                let report = run_design_shard(spec, &shard_exp, cfg, i as u64);
+                // Writes earlier in the stream must be visible to this
+                // chunk's walks even though its caches start cold.
+                let prefix = &exp.requests[..range.start];
+                let report = run_design_shard(spec, &shard_exp, cfg, i as u64, prefix);
                 *slots[i].lock().expect("shard slot poisoned") = Some(report);
             });
         }
@@ -637,7 +644,7 @@ mod tests {
             ix: IxConfig::kb64(),
         };
         let default_run = run_design(&spec, &exp, &cfg);
-        let serial = run_design_shard(&spec, &exp, &cfg, 0);
+        let serial = run_design_shard(&spec, &exp, &cfg, 0, &[]);
         assert_eq!(default_run.stats, serial.stats);
         assert_eq!(default_run.occupancy_by_level, serial.occupancy_by_level);
     }
@@ -661,6 +668,39 @@ mod tests {
         assert_eq!(serial.occupancy_by_level, parallel.occupancy_by_level);
         assert_eq!(serial.band_history, parallel.band_history);
         assert_eq!(serial.stats.walks, 2000);
+    }
+
+    #[test]
+    fn sharded_run_with_writes_is_worker_count_invariant() {
+        // CRUD mix over an even-keyed tree: inserts are genuine (odd
+        // keys), deletes hit resident keys, and every shard must replay
+        // its prefix writes to walk the same tree state a serial run
+        // sees — regardless of how many workers execute the shards.
+        use crate::request::OpKind;
+        let keys: Vec<Key> = (0..5000).map(|k| k * 2).collect();
+        let t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let requests: Vec<WalkRequest> = (0..2000)
+            .map(|i| {
+                let key = ((i * 37) % 5000) as Key * 2;
+                match i % 10 {
+                    0 => WalkRequest::lookup(key + 1).with_op(OpKind::Insert),
+                    1 => WalkRequest::lookup(key).with_op(OpKind::Delete),
+                    2 => WalkRequest::lookup(key).with_op(OpKind::Update),
+                    _ => WalkRequest::lookup(key),
+                }
+            })
+            .collect();
+        let exp = Experiment::single(&t, &requests);
+        let base = RunConfig::default().with_shard_walks(500);
+        let spec = DesignSpec::MetalIx {
+            ix: IxConfig::kb64(),
+        };
+        let serial = run_design(&spec, &exp, &base.clone().with_shards(1));
+        let parallel = run_design(&spec, &exp, &base.with_shards(4));
+        assert_eq!(serial.stats, parallel.stats);
+        assert_eq!(serial.occupancy_by_level, parallel.occupancy_by_level);
+        assert_eq!(serial.stats.write_walks, 600);
+        assert!(serial.stats.node_splits > 0, "inserts split leaves");
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   the no-eviction regime (CLOCK hands and ticks may persist, but
 //!   they only matter under eviction pressure);
 //! - occupancy never exceeds the configured entry budget, under any
-//!   randomized insert/probe/flush storm.
+//!   randomized insert/probe/flush storm;
+//! - `invalidate_range` must behave as if the covered inserts had
+//!   never happened (mutation coherence), and the split protocol
+//!   (invalidate the parent span, re-admit the halves) must converge
+//!   to the cache state where the pre-split node was never cached.
 
 use metal_core::range::KeyRange;
 use metal_core::{IxCache, IxConfig};
@@ -113,6 +117,113 @@ fn flush_restores_fresh_cache_behavior_without_eviction() {
         }
         assert_eq!(fresh, replay, "seed {seed}: flush left behavioral residue");
     }
+}
+
+#[test]
+fn probe_after_invalidate_equals_probe_on_fresh_cache() {
+    // The stream's insert ranges nest inside 1024-key slots, so every
+    // range is either fully inside the invalidated slot window or
+    // disjoint from it. Inside the window, probing after
+    // `invalidate_range` must equal probing a fresh cache that never
+    // saw the covered inserts (both miss). Outside the window exact
+    // equality is deliberately NOT required — whole-segment
+    // invalidation of a coalesced pack may shrink a survivor's span
+    // (safe over-invalidation) — but soundness is: any hit the
+    // invalidated cache serves must name the fresh cache's unique
+    // winner, and its tag must not reach into the wiped window.
+    let window = KeyRange::new(16 * 1024, 32 * 1024 - 1);
+    for seed in 0..10 {
+        let stream = ops(seed, 300);
+
+        let mut full = IxCache::new(ample());
+        for &(node, lo, width, level, bytes, _) in &stream {
+            full.insert(0, node, KeyRange::new(lo, lo + width), level, bytes, 0);
+        }
+        full.invalidate_range(0, None, window);
+
+        let mut fresh = IxCache::new(ample());
+        for &(node, lo, width, level, bytes, _) in &stream {
+            let r = KeyRange::new(lo, lo + width);
+            assert!(
+                window.contains(&r) || !window.overlaps(&r),
+                "seed {seed}: stream range {r:?} straddles the window"
+            );
+            if !window.overlaps(&r) {
+                fresh.insert(0, node, r, level, bytes, 0);
+            }
+        }
+
+        let (mut probed_inside, mut hit_outside) = (false, false);
+        for &(_, _, _, _, _, key) in &stream {
+            let a = full.probe(0, key).map(|h| (h.node, h.level, h.range));
+            let b = fresh.probe(0, key).map(|h| (h.node, h.level));
+            if window.covers(key) {
+                probed_inside = true;
+                assert_eq!(
+                    a.map(|x| (x.0, x.1)),
+                    b,
+                    "seed {seed}: probe({key}) in the affected range diverges \
+                     from the never-inserted cache"
+                );
+                assert!(a.is_none(), "seed {seed}: key {key} survived the wipe");
+            } else if let Some((node, level, range)) = a {
+                hit_outside = true;
+                assert_eq!(
+                    Some((node, level)),
+                    b,
+                    "seed {seed}: post-invalidation hit on {key} names a \
+                     different winner than the never-inserted cache"
+                );
+                assert!(
+                    !range.overlaps(&window),
+                    "seed {seed}: surviving tag {range:?} reaches into the \
+                     wiped window"
+                );
+            }
+        }
+        assert!(probed_inside, "seed {seed}: window was never exercised");
+        assert!(hit_outside, "seed {seed}: no surviving hits outside window");
+    }
+}
+
+#[test]
+fn split_and_readmission_equals_never_cached_parent_span() {
+    // The mutation protocol for a node split: the old `[lo, hi]` tag is
+    // invalidated, then the walk re-admits the two halves. The cache
+    // must end up indistinguishable from one that never saw the
+    // pre-split node — for every probe key in and around the span.
+    let cfg = ample();
+    let (lo, hi, mid) = (10_000u64, 10_999u64, 10_499u64);
+
+    let mut split = IxCache::new(cfg);
+    split.insert(0, 7, KeyRange::new(lo, hi), 0, 64, 0);
+    // Warm hits on the parent make the CLOCK/pin state as unfavorable
+    // as it gets for a clean invalidation.
+    for k in [lo, mid, hi] {
+        assert!(split.probe(0, k).is_some());
+    }
+    split.invalidate_range(0, Some(0), KeyRange::new(lo, hi));
+    split.insert(0, 8, KeyRange::new(lo, mid), 0, 64, 0);
+    split.insert(0, 9, KeyRange::new(mid + 1, hi), 0, 64, 0);
+
+    let mut never = IxCache::new(cfg);
+    never.insert(0, 8, KeyRange::new(lo, mid), 0, 64, 0);
+    never.insert(0, 9, KeyRange::new(mid + 1, hi), 0, 64, 0);
+
+    for key in (lo - 2)..=(hi + 2) {
+        let a = split.probe(0, key).map(|h| (h.node, h.level, h.range));
+        let b = never.probe(0, key).map(|h| (h.node, h.level, h.range));
+        assert_eq!(a, b, "probe({key}) remembers the pre-split parent");
+        if (lo..=hi).contains(&key) {
+            assert_eq!(
+                a.map(|x| x.0),
+                Some(if key <= mid { 8 } else { 9 }),
+                "probe({key}) must hit the correct half"
+            );
+        }
+    }
+    assert_eq!(split.occupancy(), never.occupancy());
+    assert_eq!(split.stats().invalidation_kills, 1);
 }
 
 #[test]

@@ -20,6 +20,9 @@ pub type NodeId = u32;
 pub struct Arena {
     base: Addr,
     cursor: u64,
+    /// Bytes jumped over by [`Arena::skip_to`] (foreign regions that are
+    /// not index footprint).
+    skipped: u64,
     /// (addr, bytes) per allocation, indexed by the order of allocation.
     placements: Vec<(Addr, u64)>,
 }
@@ -31,7 +34,20 @@ impl Arena {
         Arena {
             base: Addr::new(aligned),
             cursor: aligned,
+            skipped: 0,
             placements: Vec::new(),
+        }
+    }
+
+    /// Advances the cursor past a foreign region (e.g. a value heap laid
+    /// out after the index) so later allocations cannot alias it. The
+    /// jumped-over bytes do not count toward [`Arena::total_blocks`].
+    /// No-op when the cursor is already past `addr`.
+    pub fn skip_to(&mut self, addr: Addr) {
+        let aligned = addr.get().div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
+        if aligned > self.cursor {
+            self.skipped += aligned - self.cursor;
+            self.cursor = aligned;
         }
     }
 
@@ -79,9 +95,9 @@ impl Arena {
         Addr::new(self.cursor)
     }
 
-    /// Total footprint in 64 B blocks.
+    /// Total footprint in 64 B blocks (skipped foreign regions excluded).
     pub fn total_blocks(&self) -> u64 {
-        (self.cursor - self.base.get()) / BLOCK_BYTES
+        (self.cursor - self.base.get() - self.skipped) / BLOCK_BYTES
     }
 }
 
@@ -131,6 +147,20 @@ mod tests {
         }
         let b = Arena::new(a.end());
         assert!(b.base().get() >= a.end().get());
+    }
+
+    #[test]
+    fn skip_to_reserves_without_counting_footprint() {
+        let mut a = Arena::new(Addr::new(0));
+        a.alloc(64);
+        a.skip_to(Addr::new(1000)); // aligns up to 1024
+        let n = a.alloc(64);
+        assert_eq!(a.addr(n), Addr::new(1024));
+        assert_eq!(a.total_blocks(), 2, "skipped bytes are not footprint");
+        // Skipping backwards is a no-op.
+        a.skip_to(Addr::new(0));
+        let m = a.alloc(64);
+        assert_eq!(a.addr(m), Addr::new(1088));
     }
 
     #[test]

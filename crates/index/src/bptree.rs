@@ -20,6 +20,7 @@
 
 use crate::arena::{Arena, NodeId};
 use crate::walk::{Descend, NodeInfo, WalkIndex};
+use metal_sim::obs::MutKind;
 use metal_sim::types::{Addr, Key};
 
 /// Per-node byte-size model: header + keys + pointers (8 B each).
@@ -34,8 +35,10 @@ enum NodeKind {
     },
     Leaf {
         keys: Vec<Key>,
-        /// Rank of `keys[0]` in the whole key set (locates the record).
-        start_rank: u64,
+        /// `ranks[i]` locates `keys[i]`'s record: ranks are append-only
+        /// (an inserted key gets the next fresh rank; deleted ranks are
+        /// never reused), so record addresses stay stable under mutation.
+        ranks: Vec<u64>,
         /// Next leaf to the right, for range scans.
         next: Option<NodeId>,
     },
@@ -48,6 +51,72 @@ struct Node {
     lo: Key,
     hi: Key,
     slot: usize,
+    /// True once the node was merged away; dead nodes are unreachable
+    /// from the root (and their cached tags are invalidated), they only
+    /// remain in the vec because node ids are positional.
+    dead: bool,
+}
+
+/// The key span a structural mutation staled: cached `[Lo, Hi]` tags at
+/// this level overlapping the span may route around the restructured
+/// nodes and must be invalidated.
+///
+/// A structural op at level `L` re-fences its span at **every** level
+/// `0..=L`, not just `L`: `rebuild_seps` derives separators from the
+/// children's *current* bounds, and bounds silently shrink on boundary
+/// deletes (which alone change no routing and stale nothing). When a
+/// later split/merge/rebalance rebuilds the fences, keys in the
+/// abandoned margin re-route to a sibling subtree — so a tag cached at
+/// any deeper level inside the span may now claim keys that route
+/// elsewhere. The report therefore carries one span per affected level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleSpan {
+    /// An affected level (the restructured node's level and, for the
+    /// fence-abandonment hazard above, every level below it).
+    pub level: u8,
+    /// Low key of the pre-mutation span.
+    pub lo: Key,
+    /// High key of the pre-mutation span (inclusive).
+    pub hi: Key,
+    /// Which structural mutation produced it.
+    pub op: MutKind,
+}
+
+/// What one insert/delete did to the tree: the stale spans a coherent
+/// cache must invalidate, plus write-back traffic for the DRAM model.
+///
+/// Pure bound changes report nothing: a tag that under-covers after an
+/// extension just misses (correct), and a tag wider than a shrunken node
+/// still descends to the right place — only splits, merges and sibling
+/// rebalances move keys between nodes and can strand a short-circuit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationReport {
+    /// False when the op was a no-op (inserting a present key, deleting
+    /// an absent one); no other field is meaningful then.
+    pub applied: bool,
+    /// Node splits performed (a root split counts once).
+    pub splits: u32,
+    /// Node merges performed.
+    pub merges: u32,
+    /// Sibling rebalances (borrows) performed.
+    pub rebalances: u32,
+    /// Stale spans, deepest level first (mutations cascade upward).
+    pub stale: Vec<StaleSpan>,
+    /// `(addr, bytes)` of every node/record written back.
+    pub writes: Vec<(Addr, u64)>,
+}
+
+/// Records `[lo, hi]` as stale at `level` and every level below it —
+/// see [`StaleSpan`] for why a restructure re-fences its whole subtree.
+fn push_stale(report: &mut MutationReport, level: u8, lo: Key, hi: Key, op: MutKind) {
+    for l in (0..=level).rev() {
+        report.stale.push(StaleSpan {
+            level: l,
+            lo,
+            hi,
+            op,
+        });
+    }
 }
 
 /// A bulk-loaded B+tree with simulated physical placement.
@@ -60,6 +129,19 @@ pub struct BPlusTree {
     data_base: Addr,
     record_bytes: u64,
     n_keys: u64,
+    /// Keys per leaf at bulk load; the overflow threshold for mutation.
+    leaf_cap: usize,
+    /// Children per interior node at bulk load; overflow threshold.
+    fanout: usize,
+    /// Next fresh record rank (append-only value heap).
+    next_rank: u64,
+    /// One past the reserved value heap; mutation-allocated nodes are
+    /// placed beyond it so they never alias data records.
+    value_heap_end: u64,
+    /// Whether the arena cursor has been advanced past the value heap
+    /// (deferred to the first mutation so read-only trees keep their
+    /// exact bulk-load footprint).
+    mut_ready: bool,
 }
 
 impl BPlusTree {
@@ -113,13 +195,14 @@ impl BPlusTree {
             nodes.push(Node {
                 kind: NodeKind::Leaf {
                     keys: chunk.to_vec(),
-                    start_rank: rank,
+                    ranks: (rank..rank + chunk.len() as u64).collect(),
                     next: None,
                 },
                 level: 0,
                 lo: chunk[0],
                 hi: *chunk.last().expect("chunks are non-empty"),
                 slot,
+                dead: false,
             });
             rank += chunk.len() as u64;
             level_ids.push(id);
@@ -153,6 +236,7 @@ impl BPlusTree {
                     lo,
                     hi,
                     slot,
+                    dead: false,
                 });
                 upper.push(id);
             }
@@ -162,6 +246,9 @@ impl BPlusTree {
         let root = level_ids[0];
         let depth = level + 1;
         let data_base = arena.end();
+        // Reserve value-heap headroom for twice the bulk-loaded key count
+        // (append-only ranks): mutation-allocated nodes go beyond it.
+        let value_heap_end = data_base.get() + 2 * keys.len() as u64 * record_bytes.max(1);
         BPlusTree {
             nodes,
             root,
@@ -170,6 +257,11 @@ impl BPlusTree {
             data_base,
             record_bytes,
             n_keys: keys.len() as u64,
+            leaf_cap: leaf_keys,
+            fanout,
+            next_rank: keys.len() as u64,
+            value_heap_end,
+            mut_ready: false,
         }
     }
 
@@ -316,11 +408,472 @@ impl BPlusTree {
         out
     }
 
-    /// Ids of all nodes at `level` (diagnostics / occupancy plots).
+    /// Ids of all live nodes at `level` (diagnostics / occupancy plots).
     pub fn nodes_at_level(&self, level: u8) -> Vec<NodeId> {
         (0..self.nodes.len() as NodeId)
-            .filter(|&id| self.nodes[id as usize].level == level)
+            .filter(|&id| {
+                let n = &self.nodes[id as usize];
+                n.level == level && !n.dead
+            })
             .collect()
+    }
+
+    /// Inserts `key`, splitting overflowing nodes up the walk path (a
+    /// root split grows the tree by one level). Inserting a present key
+    /// is a no-op (`applied == false`). The report lists every stale
+    /// span a coherent IX-cache must invalidate.
+    pub fn insert_key(&mut self, key: Key) -> MutationReport {
+        let mut report = MutationReport::default();
+        let path = self.path_to_leaf(key);
+        let leaf = *path.last().expect("path ends at a leaf");
+        {
+            let NodeKind::Leaf { keys, ranks, .. } = &mut self.nodes[leaf as usize].kind else {
+                unreachable!("path ends at a leaf");
+            };
+            let Err(pos) = keys.binary_search(&key) else {
+                return report;
+            };
+            keys.insert(pos, key);
+            ranks.insert(pos, self.next_rank);
+        }
+        report.applied = true;
+        report.writes.push(self.node_write(leaf));
+        // The new record itself (append-only value heap).
+        report.writes.push((
+            Addr::new(self.data_base.get() + self.next_rank * self.record_bytes),
+            self.record_bytes.max(1),
+        ));
+        self.next_rank += 1;
+        self.n_keys += 1;
+
+        // Ascend the path: split overflowing nodes, refresh bounds.
+        for pos in (0..path.len()).rev() {
+            let id = path[pos];
+            let over = match &self.nodes[id as usize].kind {
+                NodeKind::Leaf { keys, .. } => keys.len() > self.leaf_cap,
+                NodeKind::Interior { children, .. } => children.len() > self.fanout,
+            };
+            if !over {
+                self.refresh_bounds(id);
+                continue;
+            }
+            let (old_lo, old_hi, level) = {
+                let n = &self.nodes[id as usize];
+                (n.lo, n.hi, n.level)
+            };
+            let sib = self.split_node(id);
+            report.splits += 1;
+            push_stale(&mut report, level, old_lo, old_hi, MutKind::Split);
+            report.writes.push(self.node_write(id));
+            report.writes.push(self.node_write(sib));
+            let sib_lo = self.nodes[sib as usize].lo;
+            if pos == 0 {
+                // The root itself split: grow a new root above it.
+                let bytes = NODE_HEADER_BYTES + 8 + 2 * 8;
+                let slot = self.arena.alloc(bytes);
+                let rid = self.nodes.len() as NodeId;
+                let lo = self.nodes[id as usize].lo;
+                let hi = self.nodes[sib as usize].hi;
+                self.nodes.push(Node {
+                    kind: NodeKind::Interior {
+                        seps: vec![sib_lo],
+                        children: vec![id, sib],
+                    },
+                    level: level + 1,
+                    lo,
+                    hi,
+                    slot,
+                    dead: false,
+                });
+                self.root = rid;
+                self.depth += 1;
+                report.writes.push(self.node_write(rid));
+            } else {
+                let parent = path[pos - 1];
+                let NodeKind::Interior { seps, children } = &mut self.nodes[parent as usize].kind
+                else {
+                    unreachable!("parents are interior");
+                };
+                let cpos = children
+                    .iter()
+                    .position(|&c| c == id)
+                    .expect("parent lists its child");
+                children.insert(cpos + 1, sib);
+                seps.insert(cpos, sib_lo);
+                report.writes.push(self.node_write(parent));
+            }
+        }
+        report
+    }
+
+    /// Deletes `key`, rebalancing or merging underflowing nodes up the
+    /// walk path. Deleting an absent key is a no-op (`applied ==
+    /// false`). The root is exempt from underflow: depth never shrinks,
+    /// and a root leaf may end up empty (its span collapses so it covers
+    /// nothing).
+    pub fn delete_key(&mut self, key: Key) -> MutationReport {
+        let mut report = MutationReport::default();
+        let path = self.path_to_leaf(key);
+        let leaf = *path.last().expect("path ends at a leaf");
+        {
+            let NodeKind::Leaf { keys, ranks, .. } = &mut self.nodes[leaf as usize].kind else {
+                unreachable!("path ends at a leaf");
+            };
+            let Ok(pos) = keys.binary_search(&key) else {
+                return report;
+            };
+            keys.remove(pos);
+            ranks.remove(pos);
+        }
+        self.n_keys -= 1;
+        report.applied = true;
+        report.writes.push(self.node_write(leaf));
+
+        let min_leaf = (self.leaf_cap / 2).max(1);
+        let min_children = (self.fanout / 2).max(2);
+        // Ascend the path (root exempt): fix underflow, refresh bounds.
+        for pos in (1..path.len()).rev() {
+            let id = path[pos];
+            let under = match &self.nodes[id as usize].kind {
+                NodeKind::Leaf { keys, .. } => keys.len() < min_leaf,
+                NodeKind::Interior { children, .. } => children.len() < min_children,
+            };
+            if !under {
+                self.refresh_bounds(id);
+                continue;
+            }
+            self.rebalance_or_merge(path[pos - 1], id, &mut report);
+        }
+        self.refresh_bounds(path[0]);
+        report
+    }
+
+    /// Lazily reserves the value heap before the first mutation
+    /// allocates a node, so split nodes never alias data records.
+    /// Read-only trees never pay for this (exact bulk-load footprint).
+    fn ensure_mut_region(&mut self) {
+        if !self.mut_ready {
+            self.arena.skip_to(Addr::new(self.value_heap_end));
+            self.mut_ready = true;
+        }
+    }
+
+    fn path_to_leaf(&self, key: Key) -> Vec<NodeId> {
+        let mut path = vec![self.root];
+        loop {
+            let id = *path.last().expect("path starts at the root");
+            match &self.nodes[id as usize].kind {
+                NodeKind::Interior { seps, children } => {
+                    let idx = seps.partition_point(|&s| s <= key);
+                    path.push(children[idx]);
+                }
+                NodeKind::Leaf { .. } => return path,
+            }
+        }
+    }
+
+    fn node_write(&self, id: NodeId) -> (Addr, u64) {
+        let slot = self.nodes[id as usize].slot;
+        (self.arena.addr(slot), self.arena.bytes(slot))
+    }
+
+    /// Recomputes `[lo, hi]` from current contents. An empty (root) leaf
+    /// collapses to a single-key span at its old low bound, which a walk
+    /// resolves as not-found.
+    fn refresh_bounds(&mut self, id: NodeId) {
+        let (lo, hi) = match &self.nodes[id as usize].kind {
+            NodeKind::Leaf { keys, .. } => match (keys.first(), keys.last()) {
+                (Some(&lo), Some(&hi)) => (lo, hi),
+                _ => {
+                    let n = &self.nodes[id as usize];
+                    (n.lo, n.lo)
+                }
+            },
+            NodeKind::Interior { children, .. } => {
+                let first = children[0] as usize;
+                let last = *children.last().expect("interior keeps a child") as usize;
+                (self.nodes[first].lo, self.nodes[last].hi)
+            }
+        };
+        let n = &mut self.nodes[id as usize];
+        n.lo = lo;
+        n.hi = hi;
+    }
+
+    /// Rebuilds an interior node's separators from its children's low
+    /// bounds (no-op for leaves).
+    fn rebuild_seps(&mut self, id: NodeId) {
+        let seps: Vec<Key> = {
+            let NodeKind::Interior { children, .. } = &self.nodes[id as usize].kind else {
+                return;
+            };
+            children[1..]
+                .iter()
+                .map(|&c| self.nodes[c as usize].lo)
+                .collect()
+        };
+        if let NodeKind::Interior { seps: s, .. } = &mut self.nodes[id as usize].kind {
+            *s = seps;
+        }
+    }
+
+    /// Splits overflowing node `id` in half, returning the new right
+    /// sibling (allocated past the value heap).
+    fn split_node(&mut self, id: NodeId) -> NodeId {
+        self.ensure_mut_region();
+        let level = self.nodes[id as usize].level;
+        let rid = self.nodes.len() as NodeId;
+        enum Half {
+            Leaf {
+                keys: Vec<Key>,
+                ranks: Vec<u64>,
+                next: Option<NodeId>,
+            },
+            Interior {
+                children: Vec<NodeId>,
+            },
+        }
+        let half = match &mut self.nodes[id as usize].kind {
+            NodeKind::Leaf { keys, ranks, next } => {
+                let at = keys.len() / 2;
+                let h = Half::Leaf {
+                    keys: keys.split_off(at),
+                    ranks: ranks.split_off(at),
+                    next: *next,
+                };
+                *next = Some(rid);
+                h
+            }
+            NodeKind::Interior { children, .. } => {
+                let at = children.len() / 2;
+                Half::Interior {
+                    children: children.split_off(at),
+                }
+            }
+        };
+        match half {
+            Half::Leaf { keys, ranks, next } => {
+                let bytes = NODE_HEADER_BYTES + keys.len() as u64 * 16;
+                let slot = self.arena.alloc(bytes);
+                let (lo, hi) = (keys[0], *keys.last().expect("split halves are non-empty"));
+                self.nodes.push(Node {
+                    kind: NodeKind::Leaf { keys, ranks, next },
+                    level,
+                    lo,
+                    hi,
+                    slot,
+                    dead: false,
+                });
+            }
+            Half::Interior { children } => {
+                let seps: Vec<Key> = children[1..]
+                    .iter()
+                    .map(|&c| self.nodes[c as usize].lo)
+                    .collect();
+                let bytes = NODE_HEADER_BYTES + seps.len() as u64 * 8 + children.len() as u64 * 8;
+                let slot = self.arena.alloc(bytes);
+                let lo = self.nodes[children[0] as usize].lo;
+                let hi = self.nodes[*children.last().expect("non-empty") as usize].hi;
+                self.nodes.push(Node {
+                    kind: NodeKind::Interior { seps, children },
+                    level,
+                    lo,
+                    hi,
+                    slot,
+                    dead: false,
+                });
+            }
+        }
+        self.rebuild_seps(id);
+        self.refresh_bounds(id);
+        rid
+    }
+
+    /// Whether folding `r` into `l` stays within node capacity.
+    fn can_merge(&self, l: NodeId, r: NodeId) -> bool {
+        match (&self.nodes[l as usize].kind, &self.nodes[r as usize].kind) {
+            (NodeKind::Leaf { keys: a, .. }, NodeKind::Leaf { keys: b, .. }) => {
+                a.len() + b.len() <= self.leaf_cap
+            }
+            (NodeKind::Interior { children: a, .. }, NodeKind::Interior { children: b, .. }) => {
+                a.len() + b.len() <= self.fanout
+            }
+            _ => false,
+        }
+    }
+
+    /// Fixes underflowing `id`: borrow from an adjacent sibling with
+    /// surplus, else merge with one (a node left underfull when neither
+    /// applies — e.g. an only child — still routes correctly).
+    fn rebalance_or_merge(&mut self, parent: NodeId, id: NodeId, report: &mut MutationReport) {
+        let (cpos, left, right) = {
+            let NodeKind::Interior { children, .. } = &self.nodes[parent as usize].kind else {
+                unreachable!("parents are interior");
+            };
+            let cpos = children
+                .iter()
+                .position(|&c| c == id)
+                .expect("parent lists its child");
+            (
+                cpos,
+                (cpos > 0).then(|| children[cpos - 1]),
+                children.get(cpos + 1).copied(),
+            )
+        };
+        let surplus = |t: &Self, n: NodeId| match &t.nodes[n as usize].kind {
+            NodeKind::Leaf { keys, .. } => keys.len() > (t.leaf_cap / 2).max(1),
+            NodeKind::Interior { children, .. } => children.len() > (t.fanout / 2).max(2),
+        };
+        let level = self.nodes[id as usize].level;
+        if let Some(l) = left.filter(|&l| surplus(self, l)) {
+            let (lo, hi) = (self.nodes[l as usize].lo, self.nodes[id as usize].hi);
+            self.borrow_from_left(parent, cpos, l, id);
+            report.rebalances += 1;
+            push_stale(report, level, lo, hi, MutKind::Rebalance);
+            report.writes.push(self.node_write(l));
+            report.writes.push(self.node_write(id));
+            report.writes.push(self.node_write(parent));
+        } else if let Some(r) = right.filter(|&r| surplus(self, r)) {
+            let (lo, hi) = (self.nodes[id as usize].lo, self.nodes[r as usize].hi);
+            self.borrow_from_right(parent, cpos, id, r);
+            report.rebalances += 1;
+            push_stale(report, level, lo, hi, MutKind::Rebalance);
+            report.writes.push(self.node_write(id));
+            report.writes.push(self.node_write(r));
+            report.writes.push(self.node_write(parent));
+        } else if let Some(l) = left.filter(|&l| self.can_merge(l, id)) {
+            let (lo, hi) = (self.nodes[l as usize].lo, self.nodes[id as usize].hi);
+            self.merge_into_left(parent, cpos - 1, l, id);
+            report.merges += 1;
+            push_stale(report, level, lo, hi, MutKind::Merge);
+            report.writes.push(self.node_write(l));
+            report.writes.push(self.node_write(parent));
+        } else if let Some(r) = right.filter(|&r| self.can_merge(id, r)) {
+            let (lo, hi) = (self.nodes[id as usize].lo, self.nodes[r as usize].hi);
+            self.merge_into_left(parent, cpos, id, r);
+            report.merges += 1;
+            push_stale(report, level, lo, hi, MutKind::Merge);
+            report.writes.push(self.node_write(id));
+            report.writes.push(self.node_write(parent));
+        }
+    }
+
+    /// Moves the last key/child of `l` to the front of `id` (`l` is the
+    /// left sibling at child position `cpos - 1`).
+    fn borrow_from_left(&mut self, parent: NodeId, cpos: usize, l: NodeId, id: NodeId) {
+        enum Moved {
+            Key(Key, u64),
+            Child(NodeId),
+        }
+        let moved = match &mut self.nodes[l as usize].kind {
+            NodeKind::Leaf { keys, ranks, .. } => Moved::Key(
+                keys.pop().expect("surplus leaf has keys"),
+                ranks.pop().expect("ranks track keys"),
+            ),
+            NodeKind::Interior { seps, children } => {
+                seps.pop();
+                Moved::Child(children.pop().expect("surplus interior has children"))
+            }
+        };
+        match moved {
+            Moved::Key(k, r) => {
+                if let NodeKind::Leaf { keys, ranks, .. } = &mut self.nodes[id as usize].kind {
+                    keys.insert(0, k);
+                    ranks.insert(0, r);
+                }
+            }
+            Moved::Child(c) => {
+                if let NodeKind::Interior { children, .. } = &mut self.nodes[id as usize].kind {
+                    children.insert(0, c);
+                }
+            }
+        }
+        self.rebuild_seps(id);
+        self.refresh_bounds(l);
+        self.refresh_bounds(id);
+        let new_lo = self.nodes[id as usize].lo;
+        if let NodeKind::Interior { seps, .. } = &mut self.nodes[parent as usize].kind {
+            seps[cpos - 1] = new_lo;
+        }
+    }
+
+    /// Moves the first key/child of `r` to the end of `id` (`r` is the
+    /// right sibling at child position `cpos + 1`).
+    fn borrow_from_right(&mut self, parent: NodeId, cpos: usize, id: NodeId, r: NodeId) {
+        enum Moved {
+            Key(Key, u64),
+            Child(NodeId),
+        }
+        let moved = match &mut self.nodes[r as usize].kind {
+            NodeKind::Leaf { keys, ranks, .. } => Moved::Key(keys.remove(0), ranks.remove(0)),
+            NodeKind::Interior { seps, children } => {
+                if !seps.is_empty() {
+                    seps.remove(0);
+                }
+                Moved::Child(children.remove(0))
+            }
+        };
+        match moved {
+            Moved::Key(k, rk) => {
+                if let NodeKind::Leaf { keys, ranks, .. } = &mut self.nodes[id as usize].kind {
+                    keys.push(k);
+                    ranks.push(rk);
+                }
+            }
+            Moved::Child(c) => {
+                if let NodeKind::Interior { children, .. } = &mut self.nodes[id as usize].kind {
+                    children.push(c);
+                }
+            }
+        }
+        self.rebuild_seps(id);
+        self.rebuild_seps(r);
+        self.refresh_bounds(id);
+        self.refresh_bounds(r);
+        let new_lo = self.nodes[r as usize].lo;
+        if let NodeKind::Interior { seps, .. } = &mut self.nodes[parent as usize].kind {
+            seps[cpos] = new_lo;
+        }
+    }
+
+    /// Folds `r` into its left sibling `l` and drops `r` from `parent`
+    /// (`sep_idx` is the separator between them; the removed child sits
+    /// at `sep_idx + 1`). `r` becomes a dead node.
+    fn merge_into_left(&mut self, parent: NodeId, sep_idx: usize, l: NodeId, r: NodeId) {
+        enum Contents {
+            Leaf(Vec<Key>, Vec<u64>, Option<NodeId>),
+            Interior(Vec<NodeId>),
+        }
+        let contents = match &mut self.nodes[r as usize].kind {
+            NodeKind::Leaf { keys, ranks, next } => {
+                Contents::Leaf(std::mem::take(keys), std::mem::take(ranks), next.take())
+            }
+            NodeKind::Interior { seps, children } => {
+                seps.clear();
+                Contents::Interior(std::mem::take(children))
+            }
+        };
+        self.nodes[r as usize].dead = true;
+        match contents {
+            Contents::Leaf(k, rk, nxt) => {
+                if let NodeKind::Leaf { keys, ranks, next } = &mut self.nodes[l as usize].kind {
+                    keys.extend(k);
+                    ranks.extend(rk);
+                    *next = nxt;
+                }
+            }
+            Contents::Interior(cs) => {
+                if let NodeKind::Interior { children, .. } = &mut self.nodes[l as usize].kind {
+                    children.extend(cs);
+                }
+            }
+        }
+        self.rebuild_seps(l);
+        self.refresh_bounds(l);
+        if let NodeKind::Interior { seps, children } = &mut self.nodes[parent as usize].kind {
+            seps.remove(sep_idx);
+            children.remove(sep_idx + 1);
+        }
     }
 }
 
@@ -351,14 +904,10 @@ impl WalkIndex for BPlusTree {
                 let idx = seps.partition_point(|&s| s <= key);
                 Descend::Child(children[idx])
             }
-            NodeKind::Leaf {
-                keys, start_rank, ..
-            } => match keys.binary_search(&key) {
+            NodeKind::Leaf { keys, ranks, .. } => match keys.binary_search(&key) {
                 Ok(pos) => Descend::Leaf {
                     found: true,
-                    value_addr: Addr::new(
-                        self.data_base.get() + (start_rank + pos as u64) * self.record_bytes,
-                    ),
+                    value_addr: Addr::new(self.data_base.get() + ranks[pos] * self.record_bytes),
                     value_bytes: self.record_bytes,
                 },
                 Err(_) => Descend::Leaf {
@@ -384,6 +933,10 @@ impl WalkIndex for BPlusTree {
 
     fn next_leaf(&self, leaf: NodeId) -> Option<NodeId> {
         BPlusTree::next_leaf(self, leaf)
+    }
+
+    fn as_bptree(&self) -> Option<&BPlusTree> {
+        Some(self)
     }
 }
 
@@ -534,6 +1087,212 @@ mod tests {
         assert_eq!(total, t.node_count());
         assert_eq!(t.nodes_at_level(t.depth() - 1).len(), 1, "one root");
         assert_eq!(t.nodes_at_level(0).len(), 250, "1000 keys / 4 per leaf");
+    }
+
+    /// Structural invariant sweep: reachable bounds nest, seps route,
+    /// leaf chain yields exactly the key set in order.
+    fn check_tree(t: &BPlusTree, want: &std::collections::BTreeSet<Key>) {
+        assert_eq!(t.len(), want.len() as u64);
+        for &k in want {
+            assert!(t.contains(k), "key {k} must be found");
+        }
+        // Leaf chain covers everything in order, skipping dead nodes.
+        let mut chain = Vec::new();
+        if let Some(&first) = want.iter().next() {
+            let mut leaf = Some(t.leaf_for(first));
+            while let Some(l) = leaf {
+                chain.extend_from_slice(t.leaf_keys(l));
+                leaf = t.next_leaf(l);
+            }
+            let want_vec: Vec<Key> = want.iter().copied().collect();
+            assert_eq!(chain, want_vec, "leaf chain yields all keys in order");
+        }
+        // Every walk descends one level at a time through nested bounds.
+        for &k in want.iter().take(64) {
+            let mut prev: Option<NodeInfo> = None;
+            t.walk(k, |_, info| {
+                assert!(info.covers(k), "walked node must cover its key");
+                if let Some(p) = prev {
+                    assert_eq!(p.level, info.level + 1);
+                    assert!(p.lo <= info.lo && info.hi <= p.hi, "child range nests");
+                }
+                prev = Some(*info);
+            });
+        }
+    }
+
+    #[test]
+    fn insert_delete_storm_matches_reference_set() {
+        use std::collections::BTreeSet;
+        let keys: Vec<Key> = (0..400).map(|i| i * 2).collect();
+        let mut t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let mut want: BTreeSet<Key> = keys.iter().copied().collect();
+        let mut state = 0xdeadbeefu64;
+        let mut step = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..2000 {
+            let r = step();
+            let k = step() % 1000;
+            if r % 3 == 0 {
+                let rep = t.insert_key(k);
+                assert_eq!(rep.applied, want.insert(k), "insert {k}");
+            } else {
+                let rep = t.delete_key(k);
+                assert_eq!(rep.applied, want.remove(&k), "delete {k}");
+            }
+        }
+        check_tree(&t, &want);
+    }
+
+    #[test]
+    fn leaf_split_reports_pre_split_span() {
+        let t0 = BPlusTree::bulk_load(&[0, 10, 20, 30], 4, Addr::new(0), 16);
+        let mut t = t0.clone();
+        // One leaf at capacity: the insert must split it and report the
+        // old span [0, 30] as stale at level 0.
+        let rep = t.insert_key(15);
+        assert!(rep.applied);
+        assert_eq!(rep.splits, 1);
+        let stale = rep.stale.first().expect("split reports a stale span");
+        assert_eq!((stale.level, stale.lo, stale.hi), (0, 0, 30));
+        assert_eq!(stale.op, MutKind::Split);
+        // Root split: depth grew.
+        assert_eq!(t.depth(), t0.depth() + 1);
+        check_tree(&t, &[0, 10, 15, 20, 30].into_iter().collect());
+    }
+
+    #[test]
+    fn merge_reports_union_span() {
+        let keys: Vec<Key> = (0..16).collect();
+        let mut t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        // Drain one leaf below min occupancy to force a merge/rebalance.
+        let mut saw_structural = false;
+        let mut want: std::collections::BTreeSet<Key> = keys.iter().copied().collect();
+        for k in 0..8 {
+            let rep = t.delete_key(k);
+            want.remove(&k);
+            for s in &rep.stale {
+                saw_structural = true;
+                assert!(s.lo <= s.hi);
+            }
+            // One span per structural op per affected level (each op at
+            // level L re-fences levels 0..=L, so it emits L+1 spans).
+            let ops = rep.merges + rep.rebalances + rep.splits;
+            assert!(rep.stale.len() as u32 >= ops);
+            if ops == 0 {
+                assert!(rep.stale.is_empty());
+            }
+        }
+        assert!(saw_structural, "draining half the keys must restructure");
+        check_tree(&t, &want);
+    }
+
+    #[test]
+    fn interior_restructure_stales_all_deeper_levels() {
+        // Regression for the fence-abandonment hazard: boundary deletes
+        // shrink node bounds without changing routing, and a later
+        // structural op at level L rebuilds separators from the current
+        // bounds — re-routing keys cached under level-0 tags. Every
+        // structural op must therefore stale its span at levels 0..=L.
+        let keys: Vec<Key> = (0..200).collect();
+        let mut t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16);
+        let mut saw_interior = false;
+        for k in 200..400 {
+            let rep = t.insert_key(k);
+            for s in rep.stale.iter().filter(|s| s.level > 0) {
+                saw_interior = true;
+                for below in 0..s.level {
+                    assert!(
+                        rep.stale
+                            .iter()
+                            .any(|d| d.level == below && (d.lo, d.hi, d.op) == (s.lo, s.hi, s.op)),
+                        "level-{} span [{}, {}] not re-staled at level {below}",
+                        s.level,
+                        s.lo,
+                        s.hi
+                    );
+                }
+            }
+        }
+        assert!(saw_interior, "appends must cascade splits past the leaves");
+    }
+
+    #[test]
+    fn mutated_nodes_never_alias_the_value_heap() {
+        let keys: Vec<Key> = (0..100).map(|i| i * 3).collect();
+        let mut t = BPlusTree::bulk_load(&keys, 4, Addr::new(0), 32);
+        let heap_lo = t.data_base().get();
+        let heap_hi = heap_lo + 2 * 100 * 32;
+        for k in 0..150 {
+            t.insert_key(k * 3 + 1);
+        }
+        for id in 0..t.node_count() as NodeId {
+            let info = t.node(id);
+            let a = info.addr.get();
+            assert!(
+                a + info.bytes <= heap_lo || a >= heap_hi,
+                "node {id} at {a} overlaps the value heap"
+            );
+        }
+    }
+
+    #[test]
+    fn inserted_records_get_distinct_stable_addresses() {
+        let mut t = BPlusTree::bulk_load(&seq(50), 4, Addr::new(0), 16);
+        for k in 50..120 {
+            t.insert_key(k);
+        }
+        let mut addrs = Vec::new();
+        for k in 0..120 {
+            if let Descend::Leaf {
+                found, value_addr, ..
+            } = t.walk(k, |_, _| {})
+            {
+                assert!(found, "key {k}");
+                addrs.push(value_addr);
+            }
+        }
+        let before = addrs.clone();
+        // Deleting unrelated keys must not move surviving records.
+        t.delete_key(0);
+        t.delete_key(64);
+        for (k, &want) in (0..120).zip(&before) {
+            if k == 0 || k == 64 {
+                continue;
+            }
+            if let Descend::Leaf { value_addr, .. } = t.walk(k, |_, _| {}) {
+                assert_eq!(value_addr, want, "record for {k} moved");
+            }
+        }
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 120, "each record has a distinct address");
+    }
+
+    #[test]
+    fn noop_mutations_report_nothing() {
+        let mut t = BPlusTree::bulk_load(&seq(20), 4, Addr::new(0), 16);
+        let rep = t.insert_key(5);
+        assert!(!rep.applied && rep.stale.is_empty() && rep.writes.is_empty());
+        let rep = t.delete_key(999);
+        assert!(!rep.applied && rep.stale.is_empty() && rep.writes.is_empty());
+        assert_eq!(t.len(), 20);
+    }
+
+    #[test]
+    fn delete_to_empty_root_leaf_is_safe() {
+        let mut t = BPlusTree::bulk_load(&[7, 9], 4, Addr::new(0), 16);
+        t.delete_key(7);
+        t.delete_key(9);
+        assert_eq!(t.len(), 0);
+        assert!(!t.contains(7) && !t.contains(9));
+        let rep = t.insert_key(8);
+        assert!(rep.applied);
+        assert!(t.contains(8));
     }
 
     #[test]

@@ -91,6 +91,14 @@ pub trait WalkIndex {
         None
     }
 
+    /// Downcast hook for the mutation path: indexes backed by a
+    /// [`crate::bptree::BPlusTree`] return it so write workloads can
+    /// clone and mutate the tree; all other indexes return `None` (write
+    /// requests against them degrade to plain lookups).
+    fn as_bptree(&self) -> Option<&crate::bptree::BPlusTree> {
+        None
+    }
+
     /// The `(address, bytes)` a walk actually fetches when it visits node
     /// `id` searching for `key`. Defaults to the whole node (tree nodes
     /// are searched in full); array-indexed nodes such as hash-bucket

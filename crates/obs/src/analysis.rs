@@ -137,6 +137,7 @@ impl DesignAnalysis {
             ("filled".into(), Json::UInt(self.ledger.filled)),
             ("coalesced".into(), Json::UInt(self.ledger.coalesced)),
             ("evicted".into(), Json::UInt(self.ledger.evicted)),
+            ("invalidated".into(), Json::UInt(self.ledger.invalidated)),
             ("resident".into(), Json::UInt(self.ledger.resident)),
             (
                 "zero_hit_evictions".into(),
@@ -287,6 +288,16 @@ impl StreamAnalyzer {
         self.regret.evict(index, span.0, span.1, entry, for_entry);
     }
 
+    fn invalidate(&mut self, at: u64, index: u8, set: u32, entry: u64, killed: bool) {
+        // Partial invalidations shrink an entry in place: no retirement,
+        // no occupancy change.
+        if killed {
+            *self.occupancy_by_set.entry((index, set)).or_insert(0) -= 1;
+            self.ledger.invalidate(at, entry);
+            self.regret.invalidate(entry);
+        }
+    }
+
     fn dram_fetch(&mut self, addr: u64) {
         let block = addr / BLOCK_BYTES;
         self.reuse.observe(block);
@@ -327,6 +338,13 @@ impl StreamAnalyzer {
                 for_entry,
                 ..
             } => self.evict(at, index, set, entry, (lo, hi), for_entry),
+            Event::Invalidate {
+                index,
+                set,
+                entry,
+                killed,
+                ..
+            } => self.invalidate(at, index, set, entry, killed),
             Event::DramFetch { addr, .. } => self.dram_fetch(addr),
             Event::TunerDecision {
                 index,
@@ -342,7 +360,10 @@ impl StreamAnalyzer {
                 from,
                 to,
             }),
-            Event::WalkStart { .. } | Event::WalkEnd { .. } | Event::Bypass { .. } => {}
+            Event::WalkStart { .. }
+            | Event::WalkEnd { .. }
+            | Event::Bypass { .. }
+            | Event::Split { .. } => {}
         }
     }
 
@@ -385,6 +406,13 @@ impl StreamAnalyzer {
                 u("entry"),
                 (u("lo"), u("hi")),
                 u("for_entry"),
+            ),
+            "invalidate" => self.invalidate(
+                at,
+                u("index") as u8,
+                u("set") as u32,
+                u("entry"),
+                b("killed"),
             ),
             "dram_fetch" => self.dram_fetch(u("addr")),
             "tuner_decision" => self.tuner_decisions.push(TunerRec {
@@ -495,13 +523,16 @@ pub fn validate_analysis(v: &Json) -> Result<(), String> {
                 })
                 .sum()
         };
-        // Ledger accounting: every filled entry retires exactly once.
+        // Ledger accounting: every filled entry retires exactly once
+        // (`invalidated` defaults to 0 for pre-mutation traces).
         let filled = num(&["ledger", "filled"])?;
         let evicted = num(&["ledger", "evicted"])?;
+        let invalidated = num(&["ledger", "invalidated"]).unwrap_or(0);
         let resident = num(&["ledger", "resident"])?;
-        if filled != evicted + resident {
+        if filled != evicted + invalidated + resident {
             return Err(ctx(&format!(
-                "ledger leak: filled {filled} != evicted {evicted} + resident {resident}"
+                "ledger leak: filled {filled} != evicted {evicted} \
+                 + invalidated {invalidated} + resident {resident}"
             )));
         }
         if hist_total(&["ledger", "hits_per_entry_log2"])? != filled {
@@ -618,7 +649,7 @@ impl Drop for AnalysisSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metal_sim::obs::{AdmitReason, EvictReason, PackMode};
+    use metal_sim::obs::{AdmitReason, EvictReason, MutKind, PackMode};
 
     fn sample_events() -> Vec<(u64, Event)> {
         vec![
@@ -686,6 +717,48 @@ mod tests {
                     for_entry: 2,
                 },
             ),
+            (
+                10,
+                Event::Insert {
+                    index: 0,
+                    level: 0,
+                    set: 3,
+                    life: 0,
+                    reason: AdmitReason::LevelBand,
+                },
+            ),
+            (
+                10,
+                Event::Fill {
+                    index: 0,
+                    level: 0,
+                    set: 3,
+                    entry: 2,
+                    pack: PackMode::Exact,
+                },
+            ),
+            (
+                12,
+                Event::Split {
+                    index: 0,
+                    level: 0,
+                    lo: 64,
+                    hi: 127,
+                    op: MutKind::Split,
+                },
+            ),
+            (
+                12,
+                Event::Invalidate {
+                    index: 0,
+                    level: 0,
+                    set: 3,
+                    entry: 2,
+                    lo: 64,
+                    hi: 127,
+                    killed: true,
+                },
+            ),
         ]
     }
 
@@ -730,14 +803,21 @@ mod tests {
         let mut trace = TraceAnalysis::default();
         trace.fold("metal", a.finish());
         let d = &trace.designs["metal"];
-        assert_eq!(d.ledger.filled, 1);
+        assert_eq!(d.ledger.filled, 2);
         assert_eq!(d.ledger.evicted, 1);
+        assert_eq!(d.ledger.invalidated, 1, "coherence kill retires entry 2");
         assert_eq!(d.ledger.hits_total, 1);
         assert_eq!(d.ledger.short_circuit_saved, 2);
         assert_eq!(d.taxonomy.compulsory, 1);
         assert_eq!(d.taxonomy.conflict + d.taxonomy.capacity, 1);
         assert_eq!(d.reuse_cold, 1);
         assert_eq!(d.regret.evictions, 1);
+        assert_eq!(
+            d.regret.unresolved, 1,
+            "window on entry 2 closed by its invalidation"
+        );
+        assert_eq!(d.events_by_kind["split"], 1);
+        assert_eq!(d.events_by_kind["invalidate"], 1);
         validate_analysis(&trace.to_json()).expect("valid document");
     }
 
@@ -750,7 +830,7 @@ mod tests {
         let mut trace = TraceAnalysis::default();
         trace.fold("metal", a.finish());
         let rendered = trace.to_json().render();
-        let forged = rendered.replace("\"filled\":1", "\"filled\":7");
+        let forged = rendered.replace("\"filled\":2", "\"filled\":7");
         let doc = Json::parse(&forged).unwrap();
         assert!(validate_analysis(&doc).is_err(), "forged filled count");
         let forged = rendered.replace(ANALYSIS_SCHEMA, "metal-analysis-v0");
@@ -783,6 +863,6 @@ mod tests {
         }
         assert!(reg.snapshot().designs.is_empty(), "pre-flush");
         drop(sink);
-        assert_eq!(reg.snapshot().designs["metal"].ledger.filled, 1);
+        assert_eq!(reg.snapshot().designs["metal"].ledger.filled, 2);
     }
 }

@@ -133,6 +133,36 @@ pub fn event_fields(ev: &Event) -> Vec<(&'static str, Json)> {
             ("hi", Json::UInt(hi)),
             ("for_entry", Json::UInt(for_entry)),
         ],
+        Event::Split {
+            index,
+            level,
+            lo,
+            hi,
+            op,
+        } => vec![
+            ("index", Json::UInt(index as u64)),
+            ("level", Json::UInt(level as u64)),
+            ("lo", Json::UInt(lo)),
+            ("hi", Json::UInt(hi)),
+            ("op", Json::str(op.as_str())),
+        ],
+        Event::Invalidate {
+            index,
+            level,
+            set,
+            entry,
+            lo,
+            hi,
+            killed,
+        } => vec![
+            ("index", Json::UInt(index as u64)),
+            ("level", Json::UInt(level as u64)),
+            ("set", Json::UInt(set as u64)),
+            ("entry", Json::UInt(entry)),
+            ("lo", Json::UInt(lo)),
+            ("hi", Json::UInt(hi)),
+            ("killed", Json::Bool(killed)),
+        ],
         Event::TunerDecision {
             index,
             batch,

@@ -47,6 +47,8 @@ pub struct LedgerSummary {
     pub coalesced: u64,
     /// Entries retired by eviction.
     pub evicted: u64,
+    /// Entries killed whole by range invalidation (mutation coherence).
+    pub invalidated: u64,
     /// Entries still resident at end of stream.
     pub resident: u64,
     /// Evicted entries that never produced a hit (dead on arrival).
@@ -74,6 +76,7 @@ impl LedgerSummary {
         self.filled += other.filled;
         self.coalesced += other.coalesced;
         self.evicted += other.evicted;
+        self.invalidated += other.invalidated;
         self.resident += other.resident;
         self.zero_hit_evictions += other.zero_hit_evictions;
         self.hits_total += other.hits_total;
@@ -160,17 +163,24 @@ impl EntryLedger {
         }
     }
 
-    fn retire(summary: &mut LedgerSummary, rec: LedgerRec, evict_at: Option<u64>) {
-        if let Some(at) = evict_at {
-            summary.evicted += 1;
-            if rec.hits == 0 {
-                summary.zero_hit_evictions += 1;
+    fn retire(summary: &mut LedgerSummary, rec: LedgerRec, cause: Retirement) {
+        match cause {
+            Retirement::Evicted(at) => {
+                summary.evicted += 1;
+                if rec.hits == 0 {
+                    summary.zero_hit_evictions += 1;
+                }
+                summary
+                    .lifetime_cycles
+                    .observe(at.saturating_sub(rec.insert_at));
             }
-            summary
-                .lifetime_cycles
-                .observe(at.saturating_sub(rec.insert_at));
-        } else {
-            summary.resident += 1;
+            Retirement::Invalidated(at) => {
+                summary.invalidated += 1;
+                summary
+                    .lifetime_cycles
+                    .observe(at.saturating_sub(rec.insert_at));
+            }
+            Retirement::Resident => summary.resident += 1,
         }
         summary.hits_per_entry.observe(rec.hits);
         *summary.entries_by_pack.entry(rec.pack).or_insert(0) += 1;
@@ -179,7 +189,17 @@ impl EntryLedger {
     /// Observes the eviction of `entry` at cycle `at`.
     pub fn evict(&mut self, at: u64, entry: u64) {
         if let Some(rec) = self.live.remove(&entry) {
-            Self::retire(&mut self.summary, rec, Some(at));
+            Self::retire(&mut self.summary, rec, Retirement::Evicted(at));
+        }
+    }
+
+    /// Observes a range invalidation killing `entry` whole at cycle
+    /// `at`. Partial invalidations (the entry survives shrunk) are not
+    /// retirements and must not be reported here — conservation is
+    /// `filled == evicted + invalidated + resident`.
+    pub fn invalidate(&mut self, at: u64, entry: u64) {
+        if let Some(rec) = self.live.remove(&entry) {
+            Self::retire(&mut self.summary, rec, Retirement::Invalidated(at));
         }
     }
 
@@ -191,10 +211,18 @@ impl EntryLedger {
         // function of the stream.
         live.sort_by_key(|(id, _)| *id);
         for (_, rec) in live {
-            Self::retire(&mut self.summary, rec, None);
+            Self::retire(&mut self.summary, rec, Retirement::Resident);
         }
         self.summary
     }
+}
+
+/// Why a ledger record retired.
+#[derive(Debug, Clone, Copy)]
+enum Retirement {
+    Evicted(u64),
+    Invalidated(u64),
+    Resident,
 }
 
 /// One open regret window (an eviction awaiting its verdict).
@@ -298,6 +326,22 @@ impl RegretMeter {
             hi,
             for_entry,
             opened_at_probe: self.probes,
+        });
+    }
+
+    /// Observes a range invalidation killing `entry`: any window waiting
+    /// on it closes unresolved (the entry died to coherence, not to a
+    /// verdict). Invalidations open no window of their own — they are
+    /// mandatory, so there is no eviction decision to second-guess.
+    pub fn invalidate(&mut self, entry: u64) {
+        let summary = &mut self.summary;
+        self.open.retain(|w| {
+            if w.for_entry == entry {
+                summary.unresolved += 1;
+                false
+            } else {
+                true
+            }
         });
     }
 
@@ -405,6 +449,43 @@ mod tests {
         let s = m.finish();
         assert_eq!(s.evictions, 2);
         assert_eq!(s.unresolved, 2, "window 1 by death, window 2 by EOS");
+        assert!(s.is_conserved());
+    }
+
+    #[test]
+    fn ledger_invalidation_is_its_own_retirement_class() {
+        let mut l = EntryLedger::new();
+        l.insert("all");
+        l.fill(100, 1, "exact");
+        l.probe_hit(1, 2);
+        l.insert("all");
+        l.fill(100, 2, "exact");
+        l.invalidate(300, 1);
+        l.evict(400, 2);
+        let s = l.finish();
+        assert_eq!(
+            (s.filled, s.evicted, s.invalidated, s.resident),
+            (2, 1, 1, 0)
+        );
+        assert_eq!(
+            s.zero_hit_evictions, 1,
+            "an invalidated entry with hits is not a zero-hit eviction"
+        );
+        assert_eq!(s.filled, s.evicted + s.invalidated + s.resident);
+        // Invalidating an unknown entry is a no-op (cross-shard noise).
+        let mut l = EntryLedger::new();
+        l.invalidate(1, 99);
+        assert_eq!(l.finish(), LedgerSummary::default());
+    }
+
+    #[test]
+    fn regret_window_closes_unresolved_on_invalidation() {
+        let mut m = RegretMeter::new();
+        m.evict(0, 10, 19, 4, 5);
+        m.invalidate(5); // the incoming entry dies to coherence
+        m.probe(0, 15, false, 0); // late re-reference: window already shut
+        let s = m.finish();
+        assert_eq!((s.regretted, s.vindicated, s.unresolved), (0, 0, 1));
         assert!(s.is_conserved());
     }
 

@@ -188,12 +188,22 @@ impl MetricsSnapshot {
                     at,
                 });
             }
+            Event::Invalidate {
+                index, set, killed, ..
+            } => {
+                // A whole-entry kill vacates its slot; a partial
+                // invalidation shrinks the entry in place.
+                if killed {
+                    *self.occupancy_by_set.entry((index, set)).or_insert(0) -= 1;
+                }
+            }
             // Coalesces only bump the per-kind counter: the absorbing
             // entry is already counted in occupancy by its fill.
             Event::WalkStart { .. }
             | Event::WalkEnd { .. }
             | Event::DramFetch { .. }
-            | Event::Coalesce { .. } => {}
+            | Event::Coalesce { .. }
+            | Event::Split { .. } => {}
         }
     }
 }

@@ -104,6 +104,20 @@ impl KeyCache {
         }
     }
 
+    /// Drops every cached line whose key falls in `[lo, hi]` and returns
+    /// how many died. The mutation coherence hook: X-Cache tags exact
+    /// keys, so a structural change to the span `[lo, hi]` of a mutated
+    /// leaf invalidates exactly the lines inside it.
+    pub fn invalidate_range(&mut self, lo: Key, hi: Key) -> u64 {
+        let mut killed = 0u64;
+        for set in &mut self.sets {
+            let before = set.lines.len();
+            set.lines.retain(|(k, _, _)| *k < lo || *k > hi);
+            killed += (before - set.lines.len()) as u64;
+        }
+        killed
+    }
+
     /// Checks residency without side effects.
     pub fn peek(&self, key: Key) -> bool {
         let set = self.set_of(key);
@@ -219,5 +233,19 @@ mod tests {
     #[should_panic(expected = "multiple of ways")]
     fn bad_geometry_rejected() {
         let _ = KeyCache::new(6, 4);
+    }
+
+    #[test]
+    fn invalidate_range_drops_only_covered_keys() {
+        let mut c = KeyCache::new(16, 4);
+        for k in [3u64, 10, 11, 20] {
+            c.insert(k, k * 100);
+        }
+        assert_eq!(c.invalidate_range(10, 15), 2);
+        assert!(c.peek(3));
+        assert!(!c.peek(10) && !c.peek(11));
+        assert!(c.peek(20));
+        assert_eq!(c.occupancy(), 2);
+        assert_eq!(c.invalidate_range(10, 15), 0, "already gone");
     }
 }

@@ -143,6 +143,28 @@ impl PackMode {
     }
 }
 
+/// Which structural index mutation triggered a range invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MutKind {
+    /// A node overflowed and split into two siblings.
+    Split,
+    /// An underflowing node was folded into a sibling.
+    Merge,
+    /// Keys/children moved between siblings (borrow).
+    Rebalance,
+}
+
+impl MutKind {
+    /// Stable lowercase name (JSONL field value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MutKind::Split => "split",
+            MutKind::Merge => "merge",
+            MutKind::Rebalance => "rebalance",
+        }
+    }
+}
+
 /// Sentinel set id for entries living in the fully-associative wide
 /// partition (which has no set index).
 pub const WIDE_SET: u32 = u32::MAX;
@@ -275,6 +297,40 @@ pub enum Event {
         /// ([`NO_ENTRY`] when not attributable to one insertion).
         for_entry: u64,
     },
+    /// A structural index mutation (node split/merge/rebalance) whose
+    /// pre-mutation key span must no longer serve cached short-circuits.
+    Split {
+        /// Index that mutated.
+        index: u8,
+        /// Level of the restructured node (leaf = 0).
+        level: u8,
+        /// Low key of the stale span (the node's pre-mutation span, or
+        /// the union span for merges/rebalances).
+        lo: u64,
+        /// High key of the stale span (inclusive).
+        hi: u64,
+        /// Which structural mutation produced the span.
+        op: MutKind,
+    },
+    /// The IX-cache invalidated an entry's overlap with a stale range
+    /// (coherence response to [`Event::Split`], or a key deletion).
+    Invalidate {
+        /// Index the entry belongs to.
+        index: u8,
+        /// Entry level.
+        level: u8,
+        /// Set it lives in ([`WIDE_SET`] for wide).
+        set: u32,
+        /// Stable id of the affected entry.
+        entry: u64,
+        /// Low key of the entry's span before invalidation.
+        lo: u64,
+        /// High key of the entry's span before invalidation.
+        hi: u64,
+        /// True when every segment overlapped and the entry was removed;
+        /// false for a partial invalidation that shrank the entry.
+        killed: bool,
+    },
     /// The per-batch tuner moved one descriptor parameter.
     TunerDecision {
         /// Index whose descriptor was retuned.
@@ -303,6 +359,8 @@ impl Event {
             Event::Fill { .. } => "fill",
             Event::Coalesce { .. } => "coalesce",
             Event::Evict { .. } => "evict",
+            Event::Split { .. } => "split",
+            Event::Invalidate { .. } => "invalidate",
             Event::TunerDecision { .. } => "tuner_decision",
         }
     }
@@ -525,6 +583,31 @@ mod tests {
         assert_eq!(AdmitReason::LevelBand.as_str(), "level-band");
         assert_eq!(TunedParam::BandUpper.as_str(), "band-upper");
         assert_eq!(PackMode::Coalesced.as_str(), "coalesced");
+    }
+
+    #[test]
+    fn mutation_kinds_are_stable() {
+        assert_eq!(MutKind::Split.as_str(), "split");
+        assert_eq!(MutKind::Merge.as_str(), "merge");
+        assert_eq!(MutKind::Rebalance.as_str(), "rebalance");
+        let ev = Event::Split {
+            index: 0,
+            level: 1,
+            lo: 10,
+            hi: 90,
+            op: MutKind::Split,
+        };
+        assert_eq!(ev.kind(), "split");
+        let ev = Event::Invalidate {
+            index: 0,
+            level: 0,
+            set: WIDE_SET,
+            entry: 3,
+            lo: 10,
+            hi: 90,
+            killed: true,
+        };
+        assert_eq!(ev.kind(), "invalidate");
     }
 
     #[test]

@@ -295,6 +295,16 @@ pub struct RunStats {
     /// Histogram of probe-hit levels (`hit_levels[l]` = hits that landed
     /// on a level-`l` entry); diagnostic for reach-vs-short-circuit.
     pub hit_levels: Vec<u64>,
+    /// Walks carrying a write op (INSERT/UPDATE/DELETE) that mutated —
+    /// or attempted to mutate — the index.
+    pub write_walks: u64,
+    /// Index-node splits triggered by insert overflow.
+    pub node_splits: u64,
+    /// Index-node merges/rebalances triggered by delete underflow.
+    pub node_merges: u64,
+    /// Cache entries killed or shrunk by the range-invalidation
+    /// protocol that keeps cached tags coherent with mutations.
+    pub entries_invalidated: u64,
 }
 
 impl RunStats {
@@ -413,6 +423,12 @@ impl RunStats {
         self.inserts = self.inserts.saturating_add(other.inserts);
         self.bypasses = self.bypasses.saturating_add(other.bypasses);
         self.levels_skipped = self.levels_skipped.saturating_add(other.levels_skipped);
+        self.write_walks = self.write_walks.saturating_add(other.write_walks);
+        self.node_splits = self.node_splits.saturating_add(other.node_splits);
+        self.node_merges = self.node_merges.saturating_add(other.node_merges);
+        self.entries_invalidated = self
+            .entries_invalidated
+            .saturating_add(other.entries_invalidated);
         if self.hit_levels.len() < other.hit_levels.len() {
             self.hit_levels.resize(other.hit_levels.len(), 0);
         }

@@ -16,14 +16,20 @@
 //! corpus forever after. The run is fully determined by `--seed`, so CI
 //! failures reproduce locally with the same flags.
 //!
+//! With `--mutate` the IX arms draw from the CRUD swarm instead: op
+//! sequences interleave range invalidations (node-span, partial and
+//! all-level) with inserts and probes, arming the stale-hit and
+//! definitely-live retention checks of the mutation-aware oracle.
+//!
 //! ```text
 //! ix_fuzz [--cases N] [--seed S] [--corpus-dir DIR] [--budget-secs T]
+//!         [--mutate]
 //! ```
 
 use metal_verify::check::{check_translation, run_scenario, Divergence};
-use metal_verify::design::check_designs_case;
+use metal_verify::design::{check_designs_case, check_designs_case_crud};
 use metal_verify::refcache::check_baselines_case;
-use metal_verify::scenario::{gen_scenario, Scenario};
+use metal_verify::scenario::{gen_scenario, gen_scenario_crud, Scenario};
 use metal_verify::shrink::shrink_scenario;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
@@ -34,6 +40,7 @@ struct Args {
     seed: u64,
     corpus_dir: String,
     budget_secs: u64,
+    mutate: bool,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +49,7 @@ fn parse_args() -> Args {
         seed: 1,
         corpus_dir: concat!(env!("CARGO_MANIFEST_DIR"), "/corpus").to_string(),
         budget_secs: 0,
+        mutate: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,6 +63,7 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--budget-secs: not a number")
             }
+            "--mutate" => args.mutate = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -132,7 +141,13 @@ fn main() -> ExitCode {
                 }
             }
             6 => {
-                let r = catch_unwind(AssertUnwindSafe(|| check_designs_case(case_seed)));
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    if args.mutate {
+                        check_designs_case_crud(case_seed)
+                    } else {
+                        check_designs_case(case_seed)
+                    }
+                }));
                 match r {
                     Ok(Ok(())) => {}
                     Ok(Err(d)) => {
@@ -150,7 +165,11 @@ fn main() -> ExitCode {
             }
             n => {
                 let ample = n % 2 == 0;
-                let s = gen_scenario(case_seed, ample);
+                let s = if args.mutate {
+                    gen_scenario_crud(case_seed, ample)
+                } else {
+                    gen_scenario(case_seed, ample)
+                };
                 if let Err(d) = check_ix(&s) {
                     failures += 1;
                     eprintln!("FAIL ix case {i} (seed {case_seed}, ample {ample}): {d}");

@@ -10,7 +10,7 @@
 //! minimize on "still fails".
 
 use crate::oracle::{spec_probe, HistoryOracle};
-use crate::scenario::{Op, Scenario};
+use crate::scenario::{Op, Scenario, ALL_LEVELS};
 use metal_core::range::KeyRange;
 use metal_core::IxCache;
 
@@ -114,39 +114,86 @@ pub fn run_scenario(s: &Scenario) -> Result<(), Divergence> {
                         );
                     }
                 }
-                // Retention: with ample capacity nothing may have been
-                // dropped, so the history oracle agrees too.
+                // Retention: with ample capacity nothing may be lost
+                // except by invalidation, so every *definitely-live*
+                // history entry (never overlapped by an invalidation)
+                // carries a mandatory outcome; and every hit must be
+                // justified by a live insert over the served tag.
                 if s.ample {
-                    match (hist.probe(index, key), &actual) {
-                        (None, None) => {}
-                        (Some(h), Some(a)) => {
-                            if h.level != a.level || !h.nodes.contains(&a.node) {
-                                return fail(
-                                    i,
-                                    format!(
-                                        "probe({index}, {key}): history says level {} \
-                                         nodes {:?}, cache returned node {} level {}",
-                                        h.level, h.nodes, a.node, a.level
-                                    ),
-                                );
-                            }
-                        }
+                    match (hist.probe_live(index, key), &actual) {
                         (Some(h), None) => {
                             return fail(
                                 i,
                                 format!(
-                                    "probe({index}, {key}): inserted level-{} entry \
-                                     lost without eviction pressure",
+                                    "probe({index}, {key}): definitely-live level-{} \
+                                     entry lost without eviction or invalidation",
                                     h.level
                                 ),
                             );
                         }
-                        (None, Some(a)) => {
+                        (Some(h), Some(a)) if a.level > h.level => {
                             return fail(
                                 i,
                                 format!(
-                                    "probe({index}, {key}): hit node {} never inserted",
-                                    a.node
+                                    "probe({index}, {key}): hit level {} but a \
+                                     definitely-live level-{} entry covers the key",
+                                    a.level, h.level
+                                ),
+                            );
+                        }
+                        _ => {}
+                    }
+                    if let Some(a) = &actual {
+                        if !hist.justified_live(index, a.level, &a.range, a.node) {
+                            return fail(
+                                i,
+                                format!(
+                                    "probe({index}, {key}): stale hit — node {} level {} \
+                                     tag {:?} was invalidated or never inserted",
+                                    a.node, a.level, a.range
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Op::Invalidate {
+                index,
+                level,
+                lo,
+                hi,
+            } => {
+                let range = KeyRange::new(lo, hi);
+                let level = if level == ALL_LEVELS {
+                    None
+                } else {
+                    Some(level)
+                };
+                cache.invalidate_range(index, level, range);
+                hist.invalidate(index, level, range);
+                // Coherence postcondition: nothing matching the filter
+                // may still overlap the revoked span, and survivors
+                // must keep their span/segment geometry consistent.
+                for e in cache.snapshot() {
+                    let level_hit = level.is_none_or(|l| l == e.level);
+                    for (seg, n) in &e.segs {
+                        if e.index == index && level_hit && seg.overlaps(&range) {
+                            return fail(
+                                i,
+                                format!(
+                                    "segment {seg:?} node {n} level {} index {} survived \
+                                     invalidate_range({index}, {level:?}, {range:?})",
+                                    e.level, e.index
+                                ),
+                            );
+                        }
+                        if !e.span.contains(seg) {
+                            return fail(
+                                i,
+                                format!(
+                                    "segment {seg:?} escapes its entry span {:?} after \
+                                     partial invalidation",
+                                    e.span
                                 ),
                             );
                         }
@@ -186,18 +233,32 @@ pub fn run_scenario(s: &Scenario) -> Result<(), Divergence> {
             ),
         );
     }
-    // Every counted insert is either still resident, was evicted, or
-    // was dropped by a flush; bypassed inserts must not be counted.
-    let accounted = (st.evictions as usize) + flushed + cache.occupancy();
+    // Every counted insert is either still resident, was evicted, was
+    // dropped by a flush, or was killed by a range invalidation;
+    // bypassed inserts must not be counted.
+    let accounted =
+        (st.evictions as usize) + flushed + cache.occupancy() + (st.invalidation_kills as usize);
     if st.inserts as usize != accounted {
         return fail(
             end,
             format!(
-                "stats.inserts {} != evicted {} + flushed {flushed} + resident {} \
-                 (bypassed inserts must not count as insertions)",
+                "stats.inserts {} != evicted {} + flushed {flushed} + resident {} + \
+                 invalidated {} (bypassed inserts must not count as insertions)",
                 st.inserts,
                 st.evictions,
-                cache.occupancy()
+                cache.occupancy(),
+                st.invalidation_kills
+            ),
+        );
+    }
+    // A killed entry loses at least one segment, so the segment
+    // counter bounds the kill counter from above.
+    if st.invalidated_segs < st.invalidation_kills {
+        return fail(
+            end,
+            format!(
+                "invalidated_segs {} < invalidation_kills {}",
+                st.invalidated_segs, st.invalidation_kills
             ),
         );
     }
@@ -226,6 +287,7 @@ pub fn check_translation(s: &Scenario, delta: u64) -> Result<(), Divergence> {
         .map(|op| match *op {
             Op::Insert { hi, .. } => hi,
             Op::Probe { key, .. } => key,
+            Op::Invalidate { hi, .. } => hi,
             Op::Flush => 0,
         })
         .max()
@@ -256,6 +318,17 @@ pub fn check_translation(s: &Scenario, delta: u64) -> Result<(), Divergence> {
                     index,
                     key: key.saturating_add(delta),
                 },
+                Op::Invalidate {
+                    index,
+                    level,
+                    lo,
+                    hi,
+                } => Op::Invalidate {
+                    index,
+                    level,
+                    lo: lo + delta,
+                    hi: hi + delta,
+                },
                 Op::Flush => Op::Flush,
             })
             .collect()
@@ -281,6 +354,19 @@ pub fn check_translation(s: &Scenario, delta: u64) -> Result<(), Divergence> {
                             .probe(index, key)
                             .map(|h| (h.node, h.level, h.range.lo)),
                     );
+                }
+                Op::Invalidate {
+                    index,
+                    level,
+                    lo,
+                    hi,
+                } => {
+                    let level = if level == ALL_LEVELS {
+                        None
+                    } else {
+                        Some(level)
+                    };
+                    cache.invalidate_range(index, level, KeyRange::new(lo, hi));
                 }
                 Op::Flush => cache.flush(),
             }
@@ -344,6 +430,65 @@ mod tests {
     fn generated_scenarios_smoke() {
         for seed in 0..40 {
             let s = gen_scenario(seed, seed % 2 == 0);
+            if let Err(d) = run_scenario(&s) {
+                panic!("seed {seed}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn handwritten_mutation_scenario_passes() {
+        let ins = |node: u32, lo: u64, hi: u64, level: u8| Op::Insert {
+            index: 0,
+            node,
+            lo,
+            hi,
+            level,
+            bytes: 64,
+            life: 0,
+        };
+        let s = Scenario {
+            seed: 0,
+            entries: 16,
+            ways: 16,
+            key_block_bits: 4,
+            wide_pct: 50,
+            ample: true,
+            ops: vec![
+                ins(1, 0, 100, 0),
+                ins(2, 0, 1000, 3),
+                Op::Probe { index: 0, key: 50 },
+                // A leaf split stales [40, 60] at level 0 only.
+                Op::Invalidate {
+                    index: 0,
+                    level: 0,
+                    lo: 40,
+                    hi: 60,
+                    // The level-3 ancestor must keep serving.
+                },
+                Op::Probe { index: 0, key: 50 },
+                // Re-admission of the split leaf revives the fast path.
+                ins(3, 0, 49, 0),
+                Op::Probe { index: 0, key: 20 },
+                // An all-level wipe empties the span entirely.
+                Op::Invalidate {
+                    index: 0,
+                    level: ALL_LEVELS,
+                    lo: 0,
+                    hi: 1000,
+                },
+                Op::Probe { index: 0, key: 20 },
+            ],
+        };
+        run_scenario(&s).unwrap();
+        check_translation(&s, 1 << 20).unwrap();
+    }
+
+    #[test]
+    fn generated_crud_scenarios_smoke() {
+        use crate::scenario::gen_scenario_crud;
+        for seed in 0..40 {
+            let s = gen_scenario_crud(seed, seed % 2 == 0);
             if let Err(d) = run_scenario(&s) {
                 panic!("seed {seed}: {d}");
             }

@@ -86,14 +86,29 @@ pub struct HistoryHit {
     pub nodes: Vec<u32>,
 }
 
+/// One recorded insert plus the invalidation ranges that have touched
+/// it since. Invalidation is whole-segment granular in the cache, so
+/// the oracle tracks taint conservatively: any overlap may legally
+/// have killed any part of the record's residency.
+#[derive(Debug, Clone)]
+struct Rec {
+    index: u8,
+    level: u8,
+    range: KeyRange,
+    node: u32,
+    /// Invalidation ranges applied after this insert that overlap it.
+    killed: Vec<KeyRange>,
+}
+
 /// Append-only record of every insert, cleared by flush. With ample
 /// capacity (no evictions possible) the cache must agree with this
-/// oracle on every probe's hit/miss and level.
+/// oracle on every probe's hit/miss and level. Invalidations taint
+/// overlapped records rather than delete them: a tainted record may or
+/// may not survive in the cache (whole-segment over-invalidation is
+/// allowed), so only untainted records carry a *mandatory* outcome.
 #[derive(Debug, Default)]
 pub struct HistoryOracle {
-    /// `(index, level, range, node)` per insert op (op-level range,
-    /// before any packing).
-    inserted: Vec<(u8, u8, KeyRange, u32)>,
+    inserted: Vec<Rec>,
 }
 
 impl HistoryOracle {
@@ -104,7 +119,25 @@ impl HistoryOracle {
 
     /// Records one insert op.
     pub fn insert(&mut self, index: u8, level: u8, range: KeyRange, node: u32) {
-        self.inserted.push((index, level, range, node));
+        self.inserted.push(Rec {
+            index,
+            level,
+            range,
+            node,
+            killed: Vec::new(),
+        });
+    }
+
+    /// Records a range invalidation: every earlier insert it overlaps
+    /// (same index, matching level when filtered) becomes tainted. A
+    /// later re-insert of the same node starts a fresh untainted
+    /// record, exactly as re-admission revives the cache entry.
+    pub fn invalidate(&mut self, index: u8, level: Option<u8>, range: KeyRange) {
+        for r in &mut self.inserted {
+            if r.index == index && level.is_none_or(|l| l == r.level) && range.overlaps(&r.range) {
+                r.killed.push(range);
+            }
+        }
     }
 
     /// Forgets everything (mirrors `IxCache::flush`).
@@ -113,24 +146,36 @@ impl HistoryOracle {
     }
 
     /// The deepest covering insert for `key`, with all same-level
-    /// candidate nodes.
+    /// candidate nodes. Ignores taint — the pre-mutation view.
     pub fn probe(&self, index: u8, key: u64) -> Option<HistoryHit> {
+        self.probe_filtered(index, key, false)
+    }
+
+    /// The deepest *definitely-live* covering insert for `key`: only
+    /// untainted records qualify, so with ample capacity the cache
+    /// MUST hit at least this deep — losing such an entry means an
+    /// invalidation killed more than its granularity bound allows.
+    pub fn probe_live(&self, index: u8, key: u64) -> Option<HistoryHit> {
+        self.probe_filtered(index, key, true)
+    }
+
+    fn probe_filtered(&self, index: u8, key: u64, live_only: bool) -> Option<HistoryHit> {
         let mut best: Option<HistoryHit> = None;
-        for &(i, level, range, node) in &self.inserted {
-            if i != index || !range.covers(key) {
+        for r in &self.inserted {
+            if r.index != index || !r.range.covers(key) || (live_only && !r.killed.is_empty()) {
                 continue;
             }
             match &mut best {
-                Some(b) if level > b.level => {}
-                Some(b) if level == b.level => {
-                    if !b.nodes.contains(&node) {
-                        b.nodes.push(node);
+                Some(b) if r.level > b.level => {}
+                Some(b) if r.level == b.level => {
+                    if !b.nodes.contains(&r.node) {
+                        b.nodes.push(r.node);
                     }
                 }
                 _ => {
                     best = Some(HistoryHit {
-                        level,
-                        nodes: vec![node],
+                        level: r.level,
+                        nodes: vec![r.node],
                     });
                 }
             }
@@ -143,9 +188,23 @@ impl HistoryOracle {
     /// contains the segment (splitting produces sub-ranges of the op
     /// range; exact and coalesced packing keep it verbatim).
     pub fn justifies(&self, index: u8, level: u8, seg: &KeyRange, node: u32) -> bool {
-        self.inserted
-            .iter()
-            .any(|&(i, l, r, n)| i == index && l == level && n == node && r.contains(seg))
+        self.inserted.iter().any(|r| {
+            r.index == index && r.level == level && r.node == node && r.range.contains(seg)
+        })
+    }
+
+    /// Like [`justifies`](Self::justifies), but the justifying insert
+    /// must not have been invalidated over the served tag: a hit whose
+    /// tag overlaps every justifying record's kill set is stale — the
+    /// cache served a short-circuit across a span a mutation revoked.
+    pub fn justified_live(&self, index: u8, level: u8, tag: &KeyRange, node: u32) -> bool {
+        self.inserted.iter().any(|r| {
+            r.index == index
+                && r.level == level
+                && r.node == node
+                && r.range.contains(tag)
+                && !r.killed.iter().any(|k| k.overlaps(tag))
+        })
     }
 }
 
@@ -225,5 +284,49 @@ mod tests {
         assert!(!h.justifies(0, 1, &KeyRange::new(90, 110), 5));
         assert!(!h.justifies(0, 0, &KeyRange::new(10, 20), 5), "level");
         assert!(!h.justifies(0, 1, &KeyRange::new(10, 20), 6), "node");
+    }
+
+    #[test]
+    fn invalidation_taints_overlapping_records_only() {
+        let mut h = HistoryOracle::new();
+        h.insert(0, 0, KeyRange::new(0, 100), 1);
+        h.insert(0, 2, KeyRange::new(0, 100), 2);
+        h.insert(1, 0, KeyRange::new(0, 100), 3);
+        h.invalidate(0, Some(0), KeyRange::new(50, 60));
+        // Level-0 record of index 0 is tainted; the level-2 record and
+        // the other index keep their mandatory outcomes.
+        assert!(h.probe_live(0, 55).is_some_and(|x| x.level == 2));
+        assert!(h.probe_live(1, 55).is_some_and(|x| x.level == 0));
+        // Untainted view still sees the deepest insert.
+        assert!(h.probe(0, 55).is_some_and(|x| x.level == 0));
+        // Disjoint invalidation taints nothing.
+        h.invalidate(0, None, KeyRange::new(200, 300));
+        assert!(h.probe_live(0, 10).is_some_and(|x| x.level == 2));
+    }
+
+    #[test]
+    fn justified_live_rejects_tags_overlapping_kills() {
+        let mut h = HistoryOracle::new();
+        h.insert(0, 0, KeyRange::new(0, 100), 5);
+        h.invalidate(0, Some(0), KeyRange::new(50, 60));
+        // A split segment outside the killed range may legally survive.
+        assert!(h.justified_live(0, 0, &KeyRange::new(0, 31), 5));
+        // Any tag overlapping the revoked span is a stale hit.
+        assert!(!h.justified_live(0, 0, &KeyRange::new(40, 55), 5));
+        assert!(!h.justified_live(0, 0, &KeyRange::new(0, 100), 5));
+        // Re-admission starts a fresh live record.
+        h.insert(0, 0, KeyRange::new(0, 100), 5);
+        assert!(h.justified_live(0, 0, &KeyRange::new(40, 55), 5));
+        assert!(h.probe_live(0, 55).is_some_and(|x| x.level == 0));
+    }
+
+    #[test]
+    fn all_level_invalidation_taints_every_level() {
+        let mut h = HistoryOracle::new();
+        h.insert(0, 0, KeyRange::new(0, 10), 1);
+        h.insert(0, 3, KeyRange::new(0, 10), 2);
+        h.invalidate(0, None, KeyRange::new(5, 5));
+        assert!(h.probe_live(0, 5).is_none());
+        assert!(h.probe(0, 5).is_some());
     }
 }

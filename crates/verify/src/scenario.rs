@@ -40,9 +40,25 @@ pub enum Op {
         /// Probe key.
         key: u64,
     },
+    /// `IxCache::invalidate_range(index, level, [lo, hi])` — the
+    /// coherence action a node split/merge/rebalance forces. `level`
+    /// 255 encodes "all levels" (`None` at the API).
+    Invalidate {
+        /// Index id.
+        index: u8,
+        /// Level filter (255 = every level).
+        level: u8,
+        /// Stale span low key (inclusive).
+        lo: u64,
+        /// Stale span high key (inclusive).
+        hi: u64,
+    },
     /// `IxCache::flush()`.
     Flush,
 }
+
+/// The sentinel [`Op::Invalidate::level`] meaning "all levels".
+pub const ALL_LEVELS: u8 = 255;
 
 /// A complete differential test case.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +121,18 @@ impl Scenario {
                     ("index".into(), Json::UInt(index as u64)),
                     ("key".into(), Json::UInt(key)),
                 ]),
+                Op::Invalidate {
+                    index,
+                    level,
+                    lo,
+                    hi,
+                } => Json::Obj(vec![
+                    ("op".into(), Json::str("invalidate")),
+                    ("index".into(), Json::UInt(index as u64)),
+                    ("level".into(), Json::UInt(level as u64)),
+                    ("lo".into(), Json::UInt(lo)),
+                    ("hi".into(), Json::UInt(hi)),
+                ]),
                 Op::Flush => Json::Obj(vec![("op".into(), Json::str("flush"))]),
             })
             .collect();
@@ -147,6 +175,12 @@ impl Scenario {
                 "probe" => Op::Probe {
                     index: f("index")? as u8,
                     key: f("key")?,
+                },
+                "invalidate" => Op::Invalidate {
+                    index: f("index")? as u8,
+                    level: f("level")? as u8,
+                    lo: f("lo")?,
+                    hi: f("hi")?,
                 },
                 "flush" => Op::Flush,
                 _ => return None,
@@ -307,6 +341,99 @@ pub fn gen_scenario(seed: u64, ample: bool) -> Scenario {
     }
 }
 
+/// Generates one *mutating* IX scenario: like [`gen_scenario`] but a
+/// slice of the op budget becomes [`Op::Invalidate`] — node-span
+/// invalidations (what a split/merge at that node would force),
+/// random sub-ranges (partial kills of coalesced packs) and
+/// occasional all-level wipes (subtree rebalances). Uses its own
+/// stream constant so [`gen_scenario`]'s corpus stays byte-stable.
+pub fn gen_scenario_crud(seed: u64, ample: bool) -> Scenario {
+    let mut rng = SplitRng::stream(seed, 0xc2d0_51ab);
+    let near_max = rng.gen_range(0..8u64) == 0;
+    let shape = gen_shape(&mut rng, near_max);
+    let n_ops = rng.gen_range(10..160u64) as usize;
+    let indexes = rng.gen_range(1..=2u64) as u8;
+
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let roll = rng.gen_range(0..100u64);
+        if roll < 35 {
+            let &(level, lo, hi, node, bytes) = pick(&mut rng, &shape.nodes);
+            let life = if ample {
+                0
+            } else {
+                *pick(&mut rng, &[0, 0, 0, 0, 1, 2, 3, 8, 20])
+            };
+            ops.push(Op::Insert {
+                index: rng.gen_range(0..indexes as u64) as u8,
+                node,
+                lo,
+                hi,
+                level,
+                bytes,
+                life,
+            });
+        } else if roll < 50 {
+            let &(level, lo, hi, _, _) = pick(&mut rng, &shape.nodes);
+            let (level, lo, hi) = match rng.gen_range(0..4u64) {
+                // A subtree rebalance stales every level over the span.
+                0 => (ALL_LEVELS, lo, hi),
+                // A partial kill: random sub-range of the key space,
+                // clipping coalesced packs mid-entry.
+                1 => {
+                    let a = shape.base + rng.gen_range(0..=shape.span);
+                    let b = a.saturating_add(rng.gen_range(0..=shape.span / 4 + 1));
+                    (level, a, b)
+                }
+                // A split/merge at this node stales exactly its span.
+                _ => (level, lo, hi),
+            };
+            ops.push(Op::Invalidate {
+                index: rng.gen_range(0..indexes as u64) as u8,
+                level,
+                lo,
+                hi: hi.max(lo),
+            });
+        } else if roll < 97 || ample {
+            let key = match rng.gen_range(0..6u64) {
+                0 => {
+                    let &(_, lo, hi, _, _) = pick(&mut rng, &shape.nodes);
+                    if rng.gen_range(0..2u64) == 0 {
+                        lo
+                    } else {
+                        hi
+                    }
+                }
+                1 => shape.base.wrapping_sub(rng.gen_range(1..50u64)),
+                _ => shape.base + rng.gen_range(0..=shape.span),
+            };
+            ops.push(Op::Probe {
+                index: rng.gen_range(0..indexes as u64) as u8,
+                key,
+            });
+        } else {
+            ops.push(Op::Flush);
+        }
+    }
+
+    let (entries, ways) = if ample {
+        let entries = Scenario::max_physical_entries(&ops) + 2;
+        (entries, entries)
+    } else {
+        let ways = rng.gen_range(1..=8u64) as usize;
+        (rng.gen_range(2..40u64) as usize, ways)
+    };
+    Scenario {
+        seed,
+        entries,
+        ways,
+        key_block_bits: rng.gen_range(0..16u64) as u32,
+        wide_pct: *pick(&mut rng, &[0, 25, 50, 75, 100]),
+        ample,
+        ops,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +478,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn crud_generator_emits_invalidations_and_round_trips() {
+        let mut saw_invalidate = 0;
+        for seed in 0..40 {
+            let s = gen_scenario_crud(seed, seed % 2 == 0);
+            assert_eq!(s, gen_scenario_crud(seed, seed % 2 == 0));
+            let j = s.to_json();
+            let back = Scenario::from_json(&Json::parse(&j.render()).unwrap()).unwrap();
+            assert_eq!(s, back, "seed {seed}");
+            for op in &s.ops {
+                if let Op::Invalidate { lo, hi, .. } = op {
+                    assert!(lo <= hi, "seed {seed}: inverted invalidation");
+                    saw_invalidate += 1;
+                }
+            }
+        }
+        assert!(saw_invalidate > 40, "swarm must exercise invalidation");
+    }
+
+    #[test]
+    fn crud_stream_differs_from_readonly_stream() {
+        // Same seed, different stream constant: the mutating swarm must
+        // not replay the read-only swarm's cases (which would shrink
+        // combined coverage) and must leave its corpus byte-stable.
+        assert_ne!(gen_scenario_crud(7, false).ops, gen_scenario(7, false).ops);
     }
 }

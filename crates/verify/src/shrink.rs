@@ -172,6 +172,37 @@ where
                     },
                     Op::Probe { index, key: 0 },
                 ],
+                Op::Invalidate {
+                    index,
+                    level,
+                    lo,
+                    hi,
+                } => vec![
+                    Op::Invalidate {
+                        index: 0,
+                        level,
+                        lo,
+                        hi,
+                    },
+                    Op::Invalidate {
+                        index,
+                        level: crate::scenario::ALL_LEVELS,
+                        lo,
+                        hi,
+                    },
+                    Op::Invalidate {
+                        index,
+                        level,
+                        lo,
+                        hi: lo,
+                    },
+                    Op::Invalidate {
+                        index,
+                        level,
+                        lo: lo / 2,
+                        hi: hi / 2,
+                    },
+                ],
                 Op::Flush => vec![],
             };
             for v in variants {

@@ -1,0 +1,126 @@
+//! `uniform_std_v1` — the mutation workload (skytable-style uniform
+//! CRUD mix).
+//!
+//! A B+tree over a uniform keyspace probed by a request stream whose
+//! write fraction is a parameter: at `write_pct` percent writes, the
+//! writes split evenly into INSERT / UPDATE / DELETE and the rest are
+//! SELECTs (with the usual minority of short leaf scans). At
+//! `write_pct = 0` the stream is pure reads, so every read-only figure
+//! is the exact 0%-column of the write-ratio sweep.
+//!
+//! The loaded tree holds only *even* keys and inserts target odd keys
+//! adjacent to a loaded record, so:
+//!
+//! - every INSERT is a genuinely fresh key (drives leaf splits),
+//! - every first DELETE of a key removes a loaded record (drives
+//!   underflow merges and rebalances as the run proceeds),
+//! - SELECTs mix resident, deleted and never-present keys, which makes
+//!   a stale cached short-circuit visible in `found_walks`.
+//!
+//! The generator is a pure function of `(scale.seed, write_pct)`, so
+//! runs are deterministic and shard-count invariant like every other
+//! workload in the suite.
+
+use crate::built::BuiltWorkload;
+use crate::scale::Scale;
+use crate::suite::band_for_tree;
+use metal_core::descriptor::Descriptor;
+use metal_core::request::{OpKind, WalkRequest};
+use metal_dsa::tile::DsaSpec;
+use metal_index::bptree::BPlusTree;
+use metal_sim::rng::SplitRng;
+use metal_sim::types::{Addr, Key};
+
+/// Builds the `uniform_std_v1` CRUD workload at `write_pct` percent
+/// writes (clamped to 100).
+pub fn uniform_std_v1(scale: Scale, write_pct: u8) -> BuiltWorkload {
+    let w = write_pct.min(100) as u64;
+    let spec = DsaSpec::gorgon_analytics();
+    let n_keys = scale.keys.max(64);
+    let keys: Vec<Key> = (0..n_keys).map(|i| i * 2).collect();
+    let tree = BPlusTree::bulk_load_with_depth(&keys, scale.depth, Addr::new(0), 64);
+
+    let mut rng = SplitRng::stream(scale.seed, 0xc24d);
+    let span = n_keys * 2;
+    let mut requests = Vec::with_capacity(scale.walks as usize);
+    for _ in 0..scale.walks {
+        let present = keys[rng.gen_range(0..n_keys) as usize];
+        let roll = rng.gen_range(0..100u64);
+        let req = if roll < w / 3 {
+            // Fresh odd key next to a loaded record.
+            WalkRequest::lookup(present + 1).with_op(OpKind::Insert)
+        } else if roll < 2 * w / 3 {
+            WalkRequest::lookup(present).with_op(OpKind::Update)
+        } else if roll < w {
+            WalkRequest::lookup(present).with_op(OpKind::Delete)
+        } else {
+            // Uniform SELECT over the whole span: hits loaded keys,
+            // freshly inserted keys, deleted keys and absent keys alike.
+            let mut r = WalkRequest::lookup(rng.gen_range(0..span.max(1)))
+                .with_compute(spec.ops_per_compute);
+            if rng.gen_range(0..8u64) == 0 {
+                r = r.with_scan(rng.gen_range(1..4u64) as u32);
+            }
+            r
+        };
+        requests.push(req);
+    }
+
+    let band = band_for_tree(&tree, 1024);
+    BuiltWorkload {
+        name: "uniform_std_v1",
+        indexes: vec![Box::new(tree)],
+        requests,
+        descriptors: vec![Descriptor::Level(band)],
+        batch_walks: scale.batch_walks(),
+        tiles: spec.tiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_write_ratio_is_pure_reads() {
+        let built = uniform_std_v1(Scale::ci(), 0);
+        assert!(built.requests.iter().all(|r| r.op == OpKind::Select));
+        assert_eq!(built.requests.len() as u64, Scale::ci().walks);
+    }
+
+    #[test]
+    fn write_mix_scales_with_ratio_and_splits_evenly() {
+        let built = uniform_std_v1(Scale::ci(), 50);
+        let count = |op: OpKind| built.requests.iter().filter(|r| r.op == op).count() as f64;
+        let n = built.requests.len() as f64;
+        let writes = count(OpKind::Insert) + count(OpKind::Update) + count(OpKind::Delete);
+        assert!(
+            (writes / n - 0.5).abs() < 0.05,
+            "write fraction {} for 50%",
+            writes / n
+        );
+        // Roughly even thirds.
+        for op in [OpKind::Insert, OpKind::Update, OpKind::Delete] {
+            assert!(
+                (count(op) / writes - 1.0 / 3.0).abs() < 0.05,
+                "{op:?} fraction {}",
+                count(op) / writes
+            );
+        }
+        // Inserts are genuinely fresh: odd keys over an even-key tree.
+        assert!(built
+            .requests
+            .iter()
+            .filter(|r| r.op == OpKind::Insert)
+            .all(|r| r.key % 2 == 1));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_ratio_sensitive() {
+        let a = uniform_std_v1(Scale::ci(), 10);
+        let b = uniform_std_v1(Scale::ci(), 10);
+        assert_eq!(a.requests, b.requests);
+        let c = uniform_std_v1(Scale::ci(), 30);
+        assert_ne!(a.requests, c.requests);
+    }
+}

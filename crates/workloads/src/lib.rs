@@ -21,6 +21,7 @@
 //! exploits: per-column non-zero counts that set leaf-reuse lifetimes.
 
 pub mod built;
+pub mod crud;
 pub mod datasets;
 pub mod dist;
 pub mod scale;

@@ -127,7 +127,7 @@ impl Workload {
 /// downward while the cumulative footprint fits the cache with slack for
 /// churn. This mirrors what the paper's Fig. 21 shows the tuned pattern
 /// converging to.
-fn band_for_tree(tree: &BPlusTree, cache_entries: usize) -> LevelDescriptor {
+pub(crate) fn band_for_tree(tree: &BPlusTree, cache_entries: usize) -> LevelDescriptor {
     let depth = tree.depth();
     if depth <= 2 {
         return LevelDescriptor::band(0, depth.saturating_sub(1));
