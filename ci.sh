@@ -3,8 +3,10 @@
 # single-threaded, a sharded-replay smoke test (worker count must never
 # change the figure CSV, with and without an explicit logical-shard
 # grain), a telemetry smoke test (the trace must parse and agree with
-# the run manifest), and a forensics gate (the `analyze` report must
-# pass its schema/conservation validation on a real fig15 trace).
+# the run manifest), a forensics gate (the `analyze` report must
+# pass its schema/conservation validation on a real fig15 trace), and a
+# time-resolved telemetry gate (per-epoch window sums must conserve and
+# the series must be worker-count invariant).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -168,11 +170,46 @@ fi
 grep -q "MISMATCH" "$tdir/wsweep_forged.txt"
 echo "negative control: forged stale hit fails check-hits with nonzero exit"
 
+echo "== time-resolved telemetry: window conservation + shard invariance =="
+# Epoch-windowed series (--epoch): per-window counters must sum exactly
+# to the whole-run aggregates (analyze --validate enforces the
+# conservation), the series must be byte-identical across worker
+# counts, and windowing must not perturb the figure CSV.
+./target/release/fig15_miss_rate --scale ci --shards 1 --epoch walks:512 \
+    --analyze-out "$tdir/A_series.json" --series-out "$tdir/S1.json" \
+    > "$tdir/f15_series1.csv" 2> /dev/null
+./target/release/fig15_miss_rate --scale ci --shards 4 --epoch walks:512 \
+    --series-out "$tdir/S4.json" > "$tdir/f15_series4.csv" 2> /dev/null
+if ! diff -q "$tdir/plain15.csv" "$tdir/f15_series1.csv" > /dev/null; then
+    echo "FAIL: --epoch/--series-out changed the figure CSV" >&2
+    diff "$tdir/plain15.csv" "$tdir/f15_series1.csv" >&2 || true
+    exit 1
+fi
+echo "windowed telemetry does not perturb the CSV"
+if ! diff -q "$tdir/S1.json" "$tdir/S4.json" > /dev/null; then
+    echo "FAIL: telemetry series differs between shards=1 and shards=4" >&2
+    diff "$tdir/S1.json" "$tdir/S4.json" >&2 || true
+    exit 1
+fi
+echo "series byte-identical across worker counts"
+./target/release/analyze --validate "$tdir/A_series.json"
+echo "window sums conserve against whole-run aggregates"
+# Negative control: perturb one per-window counter ("walks" appears
+# only inside series windows; whole-run aggregates key on "walk_end")
+# and the conservation gate must go red, or it proves nothing.
+sed '0,/"walks":[0-9]*/s//"walks":9999999/' "$tdir/A_series.json" \
+    > "$tdir/A_forged.json"
+if ./target/release/analyze --validate "$tdir/A_forged.json" 2> /dev/null; then
+    echo "FAIL: analyze --validate passed a forged window counter" >&2
+    exit 1
+fi
+echo "negative control: forged window counter fails validation with nonzero exit"
+
 echo "== bench smoke: bench_suite schema + regression gate =="
 # Runs the microbenchmark suite at ci scale (min-of-3 timing),
 # validates the emitted BENCH JSON against the metal-bench-suite/1
 # schema, and fails when any metric is both >2x worse AND past its
-# absolute noise floor vs the committed baseline (exit 2 = regression,
+# absolute noise floor vs the committed baseline (exit 4 = regression,
 # exit 3 = schema error). This runner's effective speed swings up to
 # ~1.9x between measurement windows (shared 1-vCPU host), so a tripped
 # gate gets one retry in a fresh window: red means two independent >2x

@@ -16,19 +16,36 @@
 //! is sized from the run's recorded `cache_bytes` argument; otherwise
 //! the harness default (64 KiB) is assumed.
 //!
+//! With `--epoch SPEC` (`cycles:N` / `walks:M`) every stream is also
+//! sliced into deterministic telemetry windows: the document gains a
+//! per-design `series` section (window-sum conserved against the
+//! whole-run aggregates), and the anomaly watchdogs run over it,
+//! appending an `alerts` section when one fires.
+//!
 //! `analyze --validate <ANALYSIS.json>` instead checks an existing
 //! document: schema tag, required per-design sections, and the
 //! conservation invariants (ledger retirement, regret verdicts, block
-//! classification). CI uses this as the schema gate.
+//! classification, window sums). CI uses this as the schema gate.
+//! `--deny-alerts` additionally turns a non-empty `alerts` section into
+//! a validation failure.
+//!
+//! The trace is read line by line through [`metal_obs::JsonlReader`] —
+//! multi-gigabyte traces replay in constant memory.
+//!
+//! Exit codes follow the harness-wide table in PERFORMANCE.md: 0 ok,
+//! 1 validation failure, 2 usage/I-O error.
 //!
 //! Run: `cargo run -p metal-bench --bin analyze -- trace.jsonl
 //!       [--manifest manifest.json] [--out ANALYSIS.json] [--html report.html]`
 
-use metal_bench::fail;
-use metal_obs::{render_html, validate_analysis, Json, StreamAnalyzer, TraceAnalysis};
+use metal_bench::{exit, fail};
+use metal_obs::watchdog::{analysis_document, scan_analysis, WatchdogConfig};
+use metal_obs::{
+    render_html, validate_analysis, validate_analysis_gated, Json, JsonlReader, StreamAnalyzer,
+    TraceAnalysis,
+};
+use metal_sim::epoch::EpochSpec;
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -38,7 +55,8 @@ fn help() -> ExitCode {
          \n\
          Usage: analyze <trace.jsonl> [--manifest <manifest.json>]\n\
          \x20                         [--out <ANALYSIS.json>] [--html <report.html>]\n\
-         \x20      analyze --validate <ANALYSIS.json>\n\
+         \x20                         [--epoch <cycles:N|walks:M>] [--deny-alerts]\n\
+         \x20      analyze --validate <ANALYSIS.json> [--deny-alerts]\n\
          \n\
          Replays every (run, design, shard) stream of the trace through the\n\
          entry ledger, reuse-distance profiler, miss taxonomy and eviction-\n\
@@ -48,9 +66,16 @@ fn help() -> ExitCode {
          extension). --manifest sizes the taxonomy's fully-associative\n\
          reference from the run's recorded cache_bytes.\n\
          \n\
+         --epoch slices each stream into deterministic telemetry windows:\n\
+         the document gains a per-design 'series' section and the anomaly\n\
+         watchdogs (hit-rate collapse, scan storm, regret spike) run over\n\
+         it, appending an 'alerts' section when one fires. --deny-alerts\n\
+         turns any alert into a validation failure (exit 1).\n\
+         \n\
          --validate checks an existing ANALYSIS.json instead: schema tag,\n\
-         required sections, and conservation invariants; exits non-zero on\n\
-         the first violation.\n\
+         required sections, and conservation invariants (including window\n\
+         sums vs whole-run aggregates); exits non-zero on the first\n\
+         violation.\n\
          \n\
          Traces, manifests and the analysis schema are documented in\n\
          README.md's Telemetry section and DESIGN.md §8."
@@ -61,9 +86,10 @@ fn help() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: analyze <trace.jsonl> [--manifest <m.json>] [--out <a.json>] [--html <r.html>]\n\
-         \x20      analyze --validate <ANALYSIS.json>"
+         \x20              [--epoch <cycles:N|walks:M>] [--deny-alerts]\n\
+         \x20      analyze --validate <ANALYSIS.json> [--deny-alerts]"
     );
-    ExitCode::from(2)
+    ExitCode::from(exit::USAGE_IO as u8)
 }
 
 /// Reads and parses a whole JSON document, exiting with context on
@@ -75,9 +101,9 @@ fn read_json(path: &PathBuf, what: &str) -> Json {
         .unwrap_or_else(|e| fail(format_args!("bad JSON in {what} {}: {e}", path.display())))
 }
 
-fn validate_mode(path: &PathBuf) -> ExitCode {
+fn validate_mode(path: &PathBuf, deny_alerts: bool) -> ExitCode {
     let doc = read_json(path, "analysis");
-    match validate_analysis(&doc) {
+    match validate_analysis_gated(&doc, deny_alerts) {
         Ok(()) => {
             println!(
                 "analyze: {} is a valid, conserved metal-analysis document",
@@ -87,7 +113,7 @@ fn validate_mode(path: &PathBuf) -> ExitCode {
         }
         Err(e) => {
             eprintln!("analyze: INVALID {}: {e}", path.display());
-            ExitCode::FAILURE
+            ExitCode::from(exit::VALIDATION as u8)
         }
     }
 }
@@ -102,6 +128,8 @@ fn main() -> ExitCode {
     let mut out_path: Option<PathBuf> = None;
     let mut html_path: Option<PathBuf> = None;
     let mut validate_path: Option<PathBuf> = None;
+    let mut epoch: Option<EpochSpec> = None;
+    let mut deny_alerts = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut path_arg = |flag: &str| match it.next() {
@@ -113,6 +141,15 @@ fn main() -> ExitCode {
             "--out" => out_path = Some(path_arg("--out")),
             "--html" => html_path = Some(path_arg("--html")),
             "--validate" => validate_path = Some(path_arg("--validate")),
+            "--epoch" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--epoch needs a spec argument"));
+                epoch = Some(
+                    EpochSpec::parse(v).unwrap_or_else(|e| fail(format_args!("--epoch {v}: {e}"))),
+                );
+            }
+            "--deny-alerts" => deny_alerts = true,
             p if trace_path.is_none() && !p.starts_with('-') => trace_path = Some(PathBuf::from(p)),
             _ => return usage(),
         }
@@ -122,7 +159,7 @@ fn main() -> ExitCode {
         if trace_path.is_some() {
             return usage();
         }
-        return validate_mode(&p);
+        return validate_mode(&p, deny_alerts);
     }
     let Some(trace_path) = trace_path else {
         return usage();
@@ -152,24 +189,24 @@ fn main() -> ExitCode {
     }
     .max(1);
 
-    let file = File::open(&trace_path)
+    let mut reader = JsonlReader::open(&trace_path)
         .unwrap_or_else(|e| fail(format_args!("cannot open {}: {e}", trace_path.display())));
     // One analyzer per (run, design, shard) stream; lines of one stream
-    // appear in emission order, so replay order is stream order.
+    // appear in emission order, so replay order is stream order. The
+    // reader streams line by line, so trace size never bounds memory.
     let mut streams: BTreeMap<(String, String, u64), StreamAnalyzer> = BTreeMap::new();
     let mut lines = 0u64;
-    for (i, line) in BufReader::new(file).lines().enumerate() {
-        let line = line.unwrap_or_else(|e| fail(format_args!("read error at line {}: {e}", i + 1)));
-        if line.trim().is_empty() {
-            continue;
-        }
-        let v = Json::parse(&line)
-            .unwrap_or_else(|e| fail(format_args!("bad JSON at line {}: {e}", i + 1)));
+    loop {
+        let v = match reader.next_line() {
+            Ok(Some(v)) => v,
+            Ok(None) => break,
+            Err(e) => fail(format_args!("{}: {e}", trace_path.display())),
+        };
         let label = |k: &str| v.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
         let shard = v.get("shard").and_then(Json::as_u64).unwrap_or(0);
         streams
             .entry((label("run"), label("design"), shard))
-            .or_insert_with(|| StreamAnalyzer::new(budget_blocks))
+            .or_insert_with(|| StreamAnalyzer::new(budget_blocks).with_epoch(epoch))
             .observe_json(&v);
         lines += 1;
     }
@@ -186,7 +223,18 @@ fn main() -> ExitCode {
         analysis.fold(&design, analyzer.finish());
     }
 
-    let doc = analysis.to_json();
+    // Watchdogs only see windows, so without --epoch this is a no-op.
+    let alerts = scan_analysis(&analysis, &WatchdogConfig::default());
+    for a in &alerts {
+        eprintln!(
+            "analyze: ALERT [{}] {} at epoch {}: {}",
+            a.design,
+            a.kind.as_str(),
+            a.epoch,
+            a.detail
+        );
+    }
+    let doc = analysis_document(&analysis, &alerts);
     if let Err(e) = validate_analysis(&doc) {
         fail(format_args!("analysis failed self-validation: {e}"));
     }
@@ -222,5 +270,12 @@ fn main() -> ExitCode {
     }
     println!("analyze: wrote {}", out_path.display());
     println!("analyze: wrote {}", html_path.display());
+    if deny_alerts && !alerts.is_empty() {
+        eprintln!(
+            "analyze: {} watchdog alert(s) and --deny-alerts is set",
+            alerts.len()
+        );
+        return ExitCode::from(exit::VALIDATION as u8);
+    }
     ExitCode::SUCCESS
 }

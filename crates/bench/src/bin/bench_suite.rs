@@ -21,12 +21,13 @@
 //! metric — more than `gate::GATE_RATIO`x worse *and* past the metric
 //! class's absolute noise floor (see `metal_bench::gate`) — `ci.sh`
 //! runs this at `--scale ci` against `BENCH_ci.json` as the regression
-//! gate. Exit codes: 0 ok / pass, 2 regression, 3 malformed baseline
-//! or output schema.
+//! gate. Exit codes follow the harness-wide table in PERFORMANCE.md:
+//! 0 ok / pass, 2 unreadable/unwritable paths, 3 malformed baseline or
+//! output schema, 4 regression past the gate.
 
 use metal_bench::gate::{compare, validate, SCHEMA, TIMING_REPEATS};
 use metal_bench::micro::probe_microbench;
-use metal_bench::{figure_designs, HarnessArgs};
+use metal_bench::{exit, figure_designs, HarnessArgs};
 use metal_core::runner::run_design;
 use metal_obs::Json;
 use metal_workloads::{Scale, Workload};
@@ -41,7 +42,7 @@ fn help() -> ! {
          Flags:\n\
          --scale ci|bench     workload sizes (default bench; ci is the smoke size)\n\
          --out PATH           write the metrics JSON to PATH (default: stdout only)\n\
-         --compare PATH       gate against a baseline: exit 2 on a regression past\n\
+         --compare PATH       gate against a baseline: exit 4 on a regression past\n\
          .                    the ratio gate and noise floor (see PERFORMANCE.md)\n\
          \n\
          The JSON schema, methodology and how to diff two runs are documented in\n\
@@ -149,14 +150,14 @@ fn main() {
 
     if let Err(e) = validate(&doc) {
         eprintln!("bench_suite: generated metrics fail their own schema: {e}");
-        std::process::exit(3);
+        std::process::exit(exit::SCHEMA);
     }
     let rendered = doc.render();
     println!("{rendered}");
     if let Some(p) = &out_path {
         std::fs::write(p, format!("{rendered}\n")).unwrap_or_else(|e| {
             eprintln!("bench_suite: --out {p}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit::USAGE_IO);
         });
         eprintln!("# wrote {p}");
     }
@@ -164,15 +165,15 @@ fn main() {
     if let Some(p) = &compare_path {
         let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
             eprintln!("bench_suite: --compare {p}: {e}");
-            std::process::exit(3);
+            std::process::exit(exit::USAGE_IO);
         });
         let base = Json::parse(&text).unwrap_or_else(|e| {
             eprintln!("bench_suite: --compare {p}: bad JSON: {e:?}");
-            std::process::exit(3);
+            std::process::exit(exit::SCHEMA);
         });
         if let Err(e) = validate(&base) {
             eprintln!("bench_suite: baseline {p} fails schema validation: {e}");
-            std::process::exit(3);
+            std::process::exit(exit::SCHEMA);
         }
         let report = compare(&base, &doc);
         for d in &report.diffs {
@@ -180,7 +181,7 @@ fn main() {
         }
         if report.regressed() {
             eprintln!("bench_suite: REGRESSION past ratio and noise floor against {p}");
-            std::process::exit(2);
+            std::process::exit(exit::REGRESSION);
         }
         eprintln!("# bench_suite: within gate of {p} on every shared metric");
     }

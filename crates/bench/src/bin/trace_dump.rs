@@ -16,13 +16,25 @@
 //! admission/bypass/eviction reason counters re-derived from the trace
 //! are diffed against them too.
 //!
+//! With `--timeline <cycles:N|walks:M>` the dump ends with a per-epoch
+//! table per design — walks, probes, hit rate, misses, fills, evictions
+//! and regretted evictions per window — rebuilt through the same
+//! windowed [`metal_obs::StreamAnalyzer`] the in-process path uses, so
+//! the table matches a `--series-out` document exactly.
+//!
+//! The trace is read line by line through [`metal_obs::JsonlReader`] —
+//! multi-gigabyte traces dump in constant memory.
+//!
+//! Exit codes follow the harness-wide table in PERFORMANCE.md: 0 ok,
+//! 1 cross-check mismatch, 2 usage/I-O error.
+//!
 //! Run: `cargo run -p metal-bench --bin trace_dump -- trace.jsonl
-//!       [--top N] [--check-hits manifest.json]`
+//!       [--top N] [--check-hits manifest.json] [--timeline walks:M]`
 
-use metal_obs::Json;
+use metal_bench::exit;
+use metal_obs::{Json, JsonlReader, StreamAnalyzer, TraceAnalysis};
+use metal_sim::epoch::EpochSpec;
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 
 /// Everything the summaries need, folded from one pass over the trace.
@@ -259,9 +271,45 @@ impl TraceSummary {
     }
 }
 
+/// The per-epoch table for every design that appears in the trace.
+fn print_timeline(analysis: &TraceAnalysis) {
+    for (design, d) in &analysis.designs {
+        let Some(series) = &d.series else { continue };
+        println!();
+        println!(
+            "## timeline {design} (epoch width {}, {} windows)",
+            series.spec.render(),
+            series.windows.len()
+        );
+        println!(
+            "{:>8} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9}",
+            "epoch", "walks", "probes", "hit%", "misses", "fills", "evicts", "regret"
+        );
+        for (epoch, w) in &series.windows {
+            let hit_pct = if w.probes == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", 100.0 * w.hits_total() as f64 / w.probes as f64)
+            };
+            println!(
+                "{epoch:>8} {:>9} {:>9} {hit_pct:>7} {:>9} {:>9} {:>9} {:>9}",
+                w.walks,
+                w.probes,
+                w.misses,
+                w.fills,
+                w.evictions_total(),
+                w.regretted
+            );
+        }
+    }
+}
+
 fn usage() -> ExitCode {
-    eprintln!("usage: trace_dump <trace.jsonl> [--top N] [--check-hits <manifest.json>]");
-    ExitCode::from(2)
+    eprintln!(
+        "usage: trace_dump <trace.jsonl> [--top N] [--check-hits <manifest.json>]\n\
+         \x20                 [--timeline <cycles:N|walks:M>]"
+    );
+    ExitCode::from(exit::USAGE_IO as u8)
 }
 
 fn help() -> ExitCode {
@@ -269,11 +317,14 @@ fn help() -> ExitCode {
         "trace_dump: inspect a --trace-out JSONL event trace\n\
          \n\
          Usage: trace_dump <trace.jsonl> [--top N] [--check-hits <manifest.json>]\n\
+         \x20                            [--timeline <cycles:N|walks:M>]\n\
          \n\
          Prints event counts by kind, the hottest IX-cache sets, the\n\
          short-circuit depth distribution, admission/eviction reason counters\n\
          and the tuner decision timeline. --check-hits cross-checks the trace\n\
          against a --metrics-out run manifest (exits non-zero on mismatch).\n\
+         --timeline appends a per-epoch table per design (walks, probes,\n\
+         hit rate, misses, fills, evictions, regret per window).\n\
          \n\
          Traces and manifests are documented in README.md's Telemetry section\n\
          (and its CLI reference table); the tracked performance baseline these\n\
@@ -289,6 +340,7 @@ fn main() -> ExitCode {
     }
     let mut trace_path = None;
     let mut manifest_path = None;
+    let mut timeline: Option<EpochSpec> = None;
     let mut top = 10usize;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -301,6 +353,14 @@ fn main() -> ExitCode {
                 Some(p) => manifest_path = Some(p.clone()),
                 None => return usage(),
             },
+            "--timeline" => match it.next().map(|v| EpochSpec::parse(v)) {
+                Some(Ok(spec)) => timeline = Some(spec),
+                Some(Err(e)) => {
+                    eprintln!("trace_dump: --timeline: {e}");
+                    return usage();
+                }
+                None => return usage(),
+            },
             p if trace_path.is_none() => trace_path = Some(p.to_string()),
             _ => return usage(),
         }
@@ -309,53 +369,67 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    let file = match File::open(&trace_path) {
-        Ok(f) => f,
+    let mut reader = match JsonlReader::open(&trace_path) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("trace_dump: cannot open {trace_path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::USAGE_IO as u8);
         }
     };
     let mut summary = TraceSummary::default();
-    for (i, line) in BufReader::new(file).lines().enumerate() {
-        let line = match line {
-            Ok(l) => l,
+    // --timeline replays each (run, design, shard) stream through a
+    // windowed analyzer; merged per design they reproduce exactly the
+    // series the in-process --series-out path would have written.
+    let mut streams: BTreeMap<(String, String, u64), StreamAnalyzer> = BTreeMap::new();
+    loop {
+        let v = match reader.next_line() {
+            Ok(Some(v)) => v,
+            Ok(None) => break,
             Err(e) => {
-                eprintln!("trace_dump: read error at line {}: {e}", i + 1);
-                return ExitCode::FAILURE;
+                eprintln!("trace_dump: {trace_path}: {e}");
+                return ExitCode::from(exit::USAGE_IO as u8);
             }
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match Json::parse(&line) {
-            Ok(v) => summary.observe(&v),
-            Err(e) => {
-                eprintln!("trace_dump: bad JSON at line {}: {e}", i + 1);
-                return ExitCode::FAILURE;
-            }
+        summary.observe(&v);
+        if let Some(spec) = timeline {
+            let key = (
+                str_field(&v, "run"),
+                str_field(&v, "design"),
+                u64_field(&v, "shard"),
+            );
+            streams
+                .entry(key)
+                .or_insert_with(|| StreamAnalyzer::new(1).with_epoch(Some(spec)))
+                .observe_json(&v);
         }
     }
     summary.print(top);
+    if timeline.is_some() {
+        let mut analysis = TraceAnalysis::default();
+        for ((_, design, _), analyzer) in streams {
+            analysis.fold(&design, analyzer.finish());
+        }
+        print_timeline(&analysis);
+    }
 
     if let Some(path) = manifest_path {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("trace_dump: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(exit::USAGE_IO as u8);
             }
         };
         let manifest = match Json::parse(&text) {
             Ok(v) => v,
             Err(e) => {
                 eprintln!("trace_dump: bad manifest JSON: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(exit::USAGE_IO as u8);
             }
         };
         println!();
         if summary.check_hits(&manifest) + summary.check_reasons(&manifest) > 0 {
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::VALIDATION as u8);
         }
     }
     ExitCode::SUCCESS

@@ -17,10 +17,12 @@ use metal_core::models::DesignSpec;
 use metal_core::runner::{run_design, ObsConfig, RunConfig, RunReport, DEFAULT_SHARD_WALKS};
 use metal_core::IxConfig;
 use metal_obs::manifest::RunManifest;
+use metal_obs::watchdog::{analysis_document, scan_analysis, WatchdogConfig};
 use metal_obs::{
     render_html, validate_analysis, AnalysisRegistry, ChromeTraceSink, ChromeTraceWriter,
-    JsonlSink, JsonlWriter, MetricsRegistry,
+    FlightRecorder, JsonlSink, JsonlWriter, MetricsRegistry, DEFAULT_FLIGHT_CAPACITY,
 };
+use metal_sim::epoch::EpochSpec;
 use metal_sim::obs::{shared, EventSink, MultiSink};
 use metal_sim::stats::RunStats;
 use metal_workloads::{BuiltWorkload, Scale, Workload};
@@ -29,13 +31,32 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Prints a contextful error and exits nonzero. The harness binaries use
-/// this for user-facing I/O and parse failures (bad paths, unreadable
-/// input) where a panic's backtrace would bury the actual problem;
-/// internal invariant violations still panic.
+/// Process exit codes shared by every harness binary (`analyze`,
+/// `trace_dump`, `bench_suite`, the figure binaries). The full table is
+/// documented in PERFORMANCE.md.
+pub mod exit {
+    /// Success.
+    pub const OK: i32 = 0;
+    /// A validation gate failed (conservation, `--check-hits`,
+    /// `--deny-alerts`, forged-input detection).
+    pub const VALIDATION: i32 = 1;
+    /// Usage or I/O error: bad flags, unreadable/unwritable paths,
+    /// malformed trace lines ([`crate::fail`] exits with this).
+    pub const USAGE_IO: i32 = 2;
+    /// A structurally malformed schema-tagged document (baseline or
+    /// output of the wrong shape/version).
+    pub const SCHEMA: i32 = 3;
+    /// A tracked performance regression past the gate threshold.
+    pub const REGRESSION: i32 = 4;
+}
+
+/// Prints a contextful error and exits with [`exit::USAGE_IO`]. The
+/// harness binaries use this for user-facing I/O and parse failures (bad
+/// paths, unreadable input) where a panic's backtrace would bury the
+/// actual problem; internal invariant violations still panic.
 pub fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("error: {msg}");
-    std::process::exit(2);
+    std::process::exit(exit::USAGE_IO);
 }
 
 /// Command-line arguments shared by all harness binaries.
@@ -73,6 +94,17 @@ pub struct HarnessArgs {
     /// diagnostics go to stderr and the CSV on stdout is unchanged).
     /// Aborts the binary on any divergence.
     pub verify: bool,
+    /// `--epoch SPEC`: slice telemetry into deterministic windows
+    /// (`cycles:N` / `walks:M` / bare integer = walks) for the analysis
+    /// series, watchdogs and heartbeat. Observe-only.
+    pub epoch: Option<EpochSpec>,
+    /// `--series-out PATH`: write the per-epoch window series as a
+    /// standalone schema-tagged JSON document (requires `--epoch`).
+    pub series_out: Option<PathBuf>,
+    /// `--flight-out PATH`: keep a fixed-size flight-recorder ring of
+    /// recent raw events per design and dump it (trace JSONL) to PATH on
+    /// panic, on a watchdog alert, or at session end.
+    pub flight_out: Option<PathBuf>,
 }
 
 /// The `METAL_SHARDS` worker-count override, `0` (= all cores) when the
@@ -95,6 +127,9 @@ impl Default for HarnessArgs {
             metrics_out: None,
             analyze_out: None,
             verify: false,
+            epoch: None,
+            series_out: None,
+            flight_out: None,
         }
     }
 }
@@ -168,8 +203,22 @@ impl HarnessArgs {
                     out.analyze_out = Some(PathBuf::from(next_str(&mut it, "--analyze-out")))
                 }
                 "--verify" => out.verify = true,
+                "--epoch" => {
+                    let v = next_str(&mut it, "--epoch");
+                    out.epoch =
+                        Some(EpochSpec::parse(&v).unwrap_or_else(|e| panic!("--epoch {v}: {e}")));
+                }
+                "--series-out" => {
+                    out.series_out = Some(PathBuf::from(next_str(&mut it, "--series-out")))
+                }
+                "--flight-out" => {
+                    out.flight_out = Some(PathBuf::from(next_str(&mut it, "--flight-out")))
+                }
                 _ => {}
             }
+        }
+        if out.series_out.is_some() && out.epoch.is_none() {
+            panic!("--series-out requires --epoch (the series is windowed by definition)");
         }
         out
     }
@@ -181,6 +230,7 @@ impl HarnessArgs {
         RunConfig::default()
             .with_shards(self.shards)
             .with_shard_walks(self.shard_walks.max(1))
+            .with_epoch(self.epoch)
     }
 }
 
@@ -201,6 +251,9 @@ fn print_usage() {
            --metrics-out PATH       write a run-manifest JSON\n\
            --analyze-out PATH       write forensic ANALYSIS.json + HTML report\n\
            --verify                 cross-check a subsample against metal-verify\n\
+           --epoch SPEC             window telemetry (cycles:N | walks:M | M)\n\
+           --series-out PATH        write the per-epoch series JSON (needs --epoch)\n\
+           --flight-out PATH        flight-recorder ring, dumped as trace JSONL\n\
          \n\
          Environment: METAL_SHARDS (worker-thread default),\n\
          METAL_HEARTBEAT_SECS (progress heartbeat; 0 disables).\n\
@@ -242,11 +295,14 @@ impl Heartbeat {
         run: String,
         scope: Arc<Mutex<String>>,
         progress: Arc<AtomicU64>,
+        epoch_gauge: Option<Arc<AtomicU64>>,
         period: Duration,
     ) -> Self {
         let (tx, rx) = mpsc::channel::<()>();
         let handle = std::thread::spawn(move || {
             let started = Instant::now();
+            let mut last_walks = 0u64;
+            let mut last_beat = Instant::now();
             while let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(period) {
                 // Long sessions run many scoped batches back to back;
                 // without the active scope the heartbeat can't say
@@ -257,9 +313,18 @@ impl Heartbeat {
                 } else {
                     format!("{run}:{scope}")
                 };
+                let walks = progress.load(Ordering::Relaxed);
+                let dt = last_beat.elapsed().as_secs_f64().max(1e-9);
+                let rate = (walks.saturating_sub(last_walks)) as f64 / dt;
+                last_walks = walks;
+                last_beat = Instant::now();
+                let epoch = epoch_gauge
+                    .as_ref()
+                    .map(|g| format!(", epoch {}", g.load(Ordering::Relaxed)))
+                    .unwrap_or_default();
                 eprintln!(
-                    "# [{at}] heartbeat: {} walks simulated, {:.0}s elapsed",
-                    progress.load(Ordering::Relaxed),
+                    "# [{at}] heartbeat: {walks} walks simulated, \
+                     {rate:.0} walks/s since last beat, {:.0}s elapsed{epoch}",
                     started.elapsed().as_secs_f64()
                 );
             }
@@ -307,7 +372,10 @@ pub struct Session {
     chrome_path: Option<PathBuf>,
     registry: Option<Arc<MetricsRegistry>>,
     analysis: Option<Arc<AnalysisRegistry>>,
+    flight: Option<Arc<FlightRecorder>>,
     progress: Arc<AtomicU64>,
+    /// Highest epoch any analyzer has entered (heartbeat's gauge).
+    epoch_gauge: Arc<AtomicU64>,
     /// The most recent [`Session::config`] scope, shown by the heartbeat.
     hb_scope: Arc<Mutex<String>>,
     _heartbeat: Option<Heartbeat>,
@@ -325,6 +393,9 @@ impl Session {
         manifest.arg("cache_bytes", args.cache_bytes);
         manifest.arg("shards", args.shards);
         manifest.arg("shard_walks", args.shard_walks);
+        if let Some(epoch) = args.epoch {
+            manifest.arg("epoch", epoch.render());
+        }
 
         let jsonl = args.trace_out.as_ref().map(|p| {
             JsonlWriter::create(p)
@@ -336,15 +407,38 @@ impl Session {
             .map(|p| p.with_extension("chrome.json"));
         let chrome = chrome_path.as_ref().map(|_| ChromeTraceWriter::new());
         let registry = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
-        let analysis = args
-            .analyze_out
+        let analysis = (args.analyze_out.is_some() || args.series_out.is_some())
+            .then(|| AnalysisRegistry::windowed((args.cache_bytes / 64).max(1), args.epoch));
+        let flight = args
+            .flight_out
             .as_ref()
-            .map(|_| AnalysisRegistry::new((args.cache_bytes / 64).max(1)));
+            .map(|_| FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY));
+        if let (Some(rec), Some(path)) = (&flight, &args.flight_out) {
+            // Panic-path dump: chain onto the existing hook so the
+            // default backtrace still prints, then flush the ring.
+            let rec = Arc::clone(rec);
+            let path = path.clone();
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                prev(info);
+                match rec.dump_to(&path) {
+                    Ok(()) => eprintln!("# panic: dumped flight recorder to {}", path.display()),
+                    Err(e) => eprintln!("# panic: flight dump {}: {e}", path.display()),
+                }
+            }));
+        }
 
         let progress = Arc::new(AtomicU64::new(0));
+        let epoch_gauge = Arc::new(AtomicU64::new(0));
         let hb_scope = Arc::new(Mutex::new(String::new()));
         let heartbeat = heartbeat_period().map(|period| {
-            Heartbeat::spawn(run.to_string(), hb_scope.clone(), progress.clone(), period)
+            Heartbeat::spawn(
+                run.to_string(),
+                hb_scope.clone(),
+                progress.clone(),
+                args.epoch.map(|_| epoch_gauge.clone()),
+                period,
+            )
         });
 
         Session {
@@ -357,7 +451,9 @@ impl Session {
             chrome_path,
             registry,
             analysis,
+            flight,
             progress,
+            epoch_gauge,
             hb_scope,
             _heartbeat: heartbeat,
         }
@@ -382,11 +478,17 @@ impl Session {
             sink_factory: None,
             progress: Some(self.progress.clone()),
         };
-        if self.jsonl.is_some() || self.registry.is_some() || self.analysis.is_some() {
+        if self.jsonl.is_some()
+            || self.registry.is_some()
+            || self.analysis.is_some()
+            || self.flight.is_some()
+        {
             let jsonl = self.jsonl.clone();
             let chrome = self.chrome.clone();
             let registry = self.registry.clone();
             let analysis = self.analysis.clone();
+            let flight = self.flight.clone();
+            let epoch_gauge = self.epoch_gauge.clone();
             let scope = scope.to_string();
             obs.sink_factory = Some(Arc::new(move |ctx| {
                 let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
@@ -409,7 +511,12 @@ impl Session {
                     sinks.push(Box::new(r.sink()));
                 }
                 if let Some(a) = &analysis {
-                    sinks.push(Box::new(a.sink(&ctx.design)));
+                    sinks.push(Box::new(
+                        a.sink_with_gauge(&ctx.design, epoch_gauge.clone()),
+                    ));
+                }
+                if let Some(f) = &flight {
+                    sinks.push(Box::new(f.sink(&ctx.design, ctx.shard)));
                 }
                 (!sinks.is_empty()).then(|| shared(MultiSink::new(sinks)))
             }));
@@ -427,11 +534,30 @@ impl Session {
         self.progress.load(Ordering::Relaxed)
     }
 
-    /// Closes the session: stops the heartbeat, stamps the wall clock
-    /// and writes the Chrome export and the manifest (when requested).
+    /// Closes the session: stops the heartbeat, stamps the wall clock,
+    /// runs the watchdogs over the window series and writes the Chrome
+    /// export, manifest, analysis, series and flight dump (each when
+    /// requested).
     pub fn finish(mut self) {
         self.manifest.wall_clock_secs = self.started.elapsed().as_secs_f64();
         self.manifest.metrics = self.registry.as_ref().map(|r| r.snapshot());
+        let analysis = self.analysis.as_ref().map(|reg| reg.snapshot());
+        // Watchdogs run over whatever series the analyzers windowed;
+        // without --epoch there are no windows and no alerts.
+        let alerts = analysis
+            .as_ref()
+            .map(|a| scan_analysis(a, &WatchdogConfig::default()))
+            .unwrap_or_default();
+        for a in &alerts {
+            eprintln!(
+                "# ALERT [{}] {} at epoch {}: {}",
+                a.design,
+                a.kind.as_str(),
+                a.epoch,
+                a.detail
+            );
+        }
+        self.manifest.alerts = alerts.clone();
         if let (Some(chrome), Some(path)) = (&self.chrome, &self.chrome_path) {
             if let Err(e) = chrome.save(path) {
                 eprintln!("# warning: chrome trace {}: {e}", path.display());
@@ -449,11 +575,26 @@ impl Session {
                 eprintln!("# wrote run manifest: {}", p.display());
             }
         }
-        if let (Some(p), Some(reg)) = (&self.args.analyze_out, &self.analysis) {
-            let analysis = reg.snapshot();
-            let doc = analysis.to_json();
+        if let (Some(p), Some(analysis)) = (&self.args.series_out, &analysis) {
+            match analysis.series_json() {
+                Some(doc) => {
+                    if let Err(e) = std::fs::write(p, doc.render() + "\n") {
+                        fail(format_args!("--series-out {}: {e}", p.display()));
+                    }
+                    eprintln!("# wrote telemetry series: {}", p.display());
+                }
+                None => eprintln!(
+                    "# warning: --series-out {}: no windows recorded (nothing simulated?)",
+                    p.display()
+                ),
+            }
+        }
+        if let (Some(p), Some(analysis)) = (&self.args.analyze_out, &analysis) {
+            let doc = analysis_document(analysis, &alerts);
             // The validator runs on our own output so an accounting bug
-            // fails the producing run, not just a later CI check.
+            // (including window-sum conservation) fails the producing
+            // run, not just a later CI check. Alerts are data here; only
+            // `analyze --deny-alerts` turns them into failures.
             if let Err(e) = validate_analysis(&doc) {
                 fail(format_args!("--analyze-out self-validation: {e}"));
             }
@@ -462,11 +603,24 @@ impl Session {
             }
             eprintln!("# wrote forensic analysis: {}", p.display());
             let html_path = p.with_extension("html");
-            let html = render_html(&analysis, &format!("METAL forensics — {}", self.run));
+            let html = render_html(analysis, &format!("METAL forensics — {}", self.run));
             if let Err(e) = std::fs::write(&html_path, html) {
                 fail(format_args!("--analyze-out {}: {e}", html_path.display()));
             }
             eprintln!("# wrote forensic report: {}", html_path.display());
+        }
+        if let (Some(p), Some(rec)) = (&self.args.flight_out, &self.flight) {
+            // Session end is the on-demand dump; an alert above makes
+            // the same dump the anomaly post-mortem.
+            if let Err(e) = rec.dump_to(p) {
+                fail(format_args!("--flight-out {}: {e}", p.display()));
+            }
+            let why = if alerts.is_empty() {
+                "session end"
+            } else {
+                "watchdog alert"
+            };
+            eprintln!("# wrote flight recorder ({why}): {}", p.display());
         }
     }
 }
@@ -742,6 +896,27 @@ mod tests {
         let a = args("--analyze-out out/ANALYSIS.json");
         assert_eq!(a.analyze_out, Some(PathBuf::from("out/ANALYSIS.json")));
         assert_eq!(args("").analyze_out, None);
+    }
+
+    #[test]
+    fn epoch_flags_parse() {
+        let a =
+            args("--epoch walks:512 --series-out out/SERIES.json --flight-out out/flight.jsonl");
+        assert_eq!(a.epoch, Some(EpochSpec::Walks(512)));
+        assert_eq!(a.series_out, Some(PathBuf::from("out/SERIES.json")));
+        assert_eq!(a.flight_out, Some(PathBuf::from("out/flight.jsonl")));
+        assert_eq!(a.run_config().epoch, Some(EpochSpec::Walks(512)));
+        assert_eq!(
+            args("--epoch cycles:9000").epoch,
+            Some(EpochSpec::Cycles(9000))
+        );
+        assert_eq!(args("").epoch, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--series-out requires --epoch")]
+    fn series_without_epoch_rejected() {
+        let _ = args("--series-out out/SERIES.json");
     }
 
     #[test]

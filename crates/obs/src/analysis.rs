@@ -20,15 +20,21 @@
 //! `LatencyStats` already pin.
 
 use crate::json::Json;
-use crate::ledger::{EntryLedger, LedgerSummary, RegretMeter, RegretSummary};
+use crate::ledger::{EntryLedger, LedgerSummary, RegretDelta, RegretMeter, RegretSummary};
 use crate::reuse::{LogHist, MissTaxonomy, ReuseProfiler, TaxonomyCounts};
+use crate::timeseries::TimeSeries;
+use metal_sim::epoch::{EpochClock, EpochSpec};
 use metal_sim::obs::{Event, EventSink};
 use metal_sim::types::BLOCK_BYTES;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Schema tag stamped into `ANALYSIS.json`.
 pub const ANALYSIS_SCHEMA: &str = "metal-analysis-v1";
+
+/// Schema tag stamped into standalone `--series-out` documents.
+pub const SERIES_SCHEMA: &str = "metal-series-v1";
 
 /// One tuner decision in the forensic timeline.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -68,6 +74,9 @@ pub struct DesignAnalysis {
     pub occupancy_by_set: BTreeMap<(u8, u32), i64>,
     /// Tuner decisions (sorted canonically in [`Self::to_json`]).
     pub tuner_decisions: Vec<TunerRec>,
+    /// Epoch-windowed metric series; `None` when the run was not
+    /// windowed (the default, and the byte-stable legacy rendering).
+    pub series: Option<TimeSeries>,
 }
 
 impl DesignAnalysis {
@@ -89,6 +98,11 @@ impl DesignAnalysis {
         }
         self.tuner_decisions
             .extend(other.tuner_decisions.iter().cloned());
+        match (&mut self.series, &other.series) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.series = Some(theirs.clone()),
+            _ => {}
+        }
     }
 
     /// The design's JSON object. Deterministic: maps are ordered and the
@@ -218,17 +232,30 @@ impl DesignAnalysis {
                 })
                 .collect(),
         );
-        Json::Obj(vec![
-            ("events_by_kind".into(), kinds),
-            ("ledger".into(), ledger),
-            ("reuse_distance".into(), reuse),
-            ("taxonomy".into(), self.taxonomy.to_json()),
-            ("regret".into(), regret),
-            ("probes_by_set".into(), set_map_u(&self.probes_by_set)),
-            ("occupancy_by_set".into(), occupancy),
-            ("tuner_decisions".into(), tuner),
-        ])
+        let mut fields = vec![
+            ("events_by_kind".to_string(), kinds),
+            ("ledger".to_string(), ledger),
+            ("reuse_distance".to_string(), reuse),
+            ("taxonomy".to_string(), self.taxonomy.to_json()),
+            ("regret".to_string(), regret),
+            ("probes_by_set".to_string(), set_map_u(&self.probes_by_set)),
+            ("occupancy_by_set".to_string(), occupancy),
+            ("tuner_decisions".to_string(), tuner),
+        ];
+        if let Some(series) = &self.series {
+            fields.push(("series".to_string(), series.to_json()));
+        }
+        Json::Obj(fields)
     }
+}
+
+/// One stream's windowing state: the epoch clock and the series the
+/// windows accumulate into.
+#[derive(Debug)]
+struct SeriesState {
+    clock: EpochClock,
+    series: TimeSeries,
+    last_epoch: u64,
 }
 
 /// Analyzer for one (run, design, shard) event stream.
@@ -242,6 +269,7 @@ pub struct StreamAnalyzer {
     probes_by_set: BTreeMap<(u8, u32), u64>,
     occupancy_by_set: BTreeMap<(u8, u32), i64>,
     tuner_decisions: Vec<TunerRec>,
+    series: Option<SeriesState>,
 }
 
 impl StreamAnalyzer {
@@ -258,15 +286,62 @@ impl StreamAnalyzer {
             probes_by_set: BTreeMap::new(),
             occupancy_by_set: BTreeMap::new(),
             tuner_decisions: Vec::new(),
+            series: None,
         }
     }
 
-    fn probe(&mut self, index: u8, key: u64, hit: bool, short_circuit: u64, set: u32, entry: u64) {
+    /// Slices this stream into epoch windows (`None` leaves it
+    /// unwindowed, the legacy behaviour).
+    pub fn with_epoch(mut self, epoch: Option<EpochSpec>) -> Self {
+        self.series = epoch.map(|spec| SeriesState {
+            clock: EpochClock::new(spec),
+            series: TimeSeries::new(spec),
+            last_epoch: 0,
+        });
+        self
+    }
+
+    /// The epoch of the most recently observed event (`None` when the
+    /// stream is unwindowed).
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.series.as_ref().map(|s| s.last_epoch)
+    }
+
+    /// Assigns the next event to its epoch (streams without windowing
+    /// skip this entirely).
+    fn assign_epoch(&mut self, at: u64, is_walk_end: bool) -> Option<u64> {
+        self.series.as_mut().map(|s| {
+            let e = s.clock.observe(at, is_walk_end);
+            s.last_epoch = e;
+            e
+        })
+    }
+
+    /// Adds one event (plus the regret verdicts its probe produced) to
+    /// its window.
+    fn window_event(&mut self, epoch: Option<u64>, ev: &Event, delta: RegretDelta) {
+        if let (Some(s), Some(e)) = (&mut self.series, epoch) {
+            let w = s.series.window_mut(e);
+            w.observe_event(ev);
+            w.regretted += delta.regretted;
+            w.vindicated += delta.vindicated;
+        }
+    }
+
+    fn probe(
+        &mut self,
+        index: u8,
+        key: u64,
+        hit: bool,
+        short_circuit: u64,
+        set: u32,
+        entry: u64,
+    ) -> RegretDelta {
         *self.probes_by_set.entry((index, set)).or_insert(0) += 1;
         if hit && entry != 0 {
             self.ledger.probe_hit(entry, short_circuit);
         }
-        self.regret.probe(index, key, hit, entry);
+        self.regret.probe(index, key, hit, entry)
     }
 
     fn fill(&mut self, at: u64, index: u8, set: u32, entry: u64, pack: &str) {
@@ -310,6 +385,8 @@ impl StreamAnalyzer {
             .events_by_kind
             .entry(ev.kind().to_string())
             .or_insert(0) += 1;
+        let epoch = self.assign_epoch(at, matches!(ev, Event::WalkEnd { .. }));
+        let mut delta = RegretDelta::default();
         match *ev {
             Event::IxProbe {
                 index,
@@ -319,7 +396,7 @@ impl StreamAnalyzer {
                 set,
                 entry,
                 ..
-            } => self.probe(index, key, hit, short_circuit as u64, set, entry),
+            } => delta = self.probe(index, key, hit, short_circuit as u64, set, entry),
             Event::Insert { reason, .. } => self.ledger.insert(reason.as_str()),
             Event::Fill {
                 index,
@@ -365,6 +442,7 @@ impl StreamAnalyzer {
             | Event::Bypass { .. }
             | Event::Split { .. } => {}
         }
+        self.window_event(epoch, ev, delta);
     }
 
     /// Feeds one parsed JSONL trace line. Field access is tolerant
@@ -381,15 +459,19 @@ impl StreamAnalyzer {
         }
         *self.events_by_kind.entry(kind.clone()).or_insert(0) += 1;
         let at = u("at");
+        let epoch = self.assign_epoch(at, kind == "walk_end");
+        let mut delta = RegretDelta::default();
         match kind.as_str() {
-            "ix_probe" => self.probe(
-                u("index") as u8,
-                u("key"),
-                b("hit"),
-                u("short_circuit"),
-                u("set") as u32,
-                u("entry"),
-            ),
+            "ix_probe" => {
+                delta = self.probe(
+                    u("index") as u8,
+                    u("key"),
+                    b("hit"),
+                    u("short_circuit"),
+                    u("set") as u32,
+                    u("entry"),
+                )
+            }
             "insert" => {
                 let reason = s("reason").to_string();
                 self.ledger.insert(&reason);
@@ -425,6 +507,12 @@ impl StreamAnalyzer {
             }),
             _ => {}
         }
+        if let (Some(state), Some(e)) = (&mut self.series, epoch) {
+            let w = state.series.window_mut(e);
+            w.observe_json(line);
+            w.regretted += delta.regretted;
+            w.vindicated += delta.vindicated;
+        }
     }
 
     /// Ends the stream and returns its reduction.
@@ -439,6 +527,7 @@ impl StreamAnalyzer {
             probes_by_set: self.probes_by_set,
             occupancy_by_set: self.occupancy_by_set,
             tuner_decisions: self.tuner_decisions,
+            series: self.series.map(|s| s.series),
         }
     }
 }
@@ -474,18 +563,54 @@ impl TraceAnalysis {
             ),
         ])
     }
+
+    /// The standalone `--series-out` document: only the per-design epoch
+    /// series, schema-tagged, so shard-invariance can be byte-diffed
+    /// without the rest of the analysis. `None` when no design carries a
+    /// series (the run was not windowed).
+    pub fn series_json(&self) -> Option<Json> {
+        let designs: Vec<(String, Json)> = self
+            .designs
+            .iter()
+            .filter_map(|(d, a)| a.series.as_ref().map(|s| (d.clone(), s.to_json())))
+            .collect();
+        if designs.is_empty() {
+            return None;
+        }
+        Some(Json::Obj(vec![
+            ("schema".into(), Json::str(SERIES_SCHEMA)),
+            ("designs".into(), Json::Obj(designs)),
+        ]))
+    }
 }
 
 /// Structural and conservation checks over a rendered `ANALYSIS.json`.
 /// Returns the first violation found. Used by `analyze --validate` in
 /// CI so a schema or accounting regression fails loudly.
 pub fn validate_analysis(v: &Json) -> Result<(), String> {
+    validate_analysis_gated(v, false)
+}
+
+/// [`validate_analysis`] plus an optional alert gate: with
+/// `deny_alerts`, a document whose watchdogs fired (non-empty `alerts`
+/// array) is a validation failure — `analyze --validate --deny-alerts`
+/// turns anomalies into a red CI.
+pub fn validate_analysis_gated(v: &Json, deny_alerts: bool) -> Result<(), String> {
     let schema = v
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing schema tag")?;
     if schema != ANALYSIS_SCHEMA {
         return Err(format!("schema {schema:?}, expected {ANALYSIS_SCHEMA:?}"));
+    }
+    if deny_alerts {
+        let fired = v
+            .get("alerts")
+            .and_then(Json::as_arr)
+            .map_or(0, |a| a.len());
+        if fired > 0 {
+            return Err(format!("{fired} watchdog alert(s) present (--deny-alerts)"));
+        }
     }
     let designs = match v.get("designs") {
         Some(Json::Obj(fields)) => fields,
@@ -574,6 +699,137 @@ pub fn validate_analysis(v: &Json) -> Result<(), String> {
                 return Err(ctx(&format!("missing {key} array")));
             }
         }
+        // Window-sum conservation: when the analysis carries an epoch
+        // series, every counter summed over windows must equal the
+        // whole-run aggregate — each event lands in exactly one window.
+        if let Some(series) = d.get("series") {
+            validate_series(name, d, series)?;
+        }
+    }
+    Ok(())
+}
+
+/// Conservation checks for one design's `series` section against its
+/// whole-run aggregates.
+fn validate_series(name: &str, d: &Json, series: &Json) -> Result<(), String> {
+    let ctx = |msg: &str| format!("design {name:?} series: {msg}");
+    EpochSpec::parse(series.get("epoch").and_then(Json::as_str).unwrap_or(""))
+        .map_err(|e| ctx(&e))?;
+    let windows = series
+        .get("windows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ctx("missing windows array"))?;
+    // Sum one scalar counter, one reason/level map, or one histogram
+    // over every window.
+    let sum_u = |key: &str| -> u64 {
+        windows
+            .iter()
+            .map(|w| w.get(key).and_then(Json::as_u64).unwrap_or(0))
+            .sum()
+    };
+    let sum_map = |key: &str| -> u64 {
+        windows
+            .iter()
+            .map(|w| match w.get(key) {
+                Some(Json::Obj(fields)) => {
+                    fields.iter().filter_map(|(_, v)| v.as_u64()).sum::<u64>()
+                }
+                _ => 0,
+            })
+            .sum()
+    };
+    let sum_pairs = |key: &str| -> u64 {
+        windows
+            .iter()
+            .map(|w| match w.get(key) {
+                Some(Json::Arr(pairs)) => pairs
+                    .iter()
+                    .filter_map(|p| p.as_arr().and_then(|kv| kv.get(1)).and_then(Json::as_u64))
+                    .sum::<u64>(),
+                _ => 0,
+            })
+            .sum()
+    };
+    let sum_hist = |key: &str| -> u64 {
+        windows
+            .iter()
+            .map(|w| match w.get(key) {
+                Some(Json::Arr(buckets)) => buckets.iter().filter_map(Json::as_u64).sum::<u64>(),
+                _ => 0,
+            })
+            .sum()
+    };
+    let kind = |k: &str| -> u64 {
+        d.get("events_by_kind")
+            .and_then(|m| m.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let totals: [(&str, u64, u64); 11] = [
+        ("walks", sum_u("walks"), kind("walk_end")),
+        ("probes", sum_u("probes"), kind("ix_probe")),
+        ("fills", sum_u("fills"), kind("fill")),
+        ("coalesces", sum_u("coalesces"), kind("coalesce")),
+        (
+            "inserts_by_reason",
+            sum_map("inserts_by_reason"),
+            kind("insert"),
+        ),
+        (
+            "bypasses_by_reason",
+            sum_map("bypasses_by_reason"),
+            kind("bypass"),
+        ),
+        (
+            "evictions_by_reason",
+            sum_map("evictions_by_reason"),
+            kind("evict"),
+        ),
+        (
+            "invalidation kills+shrinks",
+            sum_u("invalidation_kills") + sum_u("invalidation_shrinks"),
+            kind("invalidate"),
+        ),
+        ("mutations", sum_u("mutations"), kind("split")),
+        (
+            "tuner_decisions",
+            sum_u("tuner_decisions"),
+            kind("tuner_decision"),
+        ),
+        ("dram_fetches", sum_u("dram_fetches"), kind("dram_fetch")),
+    ];
+    for (what, windowed, total) in totals {
+        if windowed != total {
+            return Err(ctx(&format!(
+                "{what} sums to {windowed} over windows, whole run counted {total}"
+            )));
+        }
+    }
+    let probes = sum_u("probes");
+    let outcomes = sum_pairs("hits_by_level") + sum_u("scan_hits") + sum_u("misses");
+    if outcomes != probes {
+        return Err(ctx(&format!(
+            "probe outcomes sum to {outcomes} of {probes} probes"
+        )));
+    }
+    if sum_hist("latency_log2") != sum_u("walks") {
+        return Err(ctx("latency histogram deltas do not cover every walk"));
+    }
+    let regret = |k: &str| -> u64 {
+        d.get("regret")
+            .and_then(|r| r.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    if sum_u("regretted") != regret("regretted") {
+        return Err(ctx(
+            "windowed regret verdicts do not sum to regret.regretted",
+        ));
+    }
+    if sum_u("vindicated") != regret("vindicated") {
+        return Err(ctx(
+            "windowed vindication verdicts do not sum to regret.vindicated",
+        ));
     }
     Ok(())
 }
@@ -582,6 +838,7 @@ pub fn validate_analysis(v: &Json) -> Result<(), String> {
 #[derive(Debug)]
 pub struct AnalysisRegistry {
     budget_blocks: usize,
+    epoch: Option<EpochSpec>,
     inner: Mutex<TraceAnalysis>,
 }
 
@@ -589,8 +846,15 @@ impl AnalysisRegistry {
     /// Creates a registry; `budget_blocks` sizes every stream's
     /// miss-taxonomy reference.
     pub fn new(budget_blocks: usize) -> Arc<Self> {
+        Self::windowed(budget_blocks, None)
+    }
+
+    /// Creates a registry whose streams are sliced into `epoch` windows
+    /// (`None` behaves like [`AnalysisRegistry::new`]).
+    pub fn windowed(budget_blocks: usize, epoch: Option<EpochSpec>) -> Arc<Self> {
         Arc::new(AnalysisRegistry {
             budget_blocks,
+            epoch,
             inner: Mutex::new(TraceAnalysis::default()),
         })
     }
@@ -599,9 +863,19 @@ impl AnalysisRegistry {
     pub fn sink(self: &Arc<Self>, design: &str) -> AnalysisSink {
         AnalysisSink {
             design: design.to_string(),
-            analyzer: Some(StreamAnalyzer::new(self.budget_blocks)),
+            analyzer: Some(StreamAnalyzer::new(self.budget_blocks).with_epoch(self.epoch)),
             registry: Arc::clone(self),
+            epoch_gauge: None,
         }
+    }
+
+    /// Like [`AnalysisRegistry::sink`], but also publishes the stream's
+    /// current epoch into `gauge` (`fetch_max`, so concurrent shards
+    /// report the furthest epoch reached — the heartbeat reads this).
+    pub fn sink_with_gauge(self: &Arc<Self>, design: &str, gauge: Arc<AtomicU64>) -> AnalysisSink {
+        let mut s = self.sink(design);
+        s.epoch_gauge = Some(gauge);
+        s
     }
 
     /// A copy of the current merged aggregate.
@@ -616,6 +890,7 @@ pub struct AnalysisSink {
     design: String,
     analyzer: Option<StreamAnalyzer>,
     registry: Arc<AnalysisRegistry>,
+    epoch_gauge: Option<Arc<AtomicU64>>,
 }
 
 impl EventSink for AnalysisSink {
@@ -624,9 +899,14 @@ impl EventSink for AnalysisSink {
         // order-sensitive profiles, so events arriving after the first
         // flush start a new (empty-prefix) stream — this only happens if
         // an engine flushes mid-shard, which none do today.
-        self.analyzer
-            .get_or_insert_with(|| StreamAnalyzer::new(self.registry.budget_blocks))
-            .observe_event(at, ev);
+        let epoch = self.registry.epoch;
+        let analyzer = self.analyzer.get_or_insert_with(|| {
+            StreamAnalyzer::new(self.registry.budget_blocks).with_epoch(epoch)
+        });
+        analyzer.observe_event(at, ev);
+        if let (Some(gauge), Some(e)) = (&self.epoch_gauge, analyzer.current_epoch()) {
+            gauge.fetch_max(e, Ordering::Relaxed);
+        }
     }
 
     fn flush(&mut self) {
@@ -836,6 +1116,62 @@ mod tests {
         let forged = rendered.replace(ANALYSIS_SCHEMA, "metal-analysis-v0");
         let doc = Json::parse(&forged).unwrap();
         assert!(validate_analysis(&doc).is_err(), "wrong schema tag");
+    }
+
+    #[test]
+    fn windowed_paths_agree_and_series_conservation_gates() {
+        let spec = EpochSpec::Cycles(5);
+        let mut live = StreamAnalyzer::new(16).with_epoch(Some(spec));
+        for (at, ev) in sample_events() {
+            live.observe_event(at, &ev);
+        }
+        let mut offline = StreamAnalyzer::new(16).with_epoch(Some(spec));
+        for line in sample_lines() {
+            offline.observe_json(&line);
+        }
+        let (live, offline) = (live.finish(), offline.finish());
+        assert_eq!(live, offline, "windowed in-process == offline replay");
+        let series = live.series.as_ref().expect("series present");
+        assert_eq!(series.windows.len(), 3, "sample spans cycles 1..=12");
+        let mut trace = TraceAnalysis::default();
+        trace.fold("metal", live);
+        let doc = trace.to_json();
+        validate_analysis(&doc).expect("windowed document validates");
+        assert!(trace.series_json().is_some(), "series doc available");
+        // Forge one window counter: window-sum conservation must catch
+        // it (the whole-run aggregates are untouched).
+        let rendered = doc.render();
+        let forged = rendered.replacen("\"probes\":1", "\"probes\":2", 1);
+        assert_ne!(forged, rendered, "forge must hit a window counter");
+        let forged_doc = Json::parse(&forged).unwrap();
+        assert!(
+            validate_analysis(&forged_doc).is_err(),
+            "forged window counter must fail validation"
+        );
+    }
+
+    #[test]
+    fn deny_alerts_flips_validation() {
+        let mut a = StreamAnalyzer::new(16);
+        for (at, ev) in sample_events() {
+            a.observe_event(at, &ev);
+        }
+        let mut trace = TraceAnalysis::default();
+        trace.fold("metal", a.finish());
+        let doc = trace.to_json();
+        validate_analysis_gated(&doc, true).expect("no alerts field, gate passes");
+        let with_alerts = match doc {
+            Json::Obj(mut fields) => {
+                fields.push(("alerts".into(), Json::Arr(vec![Json::Obj(vec![])])));
+                Json::Obj(fields)
+            }
+            _ => unreachable!(),
+        };
+        validate_analysis_gated(&with_alerts, false).expect("alerts tolerated by default");
+        assert!(
+            validate_analysis_gated(&with_alerts, true).is_err(),
+            "--deny-alerts flips red"
+        );
     }
 
     #[test]

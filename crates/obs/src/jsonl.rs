@@ -17,7 +17,7 @@
 use crate::json::Json;
 use metal_sim::obs::{Event, EventSink};
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -176,6 +176,65 @@ pub fn event_fields(ev: &Event) -> Vec<(&'static str, Json)> {
             ("from", Json::UInt(from)),
             ("to", Json::UInt(to)),
         ],
+    }
+}
+
+/// Streaming JSONL reader: parses one line at a time into a reused
+/// buffer, so multi-GB traces read in constant memory — the whole file
+/// is never resident, and a line longer than the writer's flush
+/// threshold only grows the single line buffer. `trace_dump` and
+/// `analyze` both read traces through this.
+pub struct JsonlReader<R> {
+    input: BufReader<R>,
+    buf: String,
+    line_no: u64,
+}
+
+impl JsonlReader<File> {
+    /// Opens `path` for streaming reads.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<JsonlReader<File>> {
+        Ok(JsonlReader::from_reader(File::open(path)?))
+    }
+}
+
+impl<R: Read> JsonlReader<R> {
+    /// Wraps an arbitrary reader (tests, stdin).
+    pub fn from_reader(input: R) -> JsonlReader<R> {
+        JsonlReader {
+            input: BufReader::new(input),
+            buf: String::new(),
+            line_no: 0,
+        }
+    }
+
+    /// The 1-based number of the line the last [`JsonlReader::next_line`]
+    /// returned (0 before the first read) — for error messages.
+    pub fn line_no(&self) -> u64 {
+        self.line_no
+    }
+
+    /// Reads and parses the next non-empty line. Returns `Ok(None)` at
+    /// end of input; malformed JSON or an I/O failure is an `Err` naming
+    /// the line number.
+    pub fn next_line(&mut self) -> Result<Option<Json>, String> {
+        loop {
+            self.buf.clear();
+            let n = self
+                .input
+                .read_line(&mut self.buf)
+                .map_err(|e| format!("line {}: read error: {e}", self.line_no + 1))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let line = self.buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            return Json::parse(line)
+                .map(Some)
+                .map_err(|e| format!("line {}: bad JSON: {e:?}", self.line_no));
+        }
     }
 }
 
@@ -394,6 +453,36 @@ mod tests {
             assert_eq!(v.get("run").unwrap().as_str(), Some(big_run.as_str()));
             assert_eq!(v.get("walk").unwrap().as_u64(), Some(i as u64 + 1));
         }
+    }
+
+    #[test]
+    fn reader_streams_oversized_lines_and_reports_bad_ones() {
+        // Round-trip through the streaming reader: an oversized line
+        // (longer than the writer's flush threshold and any internal
+        // buffer) must come back whole, blank lines are skipped, and a
+        // malformed line errors with its 1-based line number.
+        let big_run = "r".repeat(FLUSH_BYTES + 999);
+        let cap = Capture::default();
+        let writer = JsonlWriter::from_writer(cap.clone());
+        let mut sink = JsonlSink::new(writer, &big_run, "metal", 0);
+        sink.emit(1, &Event::WalkStart { walk: 1, lane: 0 });
+        sink.flush();
+        let mut text = cap.0.lock().unwrap().clone();
+        text.push('\n'); // blank line: must be skipped, not an error
+        text.push_str("{\"ev\":\"walk_end\",\"walk\":1}\n");
+        text.push_str("{oops\n");
+
+        let mut reader = JsonlReader::from_reader(text.as_bytes());
+        let first = reader.next_line().unwrap().expect("first line");
+        assert!(first.render().len() > FLUSH_BYTES, "oversized line intact");
+        assert_eq!(first.get("run").unwrap().as_str(), Some(big_run.as_str()));
+        assert_eq!(reader.line_no(), 1);
+        let second = reader.next_line().unwrap().expect("blank line skipped");
+        assert_eq!(second.get("ev").unwrap().as_str(), Some("walk_end"));
+        assert_eq!(reader.line_no(), 3);
+        let err = reader.next_line().unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+        assert!(reader.next_line().unwrap().is_none(), "EOF after error");
     }
 
     #[test]

@@ -267,6 +267,17 @@ impl RegretSummary {
     }
 }
 
+/// Regret-window verdicts produced by one observed probe. Time-series
+/// consumers use this to attribute each resolution to the epoch of the
+/// probe that produced it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegretDelta {
+    /// Windows this probe closed regretted.
+    pub regretted: u64,
+    /// Windows this probe closed vindicated.
+    pub vindicated: u64,
+}
+
 /// Eviction-regret meter over one event stream.
 #[derive(Debug, Default)]
 pub struct RegretMeter {
@@ -282,11 +293,12 @@ impl RegretMeter {
     }
 
     /// Observes a probe for `key` in `index`; `entry` is the hit entry
-    /// id (0 on miss).
-    pub fn probe(&mut self, index: u8, key: u64, hit: bool, entry: u64) {
+    /// id (0 on miss). Returns the verdicts this probe produced.
+    pub fn probe(&mut self, index: u8, key: u64, hit: bool, entry: u64) -> RegretDelta {
         self.probes += 1;
+        let mut delta = RegretDelta::default();
         if self.open.is_empty() {
-            return;
+            return delta;
         }
         let probes = self.probes;
         let summary = &mut self.summary;
@@ -295,15 +307,18 @@ impl RegretMeter {
             // *before* the first hit.
             if hit && entry == w.for_entry {
                 summary.vindicated += 1;
+                delta.vindicated += 1;
                 return false;
             }
             if index == w.index && (w.lo..=w.hi).contains(&key) {
                 summary.regretted += 1;
                 summary.regret_distance.observe(probes - w.opened_at_probe);
+                delta.regretted += 1;
                 return false;
             }
             true
         });
+        delta
     }
 
     /// Observes an eviction: closes any window waiting on the evicted
@@ -408,8 +423,10 @@ mod tests {
         let mut m = RegretMeter::new();
         // Evict victim spanning keys 10..=19 to admit entry 5.
         m.evict(0, 10, 19, 4, 5);
-        m.probe(0, 50, false, 0); // unrelated probe
-        m.probe(0, 15, false, 0); // victim span re-probed → regret
+        let d0 = m.probe(0, 50, false, 0); // unrelated probe
+        assert_eq!(d0, RegretDelta::default());
+        let d1 = m.probe(0, 15, false, 0); // victim span re-probed → regret
+        assert_eq!((d1.regretted, d1.vindicated), (1, 0));
         let s = m.finish();
         assert_eq!(s.regretted, 1);
         assert_eq!(s.vindicated, 0);

@@ -24,6 +24,15 @@
 //! - [`analysis`] — the per-stream analyzer tying the forensics
 //!   together, its associative per-design merge, the `ANALYSIS.json`
 //!   schema and its validator, and the in-process registry sink.
+//! - [`timeseries`] — epoch-windowed counter series: merge-safe
+//!   per-window snapshots of the analyzer's counters, conserved against
+//!   the whole-run aggregates by the validator.
+//! - [`watchdog`] — streaming anomaly detectors over the window series
+//!   (hit-rate collapse, scan storms, regret spikes) emitting structured
+//!   alerts.
+//! - [`flight`] — a fixed-size flight-recorder ring of recent raw
+//!   events per design, dumped as trace JSONL on panic, anomaly, or
+//!   demand.
 //! - [`report`] — a self-contained single-file HTML report (inline SVG,
 //!   no scripts, no dependencies) over a merged analysis.
 //!
@@ -33,6 +42,7 @@
 
 pub mod analysis;
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod jsonl;
 pub mod ledger;
@@ -40,16 +50,21 @@ pub mod manifest;
 pub mod metrics;
 pub mod report;
 pub mod reuse;
+pub mod timeseries;
+pub mod watchdog;
 
 pub use analysis::{
-    validate_analysis, AnalysisRegistry, AnalysisSink, DesignAnalysis, StreamAnalyzer,
-    TraceAnalysis, ANALYSIS_SCHEMA,
+    validate_analysis, validate_analysis_gated, AnalysisRegistry, AnalysisSink, DesignAnalysis,
+    StreamAnalyzer, TraceAnalysis, ANALYSIS_SCHEMA, SERIES_SCHEMA,
 };
 pub use chrome::{ChromeTraceSink, ChromeTraceWriter};
+pub use flight::{FlightRecorder, FlightSink, DEFAULT_FLIGHT_CAPACITY};
 pub use json::{Json, JsonError};
-pub use jsonl::{JsonlSink, JsonlWriter};
-pub use ledger::{EntryLedger, LedgerSummary, RegretMeter, RegretSummary};
+pub use jsonl::{JsonlReader, JsonlSink, JsonlWriter};
+pub use ledger::{EntryLedger, LedgerSummary, RegretDelta, RegretMeter, RegretSummary};
 pub use manifest::{stats_json, ManifestReport, RunManifest};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, RegistrySink};
 pub use report::render_html;
 pub use reuse::{FaLru, LogHist, MissTaxonomy, ReuseProfiler, TaxonomyCounts};
+pub use timeseries::{TimeSeries, WindowCounters};
+pub use watchdog::{analysis_document, scan_analysis, Alert, AlertKind, WatchdogConfig};

@@ -5,6 +5,7 @@
 
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
+use crate::watchdog::Alert;
 use metal_sim::stats::{LatencyStats, RunStats};
 use std::path::Path;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -106,6 +107,9 @@ pub struct RunManifest {
     pub reports: Vec<ManifestReport>,
     /// Aggregated event metrics, when a registry observed the run.
     pub metrics: Option<MetricsSnapshot>,
+    /// Watchdog alerts raised over the run's telemetry series; empty
+    /// (and absent from the rendered document) when no anomaly fired.
+    pub alerts: Vec<Alert>,
 }
 
 impl RunManifest {
@@ -123,6 +127,7 @@ impl RunManifest {
             wall_clock_secs: 0.0,
             reports: Vec::new(),
             metrics: None,
+            alerts: Vec::new(),
         }
     }
 
@@ -171,6 +176,12 @@ impl RunManifest {
         ];
         if let Some(m) = &self.metrics {
             fields.push(("metrics".into(), m.to_json()));
+        }
+        if !self.alerts.is_empty() {
+            fields.push((
+                "alerts".into(),
+                Json::Arr(self.alerts.iter().map(Alert::to_json).collect()),
+            ));
         }
         Json::Obj(fields)
     }

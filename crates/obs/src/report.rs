@@ -7,6 +7,7 @@
 
 use crate::analysis::{DesignAnalysis, TraceAnalysis};
 use crate::reuse::LogHist;
+use crate::watchdog::{scan_analysis, WatchdogConfig};
 use metal_sim::obs::WIDE_SET;
 
 /// Escapes `&`, `<`, `>` and quotes for safe embedding.
@@ -201,6 +202,122 @@ fn svg_tuner_timeline(d: &DesignAnalysis) -> String {
     s
 }
 
+/// A polyline chart of one per-epoch metric; x is the epoch number, so
+/// sparse series show their gaps.
+fn svg_series_line(title: &str, points: &[(u64, f64)]) -> String {
+    if points.is_empty() {
+        return String::new();
+    }
+    let e_min = points.first().map(|&(e, _)| e).unwrap_or(0);
+    let e_max = points.last().map(|&(e, _)| e).unwrap_or(0);
+    let v_max = points
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let plot_w = 420.0;
+    let plot_h = 70.0;
+    let x = |e: u64| {
+        if e_max == e_min {
+            40.0 + plot_w / 2.0
+        } else {
+            40.0 + (e - e_min) as f64 / (e_max - e_min) as f64 * plot_w
+        }
+    };
+    let y = |v: f64| 8.0 + plot_h - (v / v_max) * plot_h;
+    let path: Vec<String> = points
+        .iter()
+        .map(|&(e, v)| format!("{:.1},{:.1}", x(e), y(v)))
+        .collect();
+    let dots: String = points
+        .iter()
+        .map(|&(e, v)| {
+            format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2\" class=\"dot\">\
+                 <title>epoch {e}: {v:.4}</title></circle>",
+                x(e),
+                y(v)
+            )
+        })
+        .collect();
+    format!(
+        "<figure class=\"series\"><figcaption>{}</figcaption>\
+         <svg width=\"480\" height=\"{}\" role=\"img\">\
+         <text x=\"2\" y=\"14\" class=\"tick\">{v_max:.3}</text>\
+         <text x=\"2\" y=\"{}\" class=\"tick\">0</text>\
+         <line x1=\"40\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"axis\"/>\
+         <polyline points=\"{}\" class=\"line\"/>{dots}\
+         <text x=\"40\" y=\"{}\" class=\"tick\">epoch {e_min}</text>\
+         <text x=\"{}\" y=\"{}\" class=\"tick\">epoch {e_max}</text>\
+         </svg></figure>",
+        esc(title),
+        plot_h + 34.0,
+        plot_h + 8.0,
+        plot_h + 8.0,
+        40.0 + plot_w,
+        plot_h + 8.0,
+        path.join(" "),
+        plot_h + 24.0,
+        plot_w - 20.0,
+        plot_h + 24.0,
+    )
+}
+
+/// Per-epoch charts for a design that carried a telemetry series.
+fn series_section(d: &DesignAnalysis) -> String {
+    let Some(series) = &d.series else {
+        return String::new();
+    };
+    let pick = |f: &dyn Fn(&crate::timeseries::WindowCounters) -> f64| -> Vec<(u64, f64)> {
+        series.windows.iter().map(|(&e, w)| (e, f(w))).collect()
+    };
+    let hit_rate = pick(&|w| {
+        if w.probes == 0 {
+            0.0
+        } else {
+            w.hits_total() as f64 / w.probes as f64
+        }
+    });
+    let probes = pick(&|w| w.probes as f64);
+    let evictions = pick(&|w| w.evictions_total() as f64);
+    let regret = pick(&|w| w.regretted as f64);
+    format!(
+        "<h3>Time series (epoch width {})</h3>{}{}{}{}",
+        esc(&series.spec.render()),
+        svg_series_line("IX-cache hit rate per epoch", &hit_rate),
+        svg_series_line("Probes per epoch", &probes),
+        svg_series_line("Evictions per epoch", &evictions),
+        svg_series_line("Evictions regretted per epoch", &regret),
+    )
+}
+
+/// The alert strip: one banner line per watchdog alert over the run.
+fn alert_strip(analysis: &TraceAnalysis) -> String {
+    let alerts = scan_analysis(analysis, &WatchdogConfig::default());
+    if alerts.is_empty() {
+        return String::new();
+    }
+    let items: String = alerts
+        .iter()
+        .map(|a| {
+            format!(
+                "<li><strong>{}</strong> in {} at epoch {}: {} \
+                 (value {:.4}, trailing baseline {:.4})</li>",
+                esc(a.kind.as_str()),
+                esc(&a.design),
+                a.epoch,
+                esc(&a.detail),
+                a.value,
+                a.baseline
+            )
+        })
+        .collect();
+    format!(
+        "<section class=\"alerts\"><h2>Watchdog alerts ({})</h2><ul>{items}</ul></section>",
+        alerts.len()
+    )
+}
+
 fn counter_table(rows: &[(String, String)]) -> String {
     let mut s = String::from("<table>");
     for (k, v) in rows {
@@ -270,7 +387,7 @@ fn design_section(name: &str, d: &DesignAnalysis) -> String {
          <h3>Admission breakdown</h3>{}\
          {}{}{}{}\
          <h3>Per-set occupancy</h3>{}\
-         <h3>Tuner decisions</h3>{}</section>",
+         <h3>Tuner decisions</h3>{}{}</section>",
         esc(name),
         counter_table(&reasons),
         svg_log_hist(
@@ -283,12 +400,13 @@ fn design_section(name: &str, d: &DesignAnalysis) -> String {
         svg_log_hist("Regret distance in probes (log2)", &rg.regret_distance, &[]),
         svg_occupancy(d),
         svg_tuner_timeline(d),
+        series_section(d),
     )
 }
 
 /// Renders the whole analysis as one self-contained HTML document.
 pub fn render_html(analysis: &TraceAnalysis, title: &str) -> String {
-    let mut body = String::new();
+    let mut body = alert_strip(analysis);
     for (name, d) in &analysis.designs {
         body.push_str(&design_section(name, d));
     }
@@ -308,6 +426,12 @@ pub fn render_html(analysis: &TraceAnalysis, title: &str) -> String {
          .tick{{font-size:9px;fill:#666;text-anchor:middle}}\
          svg text.tick{{text-anchor:start}}svg .bar+text.tick{{text-anchor:middle}}\
          .axis{{stroke:#ddd}}.dot{{fill:#b8745b}}\
+         .line{{fill:none;stroke:#5b7fb8;stroke-width:1.5}}\
+         figure.series{{margin:.5em 0}}\
+         figure.series figcaption{{font-size:12px;color:#555}}\
+         section.alerts{{background:#fdf2f2;border:1px solid #e0b4b4;\
+         border-radius:4px;padding:.2em 1em}}\
+         section.alerts h2{{color:#9f3a38;border-bottom:none}}\
          .empty{{color:#999;font-style:italic}}\
          </style></head><body><h1>{t}</h1>{body}</body></html>\n",
         t = esc(title),

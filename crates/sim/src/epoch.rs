@@ -1,0 +1,136 @@
+//! Deterministic epoch windows over a telemetry stream.
+//!
+//! An *epoch* slices one shard's event stream into fixed-width windows so
+//! observers can aggregate per-window instead of per-run. The boundary is a
+//! pure function of the stream itself — either the simulated cycle stamp of
+//! each event ([`EpochSpec::Cycles`]) or the number of completed walks seen
+//! so far in the stream ([`EpochSpec::Walks`]) — never of wall clock, worker
+//! count or emission interleaving. Because logical shard streams are
+//! themselves deterministic, every per-epoch aggregate inherits the repo's
+//! `shards=1 == shards=k` worker-invariance for free.
+
+/// How wide one telemetry window is, and in which unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochSpec {
+    /// A new epoch every `n` simulated cycles: an event stamped `at` belongs
+    /// to epoch `at / n`.
+    Cycles(u64),
+    /// A new epoch every `m` completed walks: an event belongs to epoch
+    /// `walk_ends_seen_before_it / m`, where the `walk_end` event that
+    /// completes walk `k` counts itself in the epoch of walk `k`.
+    Walks(u64),
+}
+
+impl EpochSpec {
+    /// Parses a flag value: `cycles:N` or `walks:M` (a bare integer means
+    /// walks). Returns `Err` with a usage hint on malformed input or a zero
+    /// width.
+    pub fn parse(s: &str) -> Result<EpochSpec, String> {
+        let (unit, num) = match s.split_once(':') {
+            Some((u, n)) => (u, n),
+            None => ("walks", s),
+        };
+        let n: u64 = num
+            .parse()
+            .map_err(|_| format!("bad epoch width {num:?} (want cycles:N or walks:M)"))?;
+        if n == 0 {
+            return Err("epoch width must be positive".into());
+        }
+        match unit {
+            "cycles" | "c" => Ok(EpochSpec::Cycles(n)),
+            "walks" | "w" => Ok(EpochSpec::Walks(n)),
+            other => Err(format!(
+                "bad epoch unit {other:?} (want cycles:N or walks:M)"
+            )),
+        }
+    }
+
+    /// The canonical flag-value rendering (`cycles:N` / `walks:M`); inverse
+    /// of [`EpochSpec::parse`].
+    pub fn render(&self) -> String {
+        match self {
+            EpochSpec::Cycles(n) => format!("cycles:{n}"),
+            EpochSpec::Walks(m) => format!("walks:{m}"),
+        }
+    }
+}
+
+/// Streaming epoch assignment for one shard's event stream.
+///
+/// Feed every event in stream order through [`EpochClock::observe`]; it
+/// returns the epoch the event belongs to. The clock is the only state the
+/// window assignment needs, so replaying a JSONL trace assigns the exact
+/// epochs the in-process observer saw.
+#[derive(Debug, Clone)]
+pub struct EpochClock {
+    spec: EpochSpec,
+    walk_ends: u64,
+}
+
+impl EpochClock {
+    /// A clock at the start of a stream.
+    pub fn new(spec: EpochSpec) -> EpochClock {
+        EpochClock { spec, walk_ends: 0 }
+    }
+
+    /// The window spec this clock slices by.
+    pub fn spec(&self) -> EpochSpec {
+        self.spec
+    }
+
+    /// Assigns the next event (stamped `at`, `is_walk_end` for `walk_end`
+    /// events) to its epoch. Must be called once per event, in stream order.
+    pub fn observe(&mut self, at: u64, is_walk_end: bool) -> u64 {
+        match self.spec {
+            EpochSpec::Cycles(n) => at / n,
+            EpochSpec::Walks(m) => {
+                let epoch = self.walk_ends / m;
+                if is_walk_end {
+                    self.walk_ends += 1;
+                }
+                epoch
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["cycles:500", "walks:64"] {
+            assert_eq!(EpochSpec::parse(s).unwrap().render(), s);
+        }
+        assert_eq!(EpochSpec::parse("128").unwrap(), EpochSpec::Walks(128));
+        assert_eq!(EpochSpec::parse("c:9").unwrap(), EpochSpec::Cycles(9));
+        assert_eq!(EpochSpec::parse("w:9").unwrap(), EpochSpec::Walks(9));
+        assert!(EpochSpec::parse("cycles:0").is_err());
+        assert!(EpochSpec::parse("eons:5").is_err());
+        assert!(EpochSpec::parse("cycles:x").is_err());
+    }
+
+    #[test]
+    fn cycle_epochs_are_pure_functions_of_the_stamp() {
+        let mut c = EpochClock::new(EpochSpec::Cycles(100));
+        assert_eq!(c.observe(0, false), 0);
+        assert_eq!(c.observe(99, true), 0);
+        assert_eq!(c.observe(100, false), 1);
+        assert_eq!(c.observe(250, false), 2);
+    }
+
+    #[test]
+    fn walk_epochs_advance_on_walk_end_only() {
+        let mut c = EpochClock::new(EpochSpec::Walks(2));
+        // Walk 0: setup events then its walk_end all land in epoch 0.
+        assert_eq!(c.observe(5, false), 0);
+        assert_eq!(c.observe(9, true), 0);
+        // Walk 1 still epoch 0 (two walks per epoch) ...
+        assert_eq!(c.observe(12, false), 0);
+        assert_eq!(c.observe(14, true), 0);
+        // ... and walk 2 opens epoch 1.
+        assert_eq!(c.observe(20, false), 1);
+        assert_eq!(c.observe(21, true), 1);
+    }
+}

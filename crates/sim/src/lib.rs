@@ -39,6 +39,7 @@ pub mod caches;
 pub mod config;
 pub mod dram;
 pub mod engine;
+pub mod epoch;
 pub mod obs;
 pub mod rng;
 pub mod stats;
@@ -47,6 +48,7 @@ pub mod types;
 
 pub use config::{DramConfig, EnergyConfig, SimConfig};
 pub use engine::{Engine, EngineReport, StepOutcome, WalkProgram, WalkStep};
+pub use epoch::{EpochClock, EpochSpec};
 pub use obs::{Event, EventSink, NullSink, SharedSink};
 pub use rng::SplitRng;
 pub use stats::{RunStats, WorkingSet};

@@ -208,7 +208,9 @@ mod tests {
                     hit,
                     entry,
                     ..
-                } => meter.probe(index, key, hit, entry),
+                } => {
+                    meter.probe(index, key, hit, entry);
+                }
                 Event::Evict {
                     index,
                     lo,

@@ -24,6 +24,7 @@ pub mod built;
 pub mod crud;
 pub mod datasets;
 pub mod dist;
+pub mod drift;
 pub mod scale;
 pub mod suite;
 

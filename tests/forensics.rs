@@ -98,7 +98,7 @@ fn offline_replay_matches_in_process_analysis() {
 
     // One run, observed twice: the in-process AnalysisSink path and a
     // JSONL trace of the same events.
-    let trace = PathBuf::from(std::env::temp_dir()).join(format!(
+    let trace = std::env::temp_dir().join(format!(
         "metal-forensics-replay-{}.jsonl",
         std::process::id()
     ));
