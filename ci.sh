@@ -4,9 +4,12 @@
 # change the figure CSV, with and without an explicit logical-shard
 # grain), a telemetry smoke test (the trace must parse and agree with
 # the run manifest), a forensics gate (the `analyze` report must
-# pass its schema/conservation validation on a real fig15 trace), and a
+# pass its schema/conservation validation on a real fig15 trace), a
 # time-resolved telemetry gate (per-epoch window sums must conserve and
-# the series must be worker-count invariant).
+# the series must be worker-count invariant), and a native-execution
+# gate (sim and native backends must agree on every semantic outcome,
+# the measured-telemetry path must analyze clean, and a corrupted block
+# file must die with a contextful error).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -125,6 +128,16 @@ grep -q "analyze: wrote" "$tdir/analyze.txt"
 grep -q "<svg" "$tdir/ANALYSIS.html"
 echo "fig15 trace analyzed; ANALYSIS.json passes the schema/conservation gate"
 
+echo "== examples: all build, quickstart runs, run_figures.sh --dry-run =="
+# The examples are documentation that must keep compiling; quickstart is
+# cheap enough to actually execute. The figure driver's dry-run checks
+# every binary it references still builds, without touching results/.
+cargo build --release --examples
+./target/release/examples/quickstart > /dev/null
+./run_figures.sh --dry-run > "$tdir/dryrun.txt"
+grep -q "ALL_DONE" "$tdir/dryrun.txt"
+echo "examples compile and quickstart runs; run_figures.sh --dry-run reaches ALL_DONE"
+
 echo "== differential verification: fuzz smoke + figure cross-check =="
 # Debug build on purpose: overflow checks armed, and 600 cases take
 # seconds. Zero divergences required; failures land minimized repros in
@@ -136,6 +149,12 @@ cargo build -p metal-verify --bin ix_fuzz
 # coherence gate for the write path. Fixed seed, overflow checks armed.
 ./target/debug/ix_fuzz --cases 600 --seed 43 --mutate
 echo "mutation fuzz smoke: 600 CRUD cases, zero divergences"
+# Native-backend swarm: seeded CRUD walk mixes run end-to-end through
+# the paged native executor and every semantic counter is diffed
+# against the (oracle-verified) simulator; failures shrink to
+# crates/verify/corpus/ like the IX-cache swarms.
+./target/debug/ix_fuzz --cases 600 --seed 44 --backend native
+echo "native fuzz smoke: 600 end-to-end cases, zero sim/native divergences"
 # The --verify flag cross-checks a subsample of every figure workload
 # against the reference accounting model, without touching the CSV.
 ./target/release/fig15_miss_rate --scale ci --verify > "$tdir/verify.csv" 2> /dev/null
@@ -204,6 +223,63 @@ if ./target/release/analyze --validate "$tdir/A_forged.json" 2> /dev/null; then
     exit 1
 fi
 echo "negative control: forged window counter fails validation with nonzero exit"
+
+echo "== native execution: backend equivalence + out-of-core gate =="
+# fig_native runs every native-capable design through both backends;
+# the ci-scale CSV is pinned to a committed golden and --check
+# re-verifies sim/native equivalence row pair by row pair.
+cargo build --release -p metal-bench --bin fig_native
+./target/release/fig_native --scale ci > "$tdir/native.csv" 2> /dev/null
+if ! grep -v '^#' "$tdir/native.csv" | diff - tests/goldens/fig_native_ci.csv; then
+    echo "FAIL: fig_native ci CSV drifted from tests/goldens/fig_native_ci.csv" >&2
+    exit 1
+fi
+./target/release/fig_native --check "$tdir/native.csv" > /dev/null
+echo "fig_native matches the golden; --check confirms backend equivalence"
+# Negative control: forge one native outcome cell (found 4000 -> 3999);
+# --check must exit nonzero naming the divergent column, or the
+# equivalence gate above proves nothing.
+sed 's/^where,stream,native,4000,4000,/where,stream,native,4000,3999,/' \
+    "$tdir/native.csv" > "$tdir/native_forged.csv"
+if ./target/release/fig_native --check "$tdir/native_forged.csv" \
+    > /dev/null 2> "$tdir/native_forged.txt"; then
+    echo "FAIL: fig_native --check exited 0 on a forged native outcome" >&2
+    exit 1
+fi
+grep -q "BACKEND DIVERGENCE where/stream: found" "$tdir/native_forged.txt"
+echo "negative control: forged native found-count fails --check with nonzero exit"
+# Measured telemetry: a traced native run must pass the same
+# schema/conservation gate as the simulator traces, and the HTML report
+# must carry the measured-vs-modeled table.
+./target/release/fig_native --scale ci \
+    --trace-out "$tdir/native.jsonl" --metrics-out "$tdir/native.manifest.json" \
+    > /dev/null 2> /dev/null
+./target/release/analyze "$tdir/native.jsonl" \
+    --manifest "$tdir/native.manifest.json" \
+    --out "$tdir/NATIVE.json" --html "$tdir/NATIVE.html" > /dev/null
+./target/release/analyze --validate "$tdir/NATIVE.json"
+grep -q "Measured vs modeled" "$tdir/NATIVE.html"
+echo "native trace passes the conservation gate; HTML has the measured table"
+# Out-of-core round trip: persist the trees as block files, reopen and
+# re-walk them, then corrupt one page — the reload must die with a
+# contextful error and exit 2 (usage/IO), not a panic or a wrong answer.
+./target/release/fig_native --scale ci --store "$tdir/blocks" > /dev/null 2> /dev/null
+./target/release/fig_native --scale ci --load "$tdir/blocks" > /dev/null 2> /dev/null
+echo "block files persist and reopen; re-walks agree with the in-memory build"
+blk=$(ls "$tdir"/blocks/*.blk | head -1)
+printf 'XXXXXXXX' | dd of="$blk" bs=1 seek=4096 conv=notrunc 2> /dev/null
+set +e
+./target/release/fig_native --scale ci --load "$tdir/blocks" \
+    > /dev/null 2> "$tdir/load_err.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 2 ]; then
+    echo "FAIL: corrupted block file should exit 2 (usage/IO), got $rc" >&2
+    cat "$tdir/load_err.txt" >&2
+    exit 1
+fi
+grep -q "error: --load .*corrupted" "$tdir/load_err.txt"
+echo "negative control: corrupted page fails --load with exit 2 and a contextful error"
 
 echo "== bench smoke: bench_suite schema + regression gate =="
 # Runs the microbenchmark suite at ci scale (min-of-3 timing),

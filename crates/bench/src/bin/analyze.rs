@@ -14,7 +14,10 @@
 //!
 //! With `--manifest <manifest.json>` the miss-taxonomy reference cache
 //! is sized from the run's recorded `cache_bytes` argument; otherwise
-//! the harness default (64 KiB) is assumed.
+//! the harness default (64 KiB) is assumed. When the manifest carries
+//! native-backend reports (measured walks/sec, page I/O), the HTML
+//! report additionally gains a measured-vs-modeled table pairing them
+//! with the simulator's numbers for the same runs.
 //!
 //! With `--epoch SPEC` (`cycles:N` / `walks:M`) every stream is also
 //! sliced into deterministic telemetry windows: the document gains a
@@ -41,8 +44,8 @@
 use metal_bench::{exit, fail};
 use metal_obs::watchdog::{analysis_document, scan_analysis, WatchdogConfig};
 use metal_obs::{
-    render_html, validate_analysis, validate_analysis_gated, Json, JsonlReader, StreamAnalyzer,
-    TraceAnalysis,
+    render_html_with_measured, validate_analysis, validate_analysis_gated, Json, JsonlReader,
+    MeasuredRow, StreamAnalyzer, TraceAnalysis,
 };
 use metal_sim::epoch::EpochSpec;
 use std::collections::BTreeMap;
@@ -99,6 +102,57 @@ fn read_json(path: &PathBuf, what: &str) -> Json {
         .unwrap_or_else(|e| fail(format_args!("cannot read {what} {}: {e}", path.display())));
     Json::parse(&text)
         .unwrap_or_else(|e| fail(format_args!("bad JSON in {what} {}: {e}", path.display())))
+}
+
+/// Extracts one measured-vs-modeled row per native-backend report in
+/// the manifest. The modeled cycle count comes from the paired `:sim`
+/// report when the run recorded one under the `fig_native` naming
+/// convention (`<design>:sim` / `<design>:native`); other native runs
+/// show their measured side alone.
+fn measured_rows(manifest: &Json) -> Vec<MeasuredRow> {
+    let Some(reports) = manifest.get("reports").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let label = |r: &Json, k: &str| {
+        r.get(k)
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+    let mut rows = Vec::new();
+    for r in reports {
+        let Some(n) = r.get("native") else { continue };
+        let stats = |k: &str| {
+            r.get("stats")
+                .and_then(|s| s.get(k))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        let native = |k: &str| n.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let (workload, design) = (label(r, "workload"), label(r, "design"));
+        let modeled_cycles = design.strip_suffix(":native").and_then(|base| {
+            let sim = format!("{base}:sim");
+            reports
+                .iter()
+                .find(|s| label(s, "workload") == workload && label(s, "design") == sim)
+                .and_then(|s| s.get("stats"))
+                .and_then(|s| s.get("exec_cycles"))
+                .and_then(Json::as_u64)
+        });
+        rows.push(MeasuredRow {
+            walks: stats("walks"),
+            modeled_cycles,
+            modeled_node_fetches: stats("dram_node_reads"),
+            walks_per_sec: n.get("walks_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
+            page_reads: native("page_reads"),
+            page_writes: native("page_writes"),
+            hot_hits: native("hot_hits"),
+            cold_reads: native("cold_reads"),
+            workload,
+            design,
+        });
+    }
+    rows
 }
 
 fn validate_mode(path: &PathBuf, deny_alerts: bool) -> ExitCode {
@@ -167,10 +221,14 @@ fn main() -> ExitCode {
 
     // The taxonomy's fully-associative reference is sized to the design
     // budget in 64 B blocks; the manifest records the run's actual
-    // --cache-kb, the harness default applies otherwise.
+    // --cache-kb, the harness default applies otherwise. Native-backend
+    // reports in the manifest additionally feed the measured-vs-modeled
+    // table of the HTML report.
+    let mut measured: Vec<MeasuredRow> = Vec::new();
     let budget_blocks = match &manifest_path {
         Some(p) => {
             let manifest = read_json(p, "manifest");
+            measured = measured_rows(&manifest);
             let field = manifest.get("args").and_then(|a| a.get("cache_bytes"));
             // Manifest args are recorded as strings; accept a plain
             // number too for hand-built manifests.
@@ -249,8 +307,11 @@ fn main() -> ExitCode {
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| trace_path.display().to_string())
     );
-    std::fs::write(&html_path, render_html(&analysis, &title))
-        .unwrap_or_else(|e| fail(format_args!("cannot write {}: {e}", html_path.display())));
+    std::fs::write(
+        &html_path,
+        render_html_with_measured(&analysis, &title, &measured),
+    )
+    .unwrap_or_else(|e| fail(format_args!("cannot write {}: {e}", html_path.display())));
 
     println!(
         "analyze: {lines} events in {n_streams} streams across {} designs",

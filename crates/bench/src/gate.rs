@@ -56,15 +56,16 @@ pub const TIMING_REPEATS: usize = 3;
 /// - `probe_ns.*` — 15 ns: the hit/miss paths sit at 30–120 ns, where
 ///   timer granularity and a single cache-cold TLB walk move single
 ///   samples by >20% on a shared core;
-/// - `walks_per_sec.*` — 100 000 walks/s: ci-scale runs last ~100 ms,
-///   so millisecond-scale scheduler preemption shifts the rate by this
-///   much run to run;
+/// - `walks_per_sec.*` / `native_walks_per_sec.*` — 100 000 walks/s:
+///   ci-scale runs last ~100 ms, so millisecond-scale scheduler
+///   preemption shifts the rate by this much run to run (the native
+///   executor's wall clock is as preemptible as the simulator's);
 /// - wall clocks (seconds) — 0.5 s: the observed hiccup size on a
 ///   loaded runner.
 pub fn noise_floor(metric: &str) -> f64 {
     if metric.starts_with("probe_ns.") {
         15.0
-    } else if metric.starts_with("walks_per_sec.") {
+    } else if metric.starts_with("walks_per_sec.") || metric.starts_with("native_walks_per_sec.") {
         100_000.0
     } else {
         0.5
@@ -153,17 +154,13 @@ pub fn compare(base: &Json, new: &Json) -> GateReport {
             diffs.push(MetricDiff::compute(&format!("probe_ns.{key}"), o, n, true));
         }
     }
-    if let (Some(Json::Obj(old_fields)), Some(new_wps)) =
-        (base.get("walks_per_sec"), new.get("walks_per_sec"))
-    {
-        for (k, old_v) in old_fields {
-            if let (Some(o), Some(n)) = (old_v.as_f64(), new_wps.get(k).and_then(Json::as_f64)) {
-                diffs.push(MetricDiff::compute(
-                    &format!("walks_per_sec.{k}"),
-                    o,
-                    n,
-                    false,
-                ));
+    for group in ["walks_per_sec", "native_walks_per_sec"] {
+        if let (Some(Json::Obj(old_fields)), Some(new_wps)) = (base.get(group), new.get(group)) {
+            for (k, old_v) in old_fields {
+                if let (Some(o), Some(n)) = (old_v.as_f64(), new_wps.get(k).and_then(Json::as_f64))
+                {
+                    diffs.push(MetricDiff::compute(&format!("{group}.{k}"), o, n, false));
+                }
             }
         }
     }
@@ -211,6 +208,25 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             }
         }
         _ => return Err("walks_per_sec must be a non-empty object".into()),
+    }
+    // Optional: measured native throughput. Baselines recorded before
+    // the native backend existed lack the object entirely; when present
+    // it must be well-formed.
+    match doc.get("native_walks_per_sec") {
+        None => {}
+        Some(Json::Obj(fields)) => {
+            for (k, v) in fields {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("native_walks_per_sec.{k} must be a number"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "native_walks_per_sec.{k} must be finite and non-negative"
+                    ));
+                }
+            }
+        }
+        _ => return Err("native_walks_per_sec must be an object when present".into()),
     }
     let wc = doc
         .get("fig18_wall_clock_s")
@@ -288,7 +304,50 @@ mod tests {
     fn floors_by_class() {
         assert_eq!(noise_floor("probe_ns.probe_hit"), 15.0);
         assert_eq!(noise_floor("walks_per_sec.metal"), 100_000.0);
+        assert_eq!(noise_floor("native_walks_per_sec.metal"), 100_000.0);
         assert_eq!(noise_floor("fig18_wall_clock_s"), 0.5);
+    }
+
+    fn with_native(mut doc: Json, metal: f64) -> Json {
+        if let Json::Obj(fields) = &mut doc {
+            fields.push((
+                "native_walks_per_sec".into(),
+                Json::Obj(vec![("metal".into(), Json::Num(metal))]),
+            ));
+        }
+        doc
+    }
+
+    #[test]
+    fn native_metric_is_optional_but_validated_and_gated() {
+        let bare = doc(29.9, 275_043.0, 0.83);
+        // Absent entirely: old baselines stay valid and ungated.
+        validate(&bare).expect("baseline without native metrics validates");
+        let fresh = with_native(doc(29.9, 275_043.0, 0.83), 400_000.0);
+        validate(&fresh).expect("native_walks_per_sec object validates");
+        assert!(
+            compare(&bare, &fresh)
+                .diffs
+                .iter()
+                .all(|d| !d.name.starts_with("native_walks_per_sec.")),
+            "one-sided native metrics are skipped"
+        );
+
+        // Shared on both sides: a collapse past ratio and floor gates.
+        let base = with_native(doc(29.9, 275_043.0, 0.83), 400_000.0);
+        let slow = with_native(doc(29.9, 275_043.0, 0.83), 120_000.0);
+        let report = compare(&base, &slow);
+        assert!(report
+            .diffs
+            .iter()
+            .any(|d| d.name == "native_walks_per_sec.metal" && d.regressed));
+
+        // Malformed when present: schema error.
+        let mut bad = doc(29.9, 275_043.0, 0.83);
+        if let Json::Obj(fields) = &mut bad {
+            fields.push(("native_walks_per_sec".into(), Json::str("fast")));
+        }
+        assert!(validate(&bad).is_err());
     }
 
     #[test]

@@ -14,10 +14,14 @@ pub mod gate;
 pub mod micro;
 
 use metal_core::models::DesignSpec;
-use metal_core::runner::{run_design, ObsConfig, RunConfig, RunReport, DEFAULT_SHARD_WALKS};
+use metal_core::native::NativeMetrics;
+use metal_core::runner::{
+    run_design, Backend, ObsConfig, RunConfig, RunReport, DEFAULT_SHARD_WALKS,
+};
 use metal_core::IxConfig;
 use metal_obs::manifest::RunManifest;
 use metal_obs::watchdog::{analysis_document, scan_analysis, WatchdogConfig};
+use metal_obs::Json;
 use metal_obs::{
     render_html, validate_analysis, AnalysisRegistry, ChromeTraceSink, ChromeTraceWriter,
     FlightRecorder, JsonlSink, JsonlWriter, MetricsRegistry, DEFAULT_FLIGHT_CAPACITY,
@@ -105,6 +109,12 @@ pub struct HarnessArgs {
     /// recent raw events per design and dump it (trace JSONL) to PATH on
     /// panic, on a watchdog alert, or at session end.
     pub flight_out: Option<PathBuf>,
+    /// `--backend sim|native`: execution backend. `sim` (default) models
+    /// the walks on the cycle-level simulator; `native` executes them
+    /// against paged B+tree storage and measures wall-clock/page I/O.
+    /// Both agree exactly on semantic outcomes; the native backend
+    /// supports the lane-shared designs (`stream`, `metal-ix`, `metal`).
+    pub backend: Backend,
 }
 
 /// The `METAL_SHARDS` worker-count override, `0` (= all cores) when the
@@ -130,6 +140,7 @@ impl Default for HarnessArgs {
             epoch: None,
             series_out: None,
             flight_out: None,
+            backend: Backend::Sim,
         }
     }
 }
@@ -214,6 +225,14 @@ impl HarnessArgs {
                 "--flight-out" => {
                     out.flight_out = Some(PathBuf::from(next_str(&mut it, "--flight-out")))
                 }
+                "--backend" => {
+                    let v = next_str(&mut it, "--backend");
+                    out.backend = match v.as_str() {
+                        "sim" => Backend::Sim,
+                        "native" => Backend::Native,
+                        other => panic!("unknown backend '{other}' (sim|native)"),
+                    };
+                }
                 _ => {}
             }
         }
@@ -231,6 +250,7 @@ impl HarnessArgs {
             .with_shards(self.shards)
             .with_shard_walks(self.shard_walks.max(1))
             .with_epoch(self.epoch)
+            .with_backend(self.backend)
     }
 }
 
@@ -254,6 +274,8 @@ fn print_usage() {
            --epoch SPEC             window telemetry (cycles:N | walks:M | M)\n\
            --series-out PATH        write the per-epoch series JSON (needs --epoch)\n\
            --flight-out PATH        flight-recorder ring, dumped as trace JSONL\n\
+           --backend sim|native     execution backend (default: sim); native\n\
+                                    executes paged B+tree nodes for real\n\
          \n\
          Environment: METAL_SHARDS (worker-thread default),\n\
          METAL_HEARTBEAT_SECS (progress heartbeat; 0 disables).\n\
@@ -396,6 +418,9 @@ impl Session {
         if let Some(epoch) = args.epoch {
             manifest.arg("epoch", epoch.render());
         }
+        if args.backend == Backend::Native {
+            manifest.arg("backend", "native");
+        }
 
         let jsonl = args.trace_out.as_ref().map(|p| {
             JsonlWriter::create(p)
@@ -529,11 +554,44 @@ impl Session {
         self.manifest.push_report(scope, design, stats);
     }
 
+    /// Adds one (scope, design) result *with* its measured native
+    /// metrics when the report carries them (native-backend runs), so
+    /// `analyze` can render measured walks/sec and page-I/O behaviour
+    /// side by side with the modeled numbers. Identical to
+    /// [`Session::record`] for simulator reports.
+    pub fn record_report(&mut self, scope: &str, design: &str, report: &RunReport) {
+        self.record(scope, design, &report.stats);
+        if let Some(m) = &report.native {
+            self.manifest
+                .attach_native(scope, design, native_metrics_json(m));
+        }
+    }
+
     /// Total walks simulated so far (the heartbeat's counter).
     pub fn walks_simulated(&self) -> u64 {
         self.progress.load(Ordering::Relaxed)
     }
+}
 
+/// Serializes measured native-execution metrics as the manifest's
+/// `reports[].native` object (`analyze` consumes this schema for the
+/// measured-vs-modeled report table).
+pub fn native_metrics_json(m: &NativeMetrics) -> Json {
+    Json::Obj(vec![
+        ("wall_ns".into(), Json::UInt(m.wall_ns)),
+        ("walks".into(), Json::UInt(m.walks)),
+        ("walks_per_sec".into(), Json::Num(m.walks_per_sec())),
+        ("page_reads".into(), Json::UInt(m.page_reads)),
+        ("page_writes".into(), Json::UInt(m.page_writes)),
+        ("hot_hits".into(), Json::UInt(m.hot_hits)),
+        ("cold_reads".into(), Json::UInt(m.cold_reads)),
+        ("node_writes".into(), Json::UInt(m.node_writes)),
+        ("pages".into(), Json::UInt(m.pages)),
+        ("free_pages".into(), Json::UInt(m.free_pages)),
+    ])
+}
+
+impl Session {
     /// Closes the session: stops the heartbeat, stamps the wall clock,
     /// runs the watchdogs over the window series and writes the Chrome
     /// export, manifest, analysis, series and flight dump (each when
@@ -889,6 +947,23 @@ mod tests {
         // 0 and absence both mean the unbounded (single-engine) default.
         assert_eq!(args("--shard-walks 0").shard_walks, DEFAULT_SHARD_WALKS);
         assert_eq!(args("").shard_walks, DEFAULT_SHARD_WALKS);
+    }
+
+    #[test]
+    fn backend_flag_parses() {
+        assert_eq!(args("").backend, Backend::Sim);
+        assert_eq!(args("--backend sim").backend, Backend::Sim);
+        assert_eq!(args("--backend native").backend, Backend::Native);
+        assert_eq!(
+            args("--backend native").run_config().backend,
+            Backend::Native
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown backend")]
+    fn bad_backend_rejected() {
+        let _ = args("--backend hardware");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod energy;
 pub mod ixcache;
 pub mod metrics;
 pub mod models;
+pub mod native;
 pub mod range;
 pub mod request;
 pub mod runner;
@@ -59,10 +60,11 @@ pub mod prelude {
     };
     pub use crate::ixcache::{IxCache, IxConfig, IxHit};
     pub use crate::models::{DesignSpec, Experiment};
+    pub use crate::native::{run_native_design, supports_native, NativeMetrics};
     pub use crate::range::KeyRange;
     pub use crate::request::WalkRequest;
     pub use crate::runner::{
-        run_comparison, run_design, ObsConfig, RunConfig, RunReport, ShardCtx, SinkFactory,
+        run_comparison, run_design, Backend, ObsConfig, RunConfig, RunReport, ShardCtx, SinkFactory,
     };
     pub use crate::tuner::Tuner;
 }

@@ -1,0 +1,928 @@
+//! The native execution backend: runs walks for real instead of
+//! simulating them.
+//!
+//! [`run_native_design`] accepts the same `(DesignSpec, Experiment,
+//! RunConfig)` triple as [`crate::runner::run_design`] and returns the
+//! same [`RunReport`], but every walk *executes*: nodes are materialized
+//! B+tree pages in block files ([`super::tree::PagedTree`]), the
+//! [`IxCache`] is a real software fast path (a probe hit resolves its
+//! node from the deserialized hot map without touching the page layer),
+//! and mutations restructure the paged tree on disk. The cache-decision
+//! sequence is a line-for-line port of the simulator's `plan_metal` /
+//! `apply_write`, so both backends make **identical** cache decisions
+//! and must agree exactly on every semantic outcome: `found_walks`,
+//! `write_walks`, `node_splits`, `node_merges`, probes/misses/inserts/
+//! bypasses, per-level hit counts, `levels_skipped` and invalidation
+//! counts. `crates/verify/tests/backend_equivalence.rs` and the
+//! `ix_fuzz --backend native` arm enforce that agreement permanently.
+//!
+//! Only designs whose cache semantics are lane-independent are
+//! executable natively: `Stream`, `MetalIx` and `Metal`. (All three use
+//! one shared cache, and the simulator resolves every cache interaction
+//! at plan time in cursor order — so a sequential native executor
+//! observes the exact same interleaving. `MetalPrivate` splits state by
+//! lane and the address-block designs model block-grain hardware the
+//! native walk has no analogue for.)
+//!
+//! The same [`Event`] stream is reused: one native walk emits its
+//! cache-side events, then `WalkStart`, its `DramFetch`s, `WalkEnd` —
+//! the exact grammar a single-lane simulator trace has — so traces,
+//! `analyze`, the epoch time-series and the flight recorder work
+//! unchanged. Timestamps are a deterministic per-walk logical clock
+//! (measured wall time is reported out-of-band in [`NativeMetrics`],
+//! never inside the event stream, keeping traces reproducible).
+
+use super::tree::{materialize_tree, PagedTree};
+use crate::descriptor::{Admit, AdmitCtx, Descriptor};
+use crate::ixcache::IxCache;
+use crate::models::{DesignSpec, Experiment};
+use crate::range::KeyRange;
+use crate::request::{OpKind, WalkRequest};
+use crate::runner::{shard_bounds, RunConfig, RunReport, ShardCtx};
+use crate::tuner::{TuneDecision, Tuner};
+use metal_index::bptree::{BPlusTree, MutationReport};
+use metal_index::walk::Descend;
+use metal_index::NodeId;
+use metal_sim::obs::{emit_to, Event, SharedSink, NO_ENTRY};
+use metal_sim::stats::RunStats;
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+
+/// Walks between hot-map garbage collections (drops deserialized nodes
+/// the IX-cache no longer references; observe-only bookkeeping).
+const HOT_GC_WALKS: u64 = 1024;
+
+/// Measured (not modeled) execution counters of one native run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeMetrics {
+    /// Wall-clock nanoseconds spent executing walks (materialization
+    /// excluded).
+    pub wall_ns: u64,
+    /// Walks executed (denominator for walks/sec).
+    pub walks: u64,
+    /// Pages read from the block files (out-of-core "page faults").
+    pub page_reads: u64,
+    /// Pages written to the block files.
+    pub page_writes: u64,
+    /// Node reads served by the hot map (IX-cache software fast path).
+    pub hot_hits: u64,
+    /// Node reads that went to the page layer and deserialized.
+    pub cold_reads: u64,
+    /// Node store-backs (serialize + page write).
+    pub node_writes: u64,
+    /// Total pages across all tree files at the end of the run.
+    pub pages: u64,
+    /// Free-list pages at the end of the run (extents returned by
+    /// merges/relocations).
+    pub free_pages: u64,
+}
+
+impl NativeMetrics {
+    /// Measured walk throughput.
+    pub fn walks_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.walks as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Accumulates another shard's metrics.
+    pub fn merge(&mut self, other: &NativeMetrics) {
+        self.wall_ns += other.wall_ns;
+        self.walks += other.walks;
+        self.page_reads += other.page_reads;
+        self.page_writes += other.page_writes;
+        self.hot_hits += other.hot_hits;
+        self.cold_reads += other.cold_reads;
+        self.node_writes += other.node_writes;
+        self.pages += other.pages;
+        self.free_pages += other.free_pages;
+    }
+}
+
+/// Whether `spec` can run on the native backend (see module docs).
+pub fn supports_native(spec: &DesignSpec) -> bool {
+    matches!(
+        spec,
+        DesignSpec::Stream | DesignSpec::MetalIx { .. } | DesignSpec::Metal { .. }
+    )
+}
+
+/// The IX-cache and policy state of a METAL-family native run.
+struct CacheBits {
+    cache: IxCache,
+    descriptors: Vec<Descriptor>,
+    tuners: Option<Vec<Tuner>>,
+}
+
+/// One shard's native execution state.
+struct NativeRun {
+    trees: Vec<PagedTree>,
+    cache: Option<CacheBits>,
+    stats: RunStats,
+    sink: Option<SharedSink>,
+    /// Deterministic logical clock: one tick per walk; every event of a
+    /// walk is stamped with its tick.
+    clock: u64,
+    walk_seq: u64,
+    /// DRAM fetches of the walk in flight, emitted after `WalkStart` in
+    /// engine order.
+    pending_dram: Vec<(u64, u64)>,
+}
+
+fn io<T>(r: super::blockfile::Result<T>) -> T {
+    r.unwrap_or_else(|e| panic!("native backend storage failure: {e}"))
+}
+
+impl NativeRun {
+    fn emit(&self, ev: Event) {
+        emit_to(&self.sink, self.clock, &ev);
+    }
+
+    fn observing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records one node/value fetch that would hit DRAM: counted for
+    /// semantic equivalence (`dram_node_reads` when `node`), emitted as
+    /// a `DramFetch` after this walk's `WalkStart`.
+    fn fetch(&mut self, addr: u64, bytes: u64, node: bool) {
+        if node {
+            self.stats.dram_node_reads += 1;
+        }
+        if self.observing() {
+            self.pending_dram.push((addr, bytes));
+        }
+    }
+
+    /// Executes one walk request end to end, mirroring the simulator's
+    /// event grammar: cache events, `WalkStart`, `DramFetch`s, `WalkEnd`.
+    fn run_walk(&mut self, req: &WalkRequest) {
+        self.clock += 1;
+        let walk = self.walk_seq;
+        self.walk_seq += 1;
+        self.stats.walks += 1;
+        self.pending_dram.clear();
+        if self.cache.is_some() {
+            self.exec_metal(req);
+        } else {
+            self.exec_stream(req);
+        }
+        if req.op.is_write() {
+            self.apply_write(req);
+        }
+        if self.observing() {
+            self.emit(Event::WalkStart { walk, lane: 0 });
+            let fetches = std::mem::take(&mut self.pending_dram);
+            for (addr, bytes) in fetches {
+                self.emit(Event::DramFetch {
+                    lane: 0,
+                    addr,
+                    bytes,
+                    done: self.clock,
+                });
+            }
+            self.emit(Event::WalkEnd {
+                walk,
+                lane: 0,
+                latency: 1,
+            });
+        }
+    }
+
+    /// Streaming baseline: every node access goes to the page layer
+    /// (port of the simulator's `Stream` plan arm).
+    fn exec_stream(&mut self, req: &WalkRequest) {
+        let tree = &mut self.trees[req.index as usize];
+        let (path, leaf) = io(tree.path_from(tree.root(), req.key));
+        let mut fetches: Vec<(u64, u64)> = path
+            .iter()
+            .map(|&(_, info)| (info.addr.get(), info.bytes))
+            .collect();
+        let scan_start = path.last().map(|&(id, _)| id);
+        if let Some(start) = scan_start {
+            for (_, info) in io(tree.scan_chain(start, req.scan_leaves)) {
+                fetches.push((info.addr.get(), info.bytes));
+            }
+        }
+        for (addr, bytes) in fetches {
+            self.fetch(addr, bytes, true);
+        }
+        if matches!(leaf, Descend::Leaf { found: true, .. }) {
+            self.stats.found_walks += 1;
+        }
+        if let Descend::Leaf {
+            found: true,
+            value_addr,
+            value_bytes,
+        } = leaf
+        {
+            if value_bytes > 0 {
+                self.fetch(value_addr.get(), value_bytes, false);
+            }
+        }
+        if req.compute_ops > 0 {
+            self.stats.compute_ops += req.compute_ops;
+        }
+    }
+
+    /// METAL walk: probe the IX-cache, short-circuit from the hot map on
+    /// a hit, fetch and admit the remaining path (port of `plan_metal`,
+    /// minus timing/energy — the decision and statistics sequence is
+    /// identical).
+    fn exec_metal(&mut self, req: &WalkRequest) {
+        let observing = self.observing();
+        let idx = req.index as usize;
+        let ctx = AdmitCtx {
+            life_hint: req.life_hint,
+        };
+        let bits = self.cache.as_mut().expect("metal design has a cache");
+        let tree = &mut self.trees[idx];
+
+        let probe_set = if observing {
+            bits.cache.probe_set(req.index, req.key)
+        } else {
+            0
+        };
+        let probe = bits.cache.probe(req.index, req.key);
+        self.stats.probes += 1;
+        if let Some(ts) = &mut bits.tuners {
+            ts[idx].observe_probe(probe.is_some());
+            ts[idx].observe_key(req.key);
+        }
+
+        let (path, leaf, skipped) = match probe {
+            Some(hit) => {
+                if self.stats.hit_levels.len() <= hit.level as usize {
+                    self.stats.hit_levels.resize(hit.level as usize + 1, 0);
+                }
+                self.stats.hit_levels[hit.level as usize] += 1;
+                if let Some(ts) = &mut bits.tuners {
+                    ts[idx].observe_node(hit.level, hit.node, tree.node_bytes(hit.node));
+                }
+                let skipped = (tree.depth() as u64).saturating_sub(hit.level as u64);
+                // The cached pointer resolves through the hot map — this
+                // is the software fast path the native backend measures.
+                let node = io(tree.read_node(hit.node));
+                match tree.descend_in(&node, req.key) {
+                    Descend::Child(c) => {
+                        let (path, leaf) = io(tree.path_from(c, req.key));
+                        (path, leaf, skipped)
+                    }
+                    leaf @ Descend::Leaf { .. } => (Vec::new(), leaf, skipped),
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                let (path, leaf) = io(tree.path_from(tree.root(), req.key));
+                (path, leaf, 0)
+            }
+        };
+        self.stats.levels_skipped += skipped;
+        if observing {
+            emit_to(
+                &self.sink,
+                self.clock,
+                &Event::IxProbe {
+                    index: req.index,
+                    key: req.key,
+                    hit: probe.is_some(),
+                    level: probe.map_or(0, |h| h.level),
+                    short_circuit: skipped.min(u8::MAX as u64) as u8,
+                    set: probe_set,
+                    scan: false,
+                    entry: probe.map_or(NO_ENTRY, |h| h.entry),
+                },
+            );
+        }
+
+        let mut fetches: Vec<(u64, u64)> = Vec::with_capacity(path.len());
+        for &(id, info) in &path {
+            fetches.push((info.addr.get(), info.bytes));
+            Self::admit_node(
+                &mut self.trees[idx],
+                self.cache.as_mut().expect("metal design has a cache"),
+                &mut self.stats,
+                &self.sink,
+                self.clock,
+                req.index,
+                id,
+                &info,
+                &ctx,
+            );
+        }
+
+        // Range scan: probe per scanned leaf, fetch and admit misses.
+        let scan_start = path.last().map(|&(i, _)| i).or(probe.map(|h| h.node));
+        if let Some(start) = scan_start {
+            let chain = io(self.trees[idx].scan_chain(start, req.scan_leaves));
+            for (id, info) in chain {
+                let bits = self.cache.as_mut().expect("metal design has a cache");
+                let scan_set = if observing {
+                    bits.cache.probe_set(req.index, info.lo)
+                } else {
+                    0
+                };
+                let hit = bits
+                    .cache
+                    .probe(req.index, info.lo)
+                    .filter(|h| h.node == id);
+                let leaf_hit = hit.is_some();
+                self.stats.probes += 1;
+                if observing {
+                    emit_to(
+                        &self.sink,
+                        self.clock,
+                        &Event::IxProbe {
+                            index: req.index,
+                            key: info.lo,
+                            hit: leaf_hit,
+                            level: info.level,
+                            short_circuit: 0,
+                            set: scan_set,
+                            scan: true,
+                            entry: hit.map_or(NO_ENTRY, |h| h.entry),
+                        },
+                    );
+                }
+                if leaf_hit {
+                    // Hot-path leaf: resolved from the deserialized map.
+                    let _ = io(self.trees[idx].read_node(id));
+                } else {
+                    self.stats.misses += 1;
+                    fetches.push((info.addr.get(), info.bytes));
+                    Self::admit_node(
+                        &mut self.trees[idx],
+                        self.cache.as_mut().expect("metal design has a cache"),
+                        &mut self.stats,
+                        &self.sink,
+                        self.clock,
+                        req.index,
+                        id,
+                        &info,
+                        &ctx,
+                    );
+                }
+            }
+        }
+
+        for (addr, bytes) in fetches {
+            self.fetch(addr, bytes, true);
+        }
+        if matches!(leaf, Descend::Leaf { found: true, .. }) {
+            self.stats.found_walks += 1;
+        }
+        if let Descend::Leaf {
+            found: true,
+            value_addr,
+            value_bytes,
+        } = leaf
+        {
+            // The record read itself (the simulator stages it through a
+            // tile scratchpad; semantically it is one value fetch).
+            if value_bytes > 0 {
+                self.fetch(value_addr.get(), value_bytes, false);
+            }
+        }
+        if req.compute_ops > 0 {
+            self.stats.compute_ops += req.compute_ops;
+        }
+
+        // Close the walk for the tuner (may retune the descriptor).
+        let bits = self.cache.as_mut().expect("metal design has a cache");
+        let mut decisions: Vec<TuneDecision> = Vec::new();
+        if let Some(ts) = &mut bits.tuners {
+            let t = &mut ts[idx];
+            if t.walk_done(&mut bits.descriptors[idx]) {
+                decisions = t.take_decisions();
+            }
+        }
+        if observing {
+            for d in decisions {
+                emit_to(
+                    &self.sink,
+                    self.clock,
+                    &Event::TunerDecision {
+                        index: req.index,
+                        batch: d.batch,
+                        param: d.param,
+                        from: d.from,
+                        to: d.to,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Descriptor decision + insertion for one fetched node (port of the
+    /// simulator's `admit_node`). On insert the node also enters the
+    /// tree's hot map — the cache now holds a live pointer to it.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_node(
+        tree: &mut PagedTree,
+        bits: &mut CacheBits,
+        stats: &mut RunStats,
+        sink: &Option<SharedSink>,
+        clock: u64,
+        index_id: u8,
+        id: NodeId,
+        info: &metal_index::NodeInfo,
+        ctx: &AdmitCtx,
+    ) {
+        let observing = sink.is_some();
+        if let Some(ts) = &mut bits.tuners {
+            ts[index_id as usize].observe_node(info.level, id, info.bytes);
+        }
+        let (verdict, reason) = bits.descriptors[index_id as usize].decide(info, ctx);
+        match verdict {
+            Admit::Insert { life } => {
+                let range = KeyRange::new(info.lo, info.hi);
+                if observing {
+                    emit_to(
+                        sink,
+                        clock,
+                        &Event::Insert {
+                            index: index_id,
+                            level: info.level,
+                            set: bits.cache.placement_set(index_id, &range),
+                            life,
+                            reason,
+                        },
+                    );
+                }
+                bits.cache
+                    .insert(index_id, id, range, info.level, info.bytes, life);
+                // Recording is always on natively (the drains double as
+                // hot-map bookkeeping); emit only when observed.
+                let fills: Vec<_> = bits.cache.drain_fills().collect();
+                let evicts: Vec<_> = bits.cache.drain_evictions().collect();
+                let coalesces: Vec<_> = bits.cache.drain_coalesces().collect();
+                if observing {
+                    for f in fills {
+                        emit_to(
+                            sink,
+                            clock,
+                            &Event::Fill {
+                                index: f.index,
+                                level: f.level,
+                                set: f.set,
+                                entry: f.entry,
+                                pack: f.pack,
+                            },
+                        );
+                    }
+                    for co in coalesces {
+                        emit_to(
+                            sink,
+                            clock,
+                            &Event::Coalesce {
+                                index: co.index,
+                                level: co.level,
+                                set: co.set,
+                                entry: co.entry,
+                            },
+                        );
+                    }
+                    for e in evicts {
+                        emit_to(
+                            sink,
+                            clock,
+                            &Event::Evict {
+                                index: e.index,
+                                level: e.level,
+                                set: e.set,
+                                reason: e.reason,
+                                entry: e.entry,
+                                lo: e.lo,
+                                hi: e.hi,
+                                for_entry: e.for_entry,
+                            },
+                        );
+                    }
+                }
+                stats.inserts += 1;
+                io(tree.admit_hot(id));
+            }
+            Admit::Bypass => {
+                stats.bypasses += 1;
+                if observing {
+                    emit_to(
+                        sink,
+                        clock,
+                        &Event::Bypass {
+                            index: index_id,
+                            level: info.level,
+                            reason,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Executes `req`'s write op against the paged tree (port of the
+    /// simulator's `apply_write` + `invalidate_stale`).
+    fn apply_write(&mut self, req: &WalkRequest) {
+        self.stats.write_walks += 1;
+        let idx = req.index as usize;
+        if req.op == OpKind::Update {
+            let tree = &mut self.trees[idx];
+            let (_, leaf) = io(tree.path_from(tree.root(), req.key));
+            if let Descend::Leaf {
+                found: true,
+                value_addr,
+                value_bytes,
+            } = leaf
+            {
+                if value_bytes > 0 {
+                    self.fetch(value_addr.get(), value_bytes, false);
+                }
+            }
+            return;
+        }
+        let report: MutationReport = match req.op {
+            OpKind::Insert => io(self.trees[idx].insert_key(req.key)),
+            OpKind::Delete => io(self.trees[idx].delete_key(req.key)),
+            OpKind::Select | OpKind::Update => return,
+        };
+        if !report.applied {
+            return;
+        }
+        self.stats.node_splits += report.splits as u64;
+        self.stats.node_merges += (report.merges + report.rebalances) as u64;
+        for &(addr, bytes) in &report.writes {
+            self.fetch(addr.get(), bytes, false);
+        }
+
+        // Coherence: kill or shrink stale cached tags, exactly as the
+        // simulator does after the same mutation.
+        let observing = self.observing();
+        let mut records = Vec::new();
+        if let Some(bits) = &mut self.cache {
+            let before = bits.cache.stats().invalidation_kills;
+            for span in &report.stale {
+                bits.cache.invalidate_range(
+                    req.index,
+                    Some(span.level),
+                    KeyRange::new(span.lo, span.hi),
+                );
+            }
+            let after = bits.cache.stats().invalidation_kills;
+            self.stats.entries_invalidated += after - before;
+            records.extend(bits.cache.drain_invalidations());
+        }
+        if observing {
+            for span in &report.stale {
+                self.emit(Event::Split {
+                    index: req.index,
+                    level: span.level,
+                    lo: span.lo,
+                    hi: span.hi,
+                    op: span.op,
+                });
+            }
+            for r in records {
+                self.emit(Event::Invalidate {
+                    index: r.index,
+                    level: r.level,
+                    set: r.set,
+                    entry: r.entry,
+                    lo: r.lo,
+                    hi: r.hi,
+                    killed: r.killed,
+                });
+            }
+        }
+    }
+
+    /// Drops hot nodes the IX-cache no longer references (periodic,
+    /// observe-only — affects measured page I/O, never outcomes).
+    fn gc_hot(&mut self) {
+        let Some(bits) = &self.cache else { return };
+        let snapshot = bits.cache.snapshot();
+        for (i, tree) in self.trees.iter_mut().enumerate() {
+            let keep: HashSet<NodeId> = snapshot
+                .iter()
+                .filter(|e| e.index as usize == i)
+                .flat_map(|e| e.segs.iter().map(|&(_, n)| n))
+                .collect();
+            tree.retain_hot(|id| keep.contains(&id));
+        }
+    }
+}
+
+/// Runs one shard of the request stream natively (fresh trees with the
+/// shard's prefix writes replayed, fresh cache/tuner state — the same
+/// cold-start semantics as the simulator's sharded runner).
+fn run_native_shard(
+    spec: &DesignSpec,
+    exp: &Experiment<'_>,
+    cfg: &RunConfig,
+    shard: u64,
+    prefix: &[WalkRequest],
+) -> RunReport {
+    // Start from the pristine experiment trees and replay the prefix
+    // writes (cost-free), like `DesignModel::new_with_prefix`.
+    let mut start: Vec<BPlusTree> = exp
+        .indexes
+        .iter()
+        .map(|i| {
+            i.as_bptree()
+                .unwrap_or_else(|| {
+                    panic!(
+                        "the native backend executes B+tree indexes only (design {})",
+                        spec.label()
+                    )
+                })
+                .clone()
+        })
+        .collect();
+    for req in prefix {
+        if let Some(t) = start.get_mut(req.index as usize) {
+            match req.op {
+                OpKind::Insert => {
+                    t.insert_key(req.key);
+                }
+                OpKind::Delete => {
+                    t.delete_key(req.key);
+                }
+                OpKind::Select | OpKind::Update => {}
+            }
+        }
+    }
+
+    let trees: Vec<PagedTree> = start.iter().map(|t| io(materialize_tree(t))).collect();
+    let cache = match spec {
+        DesignSpec::Stream => None,
+        DesignSpec::MetalIx { ix } => Some(CacheBits {
+            cache: IxCache::new(*ix),
+            descriptors: vec![Descriptor::All; exp.indexes.len()],
+            tuners: None,
+        }),
+        DesignSpec::Metal {
+            ix,
+            descriptors,
+            tune,
+            batch_walks,
+        } => {
+            assert_eq!(
+                descriptors.len(),
+                exp.indexes.len(),
+                "need one descriptor per index"
+            );
+            let tuners = if *tune {
+                Some(
+                    exp.indexes
+                        .iter()
+                        .map(|i| Tuner::new(i.depth(), *batch_walks, ix.entries))
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            Some(CacheBits {
+                cache: IxCache::new(*ix),
+                descriptors: descriptors.clone(),
+                tuners,
+            })
+        }
+        other => panic!(
+            "design '{}' is not supported by the native backend \
+             (supported: stream, metal-ix, metal)",
+            other.label()
+        ),
+    };
+
+    let sink = cfg.obs.sink_factory.as_ref().and_then(|make| {
+        make(&ShardCtx {
+            design: spec.label().to_string(),
+            shard,
+            epoch: cfg.epoch,
+        })
+    });
+    let mut run = NativeRun {
+        trees,
+        cache,
+        stats: RunStats::new(),
+        sink,
+        clock: 0,
+        walk_seq: 0,
+        pending_dram: Vec::new(),
+    };
+    // Recording stays on: the drains double as hot-map bookkeeping, and
+    // recording never changes cache decisions.
+    if let Some(bits) = &mut run.cache {
+        bits.cache.set_recording(true);
+    }
+
+    let t0 = std::time::Instant::now();
+    for (n, req) in exp.requests.iter().enumerate() {
+        run.run_walk(req);
+        if let Some(p) = &cfg.obs.progress {
+            p.fetch_add(1, Ordering::Relaxed);
+        }
+        if (n as u64 + 1).is_multiple_of(HOT_GC_WALKS) {
+            run.gc_hot();
+        }
+    }
+    let wall_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    if let Some(s) = &run.sink {
+        s.borrow_mut().flush();
+    }
+
+    run.stats.index_blocks = run.trees.iter().map(|t| t.total_blocks()).sum();
+    let max_depth = run.trees.iter().map(|t| t.depth()).max().unwrap_or(1);
+    let occupancy_by_level = run
+        .cache
+        .as_ref()
+        .map(|b| b.cache.occupancy_by_level(max_depth))
+        .unwrap_or_default();
+    let band_history = run
+        .cache
+        .as_ref()
+        .and_then(|b| b.tuners.as_ref())
+        .map(|ts| ts.iter().map(|t| t.history().to_vec()).collect())
+        .unwrap_or_default();
+
+    let mut native = NativeMetrics {
+        wall_ns,
+        walks: run.stats.walks,
+        ..NativeMetrics::default()
+    };
+    for t in &run.trees {
+        let fs = t.file_stats();
+        let ts = t.io_stats();
+        native.page_reads += fs.pages_read;
+        native.page_writes += fs.pages_written;
+        native.hot_hits += ts.hot_hits;
+        native.cold_reads += ts.cold_reads;
+        native.node_writes += ts.node_writes;
+        native.pages += t.page_count();
+        native.free_pages += t.free_pages();
+    }
+
+    RunReport {
+        design: spec.label().to_string(),
+        stats: run.stats,
+        occupancy_by_level,
+        band_history,
+        native: Some(native),
+    }
+}
+
+/// Runs one design natively over the experiment, sharding the request
+/// stream with the same grain/prefix semantics as the simulator's
+/// [`crate::runner::run_design`] — so `run(shards=1) == run(shards=k)`
+/// holds trivially (shards execute sequentially here; each is already a
+/// pure function of its chunk + prefix).
+pub fn run_native_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
+    assert!(
+        supports_native(spec),
+        "design '{}' is not supported by the native backend",
+        spec.label()
+    );
+    let bounds = shard_bounds(exp.requests.len(), cfg.shard_walks);
+    let mut reports = Vec::with_capacity(bounds.len());
+    for (i, range) in bounds.iter().enumerate() {
+        let shard_exp = exp.slice(range.clone());
+        let prefix = &exp.requests[..range.start];
+        reports.push(run_native_shard(spec, &shard_exp, cfg, i as u64, prefix));
+    }
+    crate::runner::merge_reports(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::NodeDescriptor;
+    use crate::ixcache::IxConfig;
+    use crate::runner::run_design;
+    use metal_sim::types::{Addr, Key};
+
+    fn tree() -> BPlusTree {
+        let keys: Vec<Key> = (0..4000).map(|k| k * 2).collect();
+        BPlusTree::bulk_load(&keys, 4, Addr::new(0), 16)
+    }
+
+    fn crud_requests(n: usize) -> Vec<WalkRequest> {
+        (0..n)
+            .map(|i| {
+                let key = ((i * 37) % 4000) as Key * 2;
+                match i % 10 {
+                    0 => WalkRequest::lookup(key + 1).with_op(OpKind::Insert),
+                    1 => WalkRequest::lookup(key).with_op(OpKind::Delete),
+                    2 => WalkRequest::lookup(key).with_op(OpKind::Update),
+                    3 => WalkRequest::lookup(key).with_scan(3),
+                    _ => WalkRequest::lookup(key).with_compute(8),
+                }
+            })
+            .collect()
+    }
+
+    fn semantic_outcomes(r: &RunReport) -> (u64, u64, u64, u64, u64, u64, u64, u64, Vec<u64>) {
+        (
+            r.stats.found_walks,
+            r.stats.write_walks,
+            r.stats.node_splits,
+            r.stats.node_merges,
+            r.stats.probes,
+            r.stats.misses,
+            r.stats.inserts,
+            r.stats.entries_invalidated,
+            r.stats.hit_levels.clone(),
+        )
+    }
+
+    #[test]
+    fn native_matches_sim_on_crud_mix() {
+        let t = tree();
+        let requests = crud_requests(800);
+        let exp = Experiment::single(&t, &requests);
+        let cfg = RunConfig::default();
+        for spec in [
+            DesignSpec::Stream,
+            DesignSpec::MetalIx {
+                ix: IxConfig::kb64(),
+            },
+            DesignSpec::Metal {
+                ix: IxConfig::kb64(),
+                descriptors: vec![Descriptor::Node(NodeDescriptor::leaves())],
+                tune: true,
+                batch_walks: 100,
+            },
+        ] {
+            let sim = run_design(&spec, &exp, &cfg);
+            let native = run_native_design(&spec, &exp, &cfg);
+            assert_eq!(
+                semantic_outcomes(&sim),
+                semantic_outcomes(&native),
+                "backend divergence under design '{}'",
+                spec.label()
+            );
+            assert_eq!(sim.stats.dram_node_reads, native.stats.dram_node_reads);
+            assert_eq!(sim.stats.levels_skipped, native.stats.levels_skipped);
+            assert_eq!(sim.stats.bypasses, native.stats.bypasses);
+            assert_eq!(sim.stats.index_blocks, native.stats.index_blocks);
+            assert_eq!(sim.occupancy_by_level, native.occupancy_by_level);
+            assert_eq!(sim.band_history, native.band_history);
+            let m = native.native.expect("native metrics attached");
+            assert_eq!(m.walks, 800);
+            assert!(m.page_reads > 0, "walks actually touch the page layer");
+        }
+    }
+
+    #[test]
+    fn native_sharding_replays_prefix_writes() {
+        let t = tree();
+        let requests = crud_requests(600);
+        let exp = Experiment::single(&t, &requests);
+        let spec = DesignSpec::MetalIx {
+            ix: IxConfig::kb64(),
+        };
+        let whole = run_native_design(&spec, &exp, &RunConfig::default());
+        let sharded = run_native_design(&spec, &exp, &RunConfig::default().with_shard_walks(150));
+        // Sharded runs start each chunk cold (different outcomes from the
+        // unsharded run) but must match the *simulator* sharded the same
+        // way — the true invariant.
+        let sim_sharded = run_design(&spec, &exp, &RunConfig::default().with_shard_walks(150));
+        assert_eq!(semantic_outcomes(&sharded), semantic_outcomes(&sim_sharded));
+        assert_eq!(whole.stats.walks, sharded.stats.walks);
+    }
+
+    #[test]
+    fn hot_map_serves_probe_hits() {
+        let t = tree();
+        // Heavy reuse of one key: after the cold walk, probes hit and the
+        // node pointer resolves from the hot map.
+        let requests: Vec<WalkRequest> = (0..200).map(|_| WalkRequest::lookup(100)).collect();
+        let exp = Experiment::single(&t, &requests);
+        let spec = DesignSpec::MetalIx {
+            ix: IxConfig::kb64(),
+        };
+        let r = run_native_design(&spec, &exp, &RunConfig::default());
+        let m = r.native.expect("metrics");
+        assert!(
+            m.hot_hits > m.cold_reads,
+            "reuse must ride the hot fast path: {} hot vs {} cold",
+            m.hot_hits,
+            m.cold_reads
+        );
+        assert!(m.walks_per_sec() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported by the native backend")]
+    fn unsupported_design_panics_with_context() {
+        let t = tree();
+        let requests = vec![WalkRequest::lookup(0)];
+        let exp = Experiment::single(&t, &requests);
+        run_native_design(
+            &DesignSpec::Address {
+                entries: 64,
+                ways: 16,
+            },
+            &exp,
+            &RunConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Native-execution backend: real walks over paged B+tree nodes.
+//!
+//! The simulator *models* walks; this module *executes* them. Indexes
+//! are materialized into page-aligned block files ([`blockfile`]), nodes
+//! are serialized/deserialized through [`codec`], and [`tree`] ports the
+//! B+tree walk and mutation algorithms onto that paged storage so
+//! datasets can exceed RAM. [`backend`] drives the same request streams
+//! the simulator consumes and reuses [`metal_sim::obs::Event`] so every
+//! downstream consumer (traces, `analyze`, epoch series, the flight
+//! recorder) works unchanged. The two backends must agree exactly on
+//! semantic outcomes — `crates/verify/tests/backend_equivalence.rs` and
+//! the `ix_fuzz --backend native` arm enforce that permanently.
+
+pub mod backend;
+pub mod blockfile;
+pub mod codec;
+pub mod tree;
+
+pub use backend::{run_native_design, supports_native, NativeMetrics};
+pub use blockfile::{BlockFile, BlockFileError, BlockStats, PAGE_BYTES};
+pub use codec::{PagedKind, PagedNode};
+pub use tree::{materialize_tree, PagedTree, TreeIoStats};

@@ -81,6 +81,27 @@ impl fmt::Debug for ObsConfig {
     }
 }
 
+/// Which execution backend runs the walks.
+///
+/// Both backends share the request streams, design specs, event grammar
+/// and [`RunReport`] shape, and must agree exactly on semantic outcomes
+/// (found walks, write/split/merge counts, cache hit levels under
+/// identical cache decisions) — `crates/verify/tests/backend_equivalence.rs`
+/// enforces that. They differ in what the numbers *mean*: the simulator
+/// models cycles/energy on a synthetic machine; the native backend
+/// executes real paged B+tree nodes and measures wall-clock and page
+/// I/O ([`RunReport::native`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Cycle-level simulation ([`metal_sim::engine::Engine`]).
+    #[default]
+    Sim,
+    /// Native execution over paged storage
+    /// ([`crate::native::run_native_design`]). Supports the lane-shared
+    /// designs only (`stream`, `metal-ix`, `metal`).
+    Native,
+}
+
 /// Runner configuration.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -105,6 +126,8 @@ pub struct RunConfig {
     /// time series). Observe-only — the boundary is a pure function of
     /// the stream, so it never changes simulated results.
     pub epoch: Option<EpochSpec>,
+    /// Execution backend: simulate the walks or execute them natively.
+    pub backend: Backend,
 }
 
 /// Default logical-shard grain: effectively unbounded, so every stream
@@ -122,6 +145,7 @@ impl Default for RunConfig {
             shard_walks: DEFAULT_SHARD_WALKS,
             obs: ObsConfig::default(),
             epoch: None,
+            backend: Backend::Sim,
         }
     }
 }
@@ -166,6 +190,12 @@ impl RunConfig {
         self
     }
 
+    /// Selects the execution backend (default: [`Backend::Sim`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The number of worker threads to actually spawn.
     pub fn worker_threads(&self) -> usize {
         if self.shards == 0 {
@@ -182,7 +212,7 @@ impl RunConfig {
 /// `shard_walks` requests. Pure function of (stream length, grain) so the
 /// partition — and therefore every merged statistic — is independent of
 /// how many worker threads execute it.
-fn shard_bounds(n_requests: usize, shard_walks: u64) -> Vec<Range<usize>> {
+pub(crate) fn shard_bounds(n_requests: usize, shard_walks: u64) -> Vec<Range<usize>> {
     let grain = shard_walks.max(1).min(usize::MAX as u64) as usize;
     let mut out = Vec::with_capacity(n_requests.div_ceil(grain).max(1));
     let mut lo = 0;
@@ -209,6 +239,9 @@ pub struct RunReport {
     pub occupancy_by_level: Vec<usize>,
     /// Tuned band history per index (Fig. 22); empty unless tuning ran.
     pub band_history: Vec<Vec<(u8, u8)>>,
+    /// Measured execution counters (wall time, page I/O, hot-map hits);
+    /// `None` for simulated runs.
+    pub native: Option<crate::native::NativeMetrics>,
 }
 
 impl RunReport {
@@ -277,6 +310,7 @@ fn run_design_shard(
         stats,
         occupancy_by_level,
         band_history,
+        native: None,
     }
 }
 
@@ -284,10 +318,15 @@ fn run_design_shard(
 ///
 /// Statistics merge through [`RunStats::merge`]; occupancy histograms sum
 /// elementwise; band histories concatenate per index in shard order.
-fn merge_reports(mut reports: Vec<RunReport>) -> RunReport {
+pub(crate) fn merge_reports(mut reports: Vec<RunReport>) -> RunReport {
     let mut merged = reports.remove(0);
     for r in reports {
         merged.stats.merge(&r.stats);
+        match (&mut merged.native, &r.native) {
+            (Some(m), Some(n)) => m.merge(n),
+            (slot @ None, Some(n)) => *slot = Some(*n),
+            _ => {}
+        }
         if merged.occupancy_by_level.len() < r.occupancy_by_level.len() {
             merged
                 .occupancy_by_level
@@ -310,6 +349,9 @@ fn merge_reports(mut reports: Vec<RunReport>) -> RunReport {
 /// across worker threads when it exceeds one shard grain (see the module
 /// docs for the determinism contract).
 pub fn run_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
+    if cfg.backend == Backend::Native {
+        return crate::native::backend::run_native_design(spec, exp, cfg);
+    }
     let bounds = shard_bounds(exp.requests.len(), cfg.shard_walks);
     if bounds.len() <= 1 {
         return run_design_shard(spec, exp, cfg, 0, &[]);

@@ -119,6 +119,79 @@ fn push_stale(report: &mut MutationReport, level: u8, lo: Key, hi: Key, op: MutK
     }
 }
 
+/// Scalar geometry of a [`BPlusTree`], exported so an external storage
+/// backend (the native paged executor in `metal-core`) can materialize a
+/// byte-for-byte equivalent tree: same node ids, same simulated
+/// addresses, same mutation thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Root node id.
+    pub root: NodeId,
+    /// Number of levels.
+    pub depth: u8,
+    /// Keys per leaf at bulk load (mutation overflow threshold).
+    pub leaf_cap: usize,
+    /// Children per interior node at bulk load (overflow threshold).
+    pub fanout: usize,
+    /// Number of keys indexed.
+    pub n_keys: u64,
+    /// Next fresh record rank.
+    pub next_rank: u64,
+    /// First address of the node arena.
+    pub arena_base: Addr,
+    /// Base address of the data-record region.
+    pub data_base: Addr,
+    /// Bytes per data record.
+    pub record_bytes: u64,
+    /// One past the reserved value heap (mutation-allocated nodes land
+    /// beyond it).
+    pub value_heap_end: u64,
+    /// Whether the arena cursor has already advanced past the value heap
+    /// (true once any structural mutation allocated a node).
+    pub mut_ready: bool,
+}
+
+/// Exported contents of one node (see [`BPlusTree::export_node`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeExport {
+    /// An interior node: separators plus child pointers.
+    Interior {
+        /// `seps[i]` is the smallest key of `children[i + 1]`.
+        seps: Vec<Key>,
+        /// Child node ids.
+        children: Vec<NodeId>,
+    },
+    /// A leaf node: keys plus record ranks and the right-sibling link.
+    Leaf {
+        /// Sorted keys.
+        keys: Vec<Key>,
+        /// Record rank per key.
+        ranks: Vec<u64>,
+        /// Next leaf to the right.
+        next: Option<NodeId>,
+    },
+}
+
+/// One node exported with its placement metadata, enough to rebuild the
+/// node (and its [`NodeInfo`]) in a different storage backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportedNode {
+    /// Level counted from the leaves.
+    pub level: u8,
+    /// Smallest key reachable through this node.
+    pub lo: Key,
+    /// Largest key reachable through this node (inclusive).
+    pub hi: Key,
+    /// True once the node was merged away.
+    pub dead: bool,
+    /// Simulated physical address (arena placement).
+    pub addr: Addr,
+    /// Logical byte size (arena placement, pre-rounding).
+    pub bytes: u64,
+    /// The node's keys/pointers.
+    pub contents: NodeExport,
+}
+
 /// A bulk-loaded B+tree with simulated physical placement.
 #[derive(Debug, Clone)]
 pub struct BPlusTree {
@@ -873,6 +946,51 @@ impl BPlusTree {
         if let NodeKind::Interior { seps, children } = &mut self.nodes[parent as usize].kind {
             seps.remove(sep_idx);
             children.remove(sep_idx + 1);
+        }
+    }
+
+    /// Scalar geometry for external storage backends (see [`TreeShape`]).
+    pub fn shape(&self) -> TreeShape {
+        TreeShape {
+            root: self.root,
+            depth: self.depth,
+            leaf_cap: self.leaf_cap,
+            fanout: self.fanout,
+            n_keys: self.n_keys,
+            next_rank: self.next_rank,
+            arena_base: self.arena.base(),
+            data_base: self.data_base,
+            record_bytes: self.record_bytes,
+            value_heap_end: self.value_heap_end,
+            mut_ready: self.mut_ready,
+        }
+    }
+
+    /// Exports node `id` with its contents and arena placement so a
+    /// different storage backend can rebuild it verbatim. Node ids are
+    /// positional and dense: exporting `0..node_count()` in order yields
+    /// every node in its allocation order (slot == id).
+    pub fn export_node(&self, id: NodeId) -> ExportedNode {
+        let n = &self.nodes[id as usize];
+        let contents = match &n.kind {
+            NodeKind::Interior { seps, children } => NodeExport::Interior {
+                seps: seps.clone(),
+                children: children.clone(),
+            },
+            NodeKind::Leaf { keys, ranks, next } => NodeExport::Leaf {
+                keys: keys.clone(),
+                ranks: ranks.clone(),
+                next: *next,
+            },
+        };
+        ExportedNode {
+            level: n.level,
+            lo: n.lo,
+            hi: n.hi,
+            dead: n.dead,
+            addr: self.arena.addr(n.slot),
+            bytes: self.arena.bytes(n.slot),
+            contents,
         }
     }
 }

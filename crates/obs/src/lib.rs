@@ -64,7 +64,7 @@ pub use jsonl::{JsonlReader, JsonlSink, JsonlWriter};
 pub use ledger::{EntryLedger, LedgerSummary, RegretDelta, RegretMeter, RegretSummary};
 pub use manifest::{stats_json, ManifestReport, RunManifest};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, RegistrySink};
-pub use report::render_html;
+pub use report::{render_html, render_html_with_measured, MeasuredRow};
 pub use reuse::{FaLru, LogHist, MissTaxonomy, ReuseProfiler, TaxonomyCounts};
 pub use timeseries::{TimeSeries, WindowCounters};
 pub use watchdog::{analysis_document, scan_analysis, Alert, AlertKind, WatchdogConfig};

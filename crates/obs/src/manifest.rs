@@ -88,6 +88,11 @@ pub struct ManifestReport {
     pub design: String,
     /// Full merged statistics.
     pub stats: RunStats,
+    /// Measured native-execution metrics (walks/sec, page I/O), present
+    /// only for runs executed by the native backend. Stored as the
+    /// already-rendered JSON object so this crate stays independent of
+    /// the executor's metric struct.
+    pub native: Option<Json>,
 }
 
 /// A harness run's manifest, rendered to `--metrics-out`.
@@ -142,7 +147,22 @@ impl RunManifest {
             workload: workload.to_string(),
             design: design.to_string(),
             stats: stats.clone(),
+            native: None,
         });
+    }
+
+    /// Attaches measured native-execution metrics to the most recent
+    /// matching report (no-op when none matches — a manifest can only
+    /// carry measurements for runs it recorded).
+    pub fn attach_native(&mut self, workload: &str, design: &str, native: Json) {
+        if let Some(r) = self
+            .reports
+            .iter_mut()
+            .rev()
+            .find(|r| r.workload == workload && r.design == design)
+        {
+            r.native = Some(native);
+        }
     }
 
     /// Renders the manifest document.
@@ -157,11 +177,15 @@ impl RunManifest {
             self.reports
                 .iter()
                 .map(|r| {
-                    Json::Obj(vec![
+                    let mut fields = vec![
                         ("workload".into(), Json::str(r.workload.as_str())),
                         ("design".into(), Json::str(r.design.as_str())),
                         ("stats".into(), stats_json(&r.stats)),
-                    ])
+                    ];
+                    if let Some(n) = &r.native {
+                        fields.push(("native".into(), n.clone()));
+                    }
+                    Json::Obj(fields)
                 })
                 .collect(),
         );
@@ -255,5 +279,31 @@ mod tests {
     #[test]
     fn git_rev_is_nonempty() {
         assert!(!git_rev().is_empty());
+    }
+
+    #[test]
+    fn native_metrics_attach_to_their_report_only() {
+        let stats = RunStats::default();
+        let mut m = RunManifest::new("fig_native");
+        m.push_report("where", "metal:sim", &stats);
+        m.push_report("where", "metal:native", &stats);
+        m.attach_native(
+            "where",
+            "metal:native",
+            Json::Obj(vec![("walks_per_sec".into(), Json::Num(123456.0))]),
+        );
+        // A label no report carries is a no-op, not a panic.
+        m.attach_native("where", "absent", Json::Obj(vec![]));
+
+        let doc = Json::parse(&m.to_json().render()).expect("manifest parses");
+        let reports = doc.get("reports").unwrap().as_arr().unwrap();
+        assert!(reports[0].get("native").is_none(), "sim rows carry none");
+        assert_eq!(
+            reports[1]
+                .get("native")
+                .and_then(|n| n.get("walks_per_sec"))
+                .and_then(Json::as_f64),
+            Some(123456.0)
+        );
     }
 }

@@ -404,9 +404,86 @@ fn design_section(name: &str, d: &DesignAnalysis) -> String {
     )
 }
 
+/// One native-execution measurement, paired with the modeled numbers of
+/// the same (workload, design) run — the rows of the report's
+/// "Measured vs modeled" table. Built by `analyze` from a run manifest
+/// whose reports carry `native` metric objects.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Workload label.
+    pub workload: String,
+    /// Design label (manifest spelling, e.g. `metal:native`).
+    pub design: String,
+    /// Walks executed (identical on both sides by the equivalence gate).
+    pub walks: u64,
+    /// The simulator's modeled cycle count for the paired sim run, when
+    /// the manifest recorded one.
+    pub modeled_cycles: Option<u64>,
+    /// Modeled DRAM node fetches (the simulator's page-fault analogue).
+    pub modeled_node_fetches: u64,
+    /// Measured native throughput.
+    pub walks_per_sec: f64,
+    /// Pages read from the block files (out-of-core page faults).
+    pub page_reads: u64,
+    /// Pages written back to the block files.
+    pub page_writes: u64,
+    /// Node reads served by the software hot map (IX fast path).
+    pub hot_hits: u64,
+    /// Node reads that went to the page layer and deserialized.
+    pub cold_reads: u64,
+}
+
+/// The measured-vs-modeled table: one row per native run in the
+/// manifest, modeled numbers on the left, measured on the right.
+fn measured_section(rows: &[MeasuredRow]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut s = String::from(
+        "<section><h2>Measured vs modeled (native execution)</h2>\
+         <p>Modeled numbers come from the cycle-level simulator; measured numbers \
+         from executing the same walks against paged B+tree nodes. Semantic \
+         outcomes are cross-validated to be identical, so the two sides describe \
+         one run.</p>\
+         <table class=\"measured\"><tr><th>workload</th><th>design</th>\
+         <th>walks</th><th>modeled cycles</th><th>modeled node fetches</th>\
+         <th>measured walks/s</th><th>page reads</th><th>page writes</th>\
+         <th>hot-map hits</th><th>cold reads</th></tr>",
+    );
+    for r in rows {
+        let cycles = r.modeled_cycles.map_or("–".to_string(), |c| c.to_string());
+        s.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{cycles}</td><td>{}</td>\
+             <td>{:.0}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(&r.workload),
+            esc(&r.design),
+            r.walks,
+            r.modeled_node_fetches,
+            r.walks_per_sec,
+            r.page_reads,
+            r.page_writes,
+            r.hot_hits,
+            r.cold_reads,
+        ));
+    }
+    s.push_str("</table></section>");
+    s
+}
+
 /// Renders the whole analysis as one self-contained HTML document.
 pub fn render_html(analysis: &TraceAnalysis, title: &str) -> String {
+    render_html_with_measured(analysis, title, &[])
+}
+
+/// [`render_html`] plus the measured-vs-modeled native-execution table
+/// (omitted when `measured` is empty).
+pub fn render_html_with_measured(
+    analysis: &TraceAnalysis,
+    title: &str,
+    measured: &[MeasuredRow],
+) -> String {
     let mut body = alert_strip(analysis);
+    body.push_str(&measured_section(measured));
     for (name, d) in &analysis.designs {
         body.push_str(&design_section(name, d));
     }
@@ -422,6 +499,11 @@ pub fn render_html(analysis: &TraceAnalysis, title: &str) -> String {
          table{{border-collapse:collapse;margin:.5em 0}}\
          th{{text-align:left;padding:.15em .8em .15em 0;font-weight:600;color:#555}}\
          td{{padding:.15em 0}}\
+         table.measured td,table.measured th{{padding:.15em .6em;\
+         border-bottom:1px solid #eee;text-align:right}}\
+         table.measured td:first-child,table.measured th:first-child,\
+         table.measured td:nth-child(2),table.measured th:nth-child(2)\
+         {{text-align:left}}\
          .bar{{fill:#5b7fb8}}.bar.alt{{fill:#b85b5b}}\
          .tick{{font-size:9px;fill:#666;text-anchor:middle}}\
          svg text.tick{{text-anchor:start}}svg .bar+text.tick{{text-anchor:middle}}\
@@ -491,5 +573,30 @@ mod tests {
     fn empty_analysis_still_renders() {
         let html = render_html(&TraceAnalysis::default(), "empty");
         assert!(html.contains("no designs in trace"));
+        assert!(
+            !html.contains("Measured vs modeled"),
+            "no measured table without measurements"
+        );
+    }
+
+    #[test]
+    fn measured_table_renders_side_by_side() {
+        let rows = vec![MeasuredRow {
+            workload: "where".into(),
+            design: "metal:native".into(),
+            walks: 4000,
+            modeled_cycles: Some(123_456),
+            modeled_node_fetches: 9000,
+            walks_per_sec: 380_000.4,
+            page_reads: 3050,
+            page_writes: 12,
+            hot_hits: 7647,
+            cold_reads: 3050,
+        }];
+        let html = render_html_with_measured(&TraceAnalysis::default(), "m", &rows);
+        assert!(html.contains("Measured vs modeled"));
+        assert!(html.contains("<td>123456</td>"), "modeled cycles cell");
+        assert!(html.contains("<td>380000</td>"), "throughput rounded");
+        assert!(html.contains("metal:native"));
     }
 }

@@ -21,13 +21,20 @@
 //! all-level) with inserts and probes, arming the stale-hit and
 //! definitely-live retention checks of the mutation-aware oracle.
 //!
+//! With `--backend native` the whole swarm turns into native-backend
+//! differential cases: seeded CRUD request streams run through the
+//! simulator (itself verified against the spec/history oracles) and the
+//! native paged-node executor, with every semantic outcome diffed.
+//! Failures shrink to `native-seed*.json` corpus repros.
+//!
 //! ```text
 //! ix_fuzz [--cases N] [--seed S] [--corpus-dir DIR] [--budget-secs T]
-//!         [--mutate]
+//!         [--mutate] [--backend sim|native]
 //! ```
 
 use metal_verify::check::{check_translation, run_scenario, Divergence};
 use metal_verify::design::{check_designs_case, check_designs_case_crud};
+use metal_verify::native::{check_native_case, gen_native_case, shrink_native_case, NativeCase};
 use metal_verify::refcache::check_baselines_case;
 use metal_verify::scenario::{gen_scenario, gen_scenario_crud, Scenario};
 use metal_verify::shrink::shrink_scenario;
@@ -41,6 +48,7 @@ struct Args {
     corpus_dir: String,
     budget_secs: u64,
     mutate: bool,
+    native: bool,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +58,7 @@ fn parse_args() -> Args {
         corpus_dir: concat!(env!("CARGO_MANIFEST_DIR"), "/corpus").to_string(),
         budget_secs: 0,
         mutate: false,
+        native: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,6 +73,11 @@ fn parse_args() -> Args {
                     .expect("--budget-secs: not a number")
             }
             "--mutate" => args.mutate = true,
+            "--backend" => match val("--backend").as_str() {
+                "sim" => args.native = false,
+                "native" => args.native = true,
+                other => panic!("unknown backend '{other}' (sim|native)"),
+            },
             other => panic!("unknown flag {other}"),
         }
     }
@@ -86,6 +100,20 @@ fn check_ix(s: &Scenario) -> Result<(), Divergence> {
         Ok(inner) => inner,
         Err(p) => Err(Divergence {
             op: s.ops.len(),
+            what: format!("panic: {}", panic_message(&p)),
+        }),
+    }
+}
+
+/// Runs one native differential case, folding panics (e.g. a backend
+/// storage failure or debug overflow) into divergences so the shrinker
+/// can minimize them too.
+fn check_native(c: &NativeCase) -> Result<(), Divergence> {
+    let r = catch_unwind(AssertUnwindSafe(|| check_native_case(c)));
+    match r {
+        Ok(inner) => inner,
+        Err(p) => Err(Divergence {
+            op: c.reqs.len(),
             what: format!("panic: {}", panic_message(&p)),
         }),
     }
@@ -119,6 +147,28 @@ fn main() -> ExitCode {
         let case_seed = args
             .seed
             .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+
+        // Native swarm: every case is a sim-vs-native differential run
+        // (the backend is the subsystem under test; the sim side is
+        // covered by the oracle-checked arms of the default swarm).
+        if args.native {
+            let case = gen_native_case(case_seed);
+            if let Err(d) = check_native(&case) {
+                failures += 1;
+                eprintln!("FAIL native case {i} (seed {case_seed}): {d}");
+                let small = shrink_native_case(&case, |c| check_native(c).is_err());
+                let why = check_native(&small).expect_err("shrunk case must still fail");
+                let path = format!("{}/native-seed{case_seed}.json", args.corpus_dir);
+                std::fs::create_dir_all(&args.corpus_dir).expect("create corpus dir");
+                std::fs::write(&path, small.to_json().render() + "\n").expect("write corpus repro");
+                eprintln!(
+                    "  shrunk {} reqs -> {} reqs ({why}); repro written to {path}",
+                    case.reqs.len(),
+                    small.reqs.len()
+                );
+            }
+            continue;
+        }
 
         // Swarm mix: mostly IX scenarios (the subsystem under test),
         // with baseline and design-accounting sweeps interleaved.

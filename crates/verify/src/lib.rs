@@ -14,6 +14,9 @@
 //! - [`forensics`] — re-derivations of the `metal-obs` forensic
 //!   analytics (a Belady-style forward scan for eviction regret, a
 //!   reference differential + OPT bound for the miss taxonomy);
+//! - [`native`] — seed-generated CRUD cases whose semantic outcomes must
+//!   be identical through the simulator and the native paged-node
+//!   executor (`ix_fuzz --backend native` drives these);
 //! - [`scenario`] — serializable fuzz cases and the seeded swarm
 //!   generator (`SplitRng`-driven; no external fuzzing deps);
 //! - [`check`] — the differential / metamorphic harness that runs a
@@ -30,12 +33,14 @@
 pub mod check;
 pub mod design;
 pub mod forensics;
+pub mod native;
 pub mod oracle;
 pub mod refcache;
 pub mod scenario;
 pub mod shrink;
 
 pub use check::{check_translation, run_scenario, Divergence};
+pub use native::{check_native_case, gen_native_case, shrink_native_case, NativeCase};
 pub use oracle::{spec_probe, HistoryOracle, SpecHit};
 pub use scenario::{gen_scenario, Op, Scenario};
 pub use shrink::shrink_scenario;

@@ -9,6 +9,7 @@
 
 use metal_obs::Json;
 use metal_verify::check::{check_translation, run_scenario};
+use metal_verify::native::{check_native_case, NativeCase};
 use metal_verify::scenario::Scenario;
 use std::path::Path;
 
@@ -41,6 +42,14 @@ fn every_corpus_repro_replays_clean() {
                             panic!("{name}: translation regressed (delta {delta}): {d}");
                         }
                     }
+                }
+                replayed += 1;
+            }
+            Some("native") => {
+                let c = NativeCase::from_json(&json)
+                    .unwrap_or_else(|| panic!("{name}: malformed native case"));
+                if let Err(d) = check_native_case(&c) {
+                    panic!("{name}: regressed: {d}");
                 }
                 replayed += 1;
             }

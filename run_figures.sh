@@ -1,20 +1,46 @@
 #!/bin/bash
-# Regenerates every figure/table CSV into results/. Usage: ./run_figures.sh [--scale bench]
+# Regenerates every figure/table CSV into results/.
+# Usage: ./run_figures.sh [--dry-run] [--scale bench]
+#   --dry-run   verify each figure binary builds and print the exact
+#               command it would run, without writing anything to
+#               results/. ci.sh uses this to keep the script honest.
 set -u
-ARGS="${@:---scale bench}"
+DRY=0
+PASS=()
+for a in "$@"; do
+  case "$a" in
+    --dry-run) DRY=1 ;;
+    *) PASS+=("$a") ;;
+  esac
+done
+ARGS="${PASS[@]:---scale bench}"
+
+# run_fig BIN OUT.CSV ARGS... — one figure binary into results/OUT.CSV,
+# or (dry-run) a build check plus the command that would have run.
+run_fig() {
+  local b="$1" out="$2"
+  shift 2
+  echo "=== $b ==="
+  if [ "$DRY" -eq 1 ]; then
+    cargo build --release -q -p metal-bench --bin "$b" || exit 1
+    echo "would run: cargo run --release -p metal-bench --bin $b -- $* > results/$out"
+  else
+    cargo run --release -p metal-bench --bin "$b" -- "$@" > "results/$out"
+  fi
+}
+
 # Single-configuration figures at full length.
 BINS="table2_setup fig15_miss_rate fig16_working_set fig17_walk_latency fig18_speedup fig19_dram_energy fig20_breakdown fig21_occupancy fig22_adaptivity fig25_energy table3_summary"
 for b in $BINS; do
-  echo "=== $b ==="
-  cargo run --release -p metal-bench --bin "$b" -- $ARGS > "results/$b.csv"
+  run_fig "$b" "$b.csv" $ARGS
 done
 # Sweeps run many configurations; a shorter request stream per point keeps
 # the whole sweep tractable without changing the trends.
 SWEEP_ARGS="$ARGS --walks 15000"
 for b in fig23_scaling fig24_design_sweep abl_geometry abl_shared_private; do
-  echo "=== $b ==="
-  cargo run --release -p metal-bench --bin "$b" -- $SWEEP_ARGS > "results/$b.csv"
+  run_fig "$b" "$b.csv" $SWEEP_ARGS
 done
-echo "=== fig23b ==="
-cargo run --release -p metal-bench --bin fig23_scaling -- $SWEEP_ARGS --depth-sweep > results/fig23b_depth.csv
+run_fig fig23_scaling fig23b_depth.csv $SWEEP_ARGS --depth-sweep
+# The native-execution cross-validation figure (sim vs native rows).
+run_fig fig_native fig_native.csv $ARGS
 echo ALL_DONE
