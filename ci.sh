@@ -9,7 +9,10 @@
 # the series must be worker-count invariant), and a native-execution
 # gate (sim and native backends must agree on every semantic outcome,
 # the measured-telemetry path must analyze clean, and a corrupted block
-# file must die with a contextful error).
+# file must die with a contextful error), an MLP gate (the fig_mlp
+# sweep must match its golden and --mlp-width 1 must be byte-identical
+# to the serial engine), and a doc-link check (every binary, flag and
+# results/ file named in the docs must exist).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -280,6 +283,65 @@ if [ "$rc" -ne 2 ]; then
 fi
 grep -q "error: --load .*corrupted" "$tdir/load_err.txt"
 echo "negative control: corrupted page fails --load with exit 2 and a contextful error"
+
+echo "== MLP window: fig_mlp golden + width-1 identity =="
+# fig_mlp sweeps --mlp-width 1/2/4/8 through both backends; the modeled
+# CSV on stdout must match its pinned golden (measured walks/sec stay on
+# stderr), and the fig_mlp_golden test additionally pins shard
+# invariance of the same rows.
+cargo build --release -p metal-bench --bin fig_mlp
+./target/release/fig_mlp --scale ci > "$tdir/mlp.csv" 2> /dev/null
+if ! grep -v '^#' "$tdir/mlp.csv" | diff - tests/goldens/fig_mlp_ci.csv; then
+    echo "FAIL: fig_mlp ci CSV drifted from tests/goldens/fig_mlp_ci.csv" >&2
+    exit 1
+fi
+echo "fig_mlp matches the golden"
+# --mlp-width 1 must be the serial pre-MLP engine bit for bit: an
+# explicit width-1 run of a figure binary is byte-identical to a plain
+# one.
+./target/release/fig18_speedup --scale ci > "$tdir/f18_plain.csv" 2> /dev/null
+./target/release/fig18_speedup --scale ci --mlp-width 1 > "$tdir/f18_w1.csv" 2> /dev/null
+if ! diff -q "$tdir/f18_plain.csv" "$tdir/f18_w1.csv" > /dev/null; then
+    echo "FAIL: --mlp-width 1 changed the fig18 CSV" >&2
+    diff "$tdir/f18_plain.csv" "$tdir/f18_w1.csv" >&2 || true
+    exit 1
+fi
+echo "--mlp-width 1 leaves the figure CSV byte-identical"
+
+echo "== docs: link/flag/binary existence check =="
+# Grep-based drift gate over README.md, DESIGN.md and ARCHITECTURE.md:
+# every binary-shaped name, CLI flag and results/ file a doc mentions
+# must exist somewhere in the tree (generated results/ files count when
+# run_figures.sh produces them), so the docs cannot silently rot as
+# binaries and flags are renamed.
+docs="README.md DESIGN.md ARCHITECTURE.md"
+docfail=0
+# Binary-shaped identifiers (fig*/table*/abl_* plus the named tools):
+# each must be a bin target, a pinned golden, or a real identifier.
+for name in $(grep -ohE '\b(fig|table|abl)[a-z0-9]*_[a-z0-9_]+\b' $docs \
+              | sort -u) analyze bench_suite trace_dump ix_fuzz; do
+    if ls crates/*/src/bin/"$name".rs > /dev/null 2>&1; then continue; fi
+    if [ -e "tests/goldens/$name.csv" ]; then continue; fi
+    if grep -rqF "$name" crates/ tests/ ./*.sh; then continue; fi
+    echo "FAIL: docs name '$name' but nothing in the tree defines it" >&2
+    docfail=1
+done
+# CLI flags: every --flag a doc names must appear in the source or a
+# script (substring match: catches renamed, removed and typo'd flags).
+for flag in $(grep -ohE '\-\-[a-z][a-z-]+' $docs | sort -u); do
+    if grep -rqF -- "$flag" crates/ ./*.sh; then continue; fi
+    echo "FAIL: docs name flag '$flag' but no source or script knows it" >&2
+    docfail=1
+done
+# results/ files: committed, or generated by run_figures.sh.
+for f in $(grep -ohE 'results/[A-Za-z0-9_.]+' $docs | sort -u); do
+    if [ -e "$f" ]; then continue; fi
+    if grep -qF "$(basename "$f")" run_figures.sh; then continue; fi
+    echo "FAIL: docs name '$f' but it is neither committed nor generated" >&2
+    docfail=1
+done
+[ "$docfail" -eq 0 ]
+echo "doc-link check: every named binary, flag and results/ file exists"
 
 echo "== bench smoke: bench_suite schema + regression gate =="
 # Runs the microbenchmark suite at ci scale (min-of-3 timing),

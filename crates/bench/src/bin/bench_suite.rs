@@ -11,7 +11,9 @@
 //!    designs on the same workload (optional `native_walks_per_sec`
 //!    object — baselines recorded before the native backend existed
 //!    simply lack it and the gate skips one-sided metrics), printed
-//!    side by side with the modeled rate and the page-I/O counters;
+//!    side by side with the modeled rate and the page-I/O counters —
+//!    once serial and once with the MLP walk window open (`{design}@wN`
+//!    keys in the same object);
 //! 4. wall clock of the full Fig. 18 design × workload sweep.
 //!
 //! Run: `cargo run --release -p metal-bench --bin bench_suite -- \
@@ -38,6 +40,11 @@ use metal_core::runner::{run_design, Backend};
 use metal_obs::Json;
 use metal_workloads::{Scale, Workload};
 use std::time::Instant;
+
+/// The MLP window width of the tracked `{design}@wN` native-throughput
+/// metrics (the `fig_mlp` sweep covers the full 1..=8 axis; the
+/// baseline pins one representative pipelined width).
+const MLP_BENCH_WIDTH: usize = 8;
 
 fn help() -> ! {
     println!(
@@ -157,6 +164,42 @@ fn main() {
             m.page_reads, m.page_writes, m.hot_hits, m.cold_reads
         );
         native_walks_per_sec.push((name, Json::Num(best_wps)));
+    }
+
+    // The same native-capable designs again with the MLP walk window
+    // open: `{design}@wN` keys in the same object, so the gate tracks
+    // the pipelined path separately from the serial one. One-sided
+    // metric skipping means baselines recorded before the MLP engine
+    // existed stay valid (see `gate::compare`).
+    eprintln!(
+        "# bench_suite: measured native walks/sec at --mlp-width {MLP_BENCH_WIDTH} \
+         (same workload, best of {TIMING_REPEATS})"
+    );
+    let mlp_cfg = native_cfg.clone().with_mlp_width(MLP_BENCH_WIDTH);
+    for (name, spec) in figure_designs(&built, args.cache_bytes) {
+        if !supports_native(&spec) {
+            continue;
+        }
+        let mut best_wps = 0.0f64;
+        let mut prefetched = 0;
+        for _ in 0..TIMING_REPEATS {
+            let report = run_design(&spec, &exp, &mlp_cfg);
+            let m = report.native.expect("native runs report measured metrics");
+            if m.walks_per_sec() > best_wps {
+                best_wps = m.walks_per_sec();
+                prefetched = m.prefetched;
+            }
+        }
+        let serial = native_walks_per_sec
+            .iter()
+            .find(|(n, _)| n == &name)
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or(0.0);
+        eprintln!(
+            "#   {name}@w{MLP_BENCH_WIDTH}: measured {best_wps:.0} walks/s \
+             (serial {serial:.0}) | {prefetched} nodes prefetched"
+        );
+        native_walks_per_sec.push((format!("{name}@w{MLP_BENCH_WIDTH}"), Json::Num(best_wps)));
     }
 
     // The ci smoke is short enough to repeat; the bench-scale sweep is

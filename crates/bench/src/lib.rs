@@ -115,6 +115,13 @@ pub struct HarnessArgs {
     /// Both agree exactly on semantic outcomes; the native backend
     /// supports the lane-shared designs (`stream`, `metal-ix`, `metal`).
     pub backend: Backend,
+    /// `--mlp-width N`: memory-level-parallelism window — how many walks
+    /// each worker keeps in flight (default 1 = serial). The simulator
+    /// overlaps that many DRAM waits per lane; the native backend runs
+    /// the same window as a software-pipelined prefetch scheduler.
+    /// Semantic outcomes are width-invariant; only timing (sim) and
+    /// measured throughput / I/O attribution (native) change.
+    pub mlp_width: usize,
 }
 
 /// The `METAL_SHARDS` worker-count override, `0` (= all cores) when the
@@ -141,6 +148,7 @@ impl Default for HarnessArgs {
             series_out: None,
             flight_out: None,
             backend: Backend::Sim,
+            mlp_width: 1,
         }
     }
 }
@@ -233,6 +241,12 @@ impl HarnessArgs {
                         other => panic!("unknown backend '{other}' (sim|native)"),
                     };
                 }
+                "--mlp-width" => {
+                    out.mlp_width = match next_u64(&mut it, "--mlp-width") as usize {
+                        0 => panic!("--mlp-width must be at least 1"),
+                        w => w,
+                    }
+                }
                 _ => {}
             }
         }
@@ -251,6 +265,7 @@ impl HarnessArgs {
             .with_shard_walks(self.shard_walks.max(1))
             .with_epoch(self.epoch)
             .with_backend(self.backend)
+            .with_mlp_width(self.mlp_width.max(1))
     }
 }
 
@@ -276,6 +291,8 @@ fn print_usage() {
            --flight-out PATH        flight-recorder ring, dumped as trace JSONL\n\
            --backend sim|native     execution backend (default: sim); native\n\
                                     executes paged B+tree nodes for real\n\
+           --mlp-width N            walks kept in flight per worker (default: 1\n\
+                                    = serial; semantics are width-invariant)\n\
          \n\
          Environment: METAL_SHARDS (worker-thread default),\n\
          METAL_HEARTBEAT_SECS (progress heartbeat; 0 disables).\n\
@@ -420,6 +437,9 @@ impl Session {
         }
         if args.backend == Backend::Native {
             manifest.arg("backend", "native");
+        }
+        if args.mlp_width > 1 {
+            manifest.arg("mlp_width", args.mlp_width);
         }
 
         let jsonl = args.trace_out.as_ref().map(|p| {
@@ -845,6 +865,50 @@ fn by_design<'a>(reports: &'a [(String, RunReport)], name: &str) -> &'a RunRepor
         .unwrap_or_else(|| panic!("design '{name}' missing from figure reports"))
 }
 
+/// The `fig_mlp` sweep axis: MLP window widths (walks in flight per
+/// worker). Width 1 is the serial baseline every other width's speedup
+/// is computed against.
+pub const MLP_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// The `fig_mlp` CSV header row.
+pub fn fig_mlp_header() -> String {
+    csv_line([
+        "workload",
+        "design",
+        "mlp_width",
+        "exec_cycles",
+        "modeled_speedup",
+        "found",
+        "probes",
+        "misses",
+    ])
+}
+
+/// One `fig_mlp` row: the modeled cycle count at this width, its
+/// speedup over the same design's serial (width-1) run, and the
+/// semantic counters — which must not move anywhere along the sweep
+/// (MLP is a pure performance mechanism). Shared by the `fig_mlp`
+/// binary and the golden-file regression test, so the pinned bytes are
+/// produced by the exact code that writes `results/fig_mlp.csv`.
+pub fn fig_mlp_row(
+    workload: &str,
+    design: &str,
+    width: usize,
+    serial: &RunReport,
+    r: &RunReport,
+) -> String {
+    csv_line([
+        workload.to_string(),
+        design.to_string(),
+        width.to_string(),
+        r.stats.exec_cycles.get().to_string(),
+        f3(r.speedup_vs(serial)),
+        r.stats.found_walks.to_string(),
+        r.stats.probes.to_string(),
+        r.stats.misses.to_string(),
+    ])
+}
+
 /// The Fig. 15 CSV header row.
 pub fn fig15_header() -> String {
     csv_line(["workload", "fa-opt", "x-cache", "metal-ix", "metal"])
@@ -964,6 +1028,21 @@ mod tests {
     #[should_panic(expected = "unknown backend")]
     fn bad_backend_rejected() {
         let _ = args("--backend hardware");
+    }
+
+    #[test]
+    fn mlp_width_flag_parses() {
+        assert_eq!(args("").mlp_width, 1);
+        let a = args("--mlp-width 8");
+        assert_eq!(a.mlp_width, 8);
+        assert_eq!(a.run_config().mlp_width(), 8);
+        assert_eq!(args("").run_config().mlp_width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "--mlp-width must be at least 1")]
+    fn zero_mlp_width_rejected() {
+        let _ = args("--mlp-width 0");
     }
 
     #[test]

@@ -812,6 +812,63 @@ impl IxCache {
         }
     }
 
+    /// Answers what [`IxCache::probe`] *would* return for `key` without
+    /// performing the probe: no tick advance, no statistics, no utility
+    /// refresh and no life spend. The winner selection is the same
+    /// lexicographic `(level, partition, position)` minimum, so
+    /// `peek(i, k)` always equals the hit an immediately following
+    /// `probe(i, k)` reports.
+    ///
+    /// This is the side-effect-free lookup the native backend's MLP
+    /// scouts use: a scout may inspect the cache to pick its prefetch
+    /// start node, but only the architect walk — the one whose outcome
+    /// is semantically visible — may actually probe. Replacement state
+    /// therefore stays a pure function of walk order at any MLP width.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use metal_core::ixcache::{IxCache, IxConfig};
+    /// use metal_core::range::KeyRange;
+    ///
+    /// let mut cache = IxCache::new(IxConfig::kb64());
+    /// cache.insert(0, 42, KeyRange::new(100, 199), 1, 64, 0);
+    /// let probes_before = cache.stats().probes;
+    /// let peeked = cache.peek(0, 150).expect("covered key");
+    /// assert_eq!(cache.stats().probes, probes_before, "peek is invisible");
+    /// assert_eq!(peeked, cache.probe(0, 150).expect("probe agrees"));
+    /// ```
+    pub fn peek(&self, index: IndexId, key: Key) -> Option<IxHit> {
+        let set_idx = self.set_of(index, key);
+        let mut best: Option<(u8, u8, u32, IxHit)> = None;
+        let mut candidates: Vec<u32> = Vec::with_capacity(self.cfg.ways.max(8));
+        for (part, entries, tags) in [
+            (0u8, &self.sets[set_idx], &self.narrow_idx[set_idx]),
+            (1u8, &self.wide, &self.wide_idx),
+        ] {
+            candidates.clear();
+            tags.stab(index, key, |pos| candidates.push(pos));
+            for &pos in &candidates {
+                let e = &entries[pos as usize];
+                if let Some((range, node)) = e.matches(index, key) {
+                    let hit = IxHit {
+                        node,
+                        level: e.level,
+                        range,
+                        entry: e.id,
+                    };
+                    if best
+                        .as_ref()
+                        .is_none_or(|&(l, p, o, _)| (hit.level, part, pos) < (l, p, o))
+                    {
+                        best = Some((hit.level, part, pos, hit));
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, _, hit)| hit)
+    }
+
     /// The legacy probe implementation: a linear scan over every entry
     /// of the probed set and the wide partition. Kept as the executable
     /// reference for [`IxCache::probe`]'s interval-indexed match stage —
@@ -1420,6 +1477,30 @@ mod tests {
             key_block_bits: 4,
             wide_fraction: 0.5,
         })
+    }
+
+    #[test]
+    fn peek_predicts_probe_without_side_effects() {
+        let mut c = cache(64);
+        // Layered entries with overlapping ranges exercise the
+        // level-priority tie-break peek must replicate.
+        c.insert(0, 1, KeyRange::new(0, 255), 3, 64, 0);
+        c.insert(0, 2, KeyRange::new(0, 63), 2, 64, 0);
+        c.insert(0, 3, KeyRange::new(8, 15), 1, 64, 2);
+        for k in [0u64, 8, 12, 15, 40, 200, 999] {
+            let snap_stats = *c.stats();
+            let snap_tick = c.tick;
+            let peeked = c.peek(0, k);
+            assert_eq!(*c.stats(), snap_stats, "peek({k}) touched stats");
+            assert_eq!(c.tick, snap_tick, "peek({k}) advanced the tick");
+            assert_eq!(peeked, c.probe(0, k), "peek({k}) disagreed with probe");
+        }
+        // Repeated peeks never spend pinned lives: the pinned entry
+        // still wins after more peeks than its life budget.
+        for _ in 0..10 {
+            let _ = c.peek(0, 12);
+        }
+        assert_eq!(c.peek(0, 12).expect("still resident").node, 3);
     }
 
     #[test]

@@ -310,7 +310,9 @@ impl<'a> DesignModel<'a> {
             cfg,
             state,
             own_trees,
-            lanes: vec![VecDeque::new(); cfg.lanes],
+            // One planned-step queue per engine walk *slot*
+            // (`lanes × mlp_width`); the engine indexes these by slot.
+            lanes: vec![VecDeque::new(); cfg.walk_slots()],
             cursor: 0,
             stats: RunStats::new(),
             ws: WindowedWorkingSet::new(total_blocks, ws_window),
@@ -945,6 +947,11 @@ impl<'a> DesignModel<'a> {
         req: &WalkRequest,
         lane: usize,
     ) {
+        // The engine hands us a walk-slot index; cache affinity is per
+        // *physical* lane, so the MLP window of one lane shares that
+        // lane's private slice (shared designs have a single cache and
+        // are unaffected). At width 1 this is the identity map.
+        let lane = self.cfg.lane_of_slot(lane);
         let ix_fj = self.cfg.energy.ix_access_fj;
         let hit_lat = self.cfg.ix_hit_latency();
         let miss_lat = self.cfg.tag_latency + self.cfg.range_match_latency;

@@ -31,6 +31,32 @@
 //! unchanged. Timestamps are a deterministic per-walk logical clock
 //! (measured wall time is reported out-of-band in [`NativeMetrics`],
 //! never inside the event stream, keeping traces reproducible).
+//!
+//! # Memory-level parallelism: the architect/scout pipeline
+//!
+//! With `RunConfig::mlp_width = N > 1` the shard loop keeps a window of
+//! `N` walks in flight, split into one **architect** and up to `N − 1`
+//! **scouts**. The architect is the oldest walk; it executes the exact
+//! serial path above — probes, admissions, mutations, events — and is
+//! the *only* walk with semantically visible effects. Scouts are
+//! speculative descents for the walks behind it: each scout picks its
+//! start node with the side-effect-free [`IxCache::peek`], then
+//! advances one tree level per yield in round-robin with its sibling
+//! scouts (the software pipeline), issuing a prefetch at every level —
+//! a staged page read for cold nodes, a `core::arch` prefetch hint for
+//! nodes already decoded in the hot map. Prefetched nodes land in the
+//! tree's bounded stage, where the architect's demand reads find them
+//! page-free.
+//!
+//! Correctness is preserved by construction, not by luck: scouts never
+//! probe, admit, evict or mutate, so the cache-decision sequence stays
+//! a pure function of walk order at every width and sim/native
+//! equivalence survives (`RunStats` is bit-identical across widths;
+//! only measured I/O attribution in [`NativeMetrics`] shifts between
+//! demand and prefetch counters). On any applied mutation the paged
+//! tree drops its whole prefetch stage and the shard loop re-opens its
+//! scout window from post-mutation state — the cheap, obviously
+//! correct staleness guard.
 
 use super::tree::{materialize_tree, PagedTree};
 use crate::descriptor::{Admit, AdmitCtx, Descriptor};
@@ -45,6 +71,7 @@ use metal_index::walk::Descend;
 use metal_index::NodeId;
 use metal_sim::obs::{emit_to, Event, SharedSink, NO_ENTRY};
 use metal_sim::stats::RunStats;
+use metal_sim::types::Key;
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 
@@ -68,6 +95,11 @@ pub struct NativeMetrics {
     pub hot_hits: u64,
     /// Node reads that went to the page layer and deserialized.
     pub cold_reads: u64,
+    /// Node reads served by the MLP prefetch stage (a scout already
+    /// paid the page read; zero at `mlp_width = 1`).
+    pub staged_hits: u64,
+    /// Nodes scouts read ahead of demand (zero at `mlp_width = 1`).
+    pub prefetched: u64,
     /// Node store-backs (serialize + page write).
     pub node_writes: u64,
     /// Total pages across all tree files at the end of the run.
@@ -94,6 +126,8 @@ impl NativeMetrics {
         self.page_writes += other.page_writes;
         self.hot_hits += other.hot_hits;
         self.cold_reads += other.cold_reads;
+        self.staged_hits += other.staged_hits;
+        self.prefetched += other.prefetched;
         self.node_writes += other.node_writes;
         self.pages += other.pages;
         self.free_pages += other.free_pages;
@@ -134,6 +168,21 @@ fn io<T>(r: super::blockfile::Result<T>) -> T {
     r.unwrap_or_else(|e| panic!("native backend storage failure: {e}"))
 }
 
+/// One speculative prefetch descent in the MLP window (see the module
+/// docs): its walk will soon run for real; until then this scout
+/// pushes that walk's nodes toward memory one level per yield.
+struct Scout {
+    /// Tree (experiment index) the scout descends.
+    index: usize,
+    /// Key the future walk looks up.
+    key: Key,
+    /// Node to prefetch at the next yield.
+    cur: NodeId,
+    /// Remaining level budget (depth-bounded; guards cyclic corruption
+    /// so a broken link can never wedge the pipeline).
+    hops: u8,
+}
+
 impl NativeRun {
     fn emit(&self, ev: Event) {
         emit_to(&self.sink, self.clock, &ev);
@@ -155,9 +204,56 @@ impl NativeRun {
         }
     }
 
+    /// Opens a scout for `req`: start node from a side-effect-free
+    /// cache peek (the same short-circuit the real probe will take on a
+    /// hit), else the root. Never touches statistics or cache state.
+    fn open_scout(&self, req: &WalkRequest) -> Option<Scout> {
+        let idx = req.index as usize;
+        let tree = self.trees.get(idx)?;
+        let start = self
+            .cache
+            .as_ref()
+            .and_then(|b| b.cache.peek(req.index, req.key))
+            .map_or(tree.root(), |h| h.node);
+        Some(Scout {
+            index: idx,
+            key: req.key,
+            cur: start,
+            hops: tree.depth().saturating_add(2),
+        })
+    }
+
+    /// Advances one scout by one tree level: prefetch its current node,
+    /// peek the staged/hot contents, step to the child. Returns whether
+    /// the scout still has levels to descend; it dies quietly on a leaf,
+    /// an exhausted budget, a failed prefetch or a stage overflow — a
+    /// scout's failure is a lost prefetch, never an error.
+    fn advance_scout(&mut self, s: &mut Scout) -> bool {
+        if s.hops == 0 {
+            return false;
+        }
+        s.hops -= 1;
+        let tree = &mut self.trees[s.index];
+        if tree.prefetch_node(s.cur).is_err() {
+            return false;
+        }
+        let Some(node) = tree.peek_node(s.cur) else {
+            return false;
+        };
+        match tree.descend_in(node, s.key) {
+            Descend::Child(c) => {
+                s.cur = c;
+                true
+            }
+            Descend::Leaf { .. } => false,
+        }
+    }
+
     /// Executes one walk request end to end, mirroring the simulator's
     /// event grammar: cache events, `WalkStart`, `DramFetch`s, `WalkEnd`.
-    fn run_walk(&mut self, req: &WalkRequest) {
+    /// Returns whether the walk applied a structural mutation (the MLP
+    /// scout window resets on it).
+    fn run_walk(&mut self, req: &WalkRequest) -> bool {
         self.clock += 1;
         let walk = self.walk_seq;
         self.walk_seq += 1;
@@ -168,8 +264,9 @@ impl NativeRun {
         } else {
             self.exec_stream(req);
         }
+        let mut mutated = false;
         if req.op.is_write() {
-            self.apply_write(req);
+            mutated = self.apply_write(req);
         }
         if self.observing() {
             self.emit(Event::WalkStart { walk, lane: 0 });
@@ -188,6 +285,7 @@ impl NativeRun {
                 latency: 1,
             });
         }
+        mutated
     }
 
     /// Streaming baseline: every node access goes to the page layer
@@ -521,8 +619,10 @@ impl NativeRun {
     }
 
     /// Executes `req`'s write op against the paged tree (port of the
-    /// simulator's `apply_write` + `invalidate_stale`).
-    fn apply_write(&mut self, req: &WalkRequest) {
+    /// simulator's `apply_write` + `invalidate_stale`). Returns whether
+    /// a structural mutation was applied (updates-in-place and no-op
+    /// writes leave prefetched state valid).
+    fn apply_write(&mut self, req: &WalkRequest) -> bool {
         self.stats.write_walks += 1;
         let idx = req.index as usize;
         if req.op == OpKind::Update {
@@ -538,15 +638,15 @@ impl NativeRun {
                     self.fetch(value_addr.get(), value_bytes, false);
                 }
             }
-            return;
+            return false;
         }
         let report: MutationReport = match req.op {
             OpKind::Insert => io(self.trees[idx].insert_key(req.key)),
             OpKind::Delete => io(self.trees[idx].delete_key(req.key)),
-            OpKind::Select | OpKind::Update => return,
+            OpKind::Select | OpKind::Update => return false,
         };
         if !report.applied {
-            return;
+            return false;
         }
         self.stats.node_splits += report.splits as u64;
         self.stats.node_merges += (report.merges + report.rebalances) as u64;
@@ -593,6 +693,7 @@ impl NativeRun {
                 });
             }
         }
+        true
     }
 
     /// Drops hot nodes the IX-cache no longer references (periodic,
@@ -715,9 +816,35 @@ fn run_native_shard(
         bits.cache.set_recording(true);
     }
 
+    let width = cfg.mlp_width();
+    // High-water mark of the scout window: request positions below it
+    // were already scouted (and need no second pass while no mutation
+    // intervenes).
+    let mut scouted = 0usize;
     let t0 = std::time::Instant::now();
     for (n, req) in exp.requests.iter().enumerate() {
-        run.run_walk(req);
+        if width > 1 {
+            // Fill the window with scouts for walks n+1 ..= n+width-1,
+            // then software-pipeline them: round-robin, one tree level
+            // per yield, until every scout has finished its descent.
+            // The architect (walk n) then runs the serial path below
+            // and finds its nodes staged.
+            let window_end = (n + width).min(exp.requests.len());
+            let mut slots: Vec<Scout> = (scouted.max(n + 1)..window_end)
+                .filter_map(|p| run.open_scout(&exp.requests[p]))
+                .collect();
+            scouted = scouted.max(window_end);
+            while !slots.is_empty() {
+                slots.retain_mut(|s| run.advance_scout(s));
+            }
+        }
+        let mutated = run.run_walk(req);
+        if mutated {
+            // The mutation dropped every prefetch stage; whatever was
+            // scouted ahead was built on pre-mutation state. Re-open
+            // the window from post-mutation state next iteration.
+            scouted = 0;
+        }
         if let Some(p) = &cfg.obs.progress {
             p.fetch_add(1, Ordering::Relaxed);
         }
@@ -756,6 +883,8 @@ fn run_native_shard(
         native.page_writes += fs.pages_written;
         native.hot_hits += ts.hot_hits;
         native.cold_reads += ts.cold_reads;
+        native.staged_hits += ts.staged_hits;
+        native.prefetched += ts.prefetched;
         native.node_writes += ts.node_writes;
         native.pages += t.page_count();
         native.free_pages += t.free_pages();
@@ -775,6 +904,38 @@ fn run_native_shard(
 /// [`crate::runner::run_design`] — so `run(shards=1) == run(shards=k)`
 /// holds trivially (shards execute sequentially here; each is already a
 /// pure function of its chunk + prefix).
+///
+/// # Example: the MLP walk scheduler
+///
+/// `RunConfig::with_mlp_width(n)` turns on the architect/scout pipeline
+/// (see the module docs). Semantic outcomes are bit-identical at every
+/// width — scouts only prefetch — so the two runs below must agree on
+/// all of [`RunStats`] while the pipelined one attributes node reads to
+/// the prefetch stage:
+///
+/// ```
+/// use metal_core::ixcache::IxConfig;
+/// use metal_core::models::{DesignSpec, Experiment};
+/// use metal_core::native::run_native_design;
+/// use metal_core::request::WalkRequest;
+/// use metal_core::runner::RunConfig;
+/// use metal_index::bptree::BPlusTree;
+/// use metal_sim::types::Addr;
+///
+/// let keys: Vec<u64> = (0..2000).map(|k| k * 2).collect();
+/// let tree = BPlusTree::bulk_load(&keys, 8, Addr::new(0), 16);
+/// let requests: Vec<WalkRequest> =
+///     (0..300u64).map(|i| WalkRequest::lookup((i * 13) % 4000)).collect();
+/// let exp = Experiment::single(&tree, &requests);
+/// let spec = DesignSpec::MetalIx { ix: IxConfig::kb64() };
+///
+/// let serial = run_native_design(&spec, &exp, &RunConfig::default());
+/// let piped = run_native_design(&spec, &exp, &RunConfig::default().with_mlp_width(4));
+/// assert_eq!(serial.stats, piped.stats, "width never changes semantics");
+/// let m = piped.native.unwrap();
+/// assert!(m.prefetched > 0, "scouts ran");
+/// assert!(m.staged_hits > 0, "the architect found staged nodes");
+/// ```
 pub fn run_native_design(spec: &DesignSpec, exp: &Experiment<'_>, cfg: &RunConfig) -> RunReport {
     assert!(
         supports_native(spec),
@@ -908,6 +1069,94 @@ mod tests {
             m.cold_reads
         );
         assert!(m.walks_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn mlp_widths_agree_on_every_semantic_outcome() {
+        let t = tree();
+        let requests = crud_requests(800);
+        let exp = Experiment::single(&t, &requests);
+        for spec in [
+            DesignSpec::Stream,
+            DesignSpec::MetalIx {
+                ix: IxConfig::kb64(),
+            },
+            DesignSpec::Metal {
+                ix: IxConfig::kb64(),
+                descriptors: vec![Descriptor::Node(NodeDescriptor::leaves())],
+                tune: true,
+                batch_walks: 100,
+            },
+        ] {
+            let serial = run_native_design(&spec, &exp, &RunConfig::default());
+            for width in [4usize, 8] {
+                let cfg = RunConfig::default().with_mlp_width(width);
+                let piped = run_native_design(&spec, &exp, &cfg);
+                assert_eq!(
+                    serial.stats,
+                    piped.stats,
+                    "width {width} changed '{}' semantics",
+                    spec.label()
+                );
+                assert_eq!(serial.occupancy_by_level, piped.occupancy_by_level);
+                assert_eq!(serial.band_history, piped.band_history);
+                // And the simulator at the same width agrees too.
+                let sim = run_design(&spec, &exp, &cfg);
+                assert_eq!(sim.stats.probes, piped.stats.probes);
+                assert_eq!(sim.stats.found_walks, piped.stats.found_walks);
+                assert_eq!(sim.stats.node_splits, piped.stats.node_splits);
+                assert_eq!(sim.stats.node_merges, piped.stats.node_merges);
+            }
+        }
+    }
+
+    #[test]
+    fn width_one_runs_no_scouts_and_matches_serial_io_exactly() {
+        let t = tree();
+        let requests = crud_requests(400);
+        let exp = Experiment::single(&t, &requests);
+        let spec = DesignSpec::MetalIx {
+            ix: IxConfig::kb64(),
+        };
+        let a = run_native_design(&spec, &exp, &RunConfig::default());
+        let b = run_native_design(&spec, &exp, &RunConfig::default().with_mlp_width(1));
+        let (ma, mb) = (a.native.unwrap(), b.native.unwrap());
+        // Everything but wall time is byte-identical at width 1 — no
+        // scout ever runs, so even measured I/O attribution matches.
+        assert_eq!(
+            NativeMetrics { wall_ns: 0, ..ma },
+            NativeMetrics { wall_ns: 0, ..mb }
+        );
+        assert_eq!(ma.prefetched, 0);
+        assert_eq!(ma.staged_hits, 0);
+    }
+
+    #[test]
+    fn scouts_prefetch_ahead_and_reset_on_mutations() {
+        let t = tree();
+        // Read-heavy mix with occasional inserts: scouts must both do
+        // useful staging and survive the mutation resets.
+        let requests: Vec<WalkRequest> = (0..600)
+            .map(|i| {
+                let key = ((i * 61) % 4000) as Key * 2;
+                if i % 97 == 0 {
+                    WalkRequest::lookup(key + 1).with_op(OpKind::Insert)
+                } else {
+                    WalkRequest::lookup(key)
+                }
+            })
+            .collect();
+        let exp = Experiment::single(&t, &requests);
+        let spec = DesignSpec::Stream;
+        let r = run_native_design(&spec, &exp, &RunConfig::default().with_mlp_width(8));
+        let m = r.native.unwrap();
+        assert!(m.prefetched > 0, "scouts staged cold nodes");
+        assert!(
+            m.staged_hits > 0,
+            "architect walks consumed staged nodes: {m:?}"
+        );
+        let serial = run_native_design(&spec, &exp, &RunConfig::default());
+        assert_eq!(serial.stats, r.stats, "mutation resets kept semantics");
     }
 
     #[test]

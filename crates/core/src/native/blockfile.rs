@@ -104,6 +104,9 @@ pub struct BlockStats {
     pub allocs: u64,
     /// Extents freed.
     pub frees: u64,
+    /// Extents read ahead of demand by [`BlockFile::prefetch`] (their
+    /// pages are also counted in `pages_read`).
+    pub prefetches: u64,
 }
 
 /// Fixed-size-page block file with extent allocation and a free list.
@@ -281,6 +284,19 @@ impl BlockFile {
                 self.path.display()
             )));
         }
+        Ok(payload)
+    }
+
+    /// Reads the extent headed at `page` ahead of demand — the page
+    /// read an MLP scout schedules early so the walk that will need
+    /// this node finds its bytes already faulted in. On this backend a
+    /// prefetch *is* the read (there is no async I/O to overlap), so
+    /// the payload is returned for the caller to stage; the only
+    /// difference from [`BlockFile::load`] is the `prefetches` counter
+    /// that lets measured runs attribute read traffic to scouts.
+    pub fn prefetch(&mut self, page: u64) -> Result<Vec<u8>> {
+        let payload = self.load(page)?;
+        self.stats.prefetches += 1;
         Ok(payload)
     }
 

@@ -33,6 +33,27 @@ use std::collections::HashMap;
 /// Per-node byte-size model, mirrored from `metal-index::bptree`.
 const NODE_HEADER_BYTES: u64 = 16;
 
+/// Capacity of the prefetch stage (decoded nodes scouts read ahead of
+/// demand). Bounds scout memory; overflowing prefetches are dropped,
+/// never evicting — the stage is a hint layer, not a cache with a
+/// policy of its own.
+const STAGE_CAP: usize = 4096;
+
+/// Issues a best-effort CPU prefetch hint for the cache line at `p`
+/// (no-op on architectures without a stable intrinsic). Used for nodes
+/// already decoded in memory, where the remaining latency to hide is
+/// the cache miss on the node's key array.
+#[inline]
+fn prefetch_hint<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 /// Directory-blob version tag.
 const DIR_VERSION: u32 = 1;
 
@@ -55,11 +76,42 @@ pub struct TreeIoStats {
     pub hot_hits: u64,
     /// Node reads that deserialized from the page layer.
     pub cold_reads: u64,
+    /// Node reads served from the prefetch stage (an MLP scout already
+    /// paid the page read; the demand read found the node decoded).
+    pub staged_hits: u64,
+    /// Nodes read ahead of demand into the prefetch stage by
+    /// [`PagedTree::prefetch_node`].
+    pub prefetched: u64,
     /// Node writes (serialize + page write).
     pub node_writes: u64,
 }
 
 /// A B+tree whose nodes live in page-aligned block-file extents.
+///
+/// # Example
+///
+/// Materialize an in-memory tree and walk it out of core — the paged
+/// walk visits the same node ids the simulator's walk would:
+///
+/// ```
+/// use metal_index::bptree::BPlusTree;
+/// use metal_index::walk::Descend;
+/// use metal_sim::types::Addr;
+///
+/// let keys: Vec<u64> = (0..500).map(|k| k * 2).collect();
+/// let tree = BPlusTree::bulk_load(&keys, 8, Addr::new(0x1000), 64);
+/// let mut paged = metal_core::native::materialize_tree(&tree).unwrap();
+///
+/// let (path, leaf) = paged.path_from(paged.root(), 42).unwrap();
+/// assert!(matches!(leaf, Descend::Leaf { found: true, .. }));
+/// assert_eq!(path.len(), paged.depth() as usize, "root-to-leaf path");
+/// assert!(paged.file_stats().pages_read > 0, "the walk came off pages");
+///
+/// // Mutations restructure the paged tree exactly like the in-memory
+/// // original (the report carries splits/merges and stale spans).
+/// let report = paged.insert_key(43).unwrap();
+/// assert!(report.applied);
+/// ```
 #[derive(Debug)]
 pub struct PagedTree {
     file: BlockFile,
@@ -82,6 +134,10 @@ pub struct PagedTree {
     mut_boundary: Option<NodeId>,
     /// Deserialized nodes mirroring current IX-cache residents.
     hot: HashMap<NodeId, PagedNode>,
+    /// Nodes MLP scouts read ahead of demand ([`STAGE_CAP`]-bounded).
+    /// Cleared wholesale on any applied mutation — the cheap, obviously
+    /// correct staleness guard (see `native::backend` module docs).
+    stage: HashMap<NodeId, PagedNode>,
     /// Emptied contents of merged-away nodes (extent freed).
     tombstones: HashMap<NodeId, PagedNode>,
     io: TreeIoStats,
@@ -149,6 +205,7 @@ impl PagedTree {
             mut_ready: shape.mut_ready,
             mut_boundary,
             hot: HashMap::new(),
+            stage: HashMap::new(),
             tombstones,
             io: TreeIoStats::default(),
         })
@@ -268,6 +325,7 @@ impl PagedTree {
             mut_ready,
             mut_boundary,
             hot: HashMap::new(),
+            stage: HashMap::new(),
             tombstones,
             io: TreeIoStats::default(),
         })
@@ -337,11 +395,16 @@ impl PagedTree {
     }
 
     /// Reads node `id`: from the hot map when the IX-cache keeps it
-    /// resident, from its tombstone when merged away, else deserialized
-    /// from the page layer.
+    /// resident, from the prefetch stage when an MLP scout read it
+    /// ahead of demand, from its tombstone when merged away, else
+    /// deserialized from the page layer.
     pub fn read_node(&mut self, id: NodeId) -> Result<PagedNode> {
         if let Some(n) = self.hot.get(&id) {
             self.io.hot_hits += 1;
+            return Ok(n.clone());
+        }
+        if let Some(n) = self.stage.get(&id) {
+            self.io.staged_hits += 1;
             return Ok(n.clone());
         }
         let m = self.meta.get(id as usize).copied().ok_or_else(|| {
@@ -376,6 +439,11 @@ impl PagedTree {
         if let Some(h) = self.hot.get_mut(&id) {
             *h = node.clone();
         }
+        // Any write invalidates the prefetch stage wholesale: staged
+        // nodes were decoded pre-mutation and must never shadow the
+        // page layer's current contents. (The hot map above is updated
+        // in place instead — it mirrors cache residency, not a hint.)
+        self.stage.clear();
         self.io.node_writes += 1;
         Ok(())
     }
@@ -402,6 +470,7 @@ impl PagedTree {
         self.file.free_extent(m.page)?;
         self.meta[id as usize].dead = true;
         self.hot.remove(&id);
+        self.stage.clear();
         self.tombstones.insert(id, emptied);
         Ok(())
     }
@@ -510,6 +579,89 @@ impl PagedTree {
     /// Number of nodes currently on the hot fast path.
     pub fn hot_len(&self) -> usize {
         self.hot.len()
+    }
+
+    /// Reads node `id` ahead of demand on behalf of an MLP scout.
+    ///
+    /// Already-decoded nodes (hot map, stage, tombstones) get a CPU
+    /// prefetch hint on their in-memory contents; everything else is
+    /// read through [`BlockFile::prefetch`], decoded once, and staged
+    /// so the demand read that follows is page-free. The stage is
+    /// capacity-bounded (`STAGE_CAP`, 4096 nodes); overflowing prefetches are
+    /// dropped silently. Prefetching is a pure performance hint: it
+    /// never changes what any later [`PagedTree::read_node`] returns.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use metal_index::bptree::BPlusTree;
+    /// use metal_sim::types::Addr;
+    ///
+    /// let keys: Vec<u64> = (0..200).map(|k| k * 2).collect();
+    /// let tree = BPlusTree::bulk_load(&keys, 8, Addr::new(0), 16);
+    /// let mut paged = metal_core::native::materialize_tree(&tree).unwrap();
+    /// paged.prefetch_node(paged.root()).unwrap();
+    /// let before = paged.io_stats();
+    /// let _ = paged.read_node(paged.root()).unwrap();
+    /// let after = paged.io_stats();
+    /// assert_eq!(after.staged_hits, before.staged_hits + 1);
+    /// assert_eq!(after.cold_reads, before.cold_reads, "no demand page read");
+    /// ```
+    pub fn prefetch_node(&mut self, id: NodeId) -> Result<()> {
+        if let Some(n) = self.hot.get(&id) {
+            prefetch_hint(n as *const PagedNode);
+            return Ok(());
+        }
+        if let Some(n) = self.stage.get(&id) {
+            prefetch_hint(n as *const PagedNode);
+            return Ok(());
+        }
+        if let Some(n) = self.tombstones.get(&id) {
+            prefetch_hint(n as *const PagedNode);
+            return Ok(());
+        }
+        if self.stage.len() >= STAGE_CAP {
+            return Ok(());
+        }
+        let m = self.meta.get(id as usize).copied().ok_or_else(|| {
+            BlockFileError::new(format!(
+                "prefetch of node {id} out of range (tree has {})",
+                self.meta.len()
+            ))
+        })?;
+        let payload = self.file.prefetch(m.page)?;
+        let node = PagedNode::decode(&payload).map_err(|e| {
+            BlockFileError::new(format!(
+                "{}: prefetched node {id} (page {}): {e}",
+                self.file.path().display(),
+                m.page
+            ))
+        })?;
+        self.io.prefetched += 1;
+        self.stage.insert(id, node);
+        Ok(())
+    }
+
+    /// Contents of node `id` if resident on a zero-I/O path (hot map,
+    /// prefetch stage or tombstone), else `None`. Scouts descend
+    /// through this so their speculative walk touches no page and
+    /// bumps no demand counter.
+    pub fn peek_node(&self, id: NodeId) -> Option<&PagedNode> {
+        self.hot
+            .get(&id)
+            .or_else(|| self.stage.get(&id))
+            .or_else(|| self.tombstones.get(&id))
+    }
+
+    /// Drops every staged prefetch (mutations do this implicitly; the
+    /// backend also calls it when a shard's scout window resets).
+    pub fn clear_stage(&mut self) {
+        self.stage.clear();
+    }
+
+    /// Number of nodes currently staged by prefetches.
+    pub fn staged_len(&self) -> usize {
+        self.stage.len()
     }
 
     fn ensure_mut_region(&mut self) {
@@ -1230,6 +1382,60 @@ mod tests {
         }
         std::fs::remove_file(&path).unwrap();
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn prefetch_stages_cold_nodes_and_mutations_clear_the_stage() {
+        let ks = keys(300, 2);
+        let sim = BPlusTree::bulk_load(&ks, 8, Addr::new(0), 16);
+        let mut paged = materialize_tree(&sim).unwrap();
+        let root = paged.root();
+
+        // Cold prefetch: pays the page read once, stages the node.
+        paged.prefetch_node(root).unwrap();
+        assert_eq!(paged.staged_len(), 1);
+        assert_eq!(paged.io_stats().prefetched, 1);
+        assert!(
+            paged.peek_node(root).is_some(),
+            "scout can descend through it"
+        );
+
+        // The demand read is then page-free and counted as a staged hit.
+        let fs_before = paged.file_stats();
+        let _ = paged.read_node(root).unwrap();
+        assert_eq!(paged.io_stats().staged_hits, 1);
+        assert_eq!(paged.io_stats().cold_reads, 0);
+        assert_eq!(paged.file_stats().pages_read, fs_before.pages_read);
+
+        // Re-prefetching a staged (or hot) node is free: hint only.
+        paged.prefetch_node(root).unwrap();
+        assert_eq!(paged.io_stats().prefetched, 1);
+
+        // Any applied mutation drops the whole stage — staleness guard.
+        assert!(paged.insert_key(1).unwrap().applied);
+        assert_eq!(paged.staged_len(), 0, "mutation cleared the stage");
+        assert!(paged.peek_node(root).is_none());
+
+        // And a prefetch after the mutation sees the new contents.
+        paged.prefetch_node(root).unwrap();
+        let n = paged.read_node(root).unwrap();
+        assert_eq!(paged.info_of(root, &n).lo, 0);
+    }
+
+    #[test]
+    fn prefetch_never_changes_what_read_node_returns() {
+        let ks = keys(400, 3);
+        let sim = BPlusTree::bulk_load(&ks, 4, Addr::new(0x2000), 16);
+        let mut plain = materialize_tree(&sim).unwrap();
+        let mut scouted = materialize_tree(&sim).unwrap();
+        for id in 0..scouted.node_count() as NodeId {
+            scouted.prefetch_node(id).unwrap();
+        }
+        for id in 0..plain.node_count() as NodeId {
+            let a = plain.read_node(id).unwrap();
+            let b = scouted.read_node(id).unwrap();
+            assert_eq!(a.encode(), b.encode(), "node {id} diverged");
+        }
     }
 
     #[test]

@@ -157,6 +157,28 @@ impl RunConfig {
         self
     }
 
+    /// Sets the memory-level-parallelism window (walks in flight per
+    /// lane, the `--mlp-width` flag). Width 1 — the default — is the
+    /// serial walker and leaves every result byte-identical. Wider
+    /// windows overlap DRAM refills per lane in the simulator and
+    /// software-pipeline prefetching walks in the native backend;
+    /// semantic outcomes stay bit-identical to width 1 in both, because
+    /// the cache-decision sequence remains a function of walk order
+    /// alone (only modeled timing and measured wall clock change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    pub fn with_mlp_width(mut self, width: usize) -> Self {
+        self.sim = self.sim.with_mlp_width(width);
+        self
+    }
+
+    /// The configured MLP window ([`RunConfig::with_mlp_width`]).
+    pub fn mlp_width(&self) -> usize {
+        self.sim.mlp_width.max(1)
+    }
+
     /// Overrides the worker-thread count (`0` = all available cores).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;

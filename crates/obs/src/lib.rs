@@ -40,6 +40,8 @@
 //! not change a single simulated statistic. That contract is enforced by
 //! the `observability` integration tests at the workspace root.
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod chrome;
 pub mod flight;

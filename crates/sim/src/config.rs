@@ -104,6 +104,15 @@ pub struct SimConfig {
     /// Maximum number of in-flight walks (lanes) the walker engine
     /// multiplexes; one lane per hardware walk context.
     pub lanes: usize,
+    /// Memory-level-parallelism window per lane: how many walks one
+    /// walker FSM keeps in flight simultaneously. Each lane runs
+    /// `mlp_width` walk slots that share the lane's compute (node
+    /// search, tag match — serialized per lane) while their DRAM
+    /// refills overlap against the banked channels, the Cuckoo-Trie
+    /// software-pipelining thesis applied to the walker hardware.
+    /// `1` (the default) is the classic one-walk-per-lane engine and
+    /// is byte-identical to the pre-MLP simulator.
+    pub mlp_width: usize,
     /// Entries (64 B lines) across the tile-local data scratchpads that
     /// stage leaf data objects for METAL designs (64 kB aggregate default,
     /// mirroring the global scratchpad of the paper's Fig. 4 platform).
@@ -123,6 +132,7 @@ impl Default for SimConfig {
             range_match_latency: Cycles::new(1),
             node_search_latency: Cycles::new(2),
             lanes: 16,
+            mlp_width: 1,
             data_scratch_entries: 1024,
             tile_ops_per_cycle: 1,
         }
@@ -136,6 +146,27 @@ impl SimConfig {
         assert!(lanes > 0, "need at least one walk lane");
         self.lanes = lanes;
         self
+    }
+
+    /// Configuration with an `mlp_width`-deep per-lane walk window (the
+    /// `--mlp-width` flag). Width 1 is the serial pre-MLP walker.
+    pub fn with_mlp_width(mut self, width: usize) -> Self {
+        assert!(width > 0, "the MLP window must hold at least one walk");
+        self.mlp_width = width;
+        self
+    }
+
+    /// Total number of walk slots the engine schedules:
+    /// `lanes × mlp_width`. Slot `s` belongs to physical lane
+    /// `s / mlp_width`, which is what serializes per-lane compute and
+    /// keeps private-cache designs pinned to their lane's slice.
+    pub fn walk_slots(&self) -> usize {
+        self.lanes * self.mlp_width.max(1)
+    }
+
+    /// The physical lane that owns walk slot `slot`.
+    pub fn lane_of_slot(&self, slot: usize) -> usize {
+        slot / self.mlp_width.max(1)
     }
 
     /// Total latency of an IX-cache hit: tag + range match + data array.
@@ -183,5 +214,30 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_lanes_rejected() {
         let _ = SimConfig::default().with_lanes(0);
+    }
+
+    #[test]
+    fn mlp_width_defaults_to_serial() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.mlp_width, 1);
+        assert_eq!(cfg.walk_slots(), cfg.lanes);
+        assert_eq!(cfg.lane_of_slot(5), 5);
+    }
+
+    #[test]
+    fn mlp_slots_map_back_to_lanes() {
+        let cfg = SimConfig::default().with_lanes(4).with_mlp_width(3);
+        assert_eq!(cfg.walk_slots(), 12);
+        // Slots 0..3 share lane 0, 3..6 lane 1, and so on.
+        assert_eq!(cfg.lane_of_slot(0), 0);
+        assert_eq!(cfg.lane_of_slot(2), 0);
+        assert_eq!(cfg.lane_of_slot(3), 1);
+        assert_eq!(cfg.lane_of_slot(11), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn zero_mlp_width_rejected() {
+        let _ = SimConfig::default().with_mlp_width(0);
     }
 }

@@ -7,12 +7,22 @@
 //! another, and the goal is to "harvest memory-level parallelism from these
 //! independent walks".
 //!
-//! [`Engine`] reproduces exactly that: it runs up to `lanes` walks
-//! concurrently, advancing whichever lane's pending step completes first.
-//! A lane executes [`WalkStep`]s produced by a [`WalkProgram`]; `Dram` steps
-//! go through the banked [`crate::dram::Dram`] model (where contention and
-//! bandwidth limits arise), `Busy` steps model on-chip work such as node
-//! search, tag matches, or compute.
+//! [`Engine`] reproduces exactly that: it runs up to `lanes × mlp_width`
+//! walks concurrently, advancing whichever walk slot's pending step
+//! completes first. A slot executes [`WalkStep`]s produced by a
+//! [`WalkProgram`]; `Dram` steps go through the banked
+//! [`crate::dram::Dram`] model (where contention and bandwidth limits
+//! arise), `Busy` steps model on-chip work such as node search, tag
+//! matches, or compute.
+//!
+//! With `mlp_width > 1` each physical lane software-pipelines a window
+//! of walks: the slots of one lane share that lane's walker FSM, so
+//! their compute steps (`Busy`, `Sram`) serialize on a per-lane
+//! busy-until clock, while their DRAM refills (`Dram`) overlap freely —
+//! a per-walker outstanding-miss window against the banked channels.
+//! At width 1 the busy-until clock never exceeds the dispatch time, so
+//! the schedule (and every statistic) is bit-identical to the classic
+//! one-walk-per-lane engine.
 //!
 //! Because every call into the program is serialized in simulated-time
 //! order, programs may freely mutate shared state (caches, statistics): the
@@ -184,7 +194,16 @@ impl Engine {
     /// bit-identical to the heap-only loop, so interleavings (and every
     /// downstream statistic) are unchanged.
     pub fn run<P: WalkProgram>(&mut self, program: &mut P) -> EngineReport {
-        let lanes = self.cfg.lanes;
+        // `lane` below indexes walk *slots*: `lanes × mlp_width` walk
+        // contexts, where slot s belongs to physical lane
+        // s / mlp_width. The program sees slot indexes (its per-walk
+        // step queues are per slot); compute serialization happens on
+        // the physical lane.
+        let lanes = self.cfg.walk_slots();
+        // Time each physical lane's walker FSM is busy until: compute
+        // steps of the lane's slots queue behind one another here while
+        // their DRAM waits overlap.
+        let mut walker_free = vec![Cycles::ZERO; self.cfg.lanes];
         let mut lane_state = vec![
             Lane {
                 walk_start: Cycles::ZERO,
@@ -262,15 +281,27 @@ impl Engine {
                     schedule!((done.get(), lane));
                 }
                 WalkStep::Busy { cycles } => {
-                    schedule!(((now + cycles).get(), lane));
+                    // Compute occupies the slot's walker FSM: siblings
+                    // in the same lane's MLP window queue behind it. At
+                    // width 1 walker_free never exceeds `now` (the lane
+                    // has one slot, woken exactly at its last
+                    // completion), so `start == now` always.
+                    let phys = self.cfg.lane_of_slot(lane);
+                    let start = now.max(walker_free[phys]);
+                    walker_free[phys] = start + cycles;
+                    schedule!(((start + cycles).get(), lane));
                 }
                 WalkStep::Sram { cycles } => {
                     // Round-robin port assignment; a port serves one access
-                    // per cycle.
+                    // per cycle. The access also holds the slot's walker
+                    // FSM (as Busy above): issuing a cache probe is
+                    // compute, only DRAM waits overlap within a lane.
+                    let phys = self.cfg.lane_of_slot(lane);
                     let bank = self.sram_rr % SRAM_BANKS;
                     self.sram_rr = self.sram_rr.wrapping_add(1);
-                    let start = now.max(self.sram_free[bank]);
+                    let start = now.max(walker_free[phys]).max(self.sram_free[bank]);
                     self.sram_free[bank] = start + Cycles::new(1);
+                    walker_free[phys] = start + cycles;
                     schedule!(((start + cycles).get(), lane));
                 }
                 WalkStep::Done => {
@@ -575,6 +606,99 @@ mod tests {
         let run = || {
             let mut engine = Engine::new(cfg(4));
             let mut prog = ChaseProgram::new(16, 4, 4);
+            let r = engine.run(&mut prog);
+            (r.exec_cycles, r.walks, r.walk_latency.total())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mlp_window_overlaps_dram_waits_within_one_lane() {
+        // One lane, serial: 8 pointer chases of 3 dependent reads each.
+        let mut serial = Engine::new(cfg(1));
+        let t_serial = serial.run(&mut ChaseProgram::new(8, 3, 1)).exec_cycles;
+
+        // Same lane with an 8-deep MLP window: the 8 walks' refills
+        // overlap against the banks even though they share one walker.
+        let mut c = cfg(1);
+        c.mlp_width = 8;
+        let mut pipelined = Engine::new(c);
+        let t_mlp = pipelined
+            .run(&mut ChaseProgram::new(8, 3, c.walk_slots()))
+            .exec_cycles;
+
+        assert_eq!(c.walk_slots(), 8);
+        assert!(
+            t_mlp.get() * 2 < t_serial.get(),
+            "an 8-deep window should overlap most of the DRAM latency: \
+             width 8 took {t_mlp:?} vs serial {t_serial:?}"
+        );
+    }
+
+    #[test]
+    fn mlp_width_one_is_byte_identical_to_the_classic_engine() {
+        // `with_mlp_width(1)` must not change a single cycle: the
+        // walker-free clock can never exceed the dispatch time when a
+        // lane has one slot.
+        let base = {
+            let mut engine = Engine::new(cfg(4));
+            let r = engine.run(&mut ChaseProgram::new(16, 4, 4));
+            (r.exec_cycles, r.walks, r.walk_latency)
+        };
+        let mut c = cfg(4);
+        c.mlp_width = 1;
+        let mut engine = Engine::new(c);
+        let r = engine.run(&mut ChaseProgram::new(16, 4, 4));
+        assert_eq!((r.exec_cycles, r.walks, r.walk_latency), base);
+    }
+
+    #[test]
+    fn mlp_compute_still_serializes_per_lane() {
+        // A pure-compute program gains nothing from MLP: the window
+        // shares one walker FSM, so Busy steps queue behind each other.
+        struct BusyOnly {
+            walks: u64,
+            stepped: Vec<bool>,
+        }
+        impl WalkProgram for BusyOnly {
+            fn begin_walk(&mut self, lane: usize) -> bool {
+                if self.walks == 0 {
+                    return false;
+                }
+                self.walks -= 1;
+                self.stepped[lane] = false;
+                true
+            }
+            fn step(&mut self, lane: usize, _now: Cycles) -> WalkStep {
+                if self.stepped[lane] {
+                    WalkStep::Done
+                } else {
+                    self.stepped[lane] = true;
+                    WalkStep::Busy {
+                        cycles: Cycles::new(10),
+                    }
+                }
+            }
+        }
+        let mut c = cfg(1);
+        c.mlp_width = 4;
+        let mut engine = Engine::new(c);
+        let report = engine.run(&mut BusyOnly {
+            walks: 8,
+            stepped: vec![false; c.walk_slots()],
+        });
+        assert_eq!(report.walks, 8);
+        // 8 walks × 10 busy cycles on one walker = 80 cycles, window or not.
+        assert_eq!(report.exec_cycles.get(), 80);
+    }
+
+    #[test]
+    fn mlp_runs_are_deterministic() {
+        let run = || {
+            let mut c = cfg(2);
+            c.mlp_width = 4;
+            let mut engine = Engine::new(c);
+            let mut prog = ChaseProgram::new(32, 4, c.walk_slots());
             let r = engine.run(&mut prog);
             (r.exec_cycles, r.walks, r.walk_latency.total())
         };

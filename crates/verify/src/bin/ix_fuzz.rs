@@ -27,9 +27,13 @@
 //! native paged-node executor, with every semantic outcome diffed.
 //! Failures shrink to `native-seed*.json` corpus repros.
 //!
+//! The native swarm sweeps the MLP window width per case (`mlp_width ∈
+//! {1, 2, 4, 8}`), so pipelined scout interleavings are fuzzed by
+//! default; `--mlp-width N` pins every case to one width instead.
+//!
 //! ```text
 //! ix_fuzz [--cases N] [--seed S] [--corpus-dir DIR] [--budget-secs T]
-//!         [--mutate] [--backend sim|native]
+//!         [--mutate] [--backend sim|native] [--mlp-width N]
 //! ```
 
 use metal_verify::check::{check_translation, run_scenario, Divergence};
@@ -49,6 +53,7 @@ struct Args {
     budget_secs: u64,
     mutate: bool,
     native: bool,
+    mlp_width: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +64,7 @@ fn parse_args() -> Args {
         budget_secs: 0,
         mutate: false,
         native: false,
+        mlp_width: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,6 +79,13 @@ fn parse_args() -> Args {
                     .expect("--budget-secs: not a number")
             }
             "--mutate" => args.mutate = true,
+            "--mlp-width" => {
+                let w: usize = val("--mlp-width")
+                    .parse()
+                    .expect("--mlp-width: not a number");
+                assert!(w > 0, "--mlp-width must be at least 1");
+                args.mlp_width = Some(w);
+            }
             "--backend" => match val("--backend").as_str() {
                 "sim" => args.native = false,
                 "native" => args.native = true,
@@ -152,7 +165,10 @@ fn main() -> ExitCode {
         // (the backend is the subsystem under test; the sim side is
         // covered by the oracle-checked arms of the default swarm).
         if args.native {
-            let case = gen_native_case(case_seed);
+            let mut case = gen_native_case(case_seed);
+            if let Some(w) = args.mlp_width {
+                case.mlp_width = w;
+            }
             if let Err(d) = check_native(&case) {
                 failures += 1;
                 eprintln!("FAIL native case {i} (seed {case_seed}): {d}");

@@ -61,6 +61,11 @@ pub struct NativeCase {
     pub key_block_bits: u32,
     /// Walks per tuning batch for the tuned METAL design.
     pub batch_walks: u64,
+    /// MLP window width both backends run at (1 = serial). Semantic
+    /// outcomes must be width-invariant, so the swarm sweeping this
+    /// axis pins the architect/scout pipeline against the simulator's
+    /// overlap model on every generated stream.
+    pub mlp_width: usize,
     /// The request stream.
     pub reqs: Vec<CaseReq>,
 }
@@ -114,6 +119,7 @@ pub fn gen_native_case(seed: u64) -> NativeCase {
         entries,
         key_block_bits: rng.gen_range(2..8u64) as u32,
         batch_walks: *crate::scenario::pick(&mut rng, &[25u64, 50, 100]),
+        mlp_width: *crate::scenario::pick(&mut rng, &[1usize, 2, 4, 8]),
         reqs,
     }
 }
@@ -223,7 +229,9 @@ pub fn check_native_case(case: &NativeCase) -> Result<(), Divergence> {
             batch_walks: case.batch_walks,
         },
     ];
-    let cfg = RunConfig::default().with_lanes(4);
+    let cfg = RunConfig::default()
+        .with_lanes(4)
+        .with_mlp_width(case.mlp_width.max(1));
     for spec in &specs {
         let sim = run_design(spec, &exp, &cfg);
         let native = run_design(spec, &exp, &cfg.clone().with_backend(Backend::Native));
@@ -277,6 +285,7 @@ where
             |c| c.key_block_bits = (c.key_block_bits / 2).max(1),
             |c| c.n_keys = (c.n_keys / 2).max(4),
             |c| c.max_keys = 4,
+            |c| c.mlp_width = 1,
         ] {
             let mut candidate = best.clone();
             f(&mut candidate);
@@ -343,6 +352,7 @@ impl NativeCase {
                 Json::UInt(self.key_block_bits as u64),
             ),
             ("batch_walks".into(), Json::UInt(self.batch_walks)),
+            ("mlp_width".into(), Json::UInt(self.mlp_width as u64)),
             ("reqs".into(), Json::Arr(reqs)),
         ])
     }
@@ -377,6 +387,8 @@ impl NativeCase {
             entries: u("entries")? as usize,
             key_block_bits: u("key_block_bits")? as u32,
             batch_walks: u("batch_walks")?,
+            // Pre-MLP corpus files carry no width; they ran serial.
+            mlp_width: u("mlp_width").unwrap_or(1) as usize,
             reqs,
         })
     }
@@ -402,6 +414,19 @@ mod tests {
         let text = case.to_json().render();
         let parsed = Json::parse(&text).expect("rendered JSON parses");
         assert_eq!(NativeCase::from_json(&parsed), Some(case));
+    }
+
+    #[test]
+    fn pre_mlp_corpus_json_defaults_to_serial_width() {
+        let mut case = gen_native_case(3);
+        case.mlp_width = 1;
+        // Simulate a corpus file written before the width axis existed.
+        let Json::Obj(mut fields) = case.to_json() else {
+            panic!("cases serialize to objects");
+        };
+        fields.retain(|(k, _)| k != "mlp_width");
+        let parsed = NativeCase::from_json(&Json::Obj(fields)).expect("parses");
+        assert_eq!(parsed, case);
     }
 
     #[test]

@@ -216,6 +216,52 @@ fn backends_agree_and_golden_is_pinned() {
 }
 
 #[test]
+fn mlp_widths_are_semantically_invisible_through_both_backends() {
+    // The MLP window (one architect + N−1 prefetching scouts natively;
+    // per-lane overlapping DRAM windows in the simulator) is a pure
+    // performance mechanism: at widths 1, 4 and 8 every semantic
+    // outcome — found/write walks, splits, merges, probe accounting,
+    // occupancy, tuner trajectories — must be bit-identical to the
+    // serial width-1 run, and the two backends must still agree with
+    // each other at every width.
+    let built = uniform_std_v1(Scale::ci(), 30);
+    let exp = built.experiment();
+    for (name, spec) in native_designs(&built) {
+        let base_cfg = RunConfig::default().with_lanes(built.tiles);
+        let serial_sim = run_design(&spec, &exp, &base_cfg);
+        let serial_native =
+            run_design(&spec, &exp, &base_cfg.clone().with_backend(Backend::Native));
+        for width in [4usize, 8] {
+            let cfg = base_cfg.clone().with_mlp_width(width);
+            let sim = run_design(&spec, &exp, &cfg);
+            let native = run_design(&spec, &exp, &cfg.clone().with_backend(Backend::Native));
+            assert_eq!(
+                semantics(&serial_sim),
+                semantics(&sim),
+                "{name}: width {width} changed simulator semantics"
+            );
+            assert_eq!(
+                semantics(&serial_native),
+                semantics(&native),
+                "{name}: width {width} changed native semantics"
+            );
+            assert_eq!(
+                sim.stats.dram_node_reads, native.stats.dram_node_reads,
+                "{name}: width {width} node-fetch counts differ"
+            );
+            assert_eq!(
+                sim.occupancy_by_level, native.occupancy_by_level,
+                "{name}: width {width} final cache occupancy differs"
+            );
+            assert_eq!(
+                sim.band_history, native.band_history,
+                "{name}: width {width} tuner trajectories differ"
+            );
+        }
+    }
+}
+
+#[test]
 fn sharded_streams_shard_identically_through_both_backends() {
     // A finite shard grain changes results (cold caches per chunk, prefix
     // writes replayed) — but it must change them *identically* for both

@@ -43,4 +43,7 @@ done
 run_fig fig23_scaling fig23b_depth.csv $SWEEP_ARGS --depth-sweep
 # The native-execution cross-validation figure (sim vs native rows).
 run_fig fig_native fig_native.csv $ARGS
+# The MLP window sweep (modeled speedup per width; measured native
+# walks/sec land on stderr).
+run_fig fig_mlp fig_mlp.csv $ARGS
 echo ALL_DONE
