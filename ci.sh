@@ -11,8 +11,11 @@
 # the measured-telemetry path must analyze clean, and a corrupted block
 # file must die with a contextful error), an MLP gate (the fig_mlp
 # sweep must match its golden and --mlp-width 1 must be byte-identical
-# to the serial engine), and a doc-link check (every binary, flag and
-# results/ file named in the docs must exist).
+# to the serial engine), a cycle-accounting gate (the fig_breakdown
+# sweep must match its golden, a traced run must pass the breakdown
+# conservation rows in `analyze --validate`, and a sed-forged stall
+# component must fail naming the broken identity), and a doc-link check
+# (every binary, flag and results/ file named in the docs must exist).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -307,6 +310,54 @@ if ! diff -q "$tdir/f18_plain.csv" "$tdir/f18_w1.csv" > /dev/null; then
     exit 1
 fi
 echo "--mlp-width 1 leaves the figure CSV byte-identical"
+
+echo "== cycle accounting: fig_breakdown golden + conservation forge =="
+# fig_breakdown decomposes every simulated cycle into the five
+# attribution components (ix_probe/compute/queue/stall/hidden); the
+# ci-scale CSV is pinned to a golden and the binary itself re-checks
+# the partition identity on every row before printing it.
+cargo build --release -p metal-bench --bin fig_breakdown
+./target/release/fig_breakdown --scale ci > "$tdir/breakdown.csv" 2> /dev/null
+if ! grep -v '^#' "$tdir/breakdown.csv" | diff - tests/goldens/fig_breakdown_ci.csv; then
+    echo "FAIL: fig_breakdown ci CSV drifted from tests/goldens/fig_breakdown_ci.csv" >&2
+    exit 1
+fi
+echo "fig_breakdown matches the golden"
+# A traced, windowed run must leave the CSV byte-identical (telemetry
+# stays observe-only) and produce an ANALYSIS.json whose breakdown
+# sections pass the conservation rows: components sum to the walk
+# latencies, the busiest lane reconciles with the exec horizon, and the
+# per-epoch cycle columns sum to the section totals.
+./target/release/fig_breakdown --scale ci --epoch walks:512 \
+    --trace-out "$tdir/bkdn.jsonl" --metrics-out "$tdir/bkdn.manifest.json" \
+    > "$tdir/breakdown_traced.csv" 2> /dev/null
+if ! diff -q "$tdir/breakdown.csv" "$tdir/breakdown_traced.csv" > /dev/null; then
+    echo "FAIL: tracing changed the fig_breakdown CSV" >&2
+    diff "$tdir/breakdown.csv" "$tdir/breakdown_traced.csv" >&2 || true
+    exit 1
+fi
+echo "tracing does not perturb the breakdown CSV"
+./target/release/analyze "$tdir/bkdn.jsonl" \
+    --manifest "$tdir/bkdn.manifest.json" --out "$tdir/BKDN.json" > /dev/null
+./target/release/analyze --validate "$tdir/BKDN.json"
+grep -q '"schema":"metal-breakdown-v1"' "$tdir/BKDN.json"
+echo "breakdown conservation rows validate on a traced run"
+# The offline reducer must render the same attribution from raw events.
+./target/release/trace_dump "$tdir/bkdn.jsonl" --breakdown > "$tdir/bkdn.txt"
+grep -q "cycles attributed" "$tdir/bkdn.txt"
+echo "trace_dump --breakdown renders the attribution table"
+# Negative control: inflate the first design's stall component; the
+# validator must go red naming the broken partition identity, or the
+# conservation rows above prove nothing.
+sed '0,/"stall":{"cycles":[0-9]*/s//"stall":{"cycles":99999999/' "$tdir/BKDN.json" \
+    > "$tdir/BKDN_forged.json"
+if ./target/release/analyze --validate "$tdir/BKDN_forged.json" \
+    2> "$tdir/bkdn_forged.txt"; then
+    echo "FAIL: analyze --validate passed a forged stall component" >&2
+    exit 1
+fi
+grep -q "components sum to" "$tdir/bkdn_forged.txt"
+echo "negative control: inflated stall cycles fail validation naming the identity"
 
 echo "== docs: link/flag/binary existence check =="
 # Grep-based drift gate over README.md, DESIGN.md and ARCHITECTURE.md:

@@ -130,15 +130,23 @@ fn measured_rows(manifest: &Json) -> Vec<MeasuredRow> {
         };
         let native = |k: &str| n.get(k).and_then(Json::as_u64).unwrap_or(0);
         let (workload, design) = (label(r, "workload"), label(r, "design"));
-        let modeled_cycles = design.strip_suffix(":native").and_then(|base| {
+        let sim_stats = design.strip_suffix(":native").and_then(|base| {
             let sim = format!("{base}:sim");
             reports
                 .iter()
                 .find(|s| label(s, "workload") == workload && label(s, "design") == sim)
                 .and_then(|s| s.get("stats"))
-                .and_then(|s| s.get("exec_cycles"))
-                .and_then(Json::as_u64)
         });
+        let modeled_cycles = sim_stats
+            .and_then(|s| s.get("exec_cycles"))
+            .and_then(Json::as_u64);
+        // The paired sim run's predicted exposed-stall fraction, when
+        // its stats carried a cycle breakdown; the measured side is the
+        // native run's page-I/O share of wall time.
+        let modeled_stall_fraction = sim_stats
+            .and_then(|s| s.get("breakdown"))
+            .and_then(|b| b.get("stall_fraction"))
+            .and_then(Json::as_f64);
         rows.push(MeasuredRow {
             walks: stats("walks"),
             modeled_cycles,
@@ -148,6 +156,11 @@ fn measured_rows(manifest: &Json) -> Vec<MeasuredRow> {
             page_writes: native("page_writes"),
             hot_hits: native("hot_hits"),
             cold_reads: native("cold_reads"),
+            modeled_stall_fraction,
+            measured_page_io_fraction: n
+                .get("page_io_fraction")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
             workload,
             design,
         });

@@ -1,0 +1,132 @@
+//! Cycle-accounting sweep: where do the walk cycles go, per design?
+//!
+//! Runs the six standard figure designs over a read-mostly workload
+//! (`where`), a 30% CRUD mix (`uniform_std_v1`) and the drifting-hotspot
+//! workload (`drift_hotspot_v1`), at MLP widths 1 and 8, and prints one
+//! CSV row per (workload, design, width) decomposing every simulated
+//! cycle into the five attribution components:
+//!
+//! - `ix_probe` — cache SRAM probe latency,
+//! - `compute`  — walker compute (node scan, tag match),
+//! - `queue`    — waiting for the walker FSM or an SRAM port,
+//! - `stall`    — DRAM fetch stall left exposed on the critical path,
+//! - `hidden`   — DRAM wait overlapped under sibling compute (0 at w1).
+//!
+//! All columns are exact integers, so the CSV is pinnable
+//! (`tests/goldens/fig_breakdown_ci.csv` at ci scale). Before printing,
+//! each row is checked against the conservation identity — the five
+//! components must sum exactly to the run's total walk latency — and the
+//! binary exits non-zero on any violation, making the sweep itself a
+//! gate over the engine's cycle accounting.
+//!
+//! For the native-capable designs (`stream`, `metal-ix`, `metal`) the
+//! same runs also execute on the native backend; the measured page-I/O
+//! fraction (the native analogue of modeled DRAM stall) is reported on
+//! stderr `#`-comments and reaches the run manifest, where `analyze`
+//! renders it side by side with the modeled stall fraction.
+//!
+//! Run: `cargo run -p metal-bench --bin fig_breakdown -- --scale ci`
+
+use metal_bench::{csv_row, exit, f3, HarnessArgs, Session};
+use metal_core::native::supports_native;
+use metal_core::runner::{run_design, Backend};
+use metal_workloads::crud::uniform_std_v1;
+use metal_workloads::drift::drift_hotspot_v1;
+use metal_workloads::{BuiltWorkload, Scale, Workload};
+
+/// The sweep's MLP widths: serial (no overlap, `hidden` must be 0) and
+/// the widest standard window.
+const WIDTHS: [usize; 2] = [1, 8];
+
+/// Read-mostly, mutating, and phase-shifting workloads: the three
+/// regimes that move cycles between stall and compute.
+fn workloads(scale: Scale) -> Vec<BuiltWorkload> {
+    vec![
+        Workload::Where.build(scale),
+        uniform_std_v1(scale, 30),
+        drift_hotspot_v1(scale),
+    ]
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut session = Session::new("fig_breakdown", &args);
+    println!("# cycle breakdown per (workload, design, MLP width): integer cycles, pinnable");
+    println!("# conservation is enforced per row: components sum to the total walk latency");
+    csv_row([
+        "workload",
+        "design",
+        "width",
+        "walks",
+        "ix_probe_cycles",
+        "compute_cycles",
+        "queue_cycles",
+        "stall_cycles",
+        "hidden_cycles",
+        "total_cycles",
+    ]);
+
+    for built in workloads(args.scale) {
+        let exp = built.experiment();
+        for (name, spec) in metal_bench::figure_designs(&built, args.cache_bytes) {
+            for width in WIDTHS {
+                let scope = format!("{}/{name}@w{width}", built.name);
+                let cfg = session
+                    .config(&format!("{scope}:sim"))
+                    .with_lanes(built.tiles)
+                    .with_mlp_width(width);
+                let sim = run_design(&spec, &exp, &cfg);
+                let b = &sim.stats.breakdown;
+                // The hard identity this figure gates: every cycle of
+                // every walk is attributed to exactly one component.
+                let latency_total = sim.stats.walk_latency.total();
+                if b.total() != latency_total {
+                    eprintln!(
+                        "fig_breakdown: CONSERVATION VIOLATION {scope}: components sum \
+                         to {} cycles, walk latencies total {latency_total}",
+                        b.total()
+                    );
+                    std::process::exit(exit::VALIDATION);
+                }
+                session.record_report(&scope, &format!("{name}@w{width}:sim"), &sim);
+                csv_row([
+                    built.name.to_string(),
+                    name.clone(),
+                    width.to_string(),
+                    sim.stats.walks.to_string(),
+                    b.ix_probe_cycles.to_string(),
+                    b.compute_cycles.to_string(),
+                    b.queue_cycles.to_string(),
+                    b.stall_cycles.to_string(),
+                    b.hidden_cycles.to_string(),
+                    b.total().to_string(),
+                ]);
+                eprintln!(
+                    "# modeled {scope}: {:.1}% DRAM stall exposed, {:.1}% hidden by MLP",
+                    100.0 * b.stall_fraction(),
+                    100.0 * b.hidden_cycles as f64 / b.total().max(1) as f64
+                );
+
+                if supports_native(&spec) {
+                    let ncfg = session
+                        .config(&format!("{scope}:native"))
+                        .with_lanes(built.tiles)
+                        .with_mlp_width(width)
+                        .with_backend(Backend::Native);
+                    let native = run_design(&spec, &exp, &ncfg);
+                    session.record_report(&scope, &format!("{name}@w{width}:native"), &native);
+                    if let Some(m) = &native.native {
+                        eprintln!(
+                            "# measured {scope}: {} walks/s, {:.1}% of wall time in \
+                             page reads (vs {:.1}% modeled stall)",
+                            f3(m.walks_per_sec()),
+                            100.0 * m.page_io_fraction(),
+                            100.0 * b.stall_fraction()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    session.finish();
+}

@@ -17,10 +17,16 @@
 //! are diffed against them too.
 //!
 //! With `--timeline <cycles:N|walks:M>` the dump ends with a per-epoch
-//! table per design — walks, probes, hit rate, misses, fills, evictions
-//! and regretted evictions per window — rebuilt through the same
-//! windowed [`metal_obs::StreamAnalyzer`] the in-process path uses, so
-//! the table matches a `--series-out` document exactly.
+//! table per design — walks, probes, hit rate, misses, fills, evictions,
+//! regretted evictions and the cycle-attribution shares (stall%,
+//! compute%, queue%) per window — rebuilt through the same windowed
+//! [`metal_obs::StreamAnalyzer`] the in-process path uses, so the table
+//! matches a `--series-out` document exactly.
+//!
+//! With `--breakdown` it prints the per-design cycle-accounting table
+//! (IX-probe / compute / queue / exposed-stall / MLP-hidden cycles and
+//! shares) folded from the trace's `walk_breakdown` events by the same
+//! reduction that writes `ANALYSIS.json`'s `breakdown` section.
 //!
 //! The trace is read line by line through [`metal_obs::JsonlReader`] —
 //! multi-gigabyte traces dump in constant memory.
@@ -32,6 +38,7 @@
 //!       [--top N] [--check-hits manifest.json] [--timeline walks:M]`
 
 use metal_bench::exit;
+use metal_obs::breakdown::COMPONENTS;
 use metal_obs::{Json, JsonlReader, StreamAnalyzer, TraceAnalysis};
 use metal_sim::epoch::EpochSpec;
 use std::collections::BTreeMap;
@@ -282,8 +289,18 @@ fn print_timeline(analysis: &TraceAnalysis) {
             series.windows.len()
         );
         println!(
-            "{:>8} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9}",
-            "epoch", "walks", "probes", "hit%", "misses", "fills", "evicts", "regret"
+            "{:>8} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
+            "epoch",
+            "walks",
+            "probes",
+            "hit%",
+            "misses",
+            "fills",
+            "evicts",
+            "regret",
+            "stall%",
+            "comp%",
+            "queue%"
         );
         for (epoch, w) in &series.windows {
             let hit_pct = if w.probes == 0 {
@@ -291,23 +308,65 @@ fn print_timeline(analysis: &TraceAnalysis) {
             } else {
                 format!("{:.1}", 100.0 * w.hits_total() as f64 / w.probes as f64)
             };
+            // Shares of the window's attributed cycles — the same
+            // columns the series JSON and breakdown section conserve.
+            let cycles = w.ix_probe_cycles
+                + w.compute_cycles
+                + w.queue_cycles
+                + w.stall_cycles
+                + w.hidden_cycles;
+            let share = |c: u64| {
+                if cycles == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", 100.0 * c as f64 / cycles as f64)
+                }
+            };
             println!(
-                "{epoch:>8} {:>9} {:>9} {hit_pct:>7} {:>9} {:>9} {:>9} {:>9}",
+                "{epoch:>8} {:>9} {:>9} {hit_pct:>7} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
                 w.walks,
                 w.probes,
                 w.misses,
                 w.fills,
                 w.evictions_total(),
-                w.regretted
+                w.regretted,
+                share(w.stall_cycles),
+                share(w.compute_cycles),
+                share(w.queue_cycles),
             );
         }
+    }
+}
+
+/// The per-design cycle-accounting table (`--breakdown`), folded from
+/// the trace's `walk_breakdown` events.
+fn print_breakdown(analysis: &TraceAnalysis) {
+    for (design, d) in &analysis.designs {
+        println!();
+        let Some(b) = &d.breakdown else {
+            println!("## breakdown {design}: trace carries no walk_breakdown events");
+            continue;
+        };
+        println!(
+            "## breakdown {design} ({} walks, {} cycles attributed)",
+            b.walks, b.latency_total
+        );
+        println!("{:>10} {:>14} {:>7}", "component", "cycles", "share");
+        let total = b.cycles_total().max(1);
+        for (name, &cycles) in COMPONENTS.iter().zip(b.cycles.iter()) {
+            println!(
+                "{name:>10} {cycles:>14} {:>6.1}%",
+                100.0 * cycles as f64 / total as f64
+            );
+        }
+        println!("{:>10} {:>14} {:>6.1}%", "total", b.cycles_total(), 100.0);
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace_dump <trace.jsonl> [--top N] [--check-hits <manifest.json>]\n\
-         \x20                 [--timeline <cycles:N|walks:M>]"
+         \x20                 [--timeline <cycles:N|walks:M>] [--breakdown]"
     );
     ExitCode::from(exit::USAGE_IO as u8)
 }
@@ -317,14 +376,16 @@ fn help() -> ExitCode {
         "trace_dump: inspect a --trace-out JSONL event trace\n\
          \n\
          Usage: trace_dump <trace.jsonl> [--top N] [--check-hits <manifest.json>]\n\
-         \x20                            [--timeline <cycles:N|walks:M>]\n\
+         \x20                            [--timeline <cycles:N|walks:M>] [--breakdown]\n\
          \n\
          Prints event counts by kind, the hottest IX-cache sets, the\n\
          short-circuit depth distribution, admission/eviction reason counters\n\
          and the tuner decision timeline. --check-hits cross-checks the trace\n\
          against a --metrics-out run manifest (exits non-zero on mismatch).\n\
          --timeline appends a per-epoch table per design (walks, probes,\n\
-         hit rate, misses, fills, evictions, regret per window).\n\
+         hit rate, misses, fills, evictions, regret and stall/compute/queue\n\
+         cycle shares per window). --breakdown appends the per-design cycle-\n\
+         accounting table folded from walk_breakdown events.\n\
          \n\
          Traces and manifests are documented in README.md's Telemetry section\n\
          (and its CLI reference table); the tracked performance baseline these\n\
@@ -341,6 +402,7 @@ fn main() -> ExitCode {
     let mut trace_path = None;
     let mut manifest_path = None;
     let mut timeline: Option<EpochSpec> = None;
+    let mut breakdown = false;
     let mut top = 10usize;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -361,6 +423,7 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--breakdown" => breakdown = true,
             p if trace_path.is_none() => trace_path = Some(p.to_string()),
             _ => return usage(),
         }
@@ -391,7 +454,7 @@ fn main() -> ExitCode {
             }
         };
         summary.observe(&v);
-        if let Some(spec) = timeline {
+        if timeline.is_some() || breakdown {
             let key = (
                 str_field(&v, "run"),
                 str_field(&v, "design"),
@@ -399,17 +462,22 @@ fn main() -> ExitCode {
             );
             streams
                 .entry(key)
-                .or_insert_with(|| StreamAnalyzer::new(1).with_epoch(Some(spec)))
+                .or_insert_with(|| StreamAnalyzer::new(1).with_epoch(timeline))
                 .observe_json(&v);
         }
     }
     summary.print(top);
-    if timeline.is_some() {
+    if timeline.is_some() || breakdown {
         let mut analysis = TraceAnalysis::default();
         for ((_, design, _), analyzer) in streams {
             analysis.fold(&design, analyzer.finish());
         }
-        print_timeline(&analysis);
+        if breakdown {
+            print_breakdown(&analysis);
+        }
+        if timeline.is_some() {
+            print_timeline(&analysis);
+        }
     }
 
     if let Some(path) = manifest_path {

@@ -335,12 +335,16 @@ impl Heartbeat {
         scope: Arc<Mutex<String>>,
         progress: Arc<AtomicU64>,
         epoch_gauge: Option<Arc<AtomicU64>>,
+        stall_cycles: Arc<AtomicU64>,
+        total_cycles: Arc<AtomicU64>,
         period: Duration,
     ) -> Self {
         let (tx, rx) = mpsc::channel::<()>();
         let handle = std::thread::spawn(move || {
             let started = Instant::now();
             let mut last_walks = 0u64;
+            let mut last_stall = 0u64;
+            let mut last_total = 0u64;
             let mut last_beat = Instant::now();
             while let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(period) {
                 // Long sessions run many scoped batches back to back;
@@ -357,13 +361,31 @@ impl Heartbeat {
                 let rate = (walks.saturating_sub(last_walks)) as f64 / dt;
                 last_walks = walks;
                 last_beat = Instant::now();
+                // Same observe-only gauge discipline as the walk
+                // counter: the engines add exposed-stall and attributed
+                // cycles as walks retire, the beat reports the delta's
+                // stall share since the previous beat.
+                let stall_now = stall_cycles.load(Ordering::Relaxed);
+                let total_now = total_cycles.load(Ordering::Relaxed);
+                let d_total = total_now.saturating_sub(last_total);
+                let stall = if d_total > 0 {
+                    let d_stall = stall_now.saturating_sub(last_stall);
+                    format!(
+                        ", {:.1}% DRAM stall since last beat",
+                        100.0 * d_stall as f64 / d_total as f64
+                    )
+                } else {
+                    String::new()
+                };
+                last_stall = stall_now;
+                last_total = total_now;
                 let epoch = epoch_gauge
                     .as_ref()
                     .map(|g| format!(", epoch {}", g.load(Ordering::Relaxed)))
                     .unwrap_or_default();
                 eprintln!(
                     "# [{at}] heartbeat: {walks} walks simulated, \
-                     {rate:.0} walks/s since last beat, {:.0}s elapsed{epoch}",
+                     {rate:.0} walks/s since last beat{stall}, {:.0}s elapsed{epoch}",
                     started.elapsed().as_secs_f64()
                 );
             }
@@ -415,6 +437,11 @@ pub struct Session {
     progress: Arc<AtomicU64>,
     /// Highest epoch any analyzer has entered (heartbeat's gauge).
     epoch_gauge: Arc<AtomicU64>,
+    /// Cumulative exposed DRAM-stall cycles across the session's runs
+    /// (heartbeat's stall-fraction numerator; observe-only).
+    stall_cycles: Arc<AtomicU64>,
+    /// Cumulative attributed walk cycles (the fraction's denominator).
+    total_cycles: Arc<AtomicU64>,
     /// The most recent [`Session::config`] scope, shown by the heartbeat.
     hb_scope: Arc<Mutex<String>>,
     _heartbeat: Option<Heartbeat>,
@@ -475,6 +502,8 @@ impl Session {
 
         let progress = Arc::new(AtomicU64::new(0));
         let epoch_gauge = Arc::new(AtomicU64::new(0));
+        let stall_cycles = Arc::new(AtomicU64::new(0));
+        let total_cycles = Arc::new(AtomicU64::new(0));
         let hb_scope = Arc::new(Mutex::new(String::new()));
         let heartbeat = heartbeat_period().map(|period| {
             Heartbeat::spawn(
@@ -482,6 +511,8 @@ impl Session {
                 hb_scope.clone(),
                 progress.clone(),
                 args.epoch.map(|_| epoch_gauge.clone()),
+                stall_cycles.clone(),
+                total_cycles.clone(),
                 period,
             )
         });
@@ -499,6 +530,8 @@ impl Session {
             flight,
             progress,
             epoch_gauge,
+            stall_cycles,
+            total_cycles,
             hb_scope,
             _heartbeat: heartbeat,
         }
@@ -522,6 +555,8 @@ impl Session {
         let mut obs = ObsConfig {
             sink_factory: None,
             progress: Some(self.progress.clone()),
+            stall_cycles: Some(self.stall_cycles.clone()),
+            total_cycles: Some(self.total_cycles.clone()),
         };
         if self.jsonl.is_some()
             || self.registry.is_some()
@@ -608,6 +643,16 @@ pub fn native_metrics_json(m: &NativeMetrics) -> Json {
         ("node_writes".into(), Json::UInt(m.node_writes)),
         ("pages".into(), Json::UInt(m.pages)),
         ("free_pages".into(), Json::UInt(m.free_pages)),
+        // Scoped phase timers — independent gauges, not a partition of
+        // wall_ns; `page_io_fraction` is the measured analogue of the
+        // simulator's modeled DRAM-stall fraction.
+        ("page_read_ns".into(), Json::UInt(m.page_read_ns)),
+        ("decode_ns".into(), Json::UInt(m.decode_ns)),
+        ("ix_probe_ns".into(), Json::UInt(m.ix_probe_ns)),
+        ("node_scan_ns".into(), Json::UInt(m.node_scan_ns)),
+        ("mutation_ns".into(), Json::UInt(m.mutation_ns)),
+        ("staging_ns".into(), Json::UInt(m.staging_ns)),
+        ("page_io_fraction".into(), Json::Num(m.page_io_fraction())),
     ])
 }
 

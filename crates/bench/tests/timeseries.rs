@@ -38,6 +38,8 @@ fn analyze(built: &BuiltWorkload, workers: usize, epoch: EpochSpec) -> TraceAnal
     let obs = ObsConfig {
         sink_factory: Some(Arc::new(move |ctx| Some(shared(reg.sink(&ctx.design))))),
         progress: None,
+        stall_cycles: None,
+        total_cycles: None,
     };
     let cfg = RunConfig::default()
         .with_shards(workers)
@@ -88,6 +90,35 @@ fn check_workload(built: &BuiltWorkload) {
             probes,
             d.events_by_kind.get("ix_probe").copied().unwrap_or(0),
             "{design}: window probe sum != whole-run probes"
+        );
+
+        // The cycle-accounting plane rides the same windows: per-window
+        // component cycles must sum to the breakdown section's totals,
+        // which themselves conserve against the walk latencies and the
+        // busiest-lane horizon.
+        let b = d
+            .breakdown
+            .as_ref()
+            .unwrap_or_else(|| panic!("{design}: traced sim run must attribute cycles"));
+        let windowed: [u64; 5] = [
+            series.windows.values().map(|w| w.ix_probe_cycles).sum(),
+            series.windows.values().map(|w| w.compute_cycles).sum(),
+            series.windows.values().map(|w| w.queue_cycles).sum(),
+            series.windows.values().map(|w| w.stall_cycles).sum(),
+            series.windows.values().map(|w| w.hidden_cycles).sum(),
+        ];
+        assert_eq!(
+            windowed, b.cycles,
+            "{design}: windowed cycle columns != breakdown totals"
+        );
+        assert_eq!(
+            b.cycles_total(),
+            b.latency_total,
+            "{design}: components must sum to the total walk latency"
+        );
+        assert_eq!(
+            b.lane_cycles_max, b.horizon,
+            "{design}: busiest-lane cycles must reconcile with the exec horizon"
         );
     }
 

@@ -1811,7 +1811,7 @@ mod tests {
                     c.probe((rng.next_u64() % 2) as u8, rng.next_u64() % 1300);
                 }
                 _ => {
-                    if rng.next_u64() % 50 == 0 {
+                    if rng.next_u64().is_multiple_of(50) {
                         c.flush();
                     }
                 }
@@ -1840,7 +1840,7 @@ mod tests {
             let mut reference = IxCache::new(cfg);
             let mut rng = SplitRng::seed_from_u64(seed);
             for op in 0..3000u32 {
-                if rng.next_u64() % 2 == 0 {
+                if rng.next_u64().is_multiple_of(2) {
                     let lo = rng.next_u64() % 512;
                     let w = rng.next_u64() % 120;
                     let r = KeyRange::new(lo, lo.saturating_add(w));

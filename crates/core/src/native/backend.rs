@@ -58,7 +58,7 @@
 //! scout window from post-mutation state — the cheap, obviously
 //! correct staleness guard.
 
-use super::tree::{materialize_tree, PagedTree};
+use super::tree::{materialize_tree, ns_since, PagedTree};
 use crate::descriptor::{Admit, AdmitCtx, Descriptor};
 use crate::ixcache::IxCache;
 use crate::models::{DesignSpec, Experiment};
@@ -107,6 +107,22 @@ pub struct NativeMetrics {
     /// Free-list pages at the end of the run (extents returned by
     /// merges/relocations).
     pub free_pages: u64,
+    /// Wall nanoseconds in block-file page loads (demand cold reads and
+    /// scout prefetches) — the measured analogue of the simulator's
+    /// DRAM-stall cycles.
+    pub page_read_ns: u64,
+    /// Wall nanoseconds deserializing loaded pages into nodes.
+    pub decode_ns: u64,
+    /// Wall nanoseconds probing the IX-cache (zero for `stream`).
+    pub ix_probe_ns: u64,
+    /// Wall nanoseconds descending and scanning tree nodes. Phase
+    /// timers are independent gauges, not a partition of `wall_ns`:
+    /// node-scan time includes the page reads its walks triggered.
+    pub node_scan_ns: u64,
+    /// Wall nanoseconds applying write ops and their invalidations.
+    pub mutation_ns: u64,
+    /// Wall nanoseconds driving the MLP scout window (zero at width 1).
+    pub staging_ns: u64,
 }
 
 impl NativeMetrics {
@@ -116,6 +132,16 @@ impl NativeMetrics {
             return 0.0;
         }
         self.walks as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Measured fraction of wall time spent loading pages — the number
+    /// the analyze report sets beside the simulator's modeled
+    /// DRAM-stall fraction.
+    pub fn page_io_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.page_read_ns as f64 / self.wall_ns as f64
     }
 
     /// Accumulates another shard's metrics.
@@ -131,6 +157,12 @@ impl NativeMetrics {
         self.node_writes += other.node_writes;
         self.pages += other.pages;
         self.free_pages += other.free_pages;
+        self.page_read_ns += other.page_read_ns;
+        self.decode_ns += other.decode_ns;
+        self.ix_probe_ns += other.ix_probe_ns;
+        self.node_scan_ns += other.node_scan_ns;
+        self.mutation_ns += other.mutation_ns;
+        self.staging_ns += other.staging_ns;
     }
 }
 
@@ -149,6 +181,17 @@ struct CacheBits {
     tuners: Option<Vec<Tuner>>,
 }
 
+/// Scoped-phase wall-time accumulators of one native shard (rolled
+/// into [`NativeMetrics`]; page-read and decode time accrue inside
+/// [`PagedTree`]'s own counters). Observe-only: reading the clock never
+/// changes an outcome.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseNs {
+    ix_probe_ns: u64,
+    node_scan_ns: u64,
+    mutation_ns: u64,
+}
+
 /// One shard's native execution state.
 struct NativeRun {
     trees: Vec<PagedTree>,
@@ -162,6 +205,8 @@ struct NativeRun {
     /// DRAM fetches of the walk in flight, emitted after `WalkStart` in
     /// engine order.
     pending_dram: Vec<(u64, u64)>,
+    /// Scoped phase timers (measured, never modeled).
+    phase: PhaseNs,
 }
 
 fn io<T>(r: super::blockfile::Result<T>) -> T {
@@ -291,6 +336,7 @@ impl NativeRun {
     /// Streaming baseline: every node access goes to the page layer
     /// (port of the simulator's `Stream` plan arm).
     fn exec_stream(&mut self, req: &WalkRequest) {
+        let t0 = std::time::Instant::now();
         let tree = &mut self.trees[req.index as usize];
         let (path, leaf) = io(tree.path_from(tree.root(), req.key));
         let mut fetches: Vec<(u64, u64)> = path
@@ -303,6 +349,7 @@ impl NativeRun {
                 fetches.push((info.addr.get(), info.bytes));
             }
         }
+        self.phase.node_scan_ns += ns_since(t0);
         for (addr, bytes) in fetches {
             self.fetch(addr, bytes, true);
         }
@@ -337,18 +384,21 @@ impl NativeRun {
         let bits = self.cache.as_mut().expect("metal design has a cache");
         let tree = &mut self.trees[idx];
 
+        let t0 = std::time::Instant::now();
         let probe_set = if observing {
             bits.cache.probe_set(req.index, req.key)
         } else {
             0
         };
         let probe = bits.cache.probe(req.index, req.key);
+        self.phase.ix_probe_ns += ns_since(t0);
         self.stats.probes += 1;
         if let Some(ts) = &mut bits.tuners {
             ts[idx].observe_probe(probe.is_some());
             ts[idx].observe_key(req.key);
         }
 
+        let t0 = std::time::Instant::now();
         let (path, leaf, skipped) = match probe {
             Some(hit) => {
                 if self.stats.hit_levels.len() <= hit.level as usize {
@@ -376,6 +426,7 @@ impl NativeRun {
                 (path, leaf, 0)
             }
         };
+        self.phase.node_scan_ns += ns_since(t0);
         self.stats.levels_skipped += skipped;
         if observing {
             emit_to(
@@ -413,7 +464,9 @@ impl NativeRun {
         // Range scan: probe per scanned leaf, fetch and admit misses.
         let scan_start = path.last().map(|&(i, _)| i).or(probe.map(|h| h.node));
         if let Some(start) = scan_start {
+            let t0 = std::time::Instant::now();
             let chain = io(self.trees[idx].scan_chain(start, req.scan_leaves));
+            self.phase.node_scan_ns += ns_since(t0);
             for (id, info) in chain {
                 let bits = self.cache.as_mut().expect("metal design has a cache");
                 let scan_set = if observing {
@@ -623,6 +676,13 @@ impl NativeRun {
     /// a structural mutation was applied (updates-in-place and no-op
     /// writes leave prefetched state valid).
     fn apply_write(&mut self, req: &WalkRequest) -> bool {
+        let t0 = std::time::Instant::now();
+        let mutated = self.apply_write_inner(req);
+        self.phase.mutation_ns += ns_since(t0);
+        mutated
+    }
+
+    fn apply_write_inner(&mut self, req: &WalkRequest) -> bool {
         self.stats.write_walks += 1;
         let idx = req.index as usize;
         if req.op == OpKind::Update {
@@ -809,6 +869,7 @@ fn run_native_shard(
         clock: 0,
         walk_seq: 0,
         pending_dram: Vec::new(),
+        phase: PhaseNs::default(),
     };
     // Recording stays on: the drains double as hot-map bookkeeping, and
     // recording never changes cache decisions.
@@ -821,6 +882,7 @@ fn run_native_shard(
     // were already scouted (and need no second pass while no mutation
     // intervenes).
     let mut scouted = 0usize;
+    let mut staging_ns = 0u64;
     let t0 = std::time::Instant::now();
     for (n, req) in exp.requests.iter().enumerate() {
         if width > 1 {
@@ -829,6 +891,7 @@ fn run_native_shard(
             // per yield, until every scout has finished its descent.
             // The architect (walk n) then runs the serial path below
             // and finds its nodes staged.
+            let ts = std::time::Instant::now();
             let window_end = (n + width).min(exp.requests.len());
             let mut slots: Vec<Scout> = (scouted.max(n + 1)..window_end)
                 .filter_map(|p| run.open_scout(&exp.requests[p]))
@@ -837,6 +900,7 @@ fn run_native_shard(
             while !slots.is_empty() {
                 slots.retain_mut(|s| run.advance_scout(s));
             }
+            staging_ns += ns_since(ts);
         }
         let mutated = run.run_walk(req);
         if mutated {
@@ -874,6 +938,10 @@ fn run_native_shard(
     let mut native = NativeMetrics {
         wall_ns,
         walks: run.stats.walks,
+        ix_probe_ns: run.phase.ix_probe_ns,
+        node_scan_ns: run.phase.node_scan_ns,
+        mutation_ns: run.phase.mutation_ns,
+        staging_ns,
         ..NativeMetrics::default()
     };
     for t in &run.trees {
@@ -888,6 +956,8 @@ fn run_native_shard(
         native.node_writes += ts.node_writes;
         native.pages += t.page_count();
         native.free_pages += t.free_pages();
+        native.page_read_ns += ts.page_read_ns;
+        native.decode_ns += ts.decode_ns;
     }
 
     RunReport {
@@ -1121,14 +1191,24 @@ mod tests {
         let a = run_native_design(&spec, &exp, &RunConfig::default());
         let b = run_native_design(&spec, &exp, &RunConfig::default().with_mlp_width(1));
         let (ma, mb) = (a.native.unwrap(), b.native.unwrap());
-        // Everything but wall time is byte-identical at width 1 — no
+        // Everything but measured time is byte-identical at width 1 — no
         // scout ever runs, so even measured I/O attribution matches.
-        assert_eq!(
-            NativeMetrics { wall_ns: 0, ..ma },
-            NativeMetrics { wall_ns: 0, ..mb }
-        );
+        let strip = |m: NativeMetrics| NativeMetrics {
+            wall_ns: 0,
+            page_read_ns: 0,
+            decode_ns: 0,
+            ix_probe_ns: 0,
+            node_scan_ns: 0,
+            mutation_ns: 0,
+            staging_ns: 0,
+            ..m
+        };
+        assert_eq!(strip(ma), strip(mb));
         assert_eq!(ma.prefetched, 0);
         assert_eq!(ma.staged_hits, 0);
+        assert_eq!(ma.staging_ns, 0, "no scout window at width 1");
+        assert!(ma.node_scan_ns > 0, "walks accrued scan time");
+        assert!(ma.ix_probe_ns > 0, "probes accrued probe time");
     }
 
     #[test]

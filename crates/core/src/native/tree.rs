@@ -84,6 +84,19 @@ pub struct TreeIoStats {
     pub prefetched: u64,
     /// Node writes (serialize + page write).
     pub node_writes: u64,
+    /// Wall nanoseconds spent loading pages from the block file (demand
+    /// cold reads and scout prefetches both count) — the native
+    /// analogue of the simulator's DRAM-stall cycles.
+    pub page_read_ns: u64,
+    /// Wall nanoseconds spent deserializing loaded pages into nodes.
+    pub decode_ns: u64,
+}
+
+/// Nanoseconds elapsed since `t0`, saturating. One clock read — cheap
+/// enough for per-phase scopes, so timers wrap whole page loads and
+/// decodes, never inner loops.
+pub(crate) fn ns_since(t0: std::time::Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 /// A B+tree whose nodes live in page-aligned block-file extents.
@@ -417,7 +430,10 @@ impl PagedTree {
             self.io.hot_hits += 1;
             return Ok(self.tombstones[&id].clone());
         }
+        let t0 = std::time::Instant::now();
         let payload = self.file.load(m.page)?;
+        self.io.page_read_ns += ns_since(t0);
+        let t0 = std::time::Instant::now();
         let node = PagedNode::decode(&payload).map_err(|e| {
             BlockFileError::new(format!(
                 "{}: node {id} (page {}): {e}",
@@ -425,6 +441,7 @@ impl PagedTree {
                 m.page
             ))
         })?;
+        self.io.decode_ns += ns_since(t0);
         self.io.cold_reads += 1;
         Ok(node)
     }
@@ -629,7 +646,10 @@ impl PagedTree {
                 self.meta.len()
             ))
         })?;
+        let t0 = std::time::Instant::now();
         let payload = self.file.prefetch(m.page)?;
+        self.io.page_read_ns += ns_since(t0);
+        let t0 = std::time::Instant::now();
         let node = PagedNode::decode(&payload).map_err(|e| {
             BlockFileError::new(format!(
                 "{}: prefetched node {id} (page {}): {e}",
@@ -637,6 +657,7 @@ impl PagedTree {
                 m.page
             ))
         })?;
+        self.io.decode_ns += ns_since(t0);
         self.io.prefetched += 1;
         self.stage.insert(id, node);
         Ok(())

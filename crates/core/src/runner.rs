@@ -70,6 +70,12 @@ pub struct ObsConfig {
     /// Shared walk counter, incremented once per walk issued. Lets a
     /// harness thread report progress without touching simulation state.
     pub progress: Option<Arc<AtomicU64>>,
+    /// Shared gauge of cumulative exposed DRAM-stall cycles, fed by the
+    /// engine's per-walk cycle accounting (heartbeat stall fraction).
+    pub stall_cycles: Option<Arc<AtomicU64>>,
+    /// Shared gauge of cumulative attributed walk cycles (the stall
+    /// gauge's denominator). Both gauges are observe-only.
+    pub total_cycles: Option<Arc<AtomicU64>>,
 }
 
 impl fmt::Debug for ObsConfig {
@@ -77,6 +83,8 @@ impl fmt::Debug for ObsConfig {
         f.debug_struct("ObsConfig")
             .field("sink_factory", &self.sink_factory.as_ref().map(|_| "…"))
             .field("progress", &self.progress)
+            .field("stall_cycles", &self.stall_cycles)
+            .field("total_cycles", &self.total_cycles)
             .finish()
     }
 }
@@ -306,6 +314,7 @@ fn run_design_shard(
         model.set_sink(Some(s.clone()));
     }
     model.set_progress(cfg.obs.progress.clone());
+    engine.set_cycle_gauges(cfg.obs.stall_cycles.clone(), cfg.obs.total_cycles.clone());
     let engine_report = engine.run(&mut model);
     model.finalize();
     if let Some(s) = &sink {
@@ -315,6 +324,7 @@ fn run_design_shard(
     let mut stats = model.stats.clone();
     stats.exec_cycles = engine_report.exec_cycles;
     stats.walk_latency = engine_report.walk_latency;
+    stats.breakdown = engine_report.breakdown;
     stats.dram_energy_fj = engine.dram().energy_fj();
     stats.dram_bytes = engine.dram().bytes();
     stats.working_set = engine.dram().working_set().clone();

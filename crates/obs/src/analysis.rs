@@ -19,6 +19,7 @@
 //! the worker-thread count — the same contract the metrics registry and
 //! `LatencyStats` already pin.
 
+use crate::breakdown::{BreakdownAgg, BreakdownState, BREAKDOWN_SCHEMA, COMPONENTS};
 use crate::json::Json;
 use crate::ledger::{EntryLedger, LedgerSummary, RegretDelta, RegretMeter, RegretSummary};
 use crate::reuse::{LogHist, MissTaxonomy, ReuseProfiler, TaxonomyCounts};
@@ -74,6 +75,10 @@ pub struct DesignAnalysis {
     pub occupancy_by_set: BTreeMap<(u8, u32), i64>,
     /// Tuner decisions (sorted canonically in [`Self::to_json`]).
     pub tuner_decisions: Vec<TunerRec>,
+    /// Cycle-accounting rollup over `walk_breakdown` events; `None`
+    /// when the stream carried none (native traces, legacy traces —
+    /// the byte-stable legacy rendering).
+    pub breakdown: Option<BreakdownAgg>,
     /// Epoch-windowed metric series; `None` when the run was not
     /// windowed (the default, and the byte-stable legacy rendering).
     pub series: Option<TimeSeries>,
@@ -98,6 +103,11 @@ impl DesignAnalysis {
         }
         self.tuner_decisions
             .extend(other.tuner_decisions.iter().cloned());
+        match (&mut self.breakdown, &other.breakdown) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.breakdown = Some(theirs.clone()),
+            _ => {}
+        }
         match (&mut self.series, &other.series) {
             (Some(mine), Some(theirs)) => mine.merge(theirs),
             (None, Some(theirs)) => self.series = Some(theirs.clone()),
@@ -242,6 +252,9 @@ impl DesignAnalysis {
             ("occupancy_by_set".to_string(), occupancy),
             ("tuner_decisions".to_string(), tuner),
         ];
+        if let Some(breakdown) = &self.breakdown {
+            fields.push(("breakdown".to_string(), breakdown.to_json()));
+        }
         if let Some(series) = &self.series {
             fields.push(("series".to_string(), series.to_json()));
         }
@@ -269,6 +282,7 @@ pub struct StreamAnalyzer {
     probes_by_set: BTreeMap<(u8, u32), u64>,
     occupancy_by_set: BTreeMap<(u8, u32), i64>,
     tuner_decisions: Vec<TunerRec>,
+    breakdown: BreakdownState,
     series: Option<SeriesState>,
 }
 
@@ -286,6 +300,7 @@ impl StreamAnalyzer {
             probes_by_set: BTreeMap::new(),
             occupancy_by_set: BTreeMap::new(),
             tuner_decisions: Vec::new(),
+            breakdown: BreakdownState::default(),
             series: None,
         }
     }
@@ -437,6 +452,21 @@ impl StreamAnalyzer {
                 from,
                 to,
             }),
+            Event::WalkBreakdown {
+                lane,
+                ix_probe,
+                compute,
+                queue,
+                stall,
+                hidden,
+                latency,
+                ..
+            } => self.breakdown.observe(
+                at,
+                lane as u64,
+                [ix_probe, compute, queue, stall, hidden],
+                latency,
+            ),
             Event::WalkStart { .. }
             | Event::WalkEnd { .. }
             | Event::Bypass { .. }
@@ -497,6 +527,18 @@ impl StreamAnalyzer {
                 b("killed"),
             ),
             "dram_fetch" => self.dram_fetch(u("addr")),
+            "walk_breakdown" => self.breakdown.observe(
+                at,
+                u("lane"),
+                [
+                    u("ix_probe"),
+                    u("compute"),
+                    u("queue"),
+                    u("stall"),
+                    u("hidden"),
+                ],
+                u("latency"),
+            ),
             "tuner_decision" => self.tuner_decisions.push(TunerRec {
                 at,
                 index: u("index") as u8,
@@ -517,6 +559,11 @@ impl StreamAnalyzer {
 
     /// Ends the stream and returns its reduction.
     pub fn finish(self) -> DesignAnalysis {
+        let breakdown = if self.breakdown.is_empty() {
+            None
+        } else {
+            Some(self.breakdown.finish())
+        };
         DesignAnalysis {
             events_by_kind: self.events_by_kind,
             ledger: self.ledger.finish(),
@@ -527,6 +574,7 @@ impl StreamAnalyzer {
             probes_by_set: self.probes_by_set,
             occupancy_by_set: self.occupancy_by_set,
             tuner_decisions: self.tuner_decisions,
+            breakdown,
             series: self.series.map(|s| s.series),
         }
     }
@@ -699,12 +747,84 @@ pub fn validate_analysis_gated(v: &Json, deny_alerts: bool) -> Result<(), String
                 return Err(ctx(&format!("missing {key} array")));
             }
         }
+        // Cycle-accounting conservation: the five breakdown components
+        // must partition the summed walk latency, each component
+        // histogram must cover every walk, and the busiest lane's
+        // latency sum must reconcile with the execution horizon
+        // (`exec_cycles`).
+        if let Some(breakdown) = d.get("breakdown") {
+            validate_breakdown(name, d, breakdown)?;
+        }
         // Window-sum conservation: when the analysis carries an epoch
         // series, every counter summed over windows must equal the
         // whole-run aggregate — each event lands in exactly one window.
         if let Some(series) = d.get("series") {
             validate_series(name, d, series)?;
         }
+    }
+    Ok(())
+}
+
+/// Conservation checks for one design's `breakdown` section against its
+/// event counts: the partition identity, histogram coverage, and the
+/// per-lane/exec-horizon reconciliation.
+fn validate_breakdown(name: &str, d: &Json, b: &Json) -> Result<(), String> {
+    let ctx = |msg: &str| format!("design {name:?} breakdown: {msg}");
+    let schema = b.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != BREAKDOWN_SCHEMA {
+        return Err(ctx(&format!(
+            "schema {schema:?}, expected {BREAKDOWN_SCHEMA:?}"
+        )));
+    }
+    let num = |path: &[&str]| -> Result<u64, String> {
+        let mut cur = b;
+        for k in path {
+            cur = cur
+                .get(k)
+                .ok_or_else(|| ctx(&format!("missing {path:?}")))?;
+        }
+        cur.as_u64()
+            .ok_or_else(|| ctx(&format!("{path:?} is not a count")))
+    };
+    let walks = num(&["walks"])?;
+    let counted = d
+        .get("events_by_kind")
+        .and_then(|k| k.get("walk_breakdown"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if walks != counted {
+        return Err(ctx(&format!(
+            "covers {walks} walks, stream carried {counted} walk_breakdown events"
+        )));
+    }
+    let latency_total = num(&["latency_total"])?;
+    let mut component_sum = 0u64;
+    for comp in COMPONENTS {
+        component_sum += num(&["components", comp, "cycles"])?;
+        let hist = b
+            .get("components")
+            .and_then(|c| c.get(comp))
+            .and_then(|c| c.get("log2"))
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ctx(&format!("component {comp:?} missing log2 histogram")))?;
+        let covered: u64 = hist.iter().filter_map(Json::as_u64).sum();
+        if covered != walks {
+            return Err(ctx(&format!(
+                "component {comp:?} histogram covers {covered} of {walks} walks"
+            )));
+        }
+    }
+    if component_sum != latency_total {
+        return Err(ctx(&format!(
+            "components sum to {component_sum} cycles, walk latencies total {latency_total}"
+        )));
+    }
+    let lane_max = num(&["lane_cycles_max"])?;
+    let horizon = num(&["horizon"])?;
+    if lane_max != horizon {
+        return Err(ctx(&format!(
+            "busiest-lane cycles {lane_max} do not reconcile with exec horizon {horizon}"
+        )));
     }
     Ok(())
 }
@@ -830,6 +950,27 @@ fn validate_series(name: &str, d: &Json, series: &Json) -> Result<(), String> {
         return Err(ctx(
             "windowed vindication verdicts do not sum to regret.vindicated",
         ));
+    }
+    // Cycle-column conservation: each component's windowed cycles sum
+    // to the breakdown section's total (both sides are 0 for streams
+    // that carried no breakdown events, e.g. native traces).
+    let component_total = |comp: &str| -> u64 {
+        d.get("breakdown")
+            .and_then(|b| b.get("components"))
+            .and_then(|c| c.get(comp))
+            .and_then(|c| c.get("cycles"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    for comp in COMPONENTS {
+        let windowed = sum_u(&format!("{comp}_cycles"));
+        let total = component_total(comp);
+        if windowed != total {
+            return Err(ctx(&format!(
+                "{comp} cycles sum to {windowed} over windows, \
+                 breakdown section totals {total}"
+            )));
+        }
     }
     Ok(())
 }
@@ -1039,6 +1180,51 @@ mod tests {
                     killed: true,
                 },
             ),
+            // Two gapless walks on lane 0 (completions at 20 and 45),
+            // so the breakdown section's lane reconciliation holds:
+            // lane_cycles_max == horizon == 45.
+            (
+                20,
+                Event::WalkBreakdown {
+                    walk: 0,
+                    lane: 0,
+                    ix_probe: 1,
+                    compute: 4,
+                    queue: 0,
+                    stall: 15,
+                    hidden: 0,
+                    latency: 20,
+                },
+            ),
+            (
+                20,
+                Event::WalkEnd {
+                    walk: 0,
+                    lane: 0,
+                    latency: 20,
+                },
+            ),
+            (
+                45,
+                Event::WalkBreakdown {
+                    walk: 1,
+                    lane: 0,
+                    ix_probe: 1,
+                    compute: 2,
+                    queue: 2,
+                    stall: 18,
+                    hidden: 2,
+                    latency: 25,
+                },
+            ),
+            (
+                45,
+                Event::WalkEnd {
+                    walk: 1,
+                    lane: 0,
+                    latency: 25,
+                },
+            ),
         ]
     }
 
@@ -1098,6 +1284,12 @@ mod tests {
         );
         assert_eq!(d.events_by_kind["split"], 1);
         assert_eq!(d.events_by_kind["invalidate"], 1);
+        let breakdown = d.breakdown.as_ref().expect("breakdown section present");
+        assert_eq!(breakdown.walks, 2);
+        assert_eq!(breakdown.latency_total, 45);
+        assert_eq!(breakdown.cycles_total(), 45, "components partition latency");
+        assert_eq!(breakdown.lane_cycles_max, 45);
+        assert_eq!(breakdown.horizon, 45, "lane sum reconciles with horizon");
         validate_analysis(&trace.to_json()).expect("valid document");
     }
 
@@ -1119,6 +1311,33 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_inflated_stall_component() {
+        let mut a = StreamAnalyzer::new(16);
+        for (at, ev) in sample_events() {
+            a.observe_event(at, &ev);
+        }
+        let mut trace = TraceAnalysis::default();
+        trace.fold("metal", a.finish());
+        let rendered = trace.to_json().render();
+        // Inflate the stall component total (the ci.sh sed forge): the
+        // partition row must fail and name the components sum.
+        let forged = rendered.replacen("\"stall\":{\"cycles\":33", "\"stall\":{\"cycles\":43", 1);
+        assert_ne!(forged, rendered, "forge must hit the stall total");
+        let err = validate_analysis(&Json::parse(&forged).unwrap())
+            .expect_err("inflated stall must fail validation");
+        assert!(
+            err.contains("components sum to"),
+            "error names the partition row: {err}"
+        );
+        // Break the lane reconciliation: the horizon row must fail.
+        let forged = rendered.replacen("\"lane_cycles_max\":45", "\"lane_cycles_max\":44", 1);
+        assert_ne!(forged, rendered, "forge must hit lane_cycles_max");
+        let err = validate_analysis(&Json::parse(&forged).unwrap())
+            .expect_err("broken lane reconciliation must fail validation");
+        assert!(err.contains("reconcile with exec horizon"), "{err}");
+    }
+
+    #[test]
     fn windowed_paths_agree_and_series_conservation_gates() {
         let spec = EpochSpec::Cycles(5);
         let mut live = StreamAnalyzer::new(16).with_epoch(Some(spec));
@@ -1132,7 +1351,11 @@ mod tests {
         let (live, offline) = (live.finish(), offline.finish());
         assert_eq!(live, offline, "windowed in-process == offline replay");
         let series = live.series.as_ref().expect("series present");
-        assert_eq!(series.windows.len(), 3, "sample spans cycles 1..=12");
+        assert_eq!(
+            series.windows.len(),
+            5,
+            "sample occupies sparse cycle epochs {{0,1,2,4,9}}"
+        );
         let mut trace = TraceAnalysis::default();
         trace.fold("metal", live);
         let doc = trace.to_json();
@@ -1148,6 +1371,13 @@ mod tests {
             validate_analysis(&forged_doc).is_err(),
             "forged window counter must fail validation"
         );
+        // Forge one window's stall cycles: the breakdown section stays
+        // untouched, so the cycle-column conservation row must catch it.
+        let forged = rendered.replacen("\"stall_cycles\":15", "\"stall_cycles\":16", 1);
+        assert_ne!(forged, rendered, "forge must hit a window cycle column");
+        let err = validate_analysis(&Json::parse(&forged).unwrap())
+            .expect_err("forged window cycle column must fail validation");
+        assert!(err.contains("stall cycles sum to"), "{err}");
     }
 
     #[test]

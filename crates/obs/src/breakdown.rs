@@ -1,0 +1,199 @@
+//! Cycle-accounting reduction: where did every walk cycle go?
+//!
+//! The engine attributes each walk's latency to five causes and emits
+//! them as one `walk_breakdown` event per walk (see
+//! [`metal_sim::obs::Event::WalkBreakdown`]); this module folds those
+//! events into the per-design [`BreakdownAgg`] that lands in
+//! `ANALYSIS.json` under the `metal-breakdown-v1` schema tag.
+//!
+//! Two hard identities make the section forgery-evident, and
+//! `validate_analysis` checks both:
+//!
+//! - **partition**: the five component cycle totals sum exactly to the
+//!   summed walk latency (`latency_total`), because the engine's
+//!   per-walk step intervals are contiguous;
+//! - **per-lane reconciliation**: walks on one engine slot chain
+//!   gaplessly from cycle zero, so a slot's latency sum equals its last
+//!   completion time; the busiest slot's sum (`lane_cycles_max`) must
+//!   therefore equal the latest breakdown timestamp seen (`horizon`,
+//!   which is the stream's `exec_cycles`).
+//!
+//! Everything merges like the rest of the forensic stack: sums and
+//! elementwise histogram adds for the components, `max` for the two
+//! reconciliation scalars — commutative and associative, so
+//! `shards=1 == shards=k` bit-identically.
+
+use crate::json::Json;
+use crate::reuse::LogHist;
+use std::collections::BTreeMap;
+
+/// Schema tag of the per-design breakdown section in `ANALYSIS.json`.
+pub const BREAKDOWN_SCHEMA: &str = "metal-breakdown-v1";
+
+/// Component order used everywhere (JSON section, reports, tables).
+pub const COMPONENTS: [&str; 5] = ["ix_probe", "compute", "queue", "stall", "hidden"];
+
+/// Per-design cycle-accounting rollup: totals and log₂ histograms per
+/// component, plus the two reconciliation scalars.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BreakdownAgg {
+    /// Walks that carried a breakdown event.
+    pub walks: u64,
+    /// Sum of those walks' latencies (the components' exact sum).
+    pub latency_total: u64,
+    /// Component cycle totals, in [`COMPONENTS`] order.
+    pub cycles: [u64; 5],
+    /// Per-walk log₂ histograms of each component, in the same order.
+    pub hists: [LogHist; 5],
+    /// Max over (stream, lane) of the lane's summed walk latencies —
+    /// equals that stream's `exec_cycles` on the busiest lane.
+    pub lane_cycles_max: u64,
+    /// Latest breakdown-event timestamp seen (a stream's last walk
+    /// completion, i.e. its `exec_cycles`); merges by `max` like
+    /// `RunStats::exec_cycles`.
+    pub horizon: u64,
+}
+
+impl BreakdownAgg {
+    /// Sum of all component totals (equals `latency_total` on honest
+    /// streams — the validator's partition row).
+    pub fn cycles_total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Folds another shard's rollup into `self`; commutative and
+    /// associative (sums, histogram adds, `max` for the scalars).
+    pub fn merge(&mut self, other: &BreakdownAgg) {
+        self.walks += other.walks;
+        self.latency_total += other.latency_total;
+        for (c, o) in self.cycles.iter_mut().zip(other.cycles.iter()) {
+            *c += o;
+        }
+        for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
+            h.merge(o);
+        }
+        self.lane_cycles_max = self.lane_cycles_max.max(other.lane_cycles_max);
+        self.horizon = self.horizon.max(other.horizon);
+    }
+
+    /// The `ANALYSIS.json` section. Deterministic field order; equal
+    /// aggregates render equal bytes regardless of merge order.
+    pub fn to_json(&self) -> Json {
+        let components = Json::Obj(
+            COMPONENTS
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| {
+                    (
+                        name.to_string(),
+                        Json::Obj(vec![
+                            ("cycles".into(), Json::UInt(self.cycles[i])),
+                            ("log2".into(), self.hists[i].to_json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema".into(), Json::str(BREAKDOWN_SCHEMA)),
+            ("walks".into(), Json::UInt(self.walks)),
+            ("latency_total".into(), Json::UInt(self.latency_total)),
+            ("components".into(), components),
+            ("lane_cycles_max".into(), Json::UInt(self.lane_cycles_max)),
+            ("horizon".into(), Json::UInt(self.horizon)),
+        ])
+    }
+}
+
+/// Per-stream accumulation state: the rollup plus the per-lane latency
+/// sums the reconciliation scalars are folded from at stream end.
+#[derive(Debug, Clone, Default)]
+pub struct BreakdownState {
+    agg: BreakdownAgg,
+    lane_cycles: BTreeMap<u64, u64>,
+}
+
+impl BreakdownState {
+    /// Folds one walk's breakdown (component values in [`COMPONENTS`]
+    /// order) observed at cycle `at` on `lane`.
+    pub fn observe(&mut self, at: u64, lane: u64, parts: [u64; 5], latency: u64) {
+        self.agg.walks += 1;
+        self.agg.latency_total += latency;
+        for (i, v) in parts.into_iter().enumerate() {
+            self.agg.cycles[i] += v;
+            self.agg.hists[i].observe(v);
+        }
+        self.agg.horizon = self.agg.horizon.max(at);
+        *self.lane_cycles.entry(lane).or_insert(0) += latency;
+    }
+
+    /// Whether any breakdown event was observed.
+    pub fn is_empty(&self) -> bool {
+        self.agg.walks == 0
+    }
+
+    /// Closes the stream: folds the per-lane sums into
+    /// `lane_cycles_max` and returns the finished rollup.
+    pub fn finish(self) -> BreakdownAgg {
+        let mut agg = self.agg;
+        agg.lane_cycles_max = self.lane_cycles.values().copied().max().unwrap_or(0);
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BreakdownState {
+        let mut s = BreakdownState::default();
+        // Two lanes, gapless walks: lane 0 ends at 100 then 250, lane 1
+        // ends at 90.
+        s.observe(100, 0, [5, 10, 0, 85, 0], 100);
+        s.observe(250, 0, [5, 15, 10, 100, 20], 150);
+        s.observe(90, 1, [2, 8, 0, 80, 0], 90);
+        s
+    }
+
+    #[test]
+    fn rollup_conserves_and_reconciles() {
+        let agg = sample().finish();
+        assert_eq!(agg.walks, 3);
+        assert_eq!(agg.latency_total, 340);
+        assert_eq!(agg.cycles_total(), agg.latency_total);
+        assert_eq!(agg.lane_cycles_max, 250, "busiest lane's latency sum");
+        assert_eq!(agg.horizon, 250, "latest completion seen");
+        for h in &agg.hists {
+            assert_eq!(h.total(), agg.walks, "one sample per walk per component");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_single_stream() {
+        let whole = sample().finish();
+        let mut a = BreakdownState::default();
+        a.observe(100, 0, [5, 10, 0, 85, 0], 100);
+        a.observe(250, 0, [5, 15, 10, 100, 20], 150);
+        let mut b = BreakdownState::default();
+        b.observe(90, 1, [2, 8, 0, 80, 0], 90);
+        let (a, b) = (a.finish(), b.finish());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab, whole, "split streams merge to the whole");
+    }
+
+    #[test]
+    fn json_section_is_tagged_and_ordered() {
+        let rendered = sample().finish().to_json().render();
+        assert!(rendered.contains("\"schema\":\"metal-breakdown-v1\""));
+        for name in COMPONENTS {
+            assert!(rendered.contains(&format!("\"{name}\"")), "{name} present");
+        }
+        let stall = rendered.find("\"stall\"").unwrap();
+        let hidden = rendered.find("\"hidden\"").unwrap();
+        assert!(stall < hidden, "components render in fixed order");
+    }
+}

@@ -38,6 +38,25 @@ pub fn event_fields(ev: &Event) -> Vec<(&'static str, Json)> {
             ("lane", Json::UInt(lane as u64)),
             ("latency", Json::UInt(latency)),
         ],
+        Event::WalkBreakdown {
+            walk,
+            lane,
+            ix_probe,
+            compute,
+            queue,
+            stall,
+            hidden,
+            latency,
+        } => vec![
+            ("walk", Json::UInt(walk)),
+            ("lane", Json::UInt(lane as u64)),
+            ("ix_probe", Json::UInt(ix_probe)),
+            ("compute", Json::UInt(compute)),
+            ("queue", Json::UInt(queue)),
+            ("stall", Json::UInt(stall)),
+            ("hidden", Json::UInt(hidden)),
+            ("latency", Json::UInt(latency)),
+        ],
         Event::DramFetch {
             lane,
             addr,

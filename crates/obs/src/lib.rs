@@ -24,6 +24,9 @@
 //! - [`analysis`] — the per-stream analyzer tying the forensics
 //!   together, its associative per-design merge, the `ANALYSIS.json`
 //!   schema and its validator, and the in-process registry sink.
+//! - [`breakdown`] — cycle-accounting rollups over the per-walk
+//!   `walk_breakdown` events (component totals, log₂ histograms, lane
+//!   reconciliation), conserved against walk latency by the validator.
 //! - [`timeseries`] — epoch-windowed counter series: merge-safe
 //!   per-window snapshots of the analyzer's counters, conserved against
 //!   the whole-run aggregates by the validator.
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod breakdown;
 pub mod chrome;
 pub mod flight;
 pub mod json;
@@ -59,6 +63,7 @@ pub use analysis::{
     validate_analysis, validate_analysis_gated, AnalysisRegistry, AnalysisSink, DesignAnalysis,
     StreamAnalyzer, TraceAnalysis, ANALYSIS_SCHEMA, SERIES_SCHEMA,
 };
+pub use breakdown::{BreakdownAgg, BreakdownState, BREAKDOWN_SCHEMA};
 pub use chrome::{ChromeTraceSink, ChromeTraceWriter};
 pub use flight::{FlightRecorder, FlightSink, DEFAULT_FLIGHT_CAPACITY};
 pub use json::{Json, JsonError};

@@ -46,7 +46,7 @@ fn latency_json(l: &LatencyStats) -> Json {
 
 /// Serializes the full merged statistics of one run.
 pub fn stats_json(s: &RunStats) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("walks".into(), Json::UInt(s.walks)),
         ("found_walks".into(), Json::UInt(s.found_walks)),
         ("exec_cycles".into(), Json::UInt(s.exec_cycles.get())),
@@ -76,7 +76,24 @@ pub fn stats_json(s: &RunStats) -> Json {
         ("walker_energy_fj".into(), Json::UInt(s.walker_energy_fj)),
         ("compute_ops".into(), Json::UInt(s.compute_ops)),
         ("walk_latency".into(), latency_json(&s.walk_latency)),
-    ])
+    ];
+    // Cycle-accounting totals, present only when the run attributed
+    // cycles (simulator runs; native and legacy stats stay unchanged).
+    let b = &s.breakdown;
+    if b.total() > 0 {
+        fields.push((
+            "breakdown".into(),
+            Json::Obj(vec![
+                ("ix_probe_cycles".into(), Json::UInt(b.ix_probe_cycles)),
+                ("compute_cycles".into(), Json::UInt(b.compute_cycles)),
+                ("queue_cycles".into(), Json::UInt(b.queue_cycles)),
+                ("stall_cycles".into(), Json::UInt(b.stall_cycles)),
+                ("hidden_cycles".into(), Json::UInt(b.hidden_cycles)),
+                ("stall_fraction".into(), Json::Num(b.stall_fraction())),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 /// One (workload, design) result inside a manifest.

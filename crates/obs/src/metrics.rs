@@ -201,6 +201,7 @@ impl MetricsSnapshot {
             // entry is already counted in occupancy by its fill.
             Event::WalkStart { .. }
             | Event::WalkEnd { .. }
+            | Event::WalkBreakdown { .. }
             | Event::DramFetch { .. }
             | Event::Coalesce { .. }
             | Event::Split { .. } => {}

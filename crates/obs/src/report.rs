@@ -6,7 +6,9 @@
 //! occupancy heatmap is an SVG grid shaded by final occupancy.
 
 use crate::analysis::{DesignAnalysis, TraceAnalysis};
+use crate::breakdown::COMPONENTS;
 use crate::reuse::LogHist;
+use crate::timeseries::WindowCounters;
 use crate::watchdog::{scan_analysis, WatchdogConfig};
 use metal_sim::obs::WIDE_SET;
 
@@ -263,6 +265,125 @@ fn svg_series_line(title: &str, points: &[(u64, f64)]) -> String {
     )
 }
 
+/// The five window cycle columns in [`COMPONENTS`] order.
+fn window_cycles(w: &WindowCounters) -> [u64; 5] {
+    [
+        w.ix_probe_cycles,
+        w.compute_cycles,
+        w.queue_cycles,
+        w.stall_cycles,
+        w.hidden_cycles,
+    ]
+}
+
+/// One horizontal stacked bar over the five component totals, with a
+/// legend row per component.
+fn svg_breakdown_stack(cycles: [u64; 5]) -> String {
+    let total: u64 = cycles.iter().sum();
+    if total == 0 {
+        return "<p class=\"empty\">no cycles attributed</p>".to_string();
+    }
+    let bar_w = 520.0;
+    let mut s = String::from("<svg width=\"530\" height=\"30\" role=\"img\">");
+    let mut x = 5.0;
+    for (i, (&name, &c)) in COMPONENTS.iter().zip(cycles.iter()).enumerate() {
+        let w = c as f64 / total as f64 * bar_w;
+        if c > 0 {
+            s.push_str(&format!(
+                "<rect class=\"seg{i}\" x=\"{x:.1}\" y=\"4\" width=\"{w:.1}\" height=\"20\">\
+                 <title>{name}: {c} cycles ({:.1}%)</title></rect>",
+                100.0 * c as f64 / total as f64
+            ));
+        }
+        x += w;
+    }
+    s.push_str("</svg>");
+    let legend: Vec<(String, String)> = COMPONENTS
+        .iter()
+        .zip(cycles.iter())
+        .map(|(&name, &c)| {
+            (
+                name.to_string(),
+                format!("{c} cycles ({:.1}%)", 100.0 * c as f64 / total as f64),
+            )
+        })
+        .collect();
+    format!("{s}{}", counter_table(&legend))
+}
+
+/// Per-epoch stacked bars of the window cycle columns: one bar per
+/// window, components stacked bottom-up in [`COMPONENTS`] order.
+fn svg_breakdown_epochs(series: &crate::timeseries::TimeSeries) -> String {
+    let bars: Vec<(u64, [u64; 5])> = series
+        .windows
+        .iter()
+        .map(|(&e, w)| (e, window_cycles(w)))
+        .filter(|(_, c)| c.iter().any(|&v| v > 0))
+        .collect();
+    if bars.is_empty() {
+        return String::new();
+    }
+    let max: u64 = bars
+        .iter()
+        .map(|(_, c)| c.iter().sum::<u64>())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let bw = 26usize;
+    let h = 110.0;
+    let w = bars.len() * bw + 10;
+    let mut s = format!(
+        "<figure class=\"series\"><figcaption>Cycle breakdown per epoch \
+         (stacked: {} bottom-up)</figcaption>\
+         <svg width=\"{w}\" height=\"{}\" role=\"img\">",
+        esc(&COMPONENTS.join(" → ")),
+        h + 30.0
+    );
+    for (i, (e, cycles)) in bars.iter().enumerate() {
+        let x = 5 + i * bw;
+        let mut y = h;
+        for (k, (&name, &c)) in COMPONENTS.iter().zip(cycles.iter()).enumerate() {
+            let seg = c as f64 / max as f64 * h;
+            if c > 0 {
+                y -= seg;
+                s.push_str(&format!(
+                    "<rect class=\"seg{k}\" x=\"{x}\" y=\"{y:.1}\" width=\"{}\" \
+                     height=\"{seg:.1}\"><title>epoch {e} {name}: {c}</title></rect>",
+                    bw - 4,
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" class=\"tick\">{e}</text>",
+            x + (bw - 4) / 2,
+            h + 14.0
+        ));
+    }
+    s.push_str("</svg></figure>");
+    s
+}
+
+/// Cycle-accounting panels for a design whose stream carried breakdown
+/// events: the whole-run stacked bar and, when windowed, the per-epoch
+/// stacked series.
+fn breakdown_panels(d: &DesignAnalysis) -> String {
+    let Some(b) = &d.breakdown else {
+        return String::new();
+    };
+    let epochs = d
+        .series
+        .as_ref()
+        .map(svg_breakdown_epochs)
+        .unwrap_or_default();
+    format!(
+        "<h3>Cycle breakdown ({} walks, {} cycles attributed)</h3>{}{}",
+        b.walks,
+        b.latency_total,
+        svg_breakdown_stack(b.cycles),
+        epochs
+    )
+}
+
 /// Per-epoch charts for a design that carried a telemetry series.
 fn series_section(d: &DesignAnalysis) -> String {
     let Some(series) = &d.series else {
@@ -387,7 +508,7 @@ fn design_section(name: &str, d: &DesignAnalysis) -> String {
          <h3>Admission breakdown</h3>{}\
          {}{}{}{}\
          <h3>Per-set occupancy</h3>{}\
-         <h3>Tuner decisions</h3>{}{}</section>",
+         <h3>Tuner decisions</h3>{}{}{}</section>",
         esc(name),
         counter_table(&reasons),
         svg_log_hist(
@@ -400,6 +521,7 @@ fn design_section(name: &str, d: &DesignAnalysis) -> String {
         svg_log_hist("Regret distance in probes (log2)", &rg.regret_distance, &[]),
         svg_occupancy(d),
         svg_tuner_timeline(d),
+        breakdown_panels(d),
         series_section(d),
     )
 }
@@ -431,6 +553,13 @@ pub struct MeasuredRow {
     pub hot_hits: u64,
     /// Node reads that went to the page layer and deserialized.
     pub cold_reads: u64,
+    /// The simulator's predicted exposed-stall fraction for the paired
+    /// sim run: `(stall − hidden) / latency_total` from its cycle
+    /// breakdown. `None` when the sim report carried no breakdown.
+    pub modeled_stall_fraction: Option<f64>,
+    /// Measured fraction of native wall time spent inside page reads —
+    /// the native analogue of modeled DRAM stall.
+    pub measured_page_io_fraction: f64,
 }
 
 /// The measured-vs-modeled table: one row per native run in the
@@ -447,18 +576,24 @@ fn measured_section(rows: &[MeasuredRow]) -> String {
          one run.</p>\
          <table class=\"measured\"><tr><th>workload</th><th>design</th>\
          <th>walks</th><th>modeled cycles</th><th>modeled node fetches</th>\
+         <th>modeled stall %</th><th>measured page-I/O %</th>\
          <th>measured walks/s</th><th>page reads</th><th>page writes</th>\
          <th>hot-map hits</th><th>cold reads</th></tr>",
     );
     for r in rows {
         let cycles = r.modeled_cycles.map_or("–".to_string(), |c| c.to_string());
+        let stall = r
+            .modeled_stall_fraction
+            .map_or("–".to_string(), |f| format!("{:.1}%", 100.0 * f));
         s.push_str(&format!(
             "<tr><td>{}</td><td>{}</td><td>{}</td><td>{cycles}</td><td>{}</td>\
+             <td>{stall}</td><td>{:.1}%</td>\
              <td>{:.0}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
             esc(&r.workload),
             esc(&r.design),
             r.walks,
             r.modeled_node_fetches,
+            100.0 * r.measured_page_io_fraction,
             r.walks_per_sec,
             r.page_reads,
             r.page_writes,
@@ -505,6 +640,8 @@ pub fn render_html_with_measured(
          table.measured td:nth-child(2),table.measured th:nth-child(2)\
          {{text-align:left}}\
          .bar{{fill:#5b7fb8}}.bar.alt{{fill:#b85b5b}}\
+         .seg0{{fill:#8e6bb8}}.seg1{{fill:#5bb87f}}.seg2{{fill:#c9b458}}\
+         .seg3{{fill:#b85b5b}}.seg4{{fill:#9db8d2}}\
          .tick{{font-size:9px;fill:#666;text-anchor:middle}}\
          svg text.tick{{text-anchor:start}}svg .bar+text.tick{{text-anchor:middle}}\
          .axis{{stroke:#ddd}}.dot{{fill:#b8745b}}\
@@ -592,11 +729,56 @@ mod tests {
             page_writes: 12,
             hot_hits: 7647,
             cold_reads: 3050,
+            modeled_stall_fraction: Some(0.6125),
+            measured_page_io_fraction: 0.4812,
         }];
         let html = render_html_with_measured(&TraceAnalysis::default(), "m", &rows);
         assert!(html.contains("Measured vs modeled"));
         assert!(html.contains("<td>123456</td>"), "modeled cycles cell");
         assert!(html.contains("<td>380000</td>"), "throughput rounded");
         assert!(html.contains("metal:native"));
+        assert!(
+            html.contains("<td>61.3%</td><td>48.1%</td>"),
+            "modeled stall and measured page-I/O fractions sit side by side"
+        );
+    }
+
+    #[test]
+    fn breakdown_panel_renders_stacked_bar_and_epoch_series() {
+        let mut a =
+            StreamAnalyzer::new(4).with_epoch(Some(metal_sim::epoch::EpochSpec::Cycles(32)));
+        for (walk, at, stall) in [(0u64, 20u64, 15u64), (1, 45, 18)] {
+            a.observe_event(
+                at,
+                &Event::WalkBreakdown {
+                    walk,
+                    lane: 0,
+                    ix_probe: 1,
+                    compute: 3,
+                    queue: 1,
+                    stall,
+                    hidden: 0,
+                    latency: 5 + stall,
+                },
+            );
+            a.observe_event(
+                at,
+                &Event::WalkEnd {
+                    walk,
+                    lane: 0,
+                    latency: 5 + stall,
+                },
+            );
+        }
+        let mut trace = TraceAnalysis::default();
+        trace.fold("metal", a.finish());
+        let html = render_html(&trace, "b");
+        assert!(html.contains("Cycle breakdown (2 walks"));
+        assert!(html.contains("class=\"seg3\""), "stall segment drawn");
+        assert!(
+            html.contains("Cycle breakdown per epoch"),
+            "windowed stacked series rendered"
+        );
+        assert!(html.contains("stall: 33 cycles"), "legend totals stall");
     }
 }

@@ -71,6 +71,19 @@ pub struct WindowCounters {
     pub regretted: u64,
     /// Regret windows resolved *vindicated* by probes in this epoch.
     pub vindicated: u64,
+    /// Cycle-accounting deltas of this epoch's completed walks
+    /// (`walk_breakdown` events): SRAM probe cycles, walker compute,
+    /// queueing, exposed DRAM stall, and MLP-hidden DRAM wait. Each
+    /// summed over windows equals the whole-run breakdown aggregate.
+    pub ix_probe_cycles: u64,
+    /// Walker compute cycles of this epoch's completed walks.
+    pub compute_cycles: u64,
+    /// Queueing-delay cycles of this epoch's completed walks.
+    pub queue_cycles: u64,
+    /// Exposed DRAM-stall cycles of this epoch's completed walks.
+    pub stall_cycles: u64,
+    /// MLP-hidden DRAM wait cycles of this epoch's completed walks.
+    pub hidden_cycles: u64,
     /// Walk-latency histogram delta (log₂ buckets) of this epoch's
     /// completed walks.
     pub latency_log2: LogHist,
@@ -107,6 +120,11 @@ impl WindowCounters {
         self.occupancy_delta += other.occupancy_delta;
         self.regretted += other.regretted;
         self.vindicated += other.vindicated;
+        self.ix_probe_cycles += other.ix_probe_cycles;
+        self.compute_cycles += other.compute_cycles;
+        self.queue_cycles += other.queue_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.hidden_cycles += other.hidden_cycles;
         self.latency_log2.merge(&other.latency_log2);
     }
 
@@ -129,6 +147,20 @@ impl WindowCounters {
             Event::WalkEnd { latency, .. } => {
                 self.walks += 1;
                 self.latency_log2.observe(latency);
+            }
+            Event::WalkBreakdown {
+                ix_probe,
+                compute,
+                queue,
+                stall,
+                hidden,
+                ..
+            } => {
+                self.ix_probe_cycles += ix_probe;
+                self.compute_cycles += compute;
+                self.queue_cycles += queue;
+                self.stall_cycles += stall;
+                self.hidden_cycles += hidden;
             }
             Event::DramFetch { bytes, .. } => {
                 self.dram_fetches += 1;
@@ -185,6 +217,13 @@ impl WindowCounters {
             "walk_end" => {
                 self.walks += 1;
                 self.latency_log2.observe(u("latency"));
+            }
+            "walk_breakdown" => {
+                self.ix_probe_cycles += u("ix_probe");
+                self.compute_cycles += u("compute");
+                self.queue_cycles += u("queue");
+                self.stall_cycles += u("stall");
+                self.hidden_cycles += u("hidden");
             }
             "dram_fetch" => {
                 self.dram_fetches += 1;
@@ -294,6 +333,11 @@ impl WindowCounters {
             ("occupancy_delta".into(), occupancy),
             ("regretted".into(), Json::UInt(self.regretted)),
             ("vindicated".into(), Json::UInt(self.vindicated)),
+            ("ix_probe_cycles".into(), Json::UInt(self.ix_probe_cycles)),
+            ("compute_cycles".into(), Json::UInt(self.compute_cycles)),
+            ("queue_cycles".into(), Json::UInt(self.queue_cycles)),
+            ("stall_cycles".into(), Json::UInt(self.stall_cycles)),
+            ("hidden_cycles".into(), Json::UInt(self.hidden_cycles)),
             ("latency_log2".into(), self.latency_log2.to_json()),
         ])
     }
@@ -360,6 +404,16 @@ mod tests {
 
     fn events() -> Vec<Event> {
         vec![
+            Event::WalkBreakdown {
+                walk: 0,
+                lane: 0,
+                ix_probe: 2,
+                compute: 8,
+                queue: 5,
+                stall: 60,
+                hidden: 15,
+                latency: 90,
+            },
             Event::WalkEnd {
                 walk: 0,
                 lane: 0,
@@ -457,6 +511,17 @@ mod tests {
         assert_eq!(live.invalidation_shrinks, 1);
         assert_eq!(live.occupancy_delta, 0, "one fill, one evict");
         assert_eq!(live.latency_log2.total(), 1);
+        assert_eq!(
+            live.ix_probe_cycles
+                + live.compute_cycles
+                + live.queue_cycles
+                + live.stall_cycles
+                + live.hidden_cycles,
+            90,
+            "breakdown cycle columns partition the walk's latency"
+        );
+        assert_eq!(live.stall_cycles, 60);
+        assert_eq!(live.hidden_cycles, 15);
     }
 
     #[test]

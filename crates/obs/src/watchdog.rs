@@ -14,6 +14,12 @@
 //! - **regret spike** — regret verdicts in the window exceed
 //!   [`WatchdogConfig::regret_spike_ratio`] × the trailing mean and the
 //!   [`WatchdogConfig::min_regret`] floor.
+//! - **stall collapse** — the window's DRAM-stall fraction of attributed
+//!   walk cycles falls below [`WatchdogConfig::stall_collapse_ratio`] ×
+//!   the trailing mean *and* under the
+//!   [`WatchdogConfig::compute_bound_stall`] absolute bar while the
+//!   baseline was memory-bound: the walks went compute-bound, so the
+//!   cache stopped helping.
 //!
 //! A window only fires once its baseline is fully populated and it has
 //! at least [`WatchdogConfig::min_probes`] probes, so short runs and
@@ -43,6 +49,14 @@ pub struct WatchdogConfig {
     pub regret_spike_ratio: f64,
     /// Regret spike: absolute floor of regret verdicts in the window.
     pub min_regret: u64,
+    /// Stall collapse: fire when `stall_frac < ratio × baseline`.
+    pub stall_collapse_ratio: f64,
+    /// Stall collapse: the compute-bound bar — the window must fall
+    /// under it and the baseline must have been above it.
+    pub compute_bound_stall: f64,
+    /// Stall collapse: minimum attributed cycles in a window before the
+    /// detector may fire (the breakdown analogue of `min_probes`).
+    pub min_breakdown_cycles: u64,
 }
 
 impl Default for WatchdogConfig {
@@ -55,6 +69,9 @@ impl Default for WatchdogConfig {
             scan_evict_ratio: 2.0,
             regret_spike_ratio: 4.0,
             min_regret: 8,
+            stall_collapse_ratio: 0.5,
+            compute_bound_stall: 0.25,
+            min_breakdown_cycles: 1024,
         }
     }
 }
@@ -68,6 +85,9 @@ pub enum AlertKind {
     ScanStorm,
     /// Windowed eviction regret spiked versus the trailing baseline.
     RegretSpike,
+    /// DRAM-stall fraction collapsed into compute-bound territory — the
+    /// walks no longer wait on memory, so the cache stopped helping.
+    StallCollapse,
 }
 
 impl AlertKind {
@@ -77,6 +97,7 @@ impl AlertKind {
             AlertKind::HitRateCollapse => "hit-rate-collapse",
             AlertKind::ScanStorm => "scan-storm",
             AlertKind::RegretSpike => "regret-spike",
+            AlertKind::StallCollapse => "stall-collapse",
         }
     }
 }
@@ -117,6 +138,7 @@ struct Baseline {
     hit_rates: VecDeque<f64>,
     evictions: VecDeque<f64>,
     regrets: VecDeque<f64>,
+    stall_fracs: VecDeque<f64>,
     cap: usize,
 }
 
@@ -126,6 +148,7 @@ impl Baseline {
             hit_rates: VecDeque::new(),
             evictions: VecDeque::new(),
             regrets: VecDeque::new(),
+            stall_fracs: VecDeque::new(),
             cap,
         }
     }
@@ -134,11 +157,12 @@ impl Baseline {
         self.hit_rates.len() == self.cap
     }
 
-    fn push(&mut self, hit_rate: f64, evictions: f64, regret: f64) {
+    fn push(&mut self, hit_rate: f64, evictions: f64, regret: f64, stall_frac: f64) {
         for (q, v) in [
             (&mut self.hit_rates, hit_rate),
             (&mut self.evictions, evictions),
             (&mut self.regrets, regret),
+            (&mut self.stall_fracs, stall_frac),
         ] {
             q.push_back(v);
             if q.len() > self.cap {
@@ -166,6 +190,36 @@ pub fn scan_series(design: &str, series: &TimeSeries, cfg: &WatchdogConfig) -> V
         let hit_rate = if w.probes > 0 { hits / probes } else { 0.0 };
         let evictions = w.evictions_total() as f64;
         let regret = w.regretted as f64;
+        let cycles = w.ix_probe_cycles
+            + w.compute_cycles
+            + w.queue_cycles
+            + w.stall_cycles
+            + w.hidden_cycles;
+        let stall_frac = if cycles > 0 {
+            w.stall_cycles as f64 / cycles as f64
+        } else {
+            0.0
+        };
+        if base.full() && cycles >= cfg.min_breakdown_cycles {
+            let base_stall = Baseline::mean(&base.stall_fracs);
+            if base_stall > cfg.compute_bound_stall
+                && stall_frac < cfg.stall_collapse_ratio * base_stall
+                && stall_frac < cfg.compute_bound_stall
+            {
+                alerts.push(Alert {
+                    design: design.to_string(),
+                    epoch,
+                    kind: AlertKind::StallCollapse,
+                    value: stall_frac,
+                    baseline: base_stall,
+                    detail: format!(
+                        "stall fraction {stall_frac:.3} collapsed from trailing \
+                         {base_stall:.3} into compute-bound territory — the cache \
+                         stopped helping"
+                    ),
+                });
+            }
+        }
         if base.full() && w.probes >= cfg.min_probes {
             let base_hit = Baseline::mean(&base.hit_rates);
             if base_hit > 0.0 && hit_rate < cfg.hit_collapse_ratio * base_hit {
@@ -213,7 +267,7 @@ pub fn scan_series(design: &str, series: &TimeSeries, cfg: &WatchdogConfig) -> V
                 });
             }
         }
-        base.push(hit_rate, evictions, regret);
+        base.push(hit_rate, evictions, regret, stall_frac);
     }
     alerts
 }
@@ -318,6 +372,63 @@ mod tests {
         assert!(kinds.contains(&AlertKind::ScanStorm), "{kinds:?}");
         assert!(kinds.contains(&AlertKind::RegretSpike), "{kinds:?}");
         assert!(alerts.iter().all(|a| a.epoch == 5));
+    }
+
+    #[test]
+    fn stall_collapse_fires_when_walks_go_compute_bound() {
+        let mut s = TimeSeries::new(EpochSpec::Walks(100));
+        // Memory-bound baseline: ~80% of attributed cycles are exposed
+        // DRAM stall.
+        for e in 0..6 {
+            let w = s.window_mut(e);
+            w.ix_probe_cycles = 300;
+            w.compute_cycles = 1500;
+            w.queue_cycles = 200;
+            w.stall_cycles = 8000;
+        }
+        // Epoch 6 goes compute-bound: 5% stall.
+        {
+            let w = s.window_mut(6);
+            w.ix_probe_cycles = 300;
+            w.compute_cycles = 9000;
+            w.queue_cycles = 200;
+            w.stall_cycles = 500;
+        }
+        let alerts = scan_series("metal", &s, &WatchdogConfig::default());
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::StallCollapse);
+        assert_eq!(alerts[0].epoch, 6);
+        assert!(alerts[0].value < 0.25, "window is compute-bound");
+        assert!(alerts[0].baseline > 0.25, "baseline was memory-bound");
+        assert!(alerts[0].detail.contains("compute-bound"));
+    }
+
+    #[test]
+    fn stall_collapse_respects_floor_and_baseline_regime() {
+        let cfg = WatchdogConfig::default();
+        // A collapse in a tiny window (under min_breakdown_cycles) must
+        // stay silent, as must one whose baseline was already
+        // compute-bound.
+        let mut s = TimeSeries::new(EpochSpec::Walks(100));
+        for e in 0..6 {
+            let w = s.window_mut(e);
+            w.compute_cycles = 100;
+            w.stall_cycles = 400; // memory-bound but only 500 cycles
+        }
+        s.window_mut(6).compute_cycles = 500;
+        assert!(scan_series("m", &s, &cfg).is_empty(), "under the floor");
+
+        let mut s = TimeSeries::new(EpochSpec::Walks(100));
+        for e in 0..7 {
+            let w = s.window_mut(e);
+            w.compute_cycles = 9000; // already compute-bound
+            w.stall_cycles = 1000;
+        }
+        s.window_mut(7).compute_cycles = 10_000;
+        assert!(
+            scan_series("m", &s, &cfg).is_empty(),
+            "no memory-bound regime to collapse from"
+        );
     }
 
     #[test]

@@ -31,10 +31,12 @@
 use crate::config::SimConfig;
 use crate::dram::Dram;
 use crate::obs::{emit_to, Event, SharedSink};
-use crate::stats::LatencyStats;
+use crate::stats::{BreakdownTotals, LatencyStats};
 use crate::types::{Addr, Cycles};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One step of a walk, as lowered by an index traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +100,10 @@ pub struct EngineReport {
     pub walks: u64,
     /// Per-walk latency distribution.
     pub walk_latency: LatencyStats,
+    /// Cycle-accounting totals: every walk cycle attributed to IX-probe,
+    /// compute, queueing, exposed DRAM stall, or MLP-hidden DRAM wait.
+    /// The components sum exactly to `walk_latency.total()`.
+    pub breakdown: BreakdownTotals,
 }
 
 /// The multiplexed walker engine: `lanes` concurrent walk contexts sharing a
@@ -136,6 +142,12 @@ pub struct Engine {
     sram_rr: usize,
     /// Optional telemetry sink; observe-only (see [`crate::obs`]).
     sink: Option<SharedSink>,
+    /// Optional atomic gauge fed with exposed DRAM-stall cycles per
+    /// completed walk (harness heartbeat; observe-only).
+    stall_gauge: Option<Arc<AtomicU64>>,
+    /// Optional atomic gauge fed with each walk's total latency cycles,
+    /// the denominator for the heartbeat's stall fraction.
+    cycle_gauge: Option<Arc<AtomicU64>>,
 }
 
 /// Number of banked ports on the shared cache SRAM (paper supplemental:
@@ -147,6 +159,45 @@ struct Lane {
     walk_start: Cycles,
     walk_id: u64,
     active: bool,
+    /// Per-walk cycle-accounting accumulators, reset at each `Done`.
+    /// `stall` is the raw DRAM wait; the exposed share is
+    /// `stall - hidden`.
+    ix_probe: u64,
+    compute: u64,
+    queue: u64,
+    stall: u64,
+    hidden: u64,
+    /// The slot's in-flight DRAM window `(issue, done)`, live from the
+    /// `Dram` dispatch until the slot next wakes. Sibling compute
+    /// dispatched while the window is live is credited to `hidden`.
+    inflight: Option<(u64, u64)>,
+}
+
+/// Credits the part of a compute interval `[start, end)` that runs while
+/// a sibling slot of the same physical lane has a DRAM fetch in flight:
+/// those wait cycles are hidden behind compute, not exposed stall.
+/// Compute intervals on one physical lane are disjoint (they serialize
+/// on the walker-free clock), so a window can never be credited for more
+/// than its own length.
+fn credit_hidden(
+    lane_state: &mut [Lane],
+    siblings: std::ops::Range<usize>,
+    me: usize,
+    start: u64,
+    end: u64,
+) {
+    for s in siblings {
+        if s == me {
+            continue;
+        }
+        if let Some((issue, done)) = lane_state[s].inflight {
+            let lo = issue.max(start);
+            let hi = done.min(end);
+            if hi > lo {
+                lane_state[s].hidden += hi - lo;
+            }
+        }
+    }
 }
 
 impl Engine {
@@ -158,7 +209,21 @@ impl Engine {
             sram_free: vec![Cycles::ZERO; SRAM_BANKS],
             sram_rr: 0,
             sink: None,
+            stall_gauge: None,
+            cycle_gauge: None,
         }
+    }
+
+    /// Attaches (or detaches) the heartbeat gauges: per completed walk,
+    /// `stall` accumulates the walk's exposed DRAM-stall cycles and
+    /// `total` its full latency. Observe-only, like the sink.
+    pub fn set_cycle_gauges(
+        &mut self,
+        stall: Option<Arc<AtomicU64>>,
+        total: Option<Arc<AtomicU64>>,
+    ) {
+        self.stall_gauge = stall;
+        self.cycle_gauge = total;
     }
 
     /// Attaches (or detaches) a telemetry sink. The sink observes
@@ -209,9 +274,21 @@ impl Engine {
                 walk_start: Cycles::ZERO,
                 walk_id: 0,
                 active: false,
+                ix_probe: 0,
+                compute: 0,
+                queue: 0,
+                stall: 0,
+                hidden: 0,
+                inflight: None,
             };
             lanes
         ];
+        // Per-slot sums of walk latencies: walks on one slot chain
+        // gaplessly from time zero, so each sum equals the slot's last
+        // completion time and the max over slots equals `exec_cycles` —
+        // the per-lane reconciliation identity asserted below.
+        let mut slot_cycles = vec![0u64; lanes];
+        let width = self.cfg.mlp_width;
         let mut report = EngineReport::default();
         let mut next_walk_id: u64 = 0;
         // Min-heap of (wake-time, lane).
@@ -263,9 +340,27 @@ impl Engine {
                 },
             };
             let now = Cycles::new(t);
+            // The slot is awake: if it was waiting on a DRAM fetch, that
+            // window is over — stop crediting sibling compute to it.
+            lane_state[lane].inflight = None;
             match program.step(lane, now) {
                 WalkStep::Dram { addr, bytes } => {
                     let done = self.dram.access(t, addr, bytes);
+                    lane_state[lane].stall += done.get() - t;
+                    if width > 1 {
+                        // Compute dispatched *before* this fetch may
+                        // still occupy the walker: `[t, busy_until)` has
+                        // no idle gaps (queued compute chains end to
+                        // end), so that whole prefix of the wait is
+                        // hidden. Compute dispatched later starts at or
+                        // after `busy_until` and is credited at its own
+                        // dispatch, so nothing is counted twice.
+                        let busy_until = walker_free[self.cfg.lane_of_slot(lane)].get();
+                        if busy_until > t {
+                            lane_state[lane].hidden += busy_until.min(done.get()) - t;
+                        }
+                        lane_state[lane].inflight = Some((t, done.get()));
+                    }
                     if self.sink.is_some() {
                         emit_to(
                             &self.sink,
@@ -289,6 +384,17 @@ impl Engine {
                     let phys = self.cfg.lane_of_slot(lane);
                     let start = now.max(walker_free[phys]);
                     walker_free[phys] = start + cycles;
+                    lane_state[lane].queue += start.get() - t;
+                    lane_state[lane].compute += cycles.get();
+                    if width > 1 {
+                        credit_hidden(
+                            &mut lane_state,
+                            phys * width..(phys + 1) * width,
+                            lane,
+                            start.get(),
+                            (start + cycles).get(),
+                        );
+                    }
                     schedule!(((start + cycles).get(), lane));
                 }
                 WalkStep::Sram { cycles } => {
@@ -302,6 +408,17 @@ impl Engine {
                     let start = now.max(walker_free[phys]).max(self.sram_free[bank]);
                     self.sram_free[bank] = start + Cycles::new(1);
                     walker_free[phys] = start + cycles;
+                    lane_state[lane].queue += start.get() - t;
+                    lane_state[lane].ix_probe += cycles.get();
+                    if width > 1 {
+                        credit_hidden(
+                            &mut lane_state,
+                            phys * width..(phys + 1) * width,
+                            lane,
+                            start.get(),
+                            (start + cycles).get(),
+                        );
+                    }
                     schedule!(((start + cycles).get(), lane));
                 }
                 WalkStep::Done => {
@@ -309,6 +426,50 @@ impl Engine {
                     report.walk_latency.record(latency);
                     report.walks += 1;
                     report.exec_cycles = report.exec_cycles.max(now);
+                    slot_cycles[lane] += latency.get();
+                    let st = &mut lane_state[lane];
+                    debug_assert!(
+                        st.hidden <= st.stall,
+                        "hidden DRAM wait exceeds the raw wait on slot {lane}"
+                    );
+                    let stall = st.stall - st.hidden;
+                    debug_assert_eq!(
+                        st.ix_probe + st.compute + st.queue + stall + st.hidden,
+                        latency.get(),
+                        "breakdown components must partition walk latency on slot {lane}"
+                    );
+                    report.breakdown.ix_probe_cycles += st.ix_probe;
+                    report.breakdown.compute_cycles += st.compute;
+                    report.breakdown.queue_cycles += st.queue;
+                    report.breakdown.stall_cycles += stall;
+                    report.breakdown.hidden_cycles += st.hidden;
+                    if let Some(g) = &self.stall_gauge {
+                        g.fetch_add(stall, Ordering::Relaxed);
+                    }
+                    if let Some(g) = &self.cycle_gauge {
+                        g.fetch_add(latency.get(), Ordering::Relaxed);
+                    }
+                    if self.sink.is_some() {
+                        emit_to(
+                            &self.sink,
+                            t,
+                            &Event::WalkBreakdown {
+                                walk: st.walk_id,
+                                lane: lane as u32,
+                                ix_probe: st.ix_probe,
+                                compute: st.compute,
+                                queue: st.queue,
+                                stall,
+                                hidden: st.hidden,
+                                latency: latency.get(),
+                            },
+                        );
+                    }
+                    st.ix_probe = 0;
+                    st.compute = 0;
+                    st.queue = 0;
+                    st.stall = 0;
+                    st.hidden = 0;
                     if self.sink.is_some() {
                         emit_to(
                             &self.sink,
@@ -341,6 +502,19 @@ impl Engine {
                 }
             }
         }
+        // Per-lane reconciliation: each slot's walks chain gaplessly, so
+        // its latency sum is its last completion time; the busiest slot
+        // defines the run's execution time.
+        debug_assert_eq!(
+            slot_cycles.iter().copied().max().unwrap_or(0),
+            report.exec_cycles.get(),
+            "per-slot latency sums must reconcile with exec_cycles"
+        );
+        debug_assert_eq!(
+            report.breakdown.total(),
+            report.walk_latency.total(),
+            "breakdown totals must partition the summed walk latency"
+        );
         if let Some(s) = &self.sink {
             s.borrow_mut().flush();
         }
@@ -643,13 +817,14 @@ mod tests {
         let base = {
             let mut engine = Engine::new(cfg(4));
             let r = engine.run(&mut ChaseProgram::new(16, 4, 4));
-            (r.exec_cycles, r.walks, r.walk_latency)
+            (r.exec_cycles, r.walks, r.walk_latency, r.breakdown)
         };
         let mut c = cfg(4);
         c.mlp_width = 1;
         let mut engine = Engine::new(c);
         let r = engine.run(&mut ChaseProgram::new(16, 4, 4));
-        assert_eq!((r.exec_cycles, r.walks, r.walk_latency), base);
+        assert_eq!((r.exec_cycles, r.walks, r.walk_latency, r.breakdown), base);
+        assert_eq!(r.breakdown.hidden_cycles, 0, "nothing to hide at width 1");
     }
 
     #[test]
@@ -690,6 +865,114 @@ mod tests {
         assert_eq!(report.walks, 8);
         // 8 walks × 10 busy cycles on one walker = 80 cycles, window or not.
         assert_eq!(report.exec_cycles.get(), 80);
+    }
+
+    #[test]
+    fn breakdown_components_partition_every_walk_latency() {
+        use crate::obs::{shared, VecSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Tee(Rc<RefCell<VecSink>>);
+        impl crate::obs::EventSink for Tee {
+            fn emit(&mut self, at: u64, ev: &Event) {
+                self.0.borrow_mut().emit(at, ev);
+            }
+        }
+
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        let mut c = cfg(2);
+        c.mlp_width = 4;
+        let mut engine = Engine::new(c);
+        engine.set_sink(Some(shared(Tee(sink.clone()))));
+        let r = engine.run(&mut ChaseProgram::new(32, 4, c.walk_slots()));
+
+        let mut walks = 0u64;
+        let mut stall_sum = 0u64;
+        let mut latency_sum = 0u64;
+        for (_, e) in &sink.borrow().events {
+            if let Event::WalkBreakdown {
+                ix_probe,
+                compute,
+                queue,
+                stall,
+                hidden,
+                latency,
+                ..
+            } = e
+            {
+                assert_eq!(
+                    ix_probe + compute + queue + stall + hidden,
+                    *latency,
+                    "per-walk components must sum to the walk's latency"
+                );
+                walks += 1;
+                stall_sum += stall;
+                latency_sum += latency;
+            }
+        }
+        assert_eq!(walks, r.walks, "one breakdown event per walk");
+        assert_eq!(latency_sum, r.walk_latency.total());
+        assert_eq!(stall_sum, r.breakdown.stall_cycles);
+        assert_eq!(r.breakdown.total(), r.walk_latency.total());
+        // A pure pointer chase spends its time waiting on DRAM.
+        assert!(r.breakdown.stall_cycles + r.breakdown.hidden_cycles > 0);
+    }
+
+    #[test]
+    fn mlp_hides_dram_waits_under_sibling_compute() {
+        // Each walk: one DRAM fetch, then a long node scan. In an MLP
+        // window one slot's fetch flies while siblings scan on the shared
+        // walker, so part of the wait is hidden behind compute rather
+        // than exposed stall — and the accounting must say so while
+        // still summing exactly to each walk's latency.
+        struct FetchThenScan {
+            walks: u64,
+            pos: Vec<u8>,
+            next_addr: u64,
+        }
+        impl WalkProgram for FetchThenScan {
+            fn begin_walk(&mut self, lane: usize) -> bool {
+                if self.walks == 0 {
+                    return false;
+                }
+                self.walks -= 1;
+                self.pos[lane] = 0;
+                true
+            }
+            fn step(&mut self, lane: usize, _now: Cycles) -> WalkStep {
+                self.pos[lane] += 1;
+                match self.pos[lane] {
+                    1 => {
+                        self.next_addr += 64;
+                        WalkStep::Dram {
+                            addr: Addr::new(self.next_addr),
+                            bytes: 64,
+                        }
+                    }
+                    2 => WalkStep::Busy {
+                        cycles: Cycles::new(60),
+                    },
+                    _ => WalkStep::Done,
+                }
+            }
+        }
+        let mut c = cfg(1);
+        c.mlp_width = 4;
+        let mut engine = Engine::new(c);
+        let r = engine.run(&mut FetchThenScan {
+            walks: 8,
+            pos: vec![0; c.walk_slots()],
+            next_addr: 0,
+        });
+        assert_eq!(r.walks, 8);
+        assert!(
+            r.breakdown.hidden_cycles > 0,
+            "sibling compute must hide part of the DRAM wait: {:?}",
+            r.breakdown
+        );
+        assert!(r.breakdown.queue_cycles > 0, "scans queue on one walker");
+        assert_eq!(r.breakdown.total(), r.walk_latency.total());
     }
 
     #[test]

@@ -195,6 +195,29 @@ pub enum Event {
         /// End-to-end walk latency in cycles.
         latency: u64,
     },
+    /// Cycle-accounting breakdown of one completed walk (engine-side,
+    /// emitted immediately before the matching [`Event::WalkEnd`]).
+    /// The components partition the walk's latency exactly:
+    /// `ix_probe + compute + queue + stall + hidden == latency`.
+    WalkBreakdown {
+        /// Per-shard walk sequence number.
+        walk: u64,
+        /// Lane the walk ran on.
+        lane: u32,
+        /// Cycles spent accessing the cache SRAM (probe latency).
+        ix_probe: u64,
+        /// Cycles of walker compute (node scan, tag match).
+        compute: u64,
+        /// Cycles queued for the walker FSM or an SRAM port.
+        queue: u64,
+        /// DRAM fetch stall cycles left exposed on the critical path.
+        stall: u64,
+        /// DRAM wait cycles hidden under sibling compute in the lane's
+        /// MLP window (always 0 at `mlp_width == 1`).
+        hidden: u64,
+        /// End-to-end walk latency (the components' exact sum).
+        latency: u64,
+    },
     /// A DRAM fetch was issued (engine-side; `done` is its completion
     /// time, so `done - at` includes queueing and bandwidth effects).
     DramFetch {
@@ -352,6 +375,7 @@ impl Event {
         match self {
             Event::WalkStart { .. } => "walk_start",
             Event::WalkEnd { .. } => "walk_end",
+            Event::WalkBreakdown { .. } => "walk_breakdown",
             Event::DramFetch { .. } => "dram_fetch",
             Event::IxProbe { .. } => "ix_probe",
             Event::Insert { .. } => "insert",

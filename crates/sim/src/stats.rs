@@ -220,6 +220,62 @@ impl LatencyStats {
     }
 }
 
+/// Whole-run cycle-accounting totals: every simulated walk cycle
+/// attributed to a cause. The components partition the summed walk
+/// latency exactly — `ix_probe_cycles + compute_cycles + queue_cycles +
+/// stall_cycles + hidden_cycles == walk_latency.total()` — because the
+/// engine's per-walk step intervals are contiguous (each step dispatches
+/// exactly when its predecessor completes).
+///
+/// Accumulated unconditionally (no sink required) so figure harnesses
+/// can print breakdown CSVs without tracing; merges by field-wise sum,
+/// so shard merges stay commutative and associative.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakdownTotals {
+    /// Cycles spent accessing the cache SRAM (probe latency).
+    pub ix_probe_cycles: u64,
+    /// Cycles of walker compute (node scan, tag match).
+    pub compute_cycles: u64,
+    /// Cycles queued for the walker FSM or an SRAM port.
+    pub queue_cycles: u64,
+    /// DRAM fetch stall cycles left exposed on the critical path.
+    pub stall_cycles: u64,
+    /// DRAM wait cycles hidden under sibling compute in an MLP window
+    /// (always 0 at `mlp_width == 1`).
+    pub hidden_cycles: u64,
+}
+
+impl BreakdownTotals {
+    /// Sum of all components (equals the summed walk latency).
+    pub fn total(&self) -> u64 {
+        self.ix_probe_cycles
+            .saturating_add(self.compute_cycles)
+            .saturating_add(self.queue_cycles)
+            .saturating_add(self.stall_cycles)
+            .saturating_add(self.hidden_cycles)
+    }
+
+    /// Fraction of all attributed cycles spent in exposed DRAM stall
+    /// (0.0 when nothing has been attributed yet).
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / total as f64
+        }
+    }
+
+    /// Folds another shard's totals into `self` (field-wise sum).
+    pub fn merge(&mut self, other: &BreakdownTotals) {
+        self.ix_probe_cycles = self.ix_probe_cycles.saturating_add(other.ix_probe_cycles);
+        self.compute_cycles = self.compute_cycles.saturating_add(other.compute_cycles);
+        self.queue_cycles = self.queue_cycles.saturating_add(other.queue_cycles);
+        self.stall_cycles = self.stall_cycles.saturating_add(other.stall_cycles);
+        self.hidden_cycles = self.hidden_cycles.saturating_add(other.hidden_cycles);
+    }
+}
+
 /// Complete statistics for one simulated run of one cache design.
 ///
 /// Field-by-field equality (`PartialEq`) is part of the public contract:
@@ -305,6 +361,10 @@ pub struct RunStats {
     /// Cache entries killed or shrunk by the range-invalidation
     /// protocol that keeps cached tags coherent with mutations.
     pub entries_invalidated: u64,
+    /// Cycle-accounting breakdown of the summed walk latency (simulator
+    /// backend only; stays zeroed for native runs, whose measured phase
+    /// timers live in `NativeMetrics` instead).
+    pub breakdown: BreakdownTotals,
 }
 
 impl RunStats {
@@ -429,6 +489,7 @@ impl RunStats {
         self.entries_invalidated = self
             .entries_invalidated
             .saturating_add(other.entries_invalidated);
+        self.breakdown.merge(&other.breakdown);
         if self.hit_levels.len() < other.hit_levels.len() {
             self.hit_levels.resize(other.hit_levels.len(), 0);
         }

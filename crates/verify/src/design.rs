@@ -37,6 +37,8 @@ fn observed(base: RunConfig, registry: &Arc<MetricsRegistry>) -> RunConfig {
             Some(shared(registry.sink()))
         })),
         progress: None,
+        stall_cycles: None,
+        total_cycles: None,
     })
 }
 

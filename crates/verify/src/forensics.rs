@@ -181,6 +181,8 @@ mod tests {
                     Some(shared(CollectSink(sink_events.clone())))
                 })),
                 progress: None,
+                stall_cycles: None,
+                total_cycles: None,
             });
         run_design(&spec, &exp, &cfg);
         Arc::try_unwrap(events)

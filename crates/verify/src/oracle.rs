@@ -256,8 +256,14 @@ mod tests {
             pinned: false,
             set: 0,
         };
-        assert_eq!(spec_probe(&[e.clone()], 0, 1, 0).unwrap().node, 1);
-        assert_eq!(spec_probe(&[e.clone()], 0, 5, 0).unwrap().node, 2);
+        assert_eq!(
+            spec_probe(std::slice::from_ref(&e), 0, 1, 0).unwrap().node,
+            1
+        );
+        assert_eq!(
+            spec_probe(std::slice::from_ref(&e), 0, 5, 0).unwrap().node,
+            2
+        );
         assert!(spec_probe(&[e], 0, 3, 0).is_none(), "gap key");
     }
 

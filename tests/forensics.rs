@@ -50,6 +50,8 @@ fn analyzed_config(base: RunConfig, registry: &Arc<AnalysisRegistry>) -> RunConf
             Some(shared(registry.sink(&ctx.design)))
         })),
         progress: None,
+        stall_cycles: None,
+        total_cycles: None,
     })
 }
 
@@ -120,6 +122,8 @@ fn offline_replay_matches_in_process_analysis() {
                 Some(shared(MultiSink::new(sinks)))
             })),
             progress: None,
+            stall_cycles: None,
+            total_cycles: None,
         });
         run_design(&spec, &exp, &cfg);
     }

@@ -18,6 +18,8 @@ fn observed_config(base: RunConfig, registry: &Arc<MetricsRegistry>) -> RunConfi
             Some(shared(registry.sink()))
         })),
         progress: None,
+        stall_cycles: None,
+        total_cycles: None,
     })
 }
 
@@ -115,6 +117,8 @@ fn null_sink_run_is_bit_identical_to_unobserved_run() {
         &base.clone().with_obs(ObsConfig {
             sink_factory: Some(Arc::new(|_ctx: &ShardCtx| Some(shared(NullSink)))),
             progress: None,
+            stall_cycles: None,
+            total_cycles: None,
         }),
     );
     assert_eq!(
